@@ -1,0 +1,87 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every ``bench_fig*.py`` regenerates one figure of the paper's evaluation
+(Sec. 4) on the simulated Fig. 6 testbed and prints the same series the
+figure plots.  Workload sizes are controlled by environment variables so
+the suite can run quickly in CI and at full scale for EXPERIMENTS.md:
+
+* ``REPRO_BENCH_LOCATIONS`` — max target locations per scenario
+  (default 12; the paper uses every location, set 0 for all).
+* ``REPRO_BENCH_PACKETS`` — packets per localization fix (default 20;
+  the paper groups 40).
+
+Expensive sweeps are cached per-session so figures sharing a workload
+(e.g. 7(a) and 9(a)) do not recompute it.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import SpotFiConfig
+from repro.testbed import ExperimentRunner, office_testbed
+from repro.testbed.layout import TargetSpot, Testbed
+from repro.testbed.scenarios import scenario_locations
+
+BENCH_SEED = 20150817  # SIGCOMM'15 presentation date
+
+
+def bench_locations_cap() -> int:
+    return int(os.environ.get("REPRO_BENCH_LOCATIONS", "12"))
+
+
+def bench_packets() -> int:
+    return int(os.environ.get("REPRO_BENCH_PACKETS", "20"))
+
+
+@lru_cache(maxsize=1)
+def get_testbed() -> Testbed:
+    return office_testbed()
+
+
+def locations_for(scenario: str) -> List[TargetSpot]:
+    locations = scenario_locations(get_testbed(), scenario)
+    cap = bench_locations_cap()
+    if cap > 0:
+        # Deterministic spread over the scenario rather than a prefix.
+        idx = np.linspace(0, len(locations) - 1, min(cap, len(locations)))
+        locations = [locations[int(i)] for i in idx]
+    return locations
+
+
+def make_runner(packets: Optional[int] = None, seed: int = BENCH_SEED) -> ExperimentRunner:
+    packets = bench_packets() if packets is None else packets
+    return ExperimentRunner(
+        get_testbed(),
+        config=SpotFiConfig(packets_per_fix=packets),
+        num_packets=packets,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=8)
+def scenario_outcomes(scenario: str, with_diagnostics: bool = False):
+    """Cached (SpotFi + ArrayTrack) sweep over a scenario's locations."""
+    runner = make_runner()
+    aps = get_testbed().office_aps() if scenario == "office" else None
+    return runner.run(
+        locations_for(scenario),
+        aps=aps,
+        run_arraytrack=True,
+        collect_aoa_diagnostics=with_diagnostics,
+    )
+
+
+def run_once(benchmark, func):
+    """Run a whole-figure workload exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record(benchmark, **extra) -> None:
+    """Attach figure series to the benchmark JSON output."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

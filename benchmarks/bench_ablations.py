@@ -1,0 +1,210 @@
+"""Ablations of SpotFi's design choices (DESIGN.md Sec. 4).
+
+Each ablation switches off one component on a fixed office workload and
+reports the damage:
+
+* Algorithm 1 sanitization off -> ToF cluster variance explodes and the
+  direct-path selection degrades;
+* Eq. 8 term ablations (drop cluster-size term / smallest-ToF prior);
+* Gaussian-mixture size 3 / 5 / 7;
+* Eq. 9 likelihood weighting off.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import (
+    BENCH_SEED,
+    bench_packets,
+    locations_for,
+    record,
+    run_once,
+    get_testbed,
+)
+from repro.core.likelihood import DEFAULT_WEIGHTS
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.eval.reports import format_comparison
+from repro.geom.points import angle_diff_deg
+from repro.testbed.collection import collect_location
+
+
+def _selection_errors(config_factory, locations, label_count=5):
+    tb = get_testbed()
+    sim = tb.simulator()
+    packets = bench_packets()
+    errors = []
+    tof_variances = []
+    for i, spot in enumerate(locations):
+        rng = np.random.default_rng(BENCH_SEED + i)
+        spotfi = SpotFi(
+            sim.grid, bounds=tb.bounds, config=config_factory(), rng=rng
+        )
+        recordings = collect_location(
+            sim, spot.position, tb.aps, num_packets=packets, rng=rng
+        )
+        for rec in recordings:
+            truth = rec.array.aoa_to(spot.position)
+            if abs(truth) > 90.0:
+                continue
+            report = spotfi.process_ap(rec.array, rec.trace)
+            if not report.usable:
+                continue
+            errors.append(abs(angle_diff_deg(report.direct.aoa_deg, truth)))
+            tof_variances.extend(
+                c.var_tof_s2 * 1e18 for c in report.clusters
+            )
+    return errors, tof_variances
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_sanitization(benchmark, report):
+    locations = locations_for("office")[:6]
+
+    def workload():
+        with_san, var_with = _selection_errors(
+            lambda: SpotFiConfig(packets_per_fix=bench_packets(), sanitize=True),
+            locations,
+        )
+        without_san, var_without = _selection_errors(
+            lambda: SpotFiConfig(packets_per_fix=bench_packets(), sanitize=False),
+            locations,
+        )
+        return with_san, without_san, var_with, var_without
+
+    with_san, without_san, var_with, var_without = run_once(benchmark, workload)
+    series = {"sanitized": with_san, "unsanitized": without_san}
+    text = format_comparison(
+        "Ablation — Algorithm 1 sanitization (direct-path AoA error)",
+        series,
+        unit="deg",
+    )
+    text += (
+        f"\nmedian ToF cluster variance: sanitized "
+        f"{np.median(var_with):.1f} ns^2, unsanitized "
+        f"{np.median(var_without):.1f} ns^2"
+    )
+    report(text)
+    record(
+        benchmark,
+        median_with_deg=float(np.median(with_san)),
+        median_without_deg=float(np.median(without_san)),
+        tof_var_with=float(np.median(var_with)),
+        tof_var_without=float(np.median(var_without)),
+    )
+    # Without sanitization the SFO-drifting STO inflates ToF variance.
+    assert np.median(var_without) > np.median(var_with)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_likelihood_terms(benchmark, report):
+    locations = locations_for("office")[:6]
+
+    def workload():
+        def cfg(weights):
+            return lambda: SpotFiConfig(
+                packets_per_fix=bench_packets(), likelihood=weights
+            )
+
+        full, _ = _selection_errors(cfg(DEFAULT_WEIGHTS), locations)
+        no_count, _ = _selection_errors(cfg(DEFAULT_WEIGHTS.without_count()), locations)
+        no_tof, _ = _selection_errors(
+            cfg(DEFAULT_WEIGHTS.without_tof_mean()), locations
+        )
+        var_only, _ = _selection_errors(cfg(DEFAULT_WEIGHTS.variance_only()), locations)
+        return {
+            "full Eq. 8": full,
+            "no count term": no_count,
+            "no min-ToF term": no_tof,
+            "variance only": var_only,
+        }
+
+    errors = run_once(benchmark, workload)
+    report(
+        format_comparison(
+            "Ablation — Eq. 8 likelihood terms (direct-path AoA error)",
+            errors,
+            unit="deg",
+        )
+    )
+    medians = {k: float(np.median(v)) for k, v in errors.items()}
+    record(benchmark, medians=medians)
+    # The full metric should not be worse than the most crippled variant.
+    assert medians["full Eq. 8"] <= max(medians.values()) + 1e-9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_cluster_count(benchmark, report):
+    locations = locations_for("office")[:6]
+
+    def workload():
+        out = {}
+        for k in (3, 5, 7):
+            errors, _ = _selection_errors(
+                lambda k=k: SpotFiConfig(
+                    packets_per_fix=bench_packets(), num_clusters=k
+                ),
+                locations,
+            )
+            out[f"{k} clusters"] = errors
+        return out
+
+    errors = run_once(benchmark, workload)
+    report(
+        format_comparison(
+            "Ablation — Gaussian-mixture size (direct-path AoA error)",
+            errors,
+            unit="deg",
+        )
+    )
+    record(
+        benchmark,
+        medians={k: float(np.median(v)) for k, v in errors.items()},
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_eq9_weighting(benchmark, report):
+    tb = get_testbed()
+    locations = locations_for("nlos")[:8]
+    packets = bench_packets()
+
+    def run_with(use_weights: bool):
+        sim = tb.simulator()
+        errors = []
+        for i, spot in enumerate(locations):
+            rng = np.random.default_rng(BENCH_SEED + i)
+            spotfi = SpotFi(
+                sim.grid,
+                bounds=tb.bounds,
+                config=SpotFiConfig(
+                    packets_per_fix=packets, use_likelihood_weights=use_weights
+                ),
+                rng=rng,
+            )
+            recordings = collect_location(
+                sim, spot.position, tb.aps, num_packets=packets, rng=rng
+            )
+            try:
+                fix = spotfi.locate([(r.array, r.trace) for r in recordings])
+            except Exception:
+                continue
+            errors.append(fix.error_to(spot.position))
+        return errors
+
+    def workload():
+        return {
+            "likelihood-weighted": run_with(True),
+            "unweighted": run_with(False),
+        }
+
+    errors = run_once(benchmark, workload)
+    report(
+        format_comparison(
+            "Ablation — Eq. 9 per-AP likelihood weighting (high-NLoS)",
+            errors,
+        )
+    )
+    record(
+        benchmark,
+        medians={k: float(np.median(v)) for k, v in errors.items()},
+    )

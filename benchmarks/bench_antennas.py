@@ -1,0 +1,94 @@
+"""The headline claim: SpotFi with 3 antennas ≈ antenna-only MUSIC with 6.
+
+Paper abstract/Sec. 3.1: "the joint estimation procedure provides AoA
+accuracy that is comparable to systems that require twice as many
+antennas [8]".  This benchmark measures direct-path AoA error for:
+
+* SpotFi's joint (AoA, ToF) estimator on a 3-antenna array;
+* antenna-only MUSIC on 3, 6 and 8 antennas (8 = original ArrayTrack);
+
+over identical synthetic multipath channels.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import BENCH_SEED, record, run_once
+from repro.channel.csi_model import synthesize_csi
+from repro.channel.paths import PropagationPath
+from repro.baselines.music_aoa import MusicAoaConfig, MusicAoaEstimator
+from repro.core.estimator import JointEstimator
+from repro.core.steering import SteeringModel
+from repro.eval.reports import format_comparison
+from repro.geom.points import angle_diff_deg
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.intel5300 import Intel5300
+
+NUM_TRIALS = 40
+SNR_DB = 22.0
+
+
+@pytest.mark.benchmark(group="estimators")
+def test_antenna_count_equivalence(benchmark, report):
+    grid = Intel5300().grid()
+
+    def workload():
+        rng = np.random.default_rng(BENCH_SEED)
+        trials = []
+        for _ in range(NUM_TRIALS):
+            num_paths = int(rng.integers(3, 6))
+            aoas = rng.uniform(-70, 70, num_paths)
+            tofs = np.sort(rng.uniform(10e-9, 250e-9, num_paths))
+            gains = rng.uniform(0.3, 1.0, num_paths) * np.exp(
+                1j * rng.uniform(0, 2 * np.pi, num_paths)
+            )
+            trials.append((aoas, tofs, gains))
+
+        def errors_for(estimator, ula):
+            out = []
+            for aoas, tofs, gains in trials:
+                paths = [
+                    PropagationPath(a, t, g) for a, t, g in zip(aoas, tofs, gains)
+                ]
+                csi = synthesize_csi(paths, ula, grid)
+                noise = (
+                    rng.normal(size=csi.shape) + 1j * rng.normal(size=csi.shape)
+                ) * np.sqrt(np.mean(np.abs(csi) ** 2) / 2) * 10 ** (-SNR_DB / 20)
+                estimates = estimator.estimate_packet(csi + noise)
+                if not estimates:
+                    continue
+                truth = paths[0].aoa_deg
+                out.append(
+                    min(abs(angle_diff_deg(e.aoa_deg, truth)) for e in estimates)
+                )
+            return out
+
+        results = {}
+        ula3 = UniformLinearArray(3)
+        spotfi = JointEstimator(model=SteeringModel.for_grid(grid, 3, ula3.spacing_m))
+        results["SpotFi, 3 ant."] = errors_for(spotfi, ula3)
+        for m in (3, 6, 8):
+            ula = UniformLinearArray(m)
+            music = MusicAoaEstimator(
+                model=SteeringModel.for_grid(grid, m, ula.spacing_m),
+                config=MusicAoaConfig(max_peaks=min(m - 1, 6)),
+            )
+            results[f"MUSIC-AoA, {m} ant."] = errors_for(music, ula)
+        return results
+
+    results = run_once(benchmark, workload)
+    report(
+        format_comparison(
+            "Headline — SpotFi(3 antennas) vs antenna-only MUSIC(3/6/8)",
+            results,
+            unit="deg",
+        )
+    )
+    medians = {k: float(np.median(v)) for k, v in results.items()}
+    record(benchmark, medians=medians)
+
+    # Paper shape: joint estimation with 3 antennas keeps up with
+    # antenna-only MUSIC at twice the antennas, and crushes it at equal
+    # antenna count.
+    assert medians["SpotFi, 3 ant."] < medians["MUSIC-AoA, 3 ant."]
+    assert medians["SpotFi, 3 ant."] <= medians["MUSIC-AoA, 6 ant."] + 1.0

@@ -1,0 +1,86 @@
+"""Ablation: AoA accuracy vs reported subcarrier count (bandwidth).
+
+SpotFi's ToF dimension is what buys super-resolution; its resolving power
+scales with the spanned bandwidth (num_subcarriers x reported spacing).
+This ablation re-runs the joint estimator with NICs reporting 8/16/30
+grouped subcarriers over proportionally smaller bandwidth, quantifying the
+paper's core insight that "the number of sensors can be expanded" using
+OFDM subcarriers.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import BENCH_SEED, record, run_once
+from repro.channel.csi_model import synthesize_csi
+from repro.channel.paths import PropagationPath
+from repro.core.estimator import JointEstimator
+from repro.core.smoothing import SmoothingConfig
+from repro.core.steering import SteeringModel
+from repro.eval.reports import format_comparison
+from repro.geom.points import angle_diff_deg
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.intel5300 import generic_card_grid
+
+SUBCARRIER_COUNTS = (8, 16, 30)
+NUM_TRIALS = 40
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bandwidth_vs_accuracy(benchmark, report):
+    ula = UniformLinearArray(3)
+
+    def workload():
+        rng = np.random.default_rng(BENCH_SEED)
+        trials = []
+        for _ in range(NUM_TRIALS):
+            num_paths = int(rng.integers(3, 6))
+            aoas = rng.uniform(-70, 70, num_paths)
+            tofs = np.sort(rng.uniform(10e-9, 250e-9, num_paths))
+            gains = rng.uniform(0.3, 1.0, num_paths) * np.exp(
+                1j * rng.uniform(0, 2 * np.pi, num_paths)
+            )
+            trials.append((aoas, tofs, gains))
+
+        errors = {}
+        for count in SUBCARRIER_COUNTS:
+            grid = generic_card_grid(5.19e9, count, grouping=4)
+            model = SteeringModel.for_grid(grid, 3, ula.spacing_m)
+            smoothing = SmoothingConfig(
+                sub_antennas=2,
+                sub_subcarriers=count // 2,
+                max_subcarrier_shifts=count // 2,
+            )
+            estimator = JointEstimator(model=model, smoothing=smoothing)
+            errs = []
+            for aoas, tofs, gains in trials:
+                paths = [
+                    PropagationPath(a, t, g) for a, t, g in zip(aoas, tofs, gains)
+                ]
+                csi = synthesize_csi(paths, ula, grid)
+                noise = (
+                    rng.normal(size=csi.shape) + 1j * rng.normal(size=csi.shape)
+                ) * np.sqrt(np.mean(np.abs(csi) ** 2) / 2) * 10 ** (-25 / 20)
+                estimates = estimator.estimate_packet(csi + noise)
+                if not estimates:
+                    continue
+                # Direct path = smallest true ToF.
+                truth = paths[0].aoa_deg
+                best = min(abs(angle_diff_deg(e.aoa_deg, truth)) for e in estimates)
+                errs.append(best)
+            errors[f"{count} subcarriers"] = errs
+        return errors
+
+    errors = run_once(benchmark, workload)
+    report(
+        format_comparison(
+            "Ablation — AoA error vs reported subcarriers (joint estimator)",
+            errors,
+            unit="deg",
+        )
+    )
+    medians = {k: float(np.median(v)) for k, v in errors.items()}
+    record(benchmark, medians=medians)
+
+    # More subcarriers -> finer ToF resolution -> better AoA separation.
+    assert medians["30 subcarriers"] <= medians["8 subcarriers"] + 0.5

@@ -1,0 +1,102 @@
+"""Ablation: receive-chain phase offsets and calibration.
+
+The paper's testbed (like every commodity AoA system) depends on a
+one-time per-AP phase calibration; this benchmark quantifies that
+dependency on the small testbed: localization error with ideal chains,
+with random uncalibrated offsets, and after reference-based calibration.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import BENCH_SEED, record, run_once
+from repro.calibration import calibrate_ap
+from repro.channel.chains import ChainOffsets
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.eval.reports import format_comparison
+from repro.testbed.layout import small_testbed
+from repro.wifi.csi import CsiTrace
+
+PACKETS = 12
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_calibration_ablation(benchmark, report):
+    tb = small_testbed()
+
+    def workload():
+        sim = tb.simulator()
+        chains = [
+            ChainOffsets.random(3, np.random.default_rng(500 + k))
+            for k in range(len(tb.aps))
+        ]
+        rng = np.random.default_rng(BENCH_SEED)
+        calibrations = []
+        for ap, chain in zip(tb.aps, chains):
+            # Reference transmitters placed in front of each AP (on its
+            # boresight and 25 degrees off), as a real per-AP calibration
+            # procedure does.
+            refs = []
+            for bearing_off in (0.0, 25.0):
+                bearing = np.deg2rad(ap.normal_deg + bearing_off)
+                spot = (
+                    ap.position[0] + 2.5 * np.cos(bearing),
+                    ap.position[1] + 2.5 * np.sin(bearing),
+                )
+                refs.append(
+                    (spot, sim.generate_trace(spot, ap, 10, rng=rng, chain=chain))
+                )
+            calibrations.append(calibrate_ap(ap, sim.grid, refs))
+
+        def locate(traces):
+            spotfi = SpotFi(
+                sim.grid,
+                bounds=tb.bounds,
+                config=SpotFiConfig(packets_per_fix=PACKETS),
+                rng=np.random.default_rng(0),
+            )
+            return spotfi.locate(traces)
+
+        errors = {"ideal chains": [], "uncalibrated": [], "calibrated": []}
+        for i, spot in enumerate(tb.targets):
+            run_rng = np.random.default_rng(BENCH_SEED + 10 + i)
+            ideal, raw, corrected = [], [], []
+            for ap, chain, cal in zip(tb.aps, chains, calibrations):
+                clean_trace = sim.generate_trace(
+                    spot.position, ap, PACKETS, rng=run_rng
+                )
+                offset_trace = sim.generate_trace(
+                    spot.position, ap, PACKETS, rng=run_rng, chain=chain
+                )
+                ideal.append((ap, clean_trace))
+                raw.append((ap, offset_trace))
+                corrected.append(
+                    (
+                        ap,
+                        CsiTrace.from_arrays(
+                            np.stack(
+                                [cal.offsets.correct(f.csi) for f in offset_trace]
+                            ),
+                            rssi_dbm=offset_trace.rssi_dbm().tolist(),
+                        ),
+                    )
+                )
+            errors["ideal chains"].append(locate(ideal).error_to(spot.position))
+            errors["uncalibrated"].append(locate(raw).error_to(spot.position))
+            errors["calibrated"].append(locate(corrected).error_to(spot.position))
+        return errors
+
+    errors = run_once(benchmark, workload)
+    report(
+        format_comparison(
+            "Ablation — receive-chain offsets and calibration", errors
+        )
+    )
+    medians = {k: float(np.median(v)) for k, v in errors.items()}
+    record(benchmark, medians=medians)
+
+    # Uncalibrated chains must hurt; calibration must recover close to the
+    # ideal-chain accuracy.
+    assert medians["uncalibrated"] > medians["ideal chains"]
+    assert medians["calibrated"] < medians["uncalibrated"]
+    assert medians["calibrated"] < medians["ideal chains"] + 0.5

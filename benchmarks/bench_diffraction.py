@@ -1,0 +1,66 @@
+"""Ablation: knife-edge diffraction in the channel substrate.
+
+Diffraction around corners carries signal into shadowed regions along
+directions *near* the true bearing (the edge sits close to the direct
+line), unlike wall reflections which arrive from unrelated directions.
+This ablation re-runs the high-NLoS localization scenario with the
+simulator's diffraction model on vs off, measuring how the extra (weak
+but well-aimed) paths affect SpotFi.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import BENCH_SEED, bench_packets, locations_for, record, run_once, get_testbed
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.eval.reports import format_comparison
+from repro.testbed.collection import as_ap_trace_pairs, collect_location
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_diffraction_substrate(benchmark, report):
+    tb = get_testbed()
+    locations = locations_for("nlos")[:8]
+    packets = bench_packets()
+
+    def run_with(diffraction: bool):
+        sim = tb.simulator()
+        sim.include_diffraction = diffraction
+        errors = []
+        for i, spot in enumerate(locations):
+            rng = np.random.default_rng(BENCH_SEED + i)
+            spotfi = SpotFi(
+                sim.grid,
+                bounds=tb.bounds,
+                config=SpotFiConfig(packets_per_fix=packets),
+                rng=rng,
+            )
+            recordings = collect_location(
+                sim, spot.position, tb.aps, num_packets=packets, rng=rng
+            )
+            try:
+                fix = spotfi.locate(as_ap_trace_pairs(recordings))
+            except Exception:
+                continue
+            errors.append(fix.error_to(spot.position))
+        return errors
+
+    def workload():
+        return {
+            "no diffraction": run_with(False),
+            "with diffraction": run_with(True),
+        }
+
+    errors = run_once(benchmark, workload)
+    report(
+        format_comparison(
+            "Ablation — knife-edge diffraction in the substrate (high NLoS)",
+            errors,
+        )
+    )
+    medians = {k: float(np.median(v)) for k, v in errors.items()}
+    record(benchmark, medians=medians)
+
+    # Both configurations must produce usable fixes; the diffraction
+    # substrate should not degrade the shadowed-region localization.
+    assert len(errors["with diffraction"]) >= len(errors["no diffraction"]) - 1

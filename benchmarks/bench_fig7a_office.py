@@ -1,0 +1,45 @@
+"""Fig. 7(a): localization error CDF, indoor office deployment.
+
+Paper result: SpotFi median 0.4 m / 80th pct 1.8 m vs ArrayTrack (three
+antennas) 1.8 m / 4 m on the office region with six APs.  This benchmark
+runs both systems on the same simulated traces over the office targets and
+prints the error summary and CDF; the assertions encode the qualitative
+shape (SpotFi sub-meter median, ArrayTrack several times worse).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import record, run_once, scenario_outcomes
+from repro.eval.reports import format_cdf_table, format_comparison
+from repro.testbed.runner import errors_of
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_office_deployment(benchmark, report):
+    outcomes = run_once(benchmark, lambda: scenario_outcomes("office"))
+    spotfi = errors_of(outcomes, "spotfi")
+    arraytrack = errors_of(outcomes, "arraytrack")
+    series = {"SpotFi": spotfi, "ArrayTrack": arraytrack}
+
+    text = format_comparison(
+        "Fig. 7(a) — office deployment localization error", series
+    )
+    text += "\n\n" + format_cdf_table(series)
+    text += (
+        "\n(paper: SpotFi median 0.4 m, p80 1.8 m; ArrayTrack 1.8 m, 4 m)"
+    )
+    report(text)
+    record(
+        benchmark,
+        spotfi_median_m=float(np.median(spotfi)),
+        spotfi_p80_m=float(np.percentile(spotfi, 80)),
+        arraytrack_median_m=float(np.median(arraytrack)),
+        arraytrack_p80_m=float(np.percentile(arraytrack, 80)),
+        locations=len(outcomes),
+    )
+
+    # Paper shape: SpotFi sub-meter median, clearly ahead of ArrayTrack.
+    assert np.median(spotfi) < 1.2
+    assert np.median(spotfi) < 0.7 * np.median(arraytrack)
+    assert np.percentile(spotfi, 80) < np.percentile(arraytrack, 80)

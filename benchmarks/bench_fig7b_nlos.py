@@ -1,0 +1,41 @@
+"""Fig. 7(b): localization error CDF under high-NLoS conditions.
+
+Paper result: with at most two APs having a decent direct path, SpotFi
+degrades to a 1.6 m median while ArrayTrack degrades to 3.5 m.  The
+high-NLoS location set is selected by the same ground-truth predicate the
+paper uses (<= 2 LoS APs).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import record, run_once, scenario_outcomes
+from repro.eval.reports import format_cdf_table, format_comparison
+from repro.testbed.runner import errors_of
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_high_nlos(benchmark, report):
+    outcomes = run_once(benchmark, lambda: scenario_outcomes("nlos"))
+    spotfi = errors_of(outcomes, "spotfi")
+    arraytrack = errors_of(outcomes, "arraytrack")
+    series = {"SpotFi": spotfi, "ArrayTrack": arraytrack}
+
+    text = format_comparison("Fig. 7(b) — high-NLoS localization error", series)
+    text += "\n\n" + format_cdf_table(series)
+    text += "\n(paper: SpotFi median 1.6 m; ArrayTrack 3.5 m)"
+    report(text)
+    record(
+        benchmark,
+        spotfi_median_m=float(np.median(spotfi)),
+        arraytrack_median_m=float(np.median(arraytrack)),
+        locations=len(outcomes),
+    )
+
+    # Paper shape: both degrade vs the office case; SpotFi stays ahead.
+    # (Absolute magnitudes are substrate-dependent: our far wing is
+    # harsher than the paper's stress set — several targets hear only two
+    # APs at all, not merely two with decent direct paths.)
+    assert np.median(spotfi) < np.median(arraytrack)
+    assert np.median(spotfi) < 5.0
+    assert np.percentile(spotfi, 80) < np.percentile(arraytrack, 80)

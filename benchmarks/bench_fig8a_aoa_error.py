@@ -1,0 +1,72 @@
+"""Fig. 8(a): AoA estimation error CDFs — SpotFi's joint (AoA, ToF)
+super-resolution vs antenna-only MUSIC-AoA, split LoS / NLoS.
+
+Paper result: measuring the error of the estimate *closest* to the
+ground-truth direct AoA (to isolate estimation from selection), SpotFi
+beats MUSIC-AoA by ~2.4 deg median in LoS and ~5.2 deg in NLoS; SpotFi's
+LoS median is < 5 deg and NLoS < 10 deg.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import record, run_once, scenario_outcomes
+from repro.eval.reports import format_cdf_table, format_comparison
+
+
+def _split_diagnostics(outcome_sets):
+    los = {"SpotFi": [], "MUSIC-AoA": []}
+    nlos = {"SpotFi": [], "MUSIC-AoA": []}
+    for outcomes in outcome_sets:
+        for outcome in outcomes:
+            for diag in outcome.aoa_diagnostics:
+                bucket = los if diag.los else nlos
+                bucket["SpotFi"].append(diag.spotfi_best_error_deg)
+                bucket["MUSIC-AoA"].append(diag.music_best_error_deg)
+    return los, nlos
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8a_aoa_estimation_error(benchmark, report):
+    def workload():
+        return [
+            scenario_outcomes("office", True),
+            scenario_outcomes("nlos", True),
+        ]
+
+    outcome_sets = run_once(benchmark, workload)
+    los, nlos = _split_diagnostics(outcome_sets)
+
+    text = format_comparison(
+        "Fig. 8(a) — AoA estimation error, LoS links", los, unit="deg"
+    )
+    text += "\n\n" + format_comparison(
+        "Fig. 8(a) — AoA estimation error, NLoS links", nlos, unit="deg"
+    )
+    text += "\n\nLoS CDF:\n" + format_cdf_table(los, unit="deg")
+    text += "\n\nNLoS CDF:\n" + format_cdf_table(nlos, unit="deg")
+    text += (
+        "\n(paper: SpotFi < 5 deg LoS / < 10 deg NLoS median; beats "
+        "MUSIC-AoA by ~2.4 / ~5.2 deg)"
+    )
+    report(text)
+
+    spotfi_los = np.asarray(los["SpotFi"])
+    music_los = np.asarray(los["MUSIC-AoA"])
+    spotfi_nlos = np.asarray(nlos["SpotFi"])
+    music_nlos = np.asarray(nlos["MUSIC-AoA"])
+    record(
+        benchmark,
+        spotfi_los_median_deg=float(np.median(spotfi_los)),
+        music_los_median_deg=float(np.median(music_los)),
+        spotfi_nlos_median_deg=float(np.median(spotfi_nlos)),
+        music_nlos_median_deg=float(np.median(music_nlos)),
+        num_los_links=int(spotfi_los.size),
+        num_nlos_links=int(spotfi_nlos.size),
+    )
+
+    # Paper shape: SpotFi's estimation is tighter than MUSIC-AoA in both
+    # regimes, with single-digit LoS medians.
+    assert np.median(spotfi_los) < 8.0
+    assert np.median(spotfi_los) <= np.median(music_los)
+    assert np.median(spotfi_nlos) <= np.median(music_nlos)

@@ -1,0 +1,72 @@
+"""Fig. 9(a): localization error vs WiFi deployment density (#APs).
+
+The paper emulates densities by localizing with random AP subsets of size
+3-5 (of the six office APs): medians ~1.9 / 0.8 / 0.6 m for 3 / 4 / 5 APs,
+with the big jump from 3 to 4 and diminishing returns after.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from benchmarks._common import (
+    BENCH_SEED,
+    bench_packets,
+    locations_for,
+    make_runner,
+    record,
+    run_once,
+    get_testbed,
+)
+from repro.eval.reports import format_comparison
+from repro.testbed.runner import errors_of
+
+SUBSET_SIZES = (3, 4, 5, 6)
+SUBSETS_PER_SIZE = 3
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_ap_density(benchmark, report):
+    tb = get_testbed()
+    office_aps = tb.office_aps()
+    locations = locations_for("office")
+    rng = np.random.default_rng(BENCH_SEED)
+
+    def workload():
+        errors = {}
+        for size in SUBSET_SIZES:
+            all_subsets = list(itertools.combinations(range(len(office_aps)), size))
+            chosen = [
+                all_subsets[i]
+                for i in rng.choice(
+                    len(all_subsets),
+                    size=min(SUBSETS_PER_SIZE, len(all_subsets)),
+                    replace=False,
+                )
+            ]
+            pooled = []
+            for subset in chosen:
+                aps = [office_aps[i] for i in subset]
+                runner = make_runner(seed=BENCH_SEED)
+                outcomes = runner.run(locations, aps=aps, run_arraytrack=False)
+                pooled.extend(errors_of(outcomes, "spotfi").tolist())
+            errors[f"{size} APs"] = pooled
+        return errors
+
+    errors = run_once(benchmark, workload)
+
+    text = format_comparison(
+        "Fig. 9(a) — localization error vs number of APs", errors
+    )
+    text += "\n(paper: medians ~1.9 / 0.8 / 0.6 m for 3 / 4 / 5 APs)"
+    report(text)
+
+    medians = {k: float(np.median(v)) for k, v in errors.items()}
+    record(benchmark, medians=medians, packets=bench_packets())
+
+    # Paper shape: error drops with density, with the largest gain from
+    # 3 to 4 APs and broadly diminishing returns after.
+    assert medians["3 APs"] > medians["4 APs"] * 0.99
+    assert medians["4 APs"] >= medians["6 APs"] * 0.8
+    assert medians["6 APs"] < 1.5

@@ -1,0 +1,50 @@
+"""Fig. 9(b): localization error vs number of packets per fix.
+
+Paper result: 10 packets already give a 0.5 m median vs 0.4 m with 40 —
+SpotFi needs only a short burst.  This benchmark sweeps the per-fix packet
+budget over the office locations.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import (
+    BENCH_SEED,
+    locations_for,
+    make_runner,
+    record,
+    run_once,
+)
+from repro.eval.reports import format_comparison
+from repro.testbed.runner import errors_of
+
+PACKET_COUNTS = (6, 10, 20, 40)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9b_packets_per_fix(benchmark, report):
+    locations = locations_for("office")
+
+    def workload():
+        errors = {}
+        for packets in PACKET_COUNTS:
+            runner = make_runner(packets=packets, seed=BENCH_SEED)
+            outcomes = runner.run(locations, aps=None, run_arraytrack=False)
+            errors[f"{packets} packets"] = errors_of(outcomes, "spotfi").tolist()
+        return errors
+
+    errors = run_once(benchmark, workload)
+
+    text = format_comparison(
+        "Fig. 9(b) — localization error vs packets per fix", errors
+    )
+    text += "\n(paper: 0.5 m median at 10 packets vs 0.4 m at 40)"
+    report(text)
+
+    medians = {k: float(np.median(v)) for k, v in errors.items()}
+    record(benchmark, medians=medians)
+
+    # Paper shape: a handful of packets suffices — 10-packet accuracy is
+    # already close to the 40-packet accuracy.
+    assert medians["10 packets"] < medians["40 packets"] + 1.0
+    assert medians["40 packets"] <= medians["6 packets"] + 0.5

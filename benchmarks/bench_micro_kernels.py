@@ -1,0 +1,139 @@
+"""Micro-benchmarks of SpotFi's computational kernels.
+
+These time the hot paths (per-packet cost determines how many targets a
+server can track): sanitization, smoothing, the MUSIC eigendecomposition +
+2-D spectrum, peak extraction, clustering, and the Eq. 9 solve.  Unlike
+the figure benchmarks these use full pytest-benchmark statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi_model import synthesize_csi
+from repro.channel.paths import PropagationPath
+from repro.core.clustering import cluster_estimates
+from repro.core.estimator import JointEstimator, PathEstimate
+from repro.core.localization import ApObservation, Localizer
+from repro.core.music import MusicConfig, covariance, music_spectrum_from_signal, subspaces
+from repro.core.sanitize import sanitize_csi
+from repro.core.smoothing import PAPER_CONFIG, smooth_csi
+from repro.core.steering import SteeringModel
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.intel5300 import Intel5300
+
+GRID = Intel5300().grid()
+ULA = UniformLinearArray(3)
+MODEL = SteeringModel.for_grid(GRID, 3, ULA.spacing_m)
+PATHS = [
+    PropagationPath(20.0, 30e-9, 1.0),
+    PropagationPath(-40.0, 80e-9, 0.6j),
+    PropagationPath(55.0, 140e-9, 0.4),
+    PropagationPath(-10.0, 190e-9, 0.3 * np.exp(0.5j)),
+]
+CSI = synthesize_csi(PATHS, ULA, GRID)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_sanitize(benchmark):
+    benchmark(sanitize_csi, CSI)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_smoothing(benchmark):
+    benchmark(smooth_csi, CSI, PAPER_CONFIG)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_subspace_decomposition(benchmark):
+    x = smooth_csi(CSI, PAPER_CONFIG)
+    r = covariance(x)
+    benchmark(subspaces, r, MusicConfig(), 30)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_music_spectrum(benchmark):
+    x = smooth_csi(CSI, PAPER_CONFIG)
+    e_signal, _, _ = subspaces(covariance(x), MusicConfig(), 30)
+    sub = MODEL.subarray_model(2, 15)
+    cfg = MusicConfig()
+    aoa_grid, tof_grid = cfg.aoa_grid(), cfg.tof_grid()
+    benchmark(music_spectrum_from_signal, e_signal, sub, aoa_grid, tof_grid)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_full_packet_estimate(benchmark):
+    estimator = JointEstimator.for_intel5300(ULA, GRID)
+    benchmark(estimator.estimate_packet, CSI)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_clustering(benchmark):
+    rng = np.random.default_rng(0)
+    estimates = [
+        PathEstimate(
+            aoa_deg=float(rng.normal([20, -40, 55][k % 3], 1.0)),
+            tof_s=float(rng.normal([30e-9, 80e-9, 140e-9][k % 3], 3e-9)),
+            power=5.0,
+            packet_index=k // 3,
+        )
+        for k in range(120)
+    ]
+    benchmark(
+        cluster_estimates, estimates, 5, "gmm", np.random.default_rng(0), 2
+    )
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_esprit_packet_estimate(benchmark):
+    from repro.core.esprit import EspritEstimator
+
+    estimator = EspritEstimator(model=MODEL)
+    benchmark(estimator.estimate_packet, CSI)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_end_to_end_fix(benchmark):
+    """Whole Algorithm 2 for one 10-packet, 4-AP fix — the per-target
+    latency a SpotFi server pays."""
+    from repro.core.pipeline import SpotFi, SpotFiConfig
+    from repro.testbed.layout import small_testbed
+
+    tb = small_testbed()
+    sim = tb.simulator()
+    target = tb.targets[0].position
+    rng = np.random.default_rng(0)
+    traces = [(ap, sim.generate_trace(target, ap, 10, rng=rng)) for ap in tb.aps]
+
+    def fix():
+        spotfi = SpotFi(
+            sim.grid,
+            bounds=tb.bounds,
+            config=SpotFiConfig(packets_per_fix=10),
+            rng=np.random.default_rng(0),
+        )
+        return spotfi.locate(traces)
+
+    result = benchmark(fix)
+    assert result.error_to(target) < 2.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_localization_solve(benchmark):
+    aps = [
+        UniformLinearArray(3, position=(0.5, 5.0), normal_deg=0.0),
+        UniformLinearArray(3, position=(19.5, 5.0), normal_deg=180.0),
+        UniformLinearArray(3, position=(10.0, 0.5), normal_deg=90.0),
+        UniformLinearArray(3, position=(10.0, 11.5), normal_deg=-90.0),
+    ]
+    target = (7.0, 4.0)
+    obs = [
+        ApObservation(
+            array=ap,
+            aoa_deg=ap.aoa_to(target),
+            rssi_dbm=-50.0 - ap.distance_to(target),
+            likelihood=1.0,
+        )
+        for ap in aps
+    ]
+    localizer = Localizer(bounds=(0.0, 0.0, 20.0, 12.0))
+    benchmark(localizer.locate, obs)

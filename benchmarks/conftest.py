@@ -1,0 +1,29 @@
+"""Benchmark fixtures: a reporter that both prints (uncaptured) and
+persists each figure's table under ``benchmarks/results/`` so the series
+survive any output redirection."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(request):
+    """Print through pytest's capture and save to results/<test>.txt."""
+    manager = request.config.pluginmanager.getplugin("capturemanager")
+    test_name = request.node.name
+
+    def _print(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{test_name}.txt").write_text(text + "\n")
+        if manager is None:
+            print(text)
+            return
+        with manager.global_and_fixture_disabled():
+            print(f"\n{text}")
+
+    return _print

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Device-free motion sensing — the paper's future-work teaser, working.
+
+A static beacon transmits periodic bursts to an AP.  Nobody carries a
+device: we detect a person walking through the room purely from the CSI
+decorrelating against its baseline, then watch the detector re-arm once
+the environment settles.
+
+Run:  python examples/motion_sensing.py
+"""
+
+import numpy as np
+
+from repro import ChannelSimulator, Intel5300, UniformLinearArray
+from repro.geom.floorplan import empty_room
+from repro.sensing import MotionDetector
+
+
+def make_burst(grid, person_position, rng, packets=8):
+    """Simulate one burst with a 'person' (strong scatterer) at a position."""
+    room = empty_room(10.0, 6.0, material="drywall")
+    room.add_scatterer((2.0, 5.0), 0.35)  # static furniture
+    room.add_scatterer((8.0, 1.5), 0.35)
+    if person_position is not None:
+        room.add_scatterer(person_position, 0.6)  # the person
+    sim = ChannelSimulator(floorplan=room, grid=grid)
+    ap = UniformLinearArray(3, position=(0.5, 3.0), normal_deg=0.0)
+    return sim.generate_trace((9.5, 3.0), ap, packets, rng=rng)
+
+
+def main() -> None:
+    grid = Intel5300().grid()
+    rng = np.random.default_rng(2)
+    # The static-environment score floor is ~0.001 (noise + quantization);
+    # a person near the link perturbs it by 1-2 orders of magnitude.
+    detector = MotionDetector(threshold=0.008, rebase_after=3)
+
+    # Timeline: empty room, then a person walks across the link line,
+    # then leaves a chair moved (persistent change), then stillness.
+    timeline = (
+        [("empty room", None)] * 4
+        + [
+            ("person enters", (7.5, 3.4)),
+            ("person crossing the link", (6.0, 3.0)),
+            ("person crossing the link", (4.5, 2.9)),
+            ("person walking away", (3.0, 2.4)),
+        ]
+        + [("person left, chair moved", (2.2, 1.6))] * 5
+    )
+
+    print("burst  score   motion  event")
+    for i, (label, person) in enumerate(timeline):
+        reading = detector.observe(make_burst(grid, person, rng))
+        flag = "MOTION" if reading.motion else "  -   "
+        print(f"{i:5d}  {reading.score:5.3f}   {flag}  {label}")
+
+    events = sum(1 for r in detector.history() if r.motion)
+    print(f"\n{events} motion bursts detected across {len(timeline)} bursts")
+    print("note how the detector re-arms (score returns to ~0) once the")
+    print("moved 'chair' persists and becomes the new baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Office-deployment evaluation: SpotFi vs ArrayTrack on the Fig. 6 testbed.
+
+Recreates the paper's headline experiment (Sec. 4.3.1) at example scale:
+localize office-region targets with both SpotFi and the 3-antenna
+ArrayTrack baseline on the *same* simulated CSI, then print the error
+summary and CDF — the textual form of the paper's Fig. 7(a).
+
+Run:  python examples/office_localization.py [--locations N] [--packets N]
+"""
+
+import argparse
+
+from repro.eval.reports import format_cdf_table, format_comparison
+from repro.testbed import ExperimentRunner, office_locations, office_testbed
+from repro.testbed.runner import errors_of
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--locations", type=int, default=8, help="number of office targets to test"
+    )
+    parser.add_argument(
+        "--packets", type=int, default=20, help="packets per localization fix"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    testbed = office_testbed()
+    locations = office_locations(testbed)[: args.locations]
+    print(
+        f"testbed '{testbed.name}': {len(locations)} office targets, "
+        f"{len(testbed.office_aps())} APs, {args.packets} packets per fix"
+    )
+
+    runner = ExperimentRunner(testbed, num_packets=args.packets, seed=args.seed)
+    outcomes = runner.run(locations, aps=testbed.office_aps())
+
+    for outcome in outcomes:
+        print(
+            f"  {outcome.spot.label}: SpotFi {outcome.spotfi_error_m:5.2f} m | "
+            f"ArrayTrack {outcome.arraytrack_error_m:5.2f} m "
+            f"({outcome.num_aps_heard} APs heard)"
+        )
+
+    series = {
+        "SpotFi": errors_of(outcomes, "spotfi"),
+        "ArrayTrack": errors_of(outcomes, "arraytrack"),
+    }
+    print()
+    print(format_comparison("Office deployment localization error", series))
+    print()
+    print(format_cdf_table(series))
+
+
+if __name__ == "__main__":
+    main()

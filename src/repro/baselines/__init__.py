@@ -1,0 +1,39 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.music_aoa` — antenna-only MUSIC (Phaser [8] /
+  ArrayTrack [1] style), the paper's "MUSIC-AoA" (Sec. 4.4.1).
+* :mod:`repro.baselines.arraytrack` — the "practical implementation of
+  ArrayTrack" with three antennas used throughout Sec. 4.3.
+* :mod:`repro.baselines.selection` — LTEye (min ToF), CUPID (max power)
+  and Oracle direct-path selectors (Sec. 4.4.2).
+* :mod:`repro.baselines.rssi_loc` — RSSI trilateration (Sec. 2 context).
+"""
+
+from repro.baselines.arraytrack import ArrayTrack
+from repro.baselines.fingerprint import (
+    FingerprintDatabase,
+    FingerprintLocalizer,
+    survey,
+)
+from repro.baselines.music_aoa import MusicAoaConfig, MusicAoaEstimator
+from repro.baselines.rssi_loc import RssiLocalizer
+from repro.baselines.selection import (
+    select_cupid,
+    select_ltye,
+    select_oracle,
+    select_spotfi,
+)
+
+__all__ = [
+    "ArrayTrack",
+    "FingerprintDatabase",
+    "FingerprintLocalizer",
+    "MusicAoaConfig",
+    "MusicAoaEstimator",
+    "RssiLocalizer",
+    "survey",
+    "select_cupid",
+    "select_ltye",
+    "select_oracle",
+    "select_spotfi",
+]

@@ -1,0 +1,173 @@
+"""RSSI fingerprinting baseline (the paper's Sec. 2 second category).
+
+Fingerprinting systems (Horus [14] and kin) war-drive the space once,
+recording each location's vector of per-AP RSSIs, then localize by
+matching a target's RSSI vector against the database — "around 0.6 m of
+median accuracy" at the cost of "an expensive and recurring fingerprinting
+operation any time there are changes in the environment".
+
+This implementation is the standard probabilistic/kNN formulation:
+
+* **training**: a survey grid over the floorplan; at each point, the mean
+  and spread of each AP's RSSI over a short burst;
+* **matching**: weighted k-nearest-neighbors in RSSI space (Gaussian
+  per-AP likelihoods), position = likelihood-weighted centroid of the
+  best matches.
+
+Used by ``bench_related_work.py`` to reproduce the paper's deploy-vs-
+accuracy landscape: fingerprinting beats plain RSSI trilateration but
+needs the survey; SpotFi matches it with zero war-driving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.csi_model import ChannelSimulator
+from repro.errors import ConfigurationError, LocalizationError
+from repro.geom.points import Point, PointLike, as_point
+from repro.wifi.arrays import UniformLinearArray
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """One survey point: location + per-AP RSSI statistics."""
+
+    position: Point
+    mean_rssi_dbm: Tuple[float, ...]
+    std_rssi_db: Tuple[float, ...]
+
+
+@dataclass
+class FingerprintDatabase:
+    """The war-driven radio map.
+
+    Attributes
+    ----------
+    aps:
+        The AP arrays the fingerprints index (order fixed).
+    fingerprints:
+        Survey points.
+    """
+
+    aps: List[UniformLinearArray]
+    fingerprints: List[Fingerprint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def add(self, position: PointLike, rssi_samples_dbm: np.ndarray) -> Fingerprint:
+        """Record one survey point from (num_samples, num_aps) RSSI readings."""
+        samples = np.asarray(rssi_samples_dbm, dtype=float)
+        if samples.ndim != 2 or samples.shape[1] != len(self.aps):
+            raise ConfigurationError(
+                f"expected (num_samples, {len(self.aps)}) RSSI array, got "
+                f"{samples.shape}"
+            )
+        fingerprint = Fingerprint(
+            position=as_point(position),
+            mean_rssi_dbm=tuple(float(v) for v in samples.mean(axis=0)),
+            std_rssi_db=tuple(
+                float(max(v, 0.5)) for v in samples.std(axis=0)
+            ),
+        )
+        self.fingerprints.append(fingerprint)
+        return fingerprint
+
+
+def survey(
+    simulator: ChannelSimulator,
+    aps: Sequence[UniformLinearArray],
+    bounds: Tuple[float, float, float, float],
+    grid_step_m: float = 1.0,
+    samples_per_point: int = 5,
+    rng: Optional[np.random.Generator] = None,
+) -> FingerprintDatabase:
+    """Simulate the war-drive: record RSSI fingerprints on a survey grid.
+
+    Grid points with no propagation to an AP record -120 dBm for it
+    (below any real reading).  This is the expensive, environment-specific
+    step SpotFi exists to avoid.
+    """
+    if grid_step_m <= 0:
+        raise ConfigurationError("grid step must be positive")
+    rng = np.random.default_rng() if rng is None else rng
+    database = FingerprintDatabase(aps=list(aps))
+    x0, y0, x1, y1 = bounds
+    for x in np.arange(x0 + grid_step_m / 2, x1, grid_step_m):
+        for y in np.arange(y0 + grid_step_m / 2, y1, grid_step_m):
+            samples = np.full((samples_per_point, len(aps)), -120.0)
+            reachable = False
+            for j, ap in enumerate(aps):
+                try:
+                    profile = simulator.profile((float(x), float(y)), ap)
+                except Exception:
+                    continue
+                if profile.num_paths == 0:
+                    continue
+                base = profile.rssi_dbm(simulator.tx_power_dbm)
+                if not np.isfinite(base):
+                    continue
+                reachable = True
+                samples[:, j] = base + rng.normal(
+                    0.0, simulator.rssi_jitter_db or 1.0, size=samples_per_point
+                )
+            if reachable:
+                database.add((float(x), float(y)), samples)
+    if not database.fingerprints:
+        raise ConfigurationError("survey produced no reachable fingerprints")
+    return database
+
+
+@dataclass
+class FingerprintLocalizer:
+    """Weighted-kNN matcher over a fingerprint database.
+
+    Attributes
+    ----------
+    database:
+        The radio map from :func:`survey` (or real measurements).
+    k:
+        Neighbors averaged for the position estimate.
+    """
+
+    database: FingerprintDatabase
+    k: int = 4
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if len(self.database) == 0:
+            raise LocalizationError("fingerprint database is empty")
+
+    def locate(self, rssi_dbm: Sequence[float]) -> Point:
+        """Match an observed per-AP RSSI vector to a position.
+
+        Missing observations (NaN) are skipped per-AP; at least two
+        finite readings are required.
+        """
+        observed = np.asarray(rssi_dbm, dtype=float)
+        if observed.shape != (len(self.database.aps),):
+            raise ConfigurationError(
+                f"expected {len(self.database.aps)} RSSI values, got "
+                f"{observed.shape}"
+            )
+        mask = np.isfinite(observed)
+        if mask.sum() < 2:
+            raise LocalizationError("need >= 2 finite RSSI readings to match")
+        log_likelihoods = []
+        for fp in self.database.fingerprints:
+            mean = np.asarray(fp.mean_rssi_dbm)[mask]
+            std = np.asarray(fp.std_rssi_db)[mask]
+            resid = (observed[mask] - mean) / std
+            log_likelihoods.append(float(-0.5 * np.sum(resid**2) - np.sum(np.log(std))))
+        order = np.argsort(log_likelihoods)[::-1][: self.k]
+        top = np.asarray(log_likelihoods)[order]
+        weights = np.exp(top - top.max())
+        weights /= weights.sum()
+        xs = np.array([self.database.fingerprints[i].position.x for i in order])
+        ys = np.array([self.database.fingerprints[i].position.y for i in order])
+        return Point(float(weights @ xs), float(weights @ ys))

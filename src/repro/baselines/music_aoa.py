@@ -1,0 +1,171 @@
+"""Antenna-only MUSIC AoA estimation — the paper's "MUSIC-AoA" baseline.
+
+This is the AoA algorithm of Phaser [8] / ArrayTrack [1] constrained to a
+commodity 3-antenna NIC (paper Sec. 3.1.1 and 4.4.1): the measurement
+matrix is the raw CSI (antennas x subcarriers), each subcarrier providing
+one snapshot of the antenna array; MUSIC runs on the (M x M) covariance
+with only the AoA-induced inter-antenna phases modeled.  With M = 3 at
+most 2 paths can be resolved — the limitation SpotFi's joint estimation
+removes.
+
+Forward-backward averaging and antenna-domain spatial smoothing (the [9]
+technique ArrayTrack uses) are implemented as options; smoothing trades
+aperture for decorrelation of coherent multipath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.music import MusicConfig, mdl_signal_dimension
+from repro.core.peaks import SpectrumPeak
+from repro.core.sanitize import sanitize_csi
+from repro.core.steering import SteeringModel
+from repro.errors import ConfigurationError, EstimationError
+from repro.wifi.csi import CsiTrace, validate_csi_matrix
+
+
+@dataclass(frozen=True)
+class MusicAoaConfig:
+    """Configuration of the antenna-only MUSIC estimator.
+
+    Attributes
+    ----------
+    aoa_grid_deg:
+        (min, max, step) AoA search grid.
+    eigenvalue_threshold_ratio:
+        Noise-subspace threshold, as in the joint estimator.
+    forward_backward:
+        Apply forward-backward covariance averaging.
+    spatial_smoothing_subarray:
+        Antenna-subarray size for spatial smoothing (0 disables; 2 is the
+        only useful value for M = 3).
+    max_peaks:
+        Maximum AoA peaks returned.
+    """
+
+    aoa_grid_deg: Tuple[float, float, float] = (-90.0, 90.0, 1.0)
+    eigenvalue_threshold_ratio: float = 0.03
+    forward_backward: bool = True
+    spatial_smoothing_subarray: int = 0
+    max_peaks: int = 2
+    min_rel_height_db: float = 20.0
+
+    def aoa_grid(self) -> np.ndarray:
+        lo, hi, step = self.aoa_grid_deg
+        return np.arange(lo, hi + step / 2, step)
+
+
+@dataclass
+class MusicAoaEstimator:
+    """MUSIC over the antenna dimension only.
+
+    Attributes
+    ----------
+    model:
+        Steering model of the physical array (num_subcarriers is unused by
+        the antenna-domain spectrum but kept for shape validation).
+    config:
+        Estimator options.
+    sanitize:
+        Apply Algorithm 1 first.  Irrelevant for pure-AoA MUSIC in theory
+        (the STO ramp is antenna-invariant and cancels in the covariance),
+        but kept for exact parity with the SpotFi pipeline's input.
+    """
+
+    model: SteeringModel
+    config: MusicAoaConfig = field(default_factory=MusicAoaConfig)
+    sanitize: bool = False
+
+    def estimate_packet(self, csi: np.ndarray) -> List[SpectrumPeak]:
+        """AoA peaks for one packet, strongest first."""
+        spectrum, grid = self.spectrum(csi)
+        return self._peaks(spectrum, grid)
+
+    def spectrum(self, csi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(1-D pseudospectrum, AoA grid) for one packet."""
+        csi = validate_csi_matrix(csi)
+        if csi.shape[0] != self.model.num_antennas:
+            raise EstimationError(
+                f"CSI has {csi.shape[0]} antennas, model expects "
+                f"{self.model.num_antennas}"
+            )
+        if self.sanitize:
+            csi = sanitize_csi(csi)
+        cov, num_antennas = self._covariance(csi)
+        eigenvalues, eigenvectors = np.linalg.eigh((cov + cov.conj().T) / 2.0)
+        eigenvalues = eigenvalues[::-1]
+        eigenvectors = eigenvectors[:, ::-1]
+        lam_max = float(eigenvalues[0])
+        if lam_max <= 0:
+            raise EstimationError("degenerate covariance (zero CSI?)")
+        num_signals = int(
+            np.sum(eigenvalues > self.config.eigenvalue_threshold_ratio * lam_max)
+        )
+        num_signals = int(np.clip(num_signals, 1, num_antennas - 1))
+        e_noise = eigenvectors[:, num_signals:]
+        grid = self.config.aoa_grid()
+        sub_model = self.model.subarray_model(num_antennas, 1)
+        steering = sub_model.antenna_vector(grid)  # (A, M')
+        proj = steering.conj() @ e_noise  # (A, K)
+        denom = np.maximum(np.sum(np.abs(proj) ** 2, axis=1) / num_antennas, 1e-18)
+        return 1.0 / denom, grid
+
+    def _covariance(self, csi: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Antenna covariance with optional smoothing; returns (R, M')."""
+        m = csi.shape[0]
+        sub = self.config.spatial_smoothing_subarray
+        if sub:
+            if not 2 <= sub <= m:
+                raise ConfigurationError(
+                    f"spatial smoothing subarray must be in [2, {m}], got {sub}"
+                )
+            blocks = [csi[i : i + sub, :] for i in range(m - sub + 1)]
+            x = np.concatenate(blocks, axis=1)
+            m = sub
+        else:
+            x = csi
+        cov = x @ x.conj().T
+        if self.config.forward_backward:
+            exchange = np.eye(m)[::-1]
+            cov = (cov + exchange @ cov.conj() @ exchange) / 2.0
+        return cov, m
+
+    def _peaks(self, spectrum: np.ndarray, grid: np.ndarray) -> List[SpectrumPeak]:
+        # 1-D local maxima (interior points only; the border rule of the
+        # 2-D finder applies here too).
+        interior = (spectrum[1:-1] >= spectrum[:-2]) & (spectrum[1:-1] >= spectrum[2:])
+        idx = np.nonzero(interior)[0] + 1
+        if idx.size == 0:
+            # Monotone spectrum: fall back to the global maximum.
+            best = int(np.argmax(spectrum))
+            return [SpectrumPeak(float(grid[best]), 0.0, float(spectrum[best]))]
+        order = idx[np.argsort(spectrum[idx])[::-1]]
+        strongest = spectrum[order[0]]
+        floor = strongest * 10.0 ** (-self.config.min_rel_height_db / 10.0)
+        peaks = []
+        for i in order[: self.config.max_peaks]:
+            if spectrum[i] < floor:
+                break
+            peaks.append(SpectrumPeak(float(grid[i]), 0.0, float(spectrum[i])))
+        return peaks
+
+    # ------------------------------------------------------------------
+    def estimate_trace_best(self, trace: CsiTrace) -> List[float]:
+        """Strongest-peak AoA per packet over a trace."""
+        aoas = []
+        for frame in trace:
+            peaks = self.estimate_packet(frame.csi)
+            if peaks:
+                aoas.append(peaks[0].aoa_deg)
+        return aoas
+
+    def estimate_trace_all(self, trace: CsiTrace) -> List[float]:
+        """Every peak AoA over all packets of a trace."""
+        aoas = []
+        for frame in trace:
+            aoas.extend(p.aoa_deg for p in self.estimate_packet(frame.csi))
+        return aoas

@@ -1,0 +1,88 @@
+"""RSSI-only trilateration baseline (the paper's Sec. 2 "RSSI based
+approaches" context: median accuracy 2-4 m).
+
+Converts each AP's RSSI into a distance estimate with a log-distance model
+and finds the position minimizing the squared range residuals.  The model
+parameters can be fixed a priori or profiled out per candidate exactly as
+the full localizer does — the latter mirrors deployments with unknown
+transmit power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.errors import LocalizationError
+from repro.geom.points import Point
+
+
+@dataclass(frozen=True)
+class RssiObservation:
+    """One AP's contribution: its position and the measured RSSI."""
+
+    position: Tuple[float, float]
+    rssi_dbm: float
+
+
+@dataclass
+class RssiLocalizer:
+    """Grid-search RSSI trilateration.
+
+    Attributes
+    ----------
+    bounds:
+        (x0, y0, x1, y1) search rectangle.
+    grid_step_m:
+        Grid resolution.
+    path_loss:
+        Fixed propagation model, or None to profile (P0, gamma) out per
+        candidate (recommended; transmit power is rarely known).
+    """
+
+    bounds: Tuple[float, float, float, float]
+    grid_step_m: float = 0.25
+    path_loss: Optional[LogDistancePathLoss] = None
+
+    def locate(self, observations: Sequence[RssiObservation]) -> Point:
+        """Position minimizing squared RSSI residuals over the grid."""
+        obs = [o for o in observations if np.isfinite(o.rssi_dbm)]
+        min_needed = 3 if self.path_loss is None else 2
+        if len(obs) < min_needed:
+            raise LocalizationError(
+                f"RSSI trilateration needs >= {min_needed} finite RSSI "
+                f"observations, got {len(obs)}"
+            )
+        x0, y0, x1, y1 = self.bounds
+        xs = np.arange(x0 + self.grid_step_m / 2, x1, self.grid_step_m)
+        ys = np.arange(y0 + self.grid_step_m / 2, y1, self.grid_step_m)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        candidates = np.stack([gx.ravel(), gy.ravel()], axis=1)  # (G, 2)
+        positions = np.array([o.position for o in obs])  # (R, 2)
+        rssi = np.array([o.rssi_dbm for o in obs])  # (R,)
+        dist = np.maximum(
+            np.linalg.norm(candidates[:, None, :] - positions[None, :, :], axis=2),
+            1e-3,
+        )
+        if self.path_loss is not None:
+            predicted = self.path_loss.rssi_dbm(dist)  # (G, R)
+        else:
+            x = -10.0 * np.log10(dist)
+            x_mean = x.mean(axis=1, keepdims=True)
+            p_mean = rssi.mean()
+            denom = np.sum((x - x_mean) ** 2, axis=1)
+            gamma = np.where(
+                denom > 1e-12,
+                np.sum((x - x_mean) * (rssi[None, :] - p_mean), axis=1)
+                / np.where(denom == 0, 1, denom),
+                2.5,
+            )
+            gamma = np.clip(gamma, 1.5, 6.0)
+            p0 = p_mean - gamma * x_mean[:, 0]
+            predicted = p0[:, None] + gamma[:, None] * x
+        cost = np.sum((predicted - rssi[None, :]) ** 2, axis=1)
+        best = int(np.argmin(cost))
+        return Point(float(candidates[best, 0]), float(candidates[best, 1]))

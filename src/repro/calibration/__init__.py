@@ -1,0 +1,12 @@
+"""Receive-chain phase calibration for commodity WiFi arrays.
+
+Commodity NICs have unknown static phase offsets between antenna chains
+that translate every AoA estimate (see `repro.channel.chains`).  This
+package estimates the offsets from reference transmissions at *known*
+positions — the one-time, per-AP calibration that systems like Phaser [8]
+and the paper's testbed perform before AoA localization works at all.
+"""
+
+from repro.calibration.estimator import CalibrationResult, calibrate_ap
+
+__all__ = ["CalibrationResult", "calibrate_ap"]

@@ -1,0 +1,121 @@
+"""Chain-offset estimation from known-position reference transmissions.
+
+Protocol: place a reference transmitter at one or more *known* positions
+with clear line of sight to the AP, record CSI bursts, and compare each
+antenna's measured phase against the phase the direct-path geometry
+predicts.  The per-antenna discrepancy, averaged circularly over
+subcarriers, packets and reference positions, is the chain offset.
+
+Accuracy relies on the direct path dominating the reference measurements,
+so calibration positions should be close to the AP and unobstructed —
+exactly how real deployments do it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.chains import ChainOffsets
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.geom.points import PointLike, as_point
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+from repro.wifi.ofdm import OfdmGrid
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one AP's calibration.
+
+    Attributes
+    ----------
+    offsets:
+        Estimated chain offsets (antenna 0 referenced to zero).
+    residual_rad:
+        RMS circular spread of the per-sample offset estimates — large
+        values mean the reference links were not direct-path dominated
+        and the calibration should be repeated.
+    num_samples:
+        Number of (packet x subcarrier x position) samples averaged.
+    """
+
+    offsets: ChainOffsets
+    residual_rad: float
+    num_samples: int
+
+
+def expected_antenna_phases(
+    array: UniformLinearArray, reference: PointLike, grid: OfdmGrid
+) -> np.ndarray:
+    """Geometric direct-path phase of each antenna relative to antenna 0.
+
+    Uses exact per-element distances (not the far-field approximation),
+    evaluated at the carrier; shape (num_antennas,).
+    """
+    ref = as_point(reference)
+    positions = array.element_positions()
+    dists = np.array([ref.distance_to((p[0], p[1])) for p in positions])
+    phases = -2.0 * np.pi * grid.carrier_freq_hz * (dists - dists[0]) / SPEED_OF_LIGHT
+    return phases
+
+
+def calibrate_ap(
+    array: UniformLinearArray,
+    grid: OfdmGrid,
+    references: Sequence[Tuple[PointLike, CsiTrace]],
+) -> CalibrationResult:
+    """Estimate an AP's chain offsets from known-position reference traces.
+
+    Parameters
+    ----------
+    array:
+        The AP's array geometry (position/orientation must be accurate).
+    grid:
+        OFDM grid of the CSI.
+    references:
+        (true position, recorded trace) pairs for one or more reference
+        transmissions.
+
+    Returns
+    -------
+    CalibrationResult
+        Offsets referenced to antenna 0, plus a quality residual.
+    """
+    if not references:
+        raise ConfigurationError("calibration needs at least one reference trace")
+    samples: List[np.ndarray] = []
+    for position, trace in references:
+        if len(trace) == 0:
+            raise ConfigurationError("calibration trace is empty")
+        if trace.num_antennas != array.num_antennas:
+            raise ConfigurationError(
+                f"trace has {trace.num_antennas} antennas, array has "
+                f"{array.num_antennas}"
+            )
+        geometry = expected_antenna_phases(array, position, grid)
+        for frame in trace:
+            # Phase of each antenna relative to antenna 0, per subcarrier.
+            rel = frame.csi * np.conj(frame.csi[0:1, :])
+            measured = np.angle(rel)  # (M, N)
+            # Subtract the geometric part; what remains is chain offset
+            # (plus noise).  Keep as unit phasors for circular averaging.
+            residual = measured - geometry[:, None]
+            samples.append(np.exp(1j * residual))
+    stacked = np.concatenate(samples, axis=1)  # (M, total_samples)
+    mean_phasor = stacked.mean(axis=1)
+    offsets = np.angle(mean_phasor)
+    offsets[0] = 0.0
+    # Circular spread: 1 - |mean phasor| in [0, 1]; convert to an
+    # RMS-radian-like score via sqrt(-2 ln R) (wrapped-normal relation).
+    resultant = np.abs(mean_phasor[1:])
+    resultant = np.clip(resultant, 1e-6, 1.0)
+    residual = float(np.sqrt(np.mean(-2.0 * np.log(resultant))))
+    return CalibrationResult(
+        offsets=ChainOffsets(offsets_rad=tuple(float(v) for v in offsets)),
+        residual_rad=residual,
+        num_samples=int(stacked.shape[1]),
+    )

@@ -1,0 +1,26 @@
+"""RF channel simulator: turns floorplan geometry into per-path
+(AoA, ToF, complex gain) profiles and synthesizes the CSI an Intel 5300
+would report for them, including the impairments SpotFi fights (STO, SFO,
+packet-detection delay, AWGN, 8-bit quantization)."""
+
+from repro.channel.chains import ChainOffsets
+from repro.channel.csi_model import ChannelSimulator, synthesize_csi
+from repro.channel.impairments import ImpairmentModel, ImpairmentState
+from repro.channel.materials import Material, MaterialLibrary
+from repro.channel.multipath import MultipathProfile, extract_profile
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.channel.paths import PropagationPath
+
+__all__ = [
+    "ChainOffsets",
+    "ChannelSimulator",
+    "ImpairmentModel",
+    "ImpairmentState",
+    "LogDistancePathLoss",
+    "Material",
+    "MaterialLibrary",
+    "MultipathProfile",
+    "PropagationPath",
+    "extract_profile",
+    "synthesize_csi",
+]

@@ -1,0 +1,229 @@
+"""CSI synthesis: from multipath profiles to the CSI matrices a NIC reports.
+
+For each path k with AoA theta_k, ToF tau_k and complex gain gamma_k, the
+clean CSI entry at antenna m (0-based) and reported subcarrier n is
+
+    H[m, n] = gamma_k * exp(-j 2 pi (f_n - f_c) tau_k)
+                      * exp(-j 2 pi f_n d m sin(theta_k) / c)
+
+summed over paths.  gamma_k's phase already carries the carrier-cycle
+propagation phase (-2 pi f_c tau_k, from the path length), so the product
+is the *exact* per-subcarrier propagation phase exp(-j 2 pi f_n tau_k).
+Using the exact per-subcarrier frequency f_n in the AoA term (instead of
+the carrier approximation of paper Eq. 1) gives the estimators realistic
+model mismatch to absorb — the paper shows this mismatch is negligible
+(Sec. 3.1.2), and our tests confirm it.
+
+:class:`ChannelSimulator` wires this synthesis to the ray tracer and the
+impairment model to produce complete :class:`~repro.wifi.csi.CsiTrace`
+objects, the input of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.channel.chains import ChainOffsets
+from repro.channel.impairments import ImpairmentModel, ImpairmentState
+from repro.channel.materials import DEFAULT_MATERIALS, MaterialLibrary
+from repro.channel.multipath import MultipathProfile, extract_profile
+from repro.channel.paths import PropagationPath
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.geom.floorplan import Floorplan
+from repro.geom.points import PointLike, as_point
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiFrame, CsiTrace
+from repro.wifi.ofdm import OfdmGrid
+
+
+def synthesize_csi(
+    paths: Union[MultipathProfile, Sequence[PropagationPath]],
+    array: UniformLinearArray,
+    grid: OfdmGrid,
+) -> np.ndarray:
+    """Clean (impairment-free) CSI matrix for ``paths`` at ``array`` on ``grid``.
+
+    Returns a complex array of shape (num_antennas, num_subcarriers).
+    """
+    path_list = list(paths)
+    if not path_list:
+        raise ConfigurationError("cannot synthesize CSI with zero paths")
+    freqs = grid.subcarrier_freqs_hz()  # absolute f_n, shape (N,)
+    f_c = grid.carrier_freq_hz
+    m = np.arange(array.num_antennas)  # (M,)
+    csi = np.zeros((array.num_antennas, grid.num_subcarriers), dtype=np.complex128)
+    for path in path_list:
+        sin_theta = np.sin(np.deg2rad(path.aoa_deg))
+        tof_phase = np.exp(-2j * np.pi * (freqs - f_c) * path.tof_s)  # (N,)
+        aoa_phase = np.exp(
+            -2j
+            * np.pi
+            * np.outer(m, freqs)
+            * array.spacing_m
+            * sin_theta
+            / SPEED_OF_LIGHT
+        )  # (M, N)
+        csi += path.gain * aoa_phase * tof_phase[None, :]
+    return csi
+
+
+@dataclass
+class ChannelSimulator:
+    """End-to-end CSI/RSSI generator for one floorplan.
+
+    Produces, for any (target position, AP array) pair, the multipath
+    profile, the per-packet impaired CSI frames, and the RSSI — everything
+    a SpotFi server would receive from that AP.
+
+    Attributes
+    ----------
+    floorplan:
+        Environment to ray-trace.
+    grid:
+        OFDM grid CSI is reported on (e.g. ``Intel5300().grid()``).
+    impairments:
+        Per-packet impairment model (STO/SFO/noise/quantization).
+    materials:
+        Material library for wall coefficients.
+    max_reflection_order:
+        Specular reflection order for the ray tracer.
+    max_paths:
+        Keep at most this many strongest paths per profile.
+    tx_power_dbm:
+        Target transmit power; sets the RSSI scale.
+    rssi_jitter_db:
+        Std-dev of per-packet RSSI measurement noise (dB).
+    fading_std_db:
+        Per-packet, per-path log-normal amplitude fading (dB std-dev).
+        0 (default) freezes the channel across the burst; small values
+        model residual environmental motion.
+    fading_phase_std_rad:
+        Per-packet, per-path phase jitter accompanying the fading.
+    """
+
+    floorplan: Floorplan
+    grid: OfdmGrid
+    impairments: ImpairmentModel = field(default_factory=ImpairmentModel)
+    materials: MaterialLibrary = DEFAULT_MATERIALS
+    max_reflection_order: int = 2
+    max_paths: int = 8
+    include_diffraction: bool = False
+    tx_power_dbm: float = 15.0
+    rssi_jitter_db: float = 1.0
+    fading_std_db: float = 0.0
+    fading_phase_std_rad: float = 0.0
+
+    def profile(
+        self, target: PointLike, array: UniformLinearArray
+    ) -> MultipathProfile:
+        """Ground-truth multipath profile from ``target`` to ``array``."""
+        wavelength = SPEED_OF_LIGHT / self.grid.carrier_freq_hz
+        return extract_profile(
+            floorplan=self.floorplan,
+            target=as_point(target),
+            array=array,
+            wavelength_m=wavelength,
+            max_reflection_order=self.max_reflection_order,
+            max_paths=self.max_paths,
+            materials=self.materials,
+            include_diffraction=self.include_diffraction,
+        )
+
+    def generate_trace(
+        self,
+        target: PointLike,
+        array: UniformLinearArray,
+        num_packets: int,
+        rng: Optional[np.random.Generator] = None,
+        packet_interval_s: float = 0.1,
+        source: str = "target",
+        profile: Optional[MultipathProfile] = None,
+        chain: Optional["ChainOffsets"] = None,
+    ) -> CsiTrace:
+        """Simulate ``num_packets`` received packets from ``target`` at ``array``.
+
+        Each packet gets its own impairment state (STO drift, noise draw,
+        quantization), optional per-path fading, and an RSSI reading
+        derived from the profile's total power plus measurement jitter,
+        rounded to the card's 1 dB step.  ``chain`` applies the AP's
+        receive-chain phase offsets (see `repro.channel.chains`).  The
+        paper's collection uses 500 packets at 100 ms intervals
+        (Sec. 4.3.1); those are the defaults upstream.
+        """
+        if num_packets < 1:
+            raise ConfigurationError(f"num_packets must be >= 1, got {num_packets}")
+        rng = np.random.default_rng() if rng is None else rng
+        if profile is None:
+            profile = self.profile(target, array)
+        if profile.num_paths == 0:
+            raise ConfigurationError(
+                f"no propagation paths from {as_point(target)} to AP at "
+                f"{array.position}; target may be fully shielded"
+            )
+        fading = self.fading_std_db > 0 or self.fading_phase_std_rad > 0
+        clean = None if fading else synthesize_csi(profile, array, self.grid)
+        base_rssi = profile.rssi_dbm(self.tx_power_dbm)
+        frames = []
+        for i in range(num_packets):
+            if fading:
+                clean = synthesize_csi(self._faded(profile, rng), array, self.grid)
+            state = self.impairments.draw_state(i, rng)
+            csi = clean
+            if chain is not None:
+                csi = chain.apply(csi)
+            csi = self.impairments.apply(
+                csi, state, self.grid.subcarrier_spacing_hz, rng
+            )
+            rssi = base_rssi
+            if self.rssi_jitter_db > 0:
+                rssi += rng.normal(0.0, self.rssi_jitter_db)
+            frames.append(
+                CsiFrame(
+                    csi=csi,
+                    rssi_dbm=float(np.round(rssi)),
+                    timestamp_s=i * packet_interval_s,
+                    source=source,
+                )
+            )
+        return CsiTrace(frames)
+
+    def _faded(
+        self, profile: MultipathProfile, rng: np.random.Generator
+    ) -> MultipathProfile:
+        """One packet's fading realization of a multipath profile."""
+        paths = []
+        for path in profile:
+            amp = 10.0 ** (rng.normal(0.0, self.fading_std_db) / 20.0)
+            phase = (
+                rng.normal(0.0, self.fading_phase_std_rad)
+                if self.fading_phase_std_rad > 0
+                else 0.0
+            )
+            paths.append(
+                PropagationPath(
+                    aoa_deg=path.aoa_deg,
+                    tof_s=path.tof_s,
+                    gain=path.gain * amp * np.exp(1j * phase),
+                    kind=path.kind,
+                    length_m=path.length_m,
+                )
+            )
+        return MultipathProfile(paths=paths)
+
+    def generate_traces(
+        self,
+        target: PointLike,
+        arrays: Iterable[UniformLinearArray],
+        num_packets: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "list[CsiTrace]":
+        """Traces from one target to several APs (shared packet schedule)."""
+        rng = np.random.default_rng() if rng is None else rng
+        return [
+            self.generate_trace(target, array, num_packets, rng=rng)
+            for array in arrays
+        ]

@@ -1,0 +1,102 @@
+"""Wall materials: reflection and through-wall transmission coefficients.
+
+Values are representative of 5 GHz indoor propagation measurements
+(cf. the TGn channel model document the paper cites [70]); they need only
+be *plausible*, since the evaluation compares algorithms on the same
+simulated channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Material:
+    """Electromagnetic behaviour of a wall material at ~5 GHz.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by wall segments.
+    reflectivity:
+        Linear amplitude reflection coefficient magnitude at normal
+        incidence, in [0, 1].  Actual reflection grows toward grazing
+        incidence (handled by the channel model).
+    transmission_loss_db:
+        One-pass through-wall power loss in dB (positive number).
+    reflection_phase_rad:
+        Phase shift applied on reflection (pi for a good conductor /
+        dielectric at near-normal incidence).
+    """
+
+    name: str
+    reflectivity: float
+    transmission_loss_db: float
+    reflection_phase_rad: float = 3.141592653589793
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reflectivity <= 1.0:
+            raise ConfigurationError(
+                f"reflectivity must be in [0, 1], got {self.reflectivity}"
+            )
+        if self.transmission_loss_db < 0.0:
+            raise ConfigurationError(
+                f"transmission loss must be >= 0 dB, got {self.transmission_loss_db}"
+            )
+
+    @property
+    def transmission_amplitude(self) -> float:
+        """Linear amplitude transmission coefficient through the wall."""
+        return 10.0 ** (-self.transmission_loss_db / 20.0)
+
+
+#: Representative 5 GHz materials.
+_DEFAULTS = (
+    Material("drywall", reflectivity=0.35, transmission_loss_db=4.0),
+    Material("concrete", reflectivity=0.60, transmission_loss_db=14.0),
+    Material("brick", reflectivity=0.55, transmission_loss_db=10.0),
+    Material("glass", reflectivity=0.40, transmission_loss_db=3.0),
+    Material("metal", reflectivity=0.95, transmission_loss_db=30.0),
+    Material("wood", reflectivity=0.30, transmission_loss_db=5.0),
+    Material("elevator", reflectivity=0.90, transmission_loss_db=25.0),
+)
+
+
+class MaterialLibrary:
+    """Registry resolving material names to :class:`Material` records."""
+
+    def __init__(self, materials: "tuple[Material, ...]" = _DEFAULTS) -> None:
+        self._by_name: Dict[str, Material] = {}
+        for material in materials:
+            self.register(material)
+
+    def register(self, material: Material) -> None:
+        """Add or replace a material."""
+        self._by_name[material.name] = material
+
+    def get(self, name: str) -> Material:
+        """Look up a material by name; unknown names raise ConfigurationError."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown material {name!r}; known: {sorted(self._by_name)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Material]:
+        return iter(self._by_name.values())
+
+    def names(self) -> "list[str]":
+        return sorted(self._by_name)
+
+
+#: Module-level default library; floorplans resolve against this unless a
+#: simulator is configured with a custom one.
+DEFAULT_MATERIALS = MaterialLibrary()

@@ -1,0 +1,85 @@
+"""Log-distance path-loss model.
+
+SpotFi's localization objective (paper Eq. 9) compares the observed RSSI at
+each AP with the RSSI "that would have been observed ... if the target was
+transmitting from that location", under "a standard widely used path loss
+model" [3, 71].  This is the classic log-distance model
+
+    RSSI(d) = P0 - 10 * gamma * log10(d / d0)
+
+with reference power P0 at distance d0 and path-loss exponent gamma.  The
+localization solver treats (P0, gamma) as nuisance parameters and fits them
+jointly with the position (Algorithm 2 line 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """RSSI(d) = p0_dbm - 10 * exponent * log10(d / d0_m).
+
+    Attributes
+    ----------
+    p0_dbm:
+        RSSI at the reference distance.
+    exponent:
+        Path-loss exponent gamma (2 free space; 2.5-4 indoors NLoS).
+    d0_m:
+        Reference distance, 1 m by convention.
+    """
+
+    p0_dbm: float = -40.0
+    exponent: float = 2.5
+    d0_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.d0_m <= 0:
+            raise ConfigurationError(f"reference distance must be > 0, got {self.d0_m}")
+        if self.exponent <= 0:
+            raise ConfigurationError(f"path-loss exponent must be > 0, got {self.exponent}")
+
+    def rssi_dbm(self, distance_m) -> np.ndarray:
+        """Predicted RSSI at ``distance_m`` (scalar or array)."""
+        d = np.maximum(np.asarray(distance_m, dtype=float), 1e-3)
+        return self.p0_dbm - 10.0 * self.exponent * np.log10(d / self.d0_m)
+
+    def distance_m(self, rssi_dbm) -> np.ndarray:
+        """Invert the model: distance that predicts ``rssi_dbm``."""
+        r = np.asarray(rssi_dbm, dtype=float)
+        return self.d0_m * 10.0 ** ((self.p0_dbm - r) / (10.0 * self.exponent))
+
+
+def fit_path_loss(
+    distances_m: Sequence[float],
+    rssi_dbm: Sequence[float],
+    d0_m: float = 1.0,
+) -> Tuple[LogDistancePathLoss, float]:
+    """Least-squares fit of (P0, gamma) to (distance, RSSI) samples.
+
+    Returns the fitted model and the RMS residual (dB).  Needs at least two
+    samples at distinct distances.
+    """
+    d = np.asarray(distances_m, dtype=float)
+    r = np.asarray(rssi_dbm, dtype=float)
+    if d.shape != r.shape or d.ndim != 1:
+        raise ConfigurationError("distances and RSSI must be equal-length 1-D arrays")
+    mask = np.isfinite(d) & np.isfinite(r) & (d > 0)
+    d, r = d[mask], r[mask]
+    if d.size < 2 or np.allclose(d, d[0]):
+        raise ConfigurationError("need >= 2 samples at distinct distances to fit")
+    x = -10.0 * np.log10(d / d0_m)
+    design = np.stack([np.ones_like(x), x], axis=1)
+    coef, *_ = np.linalg.lstsq(design, r, rcond=None)
+    p0, gamma = float(coef[0]), float(coef[1])
+    gamma = max(gamma, 1e-3)
+    model = LogDistancePathLoss(p0_dbm=p0, exponent=gamma, d0_m=d0_m)
+    rms = float(np.sqrt(np.mean((model.rssi_dbm(d) - r) ** 2)))
+    return model, rms

@@ -1,0 +1,91 @@
+"""Physical propagation paths: the (AoA, ToF, complex gain) triple.
+
+This is the ground-truth analogue of what SpotFi estimates — Sec. 3.1's
+model where each path k has AoA theta_k, ToF tau_k, and complex attenuation
+gamma_k at the first antenna.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PropagationPath:
+    """One resolvable propagation path arriving at an AP's array.
+
+    Attributes
+    ----------
+    aoa_deg:
+        Angle of arrival relative to the array normal, degrees, in
+        [-90, 90] for paths arriving from the front half-plane.
+    tof_s:
+        Absolute time of flight (s) — length / c.  Estimators never see
+        this directly; the impairment model adds the STO before they do.
+    gain:
+        Complex attenuation gamma_k at the first antenna and first
+        subcarrier: amplitude from Friis + interactions, phase from the
+        carrier-cycle path length and reflection phases.
+    kind:
+        Provenance label ("direct", "reflection", "scatter") for analysis.
+    length_m:
+        Geometric path length, if known (0 means unknown).
+    """
+
+    aoa_deg: float
+    tof_s: float
+    gain: complex
+    kind: str = "direct"
+    length_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tof_s < 0:
+            raise ConfigurationError(f"ToF must be >= 0, got {self.tof_s}")
+        if not np.isfinite(self.aoa_deg):
+            raise ConfigurationError(f"AoA must be finite, got {self.aoa_deg}")
+
+    @property
+    def power_db(self) -> float:
+        """Path power 20*log10|gain| (dB relative to unit transmit amplitude)."""
+        mag = abs(self.gain)
+        if mag == 0.0:
+            return float("-inf")
+        return float(20.0 * np.log10(mag))
+
+    @property
+    def is_direct(self) -> bool:
+        return self.kind == "direct"
+
+    def delayed(self, extra_delay_s: float) -> "PropagationPath":
+        """A copy of this path with ``extra_delay_s`` added to its ToF."""
+        return PropagationPath(
+            aoa_deg=self.aoa_deg,
+            tof_s=self.tof_s + extra_delay_s,
+            gain=self.gain,
+            kind=self.kind,
+            length_m=self.length_m,
+        )
+
+
+def path_from_length(
+    aoa_deg: float,
+    length_m: float,
+    gain: complex,
+    kind: str = "direct",
+) -> PropagationPath:
+    """Convenience constructor deriving ToF from the geometric length."""
+    if length_m <= 0:
+        raise ConfigurationError(f"path length must be positive, got {length_m}")
+    return PropagationPath(
+        aoa_deg=aoa_deg,
+        tof_s=length_m / SPEED_OF_LIGHT,
+        gain=gain,
+        kind=kind,
+        length_m=length_m,
+    )

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — simulate a collection burst on a built-in testbed and
+  save it as a portable ``.npz`` dataset.
+* ``locate`` — localize a saved dataset with SpotFi (optionally also the
+  ArrayTrack baseline) and print the fix.
+* ``inspect`` — summarize a saved dataset (APs, packets, RSSI, truth).
+* ``floorplan`` — render a testbed's floorplan, APs and targets as ASCII.
+
+Testbeds: ``office`` (the paper's Fig. 6 floor), ``home`` (a 4-room
+apartment), ``small`` (a single room for quick tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.arraytrack import ArrayTrack
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.errors import ReproError
+from repro.io.traces import LocationDataset, load_dataset, save_dataset
+from repro.testbed.collection import as_ap_trace_pairs, collect_location
+from repro.testbed.layout import Testbed, home_testbed, office_testbed, small_testbed
+from repro.wifi.intel5300 import Intel5300
+
+_TESTBEDS = {"office": office_testbed, "small": small_testbed, "home": home_testbed}
+
+
+def _get_testbed(name: str) -> Testbed:
+    try:
+        return _TESTBEDS[name]()
+    except KeyError:
+        raise ReproError(
+            f"unknown testbed {name!r}; available: {sorted(_TESTBEDS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# simulate
+# ----------------------------------------------------------------------
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Simulate a collection burst and save it as .npz."""
+    testbed = _get_testbed(args.testbed)
+    if args.target_label:
+        matches = [t for t in testbed.targets if t.label == args.target_label]
+        if not matches:
+            raise ReproError(
+                f"no target labeled {args.target_label!r}; try `floorplan`"
+            )
+        target = matches[0].position
+    elif args.x is not None and args.y is not None:
+        target = (args.x, args.y)
+    else:
+        target = testbed.targets[0].position
+    sim = testbed.simulator()
+    rng = np.random.default_rng(args.seed)
+    recordings = collect_location(
+        sim, target, testbed.aps, num_packets=args.packets, rng=rng
+    )
+    if not recordings:
+        raise ReproError("no AP heard the target at that location")
+    dataset = LocationDataset(
+        ap_arrays=[r.array for r in recordings],
+        traces=[r.trace for r in recordings],
+        target=target,
+        name=f"{args.testbed}-simulated",
+    )
+    path = save_dataset(dataset, args.output)
+    print(
+        f"simulated {len(recordings)} AP traces x {args.packets} packets "
+        f"at ({target[0]:.2f}, {target[1]:.2f}) -> {path}"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# locate
+# ----------------------------------------------------------------------
+def cmd_locate(args: argparse.Namespace) -> int:
+    """Localize a saved dataset with SpotFi (optionally the baseline)."""
+    dataset = load_dataset(args.dataset)
+    testbed = _get_testbed(args.testbed)
+    grid = Intel5300().grid()
+    config = SpotFiConfig(
+        packets_per_fix=args.packets, estimation=args.estimation
+    )
+    spotfi = SpotFi(
+        grid, bounds=testbed.bounds, config=config, rng=np.random.default_rng(0)
+    )
+    fix = spotfi.locate(dataset.ap_trace_pairs())
+    print(f"SpotFi fix     : ({fix.position.x:.2f}, {fix.position.y:.2f}) m")
+    if dataset.target is not None:
+        print(f"ground truth   : ({dataset.target.x:.2f}, {dataset.target.y:.2f}) m")
+        print(f"SpotFi error   : {fix.error_to(dataset.target):.2f} m")
+    for r in fix.reports:
+        if r.usable:
+            print(
+                f"  AP {tuple(r.array.position)}: AoA {r.direct.aoa_deg:+6.1f} deg, "
+                f"likelihood {r.direct.likelihood:.2f}, RSSI {r.rssi_dbm:.0f} dBm"
+            )
+    if args.arraytrack:
+        at = ArrayTrack(grid, bounds=testbed.bounds, packets_per_fix=args.packets)
+        result = at.locate(dataset.ap_trace_pairs())
+        print(f"ArrayTrack fix : ({result.position.x:.2f}, {result.position.y:.2f}) m")
+        if dataset.target is not None:
+            print(f"ArrayTrack err : {result.error_to(dataset.target):.2f} m")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# inspect
+# ----------------------------------------------------------------------
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Print a saved dataset's APs, packet counts and ground truth."""
+    dataset = load_dataset(args.dataset)
+    print(f"dataset  : {dataset.name or '(unnamed)'}")
+    print(f"APs      : {dataset.num_aps}")
+    if dataset.target is not None:
+        print(f"truth    : ({dataset.target.x:.2f}, {dataset.target.y:.2f}) m")
+    for i, (array, trace) in enumerate(zip(dataset.ap_arrays, dataset.traces)):
+        print(
+            f"  AP {i}: {array.num_antennas} antennas at "
+            f"({array.position[0]:.2f}, {array.position[1]:.2f}), normal "
+            f"{array.normal_deg:+.0f} deg, {len(trace)} packets, "
+            f"median RSSI {trace.median_rssi_dbm():.0f} dBm"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# floorplan
+# ----------------------------------------------------------------------
+def render_floorplan(testbed: Testbed, cols: int = 90, rows: int = 26) -> str:
+    """Rasterize walls, scatterers, APs and targets into ASCII art."""
+    x0, y0, x1, y1 = testbed.bounds
+    canvas = [[" "] * cols for _ in range(rows)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        c = int((x - x0) / (x1 - x0) * (cols - 1))
+        r = int((1.0 - (y - y0) / (y1 - y0)) * (rows - 1))
+        canvas[max(0, min(rows - 1, r))][max(0, min(cols - 1, c))] = ch
+
+    for wall in testbed.floorplan.walls:
+        steps = max(2, int(wall.length * 4))
+        for t in np.linspace(0.0, 1.0, steps):
+            p = wall.point_at(float(t))
+            put(p.x, p.y, "#")
+    for scatterer in testbed.floorplan.scatterers:
+        put(scatterer.position.x, scatterer.position.y, "*")
+    for spot in testbed.targets:
+        put(spot.position.x, spot.position.y, "o")
+    for ap in testbed.aps:
+        put(ap.position[0], ap.position[1], "A")
+    lines = ["".join(row) for row in canvas]
+    legend = "# wall   * scatterer   o target   A access point"
+    return "\n".join(lines) + "\n" + legend
+
+
+def cmd_floorplan(args: argparse.Namespace) -> int:
+    """Render a testbed floorplan as ASCII art."""
+    testbed = _get_testbed(args.testbed)
+    print(f"testbed '{testbed.name}': bounds {testbed.bounds}")
+    print(render_floorplan(testbed, cols=args.width))
+    print(f"{len(testbed.targets)} targets, {len(testbed.aps)} APs")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SpotFi reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="simulate a collection burst to .npz")
+    p.add_argument("output", help="output .npz path")
+    p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
+    p.add_argument("--target-label", default="", help="target label (see floorplan)")
+    p.add_argument("--x", type=float, default=None)
+    p.add_argument("--y", type=float, default=None)
+    p.add_argument("--packets", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("locate", help="localize a saved dataset")
+    p.add_argument("dataset", help=".npz dataset path")
+    p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
+    p.add_argument("--packets", type=int, default=40)
+    p.add_argument("--estimation", default="music", choices=("music", "esprit"))
+    p.add_argument("--arraytrack", action="store_true", help="also run the baseline")
+    p.set_defaults(func=cmd_locate)
+
+    p = sub.add_parser("inspect", help="summarize a saved dataset")
+    p.add_argument("dataset", help=".npz dataset path")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("floorplan", help="render a testbed as ASCII")
+    p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
+    p.add_argument("--width", type=int, default=90)
+    p.set_defaults(func=cmd_floorplan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

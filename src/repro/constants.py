@@ -1,0 +1,62 @@
+"""Physical and 802.11 constants used throughout the library.
+
+All quantities are in SI units unless the name says otherwise: distances in
+meters, times in seconds, frequencies in hertz, angles in radians (helper
+converters are provided for the degree-facing public API).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s).  The paper's phase model (Eq. 1) divides
+#: by this, so we keep the exact SI-defined value.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Center frequency of 802.11n channel 36 (5 GHz band).  The paper's
+#: prototype operates in the 5 GHz band "because of firmware limitations".
+DEFAULT_CARRIER_FREQ_HZ = 5.18e9
+
+#: 802.11n subcarrier spacing: 312.5 kHz for both 20 and 40 MHz channels.
+SUBCARRIER_SPACING_HZ = 312.5e3
+
+#: Number of antennas on the Intel 5300 NIC used by the paper.
+INTEL5300_NUM_ANTENNAS = 3
+
+#: Number of subcarriers the Intel 5300 firmware reports CSI for
+#: (30 of the 114 populated subcarriers of a 40 MHz channel).
+INTEL5300_NUM_SUBCARRIERS = 30
+
+#: The Intel 5300 reports grouped subcarriers.  In a 40 MHz HT channel the
+#: reported grouping steps by 4 physical subcarriers, so consecutive
+#: *reported* CSI entries are 4 x 312.5 kHz apart.  SpotFi's Omega term
+#: (Eq. 6) uses the spacing between consecutive reported entries.
+INTEL5300_GROUPING = 4
+
+#: Effective frequency spacing between consecutive reported CSI entries.
+INTEL5300_REPORTED_SPACING_HZ = INTEL5300_GROUPING * SUBCARRIER_SPACING_HZ
+
+#: Maximum unambiguous ToF for the reported spacing: Omega(tau) has period
+#: 1 / f_delta, i.e. 800 ns for 1.25 MHz spacing.  Estimated ToFs are only
+#: meaningful modulo this value (and are relative anyway, Sec. 3.2).
+INTEL5300_TOF_AMBIGUITY_S = 1.0 / INTEL5300_REPORTED_SPACING_HZ
+
+#: Default antenna spacing: half a wavelength at the default carrier.
+HALF_WAVELENGTH_M = SPEED_OF_LIGHT / DEFAULT_CARRIER_FREQ_HZ / 2.0
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Return the free-space wavelength (m) at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def deg2rad(degrees: float) -> float:
+    """Convert degrees to radians (thin wrapper for symmetric naming)."""
+    return math.radians(degrees)
+
+
+def rad2deg(radians: float) -> float:
+    """Convert radians to degrees (thin wrapper for symmetric naming)."""
+    return math.degrees(radians)

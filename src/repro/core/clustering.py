@@ -1,0 +1,281 @@
+"""Clustering of multi-packet (AoA, ToF) estimates — paper Sec. 3.2.3.
+
+Estimates from the same physical path across packets cluster together in
+the 2-D (AoA, ToF) plane; the cluster tightness feeds the direct-path
+likelihood.  The paper uses "Gaussian Mean clustering ... with five
+clusters"; we implement an EM Gaussian mixture (diagonal covariances,
+k-means++ initialization) plus a plain k-means fallback, both from scratch
+(no sklearn), and normalize both axes to a common range as the paper's
+Fig. 5(c) does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import PathEstimate
+from repro.errors import ClusteringError
+
+#: Paper's cluster count: "typically we see at best five significant paths".
+DEFAULT_NUM_CLUSTERS = 5
+
+
+# ----------------------------------------------------------------------
+# K-means
+# ----------------------------------------------------------------------
+@dataclass
+class KMeans:
+    """Plain k-means with k-means++ seeding.
+
+    Attributes
+    ----------
+    num_clusters:
+        Target k; silently reduced if there are fewer distinct points.
+    max_iter:
+        Lloyd iteration cap.
+    tol:
+        Relative center-movement convergence threshold.
+    """
+
+    num_clusters: int = DEFAULT_NUM_CLUSTERS
+    max_iter: int = 100
+    tol: float = 1e-6
+
+    def fit(
+        self, points: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cluster ``points`` (n, d); returns (labels (n,), centers (k, d))."""
+        x = _validate_points(points)
+        rng = np.random.default_rng(0) if rng is None else rng
+        k = min(self.num_clusters, len(np.unique(x, axis=0)))
+        centers = _kmeanspp_init(x, k, rng)
+        labels = np.zeros(len(x), dtype=int)
+        for _ in range(self.max_iter):
+            dists = _sq_distances(x, centers)
+            labels = np.argmin(dists, axis=1)
+            new_centers = centers.copy()
+            for j in range(k):
+                members = x[labels == j]
+                if len(members):
+                    new_centers[j] = members.mean(axis=0)
+            shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        return labels, centers
+
+
+def _validate_points(points: np.ndarray) -> np.ndarray:
+    x = np.asarray(points, dtype=float)
+    if x.ndim != 2 or x.shape[0] < 1:
+        raise ClusteringError(f"points must be a non-empty (n, d) array, got {x.shape}")
+    if not np.all(np.isfinite(x)):
+        raise ClusteringError("points contain non-finite values")
+    return x
+
+
+def _sq_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    diff = x[:, None, :] - centers[None, :, :]
+    return np.sum(diff**2, axis=2)
+
+
+def _kmeanspp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    centers = [x[rng.integers(len(x))]]
+    while len(centers) < k:
+        d2 = np.min(_sq_distances(x, np.asarray(centers)), axis=1)
+        total = d2.sum()
+        if total <= 0:
+            centers.append(x[rng.integers(len(x))])
+            continue
+        probs = d2 / total
+        centers.append(x[rng.choice(len(x), p=probs)])
+    return np.asarray(centers, dtype=float)
+
+
+# ----------------------------------------------------------------------
+# Gaussian mixture (EM, diagonal covariances)
+# ----------------------------------------------------------------------
+@dataclass
+class GaussianMixture:
+    """EM Gaussian mixture with diagonal covariances.
+
+    Attributes
+    ----------
+    num_components:
+        Mixture size (reduced automatically for tiny datasets).
+    max_iter:
+        EM iteration cap.
+    tol:
+        Log-likelihood convergence threshold (per point).
+    min_var:
+        Variance floor preventing singular components.
+    """
+
+    num_components: int = DEFAULT_NUM_CLUSTERS
+    max_iter: int = 200
+    tol: float = 1e-7
+    min_var: float = 1e-6
+
+    def fit(
+        self, points: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fit the mixture; returns (labels, means, variances).
+
+        ``labels`` are the hard (argmax-responsibility) assignments,
+        ``means``/``variances`` have shape (k, d).
+        """
+        x = _validate_points(points)
+        rng = np.random.default_rng(0) if rng is None else rng
+        n, d = x.shape
+        # Initialize from k-means.
+        labels, centers = KMeans(num_clusters=self.num_components).fit(x, rng)
+        k = len(centers)
+        means = centers.copy()
+        variances = np.empty((k, d))
+        weights = np.empty(k)
+        for j in range(k):
+            members = x[labels == j]
+            weights[j] = max(len(members), 1) / n
+            if len(members) > 1:
+                variances[j] = np.maximum(members.var(axis=0), self.min_var)
+            else:
+                variances[j] = np.maximum(x.var(axis=0), self.min_var)
+        weights /= weights.sum()
+
+        prev_ll = -np.inf
+        resp = np.zeros((n, k))
+        for _ in range(self.max_iter):
+            # E step: log responsibilities under diagonal Gaussians.
+            log_prob = -0.5 * (
+                np.sum(
+                    (x[:, None, :] - means[None, :, :]) ** 2 / variances[None, :, :],
+                    axis=2,
+                )
+                + np.sum(np.log(2.0 * np.pi * variances), axis=1)[None, :]
+            )
+            log_prob += np.log(np.maximum(weights, 1e-300))[None, :]
+            log_norm = _logsumexp(log_prob, axis=1)
+            resp = np.exp(log_prob - log_norm[:, None])
+            ll = float(np.mean(log_norm))
+            # M step.
+            nk = resp.sum(axis=0) + 1e-12
+            weights = nk / n
+            means = (resp.T @ x) / nk[:, None]
+            diff2 = (x[:, None, :] - means[None, :, :]) ** 2
+            variances = np.maximum(
+                np.einsum("nk,nkd->kd", resp, diff2) / nk[:, None], self.min_var
+            )
+            if abs(ll - prev_ll) < self.tol:
+                break
+            prev_ll = ll
+        labels = np.argmax(resp, axis=1)
+        return labels, means, variances
+
+
+def _logsumexp(a: np.ndarray, axis: int) -> np.ndarray:
+    peak = np.max(a, axis=axis, keepdims=True)
+    return (peak + np.log(np.sum(np.exp(a - peak), axis=axis, keepdims=True))).squeeze(
+        axis
+    )
+
+
+# ----------------------------------------------------------------------
+# Path clusters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PathCluster:
+    """Statistics of one (AoA, ToF) cluster — the inputs of Eq. 8.
+
+    Attributes
+    ----------
+    mean_aoa_deg, mean_tof_s:
+        Cluster means — the AoA/ToF estimate for the underlying path.
+    var_aoa_deg2, var_tof_s2:
+        Population variances of the members (paper's sigma-bar terms).
+    count:
+        Number of member points (paper's C-bar).
+    mean_power:
+        Mean MUSIC spectrum power of members (used by the CUPID baseline).
+    member_indices:
+        Indices into the estimate list this cluster was built from.
+    """
+
+    mean_aoa_deg: float
+    mean_tof_s: float
+    var_aoa_deg2: float
+    var_tof_s2: float
+    count: int
+    mean_power: float
+    member_indices: Tuple[int, ...] = ()
+
+
+def _normalize_columns(x: np.ndarray) -> np.ndarray:
+    """Scale each column to [0, 1] (constant columns map to 0)."""
+    out = np.zeros_like(x)
+    for j in range(x.shape[1]):
+        col = x[:, j]
+        span = col.max() - col.min()
+        if span > 0:
+            out[:, j] = (col - col.min()) / span
+    return out
+
+
+def cluster_estimates(
+    estimates: Sequence[PathEstimate],
+    num_clusters: int = DEFAULT_NUM_CLUSTERS,
+    method: str = "gmm",
+    rng: Optional[np.random.Generator] = None,
+    min_cluster_size: int = 1,
+) -> List[PathCluster]:
+    """Cluster multi-packet path estimates into per-path groups.
+
+    AoA and ToF are min-max normalized to a common [0, 1] range before
+    clustering, as in paper Fig. 5(c).  ``method`` is ``"gmm"`` (default,
+    the paper's Gaussian clustering) or ``"kmeans"``.
+
+    Returns clusters with at least ``min_cluster_size`` members, sorted by
+    descending size.  Raises :class:`ClusteringError` for an empty input.
+    """
+    points_list = list(estimates)
+    if not points_list:
+        raise ClusteringError("no path estimates to cluster")
+    raw = np.array([[e.aoa_deg, e.tof_s] for e in points_list], dtype=float)
+    powers = np.array([e.power for e in points_list], dtype=float)
+    normalized = _normalize_columns(raw)
+    rng = np.random.default_rng(0) if rng is None else rng
+
+    k = min(num_clusters, len(points_list))
+    if method == "gmm":
+        labels, _, _ = GaussianMixture(num_components=k).fit(normalized, rng)
+    elif method == "kmeans":
+        labels, _ = KMeans(num_clusters=k).fit(normalized, rng)
+    else:
+        raise ClusteringError(f"unknown clustering method {method!r}")
+
+    clusters: List[PathCluster] = []
+    for label in np.unique(labels):
+        idx = np.nonzero(labels == label)[0]
+        if len(idx) < min_cluster_size:
+            continue
+        aoas = raw[idx, 0]
+        tofs = raw[idx, 1]
+        clusters.append(
+            PathCluster(
+                mean_aoa_deg=float(aoas.mean()),
+                mean_tof_s=float(tofs.mean()),
+                var_aoa_deg2=float(aoas.var()),
+                var_tof_s2=float(tofs.var()),
+                count=int(len(idx)),
+                mean_power=float(powers[idx].mean()),
+                member_indices=tuple(int(i) for i in idx),
+            )
+        )
+    if not clusters:
+        raise ClusteringError(
+            f"all clusters smaller than min_cluster_size={min_cluster_size}"
+        )
+    clusters.sort(key=lambda c: -c.count)
+    return clusters

@@ -1,0 +1,88 @@
+"""Direct-path selection (paper Alg. 2 lines 9-10).
+
+SpotFi declares the cluster with the highest Eq. 8 likelihood as the direct
+path, and carries both its AoA and the likelihood value forward to the
+localization stage (which uses the likelihood as the AP's weight in Eq. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clustering import PathCluster, cluster_estimates
+from repro.core.estimator import PathEstimate
+from repro.core.likelihood import DEFAULT_WEIGHTS, LikelihoodWeights, path_likelihoods
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class DirectPathEstimate:
+    """One AP's direct-path verdict.
+
+    Attributes
+    ----------
+    aoa_deg:
+        Direct-path AoA estimate (the selected cluster's mean).
+    tof_s:
+        Relative ToF of the selected cluster (diagnostic only).
+    likelihood:
+        Eq. 8 likelihood of the selected cluster — the l_i of Eq. 9.
+    cluster:
+        The winning cluster.
+    all_clusters:
+        Every cluster considered, with :attr:`all_likelihoods` aligned.
+    all_likelihoods:
+        Likelihood of each cluster in :attr:`all_clusters`.
+    """
+
+    aoa_deg: float
+    tof_s: float
+    likelihood: float
+    cluster: PathCluster
+    all_clusters: tuple = ()
+    all_likelihoods: tuple = ()
+
+
+def select_direct_path(
+    clusters: Sequence[PathCluster],
+    weights: LikelihoodWeights = DEFAULT_WEIGHTS,
+) -> DirectPathEstimate:
+    """Pick the highest-likelihood cluster as the direct path."""
+    cluster_list = list(clusters)
+    likelihoods = path_likelihoods(cluster_list, weights)
+    best = int(np.argmax(likelihoods))
+    winner = cluster_list[best]
+    return DirectPathEstimate(
+        aoa_deg=winner.mean_aoa_deg,
+        tof_s=winner.mean_tof_s,
+        likelihood=float(likelihoods[best]),
+        cluster=winner,
+        all_clusters=tuple(cluster_list),
+        all_likelihoods=tuple(likelihoods),
+    )
+
+
+def direct_path_from_estimates(
+    estimates: Sequence[PathEstimate],
+    num_clusters: int = 5,
+    weights: LikelihoodWeights = DEFAULT_WEIGHTS,
+    method: str = "gmm",
+    rng: Optional[np.random.Generator] = None,
+    min_cluster_size: int = 1,
+) -> DirectPathEstimate:
+    """Cluster raw per-packet estimates and select the direct path.
+
+    Convenience wrapper fusing Sec. 3.2.3's two steps; raises
+    :class:`ClusteringError` when there are no estimates.
+    """
+    clusters = cluster_estimates(
+        estimates,
+        num_clusters=num_clusters,
+        method=method,
+        rng=rng,
+        min_cluster_size=min_cluster_size,
+    )
+    return select_direct_path(clusters, weights)

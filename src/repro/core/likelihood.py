@@ -1,0 +1,112 @@
+"""Direct-path likelihood — paper Eq. 8 (Sec. 3.2.3).
+
+Each cluster k gets
+
+    likelihood_k = exp(w_C C_k - w_theta var_theta_k - w_tau var_tau_k - w_s tau_k)
+
+rewarding big, tight clusters with small mean ToF.  The paper notes the
+weights exist "to account for different scales of the corresponding terms";
+we make that concrete by normalizing every term by its maximum over the
+cluster set before weighting, so the weights are scale-free and the
+likelihoods of different APs are mutually comparable (they feed the l_i
+weights of Eq. 9).  Raw (unnormalized) evaluation is available for the
+weight-ablation benchmark.
+
+The default weights (tuned on the simulated testbed, Fig. 8(b) benchmark)
+put the strongest prior on the smallest-ToF term — the direct path cannot
+arrive late — with the cluster-size term guarding against spurious early
+clusters and the variance terms breaking ties toward stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.clustering import PathCluster
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class LikelihoodWeights:
+    """Weights of Eq. 8 (applied to max-normalized terms by default).
+
+    Attributes
+    ----------
+    w_count:
+        Reward for the number of points in the cluster (w_C).
+    w_aoa_var:
+        Penalty for AoA variance (w_theta).
+    w_tof_var:
+        Penalty for ToF variance (w_tau).
+    w_tof_mean:
+        Penalty for large mean ToF (w_s) — the direct path has the
+        smallest ToF.
+    normalize:
+        If True (default), each term is divided by its maximum over the
+        cluster set before weighting.
+    """
+
+    w_count: float = 1.0
+    w_aoa_var: float = 0.5
+    w_tof_var: float = 0.5
+    w_tof_mean: float = 2.0
+    normalize: bool = True
+
+    def without_count(self) -> "LikelihoodWeights":
+        """Ablation helper: drop the cluster-size term."""
+        return LikelihoodWeights(0.0, self.w_aoa_var, self.w_tof_var, self.w_tof_mean, self.normalize)
+
+    def without_tof_mean(self) -> "LikelihoodWeights":
+        """Ablation helper: drop the smallest-ToF prior."""
+        return LikelihoodWeights(self.w_count, self.w_aoa_var, self.w_tof_var, 0.0, self.normalize)
+
+    def variance_only(self) -> "LikelihoodWeights":
+        """Ablation helper: keep only the tightness terms."""
+        return LikelihoodWeights(0.0, self.w_aoa_var, self.w_tof_var, 0.0, self.normalize)
+
+
+DEFAULT_WEIGHTS = LikelihoodWeights()
+
+
+def _normalized(values: np.ndarray) -> np.ndarray:
+    peak = float(np.max(np.abs(values)))
+    if peak <= 0:
+        return np.zeros_like(values)
+    return values / peak
+
+
+def path_likelihoods(
+    clusters: Sequence[PathCluster],
+    weights: LikelihoodWeights = DEFAULT_WEIGHTS,
+) -> List[float]:
+    """Eq. 8 likelihood for every cluster, in input order.
+
+    ToF terms are computed in nanoseconds; the mean-ToF term is measured
+    relative to the *smallest* cluster mean (sanitized ToFs are relative,
+    so only differences carry information).
+    """
+    cluster_list = list(clusters)
+    if not cluster_list:
+        raise ClusteringError("cannot compute likelihoods of zero clusters")
+    counts = np.array([c.count for c in cluster_list], dtype=float)
+    var_aoa = np.array([c.var_aoa_deg2 for c in cluster_list], dtype=float)
+    var_tof = np.array([c.var_tof_s2 for c in cluster_list], dtype=float) * 1e18  # ns^2
+    mean_tof = np.array([c.mean_tof_s for c in cluster_list], dtype=float) * 1e9  # ns
+    mean_tof = mean_tof - mean_tof.min()
+
+    if weights.normalize:
+        counts = _normalized(counts)
+        var_aoa = _normalized(var_aoa)
+        var_tof = _normalized(var_tof)
+        mean_tof = _normalized(mean_tof)
+
+    exponent = (
+        weights.w_count * counts
+        - weights.w_aoa_var * var_aoa
+        - weights.w_tof_var * var_tof
+        - weights.w_tof_mean * mean_tof
+    )
+    return [float(v) for v in np.exp(exponent)]

@@ -1,0 +1,299 @@
+"""Localization — paper Eq. 9 and Alg. 2 line 12 (Sec. 3.3).
+
+Finds the position minimizing the likelihood-weighted least-squares
+deviation between observed and predicted (AoA, RSSI) at every AP:
+
+    sum_i l_i [ w_rssi (p_pred_i - p_i)^2 + w_aoa (theta_pred_i - theta_i)^2 ]
+
+with the log-distance path-loss parameters (P0, gamma) as nuisance
+variables ("optimization variables as target's location and path loss model
+parameters").
+
+The paper convexifies Eq. 9 with sequential convex optimization; the
+objective is a small 2-D problem once (P0, gamma) are profiled out — for a
+fixed location the optimal (P0, gamma) is a weighted linear regression with
+a closed form — so we solve it globally by a vectorized coarse grid search
+followed by Nelder-Mead refinement.  This finds the same global minimizer
+the paper's heuristic targets and is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.errors import LocalizationError
+from repro.geom.points import Point, angle_diff_deg, as_point
+from repro.wifi.arrays import UniformLinearArray
+
+#: Physical clamp for the fitted path-loss exponent.
+_GAMMA_RANGE = (1.5, 6.0)
+
+
+@dataclass(frozen=True)
+class ApObservation:
+    """What one AP contributes to localization.
+
+    Attributes
+    ----------
+    array:
+        The AP's antenna array (position + orientation).
+    aoa_deg:
+        Direct-path AoA the AP reported (deg from its array normal).
+    rssi_dbm:
+        Observed RSSI (median over the packets used).
+    likelihood:
+        Eq. 8 likelihood of the AP's direct-path estimate — the l_i
+        weight.  Use 1.0 for unweighted ablations.
+    """
+
+    array: UniformLinearArray
+    aoa_deg: float
+    rssi_dbm: float
+    likelihood: float = 1.0
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Solver output.
+
+    Attributes
+    ----------
+    position:
+        Estimated target location.
+    objective:
+        Final Eq. 9 value.
+    path_loss:
+        Path-loss model fitted at the solution.
+    aoa_residuals_deg:
+        Per-AP angle residuals at the solution.
+    rssi_residuals_db:
+        Per-AP RSSI residuals at the solution.
+    """
+
+    position: Point
+    objective: float
+    path_loss: LogDistancePathLoss
+    aoa_residuals_deg: Tuple[float, ...] = ()
+    rssi_residuals_db: Tuple[float, ...] = ()
+
+    def error_to(self, truth) -> float:
+        """Euclidean distance (m) from the estimate to a ground-truth point."""
+        return self.position.distance_to(as_point(truth))
+
+
+@dataclass
+class Localizer:
+    """Eq. 9 solver over a rectangular search region.
+
+    Attributes
+    ----------
+    bounds:
+        (x0, y0, x1, y1) search rectangle (typically the floorplan bounds).
+    grid_step_m:
+        Coarse grid resolution of the global search.
+    aoa_weight:
+        w_aoa multiplying squared AoA residuals (deg^2).  The paper adds
+        raw squared deviations; with AoA in degrees and RSSI in dB the two
+        are naturally same-scale, and these weights let benchmarks rebalance.
+    rssi_weight:
+        w_rssi multiplying squared RSSI residuals (dB^2).
+    aoa_residual_cap_deg:
+        Per-AP AoA residuals are clipped to this value before squaring
+        (0 disables).  One confidently-wrong AP (a reflection selected as
+        the direct path) can otherwise contribute a 100+ degree residual
+        that outweighs every correct AP; capping bounds its influence,
+        realizing the paper's claim that inaccurate APs "will effectively
+        not be considered due to SpotFi's robust localization algorithm"
+        (Sec. 4.4.3).
+    use_likelihood_weights:
+        If False, every AP gets weight 1 (ablation of the paper's l_i).
+    refine:
+        Run Nelder-Mead refinement from the best grid cell.
+    min_aps:
+        Minimum observations required (2 AoAs already intersect;
+        the default of 2 matches the paper's stress tests).
+    """
+
+    bounds: Tuple[float, float, float, float]
+    grid_step_m: float = 0.25
+    aoa_weight: float = 1.0
+    rssi_weight: float = 1.0
+    aoa_residual_cap_deg: float = 40.0
+    use_likelihood_weights: bool = True
+    refine: bool = True
+    min_aps: int = 2
+
+    def __post_init__(self) -> None:
+        x0, y0, x1, y1 = self.bounds
+        if x1 <= x0 or y1 <= y0:
+            raise LocalizationError(f"empty search bounds {self.bounds}")
+        if self.grid_step_m <= 0:
+            raise LocalizationError(f"grid step must be > 0, got {self.grid_step_m}")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def locate(self, observations: Sequence[ApObservation]) -> LocalizationResult:
+        """Solve Eq. 9 for the given per-AP observations."""
+        obs = [o for o in observations if np.isfinite(o.aoa_deg)]
+        if len(obs) < self.min_aps:
+            raise LocalizationError(
+                f"need >= {self.min_aps} usable AP observations, got {len(obs)}"
+            )
+        weights = self._weights(obs)
+        candidates = self._grid_points()
+        values = self._objective_batch(candidates, obs, weights)
+        best = int(np.argmin(values))
+        start = candidates[best]
+        if self.refine:
+            result = optimize.minimize(
+                lambda v: self._objective_batch(v[None, :], obs, weights)[0],
+                start,
+                method="Nelder-Mead",
+                options={"xatol": 1e-3, "fatol": 1e-9, "maxiter": 400},
+            )
+            solution = np.clip(
+                result.x,
+                [self.bounds[0], self.bounds[1]],
+                [self.bounds[2], self.bounds[3]],
+            )
+            objective = float(
+                self._objective_batch(solution[None, :], obs, weights)[0]
+            )
+        else:
+            solution, objective = start, float(values[best])
+        return self._build_result(Point(float(solution[0]), float(solution[1])), objective, obs, weights)
+
+    def locate_aoa_only(self, observations: Sequence[ApObservation]) -> LocalizationResult:
+        """Eq. 9 restricted to the AoA terms (used by the ArrayTrack baseline)."""
+        saved = self.rssi_weight
+        self.rssi_weight = 0.0
+        try:
+            return self.locate(observations)
+        finally:
+            self.rssi_weight = saved
+
+    # ------------------------------------------------------------------
+    # Objective machinery
+    # ------------------------------------------------------------------
+    def _weights(self, obs: Sequence[ApObservation]) -> np.ndarray:
+        if self.use_likelihood_weights:
+            w = np.array([max(o.likelihood, 0.0) for o in obs], dtype=float)
+            total = w.sum()
+            if total <= 0:
+                w = np.ones(len(obs))
+            else:
+                w = w * (len(obs) / total)  # normalize mean weight to 1
+        else:
+            w = np.ones(len(obs))
+        return w
+
+    def _grid_points(self) -> np.ndarray:
+        x0, y0, x1, y1 = self.bounds
+        xs = np.arange(x0 + self.grid_step_m / 2, x1, self.grid_step_m)
+        ys = np.arange(y0 + self.grid_step_m / 2, y1, self.grid_step_m)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        return np.stack([gx.ravel(), gy.ravel()], axis=1)
+
+    def _geometry(
+        self, candidates: np.ndarray, obs: Sequence[ApObservation]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per (candidate, AP): distance (m) and predicted AoA (deg)."""
+        positions = np.array([o.array.position for o in obs], dtype=float)  # (R, 2)
+        normals = np.array([o.array.normal_deg for o in obs], dtype=float)
+        delta = candidates[:, None, :] - positions[None, :, :]  # (G, R, 2)
+        dist = np.maximum(np.linalg.norm(delta, axis=2), 1e-3)  # (G, R)
+        bearing = np.degrees(np.arctan2(delta[..., 1], delta[..., 0]))  # (G, R)
+        pred_aoa = (bearing - normals[None, :] + 180.0) % 360.0 - 180.0
+        return dist, pred_aoa
+
+    def _objective_batch(
+        self,
+        candidates: np.ndarray,
+        obs: Sequence[ApObservation],
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized Eq. 9 with (P0, gamma) profiled out per candidate."""
+        dist, pred_aoa = self._geometry(candidates, obs)
+        measured_aoa = np.array([o.aoa_deg for o in obs], dtype=float)
+        measured_rssi = np.array([o.rssi_dbm for o in obs], dtype=float)
+
+        aoa_diff = (pred_aoa - measured_aoa[None, :] + 180.0) % 360.0 - 180.0
+        if self.aoa_residual_cap_deg > 0:
+            aoa_diff = np.clip(
+                aoa_diff, -self.aoa_residual_cap_deg, self.aoa_residual_cap_deg
+            )
+        aoa_cost = np.sum(weights[None, :] * aoa_diff**2, axis=1) * self.aoa_weight
+
+        rssi_cost = np.zeros(len(candidates))
+        rssi_ok = np.isfinite(measured_rssi)
+        if self.rssi_weight > 0 and np.count_nonzero(rssi_ok) >= 2:
+            w = weights[rssi_ok][None, :]
+            p = measured_rssi[rssi_ok][None, :]
+            x = -10.0 * np.log10(dist[:, rssi_ok])  # (G, R')
+            p0, gamma = self._profile_path_loss(x, p, w)
+            resid = p - (p0[:, None] + gamma[:, None] * x)
+            rssi_cost = np.sum(w * resid**2, axis=1) * self.rssi_weight
+        return aoa_cost + rssi_cost
+
+    @staticmethod
+    def _profile_path_loss(
+        x: np.ndarray, p: np.ndarray, w: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Closed-form weighted LS for (P0, gamma) per candidate row.
+
+        Model: p ~ P0 + gamma * x with x = -10 log10(d).  gamma is clamped
+        to a physical range; P0 is re-solved after clamping.
+        """
+        sw = np.sum(w, axis=1)
+        sx = np.sum(w * x, axis=1)
+        sp = np.sum(w * p, axis=1)
+        sxx = np.sum(w * x * x, axis=1)
+        sxp = np.sum(w * x * p, axis=1)
+        denom = sw * sxx - sx * sx
+        gamma = np.where(np.abs(denom) > 1e-12, (sw * sxp - sx * sp) / np.where(denom == 0, 1, denom), 2.5)
+        gamma = np.clip(gamma, *_GAMMA_RANGE)
+        p0 = (sp - gamma * sx) / sw
+        return p0, gamma
+
+    def _build_result(
+        self,
+        position: Point,
+        objective: float,
+        obs: Sequence[ApObservation],
+        weights: np.ndarray,
+    ) -> LocalizationResult:
+        candidates = np.array([[position.x, position.y]])
+        dist, pred_aoa = self._geometry(candidates, obs)
+        measured_aoa = np.array([o.aoa_deg for o in obs])
+        measured_rssi = np.array([o.rssi_dbm for o in obs])
+        aoa_resid = tuple(
+            float(angle_diff_deg(pred_aoa[0, i], measured_aoa[i])) for i in range(len(obs))
+        )
+        rssi_ok = np.isfinite(measured_rssi)
+        if np.count_nonzero(rssi_ok) >= 2:
+            x = -10.0 * np.log10(dist[:, rssi_ok])
+            p0, gamma = self._profile_path_loss(
+                x, measured_rssi[rssi_ok][None, :], weights[rssi_ok][None, :]
+            )
+            model = LogDistancePathLoss(p0_dbm=float(p0[0]), exponent=float(gamma[0]))
+            pred = model.rssi_dbm(dist[0])
+            rssi_resid = tuple(
+                float(measured_rssi[i] - pred[i]) if rssi_ok[i] else float("nan")
+                for i in range(len(obs))
+            )
+        else:
+            model = LogDistancePathLoss()
+            rssi_resid = tuple(float("nan") for _ in obs)
+        return LocalizationResult(
+            position=position,
+            objective=objective,
+            path_loss=model,
+            aoa_residuals_deg=aoa_resid,
+            rssi_residuals_db=rssi_resid,
+        )

@@ -1,0 +1,264 @@
+"""SpotFi end-to-end — paper Algorithm 2.
+
+:class:`SpotFi` wires the whole system together: for every AP, sanitize
+(Alg. 1) + smooth (Fig. 4) + MUSIC (lines 5-6) + peaks (line 7) per packet,
+cluster across packets (line 9), select the direct path by Eq. 8 likelihood
+(line 10), then fuse all APs' (AoA, likelihood, RSSI) with the Eq. 9
+solver (line 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clustering import PathCluster, cluster_estimates
+from repro.core.direct_path import DirectPathEstimate, select_direct_path
+from repro.core.estimator import JointEstimator, PathEstimate
+from repro.core.likelihood import DEFAULT_WEIGHTS, LikelihoodWeights
+from repro.core.localization import ApObservation, LocalizationResult, Localizer
+from repro.core.music import MusicConfig
+from repro.core.smoothing import SmoothingConfig
+from repro.core.steering import SteeringModel
+from repro.errors import ClusteringError, EstimationError, LocalizationError
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+from repro.wifi.ofdm import OfdmGrid
+
+
+@dataclass
+class SpotFiConfig:
+    """Every tunable of the SpotFi pipeline, with the paper's defaults.
+
+    Attributes
+    ----------
+    smoothing:
+        Fig. 4 subarray configuration (2 x 15 for the Intel 5300).
+    music:
+        MUSIC grids and subspace threshold.
+    likelihood:
+        Eq. 8 weights.
+    estimation:
+        Per-packet estimator: "music" (the paper's spectral search) or
+        "esprit" (grid-free shift invariance, see `repro.core.esprit`).
+    num_clusters:
+        Gaussian-mixture size (paper: 5).
+    clustering_method:
+        "gmm" (paper) or "kmeans".
+    packets_per_fix:
+        Packets used per location fix (paper shows 10 suffice, Fig. 9(b);
+        evaluation groups use 40, Sec. 4.3.1).
+    sanitize:
+        Apply Algorithm 1 (ablation switch).
+    min_cluster_size:
+        Absolute floor on cluster membership; smaller clusters are
+        discarded as spurious.
+    min_cluster_fraction:
+        Additional floor as a fraction of the packets used: a real path
+        produces roughly one estimate per packet, so a cluster seen in
+        under ~15% of packets is a spectrum artifact.  Artifacts recur
+        with tiny variance and can otherwise steal the smallest-ToF bonus
+        of Eq. 8.
+    aoa_weight, rssi_weight:
+        Eq. 9 term weights (deg^2 and dB^2 scales).
+    grid_step_m:
+        Coarse localization grid resolution.
+    use_likelihood_weights:
+        Weight APs by l_i in Eq. 9 (ablation switch).
+    """
+
+    smoothing: SmoothingConfig = field(default_factory=SmoothingConfig)
+    music: MusicConfig = field(default_factory=MusicConfig)
+    likelihood: LikelihoodWeights = DEFAULT_WEIGHTS
+    estimation: str = "music"
+    num_clusters: int = 5
+    clustering_method: str = "gmm"
+    packets_per_fix: int = 40
+    sanitize: bool = True
+    min_cluster_size: int = 2
+    min_cluster_fraction: float = 0.15
+    aoa_weight: float = 1.0
+    rssi_weight: float = 1.0
+    grid_step_m: float = 0.25
+    use_likelihood_weights: bool = True
+
+
+@dataclass(frozen=True)
+class ApReport:
+    """Everything SpotFi derived from one AP's trace.
+
+    Attributes
+    ----------
+    array:
+        The AP's antenna array.
+    direct:
+        Direct-path selection outcome (None if estimation failed).
+    rssi_dbm:
+        Median RSSI of the packets used.
+    estimates:
+        All per-packet (AoA, ToF) estimates.
+    clusters:
+        The clusters the estimates formed.
+    """
+
+    array: UniformLinearArray
+    direct: Optional[DirectPathEstimate]
+    rssi_dbm: float
+    estimates: Tuple[PathEstimate, ...] = ()
+    clusters: Tuple[PathCluster, ...] = ()
+
+    @property
+    def usable(self) -> bool:
+        return self.direct is not None
+
+
+@dataclass(frozen=True)
+class SpotFiFix:
+    """One localization fix: the result plus per-AP diagnostics."""
+
+    result: LocalizationResult
+    reports: Tuple[ApReport, ...]
+
+    @property
+    def position(self):
+        return self.result.position
+
+    def error_to(self, truth) -> float:
+        return self.result.error_to(truth)
+
+
+class SpotFi:
+    """The SpotFi server: Algorithm 2 over (AP trace) collections.
+
+    Parameters
+    ----------
+    grid:
+        OFDM grid the CSI was measured on (``Intel5300().grid()``).
+    bounds:
+        (x0, y0, x1, y1) localization search region, e.g. the floorplan
+        bounding box.
+    config:
+        Pipeline tunables; defaults reproduce the paper.
+    rng:
+        Source of randomness for clustering initialization; fixing it makes
+        fixes reproducible.
+    """
+
+    def __init__(
+        self,
+        grid: OfdmGrid,
+        bounds: Tuple[float, float, float, float],
+        config: Optional[SpotFiConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.grid = grid
+        self.config = config or SpotFiConfig()
+        self.bounds = bounds
+        self._rng = rng or np.random.default_rng(0)
+        self._estimators: dict = {}
+
+    # ------------------------------------------------------------------
+    # Per-AP processing (Alg. 2 lines 1-11)
+    # ------------------------------------------------------------------
+    def estimator_for(self, array: UniformLinearArray):
+        """The joint estimator for an AP's array geometry (cached)."""
+        key = (array.num_antennas, array.spacing_m)
+        if key not in self._estimators:
+            model = SteeringModel.for_grid(
+                self.grid,
+                num_antennas=array.num_antennas,
+                antenna_spacing_m=array.spacing_m,
+            )
+            if self.config.estimation == "music":
+                estimator = JointEstimator(
+                    model=model,
+                    smoothing=self.config.smoothing,
+                    music=self.config.music,
+                    sanitize=self.config.sanitize,
+                )
+            elif self.config.estimation == "esprit":
+                from repro.core.esprit import EspritEstimator
+
+                estimator = EspritEstimator(
+                    model=model,
+                    smoothing=self.config.smoothing,
+                    music=self.config.music,
+                    sanitize=self.config.sanitize,
+                )
+            else:
+                raise EstimationError(
+                    f"unknown estimation method {self.config.estimation!r}; "
+                    "expected 'music' or 'esprit'"
+                )
+            self._estimators[key] = estimator
+        return self._estimators[key]
+
+    def process_ap(self, array: UniformLinearArray, trace: CsiTrace) -> ApReport:
+        """Lines 2-10 for one AP: estimate, cluster, select direct path."""
+        used = trace[: self.config.packets_per_fix]
+        rssi = used.median_rssi_dbm()
+        min_size = max(
+            self.config.min_cluster_size,
+            int(np.ceil(self.config.min_cluster_fraction * len(used))),
+        )
+        try:
+            estimates = self.estimator_for(array).estimate_trace(used)
+            clusters = cluster_estimates(
+                estimates,
+                num_clusters=self.config.num_clusters,
+                method=self.config.clustering_method,
+                rng=self._rng,
+                min_cluster_size=min_size,
+            )
+            direct = select_direct_path(clusters, self.config.likelihood)
+        except (EstimationError, ClusteringError):
+            return ApReport(array=array, direct=None, rssi_dbm=rssi)
+        return ApReport(
+            array=array,
+            direct=direct,
+            rssi_dbm=rssi,
+            estimates=tuple(estimates),
+            clusters=tuple(clusters),
+        )
+
+    # ------------------------------------------------------------------
+    # Fusion (Alg. 2 line 12)
+    # ------------------------------------------------------------------
+    def locate(
+        self, ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]]
+    ) -> SpotFiFix:
+        """Run the full Algorithm 2 on traces from several APs."""
+        reports = tuple(self.process_ap(array, trace) for array, trace in ap_traces)
+        return self.locate_from_reports(reports)
+
+    def locate_from_reports(self, reports: Sequence[ApReport]) -> SpotFiFix:
+        """Fuse precomputed per-AP reports into a position fix.
+
+        Raises :class:`LocalizationError` when fewer than two APs produced
+        usable direct-path estimates.
+        """
+        observations = [
+            ApObservation(
+                array=r.array,
+                aoa_deg=r.direct.aoa_deg,
+                rssi_dbm=r.rssi_dbm,
+                likelihood=r.direct.likelihood,
+            )
+            for r in reports
+            if r.usable
+        ]
+        if len(observations) < 2:
+            raise LocalizationError(
+                f"only {len(observations)} APs produced usable direct paths"
+            )
+        localizer = Localizer(
+            bounds=self.bounds,
+            grid_step_m=self.config.grid_step_m,
+            aoa_weight=self.config.aoa_weight,
+            rssi_weight=self.config.rssi_weight,
+            use_likelihood_weights=self.config.use_likelihood_weights,
+        )
+        result = localizer.locate(observations)
+        return SpotFiFix(result=result, reports=tuple(reports))

@@ -1,0 +1,115 @@
+"""ToF sanitization — paper Algorithm 1 (Sec. 3.2.2).
+
+The sampling time offset (STO) between the unsynchronized target and AP
+adds the *same* delay to every path, which appears in the CSI phase as a
+term linear in subcarrier index and identical across antennas (all receive
+chains share one sampling clock).  Because the STO drifts packet-to-packet
+(SFO, detection delay), raw ToF estimates have large spurious variance.
+
+Algorithm 1 removes it: fit a single straight line (common slope and
+intercept) to the unwrapped phase over *all* antennas and subcarriers,
+interpret the slope as ``-2 pi f_delta tau_sto``, and subtract the slope
+term.  The result is invariant to the packet's STO (two packets differing
+only in STO sanitize to identical phases), which our property tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.wifi.csi import CsiFrame, validate_csi_matrix
+
+
+def fit_common_slope(psi: np.ndarray) -> Tuple[float, float]:
+    """Least-squares common (slope, intercept) of phase vs subcarrier index.
+
+    Solves Algorithm 1 line 1: the single (rho, beta) minimizing
+    ``sum_{m,n} (psi(m,n) + 2 pi f_delta (n-1) rho + beta)^2`` — i.e. an
+    ordinary least-squares line ``psi ~ slope * (n-1) + intercept`` pooled
+    over antennas.  Returns the slope in radians per subcarrier step and
+    the intercept in radians.
+    """
+    psi = np.asarray(psi, dtype=float)
+    if psi.ndim != 2:
+        raise ValueError(f"phase must be 2-D (antennas, subcarriers), got {psi.shape}")
+    num_antennas, num_subcarriers = psi.shape
+    n = np.arange(num_subcarriers, dtype=float)
+    # Closed-form OLS pooled over antennas: identical n-design for each row.
+    n_mean = n.mean()
+    psi_mean = psi.mean()
+    n_var = float(np.sum((n - n_mean) ** 2)) * num_antennas
+    cov = float(np.sum((n - n_mean)[None, :] * (psi - psi_mean)))
+    slope = cov / n_var
+    intercept = psi_mean - slope * n_mean
+    return float(slope), float(intercept)
+
+
+def estimate_sto(csi: np.ndarray, subcarrier_spacing_hz: float) -> float:
+    """Estimated STO (s) from a CSI matrix's common phase slope.
+
+    This is the ``tau_hat_{s,i}`` of Algorithm 1: the common linear phase
+    slope divided by ``-2 pi f_delta``.  Note it absorbs the (unknowable)
+    bulk ToF of the channel as well — which is exactly why the paper never
+    uses sanitized ToFs for ranging.
+    """
+    psi = np.unwrap(np.angle(validate_csi_matrix(csi)), axis=1)
+    slope, _ = fit_common_slope(psi)
+    return -slope / (2.0 * np.pi * subcarrier_spacing_hz)
+
+
+def sanitize_phase(psi: np.ndarray) -> np.ndarray:
+    """Algorithm 1 on an unwrapped phase matrix: remove the common slope.
+
+    Only the slope term is subtracted (the paper's line 2 subtracts the
+    STO-induced phase, not the intercept), so per-antenna phase offsets —
+    which carry the AoA information — are preserved.
+    """
+    psi = np.asarray(psi, dtype=float)
+    slope, _ = fit_common_slope(psi)
+    n = np.arange(psi.shape[1], dtype=float)
+    return psi - slope * n[None, :]
+
+
+def sanitize_csi(csi: np.ndarray) -> np.ndarray:
+    """Apply Algorithm 1 to a complex CSI matrix.
+
+    Magnitudes are preserved; the phase is replaced by the sanitized
+    (common-slope-removed) unwrapped phase.  The returned CSI is what
+    SpotFi's super-resolution step consumes (Alg. 2 line 3 precedes
+    line 4).
+    """
+    csi = validate_csi_matrix(csi)
+    psi = np.unwrap(np.angle(csi), axis=1)
+    psi_hat = sanitize_phase(psi)
+    return np.abs(csi) * np.exp(1j * psi_hat)
+
+
+def sanitize_frame(frame: CsiFrame) -> CsiFrame:
+    """Sanitized copy of a :class:`CsiFrame` (metadata preserved)."""
+    return CsiFrame(
+        csi=sanitize_csi(frame.csi),
+        rssi_dbm=frame.rssi_dbm,
+        timestamp_s=frame.timestamp_s,
+        source=frame.source,
+    )
+
+
+def phase_dispersion_across_packets(csi_frames: np.ndarray) -> float:
+    """RMS inter-packet deviation of the subcarrier phase *slope* (radians).
+
+    Diagnostic used by the Fig. 5(a)/(b) benchmark: large before
+    sanitization (each packet's STO tilts the phase differently), near the
+    noise floor after.  The metric works on wrapped adjacent-subcarrier
+    phase steps, so it is immune to the global CFO rotation (which cancels
+    in differences) and to unwrap branch flips at deep fading nulls; the
+    per-step circular mean over packets is the reference.
+    """
+    frames = np.asarray(csi_frames)
+    if frames.ndim != 3:
+        raise ValueError(f"expected (packets, antennas, subcarriers), got {frames.shape}")
+    steps = np.angle(frames[:, :, 1:] * np.conj(frames[:, :, :-1]))  # (P, M, N-1)
+    reference = np.angle(np.mean(np.exp(1j * steps), axis=0, keepdims=True))
+    deviation = np.angle(np.exp(1j * (steps - reference)))
+    return float(np.sqrt(np.mean(deviation**2)))

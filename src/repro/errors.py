@@ -1,0 +1,40 @@
+"""Exception hierarchy for the SpotFi reproduction library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class CsiShapeError(ReproError):
+    """A CSI array does not have the (antennas, subcarriers) shape expected."""
+
+
+class EstimationError(ReproError):
+    """A parameter-estimation step failed (e.g. no spectrum peaks found)."""
+
+
+class ClusteringError(ReproError):
+    """The (AoA, ToF) clustering step could not produce valid clusters."""
+
+
+class LocalizationError(ReproError):
+    """The localization solver could not produce a position estimate."""
+
+
+class GeometryError(ReproError):
+    """A geometric construction is degenerate (zero-length wall, etc.)."""
+
+
+class TraceFormatError(ReproError):
+    """A CSI trace file is malformed or uses an unsupported version."""

@@ -1,0 +1,27 @@
+"""Evaluation utilities: error metrics, CDFs and text reports."""
+
+from repro.eval.metrics import (
+    Cdf,
+    bootstrap_median_ci,
+    median,
+    percentile,
+    summarize_errors,
+)
+from repro.eval.reports import (
+    format_cdf_table,
+    format_comparison,
+    render_ascii_cdf,
+    render_spectrum_ascii,
+)
+
+__all__ = [
+    "Cdf",
+    "bootstrap_median_ci",
+    "format_cdf_table",
+    "format_comparison",
+    "median",
+    "percentile",
+    "render_ascii_cdf",
+    "render_spectrum_ascii",
+    "summarize_errors",
+]

@@ -1,0 +1,131 @@
+"""Error metrics and empirical CDFs.
+
+The paper reports medians, 80th-percentile tails and full CDFs of
+localization / AoA errors; this module provides those as small, well-typed
+utilities shared by all benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _finite(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=float).ravel()
+    return arr[np.isfinite(arr)]
+
+
+def median(values) -> float:
+    """Median of the finite entries (NaN if none)."""
+    arr = _finite(values)
+    return float(np.median(arr)) if arr.size else float("nan")
+
+
+def percentile(values, q: float) -> float:
+    """q-th percentile (0-100) of the finite entries (NaN if none)."""
+    arr = _finite(values)
+    return float(np.percentile(arr, q)) if arr.size else float("nan")
+
+
+def summarize_errors(values) -> Dict[str, float]:
+    """Standard summary: count, median, mean, p80, p90, max."""
+    arr = _finite(values)
+    if arr.size == 0:
+        return {
+            "count": 0,
+            "median": float("nan"),
+            "mean": float("nan"),
+            "p80": float("nan"),
+            "p90": float("nan"),
+            "max": float("nan"),
+        }
+    return {
+        "count": int(arr.size),
+        "median": float(np.median(arr)),
+        "mean": float(np.mean(arr)),
+        "p80": float(np.percentile(arr, 80)),
+        "p90": float(np.percentile(arr, 90)),
+        "max": float(np.max(arr)),
+    }
+
+
+def bootstrap_median_ci(
+    values,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> "tuple[float, float, float]":
+    """Bootstrap confidence interval for the median.
+
+    Returns ``(median, low, high)`` over the finite entries.  Benchmarks
+    use this to report whether two methods' medians are separable given
+    the (small) location counts.
+    """
+    arr = _finite(values)
+    if arr.size == 0:
+        return float("nan"), float("nan"), float("nan")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(arr, size=(num_resamples, arr.size), replace=True)
+    medians = np.median(resamples, axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.median(arr)),
+        float(np.quantile(medians, alpha)),
+        float(np.quantile(medians, 1.0 - alpha)),
+    )
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF over finite sample values.
+
+    Attributes
+    ----------
+    values:
+        Sorted finite samples.
+    """
+
+    values: np.ndarray
+
+    @staticmethod
+    def of(samples) -> "Cdf":
+        """Build a CDF, dropping non-finite samples."""
+        return Cdf(values=np.sort(_finite(samples)))
+
+    @property
+    def count(self) -> int:
+        return int(self.values.size)
+
+    def at(self, x: float) -> float:
+        """P(value <= x)."""
+        if self.count == 0:
+            return float("nan")
+        return float(np.searchsorted(self.values, x, side="right") / self.count)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at q in [0, 1]."""
+        if self.count == 0:
+            return float("nan")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def p80(self) -> float:
+        return self.quantile(0.8)
+
+    def sample_points(self, num: int = 20) -> "list[tuple[float, float]]":
+        """(value, probability) pairs for plotting/tabulating the CDF."""
+        if self.count == 0:
+            return []
+        qs = np.linspace(0.0, 1.0, num)
+        return [(self.quantile(float(q)), float(q)) for q in qs]

@@ -1,0 +1,120 @@
+"""Plain-text report rendering for benchmark output.
+
+Benchmarks print the same series the paper's figures plot; these helpers
+format them as aligned tables and ASCII CDF sketches so ``pytest
+benchmarks/ --benchmark-only`` output is self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.eval.metrics import Cdf, summarize_errors
+
+
+def format_comparison(
+    title: str,
+    series: Dict[str, Sequence[float]],
+    unit: str = "m",
+) -> str:
+    """Summary table comparing several methods' error distributions."""
+    lines = [title, "-" * len(title)]
+    header = f"{'method':<16} {'n':>4} {'median':>8} {'p80':>8} {'p90':>8} {'max':>8}  ({unit})"
+    lines.append(header)
+    for name, values in series.items():
+        s = summarize_errors(values)
+        lines.append(
+            f"{name:<16} {s['count']:>4d} {s['median']:>8.2f} {s['p80']:>8.2f} "
+            f"{s['p90']:>8.2f} {s['max']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_cdf_table(
+    series: Dict[str, Sequence[float]],
+    probabilities: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.8, 0.9, 0.95),
+    unit: str = "m",
+) -> str:
+    """Quantile table — the numeric form of the paper's CDF plots."""
+    cdfs = {name: Cdf.of(values) for name, values in series.items()}
+    lines = [f"{'CDF q':>7} " + " ".join(f"{name:>12}" for name in cdfs)]
+    for q in probabilities:
+        row = f"{q:>7.2f} "
+        row += " ".join(f"{cdf.quantile(q):>12.2f}" for cdf in cdfs.values())
+        lines.append(row)
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def render_spectrum_ascii(
+    spectrum,
+    aoa_grid_deg,
+    tof_grid_s,
+    width: int = 72,
+    height: int = 24,
+    shades: str = " .:-=+*#%@",
+) -> str:
+    """Render a 2-D MUSIC pseudospectrum as an ASCII heat map.
+
+    Rows are AoA (top = +90-ish), columns are ToF; intensity is
+    log-compressed so narrow MUSIC peaks stay visible next to the floor.
+    Useful for debugging estimators without a plotting stack.
+    """
+    import numpy as np
+
+    spec = np.asarray(spectrum, dtype=float)
+    if spec.ndim != 2:
+        raise ValueError(f"spectrum must be 2-D, got shape {spec.shape}")
+    log_spec = np.log10(np.maximum(spec, 1e-18))
+    lo, hi = float(log_spec.min()), float(log_spec.max())
+    span = hi - lo if hi > lo else 1.0
+    # Downsample to the character canvas by block max (peaks survive).
+    rows = min(height, spec.shape[0])
+    cols = min(width, spec.shape[1])
+    row_edges = np.linspace(0, spec.shape[0], rows + 1, dtype=int)
+    col_edges = np.linspace(0, spec.shape[1], cols + 1, dtype=int)
+    lines = []
+    for r in range(rows - 1, -1, -1):  # AoA increases upward
+        line = []
+        for c in range(cols):
+            block = log_spec[
+                row_edges[r] : max(row_edges[r + 1], row_edges[r] + 1),
+                col_edges[c] : max(col_edges[c + 1], col_edges[c] + 1),
+            ]
+            level = (float(block.max()) - lo) / span
+            line.append(shades[min(int(level * (len(shades) - 1)), len(shades) - 1)])
+        lines.append("".join(line))
+    aoa = np.asarray(aoa_grid_deg, dtype=float)
+    tof = np.asarray(tof_grid_s, dtype=float)
+    header = (
+        f"AoA {aoa[-1]:+.0f}..{aoa[0]:+.0f} deg (top to bottom), "
+        f"ToF {tof[0] * 1e9:.0f}..{tof[-1] * 1e9:.0f} ns (left to right)"
+    )
+    return header + "\n" + "\n".join(lines)
+
+
+def render_ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    max_value: float = 0.0,
+    unit: str = "m",
+) -> str:
+    """A small ASCII sketch of the CDFs (one row per decile per method)."""
+    cdfs = {name: Cdf.of(values) for name, values in series.items()}
+    if max_value <= 0:
+        peaks = [cdf.quantile(1.0) for cdf in cdfs.values() if cdf.count]
+        max_value = max(peaks) if peaks else 1.0
+    if max_value <= 0:
+        max_value = 1.0
+    lines = []
+    for name, cdf in cdfs.items():
+        lines.append(f"{name} (n={cdf.count}):")
+        if cdf.count == 0:
+            lines.append("  (no samples)")
+            continue
+        for q10 in range(1, 10):
+            q = q10 / 10.0
+            v = cdf.quantile(q)
+            bar = int(round(min(max(v, 0.0) / max_value, 1.0) * width))
+            lines.append(f"  p{q10 * 10:02d} |{'#' * bar:<{width}}| {v:.2f} {unit}")
+    return "\n".join(lines)

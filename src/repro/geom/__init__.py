@@ -1,0 +1,9 @@
+"""2-D geometry substrate: points, wall segments, floorplans, and the
+image-method ray tracing the channel simulator is built on."""
+
+from repro.geom.floorplan import Floorplan
+from repro.geom.points import Point
+from repro.geom.rays import RayTracer, TracedPath
+from repro.geom.segments import Segment
+
+__all__ = ["Floorplan", "Point", "RayTracer", "Segment", "TracedPath"]

@@ -1,0 +1,112 @@
+"""Minimal 2-D point/vector type.
+
+A tiny immutable value type rather than bare tuples, so geometric code
+reads as geometry (``a.distance_to(b)``) and mistakes like adding a point
+to a scalar fail loudly.  Interops with tuples everywhere: every public
+API accepts ``(x, y)`` pairs and normalizes through :func:`as_point`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+PointLike = Union["Point", Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2-D point / vector."""
+
+    x: float
+    y: float
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def __getitem__(self, index: int) -> float:
+        return (self.x, self.y)[index]
+
+    def __len__(self) -> int:
+        return 2
+
+    def __add__(self, other: PointLike) -> "Point":
+        ox, oy = other
+        return Point(self.x + ox, self.y + oy)
+
+    def __sub__(self, other: PointLike) -> "Point":
+        ox, oy = other
+        return Point(self.x - ox, self.y - oy)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: PointLike) -> float:
+        ox, oy = other
+        return self.x * ox + self.y * oy
+
+    def cross(self, other: PointLike) -> float:
+        """2-D cross product (z component)."""
+        ox, oy = other
+        return self.x * oy - self.y * ox
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def normalized(self) -> "Point":
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def distance_to(self, other: PointLike) -> float:
+        ox, oy = other
+        return math.hypot(self.x - ox, self.y - oy)
+
+    def bearing_to_deg(self, other: PointLike) -> float:
+        """Bearing (deg, CCW from +x) of ``other`` as seen from this point."""
+        ox, oy = other
+        return math.degrees(math.atan2(oy - self.y, ox - self.x))
+
+    def rotated_deg(self, angle_deg: float) -> "Point":
+        """This vector rotated CCW by ``angle_deg`` about the origin."""
+        a = math.radians(angle_deg)
+        c, s = math.cos(a), math.sin(a)
+        return Point(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+def as_point(value: PointLike) -> Point:
+    """Coerce a Point or (x, y) pair to a :class:`Point`."""
+    if isinstance(value, Point):
+        return value
+    x, y = value
+    return Point(float(x), float(y))
+
+
+def midpoint(a: PointLike, b: PointLike) -> Point:
+    """Midpoint of the segment a-b."""
+    pa, pb = as_point(a), as_point(b)
+    return Point((pa.x + pb.x) / 2.0, (pa.y + pb.y) / 2.0)
+
+
+def wrap_deg(angle_deg: float) -> float:
+    """Wrap an angle to [-180, 180) degrees."""
+    return (angle_deg + 180.0) % 360.0 - 180.0
+
+
+def angle_diff_deg(a_deg: float, b_deg: float) -> float:
+    """Smallest signed difference a - b in degrees, in [-180, 180)."""
+    return wrap_deg(a_deg - b_deg)

@@ -1,0 +1,315 @@
+"""Image-method ray tracing over a floorplan.
+
+Produces the geometric multipath profile between a transmitter and a
+receiver: the direct path, specular wall reflections up to a configurable
+order, and scatterer bounces.  Each traced path records its polyline, the
+walls it reflected off, and the walls it penetrated, from which the channel
+model derives ToF, AoA, and complex gain.
+
+The image method: to find the specular reflection off wall W from T to R,
+mirror T across W's supporting line to get image T'; the straight segment
+T'->R crosses W at the reflection point; the physical path is
+T -> hit -> R with the same total length as |T'R|.  Second-order
+reflections iterate the mirroring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geom.floorplan import Floorplan, Scatterer
+from repro.geom.points import Point, PointLike, as_point
+from repro.geom.segments import Segment
+
+#: Path kinds, in the order the channel model distinguishes them.
+KIND_DIRECT = "direct"
+KIND_REFLECTION = "reflection"
+KIND_SCATTER = "scatter"
+KIND_DIFFRACTION = "diffraction"
+
+
+@dataclass(frozen=True)
+class TracedPath:
+    """One geometric propagation path from transmitter to receiver.
+
+    Attributes
+    ----------
+    vertices:
+        Polyline from transmitter to receiver, including both endpoints.
+    kind:
+        One of ``direct``, ``reflection``, ``scatter``.
+    reflecting_walls:
+        Walls the path specularly reflected off, in order.
+    penetrated_walls:
+        Walls crossed (through-wall transmission), any order.
+    scatterer:
+        The scatterer bounced off, for ``scatter`` paths.
+    diffraction_angle_rad:
+        For ``diffraction`` paths: the bend angle at the edge (0 = the
+        path barely grazes the edge, larger = deeper shadow).
+    """
+
+    vertices: Tuple[Point, ...]
+    kind: str
+    reflecting_walls: Tuple[Segment, ...] = ()
+    penetrated_walls: Tuple[Segment, ...] = ()
+    scatterer: Optional[Scatterer] = None
+    diffraction_angle_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 2:
+            raise GeometryError("a path needs at least 2 vertices")
+
+    @property
+    def length_m(self) -> float:
+        """Total geometric path length (m)."""
+        total = 0.0
+        for a, b in zip(self.vertices, self.vertices[1:]):
+            total += a.distance_to(b)
+        return total
+
+    @property
+    def order(self) -> int:
+        """Number of interactions (reflections/scatters) along the path."""
+        if self.kind == KIND_SCATTER:
+            return 1
+        return len(self.reflecting_walls)
+
+    def arrival_bearing_deg(self) -> float:
+        """World bearing (deg) of the direction the signal *arrives from*.
+
+        This is the bearing from the receiver back toward the last path
+        vertex before it, which is what an antenna array at the receiver
+        measures.
+        """
+        rx = self.vertices[-1]
+        prev = self.vertices[-2]
+        return rx.bearing_to_deg(prev)
+
+    def departure_bearing_deg(self) -> float:
+        """World bearing (deg) of the direction the signal departs toward."""
+        tx = self.vertices[0]
+        nxt = self.vertices[1]
+        return tx.bearing_to_deg(nxt)
+
+
+@dataclass
+class RayTracer:
+    """Enumerate propagation paths between points of a :class:`Floorplan`.
+
+    Attributes
+    ----------
+    floorplan:
+        The environment to trace.
+    max_reflection_order:
+        Highest specular reflection order to enumerate (2 covers the
+        dominant indoor paths; 6-8 *significant* reflectors per the paper
+        come from first/second order plus scatterers).
+    include_scatterers:
+        Whether to trace single-bounce scatterer paths.
+    include_diffraction:
+        Whether to trace knife-edge diffraction around wall endpoints
+        when the direct line is obstructed.  Diffraction is what carries
+        signal around door frames and corridor corners.
+    allow_through_wall:
+        If False, any path crossing a wall (other than at reflection
+        points) is dropped instead of attenuated.
+    """
+
+    floorplan: Floorplan
+    max_reflection_order: int = 2
+    include_scatterers: bool = True
+    include_diffraction: bool = False
+    allow_through_wall: bool = True
+
+    def trace(self, tx: PointLike, rx: PointLike) -> List[TracedPath]:
+        """All propagation paths from ``tx`` to ``rx``, direct path first."""
+        tx_p, rx_p = as_point(tx), as_point(rx)
+        if tx_p.distance_to(rx_p) < 1e-9:
+            raise GeometryError("transmitter and receiver coincide")
+        paths: List[TracedPath] = []
+        direct = self._trace_direct(tx_p, rx_p)
+        if direct is not None:
+            paths.append(direct)
+        if self.max_reflection_order >= 1:
+            paths.extend(self._trace_reflections(tx_p, rx_p))
+        if self.include_scatterers:
+            paths.extend(self._trace_scatterers(tx_p, rx_p))
+        if self.include_diffraction:
+            paths.extend(self._trace_diffraction(tx_p, rx_p))
+        return paths
+
+    # ------------------------------------------------------------------
+    # Direct path
+    # ------------------------------------------------------------------
+    def _trace_direct(self, tx: Point, rx: Point) -> Optional[TracedPath]:
+        crossed = self.floorplan.walls_crossed(tx, rx)
+        if crossed and not self.allow_through_wall:
+            return None
+        return TracedPath(
+            vertices=(tx, rx),
+            kind=KIND_DIRECT,
+            penetrated_walls=tuple(crossed),
+        )
+
+    # ------------------------------------------------------------------
+    # Specular reflections (image method)
+    # ------------------------------------------------------------------
+    def _trace_reflections(self, tx: Point, rx: Point) -> List[TracedPath]:
+        paths: List[TracedPath] = []
+        for wall_seq in self._wall_sequences():
+            path = self._reflect_via(tx, rx, wall_seq)
+            if path is not None:
+                paths.append(path)
+        return paths
+
+    def _wall_sequences(self) -> List[Tuple[Segment, ...]]:
+        """Ordered wall sequences for reflections up to the max order.
+
+        Consecutive repeats are excluded (a ray cannot reflect off the same
+        wall twice in a row).
+        """
+        walls = self.floorplan.walls
+        sequences: List[Tuple[Segment, ...]] = [(w,) for w in walls]
+        prev_level = sequences[:]
+        for _ in range(1, self.max_reflection_order):
+            level = []
+            for seq in prev_level:
+                for wall in walls:
+                    if wall is seq[-1]:
+                        continue
+                    level.append(seq + (wall,))
+            sequences.extend(level)
+            prev_level = level
+        return sequences
+
+    def _reflect_via(
+        self, tx: Point, rx: Point, walls: Tuple[Segment, ...]
+    ) -> Optional[TracedPath]:
+        """Trace the specular path reflecting off ``walls`` in order."""
+        # Forward pass: successive images of the transmitter.
+        images = [tx]
+        for wall in walls:
+            images.append(wall.mirror(images[-1]))
+        # Backward pass: walk from the receiver toward the last image,
+        # finding each reflection point on its wall.
+        hits: List[Point] = []
+        target = rx
+        for wall, image in zip(reversed(walls), reversed(images[:-1])):
+            # The segment image(after this wall) -> target must cross the wall.
+            mirrored = wall.mirror(image)
+            hit = wall.intersect(mirrored, target)
+            if hit is None:
+                return None
+            _, hit_point = hit
+            hits.append(hit_point)
+            target = hit_point
+        hits.reverse()
+        vertices = (tx, *hits, rx)
+        # Degenerate chains (a reflection point coinciding with an
+        # endpoint or another hit, e.g. when the source sits on a wall's
+        # line) carry no usable geometry.
+        for a, b in zip(vertices, vertices[1:]):
+            if a.distance_to(b) < 1e-6:
+                return None
+        # Validate visibility of every leg; accumulate penetrated walls.
+        penetrated: List[Segment] = []
+        leg_walls = [None, *walls, None]
+        for i, (a, b) in enumerate(zip(vertices, vertices[1:])):
+            ignore = [w for w in (leg_walls[i], leg_walls[i + 1]) if w is not None]
+            crossed = self.floorplan.walls_crossed(a, b, ignore=ignore)
+            if crossed and not self.allow_through_wall:
+                return None
+            penetrated.extend(crossed)
+        return TracedPath(
+            vertices=vertices,
+            kind=KIND_REFLECTION,
+            reflecting_walls=walls,
+            penetrated_walls=tuple(penetrated),
+        )
+
+    # ------------------------------------------------------------------
+    # Knife-edge diffraction
+    # ------------------------------------------------------------------
+    def _trace_diffraction(self, tx: Point, rx: Point) -> List[TracedPath]:
+        """Single-edge diffraction paths around wall endpoints.
+
+        Only traced when the direct line is obstructed (diffraction is
+        negligible next to a clear LoS path); each candidate edge must
+        have unobstructed legs to both endpoints, and the path must
+        actually *bend around* the blocking geometry (bend angle > 0).
+        """
+        if self.floorplan.has_los(tx, rx):
+            return []
+        paths: List[TracedPath] = []
+        seen: set = set()
+        for wall in self.floorplan.walls:
+            for edge in (wall.a, wall.b):
+                key = (round(edge.x, 6), round(edge.y, 6))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if edge.distance_to(tx) < 1e-6 or edge.distance_to(rx) < 1e-6:
+                    continue
+                # Only *free* edges diffract: an endpoint that touches
+                # another wall is a junction/corner with no aperture.
+                junction = any(
+                    other is not wall and other.contains_point(edge)
+                    for other in self.floorplan.walls
+                )
+                if junction:
+                    continue
+                if not self.floorplan.has_los(tx, edge):
+                    continue
+                if not self.floorplan.has_los(edge, rx):
+                    continue
+                # Bend angle: deviation from the straight tx->rx course.
+                incoming = (edge - tx).normalized()
+                outgoing = (rx - edge).normalized()
+                cos_bend = max(-1.0, min(1.0, incoming.dot(outgoing)))
+                bend = float(np.arccos(cos_bend)) if cos_bend < 1.0 else 0.0
+                if bend < 1e-6:
+                    continue  # straight-through: not a real edge path
+                paths.append(
+                    TracedPath(
+                        vertices=(tx, edge, rx),
+                        kind=KIND_DIFFRACTION,
+                        diffraction_angle_rad=bend,
+                    )
+                )
+        # Keep the few shallowest bends: deep-shadow edges are negligible.
+        paths.sort(key=lambda p: p.diffraction_angle_rad)
+        return paths[:4]
+
+    # ------------------------------------------------------------------
+    # Scatterers
+    # ------------------------------------------------------------------
+    def _trace_scatterers(self, tx: Point, rx: Point) -> List[TracedPath]:
+        paths: List[TracedPath] = []
+        for scatterer in self.floorplan.scatterers:
+            s = scatterer.position
+            if s.distance_to(tx) < 1e-9 or s.distance_to(rx) < 1e-9:
+                continue
+            penetrated: List[Segment] = []
+            blocked = False
+            for a, b in ((tx, s), (s, rx)):
+                crossed = self.floorplan.walls_crossed(a, b)
+                if crossed and not self.allow_through_wall:
+                    blocked = True
+                    break
+                penetrated.extend(crossed)
+            if blocked:
+                continue
+            paths.append(
+                TracedPath(
+                    vertices=(tx, s, rx),
+                    kind=KIND_SCATTER,
+                    penetrated_walls=tuple(penetrated),
+                    scatterer=scatterer,
+                )
+            )
+        return paths

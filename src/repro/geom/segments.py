@@ -1,0 +1,164 @@
+"""Line segments (walls) and the intersection predicates ray tracing needs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import GeometryError
+from repro.geom.points import Point, PointLike, as_point
+
+#: Tolerance (m) for "point lies on segment" style predicates.
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A 2-D line segment with an optional material name (for walls).
+
+    Attributes
+    ----------
+    a, b:
+        Endpoints.
+    material:
+        Name of the wall material, resolved against a
+        :class:`~repro.channel.materials.MaterialLibrary` by the channel
+        simulator.  Empty string means "use the floorplan default".
+    """
+
+    a: Point
+    b: Point
+    material: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "a", as_point(self.a))
+        object.__setattr__(self, "b", as_point(self.b))
+        if self.a.distance_to(self.b) < EPS:
+            raise GeometryError(f"degenerate (zero-length) segment at {self.a}")
+
+    @property
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    @property
+    def direction(self) -> Point:
+        return (self.b - self.a).normalized()
+
+    @property
+    def normal(self) -> Point:
+        """Unit normal (direction rotated +90 degrees)."""
+        d = self.direction
+        return Point(-d.y, d.x)
+
+    def midpoint(self) -> Point:
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter t in [0, 1] along the segment."""
+        return Point(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def mirror(self, point: PointLike) -> Point:
+        """Reflect ``point`` across this segment's supporting line.
+
+        This is the "image" of the image method for specular reflections.
+        """
+        p = as_point(point)
+        d = self.direction
+        ap = p - self.a
+        along = d * ap.dot(d)
+        perp = ap - along
+        return p - perp * 2.0
+
+    def distance_to_point(self, point: PointLike) -> float:
+        """Distance from ``point`` to the segment (not the infinite line)."""
+        p = as_point(point)
+        d = self.b - self.a
+        t = (p - self.a).dot(d) / d.dot(d)
+        t = max(0.0, min(1.0, t))
+        return self.point_at(t).distance_to(p)
+
+    def contains_point(self, point: PointLike, tol: float = 1e-6) -> bool:
+        """True if ``point`` lies on the segment within ``tol`` meters."""
+        return self.distance_to_point(point) <= tol
+
+    def intersect(self, other_a: PointLike, other_b: PointLike) -> Optional[Tuple[float, Point]]:
+        """Intersect this segment with the segment ``other_a -> other_b``.
+
+        Returns ``(t, point)`` where ``t`` in [0, 1] is the parameter along
+        *this* segment, or ``None`` if they do not properly intersect.
+        Collinear overlap returns ``None`` (grazing along a wall is treated
+        as no crossing — appropriate for occlusion tests on thin walls).
+        """
+        p = self.a
+        r = self.b - self.a
+        q = as_point(other_a)
+        s = as_point(other_b) - q
+        denom = r.cross(s)
+        if abs(denom) < EPS:
+            return None
+        qp = q - p
+        t = qp.cross(s) / denom
+        u = qp.cross(r) / denom
+        if -EPS <= t <= 1.0 + EPS and -EPS <= u <= 1.0 + EPS:
+            t = max(0.0, min(1.0, t))
+            return t, self.point_at(t)
+        return None
+
+    def crosses(
+        self,
+        path_a: PointLike,
+        path_b: PointLike,
+        exclude_endpoints: bool = True,
+        endpoint_tol: float = 1e-6,
+    ) -> bool:
+        """True if the path ``path_a -> path_b`` crosses this wall.
+
+        With ``exclude_endpoints`` (the default), crossings within
+        ``endpoint_tol`` of either path endpoint are ignored — a reflection
+        point *on* this wall should not count as the wall obstructing its
+        own reflected ray.
+        """
+        hit = self.intersect(path_a, path_b)
+        if hit is None:
+            return False
+        if not exclude_endpoints:
+            return True
+        _, point = hit
+        pa, pb = as_point(path_a), as_point(path_b)
+        if point.distance_to(pa) <= endpoint_tol or point.distance_to(pb) <= endpoint_tol:
+            return False
+        return True
+
+    def incidence_cos(self, incoming_from: PointLike, hit_point: PointLike) -> float:
+        """|cos| of the incidence angle of a ray arriving at ``hit_point``.
+
+        1.0 is normal incidence, 0.0 is grazing.  Used by the material
+        model: reflection is strongest at grazing incidence.
+        """
+        v = as_point(hit_point) - as_point(incoming_from)
+        n = v.norm()
+        if n < EPS:
+            raise GeometryError("incidence ray has zero length")
+        return abs((v / n).dot(self.normal))
+
+
+def rectangle_walls(
+    x0: float, y0: float, x1: float, y1: float, material: str = ""
+) -> "list[Segment]":
+    """The four walls of an axis-aligned rectangle, counter-clockwise."""
+    if x1 <= x0 or y1 <= y0:
+        raise GeometryError(f"empty rectangle ({x0},{y0})-({x1},{y1})")
+    c = [Point(x0, y0), Point(x1, y0), Point(x1, y1), Point(x0, y1)]
+    return [
+        Segment(c[0], c[1], material),
+        Segment(c[1], c[2], material),
+        Segment(c[2], c[3], material),
+        Segment(c[3], c[0], material),
+    ]

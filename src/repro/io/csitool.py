@@ -1,0 +1,348 @@
+"""Intel 5300 linux-80211n-csitool ``.dat`` binary format.
+
+The paper's prototype collects CSI with "Linux CSI tool [68]" (Halperin et
+al.), which logs *beamforming feedback* (bfee) records to ``.dat`` files.
+This module is a from-scratch reader **and** writer for that format, so the
+library can both ingest real csitool captures and emit synthetic captures
+in the exact on-disk layout.
+
+On-disk layout (per the csitool's ``log_to_file.c`` / ``read_bfee.c``):
+
+* Each record: 2-byte big-endian ``field_len``, then 1-byte ``code``;
+  ``code == 0xBB`` is a bfee record of ``field_len - 1`` payload bytes.
+* Bfee payload: ``timestamp_low`` (u32 LE), ``bfee_count`` (u16 LE),
+  2 reserved bytes, ``Nrx``, ``Ntx``, ``rssi_a``, ``rssi_b``, ``rssi_c``
+  (u8 each), ``noise`` (i8), ``agc`` (u8), ``antenna_sel`` (u8),
+  ``len`` (u16 LE), ``fake_rate_n_flags`` (u16 LE), then ``len`` bytes of
+  bit-packed CSI: for each of 30 subcarriers, 3 padding bits then
+  ``Nrx * Ntx`` complex entries of signed 8-bit real/imaginary parts at
+  arbitrary bit offsets.
+* Scaling (``get_scaled_csi.m``): CSI is scaled so its total power matches
+  the RSS implied by the per-antenna RSSIs, AGC, and noise floor.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.wifi.csi import CsiFrame, CsiTrace
+
+_BFEE_CODE = 0xBB
+_HEADER = struct.Struct("<IHHBBBBBbBBHH")  # bfee fixed header, little-endian
+
+
+@dataclass(frozen=True)
+class BfeeRecord:
+    """One decoded bfee record.
+
+    Attributes mirror the csitool's struct; ``csi`` has shape
+    (Nrx, num_subcarriers) for Ntx = 1 and (Ntx, Nrx, num_subcarriers)
+    otherwise, holding the raw (unscaled) integer CSI.
+    """
+
+    timestamp_low: int
+    bfee_count: int
+    nrx: int
+    ntx: int
+    rssi_a: int
+    rssi_b: int
+    rssi_c: int
+    noise: int
+    agc: int
+    antenna_sel: int
+    rate: int
+    csi: np.ndarray
+
+    def antenna_permutation(self) -> "tuple[int, ...]":
+        """Decode ``antenna_sel`` into the RX antenna permutation.
+
+        The Intel 5300 maps its three RF chains onto antennas in a
+        packet-dependent order; ``antenna_sel`` packs the order as three
+        2-bit fields (the csitool's ``get_antenna_permutation``).  Entry i
+        of the result is the antenna index that produced CSI row i.
+        """
+        return (
+            (self.antenna_sel & 0x3),
+            ((self.antenna_sel >> 2) & 0x3),
+            ((self.antenna_sel >> 4) & 0x3),
+        )
+
+    def permuted_csi(self) -> np.ndarray:
+        """CSI rows reordered to physical antenna order (Ntx = 1 only).
+
+        Rows of :attr:`csi` follow RF-chain order; this applies
+        :meth:`antenna_permutation` so row m is physical antenna m, which
+        is what array processing needs.
+        """
+        if self.ntx != 1:
+            raise TraceFormatError("permutation helper supports Ntx=1 records")
+        perm = self.antenna_permutation()[: self.nrx]
+        if sorted(perm) != list(range(self.nrx)):
+            # Degenerate/default antenna_sel (e.g. all zero): no reliable
+            # permutation information; return rows unchanged.
+            return self.csi.copy()
+        out = np.empty_like(self.csi)
+        for chain, antenna in enumerate(perm):
+            out[antenna] = self.csi[chain]
+        return out
+
+    def total_rss_dbm(self) -> float:
+        """Total RSS in dBm per the csitool's ``get_total_rss``."""
+        mag_sum = 0.0
+        for rssi in (self.rssi_a, self.rssi_b, self.rssi_c):
+            if rssi:
+                mag_sum += 10.0 ** (rssi / 10.0)
+        if mag_sum == 0.0:
+            return float("-inf")
+        return 10.0 * float(np.log10(mag_sum)) - 44.0 - self.agc
+
+    def scaled_csi(self) -> np.ndarray:
+        """CSI scaled to absolute channel units (``get_scaled_csi``).
+
+        Returns an (Nrx, num_subcarriers) complex array for Ntx = 1.
+        """
+        csi = self.csi.astype(np.complex128)
+        csi_pwr = float(np.sum(np.abs(csi) ** 2))
+        if csi_pwr == 0.0:
+            return csi if self.ntx > 1 else csi.reshape(self.nrx, -1)
+        rssi_pwr = 10.0 ** (self.total_rss_dbm() / 10.0)
+        num_subcarriers = csi.shape[-1]
+        scale = rssi_pwr / (csi_pwr / num_subcarriers)
+        noise_db = self.noise if self.noise != -127 else -92
+        thermal_noise_pwr = 10.0 ** (noise_db / 10.0)
+        quant_error_pwr = scale * (self.nrx * self.ntx)
+        total_noise_pwr = thermal_noise_pwr + quant_error_pwr
+        out = csi * np.sqrt(scale / total_noise_pwr)
+        if self.ntx == 2:
+            out = out * np.sqrt(2.0)
+        elif self.ntx == 3:
+            out = out * np.sqrt(10.0 ** (4.5 / 10.0))
+        return out if self.ntx > 1 else out.reshape(self.nrx, -1)
+
+
+# ----------------------------------------------------------------------
+# Bit-packed CSI codec
+# ----------------------------------------------------------------------
+def _decode_csi_payload(
+    payload: bytes, nrx: int, ntx: int, num_subcarriers: int = 30
+) -> np.ndarray:
+    """Unpack the csitool's bit-packed CSI into an int array.
+
+    Returns shape (num_subcarriers, ntx * nrx) of complex integers, in the
+    tool's (tx-major) entry order.
+    """
+    out = np.zeros((num_subcarriers, ntx * nrx), dtype=np.complex128)
+    index = 0
+    for sc in range(num_subcarriers):
+        index += 3
+        for k in range(ntx * nrx):
+            remainder = index % 8
+            byte0 = payload[index // 8]
+            byte1 = payload[index // 8 + 1]
+            byte2 = payload[index // 8 + 2]
+            real_u8 = ((byte0 >> remainder) | (byte1 << (8 - remainder))) & 0xFF
+            imag_u8 = ((byte1 >> remainder) | (byte2 << (8 - remainder))) & 0xFF
+            real = real_u8 - 256 if real_u8 >= 128 else real_u8
+            imag = imag_u8 - 256 if imag_u8 >= 128 else imag_u8
+            out[sc, k] = complex(real, imag)
+            index += 16
+    return out
+
+
+def _encode_csi_payload(csi: np.ndarray, nrx: int, ntx: int) -> bytes:
+    """Inverse of :func:`_decode_csi_payload` (bit-exact round trip)."""
+    num_subcarriers = csi.shape[0]
+    total_bits = num_subcarriers * (3 + 16 * nrx * ntx)
+    buf = bytearray((total_bits + 7) // 8 + 2)  # +2: decoder reads ahead
+    index = 0
+
+    def put_byte(bit_index: int, value: int) -> None:
+        remainder = bit_index % 8
+        pos = bit_index // 8
+        value &= 0xFF
+        buf[pos] |= (value << remainder) & 0xFF
+        if remainder:
+            buf[pos + 1] |= value >> (8 - remainder)
+
+    for sc in range(num_subcarriers):
+        index += 3
+        for k in range(nrx * ntx):
+            entry = csi[sc, k]
+            real = int(np.round(entry.real)) & 0xFF
+            imag = int(np.round(entry.imag)) & 0xFF
+            put_byte(index, real)
+            put_byte(index + 8, imag)
+            index += 16
+    return bytes(buf)
+
+
+# ----------------------------------------------------------------------
+# File reader / writer
+# ----------------------------------------------------------------------
+def read_dat_file(
+    path: Union[str, Path], num_subcarriers: int = 30
+) -> List[BfeeRecord]:
+    """Parse every bfee record of a csitool ``.dat`` capture.
+
+    Non-bfee records (other codes the tool logs) are skipped, matching the
+    reference reader.  Raises :class:`TraceFormatError` on truncation.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    records: List[BfeeRecord] = []
+    offset = 0
+    while offset + 3 <= len(data):
+        (field_len,) = struct.unpack_from(">H", data, offset)
+        code = data[offset + 2]
+        body_start = offset + 3
+        body_end = offset + 2 + field_len
+        if field_len < 1 or body_end > len(data):
+            raise TraceFormatError(
+                f"{path}: truncated record at byte {offset} "
+                f"(field_len={field_len}, file size={len(data)})"
+            )
+        if code == _BFEE_CODE:
+            records.append(_parse_bfee(data[body_start:body_end], path, num_subcarriers))
+        offset = body_end
+    return records
+
+
+def _parse_bfee(body: bytes, path: Path, num_subcarriers: int) -> BfeeRecord:
+    if len(body) < _HEADER.size:
+        raise TraceFormatError(f"{path}: bfee record shorter than its header")
+    (
+        timestamp_low,
+        bfee_count,
+        _reserved,
+        nrx,
+        ntx,
+        rssi_a,
+        rssi_b,
+        rssi_c,
+        noise,
+        agc,
+        antenna_sel,
+        length,
+        rate,
+    ) = _HEADER.unpack_from(body)
+    expected = (30 * (nrx * ntx * 8 * 2 + 3) + 6) // 8
+    if length != expected:
+        raise TraceFormatError(
+            f"{path}: bfee payload length {length} != expected {expected} "
+            f"for Nrx={nrx}, Ntx={ntx}"
+        )
+    payload = body[_HEADER.size :]
+    if len(payload) < length:
+        raise TraceFormatError(f"{path}: bfee payload truncated")
+    raw = _decode_csi_payload(
+        payload + b"\x00\x00", nrx, ntx, num_subcarriers=num_subcarriers
+    )
+    # Reorder to (ntx, nrx, subcarriers); entry order in the payload is
+    # rx-major within each subcarrier (perm handling of antenna_sel is the
+    # caller's concern, as in the reference tool).
+    csi = raw.T.reshape(ntx, nrx, num_subcarriers, order="F")
+    if ntx == 1:
+        csi = csi.reshape(nrx, num_subcarriers)
+    return BfeeRecord(
+        timestamp_low=timestamp_low,
+        bfee_count=bfee_count,
+        nrx=nrx,
+        ntx=ntx,
+        rssi_a=rssi_a,
+        rssi_b=rssi_b,
+        rssi_c=rssi_c,
+        noise=noise,
+        agc=agc,
+        antenna_sel=antenna_sel,
+        rate=rate,
+        csi=csi,
+    )
+
+
+def write_dat_file(
+    path: Union[str, Path],
+    records: List[BfeeRecord],
+) -> Path:
+    """Write bfee records in the csitool's on-disk format."""
+    path = Path(path)
+    chunks: List[bytes] = []
+    for record in records:
+        if record.ntx == 1:
+            csi = record.csi.reshape(1, record.nrx, -1)
+        else:
+            csi = record.csi
+        num_subcarriers = csi.shape[-1]
+        entries = csi.reshape(record.ntx * record.nrx, num_subcarriers, order="F").T
+        payload = _encode_csi_payload(entries, record.nrx, record.ntx)
+        length = (30 * (record.nrx * record.ntx * 8 * 2 + 3) + 6) // 8
+        header = _HEADER.pack(
+            record.timestamp_low,
+            record.bfee_count,
+            0,
+            record.nrx,
+            record.ntx,
+            record.rssi_a,
+            record.rssi_b,
+            record.rssi_c,
+            record.noise,
+            record.agc,
+            record.antenna_sel,
+            length,
+            record.rate,
+        )
+        body = header + payload[: length + 2]
+        chunks.append(struct.pack(">H", len(body) + 1) + bytes([_BFEE_CODE]) + body)
+    path.write_bytes(b"".join(chunks))
+    return path
+
+
+def trace_from_records(
+    records: List[BfeeRecord],
+    scaled: bool = True,
+    source: str = "",
+    apply_permutation: bool = False,
+) -> CsiTrace:
+    """Convert single-stream (Ntx = 1) bfee records to a :class:`CsiTrace`.
+
+    ``apply_permutation`` reorders CSI rows from RF-chain order to physical
+    antenna order using each record's ``antenna_sel`` — required for AoA
+    work on real captures whose chains are permuted.
+    """
+    frames = []
+    for record in records:
+        if record.ntx != 1:
+            raise TraceFormatError(
+                f"trace conversion supports Ntx=1 records, got Ntx={record.ntx}"
+            )
+        if apply_permutation:
+            base = BfeeRecord(
+                timestamp_low=record.timestamp_low,
+                bfee_count=record.bfee_count,
+                nrx=record.nrx,
+                ntx=record.ntx,
+                rssi_a=record.rssi_a,
+                rssi_b=record.rssi_b,
+                rssi_c=record.rssi_c,
+                noise=record.noise,
+                agc=record.agc,
+                antenna_sel=record.antenna_sel,
+                rate=record.rate,
+                csi=record.permuted_csi(),
+            )
+            record = base
+        csi = record.scaled_csi() if scaled else record.csi.astype(np.complex128)
+        frames.append(
+            CsiFrame(
+                csi=csi,
+                rssi_dbm=record.total_rss_dbm(),
+                timestamp_s=record.timestamp_low / 1e6,
+                source=source,
+            )
+        )
+    return CsiTrace(frames)

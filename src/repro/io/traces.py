@@ -1,0 +1,136 @@
+"""Portable CSI trace archives (``.npz``).
+
+A :class:`LocationDataset` bundles what the SpotFi server stores per
+collection burst: the CSI trace from every AP that heard the target, the
+AP array geometries, and (for evaluation data) the ground-truth target
+position.  Archives are plain compressed numpy files so they can be read
+without this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.geom.points import Point, as_point
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class LocationDataset:
+    """Traces from all APs for one target location.
+
+    Attributes
+    ----------
+    ap_arrays:
+        The AP arrays, parallel to :attr:`traces`.
+    traces:
+        One CSI trace per AP.
+    target:
+        Ground-truth target position if known.
+    name:
+        Dataset label.
+    """
+
+    ap_arrays: List[UniformLinearArray]
+    traces: List[CsiTrace]
+    target: Optional[Point] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.ap_arrays) != len(self.traces):
+            raise TraceFormatError(
+                f"{len(self.ap_arrays)} arrays but {len(self.traces)} traces"
+            )
+        if self.target is not None:
+            self.target = as_point(self.target)
+
+    @property
+    def num_aps(self) -> int:
+        return len(self.ap_arrays)
+
+    def ap_trace_pairs(self) -> List[Tuple[UniformLinearArray, CsiTrace]]:
+        """(array, trace) pairs in the form the pipelines consume."""
+        return list(zip(self.ap_arrays, self.traces))
+
+
+def save_dataset(dataset: LocationDataset, path: Union[str, Path]) -> Path:
+    """Write a dataset to a compressed ``.npz`` archive."""
+    path = Path(path)
+    payload: Dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "num_aps": np.array(dataset.num_aps),
+        "name": np.array(dataset.name),
+    }
+    if dataset.target is not None:
+        payload["target"] = np.array([dataset.target.x, dataset.target.y])
+    for i, (array, trace) in enumerate(zip(dataset.ap_arrays, dataset.traces)):
+        payload[f"ap{i}_csi"] = trace.csi_array()
+        payload[f"ap{i}_rssi"] = trace.rssi_dbm()
+        payload[f"ap{i}_timestamps"] = np.array(
+            [f.timestamp_s for f in trace], dtype=float
+        )
+        payload[f"ap{i}_geometry"] = np.array(
+            [
+                array.num_antennas,
+                array.spacing_m,
+                array.position[0],
+                array.position[1],
+                array.normal_deg,
+            ],
+            dtype=float,
+        )
+    np.savez_compressed(path, **payload)
+    # numpy appends .npz when missing; report the real path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_dataset(path: Union[str, Path]) -> LocationDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"no such trace archive: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["format_version"])
+        except KeyError:
+            raise TraceFormatError(f"{path} is not a repro trace archive") from None
+        if version != _FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported archive version {version} (expected {_FORMAT_VERSION})"
+            )
+        num_aps = int(data["num_aps"])
+        name = str(data["name"])
+        target = None
+        if "target" in data:
+            t = data["target"]
+            target = Point(float(t[0]), float(t[1]))
+        arrays: List[UniformLinearArray] = []
+        traces: List[CsiTrace] = []
+        for i in range(num_aps):
+            try:
+                geometry = data[f"ap{i}_geometry"]
+                csi = data[f"ap{i}_csi"]
+                rssi = data[f"ap{i}_rssi"]
+                timestamps = data[f"ap{i}_timestamps"]
+            except KeyError as exc:
+                raise TraceFormatError(f"{path}: missing field for AP {i}: {exc}")
+            arrays.append(
+                UniformLinearArray(
+                    num_antennas=int(geometry[0]),
+                    spacing_m=float(geometry[1]),
+                    position=(float(geometry[2]), float(geometry[3])),
+                    normal_deg=float(geometry[4]),
+                )
+            )
+            traces.append(
+                CsiTrace.from_arrays(csi, rssi_dbm=rssi, timestamps_s=timestamps)
+            )
+    return LocationDataset(ap_arrays=arrays, traces=traces, target=target, name=name)

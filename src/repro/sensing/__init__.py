@@ -1,0 +1,11 @@
+"""Device-free sensing from CSI — the paper's stated future work
+("device free localization, gesture recognition and motion tracing").
+
+`repro.sensing.motion` detects environmental motion (a person walking, a
+moved object) from changes in the CSI structure between packet bursts,
+without any device on the moving subject.
+"""
+
+from repro.sensing.motion import MotionDetector, MotionReading
+
+__all__ = ["MotionDetector", "MotionReading"]

@@ -1,0 +1,160 @@
+"""Device-free motion detection from CSI.
+
+Principle: the CSI between a *static* transmitter and an AP is a
+fingerprint of the environment's multipath.  When something moves — a
+person crosses a path, furniture shifts — reflection geometry changes and
+the CSI decorrelates from its baseline.  The detector therefore tracks
+
+    score(t) = 1 - |corr(csi_t, baseline)|
+
+where ``corr`` is the normalized complex inner product of sanitized CSI
+(sanitization removes the packet-varying STO ramp that would otherwise
+swamp the comparison, and the magnitude of the correlation discards the
+CFO rotation).  Scores near 0 mean "unchanged environment"; sustained
+elevation means motion.
+
+The baseline adapts slowly (exponential moving average) so the detector
+re-arms after the environment settles into a new configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.sanitize import sanitize_csi
+from repro.errors import ConfigurationError
+from repro.wifi.csi import CsiTrace
+
+
+@dataclass(frozen=True)
+class MotionReading:
+    """One burst's motion verdict.
+
+    Attributes
+    ----------
+    score:
+        Decorrelation score in [0, 1]; 0 = identical to baseline.
+    motion:
+        True when the score exceeded the detector threshold.
+    baseline_ready:
+        False for the first burst (which only primes the baseline).
+    """
+
+    score: float
+    motion: bool
+    baseline_ready: bool
+
+
+@dataclass
+class MotionDetector:
+    """Detect environment motion from successive CSI bursts of one link.
+
+    Attributes
+    ----------
+    threshold:
+        Score above which a burst is declared "motion".  CSI noise and
+        quantization keep the static-score floor around 0.01-0.05; people
+        crossing paths push it over 0.1.
+    adaptation:
+        Baseline EMA factor in [0, 1): 0 freezes the first baseline,
+        larger values track slow environmental drift.
+    rebase_after:
+        If the environment *stays* in a new configuration (the burst
+        signature is stable burst-to-burst but differs from the baseline)
+        for this many consecutive bursts, adopt it as the new baseline —
+        so a moved chair raises one event, not an alarm forever.  0
+        disables rebasing.
+    """
+
+    threshold: float = 0.1
+    adaptation: float = 0.1
+    rebase_after: int = 3
+    _baseline: Optional[np.ndarray] = field(default=None, repr=False)
+    _previous: Optional[np.ndarray] = field(default=None, repr=False)
+    _stable_count: int = field(default=0, repr=False)
+    _history: List[MotionReading] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ConfigurationError(f"threshold must be in (0, 1), got {self.threshold}")
+        if not 0.0 <= self.adaptation < 1.0:
+            raise ConfigurationError(
+                f"adaptation must be in [0, 1), got {self.adaptation}"
+            )
+
+    # ------------------------------------------------------------------
+    def observe(self, trace: CsiTrace) -> MotionReading:
+        """Process one packet burst; returns the burst's motion reading."""
+        if len(trace) == 0:
+            raise ConfigurationError("cannot observe an empty trace")
+        signature = self._signature(trace)
+        if self._baseline is None:
+            self._baseline = signature
+            reading = MotionReading(score=0.0, motion=False, baseline_ready=False)
+        else:
+            score = self._score(signature, self._baseline)
+            reading = MotionReading(
+                score=score, motion=score > self.threshold, baseline_ready=True
+            )
+            if not reading.motion:
+                # Quiet: slow EMA tracks environmental drift.
+                self._stable_count = 0
+                if self.adaptation > 0:
+                    self._baseline = (
+                        (1.0 - self.adaptation) * self._baseline
+                        + self.adaptation * signature
+                    )
+            else:
+                # Motion relative to the baseline.  If the *burst-to-burst*
+                # signature is stable, the environment has settled in a new
+                # configuration; rebase after a few such bursts.
+                settled = (
+                    self._previous is not None
+                    and self._score(signature, self._previous) <= self.threshold
+                )
+                self._stable_count = self._stable_count + 1 if settled else 0
+                if self.rebase_after and self._stable_count >= self.rebase_after:
+                    self._baseline = signature
+                    self._stable_count = 0
+        self._previous = signature
+        self._history.append(reading)
+        return reading
+
+    def history(self) -> List[MotionReading]:
+        return list(self._history)
+
+    def reset(self) -> None:
+        """Forget the baseline (e.g. after relocating the AP)."""
+        self._baseline = None
+        self._previous = None
+        self._stable_count = 0
+        self._history.clear()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _signature(trace: CsiTrace) -> np.ndarray:
+        """Burst signature: mean sanitized CSI, unit-normalized.
+
+        Sanitizing per packet removes the STO ramp; averaging coherently
+        is wrong under random CFO, so each packet is first rotated to zero
+        mean phase before averaging.
+        """
+        acc = None
+        for frame in trace:
+            clean = sanitize_csi(frame.csi)
+            rotation = np.exp(-1j * np.angle(np.sum(clean)))
+            clean = clean * rotation
+            acc = clean if acc is None else acc + clean
+        signature = acc / len(trace)
+        norm = np.linalg.norm(signature)
+        if norm == 0:
+            raise ConfigurationError("all-zero CSI burst")
+        return signature / norm
+
+    @staticmethod
+    def _score(signature: np.ndarray, baseline: np.ndarray) -> float:
+        corr = abs(np.vdot(baseline, signature))
+        return float(np.clip(1.0 - corr, 0.0, 1.0))

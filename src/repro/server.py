@@ -1,0 +1,185 @@
+"""The SpotFi central server (paper Fig. 1).
+
+"A central server collects CSI measurements for each packet received at
+the APs ... SpotFi only adds the software required to read the reported
+CSI values, timestamps, and MAC addresses at the AP and ships it to the
+central server."
+
+:class:`SpotFiServer` is that server: APs stream per-packet
+:class:`~repro.wifi.csi.CsiFrame` records tagged with their AP id; the
+server buffers them per (source MAC, AP), and whenever a source has
+accumulated a burst (``packets_per_fix`` packets at ``min_aps`` or more
+APs) it runs Algorithm 2 and emits a :class:`FixEvent`.  Multiple targets
+are handled concurrently (separate buffers per MAC), and an optional
+Kalman tracker smooths each target's fix stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.pipeline import SpotFi, SpotFiFix
+from repro.errors import ConfigurationError, LocalizationError
+from repro.geom.points import Point
+from repro.tracking.kalman import KalmanTrack2D
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiFrame, CsiTrace
+
+
+@dataclass(frozen=True)
+class FixEvent:
+    """One localization outcome emitted by the server.
+
+    Attributes
+    ----------
+    source:
+        Target identifier (MAC address).
+    timestamp_s:
+        Timestamp of the newest packet that completed the burst.
+    fix:
+        Full pipeline output, or None when localization failed (too few
+        usable APs) — failures are reported, not swallowed.
+    filtered:
+        Kalman-filtered position when tracking is enabled.
+    num_aps:
+        APs contributing to this burst.
+    """
+
+    source: str
+    timestamp_s: float
+    fix: Optional[SpotFiFix]
+    filtered: Optional[Point] = None
+    num_aps: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.fix is not None
+
+
+@dataclass
+class SpotFiServer:
+    """Streaming multi-target localization server.
+
+    Attributes
+    ----------
+    spotfi:
+        Configured pipeline (owns grid/bounds/config).
+    aps:
+        AP id -> array geometry for every AP that ships CSI.
+    packets_per_fix:
+        Burst size per AP before a fix is attempted (paper: 10 suffice).
+    min_aps:
+        Minimum APs with a complete burst before attempting a fix.
+    track:
+        Enable Kalman smoothing of each target's fixes.
+    """
+
+    spotfi: SpotFi
+    aps: Mapping[str, UniformLinearArray]
+    packets_per_fix: int = 10
+    min_aps: int = 3
+    track: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.aps:
+            raise ConfigurationError("server needs at least one registered AP")
+        if self.packets_per_fix < 1:
+            raise ConfigurationError("packets_per_fix must be >= 1")
+        self._buffers: Dict[Tuple[str, str], List[CsiFrame]] = {}
+        self._tracks: Dict[str, KalmanTrack2D] = {}
+        self._events: Dict[str, List[FixEvent]] = {}
+
+    # ------------------------------------------------------------------
+    def ingest(self, ap_id: str, frame: CsiFrame) -> Optional[FixEvent]:
+        """Accept one packet's CSI from one AP.
+
+        Returns a :class:`FixEvent` when this packet completed a burst,
+        else None.  ``frame.source`` identifies the target.
+        """
+        if ap_id not in self.aps:
+            raise ConfigurationError(
+                f"unknown AP id {ap_id!r}; registered: {sorted(self.aps)}"
+            )
+        source = frame.source or "unknown"
+        self._buffers.setdefault((source, ap_id), []).append(frame)
+        return self._maybe_fix(source, frame.timestamp_s)
+
+    def flush(self, source: str, timestamp_s: float) -> Optional[FixEvent]:
+        """Force a fix attempt from whatever bursts are complete.
+
+        Use when a straggler AP will never complete (target moved out of
+        its range mid-burst); still requires ``min_aps`` complete bursts.
+        """
+        return self._maybe_fix(source, timestamp_s, require_all=False)
+
+    def _maybe_fix(
+        self, source: str, timestamp_s: float, require_all: bool = True
+    ) -> Optional[FixEvent]:
+        mine = [
+            (ap_id, frames)
+            for (src, ap_id), frames in self._buffers.items()
+            if src == source
+        ]
+        ready = [
+            (ap_id, frames)
+            for ap_id, frames in mine
+            if len(frames) >= self.packets_per_fix
+        ]
+        if len(ready) < self.min_aps:
+            return None
+        if require_all and len(ready) < len(mine):
+            # Wait for every AP that heard this source to finish its
+            # burst, so a fix uses all available vantage points; callers
+            # handle stragglers with flush().
+            return None
+        pairs = [
+            (self.aps[ap_id], CsiTrace(frames[: self.packets_per_fix]))
+            for ap_id, frames in ready
+        ]
+        fix: Optional[SpotFiFix]
+        try:
+            fix = self.spotfi.locate(pairs)
+        except LocalizationError:
+            fix = None
+        filtered = None
+        if fix is not None and self.track:
+            track = self._tracks.setdefault(source, KalmanTrack2D())
+            track.update((fix.position.x, fix.position.y), timestamp_s)
+            filtered = Point(*track.position)
+        event = FixEvent(
+            source=source,
+            timestamp_s=timestamp_s,
+            fix=fix,
+            filtered=filtered,
+            num_aps=len(ready),
+        )
+        self._events.setdefault(source, []).append(event)
+        # Consume the burst: drop the used packets from every buffer.
+        for ap_id, frames in ready:
+            remaining = frames[self.packets_per_fix :]
+            key = (source, ap_id)
+            if remaining:
+                self._buffers[key] = remaining
+            else:
+                del self._buffers[key]
+        return event
+
+    # ------------------------------------------------------------------
+    def events(self, source: str) -> List[FixEvent]:
+        """All fix events emitted for a target so far."""
+        return list(self._events.get(source, []))
+
+    def sources(self) -> List[str]:
+        """Targets the server has seen packets from."""
+        seen = {src for src, _ in self._buffers}
+        seen.update(self._events)
+        return sorted(seen)
+
+    def pending_packets(self, source: str) -> Dict[str, int]:
+        """Per-AP buffered packet counts for a target (diagnostics)."""
+        return {
+            ap_id: len(frames)
+            for (src, ap_id), frames in sorted(self._buffers.items())
+            if src == source
+        }

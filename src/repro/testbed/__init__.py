@@ -1,0 +1,38 @@
+"""Simulated testbed replicating the paper's Fig. 6 deployment: a building
+floor with an office region, corridors and a far wing, 55 target locations
+and wall-mounted 3-antenna APs, plus the experiment runner that drives the
+evaluation benchmarks."""
+
+from repro.testbed.collection import collect_location
+from repro.testbed.mobility import OccupancyGrid, plan_route, route_length, walk_route
+from repro.testbed.layout import (
+    Testbed,
+    TargetSpot,
+    home_testbed,
+    office_testbed,
+    small_testbed,
+)
+from repro.testbed.runner import ExperimentRunner, LocationOutcome
+from repro.testbed.scenarios import (
+    corridor_locations,
+    high_nlos_locations,
+    office_locations,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "LocationOutcome",
+    "OccupancyGrid",
+    "plan_route",
+    "route_length",
+    "walk_route",
+    "TargetSpot",
+    "Testbed",
+    "collect_location",
+    "corridor_locations",
+    "high_nlos_locations",
+    "home_testbed",
+    "office_locations",
+    "office_testbed",
+    "small_testbed",
+]

@@ -1,0 +1,78 @@
+"""Packet collection simulation — the paper's measurement procedure.
+
+Sec. 4.3.1: "The target then transmits 500 packets with 100 ms interval and
+six of our AP nodes surrounding the client that can hear the client log the
+packets as well as the CSI".  :func:`collect_location` mirrors that: every
+AP whose received power clears a sensitivity threshold records a CSI trace
+for the target's burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.csi_model import ChannelSimulator
+from repro.errors import ConfigurationError
+from repro.geom.points import PointLike, as_point
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+
+#: Receive sensitivity: APs hearing the target weaker than this drop it.
+DEFAULT_SENSITIVITY_DBM = -82.0
+
+
+@dataclass(frozen=True)
+class ApTrace:
+    """One AP's recording of a target's packet burst."""
+
+    array: UniformLinearArray
+    trace: CsiTrace
+    rssi_dbm: float
+
+
+def collect_location(
+    simulator: ChannelSimulator,
+    target: PointLike,
+    aps: Sequence[UniformLinearArray],
+    num_packets: int = 40,
+    rng: Optional[np.random.Generator] = None,
+    sensitivity_dbm: float = DEFAULT_SENSITIVITY_DBM,
+    packet_interval_s: float = 0.1,
+) -> List[ApTrace]:
+    """Simulate one collection burst: traces from every AP that hears.
+
+    Returns one :class:`ApTrace` per audible AP (possibly empty when the
+    target is fully shielded from all APs).
+    """
+    if num_packets < 1:
+        raise ConfigurationError(f"num_packets must be >= 1, got {num_packets}")
+    rng = np.random.default_rng() if rng is None else rng
+    target = as_point(target)
+    recordings: List[ApTrace] = []
+    for ap in aps:
+        profile = simulator.profile(target, ap)
+        if profile.num_paths == 0:
+            continue
+        rssi = profile.rssi_dbm(simulator.tx_power_dbm)
+        if rssi < sensitivity_dbm:
+            continue
+        trace = simulator.generate_trace(
+            target,
+            ap,
+            num_packets,
+            rng=rng,
+            packet_interval_s=packet_interval_s,
+            profile=profile,
+        )
+        recordings.append(ApTrace(array=ap, trace=trace, rssi_dbm=rssi))
+    return recordings
+
+
+def as_ap_trace_pairs(
+    recordings: Sequence[ApTrace],
+) -> List[Tuple[UniformLinearArray, CsiTrace]]:
+    """Convert recordings to the (array, trace) pairs the pipelines take."""
+    return [(r.array, r.trace) for r in recordings]

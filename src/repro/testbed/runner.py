@@ -1,0 +1,207 @@
+"""Experiment runner: drives whole-testbed localization sweeps.
+
+This is the shared engine behind the Fig. 7/8/9 benchmarks: for each target
+location it simulates a packet burst, runs SpotFi and the ArrayTrack
+baseline on the *same* traces (as the paper's method section specifies),
+and records errors plus per-AP AoA diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.arraytrack import ArrayTrack
+from repro.baselines.music_aoa import MusicAoaEstimator
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.core.steering import SteeringModel
+from repro.errors import EstimationError, LocalizationError
+from repro.geom.points import angle_diff_deg, as_point
+from repro.testbed.collection import ApTrace, as_ap_trace_pairs, collect_location
+from repro.testbed.layout import TargetSpot, Testbed
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.intel5300 import Intel5300
+
+
+@dataclass(frozen=True)
+class ApAoaDiagnostic:
+    """Per-(AP, location) AoA estimation diagnostics for Fig. 8.
+
+    Attributes
+    ----------
+    ap_index:
+        Index of the AP in the runner's AP list.
+    true_aoa_deg:
+        Ground-truth direct-path AoA.
+    los:
+        True when the AP has unobstructed LoS to the target.
+    spotfi_best_error_deg:
+        |closest SpotFi estimate - truth| (Sec. 4.4.1's metric).
+    music_best_error_deg:
+        Same for the MUSIC-AoA baseline.
+    spotfi_selected_error_deg:
+        |SpotFi's *selected* direct-path AoA - truth| (Sec. 4.4.2).
+    """
+
+    ap_index: int
+    true_aoa_deg: float
+    los: bool
+    spotfi_best_error_deg: float
+    music_best_error_deg: float
+    spotfi_selected_error_deg: float
+
+
+@dataclass
+class LocationOutcome:
+    """Everything measured at one target location."""
+
+    spot: TargetSpot
+    num_aps_heard: int
+    spotfi_error_m: float = float("nan")
+    arraytrack_error_m: float = float("nan")
+    aoa_diagnostics: List[ApAoaDiagnostic] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs localization experiments over testbed locations.
+
+    Attributes
+    ----------
+    testbed:
+        The deployment to evaluate.
+    config:
+        SpotFi pipeline configuration.
+    num_packets:
+        Packets per burst (the evaluation groups 40 consecutive
+        measurements, Sec. 4.3.1).
+    seed:
+        Base RNG seed; location i uses ``seed + i`` so runs are
+        reproducible and locations independent.
+    """
+
+    testbed: Testbed
+    config: SpotFiConfig = field(default_factory=SpotFiConfig)
+    num_packets: int = 40
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._card = Intel5300()
+        self._grid = self._card.grid()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        locations: Sequence[TargetSpot],
+        aps: Optional[Sequence[UniformLinearArray]] = None,
+        run_arraytrack: bool = True,
+        collect_aoa_diagnostics: bool = False,
+    ) -> List[LocationOutcome]:
+        """Localize every location with SpotFi (and optionally ArrayTrack).
+
+        Failed fixes (too few audible APs, degenerate estimates) yield NaN
+        errors rather than aborting the sweep — matching how a real
+        evaluation reports outages.
+        """
+        aps = list(self.testbed.aps if aps is None else aps)
+        sim = self.testbed.simulator()
+        outcomes: List[LocationOutcome] = []
+        for i, spot in enumerate(locations):
+            rng = np.random.default_rng(self.seed + i)
+            recordings = collect_location(
+                sim, spot.position, aps, num_packets=self.num_packets, rng=rng
+            )
+            outcome = LocationOutcome(spot=spot, num_aps_heard=len(recordings))
+            pairs = as_ap_trace_pairs(recordings)
+            spotfi = self._spotfi(rng)
+            try:
+                fix = spotfi.locate(pairs)
+                outcome.spotfi_error_m = fix.error_to(spot.position)
+            except LocalizationError:
+                pass
+            if run_arraytrack:
+                arraytrack = ArrayTrack(
+                    self._grid,
+                    self.testbed.bounds,
+                    packets_per_fix=self.config.packets_per_fix,
+                    grid_step_m=self.config.grid_step_m,
+                )
+                try:
+                    result = arraytrack.locate(pairs)
+                    outcome.arraytrack_error_m = result.error_to(spot.position)
+                except LocalizationError:
+                    pass
+            if collect_aoa_diagnostics:
+                outcome.aoa_diagnostics = self._aoa_diagnostics(
+                    spot, recordings, aps, spotfi
+                )
+            outcomes.append(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _spotfi(self, rng: np.random.Generator) -> SpotFi:
+        return SpotFi(self._grid, self.testbed.bounds, config=self.config, rng=rng)
+
+    def _aoa_diagnostics(
+        self,
+        spot: TargetSpot,
+        recordings: Sequence[ApTrace],
+        aps: Sequence[UniformLinearArray],
+        spotfi: SpotFi,
+    ) -> List[ApAoaDiagnostic]:
+        diagnostics = []
+        ap_index = {id(ap): k for k, ap in enumerate(aps)}
+        for recording in recordings:
+            ap = recording.array
+            truth = ap.aoa_to(spot.position)
+            if abs(truth) > 90.0:
+                continue  # behind the array: no ground-truth front AoA
+            los = self.testbed.floorplan.has_los(
+                spot.position, as_point(ap.position)
+            )
+            report = spotfi.process_ap(ap, recording.trace)
+            if report.usable:
+                all_aoas = [c.mean_aoa_deg for c in report.clusters]
+                best = min(abs(angle_diff_deg(a, truth)) for a in all_aoas)
+                selected = abs(angle_diff_deg(report.direct.aoa_deg, truth))
+            else:
+                best = float("nan")
+                selected = float("nan")
+            music = MusicAoaEstimator(
+                model=SteeringModel.for_grid(
+                    self._grid,
+                    num_antennas=ap.num_antennas,
+                    antenna_spacing_m=ap.spacing_m,
+                )
+            )
+            try:
+                music_aoas = music.estimate_trace_all(
+                    recording.trace[: self.config.packets_per_fix]
+                )
+            except EstimationError:
+                music_aoas = []
+            music_best = (
+                min(abs(angle_diff_deg(a, truth)) for a in music_aoas)
+                if music_aoas
+                else float("nan")
+            )
+            diagnostics.append(
+                ApAoaDiagnostic(
+                    ap_index=ap_index.get(id(ap), -1),
+                    true_aoa_deg=truth,
+                    los=los,
+                    spotfi_best_error_deg=float(best),
+                    music_best_error_deg=float(music_best),
+                    spotfi_selected_error_deg=float(selected),
+                )
+            )
+        return diagnostics
+
+
+def errors_of(outcomes: Sequence[LocationOutcome], method: str) -> np.ndarray:
+    """Finite error array for ``method`` ('spotfi' or 'arraytrack')."""
+    attr = {"spotfi": "spotfi_error_m", "arraytrack": "arraytrack_error_m"}[method]
+    values = np.array([getattr(o, attr) for o in outcomes], dtype=float)
+    return values[np.isfinite(values)]

@@ -1,0 +1,62 @@
+"""Scenario subsets of the testbed — the paper's Secs. 4.3.1-4.3.3.
+
+* **Office** (Sec. 4.3.1): targets inside the 16 x 10 office region,
+  localized with the six office APs.
+* **High NLoS** (Sec. 4.3.2): the locations "where only two or less number
+  of APs have a decent direct path ... based on our ground truth" — we
+  apply the same ground-truth predicate (<= 2 APs with LoS / strong direct
+  path).
+* **Corridors** (Sec. 4.3.3): targets in the two corridors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.testbed.layout import (
+    ZONE_CORRIDOR,
+    ZONE_FAR_WING,
+    ZONE_OFFICE,
+    TargetSpot,
+    Testbed,
+)
+
+
+def office_locations(testbed: Testbed) -> List[TargetSpot]:
+    """Targets in the office region (the paper's dashed red box)."""
+    return testbed.targets_in_zone(ZONE_OFFICE)
+
+
+def corridor_locations(testbed: Testbed) -> List[TargetSpot]:
+    """Targets along the two corridors."""
+    return testbed.targets_in_zone(ZONE_CORRIDOR)
+
+
+def high_nlos_locations(
+    testbed: Testbed,
+    max_los_aps: int = 2,
+    candidates: Optional[List[TargetSpot]] = None,
+) -> List[TargetSpot]:
+    """Targets with at most ``max_los_aps`` APs in line of sight.
+
+    Mirrors the paper's ground-truth-based selection of 23 stressful
+    locations.  By default every target is a candidate (far-wing targets
+    dominate, as intended).
+    """
+    candidates = testbed.targets if candidates is None else candidates
+    return [
+        spot
+        for spot in candidates
+        if testbed.los_ap_count(spot.position) <= max_los_aps
+    ]
+
+
+def scenario_locations(testbed: Testbed, scenario: str) -> List[TargetSpot]:
+    """Dispatch by scenario name: ``office``, ``corridor`` or ``nlos``."""
+    if scenario == "office":
+        return office_locations(testbed)
+    if scenario == "corridor":
+        return corridor_locations(testbed)
+    if scenario == "nlos":
+        return high_nlos_locations(testbed)
+    raise ValueError(f"unknown scenario {scenario!r}")

@@ -1,0 +1,134 @@
+"""Constant-velocity Kalman filter for 2-D position tracks.
+
+State: ``[x, y, vx, vy]``.  Measurements: position fixes (from SpotFi).
+Process noise follows the standard white-acceleration model; measurement
+noise reflects the fix accuracy (decimeters in LoS, meters NLoS).
+Innovation gating rejects wild fixes (a reflection-hijacked fix can be
+tens of meters off) instead of letting them yank the track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class KalmanTrack2D:
+    """Constant-velocity Kalman filter over 2-D position measurements.
+
+    Attributes
+    ----------
+    process_accel_std:
+        White-acceleration standard deviation (m/s^2) — how hard the
+        target can maneuver.  Walking targets: ~0.5-1.
+    measurement_std_m:
+        Fix error standard deviation (m).
+    gate_sigmas:
+        Mahalanobis gate: measurements with normalized innovation beyond
+        this many sigmas are rejected (0 disables gating).
+    """
+
+    process_accel_std: float = 0.8
+    measurement_std_m: float = 0.7
+    gate_sigmas: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.process_accel_std <= 0 or self.measurement_std_m <= 0:
+            raise ConfigurationError(
+                "process_accel_std and measurement_std_m must be positive"
+            )
+        self._state: Optional[np.ndarray] = None
+        self._cov: Optional[np.ndarray] = None
+        self._last_time: float = 0.0
+        self.num_rejected: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def initialized(self) -> bool:
+        return self._state is not None
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        """Current filtered position estimate."""
+        self._require_initialized()
+        return float(self._state[0]), float(self._state[1])
+
+    @property
+    def velocity(self) -> Tuple[float, float]:
+        """Current filtered velocity estimate (m/s)."""
+        self._require_initialized()
+        return float(self._state[2]), float(self._state[3])
+
+    def position_std(self) -> float:
+        """1-sigma position uncertainty (m), geometric mean of the axes."""
+        self._require_initialized()
+        return float(np.sqrt(np.sqrt(self._cov[0, 0] * self._cov[1, 1])))
+
+    # ------------------------------------------------------------------
+    def predict(self, timestamp_s: float) -> Tuple[float, float]:
+        """Propagate the track to ``timestamp_s``; returns predicted position."""
+        self._require_initialized()
+        dt = timestamp_s - self._last_time
+        if dt < 0:
+            raise ConfigurationError(
+                f"timestamps must be non-decreasing (got dt={dt:.3f} s)"
+            )
+        if dt > 0:
+            f, q = self._transition(dt)
+            self._state = f @ self._state
+            self._cov = f @ self._cov @ f.T + q
+            self._last_time = timestamp_s
+        return float(self._state[0]), float(self._state[1])
+
+    def update(self, position, timestamp_s: float) -> bool:
+        """Fuse a position fix.  Returns False if the gate rejected it."""
+        z = np.asarray(position, dtype=float)
+        if z.shape != (2,):
+            raise ConfigurationError(f"position must be (x, y), got {position!r}")
+        if not self.initialized:
+            self._state = np.array([z[0], z[1], 0.0, 0.0])
+            # Unknown velocity: generous initial spread.
+            self._cov = np.diag(
+                [self.measurement_std_m**2, self.measurement_std_m**2, 4.0, 4.0]
+            )
+            self._last_time = timestamp_s
+            return True
+        self.predict(timestamp_s)
+        h = np.zeros((2, 4))
+        h[0, 0] = h[1, 1] = 1.0
+        r = np.eye(2) * self.measurement_std_m**2
+        innovation = z - h @ self._state
+        s = h @ self._cov @ h.T + r
+        if self.gate_sigmas > 0:
+            d2 = float(innovation @ np.linalg.solve(s, innovation))
+            if d2 > self.gate_sigmas**2:
+                self.num_rejected += 1
+                # Rejected measurements still age the covariance (already
+                # done by predict), so a string of rejections re-opens the
+                # gate rather than locking the track forever.
+                return False
+        k = self._cov @ h.T @ np.linalg.inv(s)
+        self._state = self._state + k @ innovation
+        self._cov = (np.eye(4) - k @ h) @ self._cov
+        return True
+
+    # ------------------------------------------------------------------
+    def _transition(self, dt: float):
+        f = np.eye(4)
+        f[0, 2] = f[1, 3] = dt
+        q_std = self.process_accel_std
+        dt2, dt3, dt4 = dt**2, dt**3, dt**4
+        q_block = np.array([[dt4 / 4.0, dt3 / 2.0], [dt3 / 2.0, dt2]]) * q_std**2
+        q = np.zeros((4, 4))
+        q[np.ix_([0, 2], [0, 2])] = q_block
+        q[np.ix_([1, 3], [1, 3])] = q_block
+        return f, q
+
+    def _require_initialized(self) -> None:
+        if not self.initialized:
+            raise ConfigurationError("track has no measurements yet")

@@ -1,0 +1,124 @@
+"""SpotFi-driven target tracker.
+
+Feeds per-burst SpotFi fixes into a :class:`KalmanTrack2D`, producing a
+smoothed trajectory with outlier rejection.  The tracker owns one SpotFi
+pipeline instance and one track per target (identified by source string),
+so a server can track several devices concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import SpotFi, SpotFiFix
+from repro.errors import LocalizationError
+from repro.geom.points import Point
+from repro.tracking.kalman import KalmanTrack2D
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """One tracker output sample.
+
+    Attributes
+    ----------
+    timestamp_s:
+        Time of the burst.
+    raw:
+        The unfiltered SpotFi fix position (None if the fix failed).
+    filtered:
+        The Kalman-filtered position (None until the track initializes).
+    accepted:
+        Whether the raw fix passed the innovation gate.
+    """
+
+    timestamp_s: float
+    raw: Optional[Point]
+    filtered: Optional[Point]
+    accepted: bool
+
+
+@dataclass
+class SpotFiTracker:
+    """Track one or more targets through successive SpotFi fixes.
+
+    Attributes
+    ----------
+    spotfi:
+        The configured localization pipeline.
+    process_accel_std, measurement_std_m, gate_sigmas:
+        Kalman parameters, passed through to each target's track.
+    """
+
+    spotfi: SpotFi
+    process_accel_std: float = 0.8
+    measurement_std_m: float = 0.7
+    gate_sigmas: float = 4.0
+    _tracks: Dict[str, KalmanTrack2D] = field(default_factory=dict, repr=False)
+    _history: Dict[str, List[TrackPoint]] = field(default_factory=dict, repr=False)
+
+    def observe(
+        self,
+        ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]],
+        timestamp_s: float,
+        target_id: str = "target",
+    ) -> TrackPoint:
+        """Process one collection burst for ``target_id``.
+
+        A failed fix (too few usable APs) still advances the track's clock
+        and yields a predicted-only point.
+        """
+        track = self._tracks.setdefault(
+            target_id,
+            KalmanTrack2D(
+                process_accel_std=self.process_accel_std,
+                measurement_std_m=self.measurement_std_m,
+                gate_sigmas=self.gate_sigmas,
+            ),
+        )
+        raw: Optional[Point] = None
+        accepted = False
+        try:
+            fix: SpotFiFix = self.spotfi.locate(ap_traces)
+            raw = fix.position
+        except LocalizationError:
+            pass
+        if raw is not None:
+            accepted = track.update((raw.x, raw.y), timestamp_s)
+        elif track.initialized:
+            track.predict(timestamp_s)
+        filtered = Point(*track.position) if track.initialized else None
+        point = TrackPoint(
+            timestamp_s=timestamp_s, raw=raw, filtered=filtered, accepted=accepted
+        )
+        self._history.setdefault(target_id, []).append(point)
+        return point
+
+    def history(self, target_id: str = "target") -> List[TrackPoint]:
+        """All track points recorded for a target."""
+        return list(self._history.get(target_id, []))
+
+    def trajectory(self, target_id: str = "target") -> np.ndarray:
+        """(N, 2) array of filtered positions (initialized samples only)."""
+        points = [
+            (p.filtered.x, p.filtered.y)
+            for p in self._history.get(target_id, [])
+            if p.filtered is not None
+        ]
+        return np.asarray(points, dtype=float).reshape(-1, 2)
+
+    def velocity(self, target_id: str = "target") -> Tuple[float, float]:
+        """Current velocity estimate of a target's track."""
+        track = self._tracks.get(target_id)
+        if track is None or not track.initialized:
+            raise LocalizationError(f"no initialized track for {target_id!r}")
+        return track.velocity
+
+    def targets(self) -> List[str]:
+        """Identifiers of all targets seen so far."""
+        return sorted(self._tracks)

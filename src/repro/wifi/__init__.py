@@ -1,0 +1,27 @@
+"""WiFi PHY substrate: OFDM channelization, CSI containers, and the
+Intel 5300 measurement model (subcarrier grouping + 8-bit quantization).
+
+The rest of the library consumes CSI through the :class:`~repro.wifi.csi.CsiFrame`
+and :class:`~repro.wifi.csi.CsiTrace` containers defined here, so swapping in a
+different NIC model only requires providing a new :class:`~repro.wifi.ofdm.OfdmGrid`.
+"""
+
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiFrame, CsiTrace
+from repro.wifi.intel5300 import Intel5300
+from repro.wifi.ofdm import OfdmGrid, WifiChannel, wifi_channel_5ghz
+from repro.wifi.quantization import QuantizationModel
+from repro.wifi.rssi import rssi_from_csi, rssi_from_power
+
+__all__ = [
+    "CsiFrame",
+    "CsiTrace",
+    "Intel5300",
+    "OfdmGrid",
+    "QuantizationModel",
+    "UniformLinearArray",
+    "WifiChannel",
+    "rssi_from_csi",
+    "rssi_from_power",
+    "wifi_channel_5ghz",
+]

@@ -1,0 +1,118 @@
+"""Antenna array geometry.
+
+SpotFi assumes a uniform linear array (ULA) at each AP, like ArrayTrack
+(paper Sec. 3.1.1, Fig. 2).  The array is described by its element count,
+element spacing, position, and the orientation of the array *normal* in the
+world frame.  AoA is always measured with respect to that normal, in
+``[-90, 90]`` degrees, positive toward the array's "left" when looking along
+the normal — the same convention as the paper's ``sin(theta)`` phase model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import HALF_WAVELENGTH_M, SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class UniformLinearArray:
+    """A uniform linear antenna array in the 2-D world plane.
+
+    Attributes
+    ----------
+    num_antennas:
+        Number of elements M (the paper's APs have M = 3).
+    spacing_m:
+        Distance d between consecutive elements, default half-wavelength
+        at 5.18 GHz.
+    position:
+        (x, y) of the *first* element's phase center in world coordinates.
+        Localization treats this as the AP position.
+    normal_deg:
+        World-frame bearing of the array normal (boresight), degrees,
+        measured counter-clockwise from the +x axis.
+    """
+
+    num_antennas: int = 3
+    spacing_m: float = HALF_WAVELENGTH_M
+    position: tuple = (0.0, 0.0)
+    normal_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_antennas < 2:
+            raise ConfigurationError(
+                f"a ULA needs at least 2 antennas, got {self.num_antennas}"
+            )
+        if self.spacing_m <= 0:
+            raise ConfigurationError(
+                f"antenna spacing must be positive, got {self.spacing_m}"
+            )
+        if len(self.position) != 2:
+            raise ConfigurationError("array position must be a 2-D (x, y) tuple")
+
+    @property
+    def aperture_m(self) -> float:
+        """Total array length from first to last element (m)."""
+        return (self.num_antennas - 1) * self.spacing_m
+
+    def is_unambiguous(self, carrier_freq_hz: float) -> bool:
+        """True if ``spacing <= lambda/2`` so sin(theta) is unambiguous."""
+        half_wl = SPEED_OF_LIGHT / carrier_freq_hz / 2.0
+        return self.spacing_m <= half_wl * (1 + 1e-9)
+
+    # ------------------------------------------------------------------
+    # World-frame geometry
+    # ------------------------------------------------------------------
+    def bearing_to(self, point: tuple) -> float:
+        """World-frame bearing (deg, CCW from +x) from the array to ``point``."""
+        dx = point[0] - self.position[0]
+        dy = point[1] - self.position[1]
+        if dx == 0.0 and dy == 0.0:
+            raise ConfigurationError("cannot compute bearing to the array itself")
+        return math.degrees(math.atan2(dy, dx))
+
+    def aoa_to(self, point: tuple) -> float:
+        """Ground-truth AoA (deg, in [-180, 180]) of the direct path from ``point``.
+
+        This is the bearing of ``point`` relative to the array normal.
+        Values outside [-90, 90] mean the point is behind the array; a ULA
+        cannot distinguish front from back, so callers placing APs should
+        orient normals toward the coverage area.
+        """
+        bearing = self.bearing_to(point)
+        rel = bearing - self.normal_deg
+        # Wrap to [-180, 180).
+        rel = (rel + 180.0) % 360.0 - 180.0
+        return rel
+
+    def world_bearing_of_aoa(self, aoa_deg: float) -> float:
+        """Convert a local AoA (deg from normal) back to a world bearing (deg)."""
+        bearing = self.normal_deg + aoa_deg
+        return (bearing + 180.0) % 360.0 - 180.0
+
+    def element_positions(self) -> np.ndarray:
+        """(M, 2) world coordinates of every element.
+
+        Elements are laid out along the direction perpendicular to the
+        normal, starting at :attr:`position`; with the sign convention
+        chosen so that a source at positive AoA reaches element m *later*
+        than element 0, matching the paper's phase term
+        ``exp(-j 2 pi d (m-1) sin(theta) f / c)``.
+        """
+        normal_rad = math.radians(self.normal_deg)
+        # Array axis: normal rotated -90 degrees.
+        axis = np.array([math.sin(normal_rad), -math.cos(normal_rad)])
+        base = np.asarray(self.position, dtype=float)
+        offsets = np.arange(self.num_antennas)[:, None] * self.spacing_m * axis[None, :]
+        return base[None, :] + offsets
+
+    def distance_to(self, point: tuple) -> float:
+        """Euclidean distance (m) from the first element to ``point``."""
+        dx = point[0] - self.position[0]
+        dy = point[1] - self.position[1]
+        return math.hypot(dx, dy)

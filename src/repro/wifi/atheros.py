@@ -1,0 +1,86 @@
+"""Atheros (ath9k) CSI measurement model.
+
+The paper's architecture section notes that "all the major WiFi chip
+families (Broadcom, Atheros, Intel, and Marvell) expose quantized CSI per
+subcarrier per antenna" and that SpotFi "can easily be deployed with WiFi
+APs that use chips from other manufacturers".  This module makes that
+concrete for the other widely-used open CSI platform, the Atheros ath9k
+CSI tool:
+
+* CSI on **every** populated subcarrier — 56 at 20 MHz, 114 at 40 MHz —
+  rather than the Intel 5300's grouped 30;
+* **10-bit** quantization per real/imaginary component.
+
+Because the populated 802.11n subcarrier sets skip the DC nulls, a strict
+equal-spacing grid only holds per half-band; we expose the standard
+equally-spaced approximation used by CSI localization work (index step 1,
+the DC gap absorbed as a one-subcarrier phase discontinuity smaller than
+the noise floor at indoor delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.wifi.ofdm import OfdmGrid, WifiChannel, uniform_grid, wifi_channel_5ghz
+from repro.wifi.quantization import QuantizationModel
+
+#: CSI entries reported by ath9k per bandwidth.
+ATHEROS_SUBCARRIERS_20MHZ = 56
+ATHEROS_SUBCARRIERS_40MHZ = 114
+
+
+@dataclass(frozen=True)
+class AtherosCsi:
+    """Measurement model of an Atheros ath9k CSI-capable NIC.
+
+    Attributes
+    ----------
+    channel:
+        Tuned channel (20 or 40 MHz).
+    num_antennas:
+        Receive chains used (up to 3 on common ath9k cards).
+    quantizer:
+        10-bit CSI quantization.
+    """
+
+    channel: WifiChannel = field(default_factory=lambda: wifi_channel_5ghz(36, 40))
+    num_antennas: int = 3
+    quantizer: QuantizationModel = field(
+        default_factory=lambda: QuantizationModel(num_bits=10)
+    )
+
+    def __post_init__(self) -> None:
+        if self.channel.bandwidth_hz not in (20e6, 40e6):
+            raise ConfigurationError(
+                "ath9k CSI is modeled for 20/40 MHz channels, got "
+                f"{self.channel.bandwidth_hz / 1e6:.0f} MHz"
+            )
+        if not 1 <= self.num_antennas <= 3:
+            raise ConfigurationError(
+                f"ath9k cards have 1-3 receive chains, got {self.num_antennas}"
+            )
+
+    @property
+    def num_subcarriers(self) -> int:
+        if self.channel.bandwidth_hz == 20e6:
+            return ATHEROS_SUBCARRIERS_20MHZ
+        return ATHEROS_SUBCARRIERS_40MHZ
+
+    def grid(self) -> OfdmGrid:
+        """Equally spaced grid over the populated subcarriers."""
+        return uniform_grid(
+            self.channel.center_freq_hz, self.num_subcarriers, index_step=1
+        )
+
+    def recommended_smoothing(self):
+        """Subarray shape analogous to the paper's 2 x N/2 construction."""
+        from repro.core.smoothing import SmoothingConfig
+
+        half = self.num_subcarriers // 2
+        return SmoothingConfig(
+            sub_antennas=min(2, self.num_antennas),
+            sub_subcarriers=half,
+            max_subcarrier_shifts=half,
+        )

@@ -1,0 +1,82 @@
+"""The Intel 5300 NIC measurement model used by the paper's prototype.
+
+The Intel 5300 firmware reports CSI for 30 grouped subcarriers out of the
+114 populated subcarriers of a 40 MHz HT channel, on each of its 3 receive
+antennas, with 8-bit quantized components (paper Sec. 4.1).  This module
+bundles those facts into a single :class:`Intel5300` card model that yields
+the :class:`~repro.wifi.ofdm.OfdmGrid` and quantizer the simulator and the
+estimators share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import (
+    INTEL5300_GROUPING,
+    INTEL5300_NUM_ANTENNAS,
+    INTEL5300_NUM_SUBCARRIERS,
+)
+from repro.errors import ConfigurationError
+from repro.wifi.ofdm import OfdmGrid, WifiChannel, uniform_grid, wifi_channel_5ghz
+from repro.wifi.quantization import QuantizationModel
+
+#: Subcarrier indices reported by the Intel 5300 in a 40 MHz HT channel
+#: (IEEE 802.11n-2009 Table 7-25f grouping, Ng = 4): -58 to 58 step 4.
+#: These are equally spaced, which is what SpotFi's Omega(tau) term needs.
+INTEL5300_40MHZ_INDICES = tuple(range(-58, 59, 4))
+
+assert len(INTEL5300_40MHZ_INDICES) == INTEL5300_NUM_SUBCARRIERS
+
+
+@dataclass(frozen=True)
+class Intel5300:
+    """Measurement model of the Intel 5300 WiFi NIC.
+
+    Attributes
+    ----------
+    channel:
+        The :class:`WifiChannel` the card is tuned to (default: channel 36,
+        40 MHz, matching the paper's 5 GHz / 40 MHz configuration).
+    quantizer:
+        The 8-bit CSI quantization model.
+    """
+
+    channel: WifiChannel = field(default_factory=lambda: wifi_channel_5ghz(36, 40))
+    quantizer: QuantizationModel = field(default_factory=QuantizationModel)
+
+    def __post_init__(self) -> None:
+        if self.channel.bandwidth_hz != 40e6:
+            raise ConfigurationError(
+                "the Intel 5300 30-subcarrier grouping modeled here is for "
+                f"40 MHz channels; got {self.channel.bandwidth_hz / 1e6:.0f} MHz"
+            )
+
+    @property
+    def num_antennas(self) -> int:
+        return INTEL5300_NUM_ANTENNAS
+
+    @property
+    def num_subcarriers(self) -> int:
+        return INTEL5300_NUM_SUBCARRIERS
+
+    @property
+    def grouping(self) -> int:
+        return INTEL5300_GROUPING
+
+    def grid(self) -> OfdmGrid:
+        """The OFDM grid of the 30 reported subcarriers."""
+        return OfdmGrid(
+            carrier_freq_hz=self.channel.center_freq_hz,
+            subcarrier_indices=INTEL5300_40MHZ_INDICES,
+        )
+
+
+def generic_card_grid(
+    carrier_freq_hz: float, num_subcarriers: int, grouping: int = 1
+) -> OfdmGrid:
+    """Grid for a hypothetical NIC reporting ``num_subcarriers`` grouped entries.
+
+    Useful for the ablations that vary the number of reported subcarriers.
+    """
+    return uniform_grid(carrier_freq_hz, num_subcarriers, index_step=grouping)

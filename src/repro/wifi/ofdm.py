@@ -1,0 +1,199 @@
+"""802.11n OFDM channelization and the subcarrier grids CSI is reported on.
+
+SpotFi's joint AoA/ToF model only needs two facts about the PHY:
+
+* the carrier frequency ``f`` (enters the AoA phase term, paper Eq. 1), and
+* the frequency spacing ``f_delta`` between consecutive *reported* CSI
+  entries (enters the ToF phase term, paper Eq. 6).
+
+Both are captured by :class:`OfdmGrid`.  :class:`WifiChannel` provides the
+standard 5 GHz channelization so testbeds can be configured by channel
+number like real deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    SPEED_OF_LIGHT,
+    SUBCARRIER_SPACING_HZ,
+)
+from repro.errors import ConfigurationError
+
+#: 5 GHz channel center frequencies (MHz) for common 40 MHz-capable channels.
+_CHANNEL_CENTER_MHZ = {
+    36: 5180,
+    40: 5200,
+    44: 5220,
+    48: 5240,
+    52: 5260,
+    56: 5280,
+    60: 5300,
+    64: 5320,
+    100: 5500,
+    104: 5520,
+    149: 5745,
+    153: 5765,
+    157: 5785,
+    161: 5805,
+}
+
+
+@dataclass(frozen=True)
+class WifiChannel:
+    """An 802.11 channel: center frequency and bandwidth.
+
+    Attributes
+    ----------
+    number:
+        The 802.11 channel number (e.g. 36).
+    center_freq_hz:
+        Channel center frequency in Hz.
+    bandwidth_hz:
+        Channel bandwidth in Hz (20e6 or 40e6).
+    """
+
+    number: int
+    center_freq_hz: float
+    bandwidth_hz: float
+
+    def __post_init__(self) -> None:
+        if self.center_freq_hz <= 0:
+            raise ConfigurationError(
+                f"channel center frequency must be positive, got {self.center_freq_hz}"
+            )
+        if self.bandwidth_hz not in (20e6, 40e6, 80e6):
+            raise ConfigurationError(
+                f"unsupported bandwidth {self.bandwidth_hz}; expected 20/40/80 MHz"
+            )
+
+    @property
+    def wavelength_m(self) -> float:
+        """Free-space wavelength at the channel center (m)."""
+        return SPEED_OF_LIGHT / self.center_freq_hz
+
+
+def wifi_channel_5ghz(number: int, bandwidth_mhz: int = 40) -> WifiChannel:
+    """Build a :class:`WifiChannel` for a 5 GHz channel number.
+
+    Parameters
+    ----------
+    number:
+        Primary 20 MHz channel number (e.g. 36).
+    bandwidth_mhz:
+        20 or 40.  For 40 MHz the center shifts +10 MHz (HT40+ bonding),
+        matching the paper's 40 MHz operation.
+    """
+    if number not in _CHANNEL_CENTER_MHZ:
+        raise ConfigurationError(
+            f"unknown 5 GHz channel {number}; known: {sorted(_CHANNEL_CENTER_MHZ)}"
+        )
+    center_mhz = _CHANNEL_CENTER_MHZ[number]
+    if bandwidth_mhz == 40:
+        center_mhz += 10
+    elif bandwidth_mhz != 20:
+        raise ConfigurationError(f"bandwidth_mhz must be 20 or 40, got {bandwidth_mhz}")
+    return WifiChannel(
+        number=number,
+        center_freq_hz=center_mhz * 1e6,
+        bandwidth_hz=bandwidth_mhz * 1e6,
+    )
+
+
+@dataclass(frozen=True)
+class OfdmGrid:
+    """The frequency grid on which a NIC reports CSI.
+
+    A grid is defined by the carrier frequency and the *reported* subcarrier
+    indices (in physical-subcarrier units relative to the channel center).
+    The SpotFi model assumes the reported entries are equally spaced, which
+    holds (to within one subcarrier) for the Intel 5300 grouping; the class
+    validates this and exposes the effective spacing as
+    :attr:`subcarrier_spacing_hz`.
+
+    Attributes
+    ----------
+    carrier_freq_hz:
+        Channel center frequency in Hz.
+    subcarrier_indices:
+        Physical subcarrier indices of the reported entries, ascending.
+    """
+
+    carrier_freq_hz: float
+    subcarrier_indices: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.carrier_freq_hz <= 0:
+            raise ConfigurationError(
+                f"carrier frequency must be positive, got {self.carrier_freq_hz}"
+            )
+        idx = np.asarray(self.subcarrier_indices, dtype=float)
+        if idx.size < 2:
+            raise ConfigurationError("an OFDM grid needs at least 2 subcarriers")
+        steps = np.diff(idx)
+        if np.any(steps <= 0):
+            raise ConfigurationError("subcarrier indices must be strictly ascending")
+        # Equal spacing is assumed by the Omega(tau) model; enforce it.
+        if not np.allclose(steps, steps[0]):
+            raise ConfigurationError(
+                "SpotFi's ToF model requires equally spaced reported subcarriers; "
+                f"got steps {sorted(set(steps.tolist()))}"
+            )
+
+    @property
+    def num_subcarriers(self) -> int:
+        """Number of reported subcarriers (N in the paper)."""
+        return len(self.subcarrier_indices)
+
+    @property
+    def index_step(self) -> float:
+        """Spacing between consecutive reported entries, in physical subcarriers."""
+        return float(self.subcarrier_indices[1] - self.subcarrier_indices[0])
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        """Effective spacing f_delta between consecutive reported entries (Hz)."""
+        return self.index_step * SUBCARRIER_SPACING_HZ
+
+    @property
+    def tof_ambiguity_s(self) -> float:
+        """Period of Omega(tau): ToFs are identifiable only modulo this."""
+        return 1.0 / self.subcarrier_spacing_hz
+
+    def subcarrier_freqs_hz(self) -> np.ndarray:
+        """Absolute frequency of every reported subcarrier (Hz), ascending."""
+        idx = np.asarray(self.subcarrier_indices, dtype=float)
+        return self.carrier_freq_hz + idx * SUBCARRIER_SPACING_HZ
+
+    def relative_freqs_hz(self) -> np.ndarray:
+        """Frequency of each reported entry relative to the first one (Hz)."""
+        freqs = self.subcarrier_freqs_hz()
+        return freqs - freqs[0]
+
+    def with_carrier(self, carrier_freq_hz: float) -> "OfdmGrid":
+        """Return a copy of this grid retuned to a different carrier."""
+        return OfdmGrid(
+            carrier_freq_hz=carrier_freq_hz,
+            subcarrier_indices=self.subcarrier_indices,
+        )
+
+
+def uniform_grid(
+    carrier_freq_hz: float, num_subcarriers: int, index_step: int = 1
+) -> OfdmGrid:
+    """Build a symmetric, equally spaced :class:`OfdmGrid`.
+
+    The indices are centered on the carrier (e.g. ``-28, -24, ..., 28``),
+    which is how grouped 802.11n CSI is laid out.
+    """
+    if num_subcarriers < 2:
+        raise ConfigurationError("need at least 2 subcarriers")
+    if index_step < 1:
+        raise ConfigurationError("index_step must be >= 1")
+    span = (num_subcarriers - 1) * index_step
+    start = -span / 2.0
+    indices = tuple(start + i * index_step for i in range(num_subcarriers))
+    return OfdmGrid(carrier_freq_hz=carrier_freq_hz, subcarrier_indices=indices)

@@ -1,0 +1,89 @@
+"""Intel 5300 CSI quantization model.
+
+The paper (Sec. 4.1) notes that "the CSI information is quantized, i.e.,
+each of real and imaginary parts of CSI for every subcarrier is represented
+using 8 bits."  The firmware scales each packet's CSI matrix so the largest
+component fits the signed 8-bit range, then rounds.  This module reproduces
+that per-packet scale-and-round so the synthetic CSI carries the same
+quantization noise floor the real system fights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QuantizationModel:
+    """Per-packet scale-and-round quantizer for complex CSI.
+
+    Attributes
+    ----------
+    num_bits:
+        Bits per real/imaginary component (Intel 5300: 8).
+    headroom:
+        Fraction of full scale the largest component is scaled to, < 1 to
+        mimic the firmware leaving headroom before clipping.
+    """
+
+    num_bits: int = 8
+    headroom: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.num_bits <= 16:
+            raise ConfigurationError(f"num_bits must be in [2, 16], got {self.num_bits}")
+        if not 0.0 < self.headroom <= 1.0:
+            raise ConfigurationError(f"headroom must be in (0, 1], got {self.headroom}")
+
+    @property
+    def max_level(self) -> int:
+        """Largest representable signed integer component value."""
+        return 2 ** (self.num_bits - 1) - 1
+
+    def quantize(self, csi: np.ndarray) -> np.ndarray:
+        """Quantize a complex CSI array, returning the dequantized complex values.
+
+        The per-packet scale factor is chosen from the array's largest
+        real/imaginary component; the returned array is in the original
+        units (quantize-then-rescale), so callers can use it as a drop-in
+        noisy version of the input.  An all-zero input is returned as-is.
+        """
+        arr = np.asarray(csi, dtype=np.complex128)
+        peak = max(np.abs(arr.real).max(initial=0.0), np.abs(arr.imag).max(initial=0.0))
+        scale = self.max_level * self.headroom / peak if peak > 0 else np.inf
+        if not np.isfinite(scale):  # zero or denormal input: nothing to quantize
+            return arr.copy()
+        q_real = np.clip(np.round(arr.real * scale), -self.max_level - 1, self.max_level)
+        q_imag = np.clip(np.round(arr.imag * scale), -self.max_level - 1, self.max_level)
+        return (q_real + 1j * q_imag) / scale
+
+    def quantize_to_ints(self, csi: np.ndarray) -> "tuple[np.ndarray, float]":
+        """Quantize to integer components, returning ``(ints, scale)``.
+
+        ``ints`` is a complex array whose real/imag parts are integers in
+        the signed ``num_bits`` range; dividing by ``scale`` recovers the
+        dequantized CSI.  This is the representation the csitool trace
+        writer uses.
+        """
+        arr = np.asarray(csi, dtype=np.complex128)
+        peak = max(np.abs(arr.real).max(initial=0.0), np.abs(arr.imag).max(initial=0.0))
+        scale = self.max_level * self.headroom / peak if peak > 0 else np.inf
+        if not np.isfinite(scale):
+            return arr.copy(), 1.0
+        q_real = np.clip(np.round(arr.real * scale), -self.max_level - 1, self.max_level)
+        q_imag = np.clip(np.round(arr.imag * scale), -self.max_level - 1, self.max_level)
+        return q_real + 1j * q_imag, scale
+
+    def quantization_snr_db(self, csi: np.ndarray) -> float:
+        """Empirical SNR (dB) of the quantized representation of ``csi``."""
+        arr = np.asarray(csi, dtype=np.complex128)
+        err = self.quantize(arr) - arr
+        signal = float(np.mean(np.abs(arr) ** 2))
+        noise = float(np.mean(np.abs(err) ** 2))
+        if noise == 0.0:
+            return float("inf")
+        return 10.0 * np.log10(signal / noise)

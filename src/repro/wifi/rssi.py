@@ -1,0 +1,51 @@
+"""RSSI helpers.
+
+SpotFi's localization step (paper Sec. 3.3, Eq. 9) consumes per-AP RSSI
+under a log-distance path-loss model.  The simulator produces RSSI from the
+synthesized channel's total received power; these helpers convert between
+linear power, dBm, and CSI magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CsiShapeError
+
+
+def rssi_from_power(power_mw: float) -> float:
+    """Convert linear received power (mW) to RSSI (dBm)."""
+    if power_mw <= 0:
+        return float("-inf")
+    return float(10.0 * np.log10(power_mw))
+
+
+def power_from_rssi(rssi_dbm: float) -> float:
+    """Convert RSSI (dBm) to linear power (mW)."""
+    return float(10.0 ** (rssi_dbm / 10.0))
+
+
+def rssi_from_csi(csi: np.ndarray, reference_power_dbm: float = 0.0) -> float:
+    """Estimate RSSI (dBm) from a CSI matrix.
+
+    The mean squared CSI magnitude is the channel's average power gain
+    across antennas and subcarriers; ``reference_power_dbm`` is the
+    transmit power this gain is applied to.  A real card reports RSSI
+    from its AGC, but this is the standard software proxy.
+    """
+    arr = np.asarray(csi)
+    if arr.size == 0:
+        raise CsiShapeError("cannot compute RSSI of an empty CSI array")
+    mean_gain = float(np.mean(np.abs(arr) ** 2))
+    if mean_gain == 0.0:
+        return float("-inf")
+    return reference_power_dbm + 10.0 * float(np.log10(mean_gain))
+
+
+def combine_rssi_dbm(values_dbm: np.ndarray) -> float:
+    """Combine multiple RSSI readings (dBm) by averaging in the linear domain."""
+    vals = np.asarray(values_dbm, dtype=float)
+    vals = vals[np.isfinite(vals)]
+    if vals.size == 0:
+        return float("nan")
+    return float(10.0 * np.log10(np.mean(10.0 ** (vals / 10.0))))

@@ -1,0 +1,62 @@
+"""Tests for the ArrayTrack baseline pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.arraytrack import ArrayTrack
+from repro.errors import LocalizationError
+from repro.testbed.layout import small_testbed
+from repro.wifi.csi import CsiFrame, CsiTrace
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return small_testbed()
+
+
+class TestArrayTrack:
+    def test_locates_los_target(self, testbed, grid):
+        sim = testbed.simulator()
+        rng = np.random.default_rng(2)
+        target = testbed.targets[0].position
+        traces = [
+            (ap, sim.generate_trace(target, ap, 15, rng=rng)) for ap in testbed.aps
+        ]
+        at = ArrayTrack(grid, bounds=testbed.bounds, packets_per_fix=15)
+        result = at.locate(traces)
+        # ArrayTrack with 3 antennas is meter-scale (paper Fig. 7(a)).
+        assert result.error_to(target) < 6.0
+
+    def test_process_ap_reports_median_aoa(self, testbed, grid):
+        sim = testbed.simulator()
+        rng = np.random.default_rng(3)
+        target = testbed.targets[0].position
+        ap = testbed.aps[0]
+        trace = sim.generate_trace(target, ap, 10, rng=rng)
+        at = ArrayTrack(grid, bounds=testbed.bounds)
+        report = at.process_ap(ap, trace)
+        assert report.usable
+        assert report.num_packets_used == 10
+        assert -90.0 <= report.aoa_deg <= 90.0
+
+    def test_too_few_aps_raises(self, testbed, grid):
+        sim = testbed.simulator()
+        rng = np.random.default_rng(4)
+        target = testbed.targets[0].position
+        ap = testbed.aps[0]
+        traces = [(ap, sim.generate_trace(target, ap, 5, rng=rng))]
+        at = ArrayTrack(grid, bounds=testbed.bounds)
+        with pytest.raises(LocalizationError):
+            at.locate(traces)
+
+    def test_estimator_cache(self, testbed, grid):
+        at = ArrayTrack(grid, bounds=testbed.bounds)
+        assert at.estimator_for(testbed.aps[0]) is at.estimator_for(testbed.aps[1])
+
+    def test_zero_csi_trace_unusable(self, testbed, grid):
+        # Degenerate all-equal CSI still yields *some* MUSIC answer or a
+        # clean unusable report, never an exception.
+        frames = [CsiFrame(csi=np.ones((3, 30), dtype=complex)) for _ in range(3)]
+        at = ArrayTrack(grid, bounds=testbed.bounds)
+        report = at.process_ap(testbed.aps[0], CsiTrace(frames))
+        assert report.num_packets_used in (0, 3)

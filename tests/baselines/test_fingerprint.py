@@ -1,0 +1,110 @@
+"""Tests for the RSSI fingerprinting baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fingerprint import (
+    FingerprintDatabase,
+    FingerprintLocalizer,
+    survey,
+)
+from repro.errors import ConfigurationError, LocalizationError
+from repro.testbed.layout import small_testbed
+
+
+@pytest.fixture(scope="module")
+def radio_map():
+    tb = small_testbed()
+    sim = tb.simulator()
+    rng = np.random.default_rng(0)
+    database = survey(
+        sim, tb.aps, tb.bounds, grid_step_m=1.0, samples_per_point=4, rng=rng
+    )
+    return tb, sim, database
+
+
+class TestSurvey:
+    def test_grid_coverage(self, radio_map):
+        tb, _, database = radio_map
+        # 12 x 8 room at 1 m step: interior cells minus wall-adjacent ones.
+        assert len(database) > 60
+
+    def test_fingerprint_statistics(self, radio_map):
+        _, _, database = radio_map
+        fp = database.fingerprints[0]
+        assert len(fp.mean_rssi_dbm) == 4
+        assert all(s >= 0.5 for s in fp.std_rssi_db)
+
+    def test_rssi_gradient_toward_ap(self, radio_map):
+        tb, _, database = radio_map
+        ap = tb.aps[0]
+        near = min(
+            database.fingerprints,
+            key=lambda fp: fp.position.distance_to(ap.position),
+        )
+        far = max(
+            database.fingerprints,
+            key=lambda fp: fp.position.distance_to(ap.position),
+        )
+        assert near.mean_rssi_dbm[0] > far.mean_rssi_dbm[0]
+
+    def test_bad_grid_step(self, radio_map):
+        tb, sim, _ = radio_map
+        with pytest.raises(ConfigurationError):
+            survey(sim, tb.aps, tb.bounds, grid_step_m=0.0)
+
+
+class TestLocalize:
+    def test_matches_known_location(self, radio_map):
+        tb, sim, database = radio_map
+        localizer = FingerprintLocalizer(database=database, k=4)
+        rng = np.random.default_rng(5)
+        target = tb.targets[1].position
+        observed = []
+        for ap in tb.aps:
+            profile = sim.profile(target, ap)
+            observed.append(
+                profile.rssi_dbm(sim.tx_power_dbm) + rng.normal(0, 1.0)
+            )
+        estimate = localizer.locate(observed)
+        # Fingerprinting on a 1 m grid: ~1-2 m accuracy is the expectation.
+        assert estimate.distance_to(target) < 2.5
+
+    def test_nan_readings_skipped(self, radio_map):
+        tb, sim, database = radio_map
+        localizer = FingerprintLocalizer(database=database)
+        target = tb.targets[0].position
+        observed = [
+            sim.profile(target, ap).rssi_dbm(sim.tx_power_dbm) for ap in tb.aps
+        ]
+        observed[0] = float("nan")
+        estimate = localizer.locate(observed)
+        assert estimate.distance_to(target) < 4.0
+
+    def test_too_few_readings_rejected(self, radio_map):
+        _, _, database = radio_map
+        localizer = FingerprintLocalizer(database=database)
+        with pytest.raises(LocalizationError):
+            localizer.locate([float("nan")] * 3 + [-50.0])
+
+    def test_wrong_vector_length_rejected(self, radio_map):
+        _, _, database = radio_map
+        localizer = FingerprintLocalizer(database=database)
+        with pytest.raises(ConfigurationError):
+            localizer.locate([-50.0, -60.0])
+
+    def test_k_validation(self, radio_map):
+        _, _, database = radio_map
+        with pytest.raises(ConfigurationError):
+            FingerprintLocalizer(database=database, k=0)
+
+    def test_empty_database_rejected(self, radio_map):
+        tb, _, _ = radio_map
+        with pytest.raises(LocalizationError):
+            FingerprintLocalizer(database=FingerprintDatabase(aps=list(tb.aps)))
+
+    def test_add_shape_validation(self, radio_map):
+        tb, _, _ = radio_map
+        database = FingerprintDatabase(aps=list(tb.aps))
+        with pytest.raises(ConfigurationError):
+            database.add((1.0, 1.0), np.zeros((3, 2)))

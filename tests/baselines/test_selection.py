@@ -1,0 +1,72 @@
+"""Tests for the direct-path selection baselines (Sec. 4.4.2)."""
+
+import pytest
+
+from repro.baselines.selection import (
+    SELECTORS,
+    select_cupid,
+    select_ltye,
+    select_oracle,
+    select_spotfi,
+)
+from repro.core.clustering import PathCluster
+from repro.errors import ClusteringError
+
+
+def cluster(aoa, tof, power=5.0, count=20, var_aoa=1.0, var_tof=4e-18):
+    return PathCluster(
+        mean_aoa_deg=aoa,
+        mean_tof_s=tof,
+        var_aoa_deg2=var_aoa,
+        var_tof_s2=var_tof,
+        count=count,
+        mean_power=power,
+    )
+
+
+@pytest.fixture()
+def clusters():
+    return [
+        cluster(10.0, 30e-9, power=4.0),  # direct-like: earliest
+        cluster(-40.0, 90e-9, power=9.0),  # strongest reflection
+        cluster(65.0, 180e-9, power=2.0),
+    ]
+
+
+class TestLtye:
+    def test_picks_smallest_tof(self, clusters):
+        assert select_ltye(clusters).aoa_deg == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            select_ltye([])
+
+
+class TestCupid:
+    def test_picks_largest_power(self, clusters):
+        assert select_cupid(clusters).aoa_deg == -40.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            select_cupid([])
+
+
+class TestOracle:
+    def test_picks_closest_to_truth(self, clusters):
+        assert select_oracle(clusters, true_aoa_deg=60.0).aoa_deg == 65.0
+        assert select_oracle(clusters, true_aoa_deg=5.0).aoa_deg == 10.0
+
+    def test_wraps_angles(self, clusters):
+        # -40 is 80 degrees from truth 40; 65 is 25 away.
+        assert select_oracle(clusters, true_aoa_deg=40.0).aoa_deg == 65.0
+
+
+class TestSpotFi:
+    def test_same_as_core_selection(self, clusters):
+        result = select_spotfi(clusters)
+        assert result.likelihood == max(result.all_likelihoods or [result.likelihood])
+
+    def test_registry_contains_all(self):
+        assert set(SELECTORS) == {"spotfi", "ltye", "cupid"}
+        for fn in SELECTORS.values():
+            assert callable(fn)

@@ -1,0 +1,81 @@
+"""Tests for receiver-chain phase offsets."""
+
+import numpy as np
+import pytest
+
+from repro.channel.chains import ChainOffsets
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_identity(self):
+        offs = ChainOffsets.identity(3)
+        assert offs.num_antennas == 3
+        assert offs.offsets_rad == (0.0, 0.0, 0.0)
+
+    def test_random_reference_zero(self, rng):
+        offs = ChainOffsets.random(3, rng)
+        assert offs.offsets_rad[0] == 0.0
+        assert all(-np.pi <= v <= np.pi for v in offs.offsets_rad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChainOffsets(offsets_rad=())
+
+    def test_referenced(self):
+        offs = ChainOffsets(offsets_rad=(0.5, 1.0, -0.5)).referenced()
+        assert offs.offsets_rad[0] == pytest.approx(0.0)
+        assert offs.offsets_rad[1] == pytest.approx(0.5)
+        assert offs.offsets_rad[2] == pytest.approx(-1.0)
+
+
+class TestApplyCorrect:
+    def test_apply_rotates_rows(self, rng):
+        csi = rng.normal(size=(3, 30)) + 1j * rng.normal(size=(3, 30))
+        offs = ChainOffsets(offsets_rad=(0.0, 0.7, -1.2))
+        out = offs.apply(csi)
+        assert np.allclose(out[0], csi[0])
+        assert np.allclose(out[1], csi[1] * np.exp(0.7j))
+        assert np.allclose(out[2], csi[2] * np.exp(-1.2j))
+
+    def test_correct_is_inverse(self, rng):
+        csi = rng.normal(size=(3, 30)) + 1j * rng.normal(size=(3, 30))
+        offs = ChainOffsets.random(3, rng)
+        assert np.allclose(offs.correct(offs.apply(csi)), csi)
+
+    def test_shape_mismatch_rejected(self, rng):
+        offs = ChainOffsets.identity(3)
+        with pytest.raises(ConfigurationError):
+            offs.apply(np.ones((2, 30), dtype=complex))
+        with pytest.raises(ConfigurationError):
+            offs.correct(np.ones((4, 30), dtype=complex))
+
+
+class TestAlgebra:
+    def test_compose(self):
+        a = ChainOffsets(offsets_rad=(0.0, 0.5, 1.0))
+        b = ChainOffsets(offsets_rad=(0.0, -0.5, 0.5))
+        c = a.compose(b)
+        assert c.offsets_rad[1] == pytest.approx(0.0)
+        assert c.offsets_rad[2] == pytest.approx(1.5)
+
+    def test_compose_wraps(self):
+        a = ChainOffsets(offsets_rad=(0.0, 3.0))
+        b = ChainOffsets(offsets_rad=(0.0, 3.0))
+        c = a.compose(b)
+        assert -np.pi <= c.offsets_rad[1] <= np.pi
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ChainOffsets.identity(2).compose(ChainOffsets.identity(3))
+
+    def test_max_error_to(self):
+        a = ChainOffsets(offsets_rad=(0.0, 0.5, 1.0))
+        b = ChainOffsets(offsets_rad=(0.0, 0.4, 1.3))
+        assert a.max_error_to(b) == pytest.approx(0.3)
+
+    def test_max_error_reference_invariant(self):
+        # A common rotation of all chains is unobservable.
+        a = ChainOffsets(offsets_rad=(0.2, 0.7, 1.2))
+        b = ChainOffsets(offsets_rad=(0.0, 0.5, 1.0))
+        assert a.max_error_to(b) == pytest.approx(0.0, abs=1e-12)

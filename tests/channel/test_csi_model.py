@@ -1,0 +1,129 @@
+"""Tests for CSI synthesis and the channel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi_model import ChannelSimulator, synthesize_csi
+from repro.channel.impairments import ideal_impairments
+from repro.channel.paths import PropagationPath
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.geom.floorplan import empty_room
+from repro.wifi.arrays import UniformLinearArray
+
+
+class TestSynthesizeCsi:
+    def test_shape(self, grid, ula, three_paths):
+        csi = synthesize_csi(three_paths, ula, grid)
+        assert csi.shape == (3, 30)
+
+    def test_zero_paths_rejected(self, grid, ula):
+        with pytest.raises(ConfigurationError):
+            synthesize_csi([], ula, grid)
+
+    def test_single_path_constant_magnitude(self, grid, ula):
+        path = PropagationPath(aoa_deg=25.0, tof_s=40e-9, gain=0.7 * np.exp(0.3j))
+        csi = synthesize_csi([path], ula, grid)
+        assert np.allclose(np.abs(csi), 0.7)
+
+    def test_boresight_path_has_no_antenna_phase(self, grid, ula):
+        path = PropagationPath(aoa_deg=0.0, tof_s=40e-9, gain=1.0)
+        csi = synthesize_csi([path], ula, grid)
+        # All antennas identical when sin(theta) = 0.
+        assert np.allclose(csi[0], csi[1])
+        assert np.allclose(csi[1], csi[2])
+
+    def test_antenna_phase_matches_eq1(self, grid, ula):
+        aoa = 30.0
+        path = PropagationPath(aoa_deg=aoa, tof_s=0.0, gain=1.0)
+        csi = synthesize_csi([path], ula, grid)
+        # Phase ratio between antennas at the center subcarrier should be
+        # Phi(theta) evaluated at that subcarrier's frequency.
+        n_mid = 15
+        f_mid = grid.subcarrier_freqs_hz()[n_mid]
+        expected = np.exp(
+            -2j
+            * np.pi
+            * ula.spacing_m
+            * np.sin(np.deg2rad(aoa))
+            * f_mid
+            / SPEED_OF_LIGHT
+        )
+        ratio = csi[1, n_mid] / csi[0, n_mid]
+        assert ratio == pytest.approx(expected, rel=1e-12)
+
+    def test_subcarrier_phase_matches_eq6(self, grid, ula):
+        tof = 80e-9
+        path = PropagationPath(aoa_deg=0.0, tof_s=tof, gain=1.0)
+        csi = synthesize_csi([path], ula, grid)
+        expected = np.exp(-2j * np.pi * grid.subcarrier_spacing_hz * tof)
+        ratios = csi[0, 1:] / csi[0, :-1]
+        assert np.allclose(ratios, expected)
+
+    def test_superposition(self, grid, ula, three_paths):
+        total = synthesize_csi(three_paths, ula, grid)
+        parts = sum(synthesize_csi([p], ula, grid) for p in three_paths)
+        assert np.allclose(total, parts)
+
+
+class TestChannelSimulator:
+    @pytest.fixture()
+    def sim(self, grid):
+        room = empty_room(10.0, 6.0)
+        return ChannelSimulator(floorplan=room, grid=grid)
+
+    @pytest.fixture()
+    def ap(self):
+        return UniformLinearArray(3, position=(0.5, 3.0), normal_deg=0.0)
+
+    def test_generate_trace_shape(self, sim, ap, rng):
+        trace = sim.generate_trace((7.0, 3.0), ap, 5, rng=rng)
+        assert len(trace) == 5
+        assert trace.num_antennas == 3
+        assert trace.num_subcarriers == 30
+
+    def test_rssi_decreases_with_distance(self, sim, ap, rng):
+        near = sim.generate_trace((2.0, 3.0), ap, 5, rng=rng)
+        far = sim.generate_trace((9.0, 3.0), ap, 5, rng=rng)
+        assert near.median_rssi_dbm() > far.median_rssi_dbm()
+
+    def test_deterministic_with_seed(self, sim, ap):
+        t1 = sim.generate_trace((7.0, 3.0), ap, 3, rng=np.random.default_rng(7))
+        t2 = sim.generate_trace((7.0, 3.0), ap, 3, rng=np.random.default_rng(7))
+        assert np.allclose(t1.csi_array(), t2.csi_array())
+        assert np.allclose(t1.rssi_dbm(), t2.rssi_dbm())
+
+    def test_clean_simulator_matches_synthesis(self, grid, ap):
+        room = empty_room(10.0, 6.0)
+        sim = ChannelSimulator(
+            floorplan=room,
+            grid=grid,
+            impairments=ideal_impairments(),
+            rssi_jitter_db=0.0,
+        )
+        rng = np.random.default_rng(0)
+        trace = sim.generate_trace((7.0, 3.0), ap, 2, rng=rng)
+        profile = sim.profile((7.0, 3.0), ap)
+        expected = synthesize_csi(profile, ap, grid)
+        assert np.allclose(trace[0].csi, expected)
+        assert np.allclose(trace[1].csi, expected)
+
+    def test_invalid_packet_count(self, sim, ap, rng):
+        with pytest.raises(ConfigurationError):
+            sim.generate_trace((7.0, 3.0), ap, 0, rng=rng)
+
+    def test_timestamps_follow_interval(self, sim, ap, rng):
+        trace = sim.generate_trace(
+            (7.0, 3.0), ap, 3, rng=rng, packet_interval_s=0.1
+        )
+        stamps = [f.timestamp_s for f in trace]
+        assert stamps == pytest.approx([0.0, 0.1, 0.2])
+
+    def test_generate_traces_multiple_aps(self, sim, rng):
+        aps = [
+            UniformLinearArray(3, position=(0.5, 3.0), normal_deg=0.0),
+            UniformLinearArray(3, position=(9.5, 3.0), normal_deg=180.0),
+        ]
+        traces = sim.generate_traces((5.0, 3.0), aps, 4, rng=rng)
+        assert len(traces) == 2
+        assert all(len(t) == 4 for t in traces)

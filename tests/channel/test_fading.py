@@ -1,0 +1,73 @@
+"""Tests for per-packet channel fading in the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi_model import ChannelSimulator
+from repro.channel.impairments import ideal_impairments
+from repro.geom.floorplan import empty_room
+from repro.wifi.arrays import UniformLinearArray
+
+
+@pytest.fixture()
+def room_ap(grid):
+    room = empty_room(10.0, 6.0)
+
+    def make(fading_db=0.0, fading_phase=0.0):
+        return ChannelSimulator(
+            floorplan=room,
+            grid=grid,
+            impairments=ideal_impairments(),
+            rssi_jitter_db=0.0,
+            fading_std_db=fading_db,
+            fading_phase_std_rad=fading_phase,
+        )
+
+    ap = UniformLinearArray(3, position=(0.5, 3.0), normal_deg=0.0)
+    return make, ap
+
+
+class TestFading:
+    def test_no_fading_is_static(self, room_ap):
+        make, ap = room_ap
+        sim = make()
+        trace = sim.generate_trace((7.0, 3.0), ap, 4, rng=np.random.default_rng(0))
+        arr = trace.csi_array()
+        assert np.allclose(arr[0], arr[1])
+        assert np.allclose(arr[0], arr[3])
+
+    def test_fading_varies_packets(self, room_ap):
+        make, ap = room_ap
+        sim = make(fading_db=1.0, fading_phase=0.1)
+        trace = sim.generate_trace((7.0, 3.0), ap, 4, rng=np.random.default_rng(0))
+        arr = trace.csi_array()
+        assert not np.allclose(arr[0], arr[1])
+
+    def test_fading_magnitude_scales_with_std(self, room_ap):
+        make, ap = room_ap
+        small = make(fading_db=0.5)
+        large = make(fading_db=3.0)
+        t_small = small.generate_trace((7.0, 3.0), ap, 20, rng=np.random.default_rng(1))
+        t_large = large.generate_trace((7.0, 3.0), ap, 20, rng=np.random.default_rng(1))
+
+        def spread(trace):
+            power = np.array([np.mean(np.abs(f.csi) ** 2) for f in trace])
+            return float(np.std(10 * np.log10(power)))
+
+        assert spread(t_large) > spread(t_small)
+
+    def test_fading_preserves_mean_structure(self, room_ap):
+        # Averaged over many packets, the faded channel converges to the
+        # static one (zero-mean fading in the log/phase domain).
+        make, ap = room_ap
+        static = make().generate_trace(
+            (7.0, 3.0), ap, 1, rng=np.random.default_rng(2)
+        )[0].csi
+        faded = make(fading_db=0.5, fading_phase=0.05).generate_trace(
+            (7.0, 3.0), ap, 200, rng=np.random.default_rng(2)
+        )
+        mean_csi = faded.csi_array().mean(axis=0)
+        correlation = np.abs(np.vdot(mean_csi, static)) / (
+            np.linalg.norm(mean_csi) * np.linalg.norm(static)
+        )
+        assert correlation > 0.98

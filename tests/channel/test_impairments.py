@@ -1,0 +1,135 @@
+"""Tests for the impairment model (STO / SFO / noise / quantization)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.impairments import ImpairmentModel, ImpairmentState, ideal_impairments
+from repro.errors import ConfigurationError
+
+F_DELTA = 1.25e6
+
+
+@pytest.fixture()
+def clean_csi(rng):
+    return rng.normal(size=(3, 30)) + 1j * rng.normal(size=(3, 30))
+
+
+class TestDrawState:
+    def test_sfo_drift_accumulates(self, rng):
+        model = ImpairmentModel(
+            base_sto_s=50e-9,
+            sfo_drift_s_per_packet=1e-9,
+            sto_jitter_s=0.0,
+            snr_jitter_db=0.0,
+        )
+        s0 = model.draw_state(0, rng)
+        s10 = model.draw_state(10, rng)
+        assert s10.sto_s - s0.sto_s == pytest.approx(10e-9)
+
+    def test_jitter_varies_sto(self):
+        model = ImpairmentModel(sto_jitter_s=5e-9)
+        rng = np.random.default_rng(0)
+        stos = {model.draw_state(0, rng).sto_s for _ in range(10)}
+        assert len(stos) > 1
+
+    def test_sto_never_negative(self):
+        model = ImpairmentModel(base_sto_s=0.0, sto_jitter_s=100e-9)
+        rng = np.random.default_rng(0)
+        assert all(model.draw_state(0, rng).sto_s >= 0 for _ in range(50))
+
+    def test_cfo_disabled(self, rng):
+        model = ImpairmentModel(random_cfo_phase=False)
+        assert model.draw_state(0, rng).cfo_phase_rad == 0.0
+
+    def test_negative_base_sto_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImpairmentModel(base_sto_s=-1e-9)
+        with pytest.raises(ConfigurationError):
+            ImpairmentModel(sto_jitter_s=-1e-9)
+
+
+class TestApply:
+    def test_sto_ramp_same_across_antennas(self, clean_csi, rng):
+        model = ideal_impairments()
+        state = ImpairmentState(sto_s=30e-9, cfo_phase_rad=0.0, snr_db=float("inf"))
+        out = model.apply(clean_csi, state, F_DELTA, rng)
+        ramp = out / clean_csi
+        # The multiplicative ramp must be identical for every antenna row.
+        assert np.allclose(ramp[0], ramp[1])
+        assert np.allclose(ramp[0], ramp[2])
+
+    def test_sto_ramp_linear_phase(self, clean_csi, rng):
+        model = ideal_impairments()
+        sto = 30e-9
+        state = ImpairmentState(sto_s=sto, cfo_phase_rad=0.0, snr_db=float("inf"))
+        out = model.apply(clean_csi, state, F_DELTA, rng)
+        ramp = out[0] / clean_csi[0]
+        expected_step = np.exp(-2j * np.pi * F_DELTA * sto)
+        assert np.allclose(ramp[1:] / ramp[:-1], expected_step)
+
+    def test_zero_state_identity(self, clean_csi, rng):
+        model = ideal_impairments()
+        state = ImpairmentState(sto_s=0.0, cfo_phase_rad=0.0, snr_db=float("inf"))
+        out = model.apply(clean_csi, state, F_DELTA, rng)
+        assert np.allclose(out, clean_csi)
+
+    def test_cfo_is_common_rotation(self, clean_csi, rng):
+        model = ideal_impairments()
+        state = ImpairmentState(sto_s=0.0, cfo_phase_rad=0.7, snr_db=float("inf"))
+        out = model.apply(clean_csi, state, F_DELTA, rng)
+        assert np.allclose(out, clean_csi * np.exp(0.7j))
+
+    def test_noise_scales_with_snr(self, clean_csi):
+        model = ImpairmentModel(
+            base_sto_s=0.0,
+            sfo_drift_s_per_packet=0.0,
+            sto_jitter_s=0.0,
+            random_cfo_phase=False,
+            quantizer=None,
+        )
+        rng_hi = np.random.default_rng(3)
+        rng_lo = np.random.default_rng(3)
+        hi = model.apply(
+            clean_csi,
+            ImpairmentState(0.0, 0.0, snr_db=40.0),
+            F_DELTA,
+            rng_hi,
+        )
+        lo = model.apply(
+            clean_csi,
+            ImpairmentState(0.0, 0.0, snr_db=10.0),
+            F_DELTA,
+            rng_lo,
+        )
+        err_hi = np.abs(hi - clean_csi).mean()
+        err_lo = np.abs(lo - clean_csi).mean()
+        assert err_lo > 10 * err_hi
+
+    def test_empirical_snr_close_to_requested(self, clean_csi):
+        model = ImpairmentModel(
+            base_sto_s=0.0,
+            sfo_drift_s_per_packet=0.0,
+            sto_jitter_s=0.0,
+            random_cfo_phase=False,
+            quantizer=None,
+        )
+        rng = np.random.default_rng(5)
+        snr_target = 20.0
+        errs, sigs = [], []
+        for _ in range(50):
+            out = model.apply(
+                clean_csi,
+                ImpairmentState(0.0, 0.0, snr_db=snr_target),
+                F_DELTA,
+                rng,
+            )
+            errs.append(np.mean(np.abs(out - clean_csi) ** 2))
+            sigs.append(np.mean(np.abs(clean_csi) ** 2))
+        snr_emp = 10 * np.log10(np.mean(sigs) / np.mean(errs))
+        assert snr_emp == pytest.approx(snr_target, abs=1.0)
+
+    def test_ideal_model_is_transparent(self, clean_csi, rng):
+        model = ideal_impairments()
+        state = model.draw_state(0, rng)
+        out = model.apply(clean_csi, state, F_DELTA, rng)
+        assert np.allclose(out, clean_csi)

@@ -1,0 +1,53 @@
+"""Tests for the material library."""
+
+import pytest
+
+from repro.channel.materials import DEFAULT_MATERIALS, Material, MaterialLibrary
+from repro.errors import ConfigurationError
+
+
+class TestMaterial:
+    def test_transmission_amplitude(self):
+        m = Material("test", reflectivity=0.5, transmission_loss_db=20.0)
+        assert m.transmission_amplitude == pytest.approx(0.1)
+
+    def test_zero_loss_is_transparent(self):
+        m = Material("air", reflectivity=0.0, transmission_loss_db=0.0)
+        assert m.transmission_amplitude == 1.0
+
+    def test_reflectivity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", reflectivity=1.5, transmission_loss_db=0)
+        with pytest.raises(ConfigurationError):
+            Material("bad", reflectivity=-0.1, transmission_loss_db=0)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", reflectivity=0.5, transmission_loss_db=-1)
+
+
+class TestLibrary:
+    def test_defaults_present(self):
+        for name in ("drywall", "concrete", "metal", "glass"):
+            assert name in DEFAULT_MATERIALS
+            assert DEFAULT_MATERIALS.get(name).name == name
+
+    def test_unknown_material_raises_with_known_list(self):
+        with pytest.raises(ConfigurationError) as exc:
+            DEFAULT_MATERIALS.get("vibranium")
+        assert "drywall" in str(exc.value)
+
+    def test_register_replaces(self):
+        lib = MaterialLibrary()
+        lib.register(Material("drywall", reflectivity=0.9, transmission_loss_db=1.0))
+        assert lib.get("drywall").reflectivity == 0.9
+
+    def test_metal_more_reflective_than_drywall(self):
+        metal = DEFAULT_MATERIALS.get("metal")
+        drywall = DEFAULT_MATERIALS.get("drywall")
+        assert metal.reflectivity > drywall.reflectivity
+        assert metal.transmission_loss_db > drywall.transmission_loss_db
+
+    def test_iteration_and_names(self):
+        lib = MaterialLibrary()
+        assert sorted(m.name for m in lib) == lib.names()

@@ -1,0 +1,77 @@
+"""Tests for the log-distance path-loss model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import LogDistancePathLoss, fit_path_loss
+from repro.errors import ConfigurationError
+
+
+class TestModel:
+    def test_reference_distance_value(self):
+        model = LogDistancePathLoss(p0_dbm=-40.0, exponent=2.0)
+        assert model.rssi_dbm(1.0) == pytest.approx(-40.0)
+
+    def test_decade_drop(self):
+        model = LogDistancePathLoss(p0_dbm=-40.0, exponent=2.0)
+        assert model.rssi_dbm(10.0) == pytest.approx(-60.0)
+
+    def test_higher_exponent_drops_faster(self):
+        soft = LogDistancePathLoss(exponent=2.0)
+        hard = LogDistancePathLoss(exponent=4.0)
+        assert hard.rssi_dbm(10.0) < soft.rssi_dbm(10.0)
+
+    def test_vectorized(self):
+        model = LogDistancePathLoss()
+        out = model.rssi_dbm(np.array([1.0, 2.0, 4.0]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)
+
+    def test_inverse(self):
+        model = LogDistancePathLoss(p0_dbm=-40.0, exponent=3.0)
+        for d in (0.5, 1.0, 7.3, 20.0):
+            assert model.distance_m(model.rssi_dbm(d)) == pytest.approx(d)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(d0_m=0.0)
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(exponent=-1.0)
+
+
+class TestFit:
+    def test_exact_recovery_on_clean_data(self):
+        truth = LogDistancePathLoss(p0_dbm=-38.0, exponent=2.7)
+        d = np.array([1.0, 2.0, 5.0, 10.0, 20.0])
+        model, rms = fit_path_loss(d, truth.rssi_dbm(d))
+        assert model.p0_dbm == pytest.approx(-38.0, abs=1e-9)
+        assert model.exponent == pytest.approx(2.7, abs=1e-9)
+        assert rms == pytest.approx(0.0, abs=1e-9)
+
+    def test_noisy_recovery(self):
+        truth = LogDistancePathLoss(p0_dbm=-40.0, exponent=3.0)
+        rng = np.random.default_rng(0)
+        d = rng.uniform(1, 30, size=200)
+        r = truth.rssi_dbm(d) + rng.normal(0, 2.0, size=200)
+        model, rms = fit_path_loss(d, r)
+        assert model.exponent == pytest.approx(3.0, abs=0.2)
+        assert rms < 3.0
+
+    def test_nan_samples_ignored(self):
+        truth = LogDistancePathLoss()
+        d = np.array([1.0, 2.0, 4.0, 8.0])
+        r = truth.rssi_dbm(d)
+        d_bad = np.append(d, [5.0])
+        r_bad = np.append(r, [np.nan])
+        model, _ = fit_path_loss(d_bad, r_bad)
+        assert model.exponent == pytest.approx(truth.exponent, abs=1e-9)
+
+    def test_insufficient_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_path_loss([1.0], [-40.0])
+        with pytest.raises(ConfigurationError):
+            fit_path_loss([2.0, 2.0], [-40.0, -41.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_path_loss([1.0, 2.0], [-40.0])

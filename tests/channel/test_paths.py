@@ -1,0 +1,53 @@
+"""Tests for PropagationPath."""
+
+import numpy as np
+import pytest
+
+from repro.channel.paths import PropagationPath, path_from_length
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+
+
+class TestPropagationPath:
+    def test_power_db(self):
+        p = PropagationPath(aoa_deg=0, tof_s=10e-9, gain=0.1 + 0j)
+        assert p.power_db == pytest.approx(-20.0)
+
+    def test_zero_gain_power(self):
+        p = PropagationPath(aoa_deg=0, tof_s=0, gain=0j)
+        assert p.power_db == float("-inf")
+
+    def test_is_direct(self):
+        assert PropagationPath(0, 0, 1, kind="direct").is_direct
+        assert not PropagationPath(0, 0, 1, kind="reflection").is_direct
+
+    def test_negative_tof_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PropagationPath(aoa_deg=0, tof_s=-1e-9, gain=1)
+
+    def test_nan_aoa_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PropagationPath(aoa_deg=float("nan"), tof_s=0, gain=1)
+
+    def test_delayed(self):
+        p = PropagationPath(aoa_deg=10, tof_s=20e-9, gain=1j, kind="scatter")
+        d = p.delayed(5e-9)
+        assert d.tof_s == pytest.approx(25e-9)
+        assert d.aoa_deg == p.aoa_deg
+        assert d.gain == p.gain
+        assert d.kind == p.kind
+
+
+class TestFromLength:
+    def test_tof_from_length(self):
+        p = path_from_length(aoa_deg=0, length_m=3.0, gain=1)
+        assert p.tof_s == pytest.approx(3.0 / SPEED_OF_LIGHT)
+        assert p.length_m == 3.0
+
+    def test_ten_meters_is_about_33ns(self):
+        p = path_from_length(aoa_deg=0, length_m=10.0, gain=1)
+        assert p.tof_s == pytest.approx(33.36e-9, rel=1e-3)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            path_from_length(aoa_deg=0, length_m=0.0, gain=1)

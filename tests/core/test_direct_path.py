@@ -1,0 +1,83 @@
+"""Tests for direct-path selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import PathCluster
+from repro.core.direct_path import direct_path_from_estimates, select_direct_path
+from repro.core.estimator import PathEstimate
+from repro.errors import ClusteringError
+
+
+def cluster(aoa, tof, var_aoa=1.0, var_tof=4e-18, count=20, power=5.0):
+    return PathCluster(
+        mean_aoa_deg=aoa,
+        mean_tof_s=tof,
+        var_aoa_deg2=var_aoa,
+        var_tof_s2=var_tof,
+        count=count,
+        mean_power=power,
+    )
+
+
+class TestSelect:
+    def test_winner_is_highest_likelihood(self):
+        direct = cluster(10.0, 30e-9, var_aoa=0.3, count=35)
+        reflection = cluster(-40.0, 120e-9, var_aoa=8.0, count=25)
+        result = select_direct_path([direct, reflection])
+        assert result.aoa_deg == 10.0
+        assert result.cluster is direct
+        assert len(result.all_clusters) == 2
+        assert len(result.all_likelihoods) == 2
+        assert result.likelihood == max(result.all_likelihoods)
+
+    def test_single_cluster_selected(self):
+        c = cluster(5.0, 10e-9)
+        result = select_direct_path([c])
+        assert result.cluster is c
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            select_direct_path([])
+
+
+class TestFromEstimates:
+    def _make_estimates(self, rng):
+        estimates = []
+        # Tight early direct cluster.
+        for i in range(25):
+            estimates.append(
+                PathEstimate(
+                    aoa_deg=float(rng.normal(15.0, 0.5)),
+                    tof_s=float(rng.normal(20e-9, 1e-9)),
+                    power=8.0,
+                    packet_index=i,
+                )
+            )
+        # Loose late reflection cluster.
+        for i in range(25):
+            estimates.append(
+                PathEstimate(
+                    aoa_deg=float(rng.normal(-50.0, 4.0)),
+                    tof_s=float(rng.normal(150e-9, 15e-9)),
+                    power=9.0,
+                    packet_index=i,
+                )
+            )
+        return estimates
+
+    def test_selects_direct_like_cluster(self, rng):
+        estimates = self._make_estimates(rng)
+        result = direct_path_from_estimates(estimates, num_clusters=2, rng=rng)
+        assert result.aoa_deg == pytest.approx(15.0, abs=1.0)
+
+    def test_no_estimates_rejected(self, rng):
+        with pytest.raises(ClusteringError):
+            direct_path_from_estimates([], rng=rng)
+
+    def test_kmeans_method_works(self, rng):
+        estimates = self._make_estimates(rng)
+        result = direct_path_from_estimates(
+            estimates, num_clusters=2, method="kmeans", rng=rng
+        )
+        assert result.aoa_deg == pytest.approx(15.0, abs=1.0)

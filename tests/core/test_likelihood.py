@@ -1,0 +1,109 @@
+"""Tests for the Eq. 8 direct-path likelihood."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import PathCluster
+from repro.core.likelihood import (
+    DEFAULT_WEIGHTS,
+    LikelihoodWeights,
+    path_likelihoods,
+)
+from repro.errors import ClusteringError
+
+
+def cluster(aoa=0.0, tof=50e-9, var_aoa=1.0, var_tof=1e-18, count=20, power=5.0):
+    return PathCluster(
+        mean_aoa_deg=aoa,
+        mean_tof_s=tof,
+        var_aoa_deg2=var_aoa,
+        var_tof_s2=var_tof,
+        count=count,
+        mean_power=power,
+    )
+
+
+class TestOrdering:
+    def test_tighter_cluster_more_likely(self):
+        tight = cluster(var_aoa=0.5, var_tof=1e-18)
+        loose = cluster(aoa=30.0, var_aoa=50.0, var_tof=400e-18)
+        lik = path_likelihoods([tight, loose])
+        assert lik[0] > lik[1]
+
+    def test_smaller_tof_more_likely(self):
+        early = cluster(tof=20e-9)
+        late = cluster(aoa=30.0, tof=200e-9)
+        lik = path_likelihoods([early, late])
+        assert lik[0] > lik[1]
+
+    def test_bigger_cluster_more_likely(self):
+        big = cluster(count=40)
+        small = cluster(aoa=30.0, count=5)
+        lik = path_likelihoods([big, small])
+        assert lik[0] > lik[1]
+
+    def test_identical_clusters_equal_likelihood(self):
+        a, b = cluster(), cluster()
+        lik = path_likelihoods([a, b])
+        assert lik[0] == pytest.approx(lik[1])
+
+    def test_direct_like_cluster_beats_spurious(self):
+        # The composite case from the paper's Fig. 5(c): the direct path
+        # is tight, early, and populous; reflections are late or loose.
+        direct = cluster(aoa=10.0, tof=30e-9, var_aoa=0.4, var_tof=4e-18, count=35)
+        reflection = cluster(aoa=-40.0, tof=90e-9, var_aoa=6.0, var_tof=100e-18, count=30)
+        spurious = cluster(aoa=70.0, tof=35e-9, var_aoa=80.0, var_tof=900e-18, count=4)
+        lik = path_likelihoods([direct, reflection, spurious])
+        assert np.argmax(lik) == 0
+
+
+class TestWeights:
+    def test_zero_weights_give_uniform(self):
+        weights = LikelihoodWeights(0.0, 0.0, 0.0, 0.0)
+        lik = path_likelihoods([cluster(), cluster(aoa=50, count=3)], weights)
+        assert lik[0] == pytest.approx(lik[1])
+
+    def test_without_count_ablation(self):
+        # With the count term dropped, a huge-but-loose cluster loses.
+        big_loose = cluster(count=100, var_aoa=50.0)
+        small_tight = cluster(aoa=30.0, count=5, var_aoa=0.1)
+        with_count = path_likelihoods([big_loose, small_tight], DEFAULT_WEIGHTS)
+        without = path_likelihoods(
+            [big_loose, small_tight], DEFAULT_WEIGHTS.without_count()
+        )
+        assert without[1] > without[0]
+        # Sanity: the ablation actually changed the relative ordering
+        # pressure in favor of tightness.
+        assert (without[0] / without[1]) < (with_count[0] / with_count[1])
+
+    def test_variance_only(self):
+        w = DEFAULT_WEIGHTS.variance_only()
+        assert w.w_count == 0.0
+        assert w.w_tof_mean == 0.0
+        assert w.w_aoa_var == DEFAULT_WEIGHTS.w_aoa_var
+
+    def test_without_tof_mean(self):
+        w = DEFAULT_WEIGHTS.without_tof_mean()
+        early = cluster(tof=20e-9)
+        late = cluster(aoa=30.0, tof=300e-9)
+        lik = path_likelihoods([early, late], w)
+        assert lik[0] == pytest.approx(lik[1])
+
+
+class TestNormalization:
+    def test_unnormalized_mode_runs(self):
+        weights = LikelihoodWeights(normalize=False, w_count=0.01)
+        lik = path_likelihoods([cluster(), cluster(aoa=30.0, tof=100e-9)], weights)
+        assert all(np.isfinite(v) and v > 0 for v in lik)
+
+    def test_likelihoods_positive(self):
+        lik = path_likelihoods([cluster(var_aoa=1e4, var_tof=1e-12, count=1)])
+        assert lik[0] > 0
+
+    def test_single_cluster(self):
+        lik = path_likelihoods([cluster()])
+        assert len(lik) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            path_likelihoods([])

@@ -1,0 +1,224 @@
+"""Tests for the Eq. 9 localization solver."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.core.localization import ApObservation, Localizer
+from repro.errors import LocalizationError
+from repro.wifi.arrays import UniformLinearArray
+
+BOUNDS = (0.0, 0.0, 20.0, 12.0)
+TRUTH_MODEL = LogDistancePathLoss(p0_dbm=-38.0, exponent=2.8)
+
+
+def make_aps():
+    return [
+        UniformLinearArray(3, position=(0.5, 6.0), normal_deg=0.0),
+        UniformLinearArray(3, position=(19.5, 6.0), normal_deg=180.0),
+        UniformLinearArray(3, position=(10.0, 0.5), normal_deg=90.0),
+        UniformLinearArray(3, position=(10.0, 11.5), normal_deg=-90.0),
+    ]
+
+
+def perfect_observations(target, aps=None, likelihood=1.0):
+    aps = aps or make_aps()
+    return [
+        ApObservation(
+            array=ap,
+            aoa_deg=ap.aoa_to(target),
+            rssi_dbm=float(TRUTH_MODEL.rssi_dbm(ap.distance_to(target))),
+            likelihood=likelihood,
+        )
+        for ap in aps
+    ]
+
+
+class TestPerfectObservations:
+    @pytest.mark.parametrize("target", [(5.0, 4.0), (12.0, 8.0), (15.5, 3.3)])
+    def test_exact_recovery(self, target):
+        localizer = Localizer(bounds=BOUNDS)
+        result = localizer.locate(perfect_observations(target))
+        assert result.error_to(target) < 0.05
+
+    def test_residuals_near_zero(self):
+        target = (7.0, 5.0)
+        result = Localizer(bounds=BOUNDS).locate(perfect_observations(target))
+        assert max(abs(r) for r in result.aoa_residuals_deg) < 0.5
+        finite = [r for r in result.rssi_residuals_db if np.isfinite(r)]
+        assert max(abs(r) for r in finite) < 0.5
+
+    def test_path_loss_recovered(self):
+        target = (7.0, 5.0)
+        result = Localizer(bounds=BOUNDS).locate(perfect_observations(target))
+        assert result.path_loss.exponent == pytest.approx(2.8, abs=0.1)
+
+    def test_two_aps_suffice_with_aoa(self):
+        target = (8.0, 4.0)
+        obs = perfect_observations(target)[:2]
+        result = Localizer(bounds=BOUNDS).locate(obs)
+        assert result.error_to(target) < 0.2
+
+    def test_aoa_only_mode(self):
+        target = (6.0, 7.0)
+        localizer = Localizer(bounds=BOUNDS)
+        result = localizer.locate_aoa_only(perfect_observations(target))
+        assert result.error_to(target) < 0.1
+        # locate_aoa_only must restore the RSSI weight.
+        assert localizer.rssi_weight > 0
+
+
+class TestWeighting:
+    def test_bad_ap_downweighted(self):
+        target = (9.0, 6.0)
+        obs = perfect_observations(target, likelihood=3.0)
+        # Corrupt one AP's AoA badly but give it a tiny likelihood.
+        bad = obs[0]
+        obs[0] = ApObservation(
+            array=bad.array,
+            aoa_deg=bad.aoa_deg + 50.0,
+            rssi_dbm=bad.rssi_dbm,
+            likelihood=0.01,
+        )
+        weighted = Localizer(bounds=BOUNDS).locate(obs)
+        unweighted = Localizer(bounds=BOUNDS, use_likelihood_weights=False).locate(obs)
+        assert weighted.error_to(target) < unweighted.error_to(target)
+        assert weighted.error_to(target) < 0.5
+
+    def test_zero_likelihoods_fall_back_to_uniform(self):
+        target = (9.0, 6.0)
+        obs = perfect_observations(target, likelihood=0.0)
+        result = Localizer(bounds=BOUNDS).locate(obs)
+        assert result.error_to(target) < 0.2
+
+
+class TestRobustness:
+    def test_noisy_observations(self, rng):
+        target = (11.0, 7.0)
+        obs = []
+        for o in perfect_observations(target):
+            obs.append(
+                ApObservation(
+                    array=o.array,
+                    aoa_deg=o.aoa_deg + rng.normal(0, 2.0),
+                    rssi_dbm=o.rssi_dbm + rng.normal(0, 2.0),
+                    likelihood=1.0,
+                )
+            )
+        result = Localizer(bounds=BOUNDS).locate(obs)
+        assert result.error_to(target) < 1.5
+
+    def test_nan_aoa_observations_skipped(self):
+        target = (8.0, 4.0)
+        obs = perfect_observations(target)
+        obs.append(
+            ApObservation(
+                array=UniformLinearArray(3, position=(1.0, 1.0)),
+                aoa_deg=float("nan"),
+                rssi_dbm=-50.0,
+            )
+        )
+        result = Localizer(bounds=BOUNDS).locate(obs)
+        assert result.error_to(target) < 0.1
+
+    def test_missing_rssi_still_locates_by_aoa(self):
+        target = (8.0, 4.0)
+        obs = [
+            ApObservation(array=o.array, aoa_deg=o.aoa_deg, rssi_dbm=float("nan"))
+            for o in perfect_observations(target)
+        ]
+        result = Localizer(bounds=BOUNDS).locate(obs)
+        assert result.error_to(target) < 0.1
+
+    def test_too_few_observations(self):
+        obs = perfect_observations((8.0, 4.0))[:1]
+        with pytest.raises(LocalizationError):
+            Localizer(bounds=BOUNDS).locate(obs)
+
+    def test_solution_clamped_to_bounds(self):
+        # Observations pointing at a target outside the search region must
+        # still produce an in-bounds answer.
+        outside = (25.0, 6.0)
+        obs = perfect_observations(outside)[:2]
+        result = Localizer(bounds=BOUNDS).locate(obs)
+        x0, y0, x1, y1 = BOUNDS
+        assert x0 <= result.position.x <= x1
+        assert y0 <= result.position.y <= y1
+
+
+class TestCorridorGeometry:
+    """Nearly-collinear APs — the paper's Sec. 4.3.3 failure geometry."""
+
+    def _corridor_aps(self):
+        # Three APs along one wall of a corridor, all looking across it.
+        return [
+            UniformLinearArray(3, position=(2.0, 11.8), normal_deg=-90.0),
+            UniformLinearArray(3, position=(10.0, 11.8), normal_deg=-90.0),
+            UniformLinearArray(3, position=(18.0, 11.8), normal_deg=-90.0),
+        ]
+
+    def test_aoa_plus_rssi_localizes_along_corridor(self):
+        target = (14.0, 11.0)
+        model = TRUTH_MODEL
+        obs = [
+            ApObservation(
+                array=ap,
+                aoa_deg=ap.aoa_to(target),
+                rssi_dbm=float(model.rssi_dbm(ap.distance_to(target))),
+            )
+            for ap in self._corridor_aps()
+        ]
+        result = Localizer(bounds=(0.0, 10.0, 20.0, 12.0)).locate(obs)
+        assert result.error_to(target) < 0.3
+
+    def test_noisy_aoa_hurts_more_in_corridors(self, rng):
+        # The same AoA noise produces a larger positional error with the
+        # corridor's correlated vantage points than with surrounding APs
+        # — quantifying why Fig. 7(c) is worse than Fig. 7(a).
+        target_corridor = (14.0, 11.0)
+        corridor_errors, surround_errors = [], []
+        for trial in range(10):
+            noise = rng.normal(0, 3.0, size=4)
+            obs_c = [
+                ApObservation(
+                    array=ap,
+                    aoa_deg=ap.aoa_to(target_corridor) + noise[i],
+                    rssi_dbm=float("nan"),
+                )
+                for i, ap in enumerate(self._corridor_aps())
+            ]
+            corridor_errors.append(
+                Localizer(bounds=(0.0, 10.0, 20.0, 12.0))
+                .locate(obs_c)
+                .error_to(target_corridor)
+            )
+            target_surrounded = (10.0, 6.0)
+            obs_s = [
+                ApObservation(
+                    array=ap,
+                    aoa_deg=ap.aoa_to(target_surrounded) + noise[i],
+                    rssi_dbm=float("nan"),
+                )
+                for i, ap in enumerate(make_aps())
+            ]
+            surround_errors.append(
+                Localizer(bounds=BOUNDS).locate(obs_s).error_to(target_surrounded)
+            )
+        assert np.median(corridor_errors) > np.median(surround_errors)
+
+
+class TestValidation:
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(LocalizationError):
+            Localizer(bounds=(5.0, 0.0, 5.0, 10.0))
+
+    def test_bad_grid_step_rejected(self):
+        with pytest.raises(LocalizationError):
+            Localizer(bounds=BOUNDS, grid_step_m=0.0)
+
+    def test_no_refine_still_coarse_locates(self):
+        target = (8.0, 4.0)
+        result = Localizer(bounds=BOUNDS, refine=False).locate(
+            perfect_observations(target)
+        )
+        assert result.error_to(target) < 0.5

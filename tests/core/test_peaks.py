@@ -1,0 +1,101 @@
+"""Tests for 2-D spectrum peak extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.peaks import SpectrumPeak, find_peaks_2d, merge_close_peaks
+from repro.errors import ConfigurationError
+
+AOA_GRID = np.arange(-90.0, 91.0, 1.0)
+TOF_GRID = np.arange(0.0, 200e-9, 2.5e-9)
+
+
+def gaussian_bump(center_i, center_j, height, width=3.0):
+    ii, jj = np.meshgrid(
+        np.arange(len(AOA_GRID)), np.arange(len(TOF_GRID)), indexing="ij"
+    )
+    return height * np.exp(-((ii - center_i) ** 2 + (jj - center_j) ** 2) / (2 * width**2))
+
+
+class TestFindPeaks:
+    def test_single_peak_found(self):
+        spec = gaussian_bump(60, 30, 100.0) + 0.1
+        peaks = find_peaks_2d(spec, AOA_GRID, TOF_GRID)
+        assert len(peaks) == 1
+        assert peaks[0].aoa_deg == pytest.approx(AOA_GRID[60], abs=0.5)
+        assert peaks[0].tof_s == pytest.approx(TOF_GRID[30], abs=2.5e-9)
+
+    def test_two_peaks_ordered_by_power(self):
+        spec = gaussian_bump(40, 20, 100.0) + gaussian_bump(120, 60, 50.0) + 0.1
+        peaks = find_peaks_2d(spec, AOA_GRID, TOF_GRID)
+        assert len(peaks) == 2
+        assert peaks[0].power > peaks[1].power
+        assert peaks[0].aoa_deg == pytest.approx(AOA_GRID[40], abs=0.5)
+
+    def test_weak_peak_dropped_by_threshold(self):
+        spec = gaussian_bump(40, 20, 100.0) + gaussian_bump(120, 60, 0.5) + 0.01
+        peaks = find_peaks_2d(spec, AOA_GRID, TOF_GRID, min_rel_height_db=20.0)
+        assert len(peaks) == 1
+
+    def test_max_peaks_cap(self):
+        spec = 0.1 + sum(
+            gaussian_bump(20 + 30 * k, 10 + 12 * k, 100.0 - k) for k in range(5)
+        )
+        peaks = find_peaks_2d(spec, AOA_GRID, TOF_GRID, max_peaks=3)
+        assert len(peaks) == 3
+
+    def test_border_peaks_excluded(self):
+        spec = np.full((len(AOA_GRID), len(TOF_GRID)), 0.1)
+        spec[0, 20] = 100.0  # ridge clipped at the -90 deg border
+        assert find_peaks_2d(spec, AOA_GRID, TOF_GRID) == []
+        kept = find_peaks_2d(spec, AOA_GRID, TOF_GRID, exclude_border=False)
+        assert len(kept) == 1
+
+    def test_flat_spectrum_yields_nothing(self):
+        spec = np.ones((len(AOA_GRID), len(TOF_GRID)))
+        assert find_peaks_2d(spec, AOA_GRID, TOF_GRID) == []
+
+    def test_subcell_refinement(self):
+        # A peak whose true center falls between grid cells must be
+        # interpolated toward it.
+        ii, jj = np.meshgrid(
+            np.arange(len(AOA_GRID)), np.arange(len(TOF_GRID)), indexing="ij"
+        )
+        spec = 0.01 + 100.0 * np.exp(-((ii - 60.4) ** 2 + (jj - 30.0) ** 2) / 8.0)
+        peaks = find_peaks_2d(spec, AOA_GRID, TOF_GRID)
+        assert peaks[0].aoa_deg == pytest.approx(AOA_GRID[0] + 60.4, abs=0.1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            find_peaks_2d(np.ones(10), AOA_GRID, TOF_GRID)
+        with pytest.raises(ConfigurationError):
+            find_peaks_2d(np.ones((5, 5)), AOA_GRID, TOF_GRID)
+        with pytest.raises(ConfigurationError):
+            find_peaks_2d(
+                np.ones((len(AOA_GRID), len(TOF_GRID))),
+                AOA_GRID,
+                TOF_GRID,
+                neighborhood=4,
+            )
+
+
+class TestMerge:
+    def test_close_peaks_merged_keeping_strongest(self):
+        peaks = [
+            SpectrumPeak(10.0, 50e-9, 100.0),
+            SpectrumPeak(12.0, 52e-9, 80.0),  # close in both axes
+            SpectrumPeak(40.0, 50e-9, 60.0),
+        ]
+        merged = merge_close_peaks(peaks)
+        assert len(merged) == 2
+        assert merged[0].power == 100.0
+
+    def test_close_in_one_axis_only_not_merged(self):
+        peaks = [
+            SpectrumPeak(10.0, 50e-9, 100.0),
+            SpectrumPeak(11.0, 150e-9, 80.0),  # same AoA, far ToF
+        ]
+        assert len(merge_close_peaks(peaks)) == 2
+
+    def test_empty_input(self):
+        assert merge_close_peaks([]) == []

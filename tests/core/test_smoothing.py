@@ -1,0 +1,142 @@
+"""Tests for the smoothed CSI matrix (paper Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.smoothing import (
+    PAPER_CONFIG,
+    SmoothingConfig,
+    smooth_csi,
+    smooth_csi_batch,
+    smoothed_covariance,
+)
+from repro.core.steering import SteeringModel
+from repro.errors import ConfigurationError, CsiShapeError
+
+
+def ideal_csi(model: SteeringModel, aoas, tofs, gains):
+    """Noise-free CSI built exactly from the Eq. 7 model."""
+    a = model.steering_matrix(aoas, tofs)  # (M*N, L)
+    vec = a @ np.asarray(gains, dtype=complex)
+    return vec.reshape(model.num_antennas, model.num_subcarriers)
+
+
+@pytest.fixture()
+def model():
+    return SteeringModel(
+        num_antennas=3,
+        num_subcarriers=30,
+        antenna_spacing_m=0.029,
+        carrier_freq_hz=5.19e9,
+        subcarrier_spacing_hz=1.25e6,
+    )
+
+
+class TestShapes:
+    def test_paper_shape_30x30(self):
+        csi = np.arange(90, dtype=complex).reshape(3, 30) + 1
+        out = smooth_csi(csi, PAPER_CONFIG)
+        assert out.shape == (30, 30)
+
+    def test_all_shifts_when_uncapped(self):
+        csi = np.ones((3, 30), dtype=complex)
+        config = SmoothingConfig(2, 15, max_subcarrier_shifts=0)
+        out = smooth_csi(csi, config)
+        assert out.shape == (30, 32)  # 2 antenna shifts x 16 subcarrier shifts
+
+    def test_column_content_first_placement(self):
+        csi = (np.arange(90) + 1j * np.arange(90)).reshape(3, 30)
+        out = smooth_csi(csi, PAPER_CONFIG)
+        expected = np.concatenate([csi[0, :15], csi[1, :15]])
+        assert np.allclose(out[:, 0], expected)
+
+    def test_column_content_subcarrier_shift(self):
+        csi = (np.arange(90) + 0j).reshape(3, 30)
+        out = smooth_csi(csi, PAPER_CONFIG)
+        expected = np.concatenate([csi[0, 1:16], csi[1, 1:16]])
+        assert np.allclose(out[:, 1], expected)
+
+    def test_column_content_antenna_shift(self):
+        csi = (np.arange(90) + 0j).reshape(3, 30)
+        out = smooth_csi(csi, PAPER_CONFIG)
+        # Column 15 is the first placement of the second antenna shift.
+        expected = np.concatenate([csi[1, :15], csi[2, :15]])
+        assert np.allclose(out[:, 15], expected)
+
+    def test_subarray_too_large_rejected(self):
+        csi = np.ones((3, 30), dtype=complex)
+        with pytest.raises(CsiShapeError):
+            smooth_csi(csi, SmoothingConfig(4, 15))
+        with pytest.raises(CsiShapeError):
+            smooth_csi(csi, SmoothingConfig(2, 31))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SmoothingConfig(0, 15)
+        with pytest.raises(ConfigurationError):
+            SmoothingConfig(2, 1)
+        with pytest.raises(ConfigurationError):
+            SmoothingConfig(2, 15, max_subcarrier_shifts=-1)
+
+
+class TestRankStructure:
+    """The mathematical heart of Fig. 4: rank equals the number of paths."""
+
+    @pytest.mark.parametrize("num_paths", [1, 2, 3, 5])
+    def test_rank_equals_path_count(self, model, num_paths):
+        rng = np.random.default_rng(num_paths)
+        aoas = rng.uniform(-70, 70, num_paths)
+        tofs = rng.uniform(5e-9, 300e-9, num_paths)
+        gains = rng.normal(size=num_paths) + 1j * rng.normal(size=num_paths)
+        csi = ideal_csi(model, aoas, tofs, gains)
+        x = smooth_csi(csi, PAPER_CONFIG)
+        singulars = np.linalg.svd(x, compute_uv=False)
+        rank = int(np.sum(singulars > singulars[0] * 1e-9))
+        assert rank == num_paths
+
+    def test_raw_csi_rank_limited_by_antennas(self, model):
+        # Without smoothing the measurement matrix rank caps at M = 3 even
+        # for 5 paths — the problem SpotFi's construction solves.
+        rng = np.random.default_rng(0)
+        num_paths = 5
+        csi = ideal_csi(
+            model,
+            rng.uniform(-70, 70, num_paths),
+            rng.uniform(5e-9, 300e-9, num_paths),
+            rng.normal(size=num_paths) + 1j * rng.normal(size=num_paths),
+        )
+        singulars = np.linalg.svd(csi, compute_uv=False)
+        assert len(singulars) == 3  # 3 x 30 matrix
+
+    def test_smoothed_columns_span_subarray_steering_vectors(self, model):
+        # Every smoothed column must lie in the span of the subarray
+        # steering vectors (the core claim of Fig. 3).
+        aoas, tofs = [20.0, -45.0], [40e-9, 120e-9]
+        gains = [1.0, 0.5 + 0.2j]
+        csi = ideal_csi(model, aoas, tofs, gains)
+        x = smooth_csi(csi, PAPER_CONFIG)
+        sub = model.subarray_model(2, 15)
+        a = sub.steering_matrix(aoas, tofs)  # (30, 2)
+        # Projection onto span(A) must reproduce X.
+        proj = a @ np.linalg.lstsq(a, x, rcond=None)[0]
+        assert np.allclose(proj, x, atol=1e-8)
+
+
+class TestCovarianceAndBatch:
+    def test_covariance_hermitian_psd(self):
+        rng = np.random.default_rng(0)
+        csi = rng.normal(size=(3, 30)) + 1j * rng.normal(size=(3, 30))
+        r = smoothed_covariance(csi)
+        assert np.allclose(r, r.conj().T)
+        eig = np.linalg.eigvalsh(r)
+        assert eig.min() > -1e-9
+
+    def test_batch_concatenates(self):
+        rng = np.random.default_rng(0)
+        frames = rng.normal(size=(4, 3, 30)) + 1j * rng.normal(size=(4, 3, 30))
+        out = smooth_csi_batch(frames)
+        assert out.shape == (30, 120)
+
+    def test_batch_rejects_2d(self):
+        with pytest.raises(CsiShapeError):
+            smooth_csi_batch(np.ones((3, 30), dtype=complex))

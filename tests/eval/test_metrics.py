@@ -1,0 +1,115 @@
+"""Tests for error metrics and CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    Cdf,
+    bootstrap_median_ci,
+    median,
+    percentile,
+    summarize_errors,
+)
+
+
+class TestScalars:
+    def test_median(self):
+        assert median([1.0, 2.0, 3.0]) == 2.0
+
+    def test_median_ignores_nan_inf(self):
+        assert median([1.0, np.nan, 3.0, np.inf]) == 2.0
+
+    def test_median_empty_is_nan(self):
+        assert np.isnan(median([]))
+        assert np.isnan(median([np.nan]))
+
+    def test_percentile(self):
+        vals = np.arange(101, dtype=float)
+        assert percentile(vals, 80) == pytest.approx(80.0)
+
+    def test_summary_fields(self):
+        s = summarize_errors([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s["count"] == 5
+        assert s["median"] == 3.0
+        assert s["mean"] == 3.0
+        assert s["max"] == 5.0
+        assert s["p80"] >= s["median"]
+
+    def test_summary_empty(self):
+        s = summarize_errors([])
+        assert s["count"] == 0
+        assert np.isnan(s["median"])
+
+
+class TestBootstrapCi:
+    def test_ci_brackets_median(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, size=200)
+        med, low, high = bootstrap_median_ci(data)
+        assert low <= med <= high
+        assert 9.0 < med < 11.0
+        assert high - low < 1.5
+
+    def test_ci_narrows_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0, 1, size=20)
+        large = rng.normal(0, 1, size=2000)
+        _, lo_s, hi_s = bootstrap_median_ci(small)
+        _, lo_l, hi_l = bootstrap_median_ci(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_median_ci(data, seed=7) == bootstrap_median_ci(data, seed=7)
+
+    def test_empty_gives_nans(self):
+        med, low, high = bootstrap_median_ci([])
+        assert np.isnan(med) and np.isnan(low) and np.isnan(high)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0, 2.0], confidence=1.0)
+
+
+class TestCdf:
+    def test_monotone(self):
+        cdf = Cdf.of(np.random.default_rng(0).normal(size=200))
+        xs = np.linspace(-3, 3, 50)
+        probs = [cdf.at(x) for x in xs]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    def test_at_extremes(self):
+        cdf = Cdf.of([1.0, 2.0, 3.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(3.0) == 1.0
+        assert cdf.at(10.0) == 1.0
+
+    def test_quantile_median_p80(self):
+        cdf = Cdf.of(np.arange(1, 101, dtype=float))
+        assert cdf.median == pytest.approx(50.5)
+        assert cdf.p80 == pytest.approx(80.2, abs=0.5)
+
+    def test_quantile_bounds_checked(self):
+        cdf = Cdf.of([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_cdf(self):
+        cdf = Cdf.of([])
+        assert cdf.count == 0
+        assert np.isnan(cdf.at(1.0))
+        assert np.isnan(cdf.quantile(0.5))
+        assert cdf.sample_points() == []
+
+    def test_nan_dropped(self):
+        cdf = Cdf.of([1.0, np.nan, 2.0])
+        assert cdf.count == 2
+
+    def test_sample_points(self):
+        cdf = Cdf.of(np.arange(10, dtype=float))
+        pts = cdf.sample_points(5)
+        assert len(pts) == 5
+        assert pts[0][1] == 0.0
+        assert pts[-1][1] == 1.0
+        values = [v for v, _ in pts]
+        assert values == sorted(values)

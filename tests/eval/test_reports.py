@@ -1,0 +1,87 @@
+"""Tests for text report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reports import (
+    format_cdf_table,
+    format_comparison,
+    render_ascii_cdf,
+    render_spectrum_ascii,
+)
+
+SERIES = {
+    "spotfi": [0.2, 0.4, 0.5, 0.9, 1.8],
+    "arraytrack": [1.0, 1.8, 2.5, 3.5, 4.0],
+}
+
+
+class TestComparison:
+    def test_contains_methods_and_medians(self):
+        out = format_comparison("Fig 7a", SERIES)
+        assert "Fig 7a" in out
+        assert "spotfi" in out
+        assert "arraytrack" in out
+        assert "0.50" in out  # spotfi median
+        assert "2.50" in out  # arraytrack median
+
+    def test_counts_reported(self):
+        out = format_comparison("t", SERIES)
+        assert "   5" in out
+
+
+class TestCdfTable:
+    def test_rows_for_each_probability(self):
+        out = format_cdf_table(SERIES, probabilities=(0.5, 0.8))
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + 2 rows + unit note
+        assert "0.50" in lines[1]
+
+    def test_empty_series_rendered_as_nan(self):
+        out = format_cdf_table({"nothing": []})
+        assert "nan" in out.lower()
+
+
+class TestSpectrumAscii:
+    def _spectrum(self):
+        aoa = np.arange(-90.0, 91.0, 1.0)
+        tof = np.arange(0.0, 200e-9, 2.5e-9)
+        ii, jj = np.meshgrid(np.arange(len(aoa)), np.arange(len(tof)), indexing="ij")
+        spec = 1.0 + 1e6 * np.exp(-((ii - 120) ** 2 + (jj - 30) ** 2) / 16.0)
+        return spec, aoa, tof
+
+    def test_renders_peak_brightest(self):
+        spec, aoa, tof = self._spectrum()
+        art = render_spectrum_ascii(spec, aoa, tof, width=60, height=20)
+        lines = art.splitlines()
+        assert len(lines) == 21  # header + 20 rows
+        assert "@" in art  # the peak reaches the brightest shade
+        assert "AoA" in lines[0] and "ToF" in lines[0]
+
+    def test_canvas_dimensions(self):
+        spec, aoa, tof = self._spectrum()
+        art = render_spectrum_ascii(spec, aoa, tof, width=40, height=10)
+        rows = art.splitlines()[1:]
+        assert len(rows) == 10
+        assert all(len(r) == 40 for r in rows)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_spectrum_ascii(np.ones(5), np.arange(5), np.arange(5))
+
+    def test_flat_spectrum_no_crash(self):
+        spec = np.ones((30, 30))
+        art = render_spectrum_ascii(spec, np.arange(30), np.arange(30) * 1e-9)
+        assert art
+
+
+class TestAsciiCdf:
+    def test_renders_bars(self):
+        out = render_ascii_cdf(SERIES, width=20)
+        assert "spotfi (n=5):" in out
+        assert "#" in out
+        assert "p50" in out
+
+    def test_handles_empty(self):
+        out = render_ascii_cdf({"x": []})
+        assert "x (n=0):" in out

@@ -1,0 +1,158 @@
+"""Tests for knife-edge diffraction tracing and its gain model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import extract_profile, knife_edge_amplitude
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.geom.floorplan import Floorplan, empty_room
+from repro.geom.points import Point
+from repro.geom.rays import KIND_DIFFRACTION, RayTracer, TracedPath
+from repro.wifi.arrays import UniformLinearArray
+
+WAVELENGTH = SPEED_OF_LIGHT / 5.19e9
+
+
+@pytest.fixture()
+def corner_room():
+    """An L-shaped blockage: a wall stub the signal must bend around."""
+    room = empty_room(10.0, 6.0)
+    room.add_wall((5.0, 0.0), (5.0, 4.0), material="concrete")
+    return room
+
+
+class TestTracing:
+    def test_no_diffraction_when_los(self):
+        room = empty_room(10.0, 6.0)
+        tracer = RayTracer(room, max_reflection_order=0, include_diffraction=True)
+        paths = tracer.trace((1.0, 3.0), (9.0, 3.0))
+        assert all(p.kind != KIND_DIFFRACTION for p in paths)
+
+    def test_edge_path_found_when_blocked(self, corner_room):
+        tracer = RayTracer(
+            corner_room, max_reflection_order=0, include_diffraction=True
+        )
+        paths = tracer.trace((1.0, 1.0), (9.0, 1.0))
+        diffracted = [p for p in paths if p.kind == KIND_DIFFRACTION]
+        assert diffracted
+        # The path must bend over the wall stub's free end at (5, 4).
+        top = min(diffracted, key=lambda p: p.diffraction_angle_rad)
+        assert top.vertices[1].distance_to(Point(5.0, 4.0)) < 1e-9
+        assert top.diffraction_angle_rad > 0
+
+    def test_disabled_by_default(self, corner_room):
+        tracer = RayTracer(corner_room, max_reflection_order=0)
+        paths = tracer.trace((1.0, 1.0), (9.0, 1.0))
+        assert all(p.kind != KIND_DIFFRACTION for p in paths)
+
+    def test_bend_angle_geometry(self, corner_room):
+        tracer = RayTracer(
+            corner_room, max_reflection_order=0, include_diffraction=True
+        )
+        paths = tracer.trace((1.0, 1.0), (9.0, 1.0))
+        top = min(
+            (p for p in paths if p.kind == KIND_DIFFRACTION),
+            key=lambda p: p.diffraction_angle_rad,
+        )
+        # Manually computed bend at (5, 4) between (1,1) and (9,1).
+        a = math.atan2(4 - 1, 5 - 1)
+        b = math.atan2(1 - 4, 9 - 5)
+        expected = abs(a - b)
+        assert top.diffraction_angle_rad == pytest.approx(expected, abs=1e-9)
+
+    def test_at_most_four_edges(self):
+        room = empty_room(20.0, 10.0)
+        # A picket line of stubs: many candidate edges.
+        for x in range(4, 17, 2):
+            room.add_wall((float(x), 0.0), (float(x), 6.0))
+        tracer = RayTracer(room, max_reflection_order=0, include_diffraction=True)
+        paths = tracer.trace((1.0, 3.0), (19.0, 3.0))
+        diffracted = [p for p in paths if p.kind == KIND_DIFFRACTION]
+        assert len(diffracted) <= 4
+
+
+class TestGainModel:
+    def _path(self, bend_rad, d1=4.0, d2=4.0):
+        return TracedPath(
+            vertices=(Point(0, 0), Point(d1, 0), Point(d1 + d2, 0)),
+            kind=KIND_DIFFRACTION,
+            diffraction_angle_rad=bend_rad,
+        )
+
+    def test_grazing_loss_about_6db(self):
+        amp = knife_edge_amplitude(self._path(0.0), WAVELENGTH)
+        assert 20 * math.log10(amp) == pytest.approx(-6.0, abs=0.5)
+
+    def test_loss_grows_with_bend(self):
+        amps = [
+            knife_edge_amplitude(self._path(b), WAVELENGTH)
+            for b in (0.05, 0.2, 0.5, 1.0)
+        ]
+        assert all(a > b for a, b in zip(amps, amps[1:]))
+        assert amps[-1] < 0.05  # deep shadow is heavily attenuated
+
+    def test_wrong_vertex_count_rejected(self):
+        bad = TracedPath(
+            vertices=(Point(0, 0), Point(1, 0)),
+            kind=KIND_DIFFRACTION,
+        )
+        with pytest.raises(ConfigurationError):
+            knife_edge_amplitude(bad, WAVELENGTH)
+
+
+class TestProfileIntegration:
+    @pytest.fixture()
+    def shallow_room(self):
+        """A short stub the link barely grazes: a *strong* edge path.
+
+        Deep-shadow diffraction (the corner_room's 1.3 rad bend) is
+        correctly ~35 dB down and pruned from the significant-path set;
+        the physically interesting regime is grazing.
+        """
+        room = empty_room(10.0, 6.0)
+        room.add_wall((5.0, 0.0), (5.0, 1.7), material="concrete")
+        return room
+
+    def test_diffraction_path_in_profile(self, shallow_room):
+        array = UniformLinearArray(3, position=(9.0, 1.5), normal_deg=180.0)
+        profile = extract_profile(
+            shallow_room,
+            (1.0, 1.5),
+            array,
+            WAVELENGTH,
+            include_diffraction=True,
+            max_paths=12,
+        )
+        kinds = {p.kind for p in profile}
+        assert KIND_DIFFRACTION in kinds
+
+    def test_diffraction_aoa_points_at_edge(self, shallow_room):
+        array = UniformLinearArray(3, position=(9.0, 1.5), normal_deg=180.0)
+        profile = extract_profile(
+            shallow_room,
+            (1.0, 1.5),
+            array,
+            WAVELENGTH,
+            include_diffraction=True,
+            max_paths=12,
+        )
+        diff_paths = [p for p in profile if p.kind == KIND_DIFFRACTION]
+        assert diff_paths
+        expected = array.aoa_to((5.0, 1.7))
+        assert any(abs(p.aoa_deg - expected) < 1.0 for p in diff_paths)
+
+    def test_deep_shadow_pruned(self, corner_room):
+        # The 1.3 rad bend over the tall stub is ~35 dB down and must be
+        # pruned from the significant-path set.
+        array = UniformLinearArray(3, position=(9.0, 1.0), normal_deg=180.0)
+        profile = extract_profile(
+            corner_room,
+            (1.0, 1.0),
+            array,
+            WAVELENGTH,
+            include_diffraction=True,
+        )
+        assert all(p.kind != KIND_DIFFRACTION for p in profile)

@@ -1,0 +1,81 @@
+"""Tests for floorplans and occlusion queries."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geom.floorplan import Floorplan, Scatterer, empty_room
+from repro.geom.points import Point
+
+
+class TestFloorplan:
+    def test_add_wall_and_rectangle(self):
+        plan = Floorplan()
+        plan.add_wall((0, 0), (1, 0))
+        plan.add_rectangle(0, 0, 5, 5)
+        assert len(plan.walls) == 5
+
+    def test_wall_material_default(self):
+        plan = Floorplan(default_material="brick")
+        wall = plan.add_wall((0, 0), (1, 0))
+        named = plan.add_wall((0, 1), (1, 1), material="metal")
+        assert plan.wall_material(wall) == "brick"
+        assert plan.wall_material(named) == "metal"
+
+    def test_scatterer_validation(self):
+        plan = Floorplan()
+        plan.add_scatterer((1, 1), gain=0.5)
+        with pytest.raises(GeometryError):
+            plan.add_scatterer((1, 1), gain=0.0)
+        with pytest.raises(GeometryError):
+            Scatterer(Point(0, 0), gain=1.5)
+
+    def test_bounds(self):
+        room = empty_room(10, 6)
+        assert room.bounds() == (0.0, 0.0, 10.0, 6.0)
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Floorplan().bounds()
+
+    def test_copy_is_independent(self):
+        room = empty_room(4, 4)
+        clone = room.copy()
+        clone.add_wall((1, 1), (2, 2))
+        assert len(room.walls) == 4
+        assert len(clone.walls) == 5
+
+
+class TestOcclusion:
+    def test_los_inside_empty_room(self):
+        room = empty_room(10, 6)
+        assert room.has_los((1, 1), (9, 5))
+
+    def test_wall_blocks_los(self):
+        room = empty_room(10, 6)
+        room.add_wall((5, 0), (5, 6))
+        assert not room.has_los((1, 3), (9, 3))
+
+    def test_door_gap_allows_los(self):
+        room = empty_room(10, 6)
+        room.add_wall((5, 0), (5, 2))
+        room.add_wall((5, 4), (5, 6))
+        assert room.has_los((1, 3), (9, 3))
+
+    def test_walls_crossed_lists_every_crossing(self):
+        room = empty_room(10, 6)
+        room.add_wall((3, 0), (3, 6))
+        room.add_wall((7, 0), (7, 6))
+        crossed = room.walls_crossed((1, 3), (9, 3))
+        assert len(crossed) == 2
+
+    def test_ignore_parameter(self):
+        room = empty_room(10, 6)
+        inner = room.add_wall((5, 0), (5, 6))
+        assert room.walls_crossed((1, 3), (9, 3), ignore=[inner]) == []
+
+    def test_path_starting_on_wall_not_blocked_by_it(self):
+        room = empty_room(10, 6)
+        wall = room.add_wall((5, 0), (5, 6))
+        # Reflection point on the wall: the leg leaving it must not be
+        # considered obstructed by that wall.
+        assert wall not in room.walls_crossed((5, 3), (9, 3))

@@ -1,0 +1,87 @@
+"""Tests for repro.geom.points."""
+
+import math
+
+import pytest
+
+from repro.geom.points import Point, angle_diff_deg, as_point, midpoint, wrap_deg
+
+
+class TestPoint:
+    def test_iteration_and_indexing(self):
+        p = Point(1.0, 2.0)
+        x, y = p
+        assert (x, y) == (1.0, 2.0)
+        assert p[0] == 1.0 and p[1] == 2.0
+        assert len(p) == 2
+
+    def test_arithmetic(self):
+        a, b = Point(1, 2), Point(3, -1)
+        assert a + b == Point(4, 1)
+        assert a - b == Point(-2, 3)
+        assert a * 2 == Point(2, 4)
+        assert 2 * a == Point(2, 4)
+        assert a / 2 == Point(0.5, 1.0)
+        assert -a == Point(-1, -2)
+
+    def test_add_accepts_tuples(self):
+        assert Point(1, 1) + (2, 3) == Point(3, 4)
+
+    def test_dot_and_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0.0
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_norm_and_normalize(self):
+        p = Point(3, 4)
+        assert p.norm() == 5.0
+        n = p.normalized()
+        assert n.norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Point(0, 0).normalized()
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to((3, 4)) == 5.0
+
+    def test_bearing(self):
+        assert Point(0, 0).bearing_to_deg((1, 0)) == pytest.approx(0.0)
+        assert Point(0, 0).bearing_to_deg((0, 1)) == pytest.approx(90.0)
+        assert Point(0, 0).bearing_to_deg((-1, 0)) == pytest.approx(180.0)
+
+    def test_rotation(self):
+        r = Point(1, 0).rotated_deg(90)
+        assert r.x == pytest.approx(0.0, abs=1e-12)
+        assert r.y == pytest.approx(1.0)
+
+    def test_rotation_preserves_norm(self):
+        p = Point(2.5, -1.5)
+        assert p.rotated_deg(123.4).norm() == pytest.approx(p.norm())
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestHelpers:
+    def test_as_point_passthrough(self):
+        p = Point(1, 2)
+        assert as_point(p) is p
+
+    def test_as_point_from_tuple(self):
+        assert as_point((1, 2)) == Point(1.0, 2.0)
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == Point(1, 2)
+
+    @pytest.mark.parametrize(
+        "angle,expected",
+        [(0, 0), (180, -180), (-180, -180), (190, -170), (370, 10), (-190, 170)],
+    )
+    def test_wrap_deg(self, angle, expected):
+        assert wrap_deg(angle) == pytest.approx(expected)
+
+    def test_angle_diff(self):
+        assert angle_diff_deg(10, 350) == pytest.approx(20.0)
+        assert angle_diff_deg(350, 10) == pytest.approx(-20.0)
+        assert angle_diff_deg(90, 90) == 0.0

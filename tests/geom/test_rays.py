@@ -1,0 +1,127 @@
+"""Tests for the image-method ray tracer."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geom.floorplan import Floorplan, empty_room
+from repro.geom.points import Point
+from repro.geom.rays import KIND_DIRECT, KIND_REFLECTION, KIND_SCATTER, RayTracer
+
+
+@pytest.fixture()
+def room():
+    return empty_room(10.0, 6.0)
+
+
+class TestDirect:
+    def test_direct_path_present(self, room):
+        tracer = RayTracer(room, max_reflection_order=0)
+        paths = tracer.trace((1, 1), (9, 5))
+        assert len(paths) == 1
+        assert paths[0].kind == KIND_DIRECT
+        assert paths[0].length_m == pytest.approx(math.hypot(8, 4))
+
+    def test_coincident_endpoints_rejected(self, room):
+        with pytest.raises(GeometryError):
+            RayTracer(room).trace((1, 1), (1, 1))
+
+    def test_through_wall_records_penetration(self):
+        room = empty_room(10, 6)
+        room.add_wall((5, 0), (5, 6), material="brick")
+        tracer = RayTracer(room, max_reflection_order=0)
+        paths = tracer.trace((1, 3), (9, 3))
+        assert len(paths[0].penetrated_walls) == 1
+
+    def test_through_wall_dropped_when_disallowed(self):
+        room = empty_room(10, 6)
+        room.add_wall((5, 0), (5, 6))
+        tracer = RayTracer(room, max_reflection_order=0, allow_through_wall=False)
+        assert tracer.trace((1, 3), (9, 3)) == []
+
+
+class TestFirstOrderReflection:
+    def test_reflection_count_in_rectangle(self, room):
+        # In an empty rectangle every wall yields exactly one first-order
+        # specular path between interior points.
+        tracer = RayTracer(room, max_reflection_order=1, include_scatterers=False)
+        paths = tracer.trace((2, 2), (8, 4))
+        reflections = [p for p in paths if p.kind == KIND_REFLECTION]
+        assert len(reflections) == 4
+
+    def test_reflection_geometry(self, room):
+        # Reflection off the bottom wall (y=0) between (2,2) and (8,4):
+        # image of (2,2) is (2,-2); hit point x = 2 + 6 * (2/6) = 4.
+        tracer = RayTracer(room, max_reflection_order=1, include_scatterers=False)
+        paths = tracer.trace((2, 2), (8, 4))
+        bottom = [
+            p
+            for p in paths
+            if p.kind == KIND_REFLECTION and abs(p.vertices[1].y) < 1e-9
+        ]
+        assert len(bottom) == 1
+        hit = bottom[0].vertices[1]
+        assert hit.x == pytest.approx(4.0)
+        assert bottom[0].length_m == pytest.approx(math.hypot(6, 6))
+
+    def test_specular_law_holds(self, room):
+        tracer = RayTracer(room, max_reflection_order=1, include_scatterers=False)
+        paths = tracer.trace((2, 2), (8, 4))
+        for path in paths:
+            if path.kind != KIND_REFLECTION:
+                continue
+            wall = path.reflecting_walls[0]
+            hit = path.vertices[1]
+            cos_in = wall.incidence_cos(path.vertices[0], hit)
+            cos_out = wall.incidence_cos(path.vertices[2], hit)
+            assert cos_in == pytest.approx(cos_out, abs=1e-9)
+
+    def test_second_order_exists(self, room):
+        tracer = RayTracer(room, max_reflection_order=2, include_scatterers=False)
+        paths = tracer.trace((2, 2), (8, 4))
+        orders = {p.order for p in paths}
+        assert 2 in orders
+
+    def test_reflection_longer_than_direct(self, room):
+        tracer = RayTracer(room, max_reflection_order=2, include_scatterers=False)
+        paths = tracer.trace((2, 2), (8, 4))
+        direct = next(p for p in paths if p.kind == KIND_DIRECT)
+        for p in paths:
+            if p.kind == KIND_REFLECTION:
+                assert p.length_m > direct.length_m
+
+
+class TestScatterers:
+    def test_scatter_path(self, room):
+        room.add_scatterer((5, 5), 0.5)
+        tracer = RayTracer(room, max_reflection_order=0)
+        paths = tracer.trace((1, 1), (9, 1))
+        scatter = [p for p in paths if p.kind == KIND_SCATTER]
+        assert len(scatter) == 1
+        assert scatter[0].length_m == pytest.approx(
+            Point(1, 1).distance_to((5, 5)) + Point(5, 5).distance_to((9, 1))
+        )
+
+    def test_blocked_scatterer_dropped_when_disallowed(self):
+        room = empty_room(10, 6)
+        room.add_wall((5, 3.5), (5, 6))
+        room.add_scatterer((6, 5), 0.5)  # behind the blocking wall
+        tracer = RayTracer(room, max_reflection_order=0, allow_through_wall=False)
+        paths = tracer.trace((1, 5), (3, 4))
+        assert all(p.kind != KIND_SCATTER for p in paths)
+
+
+class TestBearings:
+    def test_arrival_bearing_of_direct_path(self, room):
+        tracer = RayTracer(room, max_reflection_order=0)
+        path = tracer.trace((1, 1), (9, 5))[0]
+        # Signal arrives at (9,5) coming from (1,1).
+        expected = math.degrees(math.atan2(1 - 5, 1 - 9))
+        assert path.arrival_bearing_deg() == pytest.approx(expected)
+
+    def test_departure_bearing(self, room):
+        tracer = RayTracer(room, max_reflection_order=0)
+        path = tracer.trace((1, 1), (9, 5))[0]
+        expected = math.degrees(math.atan2(4, 8))
+        assert path.departure_bearing_deg() == pytest.approx(expected)

@@ -1,0 +1,181 @@
+"""Tests for the Intel 5300 csitool .dat codec."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.io.csitool import (
+    BfeeRecord,
+    _decode_csi_payload,
+    _encode_csi_payload,
+    read_dat_file,
+    trace_from_records,
+    write_dat_file,
+)
+
+
+def make_record(rng, nrx=3, ntx=1, timestamp=123456, rssi=(40, 42, 38)):
+    csi = np.round(rng.uniform(-100, 100, size=(nrx, 30))) + 1j * np.round(
+        rng.uniform(-100, 100, size=(nrx, 30))
+    )
+    return BfeeRecord(
+        timestamp_low=timestamp,
+        bfee_count=1,
+        nrx=nrx,
+        ntx=ntx,
+        rssi_a=rssi[0],
+        rssi_b=rssi[1],
+        rssi_c=rssi[2],
+        noise=-92,
+        agc=30,
+        antenna_sel=0,
+        rate=0x1101,
+        csi=csi if ntx > 1 else csi.reshape(nrx, 30),
+    )
+
+
+class TestBitCodec:
+    def test_payload_round_trip(self, rng):
+        csi = np.round(rng.uniform(-127, 127, size=(30, 3))) + 1j * np.round(
+            rng.uniform(-127, 127, size=(30, 3))
+        )
+        payload = _encode_csi_payload(csi, nrx=3, ntx=1)
+        decoded = _decode_csi_payload(payload, nrx=3, ntx=1)
+        assert np.array_equal(decoded, csi)
+
+    def test_negative_values_sign_extended(self):
+        csi = np.full((30, 3), -1 - 1j)
+        payload = _encode_csi_payload(csi, nrx=3, ntx=1)
+        decoded = _decode_csi_payload(payload, nrx=3, ntx=1)
+        assert np.array_equal(decoded, csi)
+
+
+class TestFileRoundTrip:
+    def test_single_record(self, tmp_path, rng):
+        record = make_record(rng)
+        path = write_dat_file(tmp_path / "one.dat", [record])
+        loaded = read_dat_file(path)
+        assert len(loaded) == 1
+        out = loaded[0]
+        assert out.timestamp_low == record.timestamp_low
+        assert out.nrx == 3 and out.ntx == 1
+        assert out.rssi_a == 40
+        assert np.array_equal(out.csi, record.csi)
+
+    def test_many_records(self, tmp_path, rng):
+        records = [make_record(rng, timestamp=i) for i in range(20)]
+        path = write_dat_file(tmp_path / "many.dat", records)
+        loaded = read_dat_file(path)
+        assert len(loaded) == 20
+        for i, rec in enumerate(loaded):
+            assert rec.timestamp_low == i
+            assert np.array_equal(rec.csi, records[i].csi)
+
+    def test_truncated_file_rejected(self, tmp_path, rng):
+        path = write_dat_file(tmp_path / "t.dat", [make_record(rng)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(TraceFormatError):
+            read_dat_file(path)
+
+    def test_unknown_codes_skipped(self, tmp_path, rng):
+        path = write_dat_file(tmp_path / "mix.dat", [make_record(rng)])
+        data = path.read_bytes()
+        # Prepend a non-bfee record (code 0xC1, 4-byte body).
+        other = struct.pack(">H", 5) + bytes([0xC1]) + b"\x00" * 4
+        path.write_bytes(other + data)
+        loaded = read_dat_file(path)
+        assert len(loaded) == 1
+
+
+class TestScaling:
+    def test_total_rss_formula(self, rng):
+        record = make_record(rng, rssi=(40, 0, 0))
+        # Single antenna: 40 - 44 - agc(30) = -34 dBm.
+        assert record.total_rss_dbm() == pytest.approx(-34.0)
+
+    def test_total_rss_combines_antennas(self, rng):
+        one = make_record(rng, rssi=(40, 0, 0)).total_rss_dbm()
+        three = make_record(rng, rssi=(40, 40, 40)).total_rss_dbm()
+        assert three == pytest.approx(one + 10 * np.log10(3))
+
+    def test_scaled_csi_shape_and_finite(self, rng):
+        record = make_record(rng)
+        scaled = record.scaled_csi()
+        assert scaled.shape == (3, 30)
+        assert np.all(np.isfinite(scaled))
+
+    def test_scaled_csi_power_tracks_rss(self, rng):
+        record = make_record(rng)
+        scaled = record.scaled_csi()
+        # Total scaled power per subcarrier should approximate the RSS SNR
+        # (within a few dB given quantization/noise bookkeeping).
+        assert np.mean(np.abs(scaled) ** 2) > 0
+
+
+class TestPermutation:
+    def test_antenna_permutation_decoding(self, rng):
+        # antenna_sel = 0b100100 -> chains map to antennas (0, 1, 2).
+        record = make_record(rng)
+        object.__setattr__(record, "antenna_sel", 0b100100)
+        assert record.antenna_permutation() == (0, 1, 2)
+
+    def test_permuted_csi_reorders_rows(self, rng):
+        record = make_record(rng)
+        # chains -> antennas (1, 0, 2): sel = 1 | (0 << 2) | (2 << 4).
+        object.__setattr__(record, "antenna_sel", 1 | (0 << 2) | (2 << 4))
+        out = record.permuted_csi()
+        assert np.array_equal(out[1], record.csi[0])
+        assert np.array_equal(out[0], record.csi[1])
+        assert np.array_equal(out[2], record.csi[2])
+
+    def test_degenerate_sel_passthrough(self, rng):
+        record = make_record(rng)  # antenna_sel = 0 -> (0, 0, 0): invalid
+        assert np.array_equal(record.permuted_csi(), record.csi)
+
+    def test_trace_conversion_applies_permutation(self, rng):
+        record = make_record(rng)
+        object.__setattr__(record, "antenna_sel", 1 | (0 << 2) | (2 << 4))
+        plain = trace_from_records([record], scaled=False)
+        permuted = trace_from_records(
+            [record], scaled=False, apply_permutation=True
+        )
+        assert np.array_equal(permuted[0].csi[0], plain[0].csi[1])
+
+
+class TestCodecProperty:
+    def test_round_trip_fuzz(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+            nrx=st.integers(min_value=1, max_value=3),
+        )
+        @settings(max_examples=25, deadline=None)
+        def check(seed, nrx):
+            rng = np.random.default_rng(seed)
+            csi = np.round(rng.uniform(-128, 127, size=(30, nrx))) + 1j * np.round(
+                rng.uniform(-128, 127, size=(30, nrx))
+            )
+            payload = _encode_csi_payload(csi, nrx=nrx, ntx=1)
+            decoded = _decode_csi_payload(payload, nrx=nrx, ntx=1)
+            assert np.array_equal(decoded, csi)
+
+        check()
+
+
+class TestTraceConversion:
+    def test_trace_from_records(self, rng):
+        records = [make_record(rng, timestamp=i * 100000) for i in range(5)]
+        trace = trace_from_records(records, source="ap1")
+        assert len(trace) == 5
+        assert trace[0].source == "ap1"
+        assert trace[1].timestamp_s == pytest.approx(0.1)
+
+    def test_multi_stream_rejected(self, rng):
+        record = make_record(rng, nrx=3, ntx=2)
+        with pytest.raises(TraceFormatError):
+            trace_from_records([record])

@@ -1,0 +1,88 @@
+"""Tests for the .npz trace archive format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.geom.points import Point
+from repro.io.traces import LocationDataset, load_dataset, save_dataset
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+
+
+def make_dataset(rng, num_aps=2, num_frames=3):
+    arrays, traces = [], []
+    for i in range(num_aps):
+        arrays.append(
+            UniformLinearArray(
+                num_antennas=3,
+                spacing_m=0.029,
+                position=(float(i), 0.0),
+                normal_deg=15.0 * i,
+            )
+        )
+        csi = rng.normal(size=(num_frames, 3, 30)) + 1j * rng.normal(
+            size=(num_frames, 3, 30)
+        )
+        traces.append(
+            CsiTrace.from_arrays(
+                csi,
+                rssi_dbm=[-40.0 - i] * num_frames,
+                timestamps_s=[0.1 * k for k in range(num_frames)],
+            )
+        )
+    return LocationDataset(
+        ap_arrays=arrays, traces=traces, target=Point(3.5, 2.5), name="unit"
+    )
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, tmp_path, rng):
+        ds = make_dataset(rng)
+        path = save_dataset(ds, tmp_path / "loc.npz")
+        loaded = load_dataset(path)
+        assert loaded.num_aps == 2
+        assert loaded.name == "unit"
+        assert loaded.target == Point(3.5, 2.5)
+        for orig, back in zip(ds.traces, loaded.traces):
+            assert np.allclose(orig.csi_array(), back.csi_array())
+            assert np.allclose(orig.rssi_dbm(), back.rssi_dbm())
+        for orig, back in zip(ds.ap_arrays, loaded.ap_arrays):
+            assert orig.position == back.position
+            assert orig.normal_deg == back.normal_deg
+            assert orig.spacing_m == back.spacing_m
+
+    def test_no_target_round_trip(self, tmp_path, rng):
+        ds = make_dataset(rng)
+        ds.target = None
+        path = save_dataset(ds, tmp_path / "nt.npz")
+        assert load_dataset(path).target is None
+
+    def test_extension_added(self, tmp_path, rng):
+        ds = make_dataset(rng)
+        path = save_dataset(ds, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_pairs_helper(self, rng):
+        ds = make_dataset(rng)
+        pairs = ds.ap_trace_pairs()
+        assert len(pairs) == 2
+        assert pairs[0][0] is ds.ap_arrays[0]
+
+
+class TestErrors:
+    def test_mismatched_lengths_rejected(self, rng):
+        ds = make_dataset(rng)
+        with pytest.raises(TraceFormatError):
+            LocationDataset(ap_arrays=ds.ap_arrays, traces=ds.traces[:1])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_non_archive_rejected(self, tmp_path, rng):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(TraceFormatError):
+            load_dataset(path)

@@ -1,0 +1,126 @@
+"""Tests for receive-chain calibration."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import calibrate_ap
+from repro.calibration.estimator import expected_antenna_phases
+from repro.channel.chains import ChainOffsets
+from repro.channel.impairments import ImpairmentModel
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.errors import ConfigurationError
+from repro.geom.points import angle_diff_deg
+from repro.testbed.layout import small_testbed
+from repro.wifi.csi import CsiTrace
+
+
+@pytest.fixture(scope="module")
+def scene():
+    tb = small_testbed()
+    sim = tb.simulator()
+    return tb, sim
+
+
+def reference_trace(sim, ap, position, rng, chain=None, packets=10):
+    return sim.generate_trace(position, ap, packets, rng=rng, chain=chain)
+
+
+class TestExpectedPhases:
+    def test_boresight_reference_nearly_zero(self, grid):
+        from repro.wifi.arrays import UniformLinearArray
+
+        ap = UniformLinearArray(3, position=(0.0, 0.0), normal_deg=0.0)
+        phases = expected_antenna_phases(ap, (50.0, 0.0), grid)
+        # Far-field boresight: inter-antenna path differences vanish.
+        assert np.allclose(phases, 0.0, atol=0.05)
+
+    def test_off_axis_reference_nonzero(self, grid):
+        from repro.wifi.arrays import UniformLinearArray
+
+        ap = UniformLinearArray(3, position=(0.0, 0.0), normal_deg=0.0)
+        phases = expected_antenna_phases(ap, (10.0, 10.0), grid)
+        assert abs(phases[1]) > 0.1
+
+
+class TestCalibrateAp:
+    def test_recovers_known_offsets(self, scene):
+        tb, sim = scene
+        ap = tb.aps[0]
+        truth = ChainOffsets(offsets_rad=(0.0, 1.1, -2.0))
+        rng = np.random.default_rng(3)
+        refs = []
+        for spot in [(3.0, 4.0), (5.0, 3.0)]:
+            trace = reference_trace(sim, ap, spot, rng, chain=truth)
+            refs.append((spot, trace))
+        result = calibrate_ap(ap, sim.grid, refs)
+        # Multipath biases the estimate some; within ~0.35 rad is enough
+        # to restore AoA accuracy (0.35 rad ~ 6 deg of phase).
+        assert result.offsets.max_error_to(truth) < 0.35
+        assert result.num_samples == 2 * 10 * 30
+
+    def test_identity_offsets_estimated_near_zero(self, scene):
+        tb, sim = scene
+        ap = tb.aps[1]
+        rng = np.random.default_rng(4)
+        refs = [((9.0, 4.0), reference_trace(sim, ap, (9.0, 4.0), rng))]
+        result = calibrate_ap(ap, sim.grid, refs)
+        assert result.offsets.max_error_to(ChainOffsets.identity(3)) < 0.35
+
+    def test_residual_reported(self, scene):
+        tb, sim = scene
+        ap = tb.aps[0]
+        rng = np.random.default_rng(5)
+        refs = [((3.0, 4.0), reference_trace(sim, ap, (3.0, 4.0), rng))]
+        result = calibrate_ap(ap, sim.grid, refs)
+        assert result.residual_rad >= 0.0
+
+    def test_no_references_rejected(self, scene, grid):
+        tb, _ = scene
+        with pytest.raises(ConfigurationError):
+            calibrate_ap(tb.aps[0], grid, [])
+
+    def test_empty_trace_rejected(self, scene, grid):
+        tb, _ = scene
+        with pytest.raises(ConfigurationError):
+            calibrate_ap(tb.aps[0], grid, [((1.0, 1.0), CsiTrace())])
+
+
+class TestEndToEndWithOffsets:
+    def test_offsets_break_localization_and_calibration_restores_it(self, scene):
+        tb, sim = scene
+        target = tb.targets[1].position
+        rng = np.random.default_rng(7)
+        chains = [ChainOffsets.random(3, np.random.default_rng(100 + k)) for k in range(4)]
+
+        # Calibrate each AP from two reference positions.
+        calibrations = []
+        for ap, chain in zip(tb.aps, chains):
+            refs = []
+            for spot in [(4.0, 4.0), (6.0, 3.0)]:
+                refs.append((spot, reference_trace(sim, ap, spot, rng, chain=chain)))
+            calibrations.append(calibrate_ap(ap, sim.grid, refs))
+
+        traces_raw = []
+        traces_cal = []
+        for ap, chain, cal in zip(tb.aps, chains, calibrations):
+            trace = sim.generate_trace(target, ap, 12, rng=rng, chain=chain)
+            traces_raw.append((ap, trace))
+            corrected = CsiTrace.from_arrays(
+                np.stack([cal.offsets.correct(f.csi) for f in trace]),
+                rssi_dbm=trace.rssi_dbm().tolist(),
+            )
+            traces_cal.append((ap, corrected))
+
+        def locate(traces):
+            spotfi = SpotFi(
+                sim.grid,
+                bounds=tb.bounds,
+                config=SpotFiConfig(packets_per_fix=12),
+                rng=np.random.default_rng(0),
+            )
+            return spotfi.locate(traces)
+
+        err_raw = locate(traces_raw).error_to(target)
+        err_cal = locate(traces_cal).error_to(target)
+        assert err_cal < 1.0
+        assert err_cal < err_raw

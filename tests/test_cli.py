@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, render_floorplan
+from repro.testbed.layout import office_testbed, small_testbed
+
+
+class TestSimulateAndLocate:
+    def test_simulate_inspect_locate_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "capture.npz"
+        rc = main(
+            [
+                "simulate",
+                str(out),
+                "--testbed",
+                "small",
+                "--packets",
+                "10",
+                "--seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "4 AP traces" in text
+
+        rc = main(["inspect", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "APs      : 4" in text
+        assert "10 packets" in text
+
+        rc = main(
+            ["locate", str(out), "--testbed", "small", "--packets", "10"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "SpotFi fix" in text
+        assert "SpotFi error" in text
+
+    def test_locate_with_arraytrack(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "8"])
+        capsys.readouterr()
+        rc = main(
+            [
+                "locate",
+                str(out),
+                "--testbed",
+                "small",
+                "--packets",
+                "8",
+                "--arraytrack",
+            ]
+        )
+        assert rc == 0
+        assert "ArrayTrack fix" in capsys.readouterr().out
+
+    def test_locate_with_esprit(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "8"])
+        capsys.readouterr()
+        rc = main(
+            [
+                "locate",
+                str(out),
+                "--testbed",
+                "small",
+                "--packets",
+                "8",
+                "--estimation",
+                "esprit",
+            ]
+        )
+        assert rc == 0
+
+    def test_simulate_by_label(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        rc = main(
+            [
+                "simulate",
+                str(out),
+                "--testbed",
+                "small",
+                "--target-label",
+                "t-02",
+                "--packets",
+                "5",
+            ]
+        )
+        assert rc == 0
+
+    def test_simulate_unknown_label_fails_cleanly(self, tmp_path, capsys):
+        rc = main(
+            [
+                "simulate",
+                str(tmp_path / "c.npz"),
+                "--testbed",
+                "small",
+                "--target-label",
+                "nope",
+            ]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_locate_missing_dataset_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["locate", str(tmp_path / "missing.npz")])
+        assert rc == 2
+
+
+class TestFloorplan:
+    def test_floorplan_command(self, capsys):
+        rc = main(["floorplan", "--testbed", "small", "--width", "60"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "#" in text  # walls rendered
+        assert "A" in text  # APs rendered
+        assert "4 targets, 4 APs" in text
+
+    def test_render_contains_all_marker_kinds(self):
+        art = render_floorplan(office_testbed(), cols=90, rows=26)
+        for marker in "#*oA":
+            assert marker in art
+
+    def test_render_dimensions(self):
+        art = render_floorplan(small_testbed(), cols=50, rows=20)
+        lines = art.splitlines()
+        assert len(lines) == 21  # 20 rows + legend
+        assert all(len(line) == 50 for line in lines[:20])

@@ -1,0 +1,45 @@
+"""Tests for repro.constants."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_speed_of_light_is_si_value():
+    assert constants.SPEED_OF_LIGHT == 299_792_458.0
+
+
+def test_intel5300_reported_spacing():
+    # 4 x 312.5 kHz grouping = 1.25 MHz.
+    assert constants.INTEL5300_REPORTED_SPACING_HZ == pytest.approx(1.25e6)
+
+
+def test_tof_ambiguity_is_800ns():
+    assert constants.INTEL5300_TOF_AMBIGUITY_S == pytest.approx(800e-9)
+
+
+def test_half_wavelength_near_29mm():
+    # lambda/2 at 5.18 GHz is about 2.9 cm.
+    assert constants.HALF_WAVELENGTH_M == pytest.approx(0.02894, abs=1e-4)
+
+
+def test_wavelength_inverse_of_frequency():
+    assert constants.wavelength(constants.SPEED_OF_LIGHT) == pytest.approx(1.0)
+
+
+def test_wavelength_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        constants.wavelength(0.0)
+    with pytest.raises(ValueError):
+        constants.wavelength(-1.0)
+
+
+def test_degree_radian_round_trip():
+    for angle in (-180.0, -33.3, 0.0, 45.0, 123.4):
+        assert constants.rad2deg(constants.deg2rad(angle)) == pytest.approx(angle)
+
+
+def test_deg2rad_matches_math():
+    assert constants.deg2rad(90.0) == pytest.approx(math.pi / 2)

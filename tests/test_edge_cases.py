@@ -1,0 +1,154 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.music import MusicConfig, forward_backward_average
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.core.steering import SteeringModel
+from repro.errors import LocalizationError
+from repro.eval.reports import format_comparison
+from repro.geom.floorplan import empty_room
+from repro.testbed.layout import home_testbed, small_testbed
+
+
+class TestForwardBackward:
+    def test_fb_preserves_hermitian(self, rng):
+        a = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        r = a @ a.conj().T
+        fb = forward_backward_average(r)
+        assert np.allclose(fb, fb.conj().T)
+
+    def test_fb_idempotent(self, rng):
+        a = rng.normal(size=(6, 6)) + 1j * rng.normal(size=(6, 6))
+        r = a @ a.conj().T
+        once = forward_backward_average(r)
+        twice = forward_backward_average(once)
+        assert np.allclose(once, twice)
+
+    def test_fb_preserves_steering_subspace(self):
+        # J a*(theta, tau) must stay on the steering manifold: its
+        # projection onto the original vector has unit magnitude.
+        model = SteeringModel(2, 15, 0.029, 5.19e9, 1.25e6)
+        a = model.steering_vector(33.0, 120e-9)
+        flipped = np.conj(a[::-1])
+        corr = abs(np.vdot(a, flipped)) / (np.linalg.norm(a) ** 2)
+        assert corr == pytest.approx(1.0, abs=1e-12)
+
+
+class TestPipelineEdges:
+    def test_zero_usable_aps_raises_localization_error(self, grid, rng):
+        tb = small_testbed()
+        spotfi = SpotFi(grid, bounds=tb.bounds)
+        with pytest.raises(LocalizationError):
+            spotfi.locate([])
+
+    def test_single_packet_fix_possible(self):
+        # One packet per AP: clustering degenerates to single-member
+        # clusters but the fix must still come out.
+        tb = small_testbed()
+        sim = tb.simulator()
+        rng = np.random.default_rng(2)
+        target = tb.targets[0].position
+        traces = [(ap, sim.generate_trace(target, ap, 1, rng=rng)) for ap in tb.aps]
+        spotfi = SpotFi(
+            sim.grid,
+            bounds=tb.bounds,
+            config=SpotFiConfig(
+                packets_per_fix=1, min_cluster_size=1, min_cluster_fraction=0.0
+            ),
+            rng=np.random.default_rng(0),
+        )
+        fix = spotfi.locate(traces)
+        assert fix.error_to(target) < 4.0
+
+    def test_mixed_usable_and_failed_aps(self, rng):
+        # One AP supplies garbage CSI; the fix must still use the others.
+        from repro.wifi.csi import CsiFrame, CsiTrace
+
+        tb = small_testbed()
+        sim = tb.simulator()
+        target = tb.targets[1].position
+        traces = [
+            (ap, sim.generate_trace(target, ap, 10, rng=rng)) for ap in tb.aps[:3]
+        ]
+        garbage = CsiTrace(
+            [
+                CsiFrame(
+                    csi=np.full((3, 30), 1e-12 + 0j) + 1e-13 * rng.normal(size=(3, 30))
+                )
+                for _ in range(10)
+            ]
+        )
+        traces.append((tb.aps[3], garbage))
+        spotfi = SpotFi(
+            sim.grid,
+            bounds=tb.bounds,
+            config=SpotFiConfig(packets_per_fix=10),
+            rng=np.random.default_rng(0),
+        )
+        fix = spotfi.locate(traces)
+        # Either the garbage AP failed cleanly or was outvoted; the fix
+        # must stay sane.
+        assert fix.error_to(target) < 3.0
+
+
+class TestMusicConfigEdges:
+    def test_fb_disabled_still_works(self, grid, ula, three_paths):
+        from repro.channel.csi_model import synthesize_csi
+        from repro.core.estimator import JointEstimator
+
+        est = JointEstimator(
+            model=SteeringModel.for_grid(grid, 3, ula.spacing_m),
+            music=MusicConfig(forward_backward=False),
+        )
+        csi = synthesize_csi(three_paths, ula, grid)
+        found = est.estimate_packet(csi)
+        for path in three_paths:
+            assert min(abs(e.aoa_deg - path.aoa_deg) for e in found) < 2.0
+
+    def test_mdl_mode_works(self, grid, ula, three_paths):
+        from repro.channel.csi_model import synthesize_csi
+        from repro.core.estimator import JointEstimator
+
+        est = JointEstimator(
+            model=SteeringModel.for_grid(grid, 3, ula.spacing_m),
+            music=MusicConfig(use_mdl=True),
+        )
+        csi = synthesize_csi(three_paths, ula, grid)
+        found = est.estimate_packet(csi)
+        assert found
+
+
+class TestCliHomeTestbed:
+    def test_simulate_and_locate_on_home(self, tmp_path, capsys):
+        out = tmp_path / "home.npz"
+        rc = main(
+            [
+                "simulate",
+                str(out),
+                "--testbed",
+                "home",
+                "--target-label",
+                "kitchen-1",
+                "--packets",
+                "8",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["locate", str(out), "--testbed", "home", "--packets", "8"])
+        assert rc == 0
+        assert "SpotFi error" in capsys.readouterr().out
+
+
+class TestReportEdges:
+    def test_comparison_with_all_nan_series(self):
+        out = format_comparison("t", {"empty": [float("nan")]})
+        assert "empty" in out
+        assert "nan" in out.lower()
+
+    def test_comparison_mixed_series_lengths(self):
+        out = format_comparison("t", {"a": [1.0], "b": [1.0, 2.0, 3.0]})
+        assert "   1 " in out or "1 " in out

@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.CsiShapeError,
+        errors.EstimationError,
+        errors.ClusteringError,
+        errors.LocalizationError,
+        errors.GeometryError,
+        errors.TraceFormatError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_does_not_catch_unrelated():
+    with pytest.raises(ValueError):
+        try:
+            raise ValueError("not ours")
+        except errors.ReproError:  # pragma: no cover - must not trigger
+            pytest.fail("ReproError must not catch ValueError")

@@ -1,0 +1,87 @@
+"""Tests for device-free motion sensing."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi_model import ChannelSimulator
+from repro.errors import ConfigurationError
+from repro.geom.floorplan import empty_room
+from repro.sensing import MotionDetector
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+
+
+@pytest.fixture()
+def link(grid):
+    """A static transmitter-AP link in a room with one movable scatterer."""
+    ap = UniformLinearArray(3, position=(0.5, 3.0), normal_deg=0.0)
+    tx = (9.0, 3.0)
+
+    def burst(scatterer_pos, rng, packets=8):
+        room = empty_room(10.0, 6.0)
+        room.add_scatterer(scatterer_pos, 0.5)
+        sim = ChannelSimulator(floorplan=room, grid=grid)
+        return sim.generate_trace(tx, ap, packets, rng=rng)
+
+    return burst
+
+
+class TestMotionDetector:
+    def test_first_burst_primes_baseline(self, link, rng):
+        detector = MotionDetector()
+        reading = detector.observe(link((5.0, 5.0), rng))
+        assert not reading.baseline_ready
+        assert not reading.motion
+
+    def test_static_environment_quiet(self, link, rng):
+        detector = MotionDetector()
+        detector.observe(link((5.0, 5.0), rng))
+        for _ in range(4):
+            reading = detector.observe(link((5.0, 5.0), rng))
+            assert reading.baseline_ready
+            assert not reading.motion
+            assert reading.score < 0.05
+
+    def test_moved_scatterer_detected(self, link, rng):
+        detector = MotionDetector()
+        detector.observe(link((5.0, 5.0), rng))
+        quiet = detector.observe(link((5.0, 5.0), rng))
+        moved = detector.observe(link((4.0, 2.0), rng))
+        assert moved.score > quiet.score
+        assert moved.motion
+
+    def test_rebases_after_environment_settles(self, link, rng):
+        detector = MotionDetector(rebase_after=3)
+        detector.observe(link((5.0, 5.0), rng))
+        # Environment changes and then stays changed: after rebase_after
+        # stable bursts the detector adopts the new baseline and quiets.
+        readings = [detector.observe(link((4.0, 2.0), rng)) for _ in range(6)]
+        assert readings[0].motion
+        assert not readings[-1].motion
+        assert readings[-1].score < 0.05
+
+    def test_rebase_disabled_keeps_alarming(self, link, rng):
+        detector = MotionDetector(rebase_after=0)
+        detector.observe(link((5.0, 5.0), rng))
+        readings = [detector.observe(link((4.0, 2.0), rng)) for _ in range(5)]
+        assert all(r.motion for r in readings)
+
+    def test_history_recorded(self, link, rng):
+        detector = MotionDetector()
+        for _ in range(3):
+            detector.observe(link((5.0, 5.0), rng))
+        assert len(detector.history()) == 3
+
+    def test_reset(self, link, rng):
+        detector = MotionDetector()
+        detector.observe(link((5.0, 5.0), rng))
+        detector.reset()
+        assert not detector.observe(link((5.0, 5.0), rng)).baseline_ready
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MotionDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            MotionDetector(adaptation=1.0)
+        with pytest.raises(ConfigurationError):
+            MotionDetector().observe(CsiTrace())

@@ -1,0 +1,157 @@
+"""Tests for the streaming SpotFi server."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.errors import ConfigurationError
+from repro.server import SpotFiServer
+from repro.testbed.layout import small_testbed
+from repro.wifi.csi import CsiFrame
+
+
+@pytest.fixture(scope="module")
+def scene():
+    tb = small_testbed()
+    sim = tb.simulator()
+    spotfi = SpotFi(
+        sim.grid,
+        bounds=tb.bounds,
+        config=SpotFiConfig(packets_per_fix=8),
+        rng=np.random.default_rng(0),
+    )
+    ap_ids = {f"ap{i}": ap for i, ap in enumerate(tb.aps)}
+    return tb, sim, spotfi, ap_ids
+
+
+def stream_target(server, tb, sim, target, source, rng, packets=8, t0=0.0):
+    """Interleave packets across APs, as a real deployment would see them."""
+    traces = {
+        f"ap{i}": sim.generate_trace(target, ap, packets, rng=rng, source=source)
+        for i, ap in enumerate(tb.aps)
+    }
+    events = []
+    for k in range(packets):
+        for ap_id, trace in traces.items():
+            frame = trace[k]
+            frame = CsiFrame(
+                csi=frame.csi,
+                rssi_dbm=frame.rssi_dbm,
+                timestamp_s=t0 + k * 0.1,
+                source=source,
+            )
+            event = server.ingest(ap_id, frame)
+            if event is not None:
+                events.append(event)
+    return events
+
+
+class TestServer:
+    def test_fix_emitted_after_burst(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(spotfi=spotfi, aps=ap_ids, packets_per_fix=8)
+        rng = np.random.default_rng(1)
+        target = tb.targets[0].position
+        events = stream_target(server, tb, sim, target, "aa:bb", rng)
+        assert len(events) == 1
+        event = events[0]
+        assert event.ok
+        assert event.num_aps == 4
+        assert event.fix.error_to(target) < 1.5
+
+    def test_buffers_consumed_after_fix(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(spotfi=spotfi, aps=ap_ids, packets_per_fix=8)
+        rng = np.random.default_rng(2)
+        stream_target(server, tb, sim, tb.targets[0].position, "aa:bb", rng)
+        assert server.pending_packets("aa:bb") == {}
+
+    def test_two_targets_independent(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(spotfi=spotfi, aps=ap_ids, packets_per_fix=8)
+        rng = np.random.default_rng(3)
+        t1 = tb.targets[0].position
+        t2 = tb.targets[3].position
+        e1 = stream_target(server, tb, sim, t1, "phone", rng)
+        e2 = stream_target(server, tb, sim, t2, "laptop", rng)
+        assert server.sources() == ["laptop", "phone"]
+        assert e1[0].fix.error_to(t1) < 1.5
+        assert e2[0].fix.error_to(t2) < 1.5
+        assert len(server.events("phone")) == 1
+        assert len(server.events("laptop")) == 1
+
+    def test_successive_bursts_yield_successive_fixes(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(spotfi=spotfi, aps=ap_ids, packets_per_fix=8)
+        rng = np.random.default_rng(4)
+        target = tb.targets[1].position
+        stream_target(server, tb, sim, target, "aa", rng, t0=0.0)
+        stream_target(server, tb, sim, target, "aa", rng, t0=1.0)
+        assert len(server.events("aa")) == 2
+
+    def test_tracking_mode_filters(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, track=True
+        )
+        rng = np.random.default_rng(5)
+        target = tb.targets[2].position
+        stream_target(server, tb, sim, target, "aa", rng, t0=0.0)
+        events = stream_target(server, tb, sim, target, "aa", rng, t0=1.0)
+        assert events[0].filtered is not None
+        assert events[0].filtered.distance_to(target) < 1.5
+
+    def test_min_aps_gate(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=4, min_aps=3
+        )
+        rng = np.random.default_rng(6)
+        target = tb.targets[0].position
+        # Stream to only two APs: no fix may be attempted.
+        trace = sim.generate_trace(target, tb.aps[0], 6, rng=rng, source="aa")
+        trace2 = sim.generate_trace(target, tb.aps[1], 6, rng=rng, source="aa")
+        for k in range(6):
+            assert server.ingest("ap0", trace[k]) is None
+            assert server.ingest("ap1", trace2[k]) is None
+        assert server.events("aa") == []
+        assert server.pending_packets("aa") == {"ap0": 6, "ap1": 6}
+
+    def test_flush_handles_straggler_ap(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, min_aps=3
+        )
+        rng = np.random.default_rng(8)
+        target = tb.targets[0].position
+        # A fourth AP heard only the first 2 packets (target moved out of
+        # its range); the other three complete their bursts afterwards.
+        straggler = sim.generate_trace(target, tb.aps[3], 2, rng=rng, source="aa")
+        for frame in straggler:
+            assert server.ingest("ap3", frame) is None
+        for i in range(3):
+            trace = sim.generate_trace(
+                target, tb.aps[i], 8, rng=rng, source="aa"
+            )
+            for frame in trace:
+                assert server.ingest(f"ap{i}", frame) is None  # ap3 pending
+        event = server.flush("aa", timestamp_s=1.0)
+        assert event is not None and event.ok
+        assert event.num_aps == 3
+        # The straggler's partial burst stays buffered.
+        assert server.pending_packets("aa") == {"ap3": 2}
+
+    def test_unknown_ap_rejected(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(spotfi=spotfi, aps=ap_ids)
+        rng = np.random.default_rng(7)
+        trace = sim.generate_trace(tb.targets[0].position, tb.aps[0], 1, rng=rng)
+        with pytest.raises(ConfigurationError):
+            server.ingest("ap99", trace[0])
+
+    def test_validation(self, scene):
+        _, _, spotfi, ap_ids = scene
+        with pytest.raises(ConfigurationError):
+            SpotFiServer(spotfi=spotfi, aps={})
+        with pytest.raises(ConfigurationError):
+            SpotFiServer(spotfi=spotfi, aps=ap_ids, packets_per_fix=0)

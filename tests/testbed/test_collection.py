@@ -1,0 +1,73 @@
+"""Tests for packet collection simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testbed.collection import as_ap_trace_pairs, collect_location
+from repro.testbed.layout import office_testbed, small_testbed
+
+
+@pytest.fixture(scope="module")
+def small():
+    return small_testbed()
+
+
+class TestCollectLocation:
+    def test_all_aps_hear_in_small_room(self, small, rng):
+        sim = small.simulator()
+        recordings = collect_location(
+            sim, small.targets[0].position, small.aps, num_packets=4, rng=rng
+        )
+        assert len(recordings) == 4
+        assert all(len(r.trace) == 4 for r in recordings)
+
+    def test_rssi_recorded(self, small, rng):
+        sim = small.simulator()
+        recordings = collect_location(
+            sim, small.targets[0].position, small.aps, num_packets=2, rng=rng
+        )
+        assert all(np.isfinite(r.rssi_dbm) for r in recordings)
+
+    def test_sensitivity_threshold_drops_far_aps(self, rng):
+        tb = office_testbed()
+        sim = tb.simulator()
+        # A far-wing target with a strict sensitivity: office APs through
+        # multiple brick walls should drop out.
+        target = (34.0, 3.1)
+        all_heard = collect_location(
+            tb.simulator(), target, tb.aps, num_packets=2, rng=rng,
+            sensitivity_dbm=-200.0,
+        )
+        strict = collect_location(
+            sim, target, tb.aps, num_packets=2, rng=rng, sensitivity_dbm=-60.0
+        )
+        assert len(strict) < len(all_heard)
+
+    def test_invalid_packet_count(self, small, rng):
+        sim = small.simulator()
+        with pytest.raises(ConfigurationError):
+            collect_location(sim, (1.0, 1.0), small.aps, num_packets=0, rng=rng)
+
+    def test_pairs_helper(self, small, rng):
+        sim = small.simulator()
+        recordings = collect_location(
+            sim, small.targets[0].position, small.aps, num_packets=2, rng=rng
+        )
+        pairs = as_ap_trace_pairs(recordings)
+        assert len(pairs) == len(recordings)
+        assert pairs[0][0] is recordings[0].array
+        assert pairs[0][1] is recordings[0].trace
+
+    def test_reproducible_with_seed(self, small):
+        sim = small.simulator()
+        r1 = collect_location(
+            sim, small.targets[0].position, small.aps, 3,
+            rng=np.random.default_rng(9),
+        )
+        r2 = collect_location(
+            sim, small.targets[0].position, small.aps, 3,
+            rng=np.random.default_rng(9),
+        )
+        for a, b in zip(r1, r2):
+            assert np.allclose(a.trace.csi_array(), b.trace.csi_array())

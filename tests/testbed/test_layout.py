@@ -1,0 +1,152 @@
+"""Tests for testbed layouts."""
+
+import pytest
+
+from repro.testbed.layout import (
+    ZONE_CORRIDOR,
+    ZONE_FAR_WING,
+    ZONE_OFFICE,
+    office_testbed,
+    small_testbed,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return office_testbed()
+
+
+class TestOfficeTestbed:
+    def test_55_targets_like_the_paper(self, testbed):
+        assert len(testbed.targets) == 55
+
+    def test_zone_partition(self, testbed):
+        zones = {t.zone for t in testbed.targets}
+        assert zones == {ZONE_OFFICE, ZONE_CORRIDOR, ZONE_FAR_WING}
+        total = sum(len(testbed.targets_in_zone(z)) for z in zones)
+        assert total == 55
+
+    def test_office_region_has_25_targets(self, testbed):
+        office = testbed.targets_in_zone(ZONE_OFFICE)
+        assert len(office) == 25
+        # All inside the paper's 16 x 10 dashed box region.
+        for t in office:
+            assert 2.0 <= t.position.x <= 18.0
+            assert 2.0 <= t.position.y <= 12.0
+
+    def test_ap_labels_parallel(self, testbed):
+        assert len(testbed.aps) == len(testbed.ap_labels)
+        assert len(testbed.office_aps()) == 6
+        assert len(testbed.corridor_aps()) == 6
+
+    def test_aps_inside_bounds(self, testbed):
+        x0, y0, x1, y1 = testbed.bounds
+        for ap in testbed.aps:
+            assert x0 <= ap.position[0] <= x1
+            assert y0 <= ap.position[1] <= y1
+
+    def test_targets_inside_bounds(self, testbed):
+        x0, y0, x1, y1 = testbed.bounds
+        for t in testbed.targets:
+            assert x0 < t.position.x < x1
+            assert y0 < t.position.y < y1
+
+    def test_unique_labels(self, testbed):
+        labels = [t.label for t in testbed.targets]
+        assert len(set(labels)) == len(labels)
+
+    def test_los_counting(self, testbed):
+        # Some far-wing targets must be heavily obstructed; some office
+        # targets must see several APs.
+        wing_counts = [
+            testbed.los_ap_count(t.position)
+            for t in testbed.targets_in_zone(ZONE_FAR_WING)
+        ]
+        office_counts = [
+            testbed.los_ap_count(t.position, testbed.office_aps())
+            for t in testbed.targets_in_zone(ZONE_OFFICE)
+        ]
+        assert max(wing_counts) <= 3
+        assert max(office_counts) >= 4
+
+    def test_simulator_construction(self, testbed):
+        sim = testbed.simulator()
+        assert sim.grid.num_subcarriers == 30
+        profile = sim.profile(testbed.targets[0].position, testbed.aps[0])
+        assert profile.num_paths >= 2
+
+
+class TestHomeTestbed:
+    @pytest.fixture(scope="class")
+    def home(self):
+        from repro.testbed.layout import home_testbed
+
+        return home_testbed()
+
+    def test_structure(self, home):
+        assert len(home.aps) == 3  # router + two extenders
+        assert len(home.targets) == 10
+        assert home.bounds == (0.0, 0.0, 10.0, 8.0)
+
+    def test_rooms_create_nlos(self, home):
+        # An apartment is wall-dominated: most targets have no LoS AP at
+        # all and rely on through-drywall propagation, while same-room
+        # targets keep LoS to their room's AP.
+        counts = [home.los_ap_count(t.position) for t in home.targets]
+        assert min(counts) == 0
+        assert max(counts) >= 1
+
+    def test_every_target_audible(self, home, rng):
+        from repro.testbed.collection import collect_location
+
+        sim = home.simulator()
+        for spot in home.targets:
+            recordings = collect_location(
+                sim, spot.position, home.aps, num_packets=1, rng=rng
+            )
+            assert len(recordings) >= 2, f"{spot.label} nearly deaf"
+
+    def test_localizable(self, home):
+        import numpy as np
+
+        from repro.core.pipeline import SpotFi, SpotFiConfig
+        from repro.testbed.collection import as_ap_trace_pairs, collect_location
+
+        sim = home.simulator()
+        spot = home.targets[0]
+        rng = np.random.default_rng(9)
+        recordings = collect_location(
+            sim, spot.position, home.aps, num_packets=10, rng=rng
+        )
+        spotfi = SpotFi(
+            sim.grid,
+            bounds=home.bounds,
+            config=SpotFiConfig(packets_per_fix=10),
+            rng=np.random.default_rng(0),
+        )
+        fix = spotfi.locate(as_ap_trace_pairs(recordings))
+        assert fix.error_to(spot.position) < 3.0
+
+
+class TestSmallTestbed:
+    def test_structure(self):
+        tb = small_testbed()
+        assert len(tb.aps) == 4
+        assert len(tb.targets) == 4
+        assert tb.bounds == (0.0, 0.0, 12.0, 8.0)
+
+    def test_all_los(self):
+        tb = small_testbed()
+        for t in tb.targets:
+            assert tb.los_ap_count(t.position) == 4
+
+    def test_parallel_label_validation(self):
+        tb = small_testbed()
+        with pytest.raises(ValueError):
+            type(tb)(
+                floorplan=tb.floorplan,
+                aps=tb.aps,
+                ap_labels=tb.ap_labels[:-1],
+                targets=tb.targets,
+                bounds=tb.bounds,
+            )

@@ -1,0 +1,136 @@
+"""Tests for route planning and motion sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geom.floorplan import empty_room
+from repro.geom.points import Point
+from repro.testbed.layout import home_testbed, office_testbed
+from repro.testbed.mobility import (
+    OccupancyGrid,
+    plan_route,
+    route_length,
+    walk_route,
+)
+
+
+@pytest.fixture(scope="module")
+def office():
+    return office_testbed()
+
+
+class TestOccupancyGrid:
+    def test_open_room_mostly_walkable(self):
+        room = empty_room(10.0, 6.0)
+        grid = OccupancyGrid(room, cell_m=0.5)
+        rows, cols = grid.shape
+        walkable = sum(
+            grid.is_walkable((r, c)) for r in range(rows) for c in range(cols)
+        )
+        assert walkable > 0.6 * rows * cols
+
+    def test_cells_near_walls_blocked(self):
+        room = empty_room(10.0, 6.0)
+        grid = OccupancyGrid(room, cell_m=0.5, clearance_m=0.3)
+        assert not grid.is_walkable(grid.cell_of((0.1, 0.1)))
+        assert grid.is_walkable(grid.cell_of((5.0, 3.0)))
+
+    def test_nearest_walkable_escapes_wall(self):
+        room = empty_room(10.0, 6.0)
+        grid = OccupancyGrid(room, cell_m=0.5)
+        cell = grid.nearest_walkable((0.05, 3.0))
+        assert grid.is_walkable(cell)
+
+    def test_out_of_bounds_rejected(self):
+        room = empty_room(10.0, 6.0)
+        grid = OccupancyGrid(room, cell_m=0.5)
+        with pytest.raises(GeometryError):
+            grid.cell_of((50.0, 3.0))
+
+    def test_validation(self):
+        room = empty_room(4.0, 4.0)
+        with pytest.raises(GeometryError):
+            OccupancyGrid(room, cell_m=0.0)
+
+
+class TestPlanRoute:
+    def test_straight_route_in_open_room(self):
+        room = empty_room(10.0, 6.0)
+        route = plan_route(room, (1.0, 3.0), (9.0, 3.0))
+        assert route[0] == Point(1.0, 3.0)
+        assert route[-1] == Point(9.0, 3.0)
+        # Open space: shortcutting collapses to the direct segment.
+        assert len(route) == 2
+
+    def test_route_bends_around_wall(self):
+        room = empty_room(10.0, 6.0)
+        room.add_wall((5.0, 0.0), (5.0, 4.5))
+        route = plan_route(room, (1.0, 1.0), (9.0, 1.0), cell_m=0.5, clearance_m=0.3)
+        assert len(route) > 2
+        # Documented guarantee: clearance_m - cell_m / 2 along every leg.
+        guaranteed = OccupancyGrid(room, cell_m=0.5, clearance_m=0.3 - 0.25)
+        for a, b in zip(route, route[1:]):
+            assert guaranteed.clear_segment(a, b)
+        # The route must climb around the wall tip.
+        assert max(p.y for p in route) > 4.5
+
+    def test_sealed_room_unreachable(self):
+        room = empty_room(10.0, 6.0)
+        room.add_rectangle(6.0, 2.0, 8.0, 4.0)  # sealed box
+        with pytest.raises(GeometryError):
+            plan_route(room, (1.0, 3.0), (7.0, 3.0))
+
+    def test_office_corridor_to_office_room(self, office):
+        # From corridor A into the office region — must pass a door gap.
+        route = plan_route(
+            office.floorplan, (4.0, 13.0), (10.0, 6.0), cell_m=0.5
+        )
+        assert route_length(route) >= Point(4.0, 13.0).distance_to((10.0, 6.0))
+        guaranteed = OccupancyGrid(office.floorplan, cell_m=0.5, clearance_m=0.05)
+        for a, b in zip(route, route[1:]):
+            assert guaranteed.clear_segment(a, b)
+
+    def test_home_room_to_room(self):
+        home = home_testbed()
+        route = plan_route(home.floorplan, (2.0, 1.8), (7.5, 6.8), cell_m=0.4)
+        assert len(route) >= 3  # must thread the hallway
+        guaranteed = OccupancyGrid(home.floorplan, cell_m=0.4, clearance_m=0.1)
+        for a, b in zip(route, route[1:]):
+            assert guaranteed.clear_segment(a, b)
+
+    def test_shared_grid_reuse(self, office):
+        grid = OccupancyGrid(office.floorplan, cell_m=0.5)
+        r1 = plan_route(office.floorplan, (4.0, 13.0), (10.0, 6.0), grid=grid)
+        r2 = plan_route(office.floorplan, (10.0, 6.0), (4.0, 13.0), grid=grid)
+        assert abs(route_length(r1) - route_length(r2)) < 2.0
+
+
+class TestWalkRoute:
+    def test_constant_speed_sampling(self):
+        route = [Point(0.0, 0.0), Point(12.0, 0.0)]
+        samples = walk_route(route, speed_mps=1.2, interval_s=1.0)
+        assert samples[0] == (0.0, Point(0.0, 0.0))
+        assert samples[-1][1] == Point(12.0, 0.0)
+        assert samples[-1][0] == pytest.approx(10.0)
+        # Consecutive samples are ~1.2 m apart.
+        for (t0, p0), (t1, p1) in zip(samples[:-2], samples[1:-1]):
+            assert p0.distance_to(p1) == pytest.approx(1.2, abs=1e-9)
+
+    def test_multi_leg_interpolation(self):
+        route = [Point(0.0, 0.0), Point(3.0, 0.0), Point(3.0, 4.0)]
+        samples = walk_route(route, speed_mps=1.0, interval_s=3.5)
+        # At t=3.5 the walker is 0.5 m up the second leg.
+        t, p = samples[1]
+        assert t == pytest.approx(3.5)
+        assert p.x == pytest.approx(3.0)
+        assert p.y == pytest.approx(0.5)
+
+    def test_single_point_route(self):
+        assert walk_route([Point(1.0, 2.0)]) == [(0.0, Point(1.0, 2.0))]
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            walk_route([])
+        with pytest.raises(GeometryError):
+            walk_route([Point(0, 0), Point(1, 0)], speed_mps=0.0)

@@ -1,0 +1,71 @@
+"""Tests for the experiment runner (uses the small testbed for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpotFiConfig
+from repro.testbed.layout import small_testbed
+from repro.testbed.runner import ExperimentRunner, errors_of
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    tb = small_testbed()
+    runner = ExperimentRunner(
+        tb, config=SpotFiConfig(packets_per_fix=10), num_packets=10, seed=42
+    )
+    return tb, runner.run(tb.targets[:2], collect_aoa_diagnostics=True)
+
+
+class TestRun:
+    def test_one_outcome_per_location(self, outcomes):
+        tb, out = outcomes
+        assert len(out) == 2
+
+    def test_errors_finite_and_reasonable(self, outcomes):
+        _, out = outcomes
+        sp = errors_of(out, "spotfi")
+        at = errors_of(out, "arraytrack")
+        assert len(sp) == 2 and len(at) == 2
+        assert np.all(sp < 5.0)
+        assert np.all(at < 15.0)
+
+    def test_aps_heard_recorded(self, outcomes):
+        _, out = outcomes
+        assert all(o.num_aps_heard == 4 for o in out)
+
+    def test_diagnostics_collected(self, outcomes):
+        _, out = outcomes
+        for o in out:
+            assert o.aoa_diagnostics
+            for d in o.aoa_diagnostics:
+                assert -90.0 <= d.true_aoa_deg <= 90.0
+                assert d.los  # small room is all-LoS
+                assert np.isfinite(d.spotfi_best_error_deg)
+                assert np.isfinite(d.music_best_error_deg)
+                # Best-estimate error can never exceed selected error.
+                assert d.spotfi_best_error_deg <= d.spotfi_selected_error_deg + 1e-9
+
+    def test_reproducibility(self):
+        tb = small_testbed()
+        cfg = SpotFiConfig(packets_per_fix=8)
+        r1 = ExperimentRunner(tb, config=cfg, num_packets=8, seed=7).run(tb.targets[:1])
+        r2 = ExperimentRunner(tb, config=cfg, num_packets=8, seed=7).run(tb.targets[:1])
+        assert r1[0].spotfi_error_m == pytest.approx(r2[0].spotfi_error_m)
+
+    def test_spotfi_only_mode(self):
+        tb = small_testbed()
+        runner = ExperimentRunner(
+            tb, config=SpotFiConfig(packets_per_fix=6), num_packets=6, seed=1
+        )
+        out = runner.run(tb.targets[:1], run_arraytrack=False)
+        assert np.isnan(out[0].arraytrack_error_m)
+        assert np.isfinite(out[0].spotfi_error_m)
+
+    def test_errors_of_filters_nan(self):
+        tb = small_testbed()
+        runner = ExperimentRunner(
+            tb, config=SpotFiConfig(packets_per_fix=6), num_packets=6, seed=1
+        )
+        out = runner.run(tb.targets[:1], run_arraytrack=False)
+        assert len(errors_of(out, "arraytrack")) == 0

@@ -1,0 +1,54 @@
+"""Runner-level tests for alternative estimator configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpotFiConfig
+from repro.testbed.layout import small_testbed
+from repro.testbed.runner import ExperimentRunner, errors_of
+
+
+class TestRunnerConfigs:
+    def test_esprit_pipeline_through_runner(self):
+        tb = small_testbed()
+        runner = ExperimentRunner(
+            tb,
+            config=SpotFiConfig(packets_per_fix=8, estimation="esprit"),
+            num_packets=8,
+            seed=3,
+        )
+        out = runner.run(tb.targets[:2], run_arraytrack=False)
+        errs = errors_of(out, "spotfi")
+        assert len(errs) == 2
+        assert np.all(errs < 4.0)
+
+    def test_kmeans_clustering_through_runner(self):
+        tb = small_testbed()
+        runner = ExperimentRunner(
+            tb,
+            config=SpotFiConfig(packets_per_fix=8, clustering_method="kmeans"),
+            num_packets=8,
+            seed=4,
+        )
+        out = runner.run(tb.targets[:1], run_arraytrack=False)
+        assert np.isfinite(out[0].spotfi_error_m)
+
+    def test_esprit_not_slower_than_music(self):
+        import time
+
+        tb = small_testbed()
+
+        def timed(estimation):
+            runner = ExperimentRunner(
+                tb,
+                config=SpotFiConfig(packets_per_fix=8, estimation=estimation),
+                num_packets=8,
+                seed=5,
+            )
+            start = time.perf_counter()
+            runner.run(tb.targets[:1], run_arraytrack=False)
+            return time.perf_counter() - start
+
+        t_esprit = timed("esprit")
+        t_music = timed("music")
+        assert t_esprit < t_music

@@ -1,0 +1,59 @@
+"""Tests for scenario subsets."""
+
+import pytest
+
+from repro.testbed.layout import ZONE_CORRIDOR, ZONE_OFFICE, office_testbed
+from repro.testbed.scenarios import (
+    corridor_locations,
+    high_nlos_locations,
+    office_locations,
+    scenario_locations,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return office_testbed()
+
+
+class TestSubsets:
+    def test_office_subset(self, testbed):
+        locs = office_locations(testbed)
+        assert len(locs) == 25
+        assert all(t.zone == ZONE_OFFICE for t in locs)
+
+    def test_corridor_subset(self, testbed):
+        locs = corridor_locations(testbed)
+        assert len(locs) == 20
+        assert all(t.zone == ZONE_CORRIDOR for t in locs)
+
+    def test_high_nlos_subset_nonempty(self, testbed):
+        locs = high_nlos_locations(testbed)
+        # The paper stress-tests 23 such locations; our layout yields a
+        # comparable (if somewhat smaller) set dominated by the far wing.
+        assert 10 <= len(locs) <= 35
+        for t in locs:
+            assert testbed.los_ap_count(t.position) <= 2
+
+    def test_high_nlos_threshold_monotone(self, testbed):
+        strict = high_nlos_locations(testbed, max_los_aps=0)
+        loose = high_nlos_locations(testbed, max_los_aps=3)
+        assert len(strict) <= len(loose)
+        assert set(t.label for t in strict) <= set(t.label for t in loose)
+
+    def test_high_nlos_candidate_restriction(self, testbed):
+        office_only = high_nlos_locations(
+            testbed, candidates=office_locations(testbed)
+        )
+        assert all(t.zone == ZONE_OFFICE for t in office_only)
+
+
+class TestDispatch:
+    def test_dispatch_names(self, testbed):
+        assert scenario_locations(testbed, "office") == office_locations(testbed)
+        assert scenario_locations(testbed, "corridor") == corridor_locations(testbed)
+        assert scenario_locations(testbed, "nlos") == high_nlos_locations(testbed)
+
+    def test_unknown_scenario(self, testbed):
+        with pytest.raises(ValueError):
+            scenario_locations(testbed, "mars")

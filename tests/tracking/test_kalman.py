@@ -1,0 +1,119 @@
+"""Tests for the constant-velocity Kalman track."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tracking.kalman import KalmanTrack2D
+
+
+class TestInitialization:
+    def test_first_measurement_initializes(self):
+        track = KalmanTrack2D()
+        assert not track.initialized
+        assert track.update((3.0, 4.0), 0.0)
+        assert track.initialized
+        assert track.position == pytest.approx((3.0, 4.0))
+
+    def test_uninitialized_access_raises(self):
+        track = KalmanTrack2D()
+        with pytest.raises(ConfigurationError):
+            _ = track.position
+        with pytest.raises(ConfigurationError):
+            track.predict(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            KalmanTrack2D(process_accel_std=0.0)
+        with pytest.raises(ConfigurationError):
+            KalmanTrack2D(measurement_std_m=-1.0)
+
+    def test_bad_measurement_shape(self):
+        track = KalmanTrack2D()
+        with pytest.raises(ConfigurationError):
+            track.update((1.0, 2.0, 3.0), 0.0)
+
+
+class TestFiltering:
+    def _drive(self, track, points, dt=1.0, start=0.0):
+        for i, p in enumerate(points):
+            track.update(p, start + i * dt)
+
+    def test_converges_on_linear_motion(self, rng):
+        # Low process noise: the target really is constant-velocity, so the
+        # filter may average long and the velocity estimate is testable.
+        track = KalmanTrack2D(measurement_std_m=0.5, process_accel_std=0.1)
+        truth = [(0.5 * t, 1.0 * t) for t in range(20)]
+        noisy = [(x + rng.normal(0, 0.5), y + rng.normal(0, 0.5)) for x, y in truth]
+        self._drive(track, noisy)
+        assert np.hypot(
+            track.position[0] - truth[-1][0], track.position[1] - truth[-1][1]
+        ) < 0.6
+        vx, vy = track.velocity
+        assert vx == pytest.approx(0.5, abs=0.2)
+        assert vy == pytest.approx(1.0, abs=0.2)
+
+    def test_filtering_beats_raw_measurements(self, rng):
+        track = KalmanTrack2D(measurement_std_m=1.0)
+        truth = [(0.3 * t, 0.0) for t in range(40)]
+        noisy = [(x + rng.normal(0, 1.0), y + rng.normal(0, 1.0)) for x, y in truth]
+        filtered_err, raw_err = [], []
+        for i, (p, t) in enumerate(zip(noisy, truth)):
+            track.update(p, float(i))
+            if i >= 10:  # after convergence
+                fx, fy = track.position
+                filtered_err.append(np.hypot(fx - t[0], fy - t[1]))
+                raw_err.append(np.hypot(p[0] - t[0], p[1] - t[1]))
+        assert np.mean(filtered_err) < np.mean(raw_err)
+
+    def test_prediction_extrapolates_velocity(self):
+        track = KalmanTrack2D(measurement_std_m=0.01, gate_sigmas=0.0)
+        self._drive(track, [(float(t), 0.0) for t in range(10)])
+        x, y = track.predict(11.0)
+        assert x == pytest.approx(11.0, abs=0.3)
+        assert y == pytest.approx(0.0, abs=0.3)
+
+    def test_stationary_target_uncertainty_shrinks(self, rng):
+        track = KalmanTrack2D(process_accel_std=0.1)
+        track.update((5.0, 5.0), 0.0)
+        early = track.position_std()
+        for i in range(1, 20):
+            track.update((5.0 + rng.normal(0, 0.1), 5.0 + rng.normal(0, 0.1)), float(i))
+        assert track.position_std() < early
+
+
+class TestGating:
+    def test_outlier_rejected(self):
+        track = KalmanTrack2D(measurement_std_m=0.5, gate_sigmas=3.0)
+        for i in range(10):
+            track.update((float(i) * 0.1, 0.0), float(i))
+        before = track.position
+        accepted = track.update((30.0, 30.0), 10.0)
+        assert not accepted
+        assert track.num_rejected == 1
+        # Position barely moved (only the predict step).
+        assert np.hypot(track.position[0] - before[0], track.position[1] - before[1]) < 1.0
+
+    def test_gate_disabled_accepts_everything(self):
+        track = KalmanTrack2D(gate_sigmas=0.0)
+        track.update((0.0, 0.0), 0.0)
+        assert track.update((100.0, 100.0), 1.0)
+
+    def test_gate_reopens_after_rejections(self):
+        # A genuinely moved target must eventually be re-acquired because
+        # rejected updates still inflate the covariance.
+        track = KalmanTrack2D(measurement_std_m=0.3, gate_sigmas=3.0)
+        for i in range(10):
+            track.update((0.0, 0.0), float(i))
+        accepted_at = None
+        for j in range(60):
+            if track.update((8.0, 8.0), 10.0 + j):
+                accepted_at = j
+                break
+        assert accepted_at is not None
+
+    def test_time_must_not_go_backward(self):
+        track = KalmanTrack2D()
+        track.update((0.0, 0.0), 5.0)
+        with pytest.raises(ConfigurationError):
+            track.predict(4.0)

@@ -1,0 +1,83 @@
+"""Tests for the SpotFi-driven tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.errors import LocalizationError
+from repro.testbed.layout import small_testbed
+from repro.tracking.tracker import SpotFiTracker
+
+
+@pytest.fixture(scope="module")
+def scene():
+    tb = small_testbed()
+    sim = tb.simulator()
+    spotfi = SpotFi(
+        sim.grid,
+        bounds=tb.bounds,
+        config=SpotFiConfig(packets_per_fix=8),
+        rng=np.random.default_rng(0),
+    )
+    return tb, sim, spotfi
+
+
+def burst(tb, sim, position, rng, packets=8):
+    return [(ap, sim.generate_trace(position, ap, packets, rng=rng)) for ap in tb.aps]
+
+
+class TestTracker:
+    def test_tracks_moving_target(self, scene):
+        tb, sim, spotfi = scene
+        tracker = SpotFiTracker(spotfi=spotfi, measurement_std_m=0.8)
+        rng = np.random.default_rng(21)
+        waypoints = [(3.0 + 0.8 * t, 3.0 + 0.3 * t) for t in range(6)]
+        errors = []
+        for i, wp in enumerate(waypoints):
+            point = tracker.observe(burst(tb, sim, wp, rng), timestamp_s=float(i))
+            assert point.filtered is not None
+            errors.append(point.filtered.distance_to(wp))
+        assert np.median(errors) < 1.2
+        traj = tracker.trajectory()
+        assert traj.shape == (6, 2)
+
+    def test_history_and_targets(self, scene):
+        tb, sim, spotfi = scene
+        tracker = SpotFiTracker(spotfi=spotfi)
+        rng = np.random.default_rng(5)
+        tracker.observe(burst(tb, sim, (4.0, 4.0), rng), 0.0, target_id="phone")
+        tracker.observe(burst(tb, sim, (4.2, 4.0), rng), 1.0, target_id="phone")
+        tracker.observe(burst(tb, sim, (9.0, 5.0), rng), 0.0, target_id="laptop")
+        assert tracker.targets() == ["laptop", "phone"]
+        assert len(tracker.history("phone")) == 2
+        assert len(tracker.history("laptop")) == 1
+        assert tracker.trajectory("unknown").shape == (0, 2)
+
+    def test_velocity_estimate(self, scene):
+        tb, sim, spotfi = scene
+        tracker = SpotFiTracker(
+            spotfi=spotfi, measurement_std_m=0.5, process_accel_std=0.1
+        )
+        rng = np.random.default_rng(8)
+        for i in range(6):
+            tracker.observe(burst(tb, sim, (3.0 + 1.0 * i, 4.0), rng), float(i))
+        vx, vy = tracker.velocity()
+        assert vx == pytest.approx(1.0, abs=0.5)
+        assert abs(vy) < 0.5
+
+    def test_velocity_before_track_raises(self, scene):
+        _, _, spotfi = scene
+        tracker = SpotFiTracker(spotfi=spotfi)
+        with pytest.raises(LocalizationError):
+            tracker.velocity()
+
+    def test_failed_fix_yields_unaccepted_point(self, scene):
+        tb, sim, spotfi = scene
+        tracker = SpotFiTracker(spotfi=spotfi)
+        # Single-AP burst cannot localize.
+        rng = np.random.default_rng(3)
+        single = [(tb.aps[0], sim.generate_trace((4.0, 4.0), tb.aps[0], 8, rng=rng))]
+        point = tracker.observe(single, 0.0)
+        assert point.raw is None
+        assert point.filtered is None
+        assert not point.accepted

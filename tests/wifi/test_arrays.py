@@ -1,0 +1,105 @@
+"""Tests for repro.wifi.arrays."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wifi.arrays import UniformLinearArray
+
+
+class TestConstruction:
+    def test_defaults(self):
+        ula = UniformLinearArray()
+        assert ula.num_antennas == 3
+        assert ula.spacing_m > 0
+
+    def test_rejects_single_antenna(self):
+        with pytest.raises(ConfigurationError):
+            UniformLinearArray(num_antennas=1)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ConfigurationError):
+            UniformLinearArray(spacing_m=0.0)
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ConfigurationError):
+            UniformLinearArray(position=(1.0, 2.0, 3.0))
+
+    def test_aperture(self):
+        ula = UniformLinearArray(num_antennas=4, spacing_m=0.03)
+        assert ula.aperture_m == pytest.approx(0.09)
+
+    def test_half_wavelength_unambiguous(self):
+        ula = UniformLinearArray()
+        assert ula.is_unambiguous(5.18e9)
+        # Spacing beyond lambda/2 at much higher frequency is ambiguous.
+        assert not ula.is_unambiguous(20e9)
+
+
+class TestAngles:
+    def test_aoa_on_boresight_is_zero(self):
+        ula = UniformLinearArray(position=(0, 0), normal_deg=0.0)
+        assert ula.aoa_to((5.0, 0.0)) == pytest.approx(0.0)
+
+    def test_aoa_sign_convention(self):
+        ula = UniformLinearArray(position=(0, 0), normal_deg=0.0)
+        assert ula.aoa_to((5.0, 5.0)) == pytest.approx(45.0)
+        assert ula.aoa_to((5.0, -5.0)) == pytest.approx(-45.0)
+
+    def test_aoa_respects_normal(self):
+        ula = UniformLinearArray(position=(0, 0), normal_deg=90.0)
+        assert ula.aoa_to((0.0, 5.0)) == pytest.approx(0.0)
+        assert ula.aoa_to((-5.0, 5.0)) == pytest.approx(45.0)
+
+    def test_aoa_wraps_to_half_open_interval(self):
+        ula = UniformLinearArray(position=(0, 0), normal_deg=170.0)
+        aoa = ula.aoa_to((-5.0, -1.0))
+        assert -180.0 <= aoa < 180.0
+
+    def test_world_bearing_round_trip(self):
+        ula = UniformLinearArray(position=(3, 4), normal_deg=30.0)
+        point = (7.0, 9.0)
+        aoa = ula.aoa_to(point)
+        bearing = ula.world_bearing_of_aoa(aoa)
+        assert bearing == pytest.approx(ula.bearing_to(point))
+
+    def test_bearing_to_self_rejected(self):
+        ula = UniformLinearArray(position=(1, 1))
+        with pytest.raises(ConfigurationError):
+            ula.bearing_to((1.0, 1.0))
+
+    def test_distance(self):
+        ula = UniformLinearArray(position=(0, 0))
+        assert ula.distance_to((3.0, 4.0)) == pytest.approx(5.0)
+
+
+class TestElementPositions:
+    def test_count_and_spacing(self):
+        ula = UniformLinearArray(num_antennas=3, spacing_m=0.03, position=(0, 0))
+        pos = ula.element_positions()
+        assert pos.shape == (3, 2)
+        d01 = np.linalg.norm(pos[1] - pos[0])
+        d12 = np.linalg.norm(pos[2] - pos[1])
+        assert d01 == pytest.approx(0.03)
+        assert d12 == pytest.approx(0.03)
+
+    def test_axis_perpendicular_to_normal(self):
+        ula = UniformLinearArray(num_antennas=2, spacing_m=0.03, normal_deg=37.0)
+        pos = ula.element_positions()
+        axis = pos[1] - pos[0]
+        normal = np.array(
+            [math.cos(math.radians(37.0)), math.sin(math.radians(37.0))]
+        )
+        assert abs(float(axis @ normal)) < 1e-12
+
+    def test_positive_aoa_source_farther_from_higher_elements(self):
+        # The sign convention behind Eq. 1: a source at positive AoA is
+        # *farther* from element m than element 0, so its signal arrives
+        # later there (phase -2 pi d m sin(theta) f / c).
+        ula = UniformLinearArray(num_antennas=3, spacing_m=0.03, position=(0, 0), normal_deg=0.0)
+        source = np.array([100.0, 50.0])  # positive AoA (about +27 deg)
+        pos = ula.element_positions()
+        d = [float(np.linalg.norm(source - p)) for p in pos]
+        assert d[0] < d[1] < d[2]

@@ -1,0 +1,76 @@
+"""Tests for the Atheros ath9k CSI model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi_model import synthesize_csi
+from repro.channel.paths import PropagationPath
+from repro.core.estimator import JointEstimator
+from repro.core.steering import SteeringModel
+from repro.errors import ConfigurationError
+from repro.wifi.atheros import AtherosCsi
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.ofdm import wifi_channel_5ghz
+
+
+class TestModel:
+    def test_40mhz_defaults(self):
+        card = AtherosCsi()
+        assert card.num_subcarriers == 114
+        assert card.quantizer.num_bits == 10
+        assert card.grid().num_subcarriers == 114
+
+    def test_20mhz(self):
+        card = AtherosCsi(channel=wifi_channel_5ghz(36, 20))
+        assert card.num_subcarriers == 56
+        assert card.grid().subcarrier_spacing_hz == pytest.approx(312.5e3)
+
+    def test_denser_grid_than_intel(self):
+        from repro.wifi.intel5300 import Intel5300
+
+        atheros = AtherosCsi().grid()
+        intel = Intel5300().grid()
+        assert atheros.num_subcarriers > intel.num_subcarriers
+        assert atheros.subcarrier_spacing_hz < intel.subcarrier_spacing_hz
+        # Finer reported spacing -> larger unambiguous ToF range.
+        assert atheros.tof_ambiguity_s > intel.tof_ambiguity_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AtherosCsi(num_antennas=0)
+        with pytest.raises(ConfigurationError):
+            AtherosCsi(num_antennas=4)
+
+    def test_recommended_smoothing(self):
+        cfg = AtherosCsi().recommended_smoothing()
+        assert cfg.sub_antennas == 2
+        assert cfg.sub_subcarriers == 57
+
+
+class TestEstimationOnAtheros:
+    def test_joint_estimator_runs_on_114_subcarriers(self):
+        card = AtherosCsi()
+        grid = card.grid()
+        ula = UniformLinearArray(3)
+        model = SteeringModel.for_grid(grid, 3, ula.spacing_m)
+        estimator = JointEstimator(
+            model=model, smoothing=card.recommended_smoothing()
+        )
+        paths = [
+            PropagationPath(25.0, 40e-9, 1.0),
+            PropagationPath(-35.0, 120e-9, 0.7j),
+        ]
+        csi = synthesize_csi(paths, ula, grid)
+        estimates = estimator.estimate_packet(csi)
+        found = sorted(e.aoa_deg for e in estimates[:2])
+        assert found[0] == pytest.approx(-35.0, abs=1.5)
+        assert found[1] == pytest.approx(25.0, abs=1.5)
+
+    def test_10bit_quantization_gentler_than_8bit(self, rng):
+        card = AtherosCsi()
+        csi = rng.normal(size=(3, 114)) + 1j * rng.normal(size=(3, 114))
+        snr10 = card.quantizer.quantization_snr_db(csi)
+        from repro.wifi.quantization import QuantizationModel
+
+        snr8 = QuantizationModel(num_bits=8).quantization_snr_db(csi)
+        assert snr10 > snr8 + 6.0

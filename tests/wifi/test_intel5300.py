@@ -1,0 +1,43 @@
+"""Tests for the Intel 5300 card model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wifi.intel5300 import INTEL5300_40MHZ_INDICES, Intel5300, generic_card_grid
+from repro.wifi.ofdm import wifi_channel_5ghz
+
+
+class TestIntel5300:
+    def test_defaults(self):
+        card = Intel5300()
+        assert card.num_antennas == 3
+        assert card.num_subcarriers == 30
+        assert card.grouping == 4
+
+    def test_reported_indices(self):
+        assert len(INTEL5300_40MHZ_INDICES) == 30
+        assert INTEL5300_40MHZ_INDICES[0] == -58
+        assert INTEL5300_40MHZ_INDICES[-1] == 58
+        assert all(np.diff(INTEL5300_40MHZ_INDICES) == 4)
+
+    def test_grid_matches_card(self):
+        grid = Intel5300().grid()
+        assert grid.num_subcarriers == 30
+        assert grid.subcarrier_spacing_hz == pytest.approx(1.25e6)
+        assert grid.carrier_freq_hz == pytest.approx(5190e6)
+
+    def test_rejects_20mhz_channel(self):
+        with pytest.raises(ConfigurationError):
+            Intel5300(channel=wifi_channel_5ghz(36, 20))
+
+    def test_other_40mhz_channels_accepted(self):
+        card = Intel5300(channel=wifi_channel_5ghz(149, 40))
+        assert card.grid().carrier_freq_hz == pytest.approx(5755e6)
+
+
+class TestGenericGrid:
+    def test_generic_card_grid(self):
+        grid = generic_card_grid(5.2e9, 56, grouping=2)
+        assert grid.num_subcarriers == 56
+        assert grid.subcarrier_spacing_hz == pytest.approx(625e3)

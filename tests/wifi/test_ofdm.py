@@ -1,0 +1,87 @@
+"""Tests for repro.wifi.ofdm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wifi.ofdm import OfdmGrid, WifiChannel, uniform_grid, wifi_channel_5ghz
+
+
+class TestWifiChannel:
+    def test_channel_36_40mhz_center(self):
+        ch = wifi_channel_5ghz(36, 40)
+        assert ch.center_freq_hz == pytest.approx(5190e6)
+        assert ch.bandwidth_hz == 40e6
+
+    def test_channel_36_20mhz_center(self):
+        ch = wifi_channel_5ghz(36, 20)
+        assert ch.center_freq_hz == pytest.approx(5180e6)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wifi_channel_5ghz(37)
+
+    def test_unknown_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wifi_channel_5ghz(36, 80)
+
+    def test_wavelength(self):
+        ch = wifi_channel_5ghz(36, 40)
+        assert ch.wavelength_m == pytest.approx(0.05777, abs=1e-4)
+
+    def test_invalid_bandwidth_value(self):
+        with pytest.raises(ConfigurationError):
+            WifiChannel(number=1, center_freq_hz=5e9, bandwidth_hz=33e6)
+
+    def test_negative_center_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WifiChannel(number=1, center_freq_hz=-5e9, bandwidth_hz=40e6)
+
+
+class TestOfdmGrid:
+    def test_uniform_grid_symmetric(self):
+        g = uniform_grid(5.19e9, 30, index_step=4)
+        idx = np.asarray(g.subcarrier_indices)
+        assert len(idx) == 30
+        assert idx[0] == -idx[-1]
+        assert np.allclose(np.diff(idx), 4)
+
+    def test_spacing(self):
+        g = uniform_grid(5.19e9, 30, index_step=4)
+        assert g.subcarrier_spacing_hz == pytest.approx(1.25e6)
+        assert g.tof_ambiguity_s == pytest.approx(800e-9)
+
+    def test_absolute_freqs_centered_on_carrier(self):
+        g = uniform_grid(5.19e9, 31, index_step=2)
+        freqs = g.subcarrier_freqs_hz()
+        assert freqs[len(freqs) // 2] == pytest.approx(5.19e9)
+
+    def test_relative_freqs_start_at_zero(self):
+        g = uniform_grid(5.19e9, 10)
+        rel = g.relative_freqs_hz()
+        assert rel[0] == 0.0
+        assert rel[-1] == pytest.approx(9 * 312.5e3)
+
+    def test_unequal_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmGrid(carrier_freq_hz=5e9, subcarrier_indices=(0, 1, 3))
+
+    def test_descending_indices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmGrid(carrier_freq_hz=5e9, subcarrier_indices=(3, 2, 1))
+
+    def test_too_few_subcarriers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmGrid(carrier_freq_hz=5e9, subcarrier_indices=(0,))
+
+    def test_with_carrier_retunes(self):
+        g = uniform_grid(5.19e9, 10)
+        g2 = g.with_carrier(5.5e9)
+        assert g2.carrier_freq_hz == 5.5e9
+        assert g2.subcarrier_indices == g.subcarrier_indices
+
+    def test_uniform_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_grid(5e9, 1)
+        with pytest.raises(ConfigurationError):
+            uniform_grid(5e9, 10, index_step=0)

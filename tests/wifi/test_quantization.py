@@ -1,0 +1,95 @@
+"""Tests for the Intel 5300 CSI quantization model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wifi.quantization import QuantizationModel
+
+
+@pytest.fixture()
+def csi(rng):
+    return rng.normal(size=(3, 30)) + 1j * rng.normal(size=(3, 30))
+
+
+class TestConfiguration:
+    def test_default_is_8_bit(self):
+        q = QuantizationModel()
+        assert q.num_bits == 8
+        assert q.max_level == 127
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationModel(num_bits=1)
+        with pytest.raises(ConfigurationError):
+            QuantizationModel(num_bits=17)
+
+    def test_rejects_bad_headroom(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationModel(headroom=0.0)
+        with pytest.raises(ConfigurationError):
+            QuantizationModel(headroom=1.5)
+
+
+class TestQuantize:
+    def test_error_bounded_by_half_step(self, csi):
+        q = QuantizationModel()
+        out = q.quantize(csi)
+        peak = max(np.abs(csi.real).max(), np.abs(csi.imag).max())
+        step = peak / (q.max_level * q.headroom)
+        err = out - csi
+        assert np.abs(err.real).max() <= step / 2 + 1e-12
+        assert np.abs(err.imag).max() <= step / 2 + 1e-12
+
+    def test_requantization_nearly_stable(self, csi):
+        # The per-packet scale re-derives from the quantized peak, so exact
+        # idempotency is not guaranteed — but the second pass must move
+        # entries by well under one original quantization step.
+        q = QuantizationModel()
+        once = q.quantize(csi)
+        twice = q.quantize(once)
+        peak = max(np.abs(csi.real).max(), np.abs(csi.imag).max())
+        step = peak / (q.max_level * q.headroom)
+        assert np.abs(twice - once).max() < step
+
+    def test_zero_input_passthrough(self):
+        q = QuantizationModel()
+        z = np.zeros((2, 4), dtype=complex)
+        assert np.array_equal(q.quantize(z), z)
+
+    def test_scale_invariance(self, csi):
+        # Per-packet scaling means quantize(k * x) == k * quantize(x).
+        q = QuantizationModel()
+        assert np.allclose(q.quantize(17.0 * csi), 17.0 * q.quantize(csi))
+
+    def test_more_bits_less_error(self, csi):
+        q8 = QuantizationModel(num_bits=8)
+        q12 = QuantizationModel(num_bits=12)
+        err8 = np.abs(q8.quantize(csi) - csi).mean()
+        err12 = np.abs(q12.quantize(csi) - csi).mean()
+        assert err12 < err8
+
+    def test_quantize_to_ints_round_trip(self, csi):
+        q = QuantizationModel()
+        ints, scale = q.quantize_to_ints(csi)
+        assert np.allclose(ints.real, np.round(ints.real))
+        assert np.allclose(ints / scale, q.quantize(csi))
+
+    def test_int_range_respected(self, csi):
+        q = QuantizationModel()
+        ints, _ = q.quantize_to_ints(csi * 1e6)
+        assert ints.real.max() <= q.max_level
+        assert ints.real.min() >= -q.max_level - 1
+
+
+class TestSnr:
+    def test_snr_positive_and_finite(self, csi):
+        q = QuantizationModel()
+        snr = q.quantization_snr_db(csi)
+        # 8-bit quantization gives roughly 40-50 dB SNR for Gaussian input.
+        assert 30.0 < snr < 60.0
+
+    def test_exact_representation_gives_inf(self):
+        q = QuantizationModel(headroom=1.0)
+        csi = np.array([[127.0 + 0j, -127.0 + 0j], [1.0 + 1j, 64.0 - 3j]])
+        assert q.quantization_snr_db(csi) == float("inf")

@@ -1,0 +1,62 @@
+"""Tests for RSSI helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CsiShapeError
+from repro.wifi.rssi import (
+    combine_rssi_dbm,
+    power_from_rssi,
+    rssi_from_csi,
+    rssi_from_power,
+)
+
+
+class TestConversions:
+    def test_one_milliwatt_is_zero_dbm(self):
+        assert rssi_from_power(1.0) == pytest.approx(0.0)
+
+    def test_power_rssi_round_trip(self):
+        for dbm in (-90.0, -40.0, 0.0, 10.0):
+            assert rssi_from_power(power_from_rssi(dbm)) == pytest.approx(dbm)
+
+    def test_zero_power_is_minus_inf(self):
+        assert rssi_from_power(0.0) == float("-inf")
+
+
+class TestRssiFromCsi:
+    def test_unit_gain_channel(self):
+        csi = np.ones((3, 30), dtype=complex)
+        assert rssi_from_csi(csi, reference_power_dbm=15.0) == pytest.approx(15.0)
+
+    def test_attenuating_channel(self):
+        csi = np.full((3, 30), 0.1 + 0j)
+        # |H|^2 = 0.01 -> -20 dB gain.
+        assert rssi_from_csi(csi, reference_power_dbm=0.0) == pytest.approx(-20.0)
+
+    def test_zero_channel(self):
+        assert rssi_from_csi(np.zeros((2, 2), dtype=complex)) == float("-inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CsiShapeError):
+            rssi_from_csi(np.zeros((0,)))
+
+
+class TestCombine:
+    def test_single_value_identity(self):
+        assert combine_rssi_dbm(np.array([-47.0])) == pytest.approx(-47.0)
+
+    def test_equal_values_identity(self):
+        assert combine_rssi_dbm(np.array([-50.0, -50.0, -50.0])) == pytest.approx(-50.0)
+
+    def test_linear_domain_averaging(self):
+        # dB-domain averaging of 0 and -10 dBm would give -5 dBm; the
+        # correct linear-domain mean (1 mW + 0.1 mW)/2 is -2.60 dBm.
+        out = combine_rssi_dbm(np.array([0.0, -10.0]))
+        assert out == pytest.approx(-2.596, abs=1e-3)
+
+    def test_ignores_nan(self):
+        assert combine_rssi_dbm(np.array([float("nan"), -60.0])) == pytest.approx(-60.0)
+
+    def test_all_nan_gives_nan(self):
+        assert np.isnan(combine_rssi_dbm(np.array([float("nan")])))
