@@ -1,0 +1,124 @@
+"""Throughput benchmark for the ``repro.runtime`` executors.
+
+Measures end-to-end ``SpotFi.locate`` throughput (packets estimated per
+second) on a multi-packet, multi-AP workload with the serial executor
+and with process-pool executors at several worker counts, and verifies
+that every executor produces the identical fix.
+
+Run standalone (the figure benchmarks use pytest-benchmark; this one is
+a plain script so CI can smoke it cheaply):
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py
+    PYTHONPATH=src python benchmarks/bench_runtime.py --packets 50 --aps 3 --workers 1,2,4
+
+Timings are best-of-``--repeats``, so pool start-up is amortized away
+and the numbers reflect steady-state serving throughput.  Speedup
+naturally tops out at the machine's core count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.runtime import create_executor, default_steering_cache
+from repro.testbed.layout import small_testbed
+
+SEED = 20150817  # SIGCOMM'15 presentation date, like the figure benches
+
+
+def build_workload(num_aps: int, packets: int, seed: int = SEED):
+    """A ``num_aps`` x ``packets`` burst from one target in a small room."""
+    testbed = small_testbed()
+    sim = testbed.simulator()
+    rng = np.random.default_rng(seed)
+    target = testbed.targets[0].position
+    aps = testbed.aps[: max(2, num_aps)]
+    pairs = [(ap, sim.generate_trace(target, ap, packets, rng=rng)) for ap in aps]
+    return testbed, sim, pairs
+
+
+def time_locate(testbed, sim, pairs, packets: int, executor, repeats: int):
+    """Best-of-``repeats`` wall time for one full locate, plus the fix."""
+    best = float("inf")
+    fix = None
+    for _ in range(repeats):
+        spotfi = SpotFi(
+            sim.grid,
+            bounds=testbed.bounds,
+            config=SpotFiConfig(packets_per_fix=packets),
+            rng=np.random.default_rng(0),
+            executor=executor,
+        )
+        start = time.perf_counter()
+        fix = spotfi.locate(pairs)
+        best = min(best, time.perf_counter() - start)
+    return best, fix
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=50, help="packets per AP")
+    parser.add_argument("--aps", type=int, default=3, help="number of APs")
+    parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts to benchmark (1 = serial)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="runs per config (best-of)"
+    )
+    args = parser.parse_args(argv)
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    if 1 not in worker_counts:
+        worker_counts.insert(0, 1)
+
+    testbed, sim, pairs = build_workload(args.aps, args.packets)
+    total_packets = sum(len(trace) for _, trace in pairs)
+    print(
+        f"workload: {len(pairs)} APs x {args.packets} packets "
+        f"({total_packets} per-packet MUSIC runs per locate), "
+        f"{os.cpu_count()} CPUs, best of {args.repeats}"
+    )
+
+    rows: List[Tuple[int, float, float]] = []
+    baseline_time = None
+    baseline_fix = None
+    for workers in worker_counts:
+        with create_executor(workers) as executor:
+            elapsed, fix = time_locate(
+                testbed, sim, pairs, args.packets, executor, args.repeats
+            )
+        if baseline_time is None:
+            baseline_time, baseline_fix = elapsed, fix
+        delta = max(
+            abs(fix.position.x - baseline_fix.position.x),
+            abs(fix.position.y - baseline_fix.position.y),
+        )
+        if delta > 1e-9:
+            print(f"ERROR: workers={workers} fix differs from serial by {delta}")
+            return 1
+        rows.append((workers, elapsed, total_packets / elapsed))
+
+    print(f"\n{'workers':>8} {'time (s)':>10} {'packets/s':>11} {'speedup':>8}")
+    for workers, elapsed, throughput in rows:
+        print(
+            f"{workers:>8} {elapsed:>10.3f} {throughput:>11.1f} "
+            f"{baseline_time / elapsed:>7.2f}x"
+        )
+    print(
+        f"\nfix: ({baseline_fix.position.x:.3f}, {baseline_fix.position.y:.3f}) m; "
+        "all worker counts identical within 1e-9"
+    )
+    print(f"steering cache (parent process): {default_steering_cache().stats()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

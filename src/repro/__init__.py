@@ -47,6 +47,13 @@ from repro.core import (
 )
 from repro.core.esprit import EspritEstimator
 from repro.geom import Floorplan, Point, RayTracer, Segment
+from repro.runtime import (
+    ParallelExecutor,
+    RuntimeMetrics,
+    SerialExecutor,
+    SteeringCache,
+    create_executor,
+)
 from repro.server import FixEvent, SpotFiServer
 from repro.tracking import KalmanTrack2D, SpotFiTracker
 from repro.wifi import CsiFrame, CsiTrace, Intel5300, OfdmGrid, UniformLinearArray
@@ -72,19 +79,24 @@ __all__ = [
     "MultipathProfile",
     "MusicConfig",
     "OfdmGrid",
+    "ParallelExecutor",
     "PathEstimate",
     "Point",
     "PropagationPath",
     "RayTracer",
+    "RuntimeMetrics",
     "Segment",
+    "SerialExecutor",
     "SmoothingConfig",
     "SpotFi",
     "SpotFiConfig",
     "SpotFiServer",
     "SpotFiTracker",
+    "SteeringCache",
     "SteeringModel",
     "UniformLinearArray",
     "cluster_estimates",
+    "create_executor",
     "sanitize_csi",
     "select_direct_path",
     "smooth_csi",

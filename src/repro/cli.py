@@ -5,7 +5,12 @@ Commands:
 * ``simulate`` — simulate a collection burst on a built-in testbed and
   save it as a portable ``.npz`` dataset.
 * ``locate`` — localize a saved dataset with SpotFi (optionally also the
-  ArrayTrack baseline) and print the fix.
+  ArrayTrack baseline) and print the fix.  ``--workers N`` fans the
+  per-packet estimation across N processes (default 1 = serial).
+* ``serve`` — replay a saved dataset through the streaming
+  :class:`~repro.server.SpotFiServer`, with the runtime's worker,
+  backpressure and eviction knobs, printing each fix event and the
+  final runtime metrics.
 * ``inspect`` — summarize a saved dataset (APs, packets, RSSI, truth).
 * ``floorplan`` — render a testbed's floorplan, APs and targets as ASCII.
 
@@ -25,6 +30,8 @@ from repro.baselines.arraytrack import ArrayTrack
 from repro.core.pipeline import SpotFi, SpotFiConfig
 from repro.errors import ReproError
 from repro.io.traces import LocationDataset, load_dataset, save_dataset
+from repro.runtime import OVERFLOW_POLICIES, create_executor
+from repro.server import SpotFiServer
 from repro.testbed.collection import as_ap_trace_pairs, collect_location
 from repro.testbed.layout import Testbed, home_testbed, office_testbed, small_testbed
 from repro.wifi.intel5300 import Intel5300
@@ -90,10 +97,15 @@ def cmd_locate(args: argparse.Namespace) -> int:
     config = SpotFiConfig(
         packets_per_fix=args.packets, estimation=args.estimation
     )
-    spotfi = SpotFi(
-        grid, bounds=testbed.bounds, config=config, rng=np.random.default_rng(0)
-    )
-    fix = spotfi.locate(dataset.ap_trace_pairs())
+    with create_executor(args.workers) as executor:
+        spotfi = SpotFi(
+            grid,
+            bounds=testbed.bounds,
+            config=config,
+            rng=np.random.default_rng(0),
+            executor=executor,
+        )
+        fix = spotfi.locate(dataset.ap_trace_pairs())
     print(f"SpotFi fix     : ({fix.position.x:.2f}, {fix.position.y:.2f}) m")
     if dataset.target is not None:
         print(f"ground truth   : ({dataset.target.x:.2f}, {dataset.target.y:.2f}) m")
@@ -110,6 +122,72 @@ def cmd_locate(args: argparse.Namespace) -> int:
         print(f"ArrayTrack fix : ({result.position.x:.2f}, {result.position.y:.2f}) m")
         if dataset.target is not None:
             print(f"ArrayTrack err : {result.error_to(dataset.target):.2f} m")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a dataset through the streaming server, packet by packet."""
+    dataset = load_dataset(args.dataset)
+    testbed = _get_testbed(args.testbed)
+    grid = Intel5300().grid()
+    config = SpotFiConfig(packets_per_fix=args.packets)
+    with create_executor(args.workers) as executor:
+        spotfi = SpotFi(
+            grid,
+            bounds=testbed.bounds,
+            config=config,
+            rng=np.random.default_rng(0),
+            executor=executor,
+        )
+        server = SpotFiServer(
+            spotfi=spotfi,
+            aps={f"ap{i}": a for i, a in enumerate(dataset.ap_arrays)},
+            packets_per_fix=args.packets,
+            min_aps=min(args.min_aps, dataset.num_aps),
+            track=args.track,
+            max_buffered_packets=args.max_buffer,
+            overflow_policy=args.overflow_policy,
+            max_burst_age_s=args.max_age,
+        )
+        # Interleave packets across APs, as a live deployment would see
+        # them arrive at the central server.
+        num_packets = min(len(t) for t in dataset.traces)
+        num_events = 0
+        for k in range(num_packets):
+            for i, trace in enumerate(dataset.traces):
+                event = server.ingest(f"ap{i}", trace[k])
+                if event is None:
+                    continue
+                num_events += 1
+                if event.ok:
+                    print(
+                        f"fix #{num_events} t={event.timestamp_s:.2f}s "
+                        f"source={event.source!r}: "
+                        f"({event.fix.position.x:.2f}, {event.fix.position.y:.2f}) m "
+                        f"[{event.num_aps} APs]"
+                    )
+                    if dataset.target is not None:
+                        print(
+                            f"  error vs truth: "
+                            f"{event.fix.error_to(dataset.target):.2f} m"
+                        )
+                else:
+                    print(
+                        f"fix #{num_events} t={event.timestamp_s:.2f}s "
+                        f"source={event.source!r}: FAILED [{event.num_aps} APs]"
+                    )
+        snapshot = server.metrics_snapshot()
+        print(f"{num_events} fix events from {num_packets} packets per AP")
+        print(f"runtime counters: {snapshot['counters']}")
+        fix_timing = snapshot["timings"].get("fix")
+        if fix_timing:
+            print(
+                f"fix stage: {fix_timing['count']} runs, "
+                f"mean {fix_timing['mean_s'] * 1e3:.0f} ms"
+            )
     return 0
 
 
@@ -197,7 +275,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=40)
     p.add_argument("--estimation", default="music", choices=("music", "esprit"))
     p.add_argument("--arraytrack", action="store_true", help="also run the baseline")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for per-packet estimation (1 = serial)",
+    )
     p.set_defaults(func=cmd_locate)
+
+    p = sub.add_parser("serve", help="replay a dataset through the server")
+    p.add_argument("dataset", help=".npz dataset path")
+    p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
+    p.add_argument("--packets", type=int, default=10, help="packets per fix burst")
+    p.add_argument("--min-aps", type=int, default=2)
+    p.add_argument("--track", action="store_true", help="Kalman-filter the fixes")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for per-packet estimation (1 = serial)",
+    )
+    p.add_argument(
+        "--max-buffer",
+        type=int,
+        default=0,
+        help="per-(source, AP) buffer capacity in packets (0 = unbounded)",
+    )
+    p.add_argument(
+        "--overflow-policy", default="drop-oldest", choices=OVERFLOW_POLICIES
+    )
+    p.add_argument(
+        "--max-age",
+        type=float,
+        default=0.0,
+        help="evict partial bursts idle for this many seconds (0 = never)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("inspect", help="summarize a saved dataset")
     p.add_argument("dataset", help=".npz dataset path")

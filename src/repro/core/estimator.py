@@ -24,6 +24,7 @@ from repro.core.sanitize import sanitize_csi
 from repro.core.smoothing import SmoothingConfig, smooth_csi, smooth_csi_batch
 from repro.core.steering import SteeringModel
 from repro.errors import EstimationError
+from repro.runtime.cache import default_steering_cache
 from repro.wifi.arrays import UniformLinearArray
 from repro.wifi.csi import CsiTrace, validate_csi_matrix
 from repro.wifi.ofdm import OfdmGrid
@@ -142,25 +143,46 @@ class JointEstimator:
         e_signal, e_noise, _ = subspaces(
             covariance(x), self.music, num_snapshots=x.shape[1]
         )
-        aoa_grid = self.music.aoa_grid()
-        tof_grid = self.music.tof_grid()
+        grids = default_steering_cache().grids_for(self._sub_model, self.music)
         if e_signal.shape[1] <= e_noise.shape[1]:
             spectrum = music_spectrum_from_signal(
-                e_signal, self._sub_model, aoa_grid, tof_grid
+                e_signal,
+                self._sub_model,
+                grids.aoa_grid_deg,
+                grids.tof_grid_s,
+                phi=grids.phi,
+                omega=grids.omega,
             )
         else:
-            spectrum = music_spectrum(e_noise, self._sub_model, aoa_grid, tof_grid)
-        return spectrum, aoa_grid, tof_grid
+            spectrum = music_spectrum(
+                e_noise,
+                self._sub_model,
+                grids.aoa_grid_deg,
+                grids.tof_grid_s,
+                phi=grids.phi,
+                omega=grids.omega,
+            )
+        return spectrum, grids.aoa_grid_deg, grids.tof_grid_s
 
     # ------------------------------------------------------------------
     # Traces
     # ------------------------------------------------------------------
-    def estimate_trace(self, trace: CsiTrace) -> List[PathEstimate]:
-        """Estimates pooled over every packet of a trace (Alg. 2 lines 2-8)."""
-        estimates: List[PathEstimate] = []
-        for index, frame in enumerate(trace):
-            estimates.extend(self.estimate_packet(frame.csi, packet_index=index))
-        return estimates
+    def estimate_trace(self, trace: CsiTrace, executor=None) -> List[PathEstimate]:
+        """Estimates pooled over every packet of a trace (Alg. 2 lines 2-8).
+
+        ``executor`` (a :class:`repro.runtime.executor.Executor`) fans the
+        per-packet MUSIC calls across workers with deterministic result
+        ordering; None keeps the historical inline loop.  Per-packet
+        estimation is pure, so every executor returns identical values.
+        """
+        if executor is None:
+            estimates: List[PathEstimate] = []
+            for index, frame in enumerate(trace):
+                estimates.extend(self.estimate_packet(frame.csi, packet_index=index))
+            return estimates
+        tasks = [(self, frame.csi, index) for index, frame in enumerate(trace)]
+        per_packet = executor.map_ordered(estimate_packet_task, tasks, stage="estimate")
+        return [estimate for packet in per_packet for estimate in packet]
 
     def estimate_burst(self, trace: CsiTrace) -> List[PathEstimate]:
         """One MUSIC pass over a whole burst (pooled-covariance variant).
@@ -191,14 +213,18 @@ class JointEstimator:
         e_signal, e_noise, _ = subspaces(
             covariance(x), self.music, num_snapshots=x.shape[1]
         )
-        aoa_grid = self.music.aoa_grid()
-        tof_grid = self.music.tof_grid()
+        grids = default_steering_cache().grids_for(self._sub_model, self.music)
+        aoa_grid, tof_grid = grids.aoa_grid_deg, grids.tof_grid_s
         if e_signal.shape[1] <= e_noise.shape[1]:
             spectrum = music_spectrum_from_signal(
-                e_signal, self._sub_model, aoa_grid, tof_grid
+                e_signal, self._sub_model, aoa_grid, tof_grid,
+                phi=grids.phi, omega=grids.omega,
             )
         else:
-            spectrum = music_spectrum(e_noise, self._sub_model, aoa_grid, tof_grid)
+            spectrum = music_spectrum(
+                e_noise, self._sub_model, aoa_grid, tof_grid,
+                phi=grids.phi, omega=grids.omega,
+            )
         peaks = find_peaks_2d(
             spectrum,
             aoa_grid,
@@ -235,6 +261,33 @@ class JointEstimator:
             music=music or MusicConfig(),
             **kwargs,
         )
+
+
+def estimate_packet_task(task) -> List[PathEstimate]:
+    """Executor task: one packet through one estimator.
+
+    ``task`` is ``(estimator, csi, packet_index)``.  Module-level so a
+    :class:`~repro.runtime.executor.ParallelExecutor` can pickle it into
+    worker processes; exceptions propagate (matching the inline loop).
+    """
+    estimator, csi, packet_index = task
+    return estimator.estimate_packet(csi, packet_index=packet_index)
+
+
+def estimate_packet_safe(task):
+    """Executor task that converts per-packet estimation failures to values.
+
+    Used by the batched multi-AP fan-out in
+    :meth:`repro.core.pipeline.SpotFi.locate`, where one AP's
+    :class:`EstimationError` must mark only that AP unusable instead of
+    aborting the whole batch.  Structural errors (e.g.
+    :class:`~repro.errors.CsiShapeError`) still raise, exactly like the
+    serial path.
+    """
+    try:
+        return estimate_packet_task(task)
+    except EstimationError as exc:
+        return exc
 
 
 def estimates_as_array(estimates: List[PathEstimate]) -> np.ndarray:

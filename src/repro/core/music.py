@@ -188,6 +188,8 @@ def music_spectrum(
     model: SteeringModel,
     aoa_grid_deg: np.ndarray,
     tof_grid_s: np.ndarray,
+    phi: np.ndarray = None,
+    omega: np.ndarray = None,
 ) -> np.ndarray:
     """Evaluate the 2-D MUSIC pseudospectrum on a (theta, tau) grid.
 
@@ -199,6 +201,11 @@ def music_spectrum(
         Steering model of the (sub)array the rows correspond to.
     aoa_grid_deg, tof_grid_s:
         1-D grids.
+    phi, omega:
+        Optional precomputed ``model.antenna_vector(aoa_grid_deg)`` /
+        ``model.subcarrier_vector(tof_grid_s)`` matrices (see
+        :class:`repro.runtime.cache.SteeringCache`); computed here when
+        omitted.
 
     Returns
     -------
@@ -215,8 +222,10 @@ def music_spectrum(
         )
     aoa_grid_deg = np.asarray(aoa_grid_deg, dtype=float)
     tof_grid_s = np.asarray(tof_grid_s, dtype=float)
-    phi = model.antenna_vector(aoa_grid_deg)  # (A, M)
-    omega = model.subcarrier_vector(tof_grid_s)  # (T, N)
+    if phi is None:
+        phi = model.antenna_vector(aoa_grid_deg)  # (A, M)
+    if omega is None:
+        omega = model.subcarrier_vector(tof_grid_s)  # (T, N)
     # e_k^H a(theta, tau) = sum_{m,n} conj(E[m,n,k]) phi[m] omega[n]
     e_grid = e_noise.conj().reshape(m, n, -1)  # (M, N, K)
     partial = np.einsum("am,mnk->ank", phi, e_grid)  # (A, N, K)
@@ -233,6 +242,8 @@ def music_spectrum_from_signal(
     model: SteeringModel,
     aoa_grid_deg: np.ndarray,
     tof_grid_s: np.ndarray,
+    phi: np.ndarray = None,
+    omega: np.ndarray = None,
 ) -> np.ndarray:
     """MUSIC spectrum computed from the *signal* subspace.
 
@@ -241,7 +252,7 @@ def music_spectrum_from_signal(
     orthonormal basis).  Since the signal subspace has only ~L columns vs
     the noise subspace's M*N - L, this is several times faster on the
     30-sensor smoothed array; the estimator uses whichever basis is
-    smaller.
+    smaller.  ``phi``/``omega`` behave as in :func:`music_spectrum`.
     """
     e_signal = np.asarray(e_signal, dtype=np.complex128)
     m, n = model.num_antennas, model.num_subcarriers
@@ -250,8 +261,10 @@ def music_spectrum_from_signal(
             f"signal subspace has {e_signal.shape[0]} sensors but the steering "
             f"model describes {m}x{n}={m * n}"
         )
-    phi = model.antenna_vector(np.asarray(aoa_grid_deg, dtype=float))  # (A, M)
-    omega = model.subcarrier_vector(np.asarray(tof_grid_s, dtype=float))  # (T, N)
+    if phi is None:
+        phi = model.antenna_vector(np.asarray(aoa_grid_deg, dtype=float))  # (A, M)
+    if omega is None:
+        omega = model.subcarrier_vector(np.asarray(tof_grid_s, dtype=float))  # (T, N)
     e_grid = e_signal.conj().reshape(m, n, -1)  # (M, N, K)
     partial = np.einsum("am,mnk->ank", phi, e_grid)
     proj = np.einsum("ank,tn->atk", partial, omega)

@@ -16,13 +16,18 @@ import numpy as np
 
 from repro.core.clustering import PathCluster, cluster_estimates
 from repro.core.direct_path import DirectPathEstimate, select_direct_path
-from repro.core.estimator import JointEstimator, PathEstimate
+from repro.core.estimator import (
+    JointEstimator,
+    PathEstimate,
+    estimate_packet_safe,
+)
 from repro.core.likelihood import DEFAULT_WEIGHTS, LikelihoodWeights
 from repro.core.localization import ApObservation, LocalizationResult, Localizer
 from repro.core.music import MusicConfig
 from repro.core.smoothing import SmoothingConfig
 from repro.core.steering import SteeringModel
 from repro.errors import ClusteringError, EstimationError, LocalizationError
+from repro.runtime.executor import Executor, SerialExecutor
 from repro.wifi.arrays import UniformLinearArray
 from repro.wifi.csi import CsiTrace
 from repro.wifi.ofdm import OfdmGrid
@@ -144,6 +149,14 @@ class SpotFi:
     rng:
         Source of randomness for clustering initialization; fixing it makes
         fixes reproducible.
+    executor:
+        Runtime executor the per-packet estimation fans out on (see
+        :mod:`repro.runtime`).  Defaults to a
+        :class:`~repro.runtime.executor.SerialExecutor`, which reproduces
+        the inline loop exactly.  Estimation is pure and clustering always
+        runs in this process with the shared ``rng``, so a
+        :class:`~repro.runtime.executor.ParallelExecutor` yields the same
+        fixes as serial.
     """
 
     def __init__(
@@ -152,10 +165,12 @@ class SpotFi:
         bounds: Tuple[float, float, float, float],
         config: Optional[SpotFiConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.grid = grid
         self.config = config or SpotFiConfig()
         self.bounds = bounds
+        self.executor = executor or SerialExecutor()
         self._rng = rng or np.random.default_rng(0)
         self._estimators: dict = {}
 
@@ -199,12 +214,32 @@ class SpotFi:
         """Lines 2-10 for one AP: estimate, cluster, select direct path."""
         used = trace[: self.config.packets_per_fix]
         rssi = used.median_rssi_dbm()
+        try:
+            estimates = self.estimator_for(array).estimate_trace(
+                used, executor=self.executor
+            )
+        except EstimationError:
+            return ApReport(array=array, direct=None, rssi_dbm=rssi)
+        return self._cluster_report(array, used, rssi, estimates)
+
+    def _cluster_report(
+        self,
+        array: UniformLinearArray,
+        used: CsiTrace,
+        rssi: float,
+        estimates: List[PathEstimate],
+    ) -> ApReport:
+        """Lines 9-10: cluster pooled estimates and select the direct path.
+
+        Always runs in the calling process so the shared clustering RNG
+        advances in AP order regardless of which executor produced the
+        estimates — that is what keeps parallel fixes identical to serial.
+        """
         min_size = max(
             self.config.min_cluster_size,
             int(np.ceil(self.config.min_cluster_fraction * len(used))),
         )
         try:
-            estimates = self.estimator_for(array).estimate_trace(used)
             clusters = cluster_estimates(
                 estimates,
                 num_clusters=self.config.num_clusters,
@@ -229,9 +264,42 @@ class SpotFi:
     def locate(
         self, ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]]
     ) -> SpotFiFix:
-        """Run the full Algorithm 2 on traces from several APs."""
-        reports = tuple(self.process_ap(array, trace) for array, trace in ap_traces)
+        """Run the full Algorithm 2 on traces from several APs.
+
+        Per-packet estimation for *all* APs is submitted to the executor
+        as one batch, so a parallel executor overlaps packets across APs;
+        clustering and fusion then run here in AP order.
+        """
+        reports = self.process_aps(ap_traces)
         return self.locate_from_reports(reports)
+
+    def process_aps(
+        self, ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]]
+    ) -> Tuple[ApReport, ...]:
+        """Lines 1-11 for several APs, fanning estimation across the executor."""
+        prepared = []
+        tasks = []
+        for array, trace in ap_traces:
+            used = trace[: self.config.packets_per_fix]
+            estimator = self.estimator_for(array)
+            prepared.append((array, used))
+            for index, frame in enumerate(used):
+                tasks.append((estimator, frame.csi, index))
+        results = self.executor.map_ordered(
+            estimate_packet_safe, tasks, stage="estimate"
+        )
+        reports = []
+        position = 0
+        for array, used in prepared:
+            packet_results = results[position : position + len(used)]
+            position += len(used)
+            rssi = used.median_rssi_dbm()
+            if any(isinstance(r, EstimationError) for r in packet_results):
+                reports.append(ApReport(array=array, direct=None, rssi_dbm=rssi))
+                continue
+            estimates = [e for packet in packet_results for e in packet]
+            reports.append(self._cluster_report(array, used, rssi, estimates))
+        return tuple(reports)
 
     def locate_from_reports(self, reports: Sequence[ApReport]) -> SpotFiFix:
         """Fuse precomputed per-AP reports into a position fix.

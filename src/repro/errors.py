@@ -38,3 +38,7 @@ class GeometryError(ReproError):
 
 class TraceFormatError(ReproError):
     """A CSI trace file is malformed or uses an unsupported version."""
+
+
+class BackpressureError(ReproError):
+    """A bounded ingest buffer is full and its policy is to reject."""

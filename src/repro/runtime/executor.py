@@ -1,0 +1,168 @@
+"""Executors: deterministic fan-out of per-packet estimation.
+
+The pipeline expresses its hot loop as ``executor.map_ordered(fn, items)``
+and lets the executor decide *where* the work runs:
+
+* :class:`SerialExecutor` runs items inline, in order — numerically
+  byte-identical to the historical ``for`` loop, and the default
+  everywhere so existing behaviour is unchanged.
+* :class:`ParallelExecutor` fans items across a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  ``map`` preserves
+  submission order, so results come back deterministically regardless of
+  which worker finished first; per-packet MUSIC is pure (no RNG), so the
+  values themselves match the serial path within floating-point identity.
+
+Both record submit/complete/error events on a
+:class:`~repro.runtime.metrics.RuntimeMetrics`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import RuntimeMetrics
+
+
+class Executor:
+    """Common interface: an ordered map over picklable task items.
+
+    Subclasses implement :meth:`map_ordered`; everything else (metrics,
+    context management) is shared.  Task functions must be module-level
+    (picklable) when a parallel executor may run them.
+    """
+
+    def __init__(self, metrics: Optional[RuntimeMetrics] = None) -> None:
+        self.metrics = metrics or RuntimeMetrics()
+
+    @property
+    def workers(self) -> int:
+        """Worker processes this executor fans across (1 = inline)."""
+        return 1
+
+    def map_ordered(
+        self, fn: Callable, items: Iterable, stage: str = "map"
+    ) -> List:
+        """Apply ``fn`` to every item, returning results in item order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources; the executor is reusable until then."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every item inline, exactly like the historical loop."""
+
+    def map_ordered(
+        self, fn: Callable, items: Iterable, stage: str = "map"
+    ) -> List:
+        items = list(items)
+        self.metrics.record_submit(stage, len(items))
+        results: List = []
+        for item in items:
+            start = time.perf_counter()
+            try:
+                results.append(fn(item))
+            except Exception:
+                self.metrics.record_error(stage)
+                raise
+            self.metrics.record_complete(stage, time.perf_counter() - start)
+        return results
+
+
+class ParallelExecutor(Executor):
+    """Fan items across a lazily created process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to the machine's CPU count.
+    metrics:
+        Shared metrics sink (a fresh one is created if omitted).
+    chunk_factor:
+        Items are shipped to workers in chunks of roughly
+        ``len(items) / (workers * chunk_factor)`` to amortize pickling
+        without starving the pool of parallel slack.
+
+    Notes
+    -----
+    The pool is created on first use and survives across calls, so
+    repeated ``locate`` calls pay the worker start-up cost once.  Call
+    :meth:`close` (or use the executor as a context manager) to reap the
+    workers.  Exceptions raised by a task propagate to the caller with
+    their original type, matching the serial path.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+        chunk_factor: int = 4,
+    ) -> None:
+        super().__init__(metrics)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_factor < 1:
+            raise ConfigurationError(f"chunk_factor must be >= 1, got {chunk_factor}")
+        self._workers = int(workers)
+        self._chunk_factor = int(chunk_factor)
+        self._pool = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        return self._pool
+
+    def map_ordered(
+        self, fn: Callable, items: Iterable, stage: str = "map"
+    ) -> List:
+        items = list(items)
+        if not items:
+            return []
+        self.metrics.record_submit(stage, len(items))
+        chunksize = max(1, len(items) // (self._workers * self._chunk_factor))
+        start = time.perf_counter()
+        try:
+            results = list(self._ensure_pool().map(fn, items, chunksize=chunksize))
+        except Exception:
+            self.metrics.record_error(stage, len(items))
+            raise
+        self.metrics.record_complete(
+            stage, time.perf_counter() - start, n=len(items)
+        )
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def create_executor(
+    workers: int = 1, metrics: Optional[RuntimeMetrics] = None
+) -> Executor:
+    """The right executor for a ``--workers N`` knob.
+
+    ``workers <= 1`` returns a :class:`SerialExecutor` (exact current
+    behaviour, no subprocess machinery); anything larger returns a
+    :class:`ParallelExecutor`.
+    """
+    if workers <= 1:
+        return SerialExecutor(metrics)
+    return ParallelExecutor(workers=workers, metrics=metrics)

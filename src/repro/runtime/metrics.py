@@ -1,0 +1,92 @@
+"""Runtime observability: counters and per-stage wall-clock timings.
+
+A :class:`RuntimeMetrics` instance is threaded through the executors and
+the streaming server so deployments can answer "how many packets were
+estimated / dropped / evicted, and where did the time go" without
+attaching a profiler.  It is deliberately tiny: a lock, two dicts, and a
+``snapshot()`` that returns plain data.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+
+class RuntimeMetrics:
+    """Thread-safe counters plus per-stage timing accumulators.
+
+    Counters are free-form dotted names (``ingest.dropped``,
+    ``estimate.completed``); timings accumulate (count, total seconds,
+    max seconds) per stage.  All methods are safe to call from multiple
+    threads; worker *processes* keep their own instances (the parent's
+    executor records batch-level timings, which is what matters for
+    throughput accounting).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timings: Dict[str, list] = {}  # stage -> [count, total_s, max_s]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def increment(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def record_submit(self, stage: str, n: int = 1) -> None:
+        """Count ``n`` work items handed to ``stage``."""
+        self.increment(f"{stage}.submitted", n)
+
+    def record_complete(self, stage: str, elapsed_s: float, n: int = 1) -> None:
+        """Count ``n`` completed items and ``elapsed_s`` of wall time."""
+        self.increment(f"{stage}.completed", n)
+        with self._lock:
+            timing = self._timings.setdefault(stage, [0, 0.0, 0.0])
+            timing[0] += 1
+            timing[1] += float(elapsed_s)
+            timing[2] = max(timing[2], float(elapsed_s))
+
+    def record_error(self, stage: str, n: int = 1) -> None:
+        """Count ``n`` failed items in ``stage``."""
+        self.increment(f"{stage}.errors", n)
+
+    def record_drop(self, reason: str, n: int = 1) -> None:
+        """Count ``n`` items dropped for ``reason`` (overflow, stale...)."""
+        self.increment(f"drop.{reason}", n)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-data view: ``{"counters": {...}, "timings": {...}}``.
+
+        Timings report ``count`` (batches recorded), ``total_s``,
+        ``mean_s`` and ``max_s`` per stage.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            timings = {
+                stage: {
+                    "count": c,
+                    "total_s": total,
+                    "mean_s": total / c if c else 0.0,
+                    "max_s": peak,
+                }
+                for stage, (c, total, peak) in self._timings.items()
+            }
+        return {"counters": counters, "timings": timings}
+
+    def reset(self) -> None:
+        """Zero every counter and timing."""
+        with self._lock:
+            self._counters.clear()
+            self._timings.clear()

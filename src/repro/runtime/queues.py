@@ -1,0 +1,98 @@
+"""Bounded ingest buffers with explicit backpressure.
+
+:class:`~repro.server.SpotFiServer` keeps one buffer per (source MAC,
+AP).  Unbounded lists are fine for a benchmark but a liability for the
+paper's "central server" under real traffic: a chatty or hostile source
+would grow them without limit.  :class:`PacketBuffer` caps each buffer
+and makes the overflow behaviour an explicit policy instead of an OOM.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import BackpressureError, ConfigurationError
+
+#: Recognised overflow policies.
+#:
+#: * ``drop-oldest`` — evict the oldest buffered packet to admit the new
+#:   one (a stale half-burst is worth less than fresh CSI).
+#: * ``drop-newest`` — refuse the incoming packet, keep the buffer.
+#: * ``reject`` — raise :class:`~repro.errors.BackpressureError` so the
+#:   transport layer can push back on the AP.
+OVERFLOW_POLICIES: Tuple[str, ...] = ("drop-oldest", "drop-newest", "reject")
+
+
+class PacketBuffer:
+    """A FIFO of per-packet items with a capacity and an overflow policy.
+
+    Parameters
+    ----------
+    max_packets:
+        Capacity; 0 means unbounded (the historical behaviour).
+    policy:
+        One of :data:`OVERFLOW_POLICIES`; consulted only when bounded.
+    """
+
+    def __init__(self, max_packets: int = 0, policy: str = "drop-oldest") -> None:
+        if max_packets < 0:
+            raise ConfigurationError(f"max_packets must be >= 0, got {max_packets}")
+        if policy not in OVERFLOW_POLICIES:
+            raise ConfigurationError(
+                f"unknown overflow policy {policy!r}; expected one of "
+                f"{OVERFLOW_POLICIES}"
+            )
+        self.max_packets = int(max_packets)
+        self.policy = policy
+        self._items: List = []
+
+    # ------------------------------------------------------------------
+    def push(self, item) -> Optional[object]:
+        """Append ``item``, applying the overflow policy when full.
+
+        Returns the item that was *dropped* (the incoming one under
+        ``drop-newest``, the evicted head under ``drop-oldest``) or None
+        when nothing was dropped.  Raises
+        :class:`~repro.errors.BackpressureError` under ``reject``.
+        """
+        if self.max_packets and len(self._items) >= self.max_packets:
+            if self.policy == "reject":
+                raise BackpressureError(
+                    f"buffer full ({self.max_packets} packets) and policy is 'reject'"
+                )
+            if self.policy == "drop-newest":
+                return item
+            dropped = self._items.pop(0)
+            self._items.append(item)
+            return dropped
+        self._items.append(item)
+        return None
+
+    def peek(self, n: int) -> List:
+        """The first ``n`` items, without removing them."""
+        return self._items[:n]
+
+    def consume(self, n: int) -> List:
+        """Remove and return the first ``n`` items."""
+        taken, self._items = self._items[:n], self._items[n:]
+        return taken
+
+    def clear(self) -> List:
+        """Empty the buffer, returning what it held."""
+        held, self._items = self._items, []
+        return held
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True when a bounded buffer is at capacity."""
+        return bool(self.max_packets) and len(self._items) >= self.max_packets

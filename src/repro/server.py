@@ -12,6 +12,13 @@ accumulated a burst (``packets_per_fix`` packets at ``min_aps`` or more
 APs) it runs Algorithm 2 and emits a :class:`FixEvent`.  Multiple targets
 are handled concurrently (separate buffers per MAC), and an optional
 Kalman tracker smooths each target's fix stream.
+
+Ingest is engineered for sustained traffic (see :mod:`repro.runtime`):
+buffers can be bounded with an explicit overflow policy so a burst flood
+degrades by dropping packets instead of growing memory, abandoned
+partial bursts are evicted after a configurable age, and a
+:class:`~repro.runtime.metrics.RuntimeMetrics` instance counts
+accepted/dropped/evicted packets and fix timings.
 """
 
 from __future__ import annotations
@@ -19,9 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import time
 from repro.core.pipeline import SpotFi, SpotFiFix
 from repro.errors import ConfigurationError, LocalizationError
 from repro.geom.points import Point
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.queues import OVERFLOW_POLICIES, PacketBuffer
 from repro.tracking.kalman import KalmanTrack2D
 from repro.wifi.arrays import UniformLinearArray
 from repro.wifi.csi import CsiFrame, CsiTrace
@@ -64,7 +74,8 @@ class SpotFiServer:
     Attributes
     ----------
     spotfi:
-        Configured pipeline (owns grid/bounds/config).
+        Configured pipeline (owns grid/bounds/config and the runtime
+        executor the per-packet estimation fans out on).
     aps:
         AP id -> array geometry for every AP that ships CSI.
     packets_per_fix:
@@ -73,6 +84,22 @@ class SpotFiServer:
         Minimum APs with a complete burst before attempting a fix.
     track:
         Enable Kalman smoothing of each target's fixes.
+    max_buffered_packets:
+        Capacity of each (source, AP) ingest buffer; 0 keeps the
+        historical unbounded behaviour.  A flood from one source then
+        degrades by the ``overflow_policy`` instead of growing memory.
+    overflow_policy:
+        ``drop-oldest`` (default), ``drop-newest`` or ``reject`` — see
+        :data:`repro.runtime.queues.OVERFLOW_POLICIES`.
+    max_burst_age_s:
+        Evict a (source, AP) buffer whose newest packet is older than
+        this many seconds (by packet timestamp) when new traffic
+        arrives; 0 disables eviction.  Bounds the memory abandoned
+        partial bursts can pin.
+    metrics:
+        Runtime counters/timings; created automatically when omitted.
+        Exposes ``ingest.accepted``, ``drop.overflow``, ``drop.stale``,
+        ``fix.ok``/``fix.failed`` and the ``fix`` stage timing.
     """
 
     spotfi: SpotFi
@@ -80,13 +107,35 @@ class SpotFiServer:
     packets_per_fix: int = 10
     min_aps: int = 3
     track: bool = False
+    max_buffered_packets: int = 0
+    overflow_policy: str = "drop-oldest"
+    max_burst_age_s: float = 0.0
+    metrics: Optional[RuntimeMetrics] = None
 
     def __post_init__(self) -> None:
         if not self.aps:
             raise ConfigurationError("server needs at least one registered AP")
         if self.packets_per_fix < 1:
             raise ConfigurationError("packets_per_fix must be >= 1")
-        self._buffers: Dict[Tuple[str, str], List[CsiFrame]] = {}
+        if self.max_buffered_packets < 0:
+            raise ConfigurationError("max_buffered_packets must be >= 0")
+        if 0 < self.max_buffered_packets < self.packets_per_fix:
+            raise ConfigurationError(
+                f"max_buffered_packets ({self.max_buffered_packets}) must be "
+                f">= packets_per_fix ({self.packets_per_fix}) or a burst can "
+                "never complete"
+            )
+        if self.overflow_policy not in OVERFLOW_POLICIES:
+            raise ConfigurationError(
+                f"unknown overflow policy {self.overflow_policy!r}; expected "
+                f"one of {OVERFLOW_POLICIES}"
+            )
+        if self.max_burst_age_s < 0:
+            raise ConfigurationError("max_burst_age_s must be >= 0")
+        if self.metrics is None:
+            self.metrics = RuntimeMetrics()
+        self._buffers: Dict[Tuple[str, str], PacketBuffer] = {}
+        self._last_seen: Dict[Tuple[str, str], float] = {}
         self._tracks: Dict[str, KalmanTrack2D] = {}
         self._events: Dict[str, List[FixEvent]] = {}
 
@@ -95,15 +144,52 @@ class SpotFiServer:
         """Accept one packet's CSI from one AP.
 
         Returns a :class:`FixEvent` when this packet completed a burst,
-        else None.  ``frame.source`` identifies the target.
+        else None.  ``frame.source`` identifies the target.  When the
+        (source, AP) buffer is full the ``overflow_policy`` applies — a
+        drop returns None and counts ``drop.overflow``; ``reject`` raises
+        :class:`~repro.errors.BackpressureError`.
         """
         if ap_id not in self.aps:
             raise ConfigurationError(
                 f"unknown AP id {ap_id!r}; registered: {sorted(self.aps)}"
             )
         source = frame.source or "unknown"
-        self._buffers.setdefault((source, ap_id), []).append(frame)
+        self._evict_stale(frame.timestamp_s)
+        key = (source, ap_id)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = self._buffers[key] = PacketBuffer(
+                max_packets=self.max_buffered_packets, policy=self.overflow_policy
+            )
+        dropped = buffer.push(frame)  # BackpressureError under "reject"
+        self._last_seen[key] = frame.timestamp_s
+        if dropped is not None:
+            self.metrics.record_drop("overflow")
+        if dropped is frame:
+            return None
+        self.metrics.increment("ingest.accepted")
         return self._maybe_fix(source, frame.timestamp_s)
+
+    def _evict_stale(self, now_s: float) -> None:
+        """Discard buffers whose newest packet is older than the age cap.
+
+        Abandoned sources (a phone that left the building mid-burst)
+        otherwise pin partial bursts forever.  The packet timestamp
+        stream is the clock, so replayed traces behave like live traffic.
+        """
+        if not self.max_burst_age_s:
+            return
+        stale = [
+            key
+            for key, last in self._last_seen.items()
+            if now_s - last > self.max_burst_age_s
+        ]
+        for key in stale:
+            held = self._buffers.pop(key, None)
+            self._last_seen.pop(key, None)
+            if held:
+                self.metrics.record_drop("stale", len(held))
+                self.metrics.increment("buffers.evicted")
 
     def flush(self, source: str, timestamp_s: float) -> Optional[FixEvent]:
         """Force a fix attempt from whatever bursts are complete.
@@ -117,14 +203,14 @@ class SpotFiServer:
         self, source: str, timestamp_s: float, require_all: bool = True
     ) -> Optional[FixEvent]:
         mine = [
-            (ap_id, frames)
-            for (src, ap_id), frames in self._buffers.items()
+            (ap_id, buffer)
+            for (src, ap_id), buffer in self._buffers.items()
             if src == source
         ]
         ready = [
-            (ap_id, frames)
-            for ap_id, frames in mine
-            if len(frames) >= self.packets_per_fix
+            (ap_id, buffer)
+            for ap_id, buffer in mine
+            if len(buffer) >= self.packets_per_fix
         ]
         if len(ready) < self.min_aps:
             return None
@@ -134,14 +220,17 @@ class SpotFiServer:
             # handle stragglers with flush().
             return None
         pairs = [
-            (self.aps[ap_id], CsiTrace(frames[: self.packets_per_fix]))
-            for ap_id, frames in ready
+            (self.aps[ap_id], CsiTrace(buffer.peek(self.packets_per_fix)))
+            for ap_id, buffer in ready
         ]
         fix: Optional[SpotFiFix]
+        start = time.perf_counter()
         try:
             fix = self.spotfi.locate(pairs)
         except LocalizationError:
             fix = None
+        self.metrics.record_complete("fix", time.perf_counter() - start)
+        self.metrics.increment("fix.ok" if fix is not None else "fix.failed")
         filtered = None
         if fix is not None and self.track:
             track = self._tracks.setdefault(source, KalmanTrack2D())
@@ -156,13 +245,12 @@ class SpotFiServer:
         )
         self._events.setdefault(source, []).append(event)
         # Consume the burst: drop the used packets from every buffer.
-        for ap_id, frames in ready:
-            remaining = frames[self.packets_per_fix :]
-            key = (source, ap_id)
-            if remaining:
-                self._buffers[key] = remaining
-            else:
+        for ap_id, buffer in ready:
+            buffer.consume(self.packets_per_fix)
+            if not buffer:
+                key = (source, ap_id)
                 del self._buffers[key]
+                self._last_seen.pop(key, None)
         return event
 
     # ------------------------------------------------------------------
@@ -179,7 +267,11 @@ class SpotFiServer:
     def pending_packets(self, source: str) -> Dict[str, int]:
         """Per-AP buffered packet counts for a target (diagnostics)."""
         return {
-            ap_id: len(frames)
-            for (src, ap_id), frames in sorted(self._buffers.items())
+            ap_id: len(buffer)
+            for (src, ap_id), buffer in sorted(self._buffers.items())
             if src == source
         }
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Runtime counters and timings (see :class:`RuntimeMetrics`)."""
+        return self.metrics.snapshot()

@@ -1,0 +1,96 @@
+"""Tests for the steering-grid cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.music import MusicConfig
+from repro.core.steering import SteeringModel
+from repro.errors import ConfigurationError
+from repro.runtime import SteeringCache, default_steering_cache
+from repro.wifi.intel5300 import Intel5300
+
+GRID = Intel5300().grid()
+
+
+def make_model(num_antennas=2, num_subcarriers=15):
+    return SteeringModel.for_grid(
+        GRID, num_antennas=num_antennas, antenna_spacing_m=0.026,
+        num_subcarriers=num_subcarriers,
+    )
+
+
+class TestSteeringCache:
+    def test_values_match_direct_computation(self):
+        cache = SteeringCache()
+        model = make_model()
+        music = MusicConfig()
+        grids = cache.grids_for(model, music)
+        np.testing.assert_array_equal(grids.aoa_grid_deg, music.aoa_grid())
+        np.testing.assert_array_equal(grids.tof_grid_s, music.tof_grid())
+        np.testing.assert_array_equal(
+            grids.phi, model.antenna_vector(music.aoa_grid())
+        )
+        np.testing.assert_array_equal(
+            grids.omega, model.subcarrier_vector(music.tof_grid())
+        )
+
+    def test_hit_miss_accounting(self):
+        cache = SteeringCache()
+        model = make_model()
+        music = MusicConfig()
+        first = cache.grids_for(model, music)
+        second = cache.grids_for(model, music)
+        assert first is second
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0, "entries": 1,
+        }
+
+    def test_distinct_configs_get_distinct_entries(self):
+        cache = SteeringCache()
+        model = make_model()
+        cache.grids_for(model, MusicConfig())
+        cache.grids_for(model, MusicConfig(aoa_grid_deg=(-90.0, 90.0, 2.0)))
+        cache.grids_for(make_model(num_antennas=3, num_subcarriers=30), MusicConfig())
+        assert cache.stats()["entries"] == 3
+        assert cache.stats()["misses"] == 3
+
+    def test_equal_value_models_share_entry(self):
+        cache = SteeringCache()
+        cache.grids_for(make_model(), MusicConfig())
+        cache.grids_for(make_model(), MusicConfig())  # new but equal objects
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0, "entries": 1,
+        }
+
+    def test_lru_eviction_bound(self):
+        cache = SteeringCache(max_entries=2)
+        model = make_model()
+        for step in (1.0, 2.0, 3.0):
+            cache.grids_for(model, MusicConfig(aoa_grid_deg=(-90.0, 90.0, step)))
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # The oldest entry (step=1.0) was evicted: re-fetching misses.
+        cache.grids_for(model, MusicConfig(aoa_grid_deg=(-90.0, 90.0, 1.0)))
+        assert cache.stats()["misses"] == 4
+
+    def test_entries_are_read_only(self):
+        grids = SteeringCache().grids_for(make_model(), MusicConfig())
+        with pytest.raises(ValueError):
+            grids.phi[0, 0] = 0
+
+    def test_clear(self):
+        cache = SteeringCache()
+        cache.grids_for(make_model(), MusicConfig())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+        }
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SteeringCache(max_entries=0)
+
+    def test_default_cache_is_shared(self):
+        assert default_steering_cache() is default_steering_cache()

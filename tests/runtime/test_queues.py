@@ -1,0 +1,69 @@
+"""Tests for the bounded ingest buffer."""
+
+import pytest
+
+from repro.errors import BackpressureError, ConfigurationError
+from repro.runtime import PacketBuffer
+
+
+class TestPacketBuffer:
+    def test_unbounded_by_default(self):
+        buf = PacketBuffer()
+        for i in range(1000):
+            assert buf.push(i) is None
+        assert len(buf) == 1000
+        assert not buf.full
+
+    def test_drop_oldest_evicts_head(self):
+        buf = PacketBuffer(max_packets=3, policy="drop-oldest")
+        for i in range(3):
+            assert buf.push(i) is None
+        assert buf.full
+        dropped = buf.push(3)
+        assert dropped == 0
+        assert list(buf) == [1, 2, 3]
+        assert len(buf) == 3
+
+    def test_drop_newest_refuses_incoming(self):
+        buf = PacketBuffer(max_packets=2, policy="drop-newest")
+        buf.push("a")
+        buf.push("b")
+        dropped = buf.push("c")
+        assert dropped == "c"
+        assert list(buf) == ["a", "b"]
+
+    def test_reject_raises(self):
+        buf = PacketBuffer(max_packets=1, policy="reject")
+        buf.push("a")
+        with pytest.raises(BackpressureError):
+            buf.push("b")
+        assert list(buf) == ["a"]
+
+    def test_peek_does_not_consume(self):
+        buf = PacketBuffer()
+        for i in range(5):
+            buf.push(i)
+        assert buf.peek(3) == [0, 1, 2]
+        assert len(buf) == 5
+
+    def test_consume_removes_fifo(self):
+        buf = PacketBuffer()
+        for i in range(5):
+            buf.push(i)
+        assert buf.consume(3) == [0, 1, 2]
+        assert list(buf) == [3, 4]
+
+    def test_clear_returns_contents(self):
+        buf = PacketBuffer()
+        buf.push(1)
+        buf.push(2)
+        assert buf.clear() == [1, 2]
+        assert not buf
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketBuffer(policy="lossless")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketBuffer(max_packets=-1)

@@ -38,6 +38,7 @@ class TestImports:
             "repro.tracking",
             "repro.sensing",
             "repro.calibration",
+            "repro.runtime",
         ):
             pkg = importlib.import_module(pkg_name)
             for name in getattr(pkg, "__all__", []):

@@ -110,6 +110,51 @@ class TestSimulateAndLocate:
         rc = main(["locate", str(tmp_path / "missing.npz")])
         assert rc == 2
 
+    def test_locate_with_workers(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "4"])
+        capsys.readouterr()
+        rc = main(
+            [
+                "locate",
+                str(out),
+                "--testbed",
+                "small",
+                "--packets",
+                "4",
+                "--workers",
+                "2",
+            ]
+        )
+        assert rc == 0
+        assert "SpotFi fix" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_replays_dataset(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "8"])
+        capsys.readouterr()
+        rc = main(
+            [
+                "serve",
+                str(out),
+                "--testbed",
+                "small",
+                "--packets",
+                "8",
+                "--max-buffer",
+                "8",
+                "--max-age",
+                "10",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "fix #1" in text
+        assert "runtime counters" in text
+        assert "ingest.accepted" in text
+
 
 class TestFloorplan:
     def test_floorplan_command(self, capsys):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import SpotFi, SpotFiConfig
-from repro.errors import ConfigurationError
+from repro.errors import BackpressureError, ConfigurationError
 from repro.server import SpotFiServer
 from repro.testbed.layout import small_testbed
 from repro.wifi.csi import CsiFrame
@@ -155,3 +155,150 @@ class TestServer:
             SpotFiServer(spotfi=spotfi, aps={})
         with pytest.raises(ConfigurationError):
             SpotFiServer(spotfi=spotfi, aps=ap_ids, packets_per_fix=0)
+        with pytest.raises(ConfigurationError):
+            SpotFiServer(
+                spotfi=spotfi, aps=ap_ids, overflow_policy="lossless"
+            )
+        with pytest.raises(ConfigurationError):
+            SpotFiServer(spotfi=spotfi, aps=ap_ids, max_burst_age_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            # A buffer smaller than the burst could never complete a fix.
+            SpotFiServer(
+                spotfi=spotfi, aps=ap_ids, packets_per_fix=8,
+                max_buffered_packets=4,
+            )
+
+
+class TestServerRuntime:
+    """Backpressure, stale-burst eviction and multi-MAC ingestion."""
+
+    def test_overflow_drop_oldest_caps_buffer(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8,
+            min_aps=3, max_buffered_packets=10,
+        )
+        rng = np.random.default_rng(20)
+        # Flood a single AP (below min_aps, so no fix ever drains it).
+        trace = sim.generate_trace(
+            tb.targets[0].position, tb.aps[0], 25, rng=rng, source="flood"
+        )
+        for frame in trace:
+            server.ingest("ap0", frame)
+        assert server.pending_packets("flood") == {"ap0": 10}
+        assert server.metrics.counter("drop.overflow") == 15
+        assert server.metrics.counter("ingest.accepted") == 25
+
+    def test_overflow_drop_newest_keeps_head(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8,
+            min_aps=3, max_buffered_packets=8, overflow_policy="drop-newest",
+        )
+        rng = np.random.default_rng(21)
+        trace = sim.generate_trace(
+            tb.targets[0].position, tb.aps[0], 12, rng=rng, source="flood"
+        )
+        for frame in trace:
+            server.ingest("ap0", frame)
+        assert server.pending_packets("flood") == {"ap0": 8}
+        assert server.metrics.counter("drop.overflow") == 4
+        # Refused packets are not counted as accepted.
+        assert server.metrics.counter("ingest.accepted") == 8
+
+    def test_overflow_reject_raises(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8,
+            min_aps=3, max_buffered_packets=8, overflow_policy="reject",
+        )
+        rng = np.random.default_rng(22)
+        trace = sim.generate_trace(
+            tb.targets[0].position, tb.aps[0], 9, rng=rng, source="flood"
+        )
+        for frame in trace[:8]:
+            server.ingest("ap0", frame)
+        with pytest.raises(BackpressureError):
+            server.ingest("ap0", trace[8])
+
+    def test_stale_partial_bursts_evicted(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, max_burst_age_s=10.0
+        )
+        rng = np.random.default_rng(23)
+        ghost = sim.generate_trace(
+            tb.targets[0].position, tb.aps[0], 3, rng=rng, source="ghost"
+        )
+        for k, frame in enumerate(ghost):
+            server.ingest(
+                "ap0",
+                CsiFrame(
+                    csi=frame.csi, rssi_dbm=frame.rssi_dbm,
+                    timestamp_s=k * 0.1, source="ghost",
+                ),
+            )
+        assert server.pending_packets("ghost") == {"ap0": 3}
+        # A packet from someone else, 100 s later, sweeps the ghost out.
+        live = sim.generate_trace(
+            tb.targets[1].position, tb.aps[1], 1, rng=rng, source="live"
+        )
+        server.ingest(
+            "ap1",
+            CsiFrame(
+                csi=live[0].csi, rssi_dbm=live[0].rssi_dbm,
+                timestamp_s=100.0, source="live",
+            ),
+        )
+        assert server.pending_packets("ghost") == {}
+        assert server.metrics.counter("drop.stale") == 3
+        assert server.metrics.counter("buffers.evicted") == 1
+        # The live source's own fresh buffer is untouched.
+        assert server.pending_packets("live") == {"ap1": 1}
+
+    def test_interleaved_multi_mac_ingestion(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8,
+            max_buffered_packets=32,
+        )
+        rng = np.random.default_rng(24)
+        t1 = tb.targets[0].position
+        t2 = tb.targets[3].position
+        traces = {
+            ("phone", f"ap{i}"): sim.generate_trace(t1, ap, 8, rng=rng, source="phone")
+            for i, ap in enumerate(tb.aps)
+        }
+        traces.update({
+            ("laptop", f"ap{i}"): sim.generate_trace(t2, ap, 8, rng=rng, source="laptop")
+            for i, ap in enumerate(tb.aps)
+        })
+        events = []
+        # Strictly alternate sources packet by packet, across every AP.
+        for k in range(8):
+            for source in ("phone", "laptop"):
+                for i in range(len(tb.aps)):
+                    frame = traces[(source, f"ap{i}")][k]
+                    frame = CsiFrame(
+                        csi=frame.csi, rssi_dbm=frame.rssi_dbm,
+                        timestamp_s=k * 0.1, source=source,
+                    )
+                    event = server.ingest(f"ap{i}", frame)
+                    if event is not None:
+                        events.append(event)
+        assert sorted(e.source for e in events) == ["laptop", "phone"]
+        by_source = {e.source: e for e in events}
+        assert by_source["phone"].fix.error_to(t1) < 1.5
+        assert by_source["laptop"].fix.error_to(t2) < 1.5
+        assert server.metrics.counter("fix.ok") == 2
+        assert server.metrics.counter("drop.overflow") == 0
+
+    def test_fix_timing_recorded(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(spotfi=spotfi, aps=ap_ids, packets_per_fix=8)
+        rng = np.random.default_rng(25)
+        stream_target(server, tb, sim, tb.targets[0].position, "aa", rng)
+        snapshot = server.metrics_snapshot()
+        assert snapshot["counters"]["fix.ok"] == 1
+        assert snapshot["timings"]["fix"]["count"] == 1
+        assert snapshot["timings"]["fix"]["total_s"] > 0
