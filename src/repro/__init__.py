@@ -47,6 +47,14 @@ from repro.core import (
 )
 from repro.core.esprit import EspritEstimator
 from repro.geom import Floorplan, Point, RayTracer, Segment
+from repro.obs import (
+    Histogram,
+    JsonlSpanExporter,
+    ObsConfig,
+    Span,
+    Tracer,
+    render_prometheus,
+)
 from repro.runtime import (
     ParallelExecutor,
     RuntimeMetrics,
@@ -69,15 +77,18 @@ __all__ = [
     "EspritEstimator",
     "FixEvent",
     "Floorplan",
+    "Histogram",
     "KalmanTrack2D",
     "ImpairmentModel",
     "Intel5300",
     "JointEstimator",
+    "JsonlSpanExporter",
     "LocalizationResult",
     "Localizer",
     "LogDistancePathLoss",
     "MultipathProfile",
     "MusicConfig",
+    "ObsConfig",
     "OfdmGrid",
     "ParallelExecutor",
     "PathEstimate",
@@ -88,15 +99,18 @@ __all__ = [
     "Segment",
     "SerialExecutor",
     "SmoothingConfig",
+    "Span",
     "SpotFi",
     "SpotFiConfig",
     "SpotFiServer",
     "SpotFiTracker",
     "SteeringCache",
     "SteeringModel",
+    "Tracer",
     "UniformLinearArray",
     "cluster_estimates",
     "create_executor",
+    "render_prometheus",
     "sanitize_csi",
     "select_direct_path",
     "smooth_csi",

@@ -9,8 +9,15 @@ Commands:
   per-packet estimation across N processes (default 1 = serial).
 * ``serve`` — replay a saved dataset through the streaming
   :class:`~repro.server.SpotFiServer`, with the runtime's worker,
-  backpressure and eviction knobs, printing each fix event and the
-  final runtime metrics.
+  backpressure and eviction knobs, printing each fix event and, on
+  exit, the full Prometheus-style metrics exposition (server + executor
+  + steering cache).
+* ``trace`` — localize a saved dataset with tracing enabled and print
+  the hierarchical span tree (``locate > ap[k] > sanitize|smooth|music|
+  cluster > solve``); ``--jsonl`` exports the spans, ``--artifacts``
+  captures downsampled pseudospectra and cluster statistics.
+* ``metrics`` — localize a saved dataset and print the Prometheus-style
+  exposition of the runtime metrics it produced.
 * ``inspect`` — summarize a saved dataset (APs, packets, RSSI, truth).
 * ``floorplan`` — render a testbed's floorplan, APs and targets as ASCII.
 
@@ -30,7 +37,19 @@ from repro.baselines.arraytrack import ArrayTrack
 from repro.core.pipeline import SpotFi, SpotFiConfig
 from repro.errors import ReproError
 from repro.io.traces import LocationDataset, load_dataset, save_dataset
-from repro.runtime import OVERFLOW_POLICIES, create_executor
+from repro.obs import (
+    JsonlSpanExporter,
+    ObsConfig,
+    Tracer,
+    format_span_tree,
+    render_prometheus,
+)
+from repro.runtime import (
+    OVERFLOW_POLICIES,
+    RuntimeMetrics,
+    create_executor,
+    default_steering_cache,
+)
 from repro.server import SpotFiServer
 from repro.testbed.collection import as_ap_trace_pairs, collect_location
 from repro.testbed.layout import Testbed, home_testbed, office_testbed, small_testbed
@@ -129,12 +148,19 @@ def cmd_locate(args: argparse.Namespace) -> int:
 # serve
 # ----------------------------------------------------------------------
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Replay a dataset through the streaming server, packet by packet."""
+    """Replay a dataset through the streaming server, packet by packet.
+
+    One :class:`RuntimeMetrics` instance is shared by the executor and
+    the server, so the exit dump covers estimation fan-out (``estimate``
+    stage) alongside ingest/fix accounting instead of discarding the
+    executor's share.
+    """
     dataset = load_dataset(args.dataset)
     testbed = _get_testbed(args.testbed)
     grid = Intel5300().grid()
     config = SpotFiConfig(packets_per_fix=args.packets)
-    with create_executor(args.workers) as executor:
+    metrics = RuntimeMetrics()
+    with create_executor(args.workers, metrics=metrics) as executor:
         spotfi = SpotFi(
             grid,
             bounds=testbed.bounds,
@@ -151,6 +177,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_buffered_packets=args.max_buffer,
             overflow_policy=args.overflow_policy,
             max_burst_age_s=args.max_age,
+            metrics=metrics,
         )
         # Interleave packets across APs, as a live deployment would see
         # them arrive at the central server.
@@ -186,8 +213,73 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if fix_timing:
             print(
                 f"fix stage: {fix_timing['count']} runs, "
-                f"mean {fix_timing['mean_s'] * 1e3:.0f} ms"
+                f"mean {fix_timing['mean_s'] * 1e3:.0f} ms, "
+                f"p99 {fix_timing['quantiles']['p99'] * 1e3:.0f} ms"
             )
+        print("\n--- metrics exposition ---")
+        print(server.metrics_exposition(), end="")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Localize a dataset with tracing enabled and print the span tree."""
+    dataset = load_dataset(args.dataset)
+    testbed = _get_testbed(args.testbed)
+    grid = Intel5300().grid()
+    config = SpotFiConfig(
+        packets_per_fix=args.packets, estimation=args.estimation
+    )
+    exporters = [JsonlSpanExporter(args.jsonl)] if args.jsonl else []
+    tracer = Tracer(
+        ObsConfig(capture_artifacts=args.artifacts), exporters=exporters
+    )
+    try:
+        spotfi = SpotFi(
+            grid,
+            bounds=testbed.bounds,
+            config=config,
+            rng=np.random.default_rng(0),
+            tracer=tracer,
+        )
+        fix = spotfi.locate(dataset.ap_trace_pairs())
+    finally:
+        tracer.close()
+    for root in tracer.finished_spans():
+        print(format_span_tree(root))
+    print(f"\nfix: ({fix.position.x:.2f}, {fix.position.y:.2f}) m")
+    if dataset.target is not None:
+        print(f"error vs truth: {fix.error_to(dataset.target):.2f} m")
+    if args.jsonl:
+        print(f"spans exported to {args.jsonl}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Localize a dataset and print the Prometheus-style exposition."""
+    dataset = load_dataset(args.dataset)
+    testbed = _get_testbed(args.testbed)
+    grid = Intel5300().grid()
+    config = SpotFiConfig(packets_per_fix=args.packets)
+    metrics = RuntimeMetrics()
+    with create_executor(args.workers, metrics=metrics) as executor:
+        spotfi = SpotFi(
+            grid,
+            bounds=testbed.bounds,
+            config=config,
+            rng=np.random.default_rng(0),
+            executor=executor,
+        )
+        for _ in range(args.repeats):
+            spotfi.locate(dataset.ap_trace_pairs())
+    snapshot = metrics.snapshot()
+    snapshot["cache"] = default_steering_cache().stats()
+    print(render_prometheus(snapshot), end="")
     return 0
 
 
@@ -311,6 +403,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict partial bursts idle for this many seconds (0 = never)",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("trace", help="localize with tracing, print the span tree")
+    p.add_argument("dataset", help=".npz dataset path")
+    p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
+    p.add_argument("--packets", type=int, default=40)
+    p.add_argument("--estimation", default="music", choices=("music", "esprit"))
+    p.add_argument(
+        "--artifacts",
+        action="store_true",
+        help="capture downsampled pseudospectra and cluster stats into spans",
+    )
+    p.add_argument(
+        "--jsonl", default="", help="also export finished spans to this JSONL file"
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics", help="localize and print the Prometheus-style exposition"
+    )
+    p.add_argument("dataset", help=".npz dataset path")
+    p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
+    p.add_argument("--packets", type=int, default=40)
+    p.add_argument(
+        "--repeats", type=int, default=1, help="locate passes to accumulate"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for per-packet estimation (1 = serial)",
+    )
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("inspect", help="summarize a saved dataset")
     p.add_argument("dataset", help=".npz dataset path")

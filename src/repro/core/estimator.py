@@ -107,23 +107,7 @@ class JointEstimator:
         packet whose spectrum has no acceptable peaks yields an empty list.
         """
         spectrum, aoa_grid, tof_grid = self.spectrum(csi)
-        peaks = find_peaks_2d(
-            spectrum,
-            aoa_grid,
-            tof_grid,
-            max_peaks=self.max_peaks * 2,
-            min_rel_height_db=self.min_rel_height_db,
-        )
-        peaks = merge_close_peaks(peaks)[: self.max_peaks]
-        return [
-            PathEstimate(
-                aoa_deg=p.aoa_deg,
-                tof_s=p.tof_s,
-                power=p.power,
-                packet_index=packet_index,
-            )
-            for p in peaks
-        ]
+        return self.stage_peaks(spectrum, aoa_grid, tof_grid, packet_index)
 
     def spectrum(self, csi: np.ndarray):
         """The (spectrum, aoa_grid, tof_grid) for one packet's CSI.
@@ -131,6 +115,17 @@ class JointEstimator:
         Exposed separately so diagnostics/benchmarks can inspect the full
         pseudospectrum, not just its peaks.
         """
+        return self.stage_music(self.stage_smooth(self.stage_sanitize(csi)))
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (Alg. 2 lines 3-7, individually addressable)
+    # ------------------------------------------------------------------
+    # ``estimate_packet`` is their composition; the traced pipeline path
+    # (repro.core.pipeline with a real repro.obs tracer) drives them one
+    # at a time so each stage gets its own span.
+
+    def stage_sanitize(self, csi: np.ndarray) -> np.ndarray:
+        """Validate one packet's CSI and apply Algorithm 1 (if enabled)."""
         csi = validate_csi_matrix(csi)
         if csi.shape != (self.model.num_antennas, self.model.num_subcarriers):
             raise EstimationError(
@@ -139,7 +134,14 @@ class JointEstimator:
             )
         if self.sanitize:
             csi = sanitize_csi(csi)
-        x = smooth_csi(csi, self.smoothing)
+        return csi
+
+    def stage_smooth(self, csi: np.ndarray) -> np.ndarray:
+        """Fig. 4 smoothing of sanitized CSI into the subarray matrix."""
+        return smooth_csi(csi, self.smoothing)
+
+    def stage_music(self, x: np.ndarray):
+        """MUSIC over a smoothed matrix -> (spectrum, aoa_grid, tof_grid)."""
         e_signal, e_noise, _ = subspaces(
             covariance(x), self.music, num_snapshots=x.shape[1]
         )
@@ -163,6 +165,32 @@ class JointEstimator:
                 omega=grids.omega,
             )
         return spectrum, grids.aoa_grid_deg, grids.tof_grid_s
+
+    def stage_peaks(
+        self,
+        spectrum: np.ndarray,
+        aoa_grid: np.ndarray,
+        tof_grid: np.ndarray,
+        packet_index: int = 0,
+    ) -> List[PathEstimate]:
+        """Peak extraction (line 7): spectrum -> sorted path estimates."""
+        peaks = find_peaks_2d(
+            spectrum,
+            aoa_grid,
+            tof_grid,
+            max_peaks=self.max_peaks * 2,
+            min_rel_height_db=self.min_rel_height_db,
+        )
+        peaks = merge_close_peaks(peaks)[: self.max_peaks]
+        return [
+            PathEstimate(
+                aoa_deg=p.aoa_deg,
+                tof_s=p.tof_s,
+                power=p.power,
+                packet_index=packet_index,
+            )
+            for p in peaks
+        ]
 
     # ------------------------------------------------------------------
     # Traces

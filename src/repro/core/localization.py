@@ -73,6 +73,9 @@ class LocalizationResult:
         Per-AP angle residuals at the solution.
     rssi_residuals_db:
         Per-AP RSSI residuals at the solution.
+    iterations:
+        Nelder-Mead refinement iterations (0 when refinement was
+        disabled); surfaced as a trace/metrics attribute.
     """
 
     position: Point
@@ -80,6 +83,7 @@ class LocalizationResult:
     path_loss: LogDistancePathLoss
     aoa_residuals_deg: Tuple[float, ...] = ()
     rssi_residuals_db: Tuple[float, ...] = ()
+    iterations: int = 0
 
     def error_to(self, truth) -> float:
         """Euclidean distance (m) from the estimate to a ground-truth point."""
@@ -150,6 +154,7 @@ class Localizer:
         values = self._objective_batch(candidates, obs, weights)
         best = int(np.argmin(values))
         start = candidates[best]
+        iterations = 0
         if self.refine:
             result = optimize.minimize(
                 lambda v: self._objective_batch(v[None, :], obs, weights)[0],
@@ -157,6 +162,7 @@ class Localizer:
                 method="Nelder-Mead",
                 options={"xatol": 1e-3, "fatol": 1e-9, "maxiter": 400},
             )
+            iterations = int(getattr(result, "nit", 0))
             solution = np.clip(
                 result.x,
                 [self.bounds[0], self.bounds[1]],
@@ -167,7 +173,13 @@ class Localizer:
             )
         else:
             solution, objective = start, float(values[best])
-        return self._build_result(Point(float(solution[0]), float(solution[1])), objective, obs, weights)
+        return self._build_result(
+            Point(float(solution[0]), float(solution[1])),
+            objective,
+            obs,
+            weights,
+            iterations=iterations,
+        )
 
     def locate_aoa_only(self, observations: Sequence[ApObservation]) -> LocalizationResult:
         """Eq. 9 restricted to the AoA terms (used by the ArrayTrack baseline)."""
@@ -267,6 +279,7 @@ class Localizer:
         objective: float,
         obs: Sequence[ApObservation],
         weights: np.ndarray,
+        iterations: int = 0,
     ) -> LocalizationResult:
         candidates = np.array([[position.x, position.y]])
         dist, pred_aoa = self._geometry(candidates, obs)
@@ -296,4 +309,5 @@ class Localizer:
             path_loss=model,
             aoa_residuals_deg=aoa_resid,
             rssi_residuals_db=rssi_resid,
+            iterations=iterations,
         )

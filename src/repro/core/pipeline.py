@@ -27,6 +27,7 @@ from repro.core.music import MusicConfig
 from repro.core.smoothing import SmoothingConfig
 from repro.core.steering import SteeringModel
 from repro.errors import ClusteringError, EstimationError, LocalizationError
+from repro.obs import NOOP_TRACER, cluster_summary, downsample_spectrum
 from repro.runtime.executor import Executor, SerialExecutor
 from repro.wifi.arrays import UniformLinearArray
 from repro.wifi.csi import CsiTrace
@@ -157,6 +158,17 @@ class SpotFi:
         runs in this process with the shared ``rng``, so a
         :class:`~repro.runtime.executor.ParallelExecutor` yields the same
         fixes as serial.
+    tracer:
+        A :class:`repro.obs.Tracer` producing hierarchical spans
+        (``locate > ap[k] > sanitize|smooth|music|cluster > solve``)
+        with per-stage timings and attributes; defaults to the zero-cost
+        :data:`~repro.obs.NOOP_TRACER`.  With a real tracer, per-packet
+        estimation runs inline stage by stage (bypassing the executor)
+        so each stage's wall-clock is attributable — tracing is a
+        diagnostic mode, not a serving mode.  When the tracer's
+        :class:`~repro.obs.ObsConfig` sets ``capture_artifacts``, spans
+        also carry the downsampled mean MUSIC pseudospectrum and
+        per-cluster (AoA, ToF) statistics.
     """
 
     def __init__(
@@ -166,11 +178,13 @@ class SpotFi:
         config: Optional[SpotFiConfig] = None,
         rng: Optional[np.random.Generator] = None,
         executor: Optional[Executor] = None,
+        tracer=None,
     ) -> None:
         self.grid = grid
         self.config = config or SpotFiConfig()
         self.bounds = bounds
         self.executor = executor or SerialExecutor()
+        self.tracer = tracer or NOOP_TRACER
         self._rng = rng or np.random.default_rng(0)
         self._estimators: dict = {}
 
@@ -212,6 +226,8 @@ class SpotFi:
 
     def process_ap(self, array: UniformLinearArray, trace: CsiTrace) -> ApReport:
         """Lines 2-10 for one AP: estimate, cluster, select direct path."""
+        if self.tracer.enabled:
+            return self._traced_ap_report(array, trace, 0)
         used = trace[: self.config.packets_per_fix]
         rssi = used.median_rssi_dbm()
         try:
@@ -258,6 +274,86 @@ class SpotFi:
             clusters=tuple(clusters),
         )
 
+    def _traced_ap_report(
+        self, array: UniformLinearArray, trace: CsiTrace, index: int
+    ) -> ApReport:
+        """Lines 2-10 for one AP with per-stage spans.
+
+        Runs the estimator stage by stage inline (no executor fan-out) so
+        sanitize/smooth/music each get an attributable wall-clock; the
+        executor path cannot provide that because workers interleave
+        whole packets.  Numerically identical to the untraced path.
+        """
+        tracer = self.tracer
+        capture = tracer.config.capture_artifacts
+        used = trace[: self.config.packets_per_fix]
+        rssi = used.median_rssi_dbm()
+        estimator = self.estimator_for(array)
+        with tracer.span(
+            f"ap[{index}]",
+            packets=len(used),
+            num_antennas=array.num_antennas,
+            rssi_dbm=float(rssi),
+        ) as ap_span:
+            try:
+                with tracer.span("sanitize", packets=len(used)):
+                    sanitized = [estimator.stage_sanitize(f.csi) for f in used]
+                with tracer.span("smooth"):
+                    smoothed = [estimator.stage_smooth(c) for c in sanitized]
+                with tracer.span("music", packets=len(smoothed)) as music_span:
+                    estimates: List = []
+                    spectrum_sum = None
+                    aoa_grid = tof_grid = None
+                    for i, x in enumerate(smoothed):
+                        spectrum, aoa_grid, tof_grid = estimator.stage_music(x)
+                        estimates.extend(
+                            estimator.stage_peaks(
+                                spectrum, aoa_grid, tof_grid, packet_index=i
+                            )
+                        )
+                        if capture:
+                            spectrum_sum = (
+                                spectrum
+                                if spectrum_sum is None
+                                else spectrum_sum + spectrum
+                            )
+                    music_span.set("estimates", len(estimates))
+                    if capture and spectrum_sum is not None:
+                        music_span.set(
+                            "pseudospectrum",
+                            downsample_spectrum(
+                                spectrum_sum / len(smoothed),
+                                aoa_grid,
+                                tof_grid,
+                                tracer.config.artifact_max_bins,
+                            ),
+                        )
+            except EstimationError as exc:
+                ap_span.set("estimation_error", str(exc))
+                ap_span.set("usable", False)
+                return ApReport(array=array, direct=None, rssi_dbm=rssi)
+            with tracer.span("cluster", num_estimates=len(estimates)) as cl_span:
+                report = self._cluster_report(array, used, rssi, estimates)
+                if report.usable:
+                    cl_span.set_many(
+                        num_clusters=len(report.clusters),
+                        direct_aoa_deg=float(report.direct.aoa_deg),
+                        direct_likelihood=float(report.direct.likelihood),
+                        likelihoods=[
+                            round(float(l), 5)
+                            for l in report.direct.all_likelihoods
+                        ],
+                    )
+                    if capture:
+                        cl_span.set(
+                            "clusters",
+                            cluster_summary(
+                                report.clusters, report.direct.all_likelihoods
+                            ),
+                        )
+            ap_span.set("usable", report.usable)
+        return report
+
     # ------------------------------------------------------------------
     # Fusion (Alg. 2 line 12)
     # ------------------------------------------------------------------
@@ -268,15 +364,36 @@ class SpotFi:
 
         Per-packet estimation for *all* APs is submitted to the executor
         as one batch, so a parallel executor overlaps packets across APs;
-        clustering and fusion then run here in AP order.
+        clustering and fusion then run here in AP order.  With tracing
+        enabled the whole run is wrapped in a ``locate`` span.
         """
-        reports = self.process_aps(ap_traces)
-        return self.locate_from_reports(reports)
+        with self.tracer.span("locate", num_aps=len(ap_traces)) as span:
+            reports = self.process_aps(ap_traces)
+            fix = self.locate_from_reports(reports)
+            if self.tracer.enabled:
+                span.set_many(
+                    usable_aps=sum(1 for r in reports if r.usable),
+                    position=[
+                        round(float(fix.position.x), 4),
+                        round(float(fix.position.y), 4),
+                    ],
+                )
+            return fix
 
     def process_aps(
         self, ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]]
     ) -> Tuple[ApReport, ...]:
-        """Lines 1-11 for several APs, fanning estimation across the executor."""
+        """Lines 1-11 for several APs, fanning estimation across the executor.
+
+        With tracing enabled, each AP instead runs the inline per-stage
+        path (see :meth:`_traced_ap_report`) so the span tree covers
+        every stage.
+        """
+        if self.tracer.enabled:
+            return tuple(
+                self._traced_ap_report(array, trace, k)
+                for k, (array, trace) in enumerate(ap_traces)
+            )
         prepared = []
         tasks = []
         for array, trace in ap_traces:
@@ -328,5 +445,16 @@ class SpotFi:
             rssi_weight=self.config.rssi_weight,
             use_likelihood_weights=self.config.use_likelihood_weights,
         )
-        result = localizer.locate(observations)
+        with self.tracer.span("solve", num_observations=len(observations)) as span:
+            result = localizer.locate(observations)
+            if self.tracer.enabled:
+                span.set_many(
+                    objective=float(result.objective),
+                    iterations=int(result.iterations),
+                    mean_abs_aoa_residual_deg=float(
+                        np.mean(np.abs(result.aoa_residuals_deg))
+                    )
+                    if result.aoa_residuals_deg
+                    else 0.0,
+                )
         return SpotFiFix(result=result, reports=tuple(reports))

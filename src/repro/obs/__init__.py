@@ -1,0 +1,55 @@
+"""Observability for the SpotFi pipeline: tracing, histograms, exposition.
+
+SpotFi's accuracy hinges on a chain of stages — ToF sanitization
+(Alg. 1), smoothed-CSI 2-D MUSIC (Sec. 3.1), likelihood clustering
+(Eq. 8) and the localization solve (Eq. 9) — and a bad fix gives no
+insight into *which* stage degraded it.  This package is the diagnostic
+layer:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` producing hierarchical spans
+  (``locate > ap[k] > sanitize|smooth|music|cluster > solve``) with
+  wall-clock and stage attributes, a JSONL :class:`JsonlSpanExporter`,
+  and an in-memory ring buffer.  The default :data:`NOOP_TRACER` is
+  zero-cost, so instrumented code paths pay nothing until tracing is
+  switched on.
+* :mod:`repro.obs.histogram` — fixed log-scale bucket
+  :class:`Histogram` with p50/p90/p99 quantile estimates and exact
+  cross-process ``merge``, backing
+  :class:`~repro.runtime.metrics.RuntimeMetrics`.
+* :mod:`repro.obs.prometheus` — ``render_prometheus(snapshot)``
+  plain-text exposition of a metrics snapshot.
+* :mod:`repro.obs.artifacts` — opt-in capture of downsampled MUSIC
+  pseudospectra and per-cluster (AoA, ToF) statistics into the trace
+  (``ObsConfig(capture_artifacts=True)``).
+"""
+
+from repro.obs.artifacts import cluster_summary, downsample_spectrum
+from repro.obs.config import ObsConfig
+from repro.obs.histogram import DEFAULT_TIMING_BUCKETS, Histogram, log_buckets
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import (
+    NOOP_TRACER,
+    JsonlSpanExporter,
+    NoopTracer,
+    Span,
+    Tracer,
+    format_span_tree,
+    load_spans,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "Span",
+    "JsonlSpanExporter",
+    "load_spans",
+    "format_span_tree",
+    "Histogram",
+    "log_buckets",
+    "DEFAULT_TIMING_BUCKETS",
+    "render_prometheus",
+    "downsample_spectrum",
+    "cluster_summary",
+]

@@ -1,0 +1,67 @@
+"""Stage artifact capture: downsampled pseudospectra and cluster stats.
+
+mD-Track-style per-stage diagnostic artifacts — what the pseudospectrum
+looked like, how tight each (AoA, ToF) cluster was — are the primary
+debugging tool for super-resolution estimators: a bad fix traced with
+``ObsConfig(capture_artifacts=True)`` carries enough state to see
+*which* stage degraded it without re-running the pipeline.
+
+Artifacts are plain JSON-serializable dicts sized for trace spans: the
+full A x T MUSIC pseudospectrum (hundreds of grid points per axis) is
+strided down to at most ``max_bins`` per axis and converted to dB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def downsample_spectrum(
+    spectrum: np.ndarray,
+    aoa_grid_deg: np.ndarray,
+    tof_grid_s: np.ndarray,
+    max_bins: int = 32,
+) -> Dict[str, object]:
+    """Strided, dB-scaled view of a MUSIC pseudospectrum for a trace span.
+
+    Returns ``{"aoa_deg": [...], "tof_ns": [...], "power_db": [[...]]}``
+    with at most ``max_bins`` entries per axis.  Striding (rather than
+    averaging) keeps peak positions honest at reduced resolution.
+    """
+    spectrum = np.asarray(spectrum, dtype=float)
+    aoa = np.asarray(aoa_grid_deg, dtype=float)
+    tof = np.asarray(tof_grid_s, dtype=float)
+    row_step = max(1, int(np.ceil(spectrum.shape[0] / max_bins)))
+    col_step = max(1, int(np.ceil(spectrum.shape[1] / max_bins)))
+    small = spectrum[::row_step, ::col_step]
+    with np.errstate(divide="ignore"):
+        power_db = 10.0 * np.log10(np.maximum(small, np.finfo(float).tiny))
+    return {
+        "aoa_deg": [round(float(v), 2) for v in aoa[::row_step]],
+        "tof_ns": [round(float(v) * 1e9, 3) for v in tof[::col_step]],
+        "power_db": [[round(float(v), 2) for v in row] for row in power_db],
+    }
+
+
+def cluster_summary(clusters: Sequence, likelihoods: Sequence[float] = ()) -> List[Dict[str, float]]:
+    """Per-cluster (AoA, ToF) statistics for the ``cluster`` span.
+
+    ``clusters`` are :class:`~repro.core.clustering.PathCluster` values;
+    ``likelihoods``, when given, align with them (Eq. 8 outputs).
+    """
+    out: List[Dict[str, float]] = []
+    for i, cluster in enumerate(clusters):
+        entry = {
+            "mean_aoa_deg": round(float(cluster.mean_aoa_deg), 3),
+            "mean_tof_ns": round(float(cluster.mean_tof_s) * 1e9, 4),
+            "std_aoa_deg": round(float(np.sqrt(cluster.var_aoa_deg2)), 4),
+            "std_tof_ns": round(float(np.sqrt(cluster.var_tof_s2)) * 1e9, 4),
+            "count": int(cluster.count),
+            "mean_power": float(cluster.mean_power),
+        }
+        if i < len(likelihoods):
+            entry["likelihood"] = round(float(likelihoods[i]), 5)
+        out.append(entry)
+    return out

@@ -1,0 +1,48 @@
+"""Observability configuration knobs.
+
+Kept in a tiny standalone module so anything (pipeline, server, CLI,
+benchmarks) can import :class:`ObsConfig` without pulling the tracer or
+exposition machinery along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Tunables for tracing and stage artifact capture.
+
+    Attributes
+    ----------
+    capture_artifacts:
+        Record heavyweight stage artifacts into trace spans: the
+        downsampled per-AP mean MUSIC pseudospectrum (``music`` span)
+        and per-cluster (AoA, ToF) statistics (``cluster`` span).  Off
+        by default — artifacts cost memory and serialized trace size,
+        and exist for post-mortem analysis, not steady-state serving.
+    artifact_max_bins:
+        Downsampling cap per pseudospectrum axis.  The full spectrum is
+        A x T grid points (hundreds each); artifacts keep at most this
+        many rows/columns by strided subsampling.
+    max_finished_spans:
+        Capacity of the tracer's in-memory ring buffer of finished root
+        spans.  Oldest spans are discarded first.
+    """
+
+    capture_artifacts: bool = False
+    artifact_max_bins: int = 32
+    max_finished_spans: int = 256
+
+    def __post_init__(self) -> None:
+        if self.artifact_max_bins < 2:
+            raise ConfigurationError(
+                f"artifact_max_bins must be >= 2, got {self.artifact_max_bins}"
+            )
+        if self.max_finished_spans < 1:
+            raise ConfigurationError(
+                f"max_finished_spans must be >= 1, got {self.max_finished_spans}"
+            )

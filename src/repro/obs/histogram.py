@@ -1,0 +1,208 @@
+"""Fixed-bucket log-scale histograms with quantile estimation.
+
+The runtime metrics used to keep ``[count, total, max]`` per stage,
+which answers "how slow on average" but not "how slow at the tail" —
+and tail latency is what a serving deployment actually provisions for.
+A :class:`Histogram` keeps a fixed array of log-spaced bucket counters
+instead: observation is O(log B), memory is constant, quantiles come
+from linear interpolation inside the covering bucket, and two
+histograms with the same bounds merge by adding counters — which is
+what lets :class:`~repro.runtime.executor.ParallelExecutor` workers
+ship their per-item timings back to the parent process exactly.
+
+Buckets are *upper* bounds (Prometheus ``le`` semantics): observation
+``v`` lands in the first bucket with ``v <= bound``; anything above the
+last bound lands in the implicit ``+Inf`` overflow bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def log_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` log-spaced upper bounds: ``start * factor**i``.
+
+    ``log_buckets(1e-6, 4.0, 14)`` spans 1 microsecond to ~67 seconds —
+    the default timing range, two buckets per decade.
+    """
+    if start <= 0:
+        raise ConfigurationError(f"bucket start must be > 0, got {start}")
+    if factor <= 1:
+        raise ConfigurationError(f"bucket factor must be > 1, got {factor}")
+    if count < 1:
+        raise ConfigurationError(f"bucket count must be >= 1, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default timing buckets: 1 us .. ~67 s, a factor of 4 per bucket.
+DEFAULT_TIMING_BUCKETS = log_buckets(1e-6, 4.0, 14)
+
+
+class Histogram:
+    """Counter-per-bucket histogram over fixed upper bounds.
+
+    Not thread-safe by itself; :class:`~repro.runtime.metrics.RuntimeMetrics`
+    guards its histograms with its own lock.  All state is plain data so
+    instances pickle cleanly across process boundaries.
+    """
+
+    __slots__ = ("bounds", "counts", "overflow", "total", "sum", "max", "min")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_TIMING_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"bucket bounds must be strictly increasing, got {bounds}"
+            )
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0  # the +Inf bucket
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+        self.min = float("inf")
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        if index >= len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Add ``other``'s counters into this histogram (exact, in place).
+
+        Both histograms must share identical bucket bounds — merging is
+        how worker processes' per-item timings aggregate into the parent
+        snapshot, and mismatched bounds would silently misbucket.
+        """
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.overflow += other.overflow
+        self.total += other.total
+        self.sum += other.sum
+        self.max = max(self.max, other.max)
+        self.min = min(self.min, other.min)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of every observation (0.0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) by in-bucket interpolation.
+
+        The covering bucket is found from the cumulative counts; the
+        estimate interpolates linearly between the bucket's lower and
+        upper bound.  Observations in the ``+Inf`` overflow bucket are
+        estimated with the recorded maximum.  Returns 0.0 when empty.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                # Clamp to what was actually seen so a single observation
+                # reports itself, not its bucket's upper bound.
+                lo = max(lo, min(self.min, hi))
+                hi = min(hi, self.max)
+                fraction = (rank - cumulative) / count
+                return lo + (hi - lo) * fraction
+            cumulative += count
+        return self.max
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.9, 0.99)) -> Dict[str, float]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` style summary."""
+        return {f"p{int(q * 100)}": self.quantile(q) for q in qs}
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with +Inf.
+
+        This is exactly the Prometheus ``le`` series shape.
+        """
+        out: List[Tuple[float, int]] = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        out.append((float("inf"), cumulative + self.overflow))
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization (worker -> parent, snapshot -> exposition)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form for snapshots and cross-process shipping."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "total": self.total,
+            "sum": self.sum,
+            "max": self.max,
+            "min": self.min if self.total else 0.0,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram produced by :meth:`to_dict`."""
+        hist = cls(bounds=data["bounds"])  # type: ignore[arg-type]
+        hist.counts = [int(c) for c in data["counts"]]  # type: ignore[index]
+        hist.overflow = int(data["overflow"])
+        hist.total = int(data["total"])
+        hist.sum = float(data["sum"])
+        hist.max = float(data["max"])
+        hist.min = float(data["min"]) if hist.total else float("inf")
+        return hist
+
+    def copy(self) -> "Histogram":
+        """Independent deep copy (snapshots must not alias live counters)."""
+        clone = Histogram(self.bounds)
+        clone.counts = list(self.counts)
+        clone.overflow = self.overflow
+        clone.total = self.total
+        clone.sum = self.sum
+        clone.max = self.max
+        clone.min = self.min
+        return clone
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(total={self.total}, mean={self.mean:.3g}, "
+            f"max={self.max:.3g}, buckets={len(self.bounds)})"
+        )

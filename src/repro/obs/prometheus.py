@@ -1,0 +1,124 @@
+"""Prometheus-style plain-text exposition of a metrics snapshot.
+
+:func:`render_prometheus` turns the plain-data snapshot produced by
+:meth:`repro.runtime.metrics.RuntimeMetrics.snapshot` (optionally
+augmented with a ``cache`` section, as
+:meth:`repro.server.SpotFiServer.metrics_snapshot` does) into the
+text format scrapers expect:
+
+* counters -> ``repro_<name>_total``
+* stage timings -> one ``repro_stage_duration_seconds`` histogram per
+  stage (cumulative ``le`` buckets, ``_sum``, ``_count``) plus
+  ``repro_stage_duration_seconds{quantile=...}`` gauge estimates and
+  batch/item gauges
+* steering cache stats -> ``repro_steering_cache_*`` gauges including
+  the derived hit rate
+
+No Prometheus client library involved — the format is a stable,
+trivially rendered text protocol, and the container must not grow
+dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(raw: str, prefix: str) -> str:
+    """Sanitize a dotted counter name into a Prometheus metric name."""
+    name = _NAME_RE.sub("_", raw.replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return f"{prefix}_{name}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value; +Inf spelled the Prometheus way."""
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _render_histogram(
+    lines: List[str], name: str, stage: str, hist: Mapping[str, object]
+) -> None:
+    """Append one labeled histogram series from its dict form."""
+    bounds = list(hist.get("bounds", []))
+    counts = list(hist.get("counts", []))
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += int(count)
+        lines.append(
+            f'{name}_bucket{{stage="{stage}",le="{_fmt(float(bound))}"}} {cumulative}'
+        )
+    total = cumulative + int(hist.get("overflow", 0))
+    lines.append(f'{name}_bucket{{stage="{stage}",le="+Inf"}} {total}')
+    lines.append(f'{name}_sum{{stage="{stage}"}} {_fmt(float(hist.get("sum", 0.0)))}')
+    lines.append(f'{name}_count{{stage="{stage}"}} {total}')
+
+
+def render_prometheus(
+    snapshot: Mapping[str, object], prefix: str = "repro"
+) -> str:
+    """Render a metrics snapshot as Prometheus plain-text exposition.
+
+    Parameters
+    ----------
+    snapshot:
+        ``{"counters": {...}, "timings": {...}}`` from
+        :meth:`~repro.runtime.metrics.RuntimeMetrics.snapshot`, plus an
+        optional ``{"cache": {...}}`` section of steering-cache stats.
+    prefix:
+        Metric name prefix (default ``repro``).
+
+    Returns the exposition text, newline-terminated.
+    """
+    lines: List[str] = []
+
+    counters: Dict[str, int] = dict(snapshot.get("counters", {}))  # type: ignore[arg-type]
+    for raw in sorted(counters):
+        name = _metric_name(raw, prefix) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {int(counters[raw])}")
+
+    timings: Dict[str, Mapping[str, object]] = dict(snapshot.get("timings", {}))  # type: ignore[arg-type]
+    if timings:
+        hist_name = f"{prefix}_stage_duration_seconds"
+        lines.append(f"# TYPE {hist_name} histogram")
+        for stage in sorted(timings):
+            hist: Optional[Mapping[str, object]] = timings[stage].get("histogram")  # type: ignore[assignment]
+            if hist:
+                _render_histogram(lines, hist_name, stage, hist)
+        quant_name = f"{prefix}_stage_duration_seconds_quantile"
+        lines.append(f"# TYPE {quant_name} gauge")
+        for stage in sorted(timings):
+            quantiles: Mapping[str, float] = timings[stage].get("quantiles", {})  # type: ignore[assignment]
+            for label, value in quantiles.items():
+                q = int(label.lstrip("p")) / 100.0
+                lines.append(
+                    f'{quant_name}{{stage="{stage}",quantile="{q}"}} {_fmt(value)}'
+                )
+        for gauge, key in (
+            ("stage_batches", "batches"),
+            ("stage_items", "items"),
+            ("stage_max_seconds", "max_s"),
+        ):
+            name = f"{prefix}_{gauge}"
+            lines.append(f"# TYPE {name} gauge")
+            for stage in sorted(timings):
+                value = timings[stage].get(key, 0)
+                lines.append(f'{name}{{stage="{stage}"}} {_fmt(value)}')
+
+    cache: Mapping[str, float] = snapshot.get("cache", {})  # type: ignore[assignment]
+    if cache:
+        for key in sorted(cache):
+            suffix = "_total" if key in ("hits", "misses", "evictions") else ""
+            name = f"{prefix}_steering_cache_{key}{suffix}"
+            kind = "counter" if suffix else "gauge"
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {_fmt(cache[key])}")
+
+    return "\n".join(lines) + "\n"

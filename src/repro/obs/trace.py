@@ -1,0 +1,378 @@
+"""Hierarchical tracing: spans, exporters, and the no-op fast path.
+
+A :class:`Tracer` produces one :class:`Span` tree per top-level
+operation — for SpotFi, ``locate > ap[k] > sanitize|smooth|music|cluster
+> solve`` — with wall-clock timing and free-form attributes (packet
+counts, cluster likelihoods, the chosen direct-path AoA, solver
+iterations/residuals).  Finished root spans land in an in-memory ring
+buffer and are handed to every registered exporter, e.g. a
+:class:`JsonlSpanExporter` writing one JSON object per line.
+
+The default tracer everywhere is :data:`NOOP_TRACER`: its ``span()``
+returns a shared inert handle whose ``__enter__``/``__exit__``/``set``
+do nothing, so instrumented code paths cost a single attribute lookup
+when tracing is off.  ``benchmarks/bench_obs_overhead.py`` asserts that
+this stays below the regression budget.
+
+Span identity is deterministic (a per-tracer counter, no RNG, no
+global clock dependency beyond ``time.time`` for the start stamp), so
+replaying a dataset produces byte-comparable traces modulo timing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.config import ObsConfig
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree.
+
+    Attributes
+    ----------
+    name:
+        Operation name (``locate``, ``ap[0]``, ``music``...).
+    span_id:
+        Identifier unique within the tracer (``s1``, ``s2``...).
+    parent_id:
+        Enclosing span's id, or None for a root span.
+    trace_id:
+        Root span's id, shared by the whole tree.
+    start_time_s:
+        Wall-clock start (``time.time`` epoch seconds).
+    duration_s:
+        Elapsed monotonic time (``time.perf_counter`` based).
+    status:
+        ``"ok"``, or ``"error"`` when the body raised.
+    attributes:
+        Free-form JSON-serializable key/value pairs.
+    children:
+        Child spans in start order.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    trace_id: str
+    start_time_s: float
+    duration_s: float = 0.0
+    status: str = "ok"
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    # -- recording -----------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def set_many(self, **attributes: Any) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+
+    # -- reading -------------------------------------------------------
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span in the tree (including self) with the given name."""
+        return [s for s in self.iter_spans() if s.name == name]
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form; inverse of :func:`span_from_dict`."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start_time_s": self.start_time_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+def span_from_dict(data: Dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` tree from :meth:`Span.to_dict` output."""
+    return Span(
+        name=data["name"],
+        span_id=data["span_id"],
+        parent_id=data.get("parent_id"),
+        trace_id=data["trace_id"],
+        start_time_s=float(data["start_time_s"]),
+        duration_s=float(data["duration_s"]),
+        status=data.get("status", "ok"),
+        attributes=dict(data.get("attributes", {})),
+        children=[span_from_dict(c) for c in data.get("children", [])],
+    )
+
+
+class SpanExporter:
+    """Interface: receives every finished *root* span."""
+
+    def export(self, span: Span) -> None:
+        """Persist or forward one finished root span (subclasses override)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (default: nothing to do)."""
+
+
+class JsonlSpanExporter(SpanExporter):
+    """Write each finished root span as one JSON line.
+
+    Accepts a path (opened lazily, append mode) or an open text stream.
+    Lines round-trip through :func:`load_spans`.
+    """
+
+    def __init__(self, path_or_stream) -> None:
+        if hasattr(path_or_stream, "write"):
+            self._stream: Optional[IO[str]] = path_or_stream
+            self._path = None
+            self._owns_stream = False
+        else:
+            self._stream = None
+            self._path = str(path_or_stream)
+            self._owns_stream = True
+
+    def export(self, span: Span) -> None:
+        """Append ``span`` (with its whole subtree) as one JSONL record."""
+        if self._stream is None:
+            self._stream = open(self._path, "a", encoding="utf-8")
+        json.dump(span.to_dict(), self._stream, separators=(",", ":"))
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Close the underlying file if this exporter opened it."""
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+def load_spans(path) -> List[Span]:
+    """Read every root span from a :class:`JsonlSpanExporter` file."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return spans
+
+
+class _ActiveSpan:
+    """Context-manager handle for one live span of a real tracer."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the underlying span."""
+        self.span.set(key, value)
+
+    def set_many(self, **attributes: Any) -> None:
+        """Attach several attributes to the underlying span."""
+        self.span.set_many(**attributes)
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self.span)
+
+
+class _NoopSpan:
+    """Shared inert span handle: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        """Discard the attribute (tracing is off)."""
+
+    def set_many(self, **attributes: Any) -> None:
+        """Discard the attributes (tracing is off)."""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces hierarchical spans with an in-memory ring of finished roots.
+
+    Thread-safe: each thread keeps its own span stack (a ``locate`` on
+    thread A never adopts thread B's spans as children), while the
+    finished-span ring and exporters are shared under a lock.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.obs.config.ObsConfig`; controls the ring size and
+        whether the pipeline captures stage artifacts.
+    exporters:
+        :class:`SpanExporter` instances receiving every finished root.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        config: Optional[ObsConfig] = None,
+        exporters: Sequence[SpanExporter] = (),
+    ) -> None:
+        self.config = config or ObsConfig()
+        self.exporters = list(exporters)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: "deque[Span]" = deque(maxlen=self.config.max_finished_spans)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a span; use as a context manager.
+
+        The span nests under the innermost span currently open on this
+        thread; closing it appends it to its parent (or, for a root, to
+        the ring buffer and every exporter).
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            self._next_id += 1
+            span_id = f"s{self._next_id}"
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            trace_id=parent.trace_id if parent is not None else span_id,
+            start_time_s=time.time(),
+            attributes=dict(attributes),
+        )
+        span._started_perf = time.perf_counter()  # type: ignore[attr-defined]
+        stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            raise ConfigurationError(
+                f"span {span.name!r} closed out of order; open stack: "
+                f"{[s.name for s in stack]}"
+            )
+        span.duration_s = time.perf_counter() - span._started_perf  # type: ignore[attr-defined]
+        del span._started_perf  # type: ignore[attr-defined]
+        stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+            return
+        with self._lock:
+            self._finished.append(span)
+            exporters = list(self.exporters)
+        for exporter in exporters:
+            exporter.export(span)
+
+    # ------------------------------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        """Finished root spans, oldest first (bounded by the ring size)."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        """Drop every buffered finished span."""
+        with self._lock:
+            self._finished.clear()
+
+    def close(self) -> None:
+        """Close every exporter."""
+        for exporter in self.exporters:
+            exporter.close()
+
+
+class NoopTracer:
+    """The zero-cost default: ``span()`` returns a shared inert handle.
+
+    ``enabled`` is False so instrumented call sites can skip building
+    attribute dicts entirely (``if tracer.enabled: ...``); even without
+    that guard, entering a no-op span is a few attribute lookups.
+    """
+
+    enabled = False
+    config = ObsConfig()
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        """Return the shared no-op span handle."""
+        return _NOOP_SPAN
+
+    def finished_spans(self) -> List[Span]:
+        """Always empty: nothing is recorded."""
+        return []
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+#: Shared no-op tracer; the default for every instrumented component.
+NOOP_TRACER = NoopTracer()
+
+
+def format_span_tree(span: Span, indent: int = 0, _lines: Optional[List[str]] = None) -> str:
+    """Render a span tree as an indented text outline.
+
+    Durations are shown in milliseconds; attributes inline, arrays
+    elided to their shapes so artifact-laden spans stay readable.
+    """
+    lines: List[str] = [] if _lines is None else _lines
+    attrs = []
+    for key, value in span.attributes.items():
+        if isinstance(value, dict):
+            attrs.append(f"{key}=<{len(value)}-key artifact>")
+        elif isinstance(value, (list, tuple)) and len(value) > 6:
+            attrs.append(f"{key}=<{len(value)} items>")
+        elif isinstance(value, list) and any(isinstance(v, dict) for v in value):
+            attrs.append(f"{key}=<{len(value)} records>")
+        elif isinstance(value, float):
+            attrs.append(f"{key}={value:.4g}")
+        else:
+            attrs.append(f"{key}={value}")
+    suffix = f"  [{', '.join(attrs)}]" if attrs else ""
+    marker = "" if span.status == "ok" else f"  !{span.status}"
+    lines.append(
+        f"{'  ' * indent}{span.name:<{max(1, 24 - 2 * indent)}} "
+        f"{span.duration_s * 1e3:9.2f} ms{marker}{suffix}"
+    )
+    for child in span.children:
+        format_span_tree(child, indent + 1, lines)
+    return "\n".join(lines)

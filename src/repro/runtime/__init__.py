@@ -14,7 +14,13 @@ this package supplies the engineering layer that makes it scale:
   ingest buffer with an explicit overflow policy that keeps
   :class:`~repro.server.SpotFiServer` memory-safe under burst floods.
 * :mod:`repro.runtime.metrics` — :class:`RuntimeMetrics`, counters and
-  stage timings threaded through submit/complete/drop events.
+  histogram-backed stage timings (batch + item dimensions, p50/p90/p99
+  tail estimates) threaded through submit/complete/drop events; worker
+  processes merge their per-item histograms back into the parent.
+
+The diagnostic layer on top — hierarchical tracing, Prometheus-style
+exposition of a metrics snapshot, stage artifact capture — lives in
+:mod:`repro.obs`.
 """
 
 from repro.runtime.cache import SteeringCache, SteeringGrids, default_steering_cache

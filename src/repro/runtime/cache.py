@@ -107,14 +107,21 @@ class SteeringCache:
         return grids
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss/eviction counters and current entry count."""
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters, entry count, and derived hit rate.
+
+        ``hit_rate`` is hits / (hits + misses), 0.0 before any lookup —
+        the gauge :func:`repro.obs.prometheus.render_prometheus` exposes
+        as ``repro_steering_cache_hit_rate``.
+        """
         with self._lock:
+            lookups = self._hits + self._misses
             return {
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "entries": len(self._entries),
+                "hit_rate": self._hits / lookups if lookups else 0.0,
             }
 
     def clear(self) -> None:

@@ -20,10 +20,38 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.histogram import Histogram
 from repro.runtime.metrics import RuntimeMetrics
+
+
+class _ChunkRunner:
+    """Picklable worker task: run a chunk, timing each item.
+
+    Workers cannot write to the parent's :class:`RuntimeMetrics`, so each
+    chunk call observes its items into a process-local
+    :class:`~repro.obs.histogram.Histogram` and returns it (as plain
+    data) alongside the results; the parent merges every chunk's
+    histogram back into its own metrics.  Exceptions propagate with
+    their original type, exactly like an unwrapped ``pool.map``.
+    """
+
+    __slots__ = ("fn", "bounds")
+
+    def __init__(self, fn: Callable, bounds: Tuple[float, ...]) -> None:
+        self.fn = fn
+        self.bounds = bounds
+
+    def __call__(self, chunk: Sequence) -> Tuple[List, dict]:
+        hist = Histogram(self.bounds)
+        results: List = []
+        for item in chunk:
+            start = time.perf_counter()
+            results.append(self.fn(item))
+            hist.observe(time.perf_counter() - start)
+        return results, hist.to_dict()
 
 
 class Executor:
@@ -99,6 +127,12 @@ class ParallelExecutor(Executor):
     :meth:`close` (or use the executor as a context manager) to reap the
     workers.  Exceptions raised by a task propagate to the caller with
     their original type, matching the serial path.
+
+    Items ship to workers in explicit chunks wrapped by
+    :class:`_ChunkRunner`, which times every item into a process-local
+    histogram; the parent merges those histograms into its
+    :class:`RuntimeMetrics`, so ``snapshot()`` reports true per-item
+    latency quantiles even though the work ran in other processes.
     """
 
     def __init__(
@@ -137,15 +171,20 @@ class ParallelExecutor(Executor):
             return []
         self.metrics.record_submit(stage, len(items))
         chunksize = max(1, len(items) // (self._workers * self._chunk_factor))
+        chunks = [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+        runner = _ChunkRunner(fn, self.metrics.bucket_bounds)
         start = time.perf_counter()
         try:
-            results = list(self._ensure_pool().map(fn, items, chunksize=chunksize))
+            chunk_results = list(self._ensure_pool().map(runner, chunks))
         except Exception:
             self.metrics.record_error(stage, len(items))
             raise
-        self.metrics.record_complete(
-            stage, time.perf_counter() - start, n=len(items)
-        )
+        elapsed = time.perf_counter() - start
+        results: List = []
+        for chunk_items, hist_data in chunk_results:
+            results.extend(chunk_items)
+            self.metrics.merge_item_histogram(stage, Histogram.from_dict(hist_data))
+        self.metrics.record_complete(stage, elapsed, n=len(items))
         return results
 
     def close(self) -> None:

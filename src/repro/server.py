@@ -30,6 +30,8 @@ import time
 from repro.core.pipeline import SpotFi, SpotFiFix
 from repro.errors import ConfigurationError, LocalizationError
 from repro.geom.points import Point
+from repro.obs.prometheus import render_prometheus
+from repro.runtime.cache import default_steering_cache
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.queues import OVERFLOW_POLICIES, PacketBuffer
 from repro.tracking.kalman import KalmanTrack2D
@@ -273,5 +275,31 @@ class SpotFiServer:
         }
 
     def metrics_snapshot(self) -> Dict[str, dict]:
-        """Runtime counters and timings (see :class:`RuntimeMetrics`)."""
-        return self.metrics.snapshot()
+        """Runtime counters, timings, and steering-cache stats.
+
+        The ``counters``/``timings`` sections come from
+        :meth:`RuntimeMetrics.snapshot` (histogram-backed, batch + item
+        dimensions); ``cache`` adds the process-wide
+        :class:`~repro.runtime.cache.SteeringCache` hit/miss/eviction
+        counters and derived hit rate.  When the pipeline's executor
+        keeps its own :class:`RuntimeMetrics`, its stages (e.g.
+        ``estimate``) are folded in too.
+        """
+        snapshot = self.metrics.snapshot()
+        executor_metrics = getattr(self.spotfi.executor, "metrics", None)
+        if executor_metrics is not None and executor_metrics is not self.metrics:
+            merged = RuntimeMetrics(bucket_bounds=self.metrics.bucket_bounds)
+            merged.merge(self.metrics)
+            merged.merge(executor_metrics)
+            snapshot = merged.snapshot()
+        snapshot["cache"] = default_steering_cache().stats()
+        return snapshot
+
+    def metrics_exposition(self) -> str:
+        """Prometheus-style plain-text exposition of the full snapshot.
+
+        This is the payload a ``/metrics`` endpoint would serve; the
+        ``repro serve`` CLI prints it on exit and
+        :func:`repro.obs.render_prometheus` documents the format.
+        """
+        return render_prometheus(self.metrics_snapshot())

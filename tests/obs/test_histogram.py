@@ -1,0 +1,178 @@
+"""Tests for the fixed-bucket histogram: quantiles, merge, serialization."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import DEFAULT_TIMING_BUCKETS, Histogram, log_buckets
+
+
+class TestLogBuckets:
+    def test_geometric_spacing(self):
+        assert log_buckets(1e-6, 4.0, 3) == (1e-6, 4e-6, 1.6e-5)
+
+    def test_default_covers_micro_to_minute(self):
+        assert DEFAULT_TIMING_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_TIMING_BUCKETS[-1] > 60.0
+        assert len(DEFAULT_TIMING_BUCKETS) == 14
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            log_buckets(0.0, 4.0, 3)
+        with pytest.raises(ConfigurationError):
+            log_buckets(1e-6, 1.0, 3)
+        with pytest.raises(ConfigurationError):
+            log_buckets(1e-6, 4.0, 0)
+
+
+class TestObserve:
+    def test_le_semantics_boundary_inclusive(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        hist.observe(1.0)  # exactly on a bound -> that bucket
+        hist.observe(1.5)
+        hist.observe(10.0)
+        hist.observe(11.0)  # above the last bound -> overflow
+        assert hist.counts == [1, 2]
+        assert hist.overflow == 1
+        assert hist.total == 4
+        assert hist.sum == pytest.approx(23.5)
+        assert hist.max == 11.0
+        assert hist.min == 1.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=())
+
+    def test_mean_and_len(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        assert hist.mean == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == pytest.approx(3.0)
+        assert len(hist) == 2
+
+
+class TestQuantiles:
+    def test_uniform_known_distribution(self):
+        # 100 observations spread uniformly over (0, 10]; with bucket
+        # bounds every unit the interpolated quantiles are near-exact.
+        hist = Histogram(bounds=tuple(float(b) for b in range(1, 11)))
+        for i in range(100):
+            hist.observe((i + 1) * 0.1)
+        assert hist.quantile(0.5) == pytest.approx(5.0, abs=0.2)
+        assert hist.quantile(0.9) == pytest.approx(9.0, abs=0.2)
+        assert hist.quantile(0.99) == pytest.approx(9.9, abs=0.2)
+        assert hist.quantile(1.0) == pytest.approx(10.0, abs=0.2)
+
+    def test_single_observation_reports_itself(self):
+        hist = Histogram()
+        hist.observe(0.003)
+        # Without min/max clamping this would report the bucket bound.
+        assert hist.quantile(0.5) == pytest.approx(0.003)
+        assert hist.quantile(0.99) == pytest.approx(0.003)
+
+    def test_constant_distribution(self):
+        hist = Histogram()
+        for _ in range(50):
+            hist.observe(0.02)
+        for q in (0.5, 0.9, 0.99):
+            assert hist.quantile(q) == pytest.approx(0.02)
+
+    def test_overflow_quantile_uses_max(self):
+        hist = Histogram(bounds=(1.0,))
+        hist.observe(100.0)
+        hist.observe(200.0)
+        assert hist.quantile(0.99) == 200.0
+
+    def test_quantiles_summary_keys(self):
+        hist = Histogram()
+        hist.observe(0.01)
+        summary = hist.quantiles()
+        assert set(summary) == {"p50", "p90", "p99"}
+
+    def test_empty_histogram(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram().quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            Histogram().quantile(1.5)
+
+
+class TestMerge:
+    def test_merge_equals_combined_observation(self):
+        values_a = [0.001 * (i + 1) for i in range(40)]
+        values_b = [0.01 * (i + 1) for i in range(60)]
+        a, b, combined = Histogram(), Histogram(), Histogram()
+        for v in values_a:
+            a.observe(v)
+            combined.observe(v)
+        for v in values_b:
+            b.observe(v)
+            combined.observe(v)
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.overflow == combined.overflow
+        assert a.total == combined.total
+        assert a.sum == pytest.approx(combined.sum)
+        assert a.max == combined.max
+        assert a.min == combined.min
+        for q in (0.5, 0.9, 0.99):
+            assert a.quantile(q) == pytest.approx(combined.quantile(q))
+
+    def test_mismatched_bounds_rejected(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 3.0))
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_empty_is_identity(self):
+        a = Histogram()
+        a.observe(0.5)
+        before = a.to_dict()
+        a.merge(Histogram())
+        assert a.to_dict() == before
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        hist = Histogram()
+        for v in (1e-5, 3e-4, 0.02, 0.02, 5.0):
+            hist.observe(v)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.to_dict() == hist.to_dict()
+        assert clone.quantile(0.5) == hist.quantile(0.5)
+
+    def test_empty_round_trip(self):
+        clone = Histogram.from_dict(Histogram().to_dict())
+        assert clone.total == 0
+        assert clone.min == float("inf")  # ready to keep observing
+
+    def test_copy_is_independent(self):
+        hist = Histogram()
+        hist.observe(0.1)
+        clone = hist.copy()
+        clone.observe(0.2)
+        assert hist.total == 1
+        assert clone.total == 2
+
+    def test_pickles_across_processes(self):
+        hist = Histogram()
+        hist.observe(0.01)
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone.to_dict() == hist.to_dict()
+
+    def test_cumulative_buckets_shape(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(9.0)
+        assert hist.cumulative_buckets() == [
+            (1.0, 1),
+            (2.0, 2),
+            (float("inf"), 3),
+        ]

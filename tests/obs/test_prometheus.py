@@ -1,0 +1,143 @@
+"""Tests for the Prometheus plain-text exposition renderer."""
+
+import pytest
+
+from repro.obs import Histogram, render_prometheus
+from repro.runtime import RuntimeMetrics
+
+
+def _snapshot_with_traffic():
+    metrics = RuntimeMetrics()
+    for elapsed in (0.002, 0.004, 0.008, 0.5):
+        metrics.record_complete("estimate", elapsed)
+    metrics.increment("ingest.accepted", 7)
+    metrics.record_drop("overflow", 2)
+    snapshot = metrics.snapshot()
+    snapshot["cache"] = {
+        "entries": 3,
+        "hits": 9,
+        "misses": 3,
+        "evictions": 1,
+        "hit_rate": 0.75,
+    }
+    return snapshot
+
+
+def _parse_samples(text):
+    """name{labels} -> float value, ignoring # TYPE comments."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+class TestRenderPrometheus:
+    def test_counters_become_totals(self):
+        samples = _parse_samples(render_prometheus(_snapshot_with_traffic()))
+        assert samples["repro_ingest_accepted_total"] == 7
+        assert samples["repro_drop_overflow_total"] == 2
+        assert samples["repro_estimate_completed_total"] == 4
+
+    def test_histogram_buckets_cumulative_and_monotonic(self):
+        text = render_prometheus(_snapshot_with_traffic())
+        bucket_values = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('repro_stage_duration_seconds_bucket{stage="estimate"')
+        ]
+        assert bucket_values == sorted(bucket_values)
+        assert bucket_values[-1] == 4  # le="+Inf" holds every observation
+
+    def test_inf_bucket_equals_count(self):
+        samples = _parse_samples(render_prometheus(_snapshot_with_traffic()))
+        inf = samples['repro_stage_duration_seconds_bucket{stage="estimate",le="+Inf"}']
+        count = samples['repro_stage_duration_seconds_count{stage="estimate"}']
+        assert inf == count == 4
+
+    def test_sum_matches_observations(self):
+        samples = _parse_samples(render_prometheus(_snapshot_with_traffic()))
+        assert samples['repro_stage_duration_seconds_sum{stage="estimate"}'] == (
+            pytest.approx(0.514)
+        )
+
+    def test_quantile_gauges_present(self):
+        samples = _parse_samples(render_prometheus(_snapshot_with_traffic()))
+        for q in ("0.5", "0.9", "0.99"):
+            key = f'repro_stage_duration_seconds_quantile{{stage="estimate",quantile="{q}"}}'
+            assert key in samples
+            assert samples[key] > 0
+
+    def test_batch_and_item_gauges(self):
+        samples = _parse_samples(render_prometheus(_snapshot_with_traffic()))
+        assert samples['repro_stage_batches{stage="estimate"}'] == 4
+        assert samples['repro_stage_items{stage="estimate"}'] == 4
+        assert samples['repro_stage_max_seconds{stage="estimate"}'] == (
+            pytest.approx(0.5)
+        )
+
+    def test_cache_section_rendered(self):
+        samples = _parse_samples(render_prometheus(_snapshot_with_traffic()))
+        assert samples["repro_steering_cache_hits_total"] == 9
+        assert samples["repro_steering_cache_misses_total"] == 3
+        assert samples["repro_steering_cache_evictions_total"] == 1
+        assert samples["repro_steering_cache_entries"] == 3
+        assert samples["repro_steering_cache_hit_rate"] == 0.75
+
+    def test_type_lines_precede_samples(self):
+        text = render_prometheus(_snapshot_with_traffic())
+        lines = text.splitlines()
+        seen_types = set()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split()[2])
+            elif line:
+                base = line.split("{", 1)[0].split(" ", 1)[0]
+                matches = [
+                    t
+                    for t in seen_types
+                    if base == t or base in (f"{t}_bucket", f"{t}_sum", f"{t}_count")
+                ]
+                assert matches, f"sample {base} has no preceding # TYPE"
+
+    def test_custom_prefix(self):
+        text = render_prometheus(_snapshot_with_traffic(), prefix="spotfi")
+        assert "spotfi_stage_duration_seconds_bucket" in text
+        assert "repro_" not in text
+
+    def test_empty_snapshot(self):
+        assert render_prometheus({"counters": {}, "timings": {}}) == "\n"
+
+    def test_ends_with_newline(self):
+        assert render_prometheus(_snapshot_with_traffic()).endswith("\n")
+
+    def test_histogram_dict_rendering_matches_cumulative(self):
+        hist = Histogram(bounds=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.05, 5.0):
+            hist.observe(v)
+        snapshot = {
+            "counters": {},
+            "timings": {
+                "fix": {
+                    "batches": 4,
+                    "items": 4,
+                    "max_s": 5.0,
+                    "quantiles": hist.quantiles(),
+                    "histogram": hist.to_dict(),
+                }
+            },
+        }
+        samples = _parse_samples(render_prometheus(snapshot))
+        expected = dict(
+            zip(
+                ('le="0.001"', 'le="0.01"', 'le="0.1"', 'le="+Inf"'),
+                (1, 2, 3, 4),
+            )
+        )
+        for le, cumulative in expected.items():
+            assert (
+                samples[f'repro_stage_duration_seconds_bucket{{stage="fix",{le}}}']
+                == cumulative
+            )

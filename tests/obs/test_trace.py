@@ -1,0 +1,223 @@
+"""Tests for the span tracer: nesting, export, ring buffer, no-op path."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    NOOP_TRACER,
+    JsonlSpanExporter,
+    NoopTracer,
+    ObsConfig,
+    Span,
+    Tracer,
+    format_span_tree,
+    load_spans,
+)
+from repro.obs.trace import span_from_dict
+
+
+class TestSpanNesting:
+    def test_children_nest_under_parent(self):
+        tracer = Tracer()
+        with tracer.span("locate") as root:
+            with tracer.span("ap[0]"):
+                with tracer.span("music"):
+                    pass
+            with tracer.span("solve"):
+                pass
+        (span,) = tracer.finished_spans()
+        assert span.name == "locate"
+        assert [c.name for c in span.children] == ["ap[0]", "solve"]
+        assert [c.name for c in span.children[0].children] == ["music"]
+
+    def test_parent_and_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        (root,) = tracer.finished_spans()
+        child = root.children[0]
+        assert root.parent_id is None
+        assert root.trace_id == root.span_id
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.span_id
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("locate", num_aps=3) as span:
+            span.set("position", [1.0, 2.0])
+            span.set_many(usable_aps=3, objective=0.5)
+        (root,) = tracer.finished_spans()
+        assert root.attributes == {
+            "num_aps": 3,
+            "position": [1.0, 2.0],
+            "usable_aps": 3,
+            "objective": 0.5,
+        }
+
+    def test_durations_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        (root,) = tracer.finished_spans()
+        assert root.duration_s >= root.children[0].duration_s >= 0.0
+
+    def test_iter_and_find(self):
+        tracer = Tracer()
+        with tracer.span("locate"):
+            for k in range(2):
+                with tracer.span(f"ap[{k}]"):
+                    with tracer.span("music"):
+                        pass
+        (root,) = tracer.finished_spans()
+        assert len(list(root.iter_spans())) == 5
+        assert len(root.find("music")) == 2
+
+    def test_error_status_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("locate"):
+                raise ValueError("boom")
+        (root,) = tracer.finished_spans()
+        assert root.status == "error"
+        assert root.attributes["error"] == "ValueError"
+
+    def test_out_of_order_close_rejected(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        with pytest.raises(ConfigurationError):
+            outer.__exit__(None, None, None)
+        # Clean up the stack for hygiene.
+        inner.__exit__(None, None, None)
+        outer.__exit__(None, None, None)
+
+
+class TestRingBuffer:
+    def test_ring_buffer_caps_finished_spans(self):
+        tracer = Tracer(config=ObsConfig(max_finished_spans=3))
+        for k in range(7):
+            with tracer.span(f"op{k}"):
+                pass
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["op4", "op5", "op6"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert tracer.finished_spans() == []
+
+
+class TestJsonlExport:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(exporters=[JsonlSpanExporter(path)])
+        with tracer.span("locate", num_aps=2) as span:
+            span.set("position", [3.3, 2.7])
+            with tracer.span("ap[0]", packets=6):
+                pass
+        tracer.close()
+        (loaded,) = load_spans(path)
+        (original,) = tracer.finished_spans()
+        assert loaded.to_dict() == original.to_dict()
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(exporters=[JsonlSpanExporter(path)])
+        for _ in range(3):
+            with tracer.span("op"):
+                pass
+        tracer.close()
+        lines = [l for l in path.read_text().splitlines() if l]
+        assert len(lines) == 3
+        for line in lines:
+            assert json.loads(line)["name"] == "op"
+
+    def test_stream_exporter_not_closed(self):
+        stream = io.StringIO()
+        tracer = Tracer(exporters=[JsonlSpanExporter(stream)])
+        with tracer.span("op"):
+            pass
+        tracer.close()  # must not close a caller-owned stream
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["name"] == "op"
+
+    def test_span_from_dict_defaults(self):
+        span = span_from_dict(
+            {
+                "name": "x",
+                "span_id": "s1",
+                "trace_id": "s1",
+                "start_time_s": 0.0,
+                "duration_s": 0.5,
+            }
+        )
+        assert span.status == "ok"
+        assert span.children == []
+        assert span.parent_id is None
+
+
+class TestNoopTracer:
+    def test_disabled_flag(self):
+        assert NoopTracer.enabled is False
+        assert Tracer.enabled is True
+
+    def test_span_is_shared_inert_handle(self):
+        a = NOOP_TRACER.span("locate", num_aps=3)
+        b = NOOP_TRACER.span("music")
+        assert a is b
+        with a as span:
+            span.set("k", 1)
+            span.set_many(x=2)
+        assert NOOP_TRACER.finished_spans() == []
+
+    def test_clear_and_close_are_noops(self):
+        NOOP_TRACER.clear()
+        NOOP_TRACER.close()
+
+
+class TestFormatSpanTree:
+    def _tree(self):
+        return Span(
+            name="locate",
+            span_id="s1",
+            parent_id=None,
+            trace_id="s1",
+            start_time_s=0.0,
+            duration_s=0.25,
+            attributes={
+                "num_aps": 2,
+                "objective": 0.123456,
+                "pseudospectrum": {"aoa_deg": [], "tof_ns": [], "power_db": []},
+                "likelihoods": [0.1] * 10,
+            },
+            children=[
+                Span(
+                    name="music",
+                    span_id="s2",
+                    parent_id="s1",
+                    trace_id="s1",
+                    start_time_s=0.0,
+                    duration_s=0.2,
+                    status="error",
+                )
+            ],
+        )
+
+    def test_tree_layout_and_elision(self):
+        text = format_span_tree(self._tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("locate")
+        assert "250.00 ms" in lines[0]
+        assert "num_aps=2" in lines[0]
+        assert "objective=0.1235" in lines[0]
+        assert "pseudospectrum=<3-key artifact>" in lines[0]
+        assert "likelihoods=<10 items>" in lines[0]
+        assert lines[1].lstrip().startswith("music")
+        assert "!error" in lines[1]

@@ -43,6 +43,7 @@ class TestSteeringCache:
         assert first is second
         assert cache.stats() == {
             "hits": 1, "misses": 1, "evictions": 0, "entries": 1,
+            "hit_rate": 0.5,
         }
 
     def test_distinct_configs_get_distinct_entries(self):
@@ -60,6 +61,7 @@ class TestSteeringCache:
         cache.grids_for(make_model(), MusicConfig())  # new but equal objects
         assert cache.stats() == {
             "hits": 1, "misses": 1, "evictions": 0, "entries": 1,
+            "hit_rate": 0.5,
         }
 
     def test_lru_eviction_bound(self):
@@ -86,6 +88,7 @@ class TestSteeringCache:
         assert len(cache) == 0
         assert cache.stats() == {
             "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+            "hit_rate": 0.0,
         }
 
     def test_invalid_bound_rejected(self):

@@ -1,0 +1,128 @@
+"""Tests for RuntimeMetrics: batch/item dimensions, merge, worker histograms."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Histogram
+from repro.runtime import ParallelExecutor, RuntimeMetrics, SerialExecutor
+
+
+def slow_square(x):
+    time.sleep(0.001)
+    return x * x
+
+
+class TestBatchVsItemDimensions:
+    def test_single_item_batches(self):
+        metrics = RuntimeMetrics()
+        for elapsed in (0.01, 0.02, 0.03):
+            metrics.record_complete("estimate", elapsed)
+        timing = metrics.snapshot()["timings"]["estimate"]
+        assert timing["batches"] == 3
+        assert timing["items"] == 3
+        assert timing["count"] == 3  # legacy key == batches
+        assert timing["mean_s"] == pytest.approx(0.02)
+        assert timing["histogram"]["total"] == 3
+
+    def test_multi_item_batch_counts_both_dimensions(self):
+        metrics = RuntimeMetrics()
+        metrics.record_complete("estimate", 0.4, n=4)
+        timing = metrics.snapshot()["timings"]["estimate"]
+        assert timing["batches"] == 1
+        assert timing["items"] == 4
+        assert timing["count"] == 1
+        assert timing["mean_s"] == pytest.approx(0.4)  # per batch
+        assert timing["mean_item_s"] == pytest.approx(0.1)  # per item
+        # A multi-item batch does NOT feed the per-item histogram — that
+        # is the workers' job via merge_item_histogram.
+        assert timing["histogram"]["total"] == 0
+
+    def test_completed_counter_counts_items(self):
+        metrics = RuntimeMetrics()
+        metrics.record_complete("estimate", 0.4, n=4)
+        metrics.record_complete("estimate", 0.1)
+        assert metrics.counter("estimate.completed") == 5
+
+    def test_merge_item_histogram(self):
+        metrics = RuntimeMetrics()
+        worker = Histogram(metrics.bucket_bounds)
+        for v in (0.01, 0.02, 0.03):
+            worker.observe(v)
+        metrics.record_complete("estimate", 0.06, n=3)
+        metrics.merge_item_histogram("estimate", worker)
+        timing = metrics.snapshot()["timings"]["estimate"]
+        assert timing["histogram"]["total"] == 3
+        assert timing["quantiles"]["p50"] == pytest.approx(0.02, rel=0.5)
+
+    def test_mismatched_worker_bounds_rejected(self):
+        metrics = RuntimeMetrics()
+        with pytest.raises(ConfigurationError):
+            metrics.merge_item_histogram("estimate", Histogram(bounds=(1.0, 2.0)))
+
+
+class TestMergeInstances:
+    def test_counters_and_timings_add(self):
+        a, b = RuntimeMetrics(), RuntimeMetrics()
+        a.increment("ingest.accepted", 3)
+        a.record_complete("fix", 0.2)
+        b.increment("ingest.accepted", 4)
+        b.increment("fix.ok")
+        b.record_complete("fix", 0.4)
+        b.record_complete("estimate", 0.1, n=2)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["ingest.accepted"] == 7
+        assert snap["counters"]["fix.ok"] == 1
+        assert snap["timings"]["fix"]["batches"] == 2
+        assert snap["timings"]["fix"]["total_s"] == pytest.approx(0.6)
+        assert snap["timings"]["fix"]["max_s"] == pytest.approx(0.4)
+        assert snap["timings"]["fix"]["histogram"]["total"] == 2
+        assert snap["timings"]["estimate"]["items"] == 2
+
+    def test_merge_leaves_source_untouched(self):
+        a, b = RuntimeMetrics(), RuntimeMetrics()
+        b.record_complete("fix", 0.1)
+        a.merge(b)
+        a.record_complete("fix", 0.2)
+        assert b.snapshot()["timings"]["fix"]["batches"] == 1
+
+    def test_merge_into_empty(self):
+        a, b = RuntimeMetrics(), RuntimeMetrics()
+        b.record_complete("fix", 0.1)
+        a.merge(b)
+        assert a.snapshot()["timings"]["fix"]["batches"] == 1
+
+
+class TestExecutorHistograms:
+    def test_serial_executor_feeds_per_item_histogram(self):
+        metrics = RuntimeMetrics()
+        SerialExecutor(metrics).map_ordered(slow_square, range(5), stage="estimate")
+        timing = metrics.snapshot()["timings"]["estimate"]
+        assert timing["batches"] == 5
+        assert timing["items"] == 5
+        assert timing["histogram"]["total"] == 5
+        assert timing["quantiles"]["p50"] >= 0.001
+
+    def test_parallel_workers_merge_histograms_into_parent(self):
+        metrics = RuntimeMetrics()
+        with ParallelExecutor(workers=2, metrics=metrics) as ex:
+            results = ex.map_ordered(slow_square, range(8), stage="estimate")
+        assert results == [x * x for x in range(8)]
+        timing = metrics.snapshot()["timings"]["estimate"]
+        # One map_ordered call = one batch, but every item's duration
+        # (timed inside the worker processes) reaches the parent.
+        assert timing["batches"] == 1
+        assert timing["items"] == 8
+        assert timing["histogram"]["total"] == 8
+        assert timing["quantiles"]["p99"] >= timing["quantiles"]["p50"] >= 0.001
+
+    def test_parallel_quantiles_reflect_item_latency_not_batch(self):
+        metrics = RuntimeMetrics()
+        with ParallelExecutor(workers=2, metrics=metrics) as ex:
+            ex.map_ordered(slow_square, range(8), stage="estimate")
+        timing = metrics.snapshot()["timings"]["estimate"]
+        # The batch wall-clock covers all 8 items; per-item p99 must be
+        # far below it (items run for ~1 ms each).
+        assert timing["quantiles"]["p99"] < timing["total_s"]

@@ -155,6 +155,117 @@ class TestServe:
         assert "runtime counters" in text
         assert "ingest.accepted" in text
 
+    def test_serve_prints_exposition_on_exit(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "8"])
+        capsys.readouterr()
+        rc = main(["serve", str(out), "--testbed", "small", "--packets", "8"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "--- metrics exposition ---" in text
+        # The shared RuntimeMetrics means the executor's estimate stage
+        # shows up next to the server's fix accounting.
+        assert 'repro_stage_duration_seconds_bucket{stage="estimate"' in text
+        assert 'repro_stage_duration_seconds_bucket{stage="fix"' in text
+        assert "repro_steering_cache_hit_rate" in text
+
+
+class TestTrace:
+    def test_trace_covers_every_stage(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "6"])
+        capsys.readouterr()
+        rc = main(["trace", str(out), "--testbed", "small", "--packets", "6"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        for stage in ("locate", "ap[0]", "sanitize", "smooth", "music", "cluster", "solve"):
+            assert stage in text, f"span tree missing stage {stage}"
+        assert "fix: (" in text
+
+    def test_trace_jsonl_round_trip(self, tmp_path, capsys):
+        from repro.obs import load_spans
+
+        out = tmp_path / "c.npz"
+        spans_path = tmp_path / "spans.jsonl"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "6"])
+        capsys.readouterr()
+        rc = main(
+            [
+                "trace",
+                str(out),
+                "--testbed",
+                "small",
+                "--packets",
+                "6",
+                "--artifacts",
+                "--jsonl",
+                str(spans_path),
+            ]
+        )
+        assert rc == 0
+        (root,) = load_spans(spans_path)
+        assert root.name == "locate"
+        names = {s.name for s in root.iter_spans()}
+        assert {"sanitize", "smooth", "music", "cluster", "solve"} <= names
+        # --artifacts captures a downsampled pseudospectrum per AP.
+        (music,) = root.children[0].find("music")
+        assert "pseudospectrum" in music.attributes
+        assert "power_db" in music.attributes["pseudospectrum"]
+
+    def test_trace_matches_untraced_fix(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "6"])
+        capsys.readouterr()
+        main(["locate", str(out), "--testbed", "small", "--packets", "6"])
+        untraced = capsys.readouterr().out
+        main(["trace", str(out), "--testbed", "small", "--packets", "6"])
+        traced = capsys.readouterr().out
+        # Same position to the printed precision: tracing must not
+        # perturb the numerics.
+        plain = untraced.split("SpotFi fix")[1].splitlines()[0]
+        assert plain.split(":")[1].strip().rstrip("m").strip() in traced
+
+
+class TestMetricsCommand:
+    def test_metrics_prints_exposition(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "6"])
+        capsys.readouterr()
+        rc = main(["metrics", str(out), "--testbed", "small", "--packets", "6"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_stage_duration_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert 'quantile="0.99"' in text
+        assert "repro_steering_cache_hit_rate" in text
+
+    def test_metrics_with_parallel_workers(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        main(["simulate", str(out), "--testbed", "small", "--packets", "6"])
+        capsys.readouterr()
+        rc = main(
+            [
+                "metrics",
+                str(out),
+                "--testbed",
+                "small",
+                "--packets",
+                "6",
+                "--workers",
+                "2",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        # Worker histograms merged back: the per-item count covers every
+        # packet even though the parent recorded a single batch.
+        count_line = next(
+            l
+            for l in text.splitlines()
+            if l.startswith('repro_stage_duration_seconds_count{stage="estimate"}')
+        )
+        assert int(float(count_line.rsplit(" ", 1)[1])) == 24
+
 
 class TestFloorplan:
     def test_floorplan_command(self, capsys):
