@@ -46,6 +46,20 @@ from repro.core import (
     smooth_csi,
 )
 from repro.core.esprit import EspritEstimator
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
+    ValidationError,
+)
+from repro.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    FrameValidator,
+    RetryPolicy,
+    ValidationPolicy,
+)
 from repro.geom import Floorplan, Point, RayTracer, Segment
 from repro.obs import (
     Histogram,
@@ -71,12 +85,18 @@ __version__ = "1.0.0"
 __all__ = [
     "ApObservation",
     "ChannelSimulator",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CsiFrame",
     "CsiTrace",
+    "DeadlineExceededError",
     "DirectPathEstimate",
     "EspritEstimator",
+    "FaultInjector",
+    "FaultSpec",
     "FixEvent",
     "Floorplan",
+    "FrameValidator",
     "Histogram",
     "KalmanTrack2D",
     "ImpairmentModel",
@@ -95,6 +115,8 @@ __all__ = [
     "Point",
     "PropagationPath",
     "RayTracer",
+    "ReproError",
+    "RetryPolicy",
     "RuntimeMetrics",
     "Segment",
     "SerialExecutor",
@@ -108,6 +130,8 @@ __all__ = [
     "SteeringModel",
     "Tracer",
     "UniformLinearArray",
+    "ValidationError",
+    "ValidationPolicy",
     "cluster_estimates",
     "create_executor",
     "render_prometheus",

@@ -18,6 +18,10 @@ Commands:
   captures downsampled pseudospectra and cluster statistics.
 * ``metrics`` — localize a saved dataset and print the Prometheus-style
   exposition of the runtime metrics it produced.
+* ``chaos`` — run a seeded fault-injection scenario end to end through
+  the streaming server (injector + validator + circuit breakers) and
+  report fix success rate, accuracy, quarantine and breaker activity;
+  exits non-zero when the success rate falls below ``--min-success``.
 * ``inspect`` — summarize a saved dataset (APs, packets, RSSI, truth).
 * ``floorplan`` — render a testbed's floorplan, APs and targets as ASCII.
 
@@ -284,6 +288,38 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# chaos
+# ----------------------------------------------------------------------
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a fault-injection scenario and gate on the fix success rate."""
+    from repro.faults.chaos import format_report, run_chaos
+
+    report = run_chaos(
+        scenario=args.scenario,
+        testbed=args.testbed,
+        seed=args.seed,
+        packets_per_fix=args.packets,
+        bursts=args.bursts,
+        min_aps=args.min_aps,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    rate = 100.0 * report.success_rate
+    if rate < args.min_success:
+        print(
+            f"FAIL: fix success rate {rate:.0f}% below threshold "
+            f"{args.min_success:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # inspect
 # ----------------------------------------------------------------------
 def cmd_inspect(args: argparse.Namespace) -> int:
@@ -435,6 +471,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for per-packet estimation (1 = serial)",
     )
     p.set_defaults(func=cmd_metrics)
+
+    from repro.faults.chaos import SCENARIOS
+
+    p = sub.add_parser(
+        "chaos", help="run a seeded fault-injection scenario end to end"
+    )
+    p.add_argument("--scenario", default="mixed", choices=SCENARIOS)
+    p.add_argument("--testbed", default="small", choices=sorted(_TESTBEDS))
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--packets", type=int, default=8, help="packets per fix burst")
+    p.add_argument("--bursts", type=int, default=4, help="bursts to stream")
+    p.add_argument("--min-aps", type=int, default=2)
+    p.add_argument(
+        "--min-success",
+        type=float,
+        default=90.0,
+        help="fail (exit 1) when fix success rate %% is below this",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("inspect", help="summarize a saved dataset")
     p.add_argument("dataset", help=".npz dataset path")

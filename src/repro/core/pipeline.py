@@ -26,7 +26,12 @@ from repro.core.localization import ApObservation, LocalizationResult, Localizer
 from repro.core.music import MusicConfig
 from repro.core.smoothing import SmoothingConfig
 from repro.core.steering import SteeringModel
-from repro.errors import ClusteringError, EstimationError, LocalizationError
+from repro.errors import (
+    ClusteringError,
+    EstimationError,
+    LocalizationError,
+    ReproError,
+)
 from repro.obs import NOOP_TRACER, cluster_summary, downsample_spectrum
 from repro.runtime.executor import Executor, SerialExecutor
 from repro.wifi.arrays import UniformLinearArray
@@ -73,6 +78,13 @@ class SpotFiConfig:
         Coarse localization grid resolution.
     use_likelihood_weights:
         Weight APs by l_i in Eq. 9 (ablation switch).
+    min_aps:
+        Usable-AP quorum for a fix.  A degraded AP (estimation or
+        clustering failure, blackout, deadline miss) is dropped and the
+        Eq. 9 solve proceeds on the survivors — whose likelihood weights
+        the solver renormalizes to mean 1, redistributing the lost AP's
+        influence — as long as at least this many remain (floor 2; one
+        AoA does not intersect).
     """
 
     smoothing: SmoothingConfig = field(default_factory=SmoothingConfig)
@@ -89,6 +101,7 @@ class SpotFiConfig:
     rssi_weight: float = 1.0
     grid_step_m: float = 0.25
     use_likelihood_weights: bool = True
+    min_aps: int = 2
 
 
 @dataclass(frozen=True)
@@ -107,6 +120,9 @@ class ApReport:
         All per-packet (AoA, ToF) estimates.
     clusters:
         The clusters the estimates formed.
+    failure:
+        Why the AP degraded (``"ErrorType: detail"``) when ``direct`` is
+        None; None for a usable AP.
     """
 
     array: UniformLinearArray
@@ -114,10 +130,16 @@ class ApReport:
     rssi_dbm: float
     estimates: Tuple[PathEstimate, ...] = ()
     clusters: Tuple[PathCluster, ...] = ()
+    failure: Optional[str] = None
 
     @property
     def usable(self) -> bool:
         return self.direct is not None
+
+
+def _failure_text(exc: BaseException) -> str:
+    """One-line ``"ErrorType: detail"`` diagnostic for a degraded AP."""
+    return f"{type(exc).__name__}: {exc}"
 
 
 @dataclass(frozen=True)
@@ -130,6 +152,16 @@ class SpotFiFix:
     @property
     def position(self):
         return self.result.position
+
+    @property
+    def degraded(self) -> bool:
+        """True when any contributing AP failed and the fix used a quorum."""
+        return any(not r.usable for r in self.reports)
+
+    @property
+    def degraded_aps(self) -> Tuple[int, ...]:
+        """Indices (into ``reports``) of the APs that degraded."""
+        return tuple(i for i, r in enumerate(self.reports) if not r.usable)
 
     def error_to(self, truth) -> float:
         return self.result.error_to(truth)
@@ -225,7 +257,13 @@ class SpotFi:
         return self._estimators[key]
 
     def process_ap(self, array: UniformLinearArray, trace: CsiTrace) -> ApReport:
-        """Lines 2-10 for one AP: estimate, cluster, select direct path."""
+        """Lines 2-10 for one AP: estimate, cluster, select direct path.
+
+        Any :class:`~repro.errors.ReproError` the AP's estimation raises
+        (bad CSI, no peaks, an executor deadline miss) degrades this AP —
+        ``direct=None`` with ``failure`` recorded — instead of
+        propagating, so callers can proceed on the surviving quorum.
+        """
         if self.tracer.enabled:
             return self._traced_ap_report(array, trace, 0)
         used = trace[: self.config.packets_per_fix]
@@ -234,8 +272,13 @@ class SpotFi:
             estimates = self.estimator_for(array).estimate_trace(
                 used, executor=self.executor
             )
-        except EstimationError:
-            return ApReport(array=array, direct=None, rssi_dbm=rssi)
+        except ReproError as exc:
+            return ApReport(
+                array=array,
+                direct=None,
+                rssi_dbm=rssi,
+                failure=_failure_text(exc),
+            )
         return self._cluster_report(array, used, rssi, estimates)
 
     def _cluster_report(
@@ -264,8 +307,13 @@ class SpotFi:
                 min_cluster_size=min_size,
             )
             direct = select_direct_path(clusters, self.config.likelihood)
-        except (EstimationError, ClusteringError):
-            return ApReport(array=array, direct=None, rssi_dbm=rssi)
+        except (EstimationError, ClusteringError) as exc:
+            return ApReport(
+                array=array,
+                direct=None,
+                rssi_dbm=rssi,
+                failure=_failure_text(exc),
+            )
         return ApReport(
             array=array,
             direct=direct,
@@ -328,10 +376,15 @@ class SpotFi:
                                 tracer.config.artifact_max_bins,
                             ),
                         )
-            except EstimationError as exc:
+            except ReproError as exc:
                 ap_span.set("estimation_error", str(exc))
                 ap_span.set("usable", False)
-                return ApReport(array=array, direct=None, rssi_dbm=rssi)
+                return ApReport(
+                    array=array,
+                    direct=None,
+                    rssi_dbm=rssi,
+                    failure=_failure_text(exc),
+                )
             with tracer.span("cluster", num_estimates=len(estimates)) as cl_span:
                 report = self._cluster_report(array, used, rssi, estimates)
                 if report.usable:
@@ -373,6 +426,7 @@ class SpotFi:
             if self.tracer.enabled:
                 span.set_many(
                     usable_aps=sum(1 for r in reports if r.usable),
+                    degraded_aps=list(fix.degraded_aps),
                     position=[
                         round(float(fix.position.x), 4),
                         round(float(fix.position.y), 4),
@@ -388,6 +442,14 @@ class SpotFi:
         With tracing enabled, each AP instead runs the inline per-stage
         path (see :meth:`_traced_ap_report`) so the span tree covers
         every stage.
+
+        Failure isolation: per-packet :class:`EstimationError` values are
+        already carried through the batch by
+        :func:`~repro.core.estimator.estimate_packet_safe`; when the
+        batched map itself raises a :class:`~repro.errors.ReproError`
+        (a structural CSI error, a deadline miss), estimation falls back
+        to one map per AP so the failure degrades only the AP that
+        caused it instead of aborting every AP's fix.
         """
         if self.tracer.enabled:
             return tuple(
@@ -399,30 +461,82 @@ class SpotFi:
         for array, trace in ap_traces:
             used = trace[: self.config.packets_per_fix]
             estimator = self.estimator_for(array)
-            prepared.append((array, used))
+            prepared.append((array, used, estimator))
             for index, frame in enumerate(used):
                 tasks.append((estimator, frame.csi, index))
-        results = self.executor.map_ordered(
-            estimate_packet_safe, tasks, stage="estimate"
-        )
+        try:
+            results = self.executor.map_ordered(
+                estimate_packet_safe, tasks, stage="estimate"
+            )
+        except ReproError:
+            return tuple(
+                self._isolated_ap_report(array, used, estimator)
+                for array, used, estimator in prepared
+            )
         reports = []
         position = 0
-        for array, used in prepared:
+        for array, used, _ in prepared:
             packet_results = results[position : position + len(used)]
             position += len(used)
             rssi = used.median_rssi_dbm()
-            if any(isinstance(r, EstimationError) for r in packet_results):
-                reports.append(ApReport(array=array, direct=None, rssi_dbm=rssi))
+            errors = [r for r in packet_results if isinstance(r, EstimationError)]
+            if errors:
+                reports.append(
+                    ApReport(
+                        array=array,
+                        direct=None,
+                        rssi_dbm=rssi,
+                        failure=_failure_text(errors[0]),
+                    )
+                )
                 continue
             estimates = [e for packet in packet_results for e in packet]
             reports.append(self._cluster_report(array, used, rssi, estimates))
         return tuple(reports)
 
+    def _isolated_ap_report(
+        self, array: UniformLinearArray, used: CsiTrace, estimator
+    ) -> ApReport:
+        """Re-run one AP's estimation alone after a batched-map failure.
+
+        Duplicate work for the APs that would have succeeded, but only on
+        the failure path — the price of knowing *which* AP poisoned the
+        batch while still fixing from the survivors.
+        """
+        rssi = used.median_rssi_dbm()
+        tasks = [(estimator, frame.csi, index) for index, frame in enumerate(used)]
+        try:
+            packet_results = self.executor.map_ordered(
+                estimate_packet_safe, tasks, stage="estimate"
+            )
+        except ReproError as exc:
+            return ApReport(
+                array=array,
+                direct=None,
+                rssi_dbm=rssi,
+                failure=_failure_text(exc),
+            )
+        errors = [r for r in packet_results if isinstance(r, EstimationError)]
+        if errors:
+            return ApReport(
+                array=array,
+                direct=None,
+                rssi_dbm=rssi,
+                failure=_failure_text(errors[0]),
+            )
+        estimates = [e for packet in packet_results for e in packet]
+        return self._cluster_report(array, used, rssi, estimates)
+
     def locate_from_reports(self, reports: Sequence[ApReport]) -> SpotFiFix:
         """Fuse precomputed per-AP reports into a position fix.
 
-        Raises :class:`LocalizationError` when fewer than two APs produced
-        usable direct-path estimates.
+        Degraded APs are dropped and the Eq. 9 solve runs on the
+        surviving quorum, whose likelihood weights the solver
+        renormalizes to mean 1 (the degraded APs' influence is
+        redistributed).  Raises :class:`LocalizationError` — with the
+        degraded APs attached as ``exc.degraded_aps``, a tuple of
+        ``(report_index, failure)`` pairs — when fewer than
+        ``max(2, config.min_aps)`` APs survive.
         """
         observations = [
             ApObservation(
@@ -434,10 +548,23 @@ class SpotFi:
             for r in reports
             if r.usable
         ]
-        if len(observations) < 2:
-            raise LocalizationError(
-                f"only {len(observations)} APs produced usable direct paths"
+        quorum = max(2, self.config.min_aps)
+        if len(observations) < quorum:
+            degraded = tuple(
+                (i, r.failure or "unusable")
+                for i, r in enumerate(reports)
+                if not r.usable
             )
+            exc = LocalizationError(
+                f"only {len(observations)} of {len(reports)} APs produced "
+                f"usable direct paths (quorum {quorum}); degraded: "
+                + (
+                    "; ".join(f"ap[{i}] {why}" for i, why in degraded)
+                    or "none reported"
+                )
+            )
+            exc.degraded_aps = degraded
+            raise exc
         localizer = Localizer(
             bounds=self.bounds,
             grid_step_m=self.config.grid_step_m,

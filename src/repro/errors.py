@@ -42,3 +42,32 @@ class TraceFormatError(ReproError):
 
 class BackpressureError(ReproError):
     """A bounded ingest buffer is full and its policy is to reject."""
+
+
+class ValidationError(ReproError):
+    """An ingested CSI frame failed validation and was quarantined.
+
+    Raised (or recorded, depending on the
+    :class:`~repro.faults.FrameValidator` policy) when a frame is
+    malformed: wrong shape, non-finite entries, power below the noise
+    floor, or a timestamp that runs backwards.  The offending frame never
+    reaches smoothing/MUSIC.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A per-AP circuit breaker is open and is shedding this call.
+
+    The breaker opened after consecutive failures from the AP; callers
+    should skip the AP (serve from the surviving quorum) and retry after
+    the breaker's recovery window moves it to half-open.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A work item missed its per-packet deadline on the executor.
+
+    Raised by :class:`~repro.runtime.executor.ParallelExecutor` when a
+    chunk of per-packet estimation does not complete within the
+    :class:`~repro.faults.RetryPolicy` timeout after exhausting retries.
+    """

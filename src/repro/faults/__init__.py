@@ -1,0 +1,84 @@
+"""Fault injection, validation, and graceful degradation (``repro.faults``).
+
+The robustness layer around the SpotFi pipeline:
+
+* :mod:`~repro.faults.spec` — the catalog of composable CSI corruptions
+  (:class:`FaultSpec` and friends) plus :func:`raw_frame`/:func:`raw_trace`
+  for building wire-like, unvalidated frames.
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, applying a fault
+  mix to live frames (server chaos layer) or recorded traces (channel
+  impairment wrapper).
+* :mod:`~repro.faults.validator` — :class:`FrameValidator` +
+  :class:`ValidationPolicy`, the admission screen that quarantines
+  malformed CSI before it can reach smoothing or MUSIC.
+* :mod:`~repro.faults.breaker` — :class:`CircuitBreaker`, the per-AP
+  closed/open/half-open failure breaker the server uses to shed flapping
+  APs.
+* :mod:`~repro.faults.retry` — :class:`RetryPolicy`, bounded retries with
+  jittered exponential backoff (used by the runtime executors).
+* :mod:`~repro.faults.chaos` — seeded end-to-end chaos scenarios
+  (:func:`run_chaos`, the ``repro chaos`` command).
+
+The chaos symbols (:func:`run_chaos`, :class:`ChaosReport`,
+:data:`SCENARIOS`, :func:`scenario_specs`, :func:`format_report`) load
+lazily: :mod:`~repro.faults.chaos` pulls in the whole server stack, which
+itself depends on this package's leaf modules, so an eager import here
+would be circular.
+"""
+
+from repro.faults.breaker import BREAKER_STATES, CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import NO_RETRY, RetryPolicy
+from repro.faults.spec import (
+    ApBlackout,
+    DropAntenna,
+    DropFrame,
+    DuplicateFrame,
+    FaultSpec,
+    NanSubcarriers,
+    PhaseGlitch,
+    ReorderFrames,
+    TruncatePacket,
+    ZeroSubcarriers,
+    raw_frame,
+    raw_trace,
+)
+from repro.faults.validator import FrameValidator, ValidationPolicy
+
+_CHAOS_EXPORTS = (
+    "ChaosReport",
+    "SCENARIOS",
+    "format_report",
+    "run_chaos",
+    "scenario_specs",
+)
+
+__all__ = [
+    "ApBlackout",
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "DropAntenna",
+    "DropFrame",
+    "DuplicateFrame",
+    "FaultInjector",
+    "FaultSpec",
+    "FrameValidator",
+    "NO_RETRY",
+    "NanSubcarriers",
+    "PhaseGlitch",
+    "ReorderFrames",
+    "RetryPolicy",
+    "TruncatePacket",
+    "ValidationPolicy",
+    "ZeroSubcarriers",
+    "raw_frame",
+    "raw_trace",
+] + list(_CHAOS_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

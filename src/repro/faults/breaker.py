@@ -1,0 +1,175 @@
+"""Per-AP circuit breaker: shed load from a flapping AP.
+
+An AP whose CSI keeps failing estimation (dead antenna, firmware wedge,
+interference burst) wastes a full MUSIC pass per fix attempt and drags
+every fix toward the failure path.  :class:`CircuitBreaker` implements the
+classic three-state machine:
+
+* **closed** — healthy; calls flow, consecutive failures are counted.
+* **open** — tripped after ``failure_threshold`` consecutive failures;
+  calls are shed (:meth:`allow` returns False, :meth:`call` raises
+  :class:`~repro.errors.CircuitOpenError`) until ``recovery_time_s`` of
+  clock has passed.
+* **half-open** — after the recovery window, up to
+  ``half_open_max_trials`` probe calls are admitted; one success closes
+  the breaker, one failure re-opens it.
+
+Time is an explicit ``now_s`` argument rather than a wall-clock read, so
+the server can drive breakers off packet timestamps — replayed traces
+then exercise exactly the transitions a live deployment would see, and
+tests are deterministic.  Every transition is reported through the
+``on_transition`` callback (the server wires this to metrics counters and
+trace spans).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CircuitOpenError, ConfigurationError
+
+#: Breaker state names, also used as Prometheus gauge values (index).
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+class CircuitBreaker:
+    """Three-state (closed/open/half-open) failure breaker for one AP.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures in the closed state that trip the breaker.
+    recovery_time_s:
+        Clock seconds the breaker stays open before probing (half-open).
+    half_open_max_trials:
+        Probe calls admitted while half-open before further calls are
+        shed again (pending the probes' outcomes).
+    name:
+        Diagnostic label (the AP id) carried into transition callbacks.
+    on_transition:
+        ``callback(name, old_state, new_state, now_s)`` invoked on every
+        state change.
+    """
+
+    __slots__ = (
+        "failure_threshold",
+        "recovery_time_s",
+        "half_open_max_trials",
+        "name",
+        "on_transition",
+        "_state",
+        "_consecutive_failures",
+        "_opened_at_s",
+        "_half_open_trials",
+    )
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time_s: float = 30.0,
+        half_open_max_trials: int = 1,
+        name: str = "",
+        on_transition: Optional[Callable[[str, str, str, float], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_time_s < 0:
+            raise ConfigurationError(
+                f"recovery_time_s must be >= 0, got {recovery_time_s}"
+            )
+        if half_open_max_trials < 1:
+            raise ConfigurationError(
+                f"half_open_max_trials must be >= 1, got {half_open_max_trials}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_time_s = float(recovery_time_s)
+        self.half_open_max_trials = int(half_open_max_trials)
+        self.name = name
+        self.on_transition = on_transition
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at_s = 0.0
+        self._half_open_trials = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state name: ``closed``, ``open`` or ``half-open``."""
+        return self._state
+
+    def _transition(self, new_state: str, now_s: float) -> None:
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(self.name, old, new_state, now_s)
+
+    # ------------------------------------------------------------------
+    def allow(self, now_s: float) -> bool:
+        """Whether a call should be attempted at clock time ``now_s``.
+
+        An open breaker whose recovery window has elapsed moves to
+        half-open here; half-open admits up to ``half_open_max_trials``
+        probes (each ``allow`` that returns True consumes one).
+        """
+        if self._state == "open":
+            if now_s - self._opened_at_s >= self.recovery_time_s:
+                self._half_open_trials = 0
+                self._transition("half-open", now_s)
+            else:
+                return False
+        if self._state == "half-open":
+            if self._half_open_trials >= self.half_open_max_trials:
+                return False
+            self._half_open_trials += 1
+            return True
+        return True
+
+    def record_success(self, now_s: float) -> None:
+        """Note a successful call: closes a half-open breaker."""
+        self._consecutive_failures = 0
+        if self._state == "half-open":
+            self._transition("closed", now_s)
+
+    def record_failure(self, now_s: float) -> None:
+        """Note a failed call: may trip (or re-trip) the breaker."""
+        if self._state == "half-open":
+            self._opened_at_s = now_s
+            self._transition("open", now_s)
+            return
+        self._consecutive_failures += 1
+        if self._state == "closed" and (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at_s = now_s
+            self._transition("open", now_s)
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable, now_s: float, *args, **kwargs):
+        """Run ``fn`` through the breaker.
+
+        Raises :class:`~repro.errors.CircuitOpenError` when the breaker is
+        shedding; otherwise runs ``fn`` and records success/failure (the
+        exception, if any, propagates unchanged).
+        """
+        if not self.allow(now_s):
+            raise CircuitOpenError(
+                f"circuit breaker {self.name or '(unnamed)'} is {self._state}; "
+                f"call shed"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure(now_s)
+            raise
+        self.record_success(now_s)
+        return result
+
+    def reset(self) -> None:
+        """Force the breaker back to closed with no failure history."""
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._half_open_trials = 0

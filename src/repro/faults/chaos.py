@@ -1,0 +1,352 @@
+"""Chaos scenarios: deterministic end-to-end fault drills for the server.
+
+A chaos run streams simulated bursts through a fully armed
+:class:`~repro.server.SpotFiServer` — fault injector corrupting live
+traffic, frame validator quarantining the structural damage, per-AP
+circuit breakers shedding flapping APs — and reports what survived:
+fix success rate, localization error, quarantine/injection counts and
+final breaker states.  Everything is seeded, so a given
+``(scenario, seed)`` pair replays the identical run; that is what lets
+CI assert "the pipeline still fixes >= 90% of bursts under the mixed
+fault load" (``repro chaos --scenario mixed --seed 7``).
+
+Scenarios
+---------
+``clean``
+    No faults — the control run (and the overhead baseline).
+``nan``
+    NaN subcarrier bursts plus occasional dead antennas: everything the
+    validator must quarantine before MUSIC.
+``truncate``
+    Short CSI reports and lost packets: shape faults and burst gaps.
+``blackout``
+    One AP goes dark halfway through the run; fixes must degrade to the
+    surviving quorum.
+``mixed``
+    A moderate blend of all failure modes, including phase glitches that
+    *pass* validation and must be absorbed by clustering + likelihood
+    weighting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    ApBlackout,
+    DropAntenna,
+    DropFrame,
+    DuplicateFrame,
+    FaultSpec,
+    NanSubcarriers,
+    PhaseGlitch,
+    TruncatePacket,
+)
+from repro.faults.validator import FrameValidator, ValidationPolicy
+from repro.runtime.metrics import RuntimeMetrics
+from repro.server import SpotFiServer
+from repro.testbed.layout import home_testbed, office_testbed, small_testbed
+from repro.wifi.csi import CsiFrame
+
+_TESTBEDS = {"office": office_testbed, "small": small_testbed, "home": home_testbed}
+
+#: Packet spacing of the simulated streams (matches the simulator default).
+PACKET_INTERVAL_S = 0.1
+
+
+def scenario_specs(
+    name: str,
+    packets_per_fix: int = 8,
+    bursts: int = 4,
+    blackout_ap: str = "ap3",
+) -> Tuple[FaultSpec, ...]:
+    """The fault mix for a named scenario.
+
+    ``blackout`` computes its onset from the run length so the AP dies
+    halfway through; the other scenarios are timing-independent.
+    """
+    if name == "clean":
+        return ()
+    if name == "nan":
+        return (
+            NanSubcarriers(probability=0.3, count=4),
+            DropAntenna(probability=0.1),
+        )
+    if name == "truncate":
+        return (
+            TruncatePacket(probability=0.3, keep_subcarriers=20),
+            DropFrame(probability=0.1),
+        )
+    if name == "blackout":
+        midpoint = 0.5 * bursts * packets_per_fix * PACKET_INTERVAL_S
+        return (ApBlackout(ap_id=blackout_ap, start_s=midpoint),)
+    if name == "mixed":
+        return (
+            NanSubcarriers(probability=0.12, count=4),
+            TruncatePacket(probability=0.08, keep_subcarriers=20),
+            PhaseGlitch(probability=0.10),
+            DuplicateFrame(probability=0.05),
+            DropFrame(probability=0.05),
+        )
+    raise ConfigurationError(
+        f"unknown chaos scenario {name!r}; available: {sorted(SCENARIOS)}"
+    )
+
+
+#: Scenario names accepted by :func:`run_chaos` and ``repro chaos``.
+SCENARIOS = ("blackout", "clean", "mixed", "nan", "truncate")
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of one chaos run (plain data; see :meth:`to_dict`).
+
+    Attributes
+    ----------
+    scenario, testbed, seed, bursts:
+        The run's identity — enough to replay it exactly.
+    fixes_attempted:
+        Bursts streamed (each ends in a flush, so each is one fix
+        opportunity).
+    fixes_ok:
+        Bursts that produced a successful fix.
+    degraded_fixes:
+        Successful fixes that lost at least one AP to isolation.
+    median_error_m:
+        Median localization error over successful fixes (NaN if none).
+    quarantined:
+        Validator rejections per reason.
+    injected:
+        Faults actually injected per kind.
+    breakers:
+        Final per-AP breaker states (only APs whose breaker was
+        instantiated appear).
+    clean_median_error_m:
+        Median error of the matching ``clean`` control run, when one was
+        performed (blackout scenario); NaN otherwise.
+    """
+
+    scenario: str
+    testbed: str
+    seed: int
+    bursts: int
+    fixes_attempted: int
+    fixes_ok: int
+    degraded_fixes: int
+    median_error_m: float
+    quarantined: Dict[str, int] = field(default_factory=dict)
+    injected: Dict[str, int] = field(default_factory=dict)
+    breakers: Dict[str, str] = field(default_factory=dict)
+    clean_median_error_m: float = float("nan")
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of attempted fixes that succeeded (0..1)."""
+        if not self.fixes_attempted:
+            return 0.0
+        return self.fixes_ok / self.fixes_attempted
+
+    @property
+    def error_delta_m(self) -> float:
+        """Accuracy cost vs the clean control run (NaN when no control)."""
+        return self.median_error_m - self.clean_median_error_m
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view of the report."""
+        return {
+            "scenario": self.scenario,
+            "testbed": self.testbed,
+            "seed": self.seed,
+            "bursts": self.bursts,
+            "fixes_attempted": self.fixes_attempted,
+            "fixes_ok": self.fixes_ok,
+            "success_rate": self.success_rate,
+            "degraded_fixes": self.degraded_fixes,
+            "median_error_m": self.median_error_m,
+            "clean_median_error_m": self.clean_median_error_m,
+            "quarantined": dict(self.quarantined),
+            "injected": dict(self.injected),
+            "breakers": dict(self.breakers),
+        }
+
+
+def _counters_with_prefix(metrics: RuntimeMetrics, prefix: str) -> Dict[str, int]:
+    counters = metrics.snapshot()["counters"]
+    return {
+        name[len(prefix) :]: value
+        for name, value in counters.items()
+        if name.startswith(prefix) and not name.endswith(".total")
+    }
+
+
+def run_chaos(
+    scenario: str = "mixed",
+    testbed: str = "small",
+    seed: int = 7,
+    packets_per_fix: int = 8,
+    bursts: int = 4,
+    min_aps: int = 2,
+    oversample: float = 1.75,
+    with_baseline: Optional[bool] = None,
+) -> ChaosReport:
+    """Stream ``bursts`` simulated bursts through an armed server.
+
+    Each burst targets the next testbed location (cycling), with its own
+    source id; packets interleave across APs exactly as a live central
+    server would see them, and a flush closes every burst so stragglers
+    (dropped frames, blacked-out APs) cannot stall a fix forever.
+
+    ``oversample`` streams ``packets_per_fix * oversample`` packets per
+    burst: lossy scenarios quarantine or drop a fraction of the traffic,
+    and — as in a live deployment — the sender keeps transmitting until
+    the server has collected a full burst.
+
+    ``with_baseline`` additionally runs the ``clean`` scenario with the
+    same seeds and reports its median error (defaults to True for the
+    blackout scenario, which exists to measure degradation cost).
+    """
+    if testbed not in _TESTBEDS:
+        raise ConfigurationError(
+            f"unknown testbed {testbed!r}; available: {sorted(_TESTBEDS)}"
+        )
+    if oversample < 1.0:
+        raise ConfigurationError("oversample must be >= 1.0")
+    tb = _TESTBEDS[testbed]()
+    sim = tb.simulator()
+    stream_packets = max(packets_per_fix, int(round(packets_per_fix * oversample)))
+    specs = scenario_specs(
+        scenario, packets_per_fix=stream_packets, bursts=bursts
+    )
+    metrics = RuntimeMetrics()
+    spotfi = SpotFi(
+        sim.grid,
+        bounds=tb.bounds,
+        config=SpotFiConfig(packets_per_fix=packets_per_fix, min_aps=min_aps),
+        rng=np.random.default_rng(seed),
+    )
+    injector = (
+        FaultInjector(specs, rng=np.random.default_rng(seed), metrics=metrics)
+        if specs
+        else None
+    )
+    validator = FrameValidator(
+        ValidationPolicy(
+            expected_antennas=tb.aps[0].num_antennas,
+            expected_subcarriers=sim.grid.num_subcarriers,
+        ),
+        metrics=metrics,
+    )
+    burst_span_s = stream_packets * PACKET_INTERVAL_S
+    server = SpotFiServer(
+        spotfi=spotfi,
+        aps={f"ap{i}": ap for i, ap in enumerate(tb.aps)},
+        packets_per_fix=packets_per_fix,
+        min_aps=min_aps,
+        max_burst_age_s=2.0 * burst_span_s,
+        metrics=metrics,
+        validator=validator,
+        fault_injector=injector,
+        breaker_threshold=2,
+        breaker_recovery_s=burst_span_s,
+    )
+    data_rng = np.random.default_rng(seed + 1)
+    errors: List[float] = []
+    fixes_ok = 0
+    degraded_fixes = 0
+    for burst in range(bursts):
+        spot = tb.targets[burst % len(tb.targets)]
+        source = f"chaos-{burst:02d}"
+        t0 = burst * burst_span_s
+        traces = [
+            sim.generate_trace(
+                spot.position, ap, stream_packets, rng=data_rng, source=source
+            )
+            for ap in tb.aps
+        ]
+        events = []
+        for k in range(stream_packets):
+            stamp = t0 + k * PACKET_INTERVAL_S
+            for i, trace in enumerate(traces):
+                frame = trace[k]
+                frame = CsiFrame(
+                    csi=frame.csi,
+                    rssi_dbm=frame.rssi_dbm,
+                    timestamp_s=stamp,
+                    source=source,
+                )
+                event = server.ingest(f"ap{i}", frame)
+                if event is not None:
+                    events.append(event)
+        event = server.flush(source, t0 + burst_span_s)
+        if event is not None:
+            events.append(event)
+        ok = [e for e in events if e.ok]
+        if ok:
+            fixes_ok += 1
+            last = ok[-1]
+            errors.append(last.fix.error_to(spot.position))
+            if last.fix.degraded:
+                degraded_fixes += 1
+    clean_median = float("nan")
+    if with_baseline is None:
+        with_baseline = scenario == "blackout"
+    if with_baseline and scenario != "clean":
+        clean_median = run_chaos(
+            scenario="clean",
+            testbed=testbed,
+            seed=seed,
+            packets_per_fix=packets_per_fix,
+            bursts=bursts,
+            min_aps=min_aps,
+            oversample=oversample,
+            with_baseline=False,
+        ).median_error_m
+    return ChaosReport(
+        scenario=scenario,
+        testbed=testbed,
+        seed=seed,
+        bursts=bursts,
+        fixes_attempted=bursts,
+        fixes_ok=fixes_ok,
+        degraded_fixes=degraded_fixes,
+        median_error_m=float(np.median(errors)) if errors else float("nan"),
+        quarantined=validator.counts(),
+        injected=_counters_with_prefix(metrics, "faults.injected."),
+        breakers=server.breaker_states(),
+        clean_median_error_m=clean_median,
+    )
+
+
+def format_report(report: ChaosReport) -> str:
+    """Human-readable multi-line summary of a chaos run."""
+    lines = [
+        f"chaos scenario {report.scenario!r} on testbed {report.testbed!r} "
+        f"(seed {report.seed})",
+        f"  fixes: {report.fixes_ok}/{report.fixes_attempted} ok "
+        f"({100.0 * report.success_rate:.0f}%), "
+        f"{report.degraded_fixes} degraded",
+    ]
+    if not math.isnan(report.median_error_m):
+        lines.append(f"  median error: {report.median_error_m:.3f} m")
+    if not math.isnan(report.clean_median_error_m):
+        lines.append(
+            f"  clean baseline: {report.clean_median_error_m:.3f} m "
+            f"(delta {report.error_delta_m:+.3f} m)"
+        )
+    if report.injected:
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(report.injected.items()))
+        lines.append(f"  injected: {mix}")
+    if report.quarantined:
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(report.quarantined.items()))
+        lines.append(f"  quarantined: {mix}")
+    if report.breakers:
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(report.breakers.items()))
+        lines.append(f"  breakers: {mix}")
+    return "\n".join(lines)

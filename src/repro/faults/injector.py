@@ -1,0 +1,118 @@
+"""Fault injection harness: apply a fault mix to frames, traces, datasets.
+
+:class:`FaultInjector` composes a list of :class:`~repro.faults.spec.
+FaultSpec` into one corruption pass, usable two ways:
+
+* **channel-impairment wrapper** — :meth:`corrupt_trace` corrupts a whole
+  recorded burst offline (benchmarks, regression datasets).
+* **chaos layer** — :meth:`corrupt_frame` sits inside
+  :meth:`repro.server.SpotFiServer.ingest` and corrupts live traffic,
+  so the full serving path (validation, quarantine, breakers, degraded
+  fixes) is exercised end to end.
+
+The injector owns a seeded :class:`numpy.random.Generator`; a given
+(seed, spec list, traffic) triple replays the identical fault sequence,
+which is what makes chaos scenarios assertable in CI.  Injection counts
+land in a :class:`~repro.runtime.metrics.RuntimeMetrics` under
+``faults.injected.<kind>`` so a chaos run reports exactly what it did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.spec import FaultSpec, raw_trace
+from repro.runtime.metrics import RuntimeMetrics
+from repro.wifi.csi import CsiFrame, CsiTrace
+
+
+class FaultInjector:
+    """Applies a composable fault mix to CSI frames and traces.
+
+    Parameters
+    ----------
+    specs:
+        Fault specifications, applied in order (a frame dropped by an
+        earlier spec never reaches a later one).
+    rng:
+        Randomness source; pass a seeded generator for reproducible runs.
+    metrics:
+        Sink for ``faults.injected.<kind>`` counters (optional).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        rng: Optional[np.random.Generator] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+    ) -> None:
+        self.specs = list(specs)
+        self.rng = rng or np.random.default_rng(0)
+        self.metrics = metrics
+
+    def _count(self, kind: str, n: int = 1) -> None:
+        if self.metrics is not None and n:
+            self.metrics.increment(f"faults.injected.{kind}", n)
+            self.metrics.increment("faults.injected.total", n)
+
+    # ------------------------------------------------------------------
+    def corrupt_frame(
+        self, ap_id: str, frame: CsiFrame
+    ) -> List[CsiFrame]:
+        """Run one live frame through the fault mix (ingest chaos path).
+
+        Returns the surviving frames: usually ``[frame]`` (possibly
+        corrupted), ``[]`` when dropped, or two entries for a duplicate.
+        Stream-only specs (reordering) are skipped here.
+        """
+        survivors: List[CsiFrame] = [frame]
+        for spec in self.specs:
+            if spec.stream_only or not spec.targets(ap_id):
+                continue
+            next_survivors: List[CsiFrame] = []
+            for f in survivors:
+                if self.rng.random() < spec.probability:
+                    produced = spec.apply_frame(f, self.rng)
+                    if len(produced) != 1 or produced[0] is not f:
+                        self._count(spec.kind)
+                    next_survivors.extend(produced)
+                else:
+                    next_survivors.append(f)
+            survivors = next_survivors
+            if not survivors:
+                break
+        return survivors
+
+    def corrupt_trace(self, trace: CsiTrace, ap_id: str = "") -> CsiTrace:
+        """Corrupt a whole burst offline (channel-impairment wrapper).
+
+        Stream-level specs (reordering, blackouts) see the full frame
+        sequence.  The result is built with :func:`~repro.faults.spec.
+        raw_trace`, so it may legitimately mix shapes or carry NaNs —
+        validate before feeding it to the pipeline.
+        """
+        frames: List[CsiFrame] = list(trace)
+        for spec in self.specs:
+            if not spec.targets(ap_id):
+                continue
+            before = len(frames)
+            produced = spec.apply_stream(frames, self.rng)
+            changed = len(produced) != before or any(
+                a is not b for a, b in zip(produced, frames)
+            )
+            if changed:
+                self._count(spec.kind)
+            frames = produced
+            if not frames:
+                break
+        return raw_trace(frames)
+
+    def corrupt_pairs(self, ap_traces, ap_ids: Optional[Sequence[str]] = None):
+        """Corrupt a ``[(array, trace), ...]`` collection AP by AP."""
+        out = []
+        for index, (array, trace) in enumerate(ap_traces):
+            ap_id = ap_ids[index] if ap_ids is not None else f"ap{index}"
+            out.append((array, self.corrupt_trace(trace, ap_id)))
+        return out

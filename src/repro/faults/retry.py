@@ -1,0 +1,98 @@
+"""Retry policy: bounded retries, exponential backoff with jitter, deadlines.
+
+Per-packet MUSIC on a worker pool can fail transiently — a worker OOM-kill,
+a flaky NFS read of a trace, a pool respawn — and a single such failure
+should not abort a whole fix.  :class:`RetryPolicy` describes how the
+executors (see :mod:`repro.runtime.executor`) respond: how many attempts a
+work chunk gets, how long to back off between attempts (exponential with
+decorrelating jitter, so a thundering herd of retries spreads out), which
+exception types count as transient, and the per-chunk deadline after which
+a hung worker is abandoned.
+
+The policy is pure data plus two pure helpers (:meth:`delay_for`,
+:meth:`is_transient`), so it is trivially picklable and testable; the
+sleeping and resubmitting live in the executors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Tuple, Type
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an executor treats failing or hung work items.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per chunk (1 = no retries, the historical behaviour).
+    base_delay_s:
+        Backoff before the first retry; attempt ``k`` (1-based retry
+        count) waits ``base_delay_s * backoff_factor**(k-1)`` scaled by
+        jitter, capped at ``max_delay_s``.
+    max_delay_s:
+        Upper bound on any single backoff sleep.
+    backoff_factor:
+        Exponential growth factor between consecutive retries.
+    jitter:
+        Fraction of the computed delay randomized away (0 = deterministic
+        backoff, 0.5 = delay drawn uniformly from [0.5d, d]).  Jitter
+        decorrelates retries from many callers hitting one failure.
+    timeout_s:
+        Per-chunk deadline in seconds; 0 disables.  Only the parallel
+        executor can enforce it (a serial executor cannot interrupt its
+        own thread); missing the deadline on the final attempt raises
+        :class:`~repro.errors.DeadlineExceededError`.
+    retry_on:
+        Exception types considered transient and worth retrying.  Anything
+        else propagates immediately (a shape error will not fix itself).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    timeout_s: float = 0.0
+    retry_on: Tuple[Type[BaseException], ...] = field(
+        default=(OSError, RuntimeError, TimeoutError)
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout_s < 0:
+            raise ConfigurationError(f"timeout_s must be >= 0, got {self.timeout_s}")
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth retrying under this policy."""
+        return isinstance(exc, self.retry_on)
+
+    def delay_for(self, retry_number: int, rng: random.Random) -> float:
+        """Backoff sleep before retry ``retry_number`` (1-based), jittered."""
+        delay = min(
+            self.base_delay_s * self.backoff_factor ** (retry_number - 1),
+            self.max_delay_s,
+        )
+        if self.jitter > 0 and delay > 0:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+
+#: No retries, no deadline — byte-identical to the pre-faults behaviour.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay_s=0.0, jitter=0.0)

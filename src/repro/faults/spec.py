@@ -1,0 +1,284 @@
+"""Composable fault specifications: the catalog of CSI corruptions.
+
+Commodity CSI is not clean — Zubow et al. document per-boot phase jumps
+and chain dropouts on 802.11ac hardware, and truncated or NaN-laden
+reports show up whenever a driver races its own DMA.  Each
+:class:`FaultSpec` here reproduces one such failure mode so the pipeline
+can be tested against it deliberately:
+
+===================  ====================================================
+spec                 corruption
+===================  ====================================================
+:class:`DropFrame`        the packet's CSI report is lost entirely
+:class:`DropAntenna`      one RF chain goes dead (its row reads zeros)
+:class:`NanSubcarriers`   a burst of subcarriers reports NaN
+:class:`ZeroSubcarriers`  a burst of subcarriers reports zero
+:class:`TruncatePacket`   the report is cut short (fewer subcarriers)
+:class:`PhaseGlitch`      one chain's phase jumps by a random offset
+:class:`DuplicateFrame`   the same report is delivered twice
+:class:`ReorderFrames`    adjacent reports swap (timestamps run backwards)
+:class:`ApBlackout`       an AP stops reporting (optionally mid-run)
+===================  ====================================================
+
+Specs are frozen dataclasses — pure descriptions.  Randomness comes from
+the :class:`~repro.faults.injector.FaultInjector`'s generator, so a seeded
+injector replays the identical fault sequence.  Corrupted frames are
+built with :func:`raw_frame`, which bypasses :class:`~repro.wifi.csi.
+CsiFrame` validation exactly like bytes off the wire would: catching
+these frames is the :class:`~repro.faults.validator.FrameValidator`'s
+job, not the container's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.wifi.csi import CsiFrame, CsiTrace
+
+
+def raw_frame(
+    csi: np.ndarray,
+    rssi_dbm: float = float("nan"),
+    timestamp_s: float = 0.0,
+    source: str = "",
+) -> CsiFrame:
+    """Build a :class:`CsiFrame` without validation, like wire data.
+
+    ``CsiFrame.__post_init__`` rejects NaN/misshapen CSI, which is right
+    for programmatic construction but wrong for modelling a corrupt
+    report arriving from an AP — the server must receive it and decide.
+    """
+    frame = object.__new__(CsiFrame)
+    object.__setattr__(frame, "csi", np.asarray(csi))
+    object.__setattr__(frame, "rssi_dbm", float(rssi_dbm))
+    object.__setattr__(frame, "timestamp_s", float(timestamp_s))
+    object.__setattr__(frame, "source", source)
+    return frame
+
+
+def raw_trace(frames: Sequence[CsiFrame]) -> CsiTrace:
+    """Build a :class:`CsiTrace` without the homogeneous-shape check.
+
+    A corrupted stream can legitimately mix shapes (truncated packets);
+    the validator filters them before the pipeline ever stacks the trace.
+    """
+    trace = CsiTrace.__new__(CsiTrace)
+    trace.frames = list(frames)
+    return trace
+
+
+def _clone(frame: CsiFrame, csi: np.ndarray) -> CsiFrame:
+    """A raw copy of ``frame`` carrying corrupted CSI."""
+    return raw_frame(
+        csi,
+        rssi_dbm=frame.rssi_dbm,
+        timestamp_s=frame.timestamp_s,
+        source=frame.source,
+    )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base fault: when and where it strikes.
+
+    Attributes
+    ----------
+    probability:
+        Per-frame chance the fault fires (stream-level specs interpret it
+        per opportunity, e.g. per adjacent pair for reordering).
+    ap_id:
+        Restrict the fault to one AP id; None hits every AP.
+    """
+
+    probability: float = 1.0
+    ap_id: Optional[str] = None
+
+    #: Stream-only specs need the whole burst (e.g. reordering) and are
+    #: skipped by the per-frame ingest chaos path.
+    stream_only = False
+    kind = "noop"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def targets(self, ap_id: str) -> bool:
+        """Whether this spec applies to frames from ``ap_id``."""
+        return self.ap_id is None or self.ap_id == ap_id
+
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
+        """Corrupt one frame: returns the frames that survive (0, 1 or 2)."""
+        return [frame]
+
+    def apply_stream(
+        self, frames: Sequence[CsiFrame], rng: np.random.Generator
+    ) -> List[CsiFrame]:
+        """Corrupt a whole burst; default maps :meth:`apply_frame`."""
+        out: List[CsiFrame] = []
+        for frame in frames:
+            if rng.random() < self.probability:
+                out.extend(self.apply_frame(frame, rng))
+            else:
+                out.append(frame)
+        return out
+
+
+@dataclass(frozen=True)
+class DropFrame(FaultSpec):
+    """The CSI report for a packet is lost in transit."""
+
+    kind = "drop_frame"
+
+    def apply_frame(self, frame, rng):
+        return []
+
+
+@dataclass(frozen=True)
+class DropAntenna(FaultSpec):
+    """One RF chain goes dead: its CSI row reads all zeros.
+
+    Attributes
+    ----------
+    antenna:
+        Row to kill; None picks one at random per affected frame.
+    """
+
+    antenna: Optional[int] = None
+    kind = "drop_antenna"
+
+    def apply_frame(self, frame, rng):
+        csi = np.array(frame.csi, copy=True)
+        row = (
+            self.antenna
+            if self.antenna is not None
+            else int(rng.integers(csi.shape[0]))
+        )
+        csi[row % csi.shape[0], :] = 0.0
+        return [_clone(frame, csi)]
+
+
+@dataclass(frozen=True)
+class NanSubcarriers(FaultSpec):
+    """A burst of subcarriers reports NaN (driver/DMA race)."""
+
+    count: int = 3
+    kind = "nan_subcarriers"
+
+    def apply_frame(self, frame, rng):
+        csi = np.array(frame.csi, copy=True)
+        cols = rng.choice(
+            csi.shape[1], size=min(self.count, csi.shape[1]), replace=False
+        )
+        csi[:, cols] = np.nan
+        return [_clone(frame, csi)]
+
+
+@dataclass(frozen=True)
+class ZeroSubcarriers(FaultSpec):
+    """A burst of subcarriers reports exactly zero."""
+
+    count: int = 3
+    kind = "zero_subcarriers"
+
+    def apply_frame(self, frame, rng):
+        csi = np.array(frame.csi, copy=True)
+        cols = rng.choice(
+            csi.shape[1], size=min(self.count, csi.shape[1]), replace=False
+        )
+        csi[:, cols] = 0.0
+        return [_clone(frame, csi)]
+
+
+@dataclass(frozen=True)
+class TruncatePacket(FaultSpec):
+    """The CSI report is cut short: only the first subcarriers arrive."""
+
+    keep_subcarriers: int = 20
+    kind = "truncate_packet"
+
+    def apply_frame(self, frame, rng):
+        keep = max(1, min(self.keep_subcarriers, frame.csi.shape[1]))
+        return [_clone(frame, np.array(frame.csi[:, :keep], copy=True))]
+
+
+@dataclass(frozen=True)
+class PhaseGlitch(FaultSpec):
+    """One chain's phase jumps by a random offset (Zubow et al.).
+
+    Unlike the structural faults, a phase glitch passes validation — it
+    is indistinguishable from a real (corrupt) measurement — so it tests
+    graceful *degradation* (clustering + likelihood weighting) rather
+    than quarantine.
+    """
+
+    max_jump_rad: float = float(np.pi)
+    kind = "phase_glitch"
+
+    def apply_frame(self, frame, rng):
+        csi = np.array(frame.csi, copy=True)
+        row = int(rng.integers(csi.shape[0]))
+        jump = rng.uniform(-self.max_jump_rad, self.max_jump_rad)
+        csi[row, :] = csi[row, :] * np.exp(1j * jump)
+        return [_clone(frame, csi)]
+
+
+@dataclass(frozen=True)
+class DuplicateFrame(FaultSpec):
+    """The same report is delivered twice (retransmit glitch)."""
+
+    kind = "duplicate_frame"
+
+    def apply_frame(self, frame, rng):
+        return [frame, frame]
+
+
+@dataclass(frozen=True)
+class ReorderFrames(FaultSpec):
+    """Adjacent reports swap, so timestamps run backwards.
+
+    Stream-only: reordering needs at least a pair in hand, so the
+    per-frame ingest chaos path skips it; use
+    :meth:`~repro.faults.injector.FaultInjector.corrupt_trace`.
+    """
+
+    kind = "reorder_frames"
+    stream_only = True
+
+    def apply_stream(self, frames, rng):
+        out = list(frames)
+        i = 0
+        while i + 1 < len(out):
+            if rng.random() < self.probability:
+                out[i], out[i + 1] = out[i + 1], out[i]
+                i += 2
+            else:
+                i += 1
+        return out
+
+
+@dataclass(frozen=True)
+class ApBlackout(FaultSpec):
+    """An AP stops reporting entirely, optionally mid-run.
+
+    Attributes
+    ----------
+    start_s:
+        Packet timestamps at or after this instant are dropped; 0 blacks
+        out the AP from the first packet.
+    """
+
+    start_s: float = 0.0
+    kind = "ap_blackout"
+
+    def apply_frame(self, frame, rng):
+        if frame.timestamp_s >= self.start_s:
+            return []
+        return [frame]

@@ -1,0 +1,195 @@
+"""Frame validation and quarantine: malformed CSI never reaches MUSIC.
+
+Tadayon et al. show ToF estimation collapsing on malformed or partial
+CSI; SpotFi's smoothing stage would happily propagate a NaN through the
+whole covariance.  :class:`FrameValidator` is the admission check in
+front of the pipeline: every ingested frame is screened for
+
+* **shape** — 2-D, and matching the expected (antennas, subcarriers)
+  when configured (catches truncated packets);
+* **finiteness** — no NaN/Inf entries anywhere;
+* **power floor** — frame mean power and per-antenna power above a noise
+  floor (catches zeroed frames and dead chains);
+* **timestamp monotonicity** — per (AP, source) stream, a frame may not
+  predate the previous one by more than a tolerance (catches reordering).
+
+Rejected frames are *quarantined*: counted per reason in
+:class:`~repro.runtime.metrics.RuntimeMetrics` (``quarantine.<reason>``
+and ``quarantine.total``, which flow into the Prometheus exposition) and
+retained in a bounded ring for post-mortem inspection.  Policy
+``raise_on_invalid`` switches from quarantine-and-drop to raising
+:class:`~repro.errors.ValidationError` for callers that want hard
+failures (tests, batch tools).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.runtime.metrics import RuntimeMetrics
+from repro.wifi.csi import CsiFrame, CsiTrace
+
+
+@dataclass(frozen=True)
+class ValidationPolicy:
+    """What :class:`FrameValidator` enforces.
+
+    Attributes
+    ----------
+    expected_antennas, expected_subcarriers:
+        Required CSI shape; None skips the respective dimension check
+        (the 2-D requirement always holds).
+    min_power_db:
+        Floor on frame mean power, ``10 log10(mean |csi|^2)`` dB.  The
+        simulator produces roughly -55..-70 dB at room scale, so the
+        default -90 dB only rejects essentially-blank frames.  ``-inf``
+        disables.
+    min_antenna_power_db:
+        Per-antenna floor (catches a single dead chain whose zeros would
+        survive the frame-level mean).  ``-inf`` disables.
+    require_finite:
+        Reject frames containing NaN or Inf.
+    max_timestamp_backstep_s:
+        Per (AP, source) stream, reject a frame whose timestamp precedes
+        the newest accepted one by more than this; negative disables the
+        monotonicity check entirely.  Equal timestamps (duplicates) pass.
+    raise_on_invalid:
+        Raise :class:`~repro.errors.ValidationError` instead of
+        quarantining silently.
+    """
+
+    expected_antennas: Optional[int] = None
+    expected_subcarriers: Optional[int] = None
+    min_power_db: float = -90.0
+    min_antenna_power_db: float = -90.0
+    require_finite: bool = True
+    max_timestamp_backstep_s: float = 0.0
+    raise_on_invalid: bool = False
+
+
+class FrameValidator:
+    """Admission screen for ingested CSI frames, with quarantine.
+
+    Parameters
+    ----------
+    policy:
+        The checks to run; defaults validate structure and finiteness
+        with permissive power floors.
+    metrics:
+        Counter sink; quarantines increment ``quarantine.<reason>`` and
+        ``quarantine.total``.
+    quarantine_capacity:
+        Most recent rejected frames retained for inspection.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ValidationPolicy] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+        quarantine_capacity: int = 64,
+    ) -> None:
+        self.policy = policy or ValidationPolicy()
+        self.metrics = metrics
+        self._quarantine: Deque[Tuple[str, str, CsiFrame]] = deque(
+            maxlen=quarantine_capacity
+        )
+        self._last_timestamp: Dict[Tuple[str, str], float] = {}
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def check(self, ap_id: str, frame: CsiFrame) -> Optional[str]:
+        """The rejection reason for ``frame``, or None when it is clean.
+
+        Pure inspection: no counters, no quarantine, no timestamp-state
+        update.
+        """
+        policy = self.policy
+        csi = np.asarray(frame.csi)
+        if csi.ndim != 2:
+            return "shape"
+        if (
+            policy.expected_antennas is not None
+            and csi.shape[0] != policy.expected_antennas
+        ):
+            return "shape"
+        if (
+            policy.expected_subcarriers is not None
+            and csi.shape[1] != policy.expected_subcarriers
+        ):
+            return "shape"
+        if policy.require_finite and not np.all(np.isfinite(csi)):
+            return "nonfinite"
+        power = np.abs(csi) ** 2
+        if np.isfinite(policy.min_power_db):
+            mean_power = float(np.mean(power))
+            if mean_power <= 0 or 10.0 * np.log10(mean_power) < policy.min_power_db:
+                return "power_floor"
+        if np.isfinite(policy.min_antenna_power_db):
+            row_power = np.mean(power, axis=1)
+            floor = 10.0 ** (policy.min_antenna_power_db / 10.0)
+            if np.any(row_power < floor):
+                return "antenna_power"
+        if policy.max_timestamp_backstep_s >= 0:
+            last = self._last_timestamp.get((ap_id, frame.source))
+            if (
+                last is not None
+                and frame.timestamp_s < last - policy.max_timestamp_backstep_s
+            ):
+                return "timestamp_order"
+        return None
+
+    def admit(self, ap_id: str, frame: CsiFrame) -> bool:
+        """Validate one frame, updating quarantine and timestamp state.
+
+        Returns True when the frame is admissible.  A rejected frame is
+        counted, quarantined, and — under ``raise_on_invalid`` — raises
+        :class:`~repro.errors.ValidationError`.
+        """
+        reason = self.check(ap_id, frame)
+        if reason is None:
+            self._last_timestamp[(ap_id, frame.source)] = max(
+                frame.timestamp_s,
+                self._last_timestamp.get((ap_id, frame.source), float("-inf")),
+            )
+            return True
+        self._quarantine.append((ap_id, reason, frame))
+        self._counts[reason] = self._counts.get(reason, 0) + 1
+        if self.metrics is not None:
+            self.metrics.increment(f"quarantine.{reason}")
+            self.metrics.increment("quarantine.total")
+        if self.policy.raise_on_invalid:
+            raise ValidationError(
+                f"frame from AP {ap_id!r} quarantined: {reason} "
+                f"(csi shape {np.asarray(frame.csi).shape})"
+            )
+        return False
+
+    def filter_trace(self, trace: CsiTrace, ap_id: str = "") -> CsiTrace:
+        """Admissible frames of ``trace``, in order (offline cleanup)."""
+        return CsiTrace([f for f in trace if self.admit(ap_id, f)])
+
+    # ------------------------------------------------------------------
+    @property
+    def quarantined(self) -> List[Tuple[str, str, CsiFrame]]:
+        """Recent rejects as ``(ap_id, reason, frame)``, oldest first."""
+        return list(self._quarantine)
+
+    @property
+    def total_quarantined(self) -> int:
+        """Frames rejected over this validator's lifetime."""
+        return sum(self._counts.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Lifetime quarantine counts per reason."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Drop quarantine contents, counts, and timestamp state."""
+        self._quarantine.clear()
+        self._last_timestamp.clear()
+        self._counts.clear()

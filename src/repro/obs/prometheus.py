@@ -13,6 +13,10 @@ text format scrapers expect:
   batch/item gauges
 * steering cache stats -> ``repro_steering_cache_*`` gauges including
   the derived hit rate
+* circuit breaker states -> ``repro_circuit_breaker_state{ap="..."}``
+  gauges encoding the state as its index in
+  :data:`repro.faults.breaker.BREAKER_STATES` (0 closed, 1 open,
+  2 half-open)
 
 No Prometheus client library involved — the format is a stable,
 trivially rendered text protocol, and the container must not grow
@@ -120,5 +124,19 @@ def render_prometheus(
             kind = "counter" if suffix else "gauge"
             lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name} {_fmt(cache[key])}")
+
+    breakers: Mapping[str, str] = snapshot.get("breakers", {})  # type: ignore[assignment]
+    if breakers:
+        # Late import: repro.faults.breaker depends only on repro.errors,
+        # but keeping obs import-light at module load avoids widening the
+        # package's import graph for tracer-only users.
+        from repro.faults.breaker import BREAKER_STATES
+
+        name = f"{prefix}_circuit_breaker_state"
+        lines.append(f"# TYPE {name} gauge")
+        for ap in sorted(breakers):
+            state = breakers[ap]
+            value = BREAKER_STATES.index(state) if state in BREAKER_STATES else -1
+            lines.append(f'{name}{{ap="{ap}"}} {value}')
 
     return "\n".join(lines) + "\n"

@@ -19,10 +19,12 @@ Both record submit/complete/error events on a
 from __future__ import annotations
 
 import os
+import random
 import time
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceededError, ReproError
+from repro.faults.retry import NO_RETRY, RetryPolicy
 from repro.obs.histogram import Histogram
 from repro.runtime.metrics import RuntimeMetrics
 
@@ -62,8 +64,14 @@ class Executor:
     (picklable) when a parallel executor may run them.
     """
 
-    def __init__(self, metrics: Optional[RuntimeMetrics] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[RuntimeMetrics] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.metrics = metrics or RuntimeMetrics()
+        self.retry = retry or NO_RETRY
+        self._backoff_rng = random.Random(0x5F0F1)
 
     @property
     def workers(self) -> int:
@@ -87,7 +95,15 @@ class Executor:
 
 
 class SerialExecutor(Executor):
-    """Run every item inline, exactly like the historical loop."""
+    """Run every item inline, exactly like the historical loop.
+
+    A :class:`~repro.faults.retry.RetryPolicy` adds bounded retries with
+    backoff for transient failures; the per-chunk deadline is parallel-
+    only (a serial executor cannot interrupt its own thread).  Failures
+    are recorded with their exception type — a
+    :class:`~repro.errors.ReproError` subclass keeps its identity all the
+    way to the caller and into the ``<stage>.errors.<kind>`` counter.
+    """
 
     def map_ordered(
         self, fn: Callable, items: Iterable, stage: str = "map"
@@ -97,11 +113,27 @@ class SerialExecutor(Executor):
         results: List = []
         for item in items:
             start = time.perf_counter()
-            try:
-                results.append(fn(item))
-            except Exception:
-                self.metrics.record_error(stage)
-                raise
+            attempt = 1
+            while True:
+                try:
+                    results.append(fn(item))
+                    break
+                except ReproError as exc:
+                    # Library errors are deterministic verdicts about the
+                    # input (bad CSI shape, no spectrum peaks) — never
+                    # transient, never worth a retry.
+                    self.metrics.record_error(stage, kind=type(exc).__name__)
+                    raise
+                except Exception as exc:
+                    if attempt < self.retry.max_attempts and self.retry.is_transient(
+                        exc
+                    ):
+                        self.metrics.record_retry(stage)
+                        time.sleep(self.retry.delay_for(attempt, self._backoff_rng))
+                        attempt += 1
+                        continue
+                    self.metrics.record_error(stage, kind=type(exc).__name__)
+                    raise
             self.metrics.record_complete(stage, time.perf_counter() - start)
         return results
 
@@ -119,6 +151,13 @@ class ParallelExecutor(Executor):
         Items are shipped to workers in chunks of roughly
         ``len(items) / (workers * chunk_factor)`` to amortize pickling
         without starving the pool of parallel slack.
+    retry:
+        :class:`~repro.faults.retry.RetryPolicy` applied per chunk:
+        transient worker failures are resubmitted with jittered
+        exponential backoff, and ``timeout_s`` bounds how long each
+        collected chunk may run before being abandoned and retried
+        (exhaustion raises :class:`~repro.errors.DeadlineExceededError`).
+        The default policy never retries and has no deadline.
 
     Notes
     -----
@@ -140,8 +179,9 @@ class ParallelExecutor(Executor):
         workers: Optional[int] = None,
         metrics: Optional[RuntimeMetrics] = None,
         chunk_factor: int = 4,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        super().__init__(metrics)
+        super().__init__(metrics, retry=retry)
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -174,11 +214,11 @@ class ParallelExecutor(Executor):
         chunks = [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
         runner = _ChunkRunner(fn, self.metrics.bucket_bounds)
         start = time.perf_counter()
-        try:
-            chunk_results = list(self._ensure_pool().map(runner, chunks))
-        except Exception:
-            self.metrics.record_error(stage, len(items))
-            raise
+        futures = [self._ensure_pool().submit(runner, chunk) for chunk in chunks]
+        chunk_results = [
+            self._collect_chunk(futures, index, runner, chunks[index], stage)
+            for index in range(len(chunks))
+        ]
         elapsed = time.perf_counter() - start
         results: List = []
         for chunk_items, hist_data in chunk_results:
@@ -187,6 +227,60 @@ class ParallelExecutor(Executor):
         self.metrics.record_complete(stage, elapsed, n=len(items))
         return results
 
+    def _collect_chunk(
+        self,
+        futures: List,
+        index: int,
+        runner: _ChunkRunner,
+        chunk: Sequence,
+        stage: str,
+    ):
+        """One chunk's result, applying the retry/deadline policy.
+
+        A transient failure (per ``retry.retry_on``) or a missed deadline
+        resubmits the chunk — after a jittered exponential backoff — up
+        to ``retry.max_attempts`` total tries.  Per-packet estimation is
+        pure, so a duplicate execution caused by abandoning a hung
+        attempt is harmless.  A broken pool is rebuilt before the
+        resubmit.  Non-transient exceptions propagate with their original
+        type, exactly like the serial path; deadline exhaustion raises
+        :class:`~repro.errors.DeadlineExceededError`.
+        """
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        policy = self.retry
+        timeout = policy.timeout_s or None
+        attempt = 1
+        while True:
+            try:
+                return futures[index].result(timeout=timeout)
+            except ReproError as exc:
+                self.metrics.record_error(stage, len(chunk), kind=type(exc).__name__)
+                raise
+            except FuturesTimeout:
+                self.metrics.record_timeout(stage)
+                if attempt >= policy.max_attempts:
+                    self.metrics.record_error(
+                        stage, len(chunk), kind="DeadlineExceededError"
+                    )
+                    raise DeadlineExceededError(
+                        f"stage {stage!r}: chunk of {len(chunk)} items missed "
+                        f"its {policy.timeout_s:.3g}s deadline "
+                        f"{policy.max_attempts} time(s)"
+                    ) from None
+            except Exception as exc:
+                if attempt >= policy.max_attempts or not policy.is_transient(exc):
+                    self.metrics.record_error(
+                        stage, len(chunk), kind=type(exc).__name__
+                    )
+                    raise
+            self.metrics.record_retry(stage)
+            time.sleep(policy.delay_for(attempt, self._backoff_rng))
+            attempt += 1
+            if self._pool is not None and getattr(self._pool, "_broken", False):
+                self.close()
+            futures[index] = self._ensure_pool().submit(runner, chunk)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
@@ -194,14 +288,17 @@ class ParallelExecutor(Executor):
 
 
 def create_executor(
-    workers: int = 1, metrics: Optional[RuntimeMetrics] = None
+    workers: int = 1,
+    metrics: Optional[RuntimeMetrics] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Executor:
     """The right executor for a ``--workers N`` knob.
 
     ``workers <= 1`` returns a :class:`SerialExecutor` (exact current
     behaviour, no subprocess machinery); anything larger returns a
-    :class:`ParallelExecutor`.
+    :class:`ParallelExecutor`.  ``retry`` threads a
+    :class:`~repro.faults.retry.RetryPolicy` through either.
     """
     if workers <= 1:
-        return SerialExecutor(metrics)
-    return ParallelExecutor(workers=workers, metrics=metrics)
+        return SerialExecutor(metrics, retry=retry)
+    return ParallelExecutor(workers=workers, metrics=metrics, retry=retry)

@@ -122,9 +122,28 @@ class RuntimeMetrics:
         with self._lock:
             self._timing(stage).item_hist.merge(hist)
 
-    def record_error(self, stage: str, n: int = 1) -> None:
-        """Count ``n`` failed items in ``stage``."""
+    def record_error(
+        self, stage: str, n: int = 1, kind: Optional[str] = None
+    ) -> None:
+        """Count ``n`` failed items in ``stage``.
+
+        ``kind`` (typically the exception class name) additionally
+        increments ``<stage>.errors.<kind>``, so the exposition reports
+        *what* failed, not just how often — an
+        :class:`~repro.errors.EstimationError` spike and a worker-pool
+        ``BrokenProcessPool`` need different responses.
+        """
         self.increment(f"{stage}.errors", n)
+        if kind:
+            self.increment(f"{stage}.errors.{kind}", n)
+
+    def record_retry(self, stage: str, n: int = 1) -> None:
+        """Count ``n`` retried work chunks in ``stage``."""
+        self.increment(f"{stage}.retries", n)
+
+    def record_timeout(self, stage: str, n: int = 1) -> None:
+        """Count ``n`` chunks that missed their deadline in ``stage``."""
+        self.increment(f"{stage}.timeouts", n)
 
     def record_drop(self, reason: str, n: int = 1) -> None:
         """Count ``n`` items dropped for ``reason`` (overflow, stale...)."""

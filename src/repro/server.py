@@ -29,6 +29,9 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import time
 from repro.core.pipeline import SpotFi, SpotFiFix
 from repro.errors import ConfigurationError, LocalizationError
+from repro.faults.breaker import BREAKER_STATES, CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.validator import FrameValidator
 from repro.geom.points import Point
 from repro.obs.prometheus import render_prometheus
 from repro.runtime.cache import default_steering_cache
@@ -102,6 +105,23 @@ class SpotFiServer:
         Runtime counters/timings; created automatically when omitted.
         Exposes ``ingest.accepted``, ``drop.overflow``, ``drop.stale``,
         ``fix.ok``/``fix.failed`` and the ``fix`` stage timing.
+    validator:
+        :class:`~repro.faults.validator.FrameValidator` screening every
+        ingested frame; quarantined frames are dropped before buffering
+        (counted under ``quarantine.*``) and never reach smoothing or
+        MUSIC.  None disables validation (historical behaviour).
+    fault_injector:
+        Chaos layer: a :class:`~repro.faults.injector.FaultInjector`
+        applied to every frame *before* validation, corrupting live
+        traffic in-process.  None (the default) leaves traffic untouched;
+        only chaos/soak runs should set this.
+    breaker_threshold:
+        Consecutive failed fixes from one AP that trip its circuit
+        breaker (the AP is then excluded from fixes and its bursts shed
+        until the recovery window passes).  0 disables breakers.
+    breaker_recovery_s:
+        Seconds (of packet-timestamp clock) an open breaker waits before
+        admitting a half-open probe.
     """
 
     spotfi: SpotFi
@@ -113,6 +133,10 @@ class SpotFiServer:
     overflow_policy: str = "drop-oldest"
     max_burst_age_s: float = 0.0
     metrics: Optional[RuntimeMetrics] = None
+    validator: Optional[FrameValidator] = None
+    fault_injector: Optional[FaultInjector] = None
+    breaker_threshold: int = 0
+    breaker_recovery_s: float = 10.0
 
     def __post_init__(self) -> None:
         if not self.aps:
@@ -134,12 +158,23 @@ class SpotFiServer:
             )
         if self.max_burst_age_s < 0:
             raise ConfigurationError("max_burst_age_s must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ConfigurationError("breaker_threshold must be >= 0")
+        if self.breaker_recovery_s < 0:
+            raise ConfigurationError("breaker_recovery_s must be >= 0")
         if self.metrics is None:
             self.metrics = RuntimeMetrics()
+        # Fold the validator's and injector's counters into the server's
+        # exposition unless they already have their own sink.
+        if self.validator is not None and self.validator.metrics is None:
+            self.validator.metrics = self.metrics
+        if self.fault_injector is not None and self.fault_injector.metrics is None:
+            self.fault_injector.metrics = self.metrics
         self._buffers: Dict[Tuple[str, str], PacketBuffer] = {}
         self._last_seen: Dict[Tuple[str, str], float] = {}
         self._tracks: Dict[str, KalmanTrack2D] = {}
         self._events: Dict[str, List[FixEvent]] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
 
     # ------------------------------------------------------------------
     def ingest(self, ap_id: str, frame: CsiFrame) -> Optional[FixEvent]:
@@ -155,8 +190,26 @@ class SpotFiServer:
             raise ConfigurationError(
                 f"unknown AP id {ap_id!r}; registered: {sorted(self.aps)}"
             )
-        source = frame.source or "unknown"
         self._evict_stale(frame.timestamp_s)
+        frames = [frame]
+        if self.fault_injector is not None:
+            # Chaos layer: the injector may corrupt, drop (-> []) or
+            # duplicate (-> two entries) the frame before admission.
+            frames = self.fault_injector.corrupt_frame(ap_id, frame)
+        event: Optional[FixEvent] = None
+        for candidate in frames:
+            if self.validator is not None and not self.validator.admit(
+                ap_id, candidate
+            ):
+                continue  # quarantined; counted under quarantine.*
+            result = self._buffer_frame(ap_id, candidate)
+            if result is not None:
+                event = result
+        return event
+
+    def _buffer_frame(self, ap_id: str, frame: CsiFrame) -> Optional[FixEvent]:
+        """Buffer one admitted frame and attempt a fix if a burst closed."""
+        source = frame.source or "unknown"
         key = (source, ap_id)
         buffer = self._buffers.get(key)
         if buffer is None:
@@ -198,7 +251,12 @@ class SpotFiServer:
 
         Use when a straggler AP will never complete (target moved out of
         its range mid-burst); still requires ``min_aps`` complete bursts.
+        Stale-buffer eviction runs here too — a flush is often the last
+        traffic a source ever generates, and without it abandoned bursts
+        from *other* sources would outlive the age cap until the next
+        ingest.
         """
+        self._evict_stale(timestamp_s)
         return self._maybe_fix(source, timestamp_s, require_all=False)
 
     def _maybe_fix(
@@ -221,18 +279,36 @@ class SpotFiServer:
             # burst, so a fix uses all available vantage points; callers
             # handle stragglers with flush().
             return None
+        if self.breaker_threshold:
+            ready = self._shed_tripped(source, ready, timestamp_s)
+            if len(ready) < self.min_aps:
+                return None
         pairs = [
             (self.aps[ap_id], CsiTrace(buffer.peek(self.packets_per_fix)))
             for ap_id, buffer in ready
         ]
         fix: Optional[SpotFiFix]
+        degraded: Tuple[Tuple[int, str], ...] = ()
         start = time.perf_counter()
-        try:
-            fix = self.spotfi.locate(pairs)
-        except LocalizationError:
-            fix = None
+        with self.spotfi.tracer.span(
+            "fix", source=source, num_aps=len(ready)
+        ) as span:
+            try:
+                fix = self.spotfi.locate(pairs)
+            except LocalizationError as exc:
+                fix = None
+                degraded = tuple(getattr(exc, "degraded_aps", ()))
+            span.set("ok", fix is not None)
+            if self.validator is not None:
+                span.set("quarantined", self.validator.total_quarantined)
+            if self.breaker_threshold:
+                span.set("breakers", self.breaker_states())
         self.metrics.record_complete("fix", time.perf_counter() - start)
         self.metrics.increment("fix.ok" if fix is not None else "fix.failed")
+        if fix is not None and fix.degraded:
+            self.metrics.increment("fix.degraded")
+        if self.breaker_threshold:
+            self._record_ap_outcomes(ready, fix, degraded, timestamp_s)
         filtered = None
         if fix is not None and self.track:
             track = self._tracks.setdefault(source, KalmanTrack2D())
@@ -254,6 +330,88 @@ class SpotFiServer:
                 del self._buffers[key]
                 self._last_seen.pop(key, None)
         return event
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+    def _breaker_for(self, ap_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(ap_id)
+        if breaker is None:
+            breaker = self._breakers[ap_id] = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                recovery_time_s=self.breaker_recovery_s,
+                name=ap_id,
+                on_transition=self._on_breaker_transition,
+            )
+        return breaker
+
+    def _on_breaker_transition(
+        self, name: str, old: str, new: str, now_s: float
+    ) -> None:
+        """Count and trace every breaker state change."""
+        self.metrics.increment("breaker.transitions")
+        if new == "open":
+            self.metrics.increment("breaker.opened")
+        elif new == "closed":
+            self.metrics.increment("breaker.closed")
+        with self.spotfi.tracer.span(
+            "breaker.transition", ap=name, old=old, new=new, at_s=now_s
+        ):
+            pass
+
+    def _shed_tripped(
+        self,
+        source: str,
+        ready: List[Tuple[str, PacketBuffer]],
+        now_s: float,
+    ) -> List[Tuple[str, PacketBuffer]]:
+        """Drop APs whose breaker is shedding, consuming their bursts.
+
+        A shed AP's buffered burst is discarded (counted as
+        ``drop.breaker``) so the buffer cannot pin stale packets while
+        the breaker is open; the remaining APs proceed to the fix.
+        """
+        admitted: List[Tuple[str, PacketBuffer]] = []
+        for ap_id, buffer in ready:
+            if self._breaker_for(ap_id).allow(now_s):
+                admitted.append((ap_id, buffer))
+                continue
+            self.metrics.record_drop("breaker", self.packets_per_fix)
+            buffer.consume(self.packets_per_fix)
+            if not buffer:
+                key = (source, ap_id)
+                self._buffers.pop(key, None)
+                self._last_seen.pop(key, None)
+        return admitted
+
+    def _record_ap_outcomes(
+        self,
+        ready: List[Tuple[str, PacketBuffer]],
+        fix: Optional[SpotFiFix],
+        degraded: Tuple[Tuple[int, str], ...],
+        now_s: float,
+    ) -> None:
+        """Feed per-AP success/failure from one fix into the breakers.
+
+        Report index ``i`` corresponds to ``ready[i]`` (the pipeline
+        preserves AP order), so a degraded/unusable report marks that
+        AP's breaker with a failure while the surviving APs record a
+        success.
+        """
+        if fix is not None:
+            failed = set(fix.degraded_aps)
+        else:
+            failed = {index for index, _reason in degraded}
+        for index, (ap_id, _buffer) in enumerate(ready):
+            breaker = self._breaker_for(ap_id)
+            if index in failed:
+                breaker.record_failure(now_s)
+            else:
+                breaker.record_success(now_s)
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Current state of every instantiated per-AP breaker."""
+        return {ap_id: b.state for ap_id, b in sorted(self._breakers.items())}
 
     # ------------------------------------------------------------------
     def events(self, source: str) -> List[FixEvent]:
@@ -293,6 +451,8 @@ class SpotFiServer:
             merged.merge(executor_metrics)
             snapshot = merged.snapshot()
         snapshot["cache"] = default_steering_cache().stats()
+        if self._breakers:
+            snapshot["breakers"] = self.breaker_states()
         return snapshot
 
     def metrics_exposition(self) -> str:

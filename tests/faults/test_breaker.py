@@ -1,0 +1,133 @@
+"""Tests for the per-AP circuit breaker state machine."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, ConfigurationError
+from repro.faults.breaker import BREAKER_STATES, CircuitBreaker
+
+
+class TestConfig:
+    def test_states_tuple(self):
+        assert BREAKER_STATES == ("closed", "open", "half-open")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"recovery_time_s": -1.0},
+            {"half_open_max_trials": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(**kwargs)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker()
+        assert b.state == "closed"
+        assert b.allow(0.0)
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        b = CircuitBreaker(failure_threshold=3)
+        b.record_failure(0.0)
+        b.record_failure(1.0)
+        assert b.state == "closed"
+        b.record_failure(2.0)
+        assert b.state == "open"
+        assert not b.allow(2.5)
+
+    def test_success_resets_failure_count(self):
+        b = CircuitBreaker(failure_threshold=2)
+        b.record_failure(0.0)
+        b.record_success(1.0)
+        b.record_failure(2.0)
+        assert b.state == "closed"
+
+    def test_half_open_after_recovery_window(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_time_s=10.0)
+        b.record_failure(0.0)
+        assert not b.allow(5.0)
+        assert b.allow(10.0)
+        assert b.state == "half-open"
+
+    def test_half_open_limits_probes(self):
+        b = CircuitBreaker(
+            failure_threshold=1, recovery_time_s=1.0, half_open_max_trials=1
+        )
+        b.record_failure(0.0)
+        assert b.allow(2.0)  # the probe
+        assert not b.allow(2.0)  # further calls shed until the probe lands
+
+    def test_probe_success_closes(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_time_s=1.0)
+        b.record_failure(0.0)
+        assert b.allow(2.0)
+        b.record_success(2.0)
+        assert b.state == "closed"
+        assert b.allow(2.1)
+
+    def test_probe_failure_reopens_immediately(self):
+        b = CircuitBreaker(failure_threshold=3, recovery_time_s=1.0)
+        for _ in range(3):
+            b.record_failure(0.0)
+        assert b.allow(2.0)
+        b.record_failure(2.0)
+        assert b.state == "open"
+        assert not b.allow(2.5)
+        # A fresh recovery window starts at the re-open instant.
+        assert b.allow(3.0)
+
+    def test_reset(self):
+        b = CircuitBreaker(failure_threshold=1)
+        b.record_failure(0.0)
+        b.reset()
+        assert b.state == "closed"
+        assert b.allow(0.0)
+
+
+class TestCall:
+    def test_call_passes_through_and_records_success(self):
+        b = CircuitBreaker(failure_threshold=1, recovery_time_s=1.0)
+        b.record_failure(0.0)
+        # call() runs its own allow(): past the recovery window it takes
+        # the half-open probe slot itself and closes on success.
+        assert b.call(lambda x: x + 1, 2.0, 41) == 42
+        assert b.state == "closed"
+
+    def test_call_sheds_when_open(self):
+        b = CircuitBreaker(failure_threshold=1, name="ap9")
+        b.record_failure(0.0)
+        with pytest.raises(CircuitOpenError) as err:
+            b.call(lambda: None, 0.5)
+        assert "ap9" in str(err.value)
+
+    def test_call_records_failure_and_reraises(self):
+        b = CircuitBreaker(failure_threshold=1)
+
+        def boom():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            b.call(boom, 0.0)
+        assert b.state == "open"
+
+
+class TestTransitions:
+    def test_callback_sees_every_transition(self):
+        log = []
+        b = CircuitBreaker(
+            failure_threshold=1,
+            recovery_time_s=1.0,
+            name="ap0",
+            on_transition=lambda *args: log.append(args),
+        )
+        b.record_failure(0.0)
+        b.allow(2.0)
+        b.record_success(2.0)
+        assert log == [
+            ("ap0", "closed", "open", 0.0),
+            ("ap0", "open", "half-open", 2.0),
+            ("ap0", "half-open", "closed", 2.0),
+        ]

@@ -1,0 +1,116 @@
+"""Per-AP failure isolation: degraded fixes match clean quorum runs.
+
+The load-bearing determinism fact: an AP with no estimates raises
+``ClusteringError`` *before* consuming any clustering RNG, so a 4-AP run
+with one AP blacked out advances the shared RNG exactly like a clean run
+on the surviving 3 APs — the fixes must be numerically identical, not
+just close.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.errors import LocalizationError
+from repro.faults.spec import raw_frame, raw_trace
+from repro.testbed.layout import small_testbed
+
+
+@pytest.fixture(scope="module")
+def scene():
+    tb = small_testbed()
+    sim = tb.simulator()
+    rng = np.random.default_rng(5)
+    target = tb.targets[0].position
+    traces = [sim.generate_trace(target, ap, 8, rng=rng) for ap in tb.aps]
+    return tb, sim, target, list(zip(tb.aps, traces))
+
+
+def fresh_spotfi(tb, sim, min_aps=2):
+    return SpotFi(
+        sim.grid,
+        bounds=tb.bounds,
+        config=SpotFiConfig(packets_per_fix=8, min_aps=min_aps),
+        rng=np.random.default_rng(0),
+    )
+
+
+def blackout(pairs, indices):
+    """Replace the traces at ``indices`` with empty (blacked-out) ones."""
+    return [
+        (array, raw_trace([]) if i in indices else trace)
+        for i, (array, trace) in enumerate(pairs)
+    ]
+
+
+def distance(a, b):
+    return float(np.hypot(a.x - b.x, a.y - b.y))
+
+
+class TestDegradedQuorum:
+    def test_3_of_4_matches_clean_subset(self, scene):
+        tb, sim, target, pairs = scene
+        fix_deg = fresh_spotfi(tb, sim).locate(blackout(pairs, {3}))
+        fix_clean = fresh_spotfi(tb, sim).locate(pairs[:3])
+        assert fix_deg.degraded
+        assert fix_deg.degraded_aps == (3,)
+        assert len(fix_deg.reports) == 4
+        assert not fix_deg.reports[3].usable
+        assert "ClusteringError" in fix_deg.reports[3].failure
+        # < 5 cm required; identical RNG consumption makes it exact.
+        assert distance(fix_deg.position, fix_clean.position) < 0.05
+
+    def test_2_of_4_matches_clean_subset(self, scene):
+        tb, sim, target, pairs = scene
+        fix_deg = fresh_spotfi(tb, sim).locate(blackout(pairs, {2, 3}))
+        fix_clean = fresh_spotfi(tb, sim).locate(pairs[:2])
+        assert fix_deg.degraded_aps == (2, 3)
+        assert distance(fix_deg.position, fix_clean.position) < 0.05
+
+    def test_degraded_fix_stays_accurate(self, scene):
+        tb, sim, target, pairs = scene
+        fix = fresh_spotfi(tb, sim).locate(blackout(pairs, {3}))
+        assert fix.error_to(target) < 1.5
+
+    def test_surviving_weights_renormalized(self, scene):
+        tb, sim, target, pairs = scene
+        fix = fresh_spotfi(tb, sim).locate(blackout(pairs, {3}))
+        # The solver saw exactly the 3 surviving observations (Eq. 9
+        # residual vectors are per contributing AP).
+        assert len(fix.result.aoa_residuals_deg) == 3
+        assert len(fix.result.rssi_residuals_db) == 3
+
+    def test_below_quorum_raises_with_degraded_list(self, scene):
+        tb, sim, target, pairs = scene
+        with pytest.raises(LocalizationError) as err:
+            fresh_spotfi(tb, sim).locate(blackout(pairs, {1, 2, 3}))
+        degraded = err.value.degraded_aps
+        assert [i for i, _why in degraded] == [1, 2, 3]
+        assert all("ClusteringError" in why for _i, why in degraded)
+
+    def test_min_aps_config_raises_quorum(self, scene):
+        tb, sim, target, pairs = scene
+        spotfi = fresh_spotfi(tb, sim, min_aps=4)
+        with pytest.raises(LocalizationError):
+            spotfi.locate(blackout(pairs, {3}))
+
+    def test_corrupt_ap_shape_degrades_only_that_ap(self, scene):
+        tb, sim, target, pairs = scene
+        array, trace = pairs[1]
+        truncated = raw_trace(
+            [
+                raw_frame(
+                    np.array(f.csi[:, :20]),
+                    rssi_dbm=f.rssi_dbm,
+                    timestamp_s=f.timestamp_s,
+                    source=f.source,
+                )
+                for f in trace
+            ]
+        )
+        corrupted = list(pairs)
+        corrupted[1] = (array, truncated)
+        fix = fresh_spotfi(tb, sim).locate(corrupted)
+        assert fix.degraded_aps == (1,)
+        assert fix.reports[1].failure is not None
+        assert fix.error_to(target) < 1.5

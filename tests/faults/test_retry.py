@@ -1,0 +1,147 @@
+"""Tests for the retry policy and executor retry/deadline integration."""
+
+import random
+import time
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    EstimationError,
+)
+from repro.faults.retry import NO_RETRY, RetryPolicy
+from repro.runtime import ParallelExecutor, RuntimeMetrics, SerialExecutor
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 2.0},
+            {"timeout_s": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_no_retry_sentinel(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.timeout_s == 0.0
+
+    def test_transient_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(OSError("disk"))
+        assert policy.is_transient(RuntimeError("pool"))
+        assert not policy.is_transient(ValueError("logic"))
+        # Library errors are deterministic verdicts about the input.
+        assert not policy.is_transient(EstimationError("no peaks"))
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, backoff_factor=2.0, jitter=0.0, max_delay_s=10.0
+        )
+        rng = random.Random(0)
+        assert policy.delay_for(1, rng) == pytest.approx(0.1)
+        assert policy.delay_for(2, rng) == pytest.approx(0.2)
+        assert policy.delay_for(3, rng) == pytest.approx(0.4)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, backoff_factor=10.0, jitter=0.0, max_delay_s=2.0
+        )
+        assert policy.delay_for(5, random.Random(0)) == pytest.approx(2.0)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.5, max_delay_s=10.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            delay = policy.delay_for(1, rng)
+            assert 0.5 <= delay <= 1.0
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+
+
+class TestSerialRetry:
+    def test_transient_failure_retried_to_success(self):
+        attempts = []
+
+        def flaky(x):
+            attempts.append(x)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return x * x
+
+        metrics = RuntimeMetrics()
+        ex = SerialExecutor(metrics, retry=FAST_RETRY)
+        assert ex.map_ordered(flaky, [4], stage="s") == [16]
+        assert len(attempts) == 3
+        assert metrics.counter("s.retries") == 2
+        assert metrics.counter("s.errors") == 0
+
+    def test_exhausted_retries_raise_with_kind(self):
+        metrics = RuntimeMetrics()
+        ex = SerialExecutor(metrics, retry=FAST_RETRY)
+
+        def always(x):
+            raise RuntimeError("still down")
+
+        with pytest.raises(RuntimeError):
+            ex.map_ordered(always, [1], stage="s")
+        assert metrics.counter("s.retries") == 2
+        assert metrics.counter("s.errors") == 1
+        assert metrics.counter("s.errors.RuntimeError") == 1
+
+    def test_repro_error_never_retried(self):
+        metrics = RuntimeMetrics()
+        ex = SerialExecutor(metrics, retry=FAST_RETRY)
+        calls = []
+
+        def verdict(x):
+            calls.append(x)
+            raise EstimationError("no peaks")
+
+        with pytest.raises(EstimationError):
+            ex.map_ordered(verdict, [1], stage="s")
+        assert calls == [1]
+        assert metrics.counter("s.retries") == 0
+        assert metrics.counter("s.errors.EstimationError") == 1
+
+    def test_non_transient_not_retried(self):
+        metrics = RuntimeMetrics()
+        ex = SerialExecutor(metrics, retry=FAST_RETRY)
+        with pytest.raises(ValueError):
+            ex.map_ordered(lambda x: (_ for _ in ()).throw(ValueError()), [1], "s")
+        assert metrics.counter("s.retries") == 0
+
+
+def _sleepy(x):
+    time.sleep(1.0)
+    return x
+
+
+def _quick(x):
+    return x * x
+
+
+class TestParallelDeadline:
+    def test_deadline_miss_raises_and_counts(self):
+        metrics = RuntimeMetrics()
+        policy = RetryPolicy(
+            max_attempts=1, timeout_s=0.15, base_delay_s=0.0, jitter=0.0
+        )
+        with ParallelExecutor(workers=1, metrics=metrics, retry=policy) as ex:
+            with pytest.raises(DeadlineExceededError):
+                ex.map_ordered(_sleepy, [1], stage="estimate")
+        assert metrics.counter("estimate.timeouts") == 1
+        assert metrics.counter("estimate.errors.DeadlineExceededError") == 1
+
+    def test_within_deadline_succeeds(self):
+        policy = RetryPolicy(max_attempts=2, timeout_s=30.0)
+        with ParallelExecutor(workers=1, retry=policy) as ex:
+            assert ex.map_ordered(_quick, [2, 3], stage="s") == [4, 9]

@@ -1,0 +1,180 @@
+"""Tests for the fault specification catalog and the injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    ApBlackout,
+    DropAntenna,
+    DropFrame,
+    DuplicateFrame,
+    FaultSpec,
+    NanSubcarriers,
+    PhaseGlitch,
+    ReorderFrames,
+    TruncatePacket,
+    ZeroSubcarriers,
+    raw_frame,
+    raw_trace,
+)
+from repro.runtime.metrics import RuntimeMetrics
+from repro.wifi.csi import CsiFrame, CsiTrace
+
+
+def make_frame(t=0.0, antennas=3, subcarriers=30, seed=0):
+    rng = np.random.default_rng(seed)
+    csi = rng.normal(size=(antennas, subcarriers)) + 1j * rng.normal(
+        size=(antennas, subcarriers)
+    )
+    return CsiFrame(csi=csi, rssi_dbm=-50.0, timestamp_s=t, source="s")
+
+
+def make_trace(n=6):
+    return CsiTrace([make_frame(t=0.1 * i, seed=i) for i in range(n)])
+
+
+class TestRawConstruction:
+    def test_raw_frame_bypasses_validation(self):
+        csi = np.full((3, 30), np.nan, dtype=complex)
+        frame = raw_frame(csi, timestamp_s=1.0, source="x")
+        assert np.isnan(frame.csi).all()
+        assert frame.source == "x"
+
+    def test_raw_trace_allows_mixed_shapes(self):
+        frames = [make_frame(), raw_frame(np.ones((3, 20), dtype=complex))]
+        trace = raw_trace(frames)
+        assert len(trace.frames) == 2
+
+    def test_csiframe_still_validates_normally(self):
+        with pytest.raises(Exception):
+            CsiFrame(
+                csi=np.full((3, 30), np.nan, dtype=complex),
+                rssi_dbm=-50.0,
+                timestamp_s=0.0,
+            )
+
+
+class TestSpecs:
+    def test_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            DropFrame(probability=1.5)
+
+    def test_targets_by_ap(self):
+        spec = DropFrame(ap_id="ap1")
+        assert spec.targets("ap1")
+        assert not spec.targets("ap0")
+        assert FaultSpec().targets("anything")
+
+    def test_drop_frame(self):
+        rng = np.random.default_rng(0)
+        assert DropFrame().apply_frame(make_frame(), rng) == []
+
+    def test_drop_antenna_zeros_one_row(self):
+        rng = np.random.default_rng(0)
+        out = DropAntenna(antenna=1).apply_frame(make_frame(), rng)
+        assert len(out) == 1
+        assert np.all(out[0].csi[1] == 0)
+        assert np.any(out[0].csi[0] != 0)
+
+    def test_nan_subcarriers(self):
+        rng = np.random.default_rng(0)
+        out = NanSubcarriers(count=4).apply_frame(make_frame(), rng)
+        nan_cols = np.isnan(out[0].csi).all(axis=0)
+        assert nan_cols.sum() == 4
+
+    def test_zero_subcarriers(self):
+        rng = np.random.default_rng(0)
+        out = ZeroSubcarriers(count=5).apply_frame(make_frame(), rng)
+        zero_cols = (out[0].csi == 0).all(axis=0)
+        assert zero_cols.sum() == 5
+
+    def test_truncate_packet(self):
+        rng = np.random.default_rng(0)
+        out = TruncatePacket(keep_subcarriers=20).apply_frame(make_frame(), rng)
+        assert out[0].csi.shape == (3, 20)
+
+    def test_phase_glitch_keeps_magnitude(self):
+        rng = np.random.default_rng(0)
+        frame = make_frame()
+        out = PhaseGlitch().apply_frame(frame, rng)
+        assert out[0].csi.shape == frame.csi.shape
+        np.testing.assert_allclose(
+            np.abs(out[0].csi), np.abs(frame.csi), rtol=1e-12
+        )
+        assert not np.allclose(out[0].csi, frame.csi)
+
+    def test_duplicate_frame(self):
+        rng = np.random.default_rng(0)
+        frame = make_frame()
+        out = DuplicateFrame().apply_frame(frame, rng)
+        assert out == [frame, frame]
+
+    def test_reorder_swaps_adjacent(self):
+        rng = np.random.default_rng(0)
+        frames = list(make_trace(4))
+        out = ReorderFrames(probability=1.0).apply_stream(frames, rng)
+        assert out == [frames[1], frames[0], frames[3], frames[2]]
+        assert ReorderFrames.stream_only
+
+    def test_blackout_from_start(self):
+        rng = np.random.default_rng(0)
+        spec = ApBlackout(start_s=0.0)
+        assert spec.apply_frame(make_frame(t=0.0), rng) == []
+
+    def test_blackout_mid_run(self):
+        rng = np.random.default_rng(0)
+        spec = ApBlackout(start_s=0.25)
+        out = spec.apply_stream(list(make_trace(6)), rng)
+        assert len(out) == 3  # t = 0.0, 0.1, 0.2 survive
+        assert all(f.timestamp_s < 0.25 for f in out)
+
+
+class TestInjector:
+    def test_zero_probability_is_identity(self):
+        inj = FaultInjector([DropFrame(probability=0.0)])
+        frame = make_frame()
+        assert inj.corrupt_frame("ap0", frame) == [frame]
+
+    def test_corrupt_frame_skips_stream_only(self):
+        inj = FaultInjector([ReorderFrames(probability=1.0)])
+        frame = make_frame()
+        assert inj.corrupt_frame("ap0", frame) == [frame]
+
+    def test_corrupt_frame_respects_ap_targeting(self):
+        inj = FaultInjector([DropFrame(ap_id="ap1")])
+        frame = make_frame()
+        assert inj.corrupt_frame("ap0", frame) == [frame]
+        assert inj.corrupt_frame("ap1", make_frame()) == []
+
+    def test_injection_counted(self):
+        metrics = RuntimeMetrics()
+        inj = FaultInjector([DropFrame()], metrics=metrics)
+        inj.corrupt_frame("ap0", make_frame())
+        assert metrics.counter("faults.injected.drop_frame") == 1
+        assert metrics.counter("faults.injected.total") == 1
+
+    def test_seed_replays_identically(self):
+        trace = make_trace(8)
+        specs = [NanSubcarriers(probability=0.5, count=2)]
+        out1 = FaultInjector(specs, rng=np.random.default_rng(3)).corrupt_trace(
+            trace
+        )
+        out2 = FaultInjector(specs, rng=np.random.default_rng(3)).corrupt_trace(
+            trace
+        )
+        for a, b in zip(out1.frames, out2.frames):
+            np.testing.assert_array_equal(a.csi, b.csi)
+
+    def test_corrupt_trace_applies_blackout(self):
+        inj = FaultInjector([ApBlackout(start_s=0.0)])
+        out = inj.corrupt_trace(make_trace(5))
+        assert len(out.frames) == 0
+
+    def test_corrupt_pairs_default_ids(self):
+        inj = FaultInjector([ApBlackout(ap_id="ap1", start_s=0.0)])
+        pairs = [("arrayA", make_trace(3)), ("arrayB", make_trace(3))]
+        out = inj.corrupt_pairs(pairs)
+        assert len(out[0][1].frames) == 3
+        assert len(out[1][1].frames) == 0

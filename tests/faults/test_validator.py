@@ -1,0 +1,162 @@
+"""Tests for the frame validator and its quarantine accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults.spec import raw_frame, raw_trace
+from repro.faults.validator import FrameValidator, ValidationPolicy
+from repro.obs.prometheus import render_prometheus
+from repro.runtime.metrics import RuntimeMetrics
+
+
+def clean_csi(antennas=3, subcarriers=30, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (antennas, subcarriers)
+    return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+
+def frame(csi=None, t=0.0, source="s"):
+    if csi is None:
+        csi = clean_csi()
+    return raw_frame(csi, rssi_dbm=-50.0, timestamp_s=t, source=source)
+
+
+def strict_validator(metrics=None):
+    return FrameValidator(
+        ValidationPolicy(expected_antennas=3, expected_subcarriers=30),
+        metrics=metrics,
+    )
+
+
+class TestCheck:
+    def test_clean_frame_passes(self):
+        assert strict_validator().check("ap0", frame()) is None
+
+    def test_wrong_subcarriers_is_shape(self):
+        bad = frame(clean_csi(subcarriers=20))
+        assert strict_validator().check("ap0", bad) == "shape"
+
+    def test_wrong_antennas_is_shape(self):
+        bad = frame(clean_csi(antennas=2))
+        assert strict_validator().check("ap0", bad) == "shape"
+
+    def test_one_dimensional_is_shape(self):
+        bad = frame(np.ones(30, dtype=complex))
+        assert strict_validator().check("ap0", bad) == "shape"
+
+    def test_nan_is_nonfinite(self):
+        csi = clean_csi()
+        csi[1, 4] = np.nan
+        assert strict_validator().check("ap0", frame(csi)) == "nonfinite"
+
+    def test_inf_is_nonfinite(self):
+        csi = clean_csi()
+        csi[0, 0] = np.inf
+        assert strict_validator().check("ap0", frame(csi)) == "nonfinite"
+
+    def test_blank_frame_hits_power_floor(self):
+        v = strict_validator()
+        assert v.check("ap0", frame(np.zeros((3, 30), dtype=complex))) == (
+            "power_floor"
+        )
+
+    def test_dead_chain_hits_antenna_floor(self):
+        csi = clean_csi()
+        csi[2, :] = 0.0
+        assert strict_validator().check("ap0", frame(csi)) == "antenna_power"
+
+    def test_check_is_pure(self):
+        v = strict_validator()
+        bad = frame(clean_csi(subcarriers=20))
+        v.check("ap0", bad)
+        assert v.total_quarantined == 0
+        assert v.counts() == {}
+
+
+class TestTimestamps:
+    def test_backward_timestamp_rejected(self):
+        v = strict_validator()
+        assert v.admit("ap0", frame(t=1.0))
+        assert v.check("ap0", frame(t=0.5)) == "timestamp_order"
+
+    def test_equal_timestamp_passes(self):
+        v = strict_validator()
+        assert v.admit("ap0", frame(t=1.0))
+        assert v.check("ap0", frame(t=1.0)) is None
+
+    def test_streams_are_independent(self):
+        v = strict_validator()
+        assert v.admit("ap0", frame(t=5.0))
+        assert v.check("ap1", frame(t=0.0)) is None
+        assert v.check("ap0", frame(t=0.0, source="other")) is None
+
+    def test_backstep_tolerance(self):
+        v = FrameValidator(ValidationPolicy(max_timestamp_backstep_s=0.5))
+        assert v.admit("ap0", frame(t=1.0))
+        assert v.check("ap0", frame(t=0.6)) is None
+        assert v.check("ap0", frame(t=0.4)) == "timestamp_order"
+
+    def test_negative_backstep_disables(self):
+        v = FrameValidator(ValidationPolicy(max_timestamp_backstep_s=-1.0))
+        assert v.admit("ap0", frame(t=9.0))
+        assert v.check("ap0", frame(t=0.0)) is None
+
+
+class TestAdmit:
+    def test_quarantines_and_counts(self):
+        metrics = RuntimeMetrics()
+        v = strict_validator(metrics)
+        bad = frame(clean_csi(subcarriers=20))
+        assert not v.admit("ap0", bad)
+        assert v.total_quarantined == 1
+        assert v.counts() == {"shape": 1}
+        assert metrics.counter("quarantine.shape") == 1
+        assert metrics.counter("quarantine.total") == 1
+        ap_id, reason, held = v.quarantined[0]
+        assert (ap_id, reason) == ("ap0", "shape")
+        assert held is bad
+
+    def test_quarantine_ring_is_bounded(self):
+        v = FrameValidator(
+            ValidationPolicy(expected_subcarriers=30), quarantine_capacity=2
+        )
+        for _ in range(5):
+            v.admit("ap0", frame(clean_csi(subcarriers=20)))
+        assert len(v.quarantined) == 2
+        assert v.total_quarantined == 5
+
+    def test_raise_on_invalid(self):
+        v = FrameValidator(
+            ValidationPolicy(expected_subcarriers=30, raise_on_invalid=True)
+        )
+        with pytest.raises(ValidationError):
+            v.admit("ap0", frame(clean_csi(subcarriers=20)))
+
+    def test_filter_trace(self):
+        v = strict_validator()
+        frames = [frame(t=0.0), frame(clean_csi(subcarriers=20), t=0.1), frame(t=0.2)]
+        out = v.filter_trace(raw_trace(frames), ap_id="ap0")
+        assert len(out.frames) == 2
+        assert v.total_quarantined == 1
+
+    def test_reset(self):
+        v = strict_validator()
+        v.admit("ap0", frame(clean_csi(subcarriers=20)))
+        v.reset()
+        assert v.total_quarantined == 0
+        assert v.quarantined == []
+
+
+class TestPrometheusExposition:
+    def test_quarantine_counters_render(self):
+        metrics = RuntimeMetrics()
+        v = strict_validator(metrics)
+        csi = clean_csi()
+        csi[0, 0] = np.nan
+        v.admit("ap0", frame(csi))
+        v.admit("ap0", frame(clean_csi(subcarriers=20)))
+        text = render_prometheus(metrics.snapshot())
+        assert "repro_quarantine_nonfinite_total 1" in text
+        assert "repro_quarantine_shape_total 1" in text
+        assert "repro_quarantine_total_total 2" in text

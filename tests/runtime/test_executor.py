@@ -45,6 +45,7 @@ class TestSerialExecutor:
         with pytest.raises(ValueError):
             ex.map_ordered(explode, [1], stage="s")
         assert metrics.counter("s.errors") == 1
+        assert metrics.counter("s.errors.ValueError") == 1
 
 
 class TestParallelExecutor:
@@ -64,9 +65,11 @@ class TestParallelExecutor:
         assert second == [16, 25, 36, 49]
 
     def test_exception_propagates(self):
-        with ParallelExecutor(workers=2) as ex:
+        metrics = RuntimeMetrics()
+        with ParallelExecutor(workers=2, metrics=metrics) as ex:
             with pytest.raises(ValueError):
-                ex.map_ordered(explode, range(3))
+                ex.map_ordered(explode, range(3), stage="s")
+        assert metrics.counter("s.errors.ValueError") >= 1
 
     def test_metrics_batch_timing(self):
         metrics = RuntimeMetrics()

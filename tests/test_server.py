@@ -5,6 +5,8 @@ import pytest
 
 from repro.core.pipeline import SpotFi, SpotFiConfig
 from repro.errors import BackpressureError, ConfigurationError
+from repro.faults import DropFrame, FaultInjector, FrameValidator, ValidationPolicy
+from repro.faults.spec import raw_frame
 from repro.server import SpotFiServer
 from repro.testbed.layout import small_testbed
 from repro.wifi.csi import CsiFrame
@@ -302,3 +304,99 @@ class TestServerRuntime:
         assert snapshot["counters"]["fix.ok"] == 1
         assert snapshot["timings"]["fix"]["count"] == 1
         assert snapshot["timings"]["fix"]["total_s"] > 0
+
+
+class TestServerFaultIntegration:
+    """Chaos layer, validator, and breaker wiring inside the server."""
+
+    def test_flush_evicts_stale_buffers(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, max_burst_age_s=10.0
+        )
+        rng = np.random.default_rng(31)
+        ghost = sim.generate_trace(
+            tb.targets[0].position, tb.aps[0], 3, rng=rng, source="ghost"
+        )
+        for k, frame in enumerate(ghost):
+            server.ingest(
+                "ap0",
+                CsiFrame(
+                    csi=frame.csi, rssi_dbm=frame.rssi_dbm,
+                    timestamp_s=k * 0.1, source="ghost",
+                ),
+            )
+        assert server.pending_packets("ghost") == {"ap0": 3}
+        # A flush for *another* source long after must still sweep the
+        # ghost out -- flush shares the eviction pass with ingest.
+        assert server.flush("live", timestamp_s=100.0) is None
+        assert server.pending_packets("ghost") == {}
+        assert server.metrics.counter("drop.stale") == 3
+        assert server.metrics.counter("buffers.evicted") == 1
+
+    def test_validator_quarantines_before_buffering(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        validator = FrameValidator(
+            ValidationPolicy(
+                expected_antennas=tb.aps[0].num_antennas,
+                expected_subcarriers=sim.grid.num_subcarriers,
+            )
+        )
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, validator=validator
+        )
+        shape = (tb.aps[0].num_antennas, sim.grid.num_subcarriers)
+        bad = raw_frame(
+            np.full(shape, np.nan, dtype=complex),
+            rssi_dbm=-50.0, timestamp_s=0.0, source="aa",
+        )
+        assert server.ingest("ap0", bad) is None
+        assert server.pending_packets("aa") == {}
+        # The validator was given the server's metrics registry.
+        assert server.metrics.counter("quarantine.nonfinite") == 1
+        assert "repro_quarantine_total_total 1" in server.metrics_exposition()
+
+    def test_injector_runs_as_chaos_layer(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        injector = FaultInjector(
+            [DropFrame(probability=1.0)], rng=np.random.default_rng(0)
+        )
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8,
+            fault_injector=injector,
+        )
+        rng = np.random.default_rng(33)
+        trace = sim.generate_trace(
+            tb.targets[0].position, tb.aps[0], 4, rng=rng, source="aa"
+        )
+        for frame in trace:
+            assert server.ingest("ap0", frame) is None
+        assert server.pending_packets("aa") == {}
+        assert server.metrics.counter("faults.injected.drop_frame") == 4
+
+    def test_open_breaker_sheds_ap_and_recovers(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, min_aps=2,
+            breaker_threshold=1, breaker_recovery_s=10.0,
+        )
+        server._breaker_for("ap3").record_failure(0.0)
+        assert server.breaker_states()["ap3"] == "open"
+        rng = np.random.default_rng(35)
+        target = tb.targets[0].position
+        events = stream_target(server, tb, sim, target, "aa", rng)
+        # ap3's burst was shed; the fix proceeded on the other three.
+        assert len(events) == 1 and events[0].ok
+        assert events[0].num_aps == 3
+        assert server.metrics.counter("drop.breaker") == 8
+        assert server.metrics.counter("breaker.opened") == 1
+        exposition = server.metrics_exposition()
+        assert 'repro_circuit_breaker_state{ap="ap3"} 1' in exposition
+        # Past the recovery window the half-open probe is admitted, the
+        # fix uses all four APs again, and success closes the breaker.
+        events = stream_target(server, tb, sim, target, "aa", rng, t0=20.0)
+        assert len(events) == 1 and events[0].num_aps == 4
+        assert server.breaker_states()["ap3"] == "closed"
+        assert server.metrics.counter("breaker.closed") == 1
+        snapshot = server.metrics_snapshot()
+        assert snapshot["breakers"] == {f"ap{i}": "closed" for i in range(4)}
