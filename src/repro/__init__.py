@@ -134,6 +134,7 @@ __all__ = [
     "ValidationPolicy",
     "cluster_estimates",
     "create_executor",
+    "office_testbed",
     "render_prometheus",
     "sanitize_csi",
     "select_direct_path",

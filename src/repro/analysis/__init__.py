@@ -1,0 +1,51 @@
+"""Repo-specific static analysis: lint rules, shape contracts, typing gate.
+
+Three layers keep the pipeline's unwritten conventions written down and
+machine-checked:
+
+* :mod:`repro.analysis.rules` — REP001–REP007 AST lint rules encoding
+  this repo's invariants (seeded RNG, typed error accounting, no
+  mutable defaults, tracer-owned clocks, tolerance float compares,
+  picklable pool tasks, honest ``__all__``).
+* :mod:`repro.analysis.contracts` — the :func:`contract` decorator:
+  runtime ndarray shape/dtype validation, enabled by
+  ``REPRO_CONTRACTS=1`` and compiled to a no-op otherwise; plus
+  :mod:`repro.analysis.contracts_static` cross-checks (REP008/REP009).
+* :mod:`repro.analysis.typegate` — the strict typing gate (mypy when
+  available, AST annotation-coverage fallback) with a checked-in
+  baseline so only *new* violations fail CI.
+
+Run everything with ``python -m repro.analysis --strict src/repro``.
+"""
+
+from repro.analysis.contracts import (
+    apply_contract,
+    contract,
+    contracts_enabled,
+    parse_spec,
+)
+from repro.analysis.contracts_static import check_contracts
+from repro.analysis.findings import Finding, render_json, render_text
+from repro.analysis.rules import DEFAULT_RULES, Linter, Rule, SourceFile
+from repro.analysis.runner import AnalysisReport, run_analysis
+from repro.analysis.typegate import STRICT_PACKAGES, collect_typing_findings, gate
+
+__all__ = [
+    "AnalysisReport",
+    "DEFAULT_RULES",
+    "Finding",
+    "Linter",
+    "Rule",
+    "SourceFile",
+    "STRICT_PACKAGES",
+    "apply_contract",
+    "check_contracts",
+    "collect_typing_findings",
+    "contract",
+    "contracts_enabled",
+    "gate",
+    "parse_spec",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

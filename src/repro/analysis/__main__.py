@@ -1,0 +1,115 @@
+"""CLI for the repo's static analysis: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis src/repro              # lint + contract checks
+    python -m repro.analysis --strict src/repro     # + typing gate; the CI gate
+    python -m repro.analysis --list-rules           # rule catalogue
+    python -m repro.analysis --typing --update-baseline src/repro
+
+Exit code 0 when clean, 1 when any non-baselined finding fires, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.contracts_static import RULE_BAD_SPEC, RULE_SPEC_MISMATCH
+from repro.analysis.rules import DEFAULT_RULES
+from repro.analysis.runner import run_analysis
+from repro.analysis.typegate import (
+    DEFAULT_BASELINE,
+    collect_typing_findings,
+    write_baseline,
+)
+
+
+def _list_rules() -> str:
+    lines = ["Rule catalogue (suppress with `# repro: noqa REP00x`):", ""]
+    for rule in DEFAULT_RULES:
+        doc = (rule.__doc__ or "").strip().splitlines()
+        rationale = doc[0] if doc else ""
+        lines.append(f"  {rule.rule_id}  {rule.title}")
+        lines.append(f"         {rationale}")
+        if rule.hint:
+            lines.append(f"         fix: {rule.hint}")
+    lines.append(f"  {RULE_BAD_SPEC}  invalid @contract spec string or unknown parameter")
+    lines.append(f"  {RULE_SPEC_MISMATCH}  literal shape/dtype conflict between contracted caller/callee")
+    lines.append("  TYP001/TYP002  missing parameter/return annotations (typing gate)")
+    lines.append("  TYP100  mypy --strict diagnostics (when mypy is installed)")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analysis: AST lint, contract cross-checks, typing gate.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"], help="files/dirs to analyze")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="run all passes including the typing gate; any finding fails",
+    )
+    parser.add_argument("--typing", action="store_true", help="include the typing gate")
+    parser.add_argument("--no-lint", action="store_true", help="skip the AST lint pass")
+    parser.add_argument(
+        "--no-contracts", action="store_true", help="skip the static contract pass"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to run (e.g. REP001,REP005)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"typing-gate baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--typing-engine",
+        choices=("auto", "mypy", "fallback"),
+        default="auto",
+        help="mypy when importable (auto), or force the AST fallback",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current typing findings and exit",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.update_baseline:
+        findings = collect_typing_findings(args.paths, engine=args.typing_engine)
+        count = write_baseline(args.baseline, findings)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {args.baseline}")
+        return 0
+    rule_ids = args.select.split(",") if args.select else None
+    report = run_analysis(
+        args.paths,
+        lint=not args.no_lint,
+        contracts=not args.no_contracts,
+        typing=args.strict or args.typing,
+        rule_ids=rule_ids,
+        baseline_path=args.baseline,
+        typing_engine=args.typing_engine,
+    )
+    print(report.render(args.format))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

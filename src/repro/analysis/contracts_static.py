@@ -1,0 +1,228 @@
+"""Static cross-checking of ``@contract`` declarations (REP008/REP009).
+
+Two checks run without importing any target code:
+
+* **REP008** — every spec string in a ``@contract(...)`` decorator must
+  parse, and every keyword must name a real parameter of the decorated
+  function.  A typo'd spec that only explodes when ``REPRO_CONTRACTS=1``
+  is itself a latent bug.
+* **REP009** — where a contracted function's result flows *directly*
+  into another contracted function (``g(f(x))``), the literal parts of
+  ``f``'s return spec must be consistent with ``g``'s parameter spec:
+  same rank, equal integer dims, compatible dtypes.  Symbolic dims
+  (``M``, ``N``) and wildcards are not constrained statically — only
+  what is literally written can be literally wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.contracts import _ABSTRACT_KINDS, Spec, parse_spec
+from repro.analysis.findings import Finding
+from repro.analysis.rules import SourceFile, _dotted_name, iter_python_files
+from repro.errors import ConfigurationError
+
+RULE_BAD_SPEC = "REP008"
+RULE_SPEC_MISMATCH = "REP009"
+
+_HINT_BAD_SPEC = "fix the spec string: '(DIM,...) dtype' with int/symbol/* dims"
+_HINT_MISMATCH = "align the producer's returns spec with the consumer's parameter spec"
+
+
+@dataclass(frozen=True)
+class ContractedFunction:
+    """A statically discovered ``@contract``-decorated function."""
+
+    name: str
+    path: str
+    line: int
+    param_order: Tuple[str, ...]
+    param_specs: Dict[str, Spec]
+    returns: Optional[Spec]
+
+
+def _contract_decorator(node: ast.AST) -> Optional[ast.Call]:
+    if isinstance(node, ast.Call) and _dotted_name(node.func).split(".")[-1] == "contract":
+        return node
+    return None
+
+
+def _spec_keywords(call: ast.Call) -> Iterator[Tuple[str, ast.expr]]:
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg != "enabled":
+            yield kw.arg, kw.value
+
+
+def collect_contracts(
+    module: SourceFile,
+) -> Tuple[List[ContractedFunction], List[Finding]]:
+    """Parse every ``@contract`` in a module; return (table, REP008 findings)."""
+    functions: List[ContractedFunction] = []
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            call = _contract_decorator(decorator)
+            if call is None:
+                continue
+            args = node.args
+            param_names = tuple(
+                a.arg
+                for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            )
+            specs: Dict[str, Spec] = {}
+            returns: Optional[Spec] = None
+            for name, value in _spec_keywords(call):
+                if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+                    continue  # dynamically built spec — nothing to check statically
+                try:
+                    spec = parse_spec(value.value)
+                except ConfigurationError as exc:
+                    findings.append(
+                        Finding(
+                            path=module.path,
+                            line=value.lineno,
+                            rule_id=RULE_BAD_SPEC,
+                            message=f"invalid contract spec on `{node.name}`: {exc}",
+                            hint=_HINT_BAD_SPEC,
+                        )
+                    )
+                    continue
+                if name == "returns":
+                    returns = spec
+                elif name not in param_names:
+                    findings.append(
+                        Finding(
+                            path=module.path,
+                            line=value.lineno,
+                            rule_id=RULE_BAD_SPEC,
+                            message=(
+                                f"contract on `{node.name}` names unknown "
+                                f"parameter {name!r}"
+                            ),
+                            hint=_HINT_BAD_SPEC,
+                        )
+                    )
+                else:
+                    specs[name] = spec
+            functions.append(
+                ContractedFunction(
+                    name=node.name,
+                    path=module.path,
+                    line=node.lineno,
+                    param_order=param_names,
+                    param_specs=specs,
+                    returns=returns,
+                )
+            )
+    return functions, findings
+
+
+def _dtypes_compatible(a: Optional[str], b: Optional[str]) -> bool:
+    if a is None or b is None or "any" in (a, b):
+        return True
+    kinds_a, kinds_b = _ABSTRACT_KINDS.get(a), _ABSTRACT_KINDS.get(b)
+    if kinds_a is None and kinds_b is None:  # both concrete
+        return a == b
+    import numpy as np
+
+    if kinds_a is None:
+        return np.dtype(a).kind in (kinds_b or ())
+    if kinds_b is None:
+        return np.dtype(b).kind in (kinds_a or ())
+    return bool(set(kinds_a) & set(kinds_b)) or not (kinds_a and kinds_b)
+
+
+def _specs_conflict(produced: Spec, consumed: Spec) -> Optional[str]:
+    """A human-readable conflict between two specs, or None if compatible."""
+    if produced.is_scalar != consumed.is_scalar:
+        return (
+            f"producer returns {produced.text!r} but consumer expects "
+            f"{consumed.text!r} (scalar vs array)"
+        )
+    if not produced.is_scalar:
+        assert produced.dims is not None and consumed.dims is not None
+        if len(produced.dims) != len(consumed.dims):
+            return (
+                f"rank mismatch: producer returns {len(produced.dims)}-D "
+                f"{produced.text!r}, consumer expects {len(consumed.dims)}-D "
+                f"{consumed.text!r}"
+            )
+        for axis, (pd, cd) in enumerate(zip(produced.dims, consumed.dims)):
+            if pd.size is not None and cd.size is not None and pd.size != cd.size:
+                return (
+                    f"axis {axis}: producer returns {pd.size}, consumer "
+                    f"expects {cd.size}"
+                )
+    if not _dtypes_compatible(produced.dtype, consumed.dtype):
+        return f"dtype mismatch: producer {produced.dtype}, consumer {consumed.dtype}"
+    return None
+
+
+def cross_check(
+    modules: Iterable[SourceFile],
+    table: Dict[str, ContractedFunction],
+) -> Iterator[Finding]:
+    """REP009: check ``g(f(...))`` call sites against the contract table."""
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Name):
+                continue
+            consumer = table.get(node.func.id)
+            if consumer is None:
+                continue
+            for position, arg in enumerate(node.args):
+                if not (isinstance(arg, ast.Call) and isinstance(arg.func, ast.Name)):
+                    continue
+                producer = table.get(arg.func.id)
+                if producer is None or producer.returns is None:
+                    continue
+                if position >= len(consumer.param_order):
+                    continue
+                param = consumer.param_order[position]
+                consumed = consumer.param_specs.get(param)
+                if consumed is None:
+                    continue
+                conflict = _specs_conflict(producer.returns, consumed)
+                if conflict:
+                    yield Finding(
+                        path=module.path,
+                        line=arg.lineno,
+                        rule_id=RULE_SPEC_MISMATCH,
+                        message=(
+                            f"`{consumer.name}({param}={producer.name}(...))`: "
+                            f"{conflict}"
+                        ),
+                        hint=_HINT_MISMATCH,
+                    )
+
+
+def check_contracts(paths: Iterable[str]) -> List[Finding]:
+    """Run both static contract checks over files/directories."""
+    modules: List[SourceFile] = []
+    table: Dict[str, ContractedFunction] = {}
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            module = SourceFile.parse(path)
+        except SyntaxError:
+            continue  # the lint pass reports syntax errors
+        modules.append(module)
+        functions, bad_specs = collect_contracts(module)
+        findings.extend(bad_specs)
+        for fn in functions:
+            table[fn.name] = fn
+    findings.extend(cross_check(modules, table))
+    findings = [f for f in findings if not _suppressed_in(modules, f)]
+    return sorted(set(findings))
+
+
+def _suppressed_in(modules: List[SourceFile], finding: Finding) -> bool:
+    for module in modules:
+        if module.path == finding.path:
+            return module.suppressed(finding.rule_id, finding.line)
+    return False

@@ -1,0 +1,69 @@
+"""Finding records shared by every analysis pass.
+
+A :class:`Finding` is one diagnostic: a stable rule ID, a location, a
+message, and an optional autofix hint.  All three passes (lint,
+contract cross-check, typing gate) report through this type so the
+runner can format, count, and gate them uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by an analysis pass.
+
+    Attributes
+    ----------
+    path:
+        File the finding is anchored to (repo-relative when possible).
+    line:
+        1-indexed source line; 0 for file-level findings.
+    rule_id:
+        Stable identifier (``REP001`` ... / ``TYP001`` ...).  Suppression
+        comments and the baseline file key off this.
+    message:
+        Human-readable description of the violation.
+    hint:
+        Short autofix suggestion ("pass a numpy Generator instead").
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """``path:line: REP00x message (hint: ...)`` — editor-clickable."""
+        text = f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def baseline_key(self) -> str:
+        """Line-number-free identity used by the typing-gate baseline.
+
+        Omitting the line keeps baseline entries stable across unrelated
+        edits above the violation.
+        """
+        return f"{self.path}::{self.rule_id}::{self.message}"
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """All findings, one per line, sorted by location then rule."""
+    return "\n".join(f.format() for f in sorted(findings))
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Findings as a JSON array (for editor/CI integration)."""
+    return json.dumps([asdict(f) for f in sorted(findings)], indent=2)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic ordering: path, then line, then rule ID."""
+    return sorted(findings)

@@ -1,0 +1,89 @@
+"""Orchestrates the three analysis passes and the CLI exit code.
+
+Passes:
+
+1. **lint** — the REP001–REP007 AST rules (:mod:`repro.analysis.rules`).
+2. **contracts** — REP008/REP009 static contract validation
+   (:mod:`repro.analysis.contracts_static`).
+3. **typing** — the strict typing gate with its checked-in baseline
+   (:mod:`repro.analysis.typegate`); runs only with ``--strict`` or
+   ``--typing``.
+
+Any non-baselined finding makes :func:`run_analysis` report failure
+(exit code 1 from the CLI); a clean tree exits 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.contracts_static import check_contracts
+from repro.analysis.findings import Finding, render_json, render_text, sort_findings
+from repro.analysis.rules import DEFAULT_RULES, Linter, Rule
+from repro.analysis.typegate import DEFAULT_BASELINE, gate
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated result of one analysis run."""
+
+    lint: List[Finding] = field(default_factory=list)
+    contracts: List[Finding] = field(default_factory=list)
+    typing_new: List[Finding] = field(default_factory=list)
+    typing_baselined: List[Finding] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[Finding]:
+        """Findings that fail the run (baselined typing findings don't)."""
+        return sort_findings([*self.lint, *self.contracts, *self.typing_new])
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return render_json(self.failures)
+        lines: List[str] = []
+        if self.failures:
+            lines.append(render_text(self.failures))
+        summary = (
+            f"repro.analysis: {len(self.lint)} lint, "
+            f"{len(self.contracts)} contract, "
+            f"{len(self.typing_new)} typing finding(s)"
+        )
+        if self.typing_baselined:
+            summary += f" ({len(self.typing_baselined)} baselined)"
+        lines.append(summary + (" — FAIL" if self.failures else " — OK"))
+        return "\n".join(lines)
+
+
+def select_rules(ids: Optional[Sequence[str]]) -> List[Rule]:
+    """The default rule set, optionally filtered to specific rule IDs."""
+    if not ids:
+        return list(DEFAULT_RULES)
+    wanted = {rule_id.strip().upper() for rule_id in ids}
+    return [rule for rule in DEFAULT_RULES if rule.rule_id in wanted]
+
+
+def run_analysis(
+    paths: Sequence[str],
+    lint: bool = True,
+    contracts: bool = True,
+    typing: bool = False,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline_path: str = DEFAULT_BASELINE,
+    typing_engine: str = "auto",
+) -> AnalysisReport:
+    """Run the requested passes over ``paths`` and aggregate findings."""
+    report = AnalysisReport()
+    if lint:
+        report.lint = Linter(select_rules(rule_ids)).lint_paths(paths)
+    if contracts:
+        report.contracts = check_contracts(paths)
+    if typing:
+        report.typing_new, report.typing_baselined = gate(
+            paths, baseline_path=baseline_path, engine=typing_engine
+        )
+    return report

@@ -1,0 +1,177 @@
+"""The strict typing gate (pass 3 of ``python -m repro.analysis``).
+
+Preferred engine: ``mypy --strict`` over ``src/repro`` when mypy is
+importable.  The container/CI image may not ship mypy, so a built-in
+AST fallback enforces the load-bearing subset of strictness that needs
+no type inference: every function in the gate's scope must annotate
+every parameter *and* its return type (mypy's
+``--disallow-untyped-defs`` / ``--disallow-incomplete-defs``).
+
+Gating is baseline-driven: a checked-in ``typing-baseline.txt`` lists
+the historical violations (line-number-free keys, so unrelated edits
+don't churn it), and the gate fails only on findings *not* in the
+baseline.  Entries under the strict packages (``repro.core``,
+``repro.runtime``, ``repro.obs``, ``repro.faults``,
+``repro.analysis``) are ignored when loading, so those packages can
+never hide behind the baseline — they must be clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import SourceFile, iter_python_files
+
+RULE_PARAM = "TYP001"
+RULE_RETURN = "TYP002"
+RULE_MYPY = "TYP100"
+
+#: Packages that must pass the gate with zero findings (no baseline).
+STRICT_PACKAGES: Tuple[str, ...] = (
+    "repro/core",
+    "repro/runtime",
+    "repro/obs",
+    "repro/faults",
+    "repro/analysis",
+)
+
+DEFAULT_BASELINE = "typing-baseline.txt"
+
+
+def in_strict_package(path: str) -> bool:
+    """True when ``path`` falls under a package that may not be baselined."""
+    normalized = path.replace("\\", "/")
+    return any(f"{pkg}/" in normalized or normalized.endswith(f"{pkg}.py") for pkg in STRICT_PACKAGES)
+
+
+def _missing_annotations(module: SourceFile) -> Iterable[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        for index, param in enumerate(params):
+            if index == 0 and param.arg in {"self", "cls"}:
+                continue
+            if param.annotation is None:
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    rule_id=RULE_PARAM,
+                    message=f"`{node.name}()` parameter {param.arg!r} lacks a type annotation",
+                    hint="annotate (use numpy.typing.NDArray for arrays)",
+                )
+        if node.returns is None:
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                rule_id=RULE_RETURN,
+                message=f"`{node.name}()` lacks a return annotation",
+                hint="annotate the return type (-> None for procedures)",
+            )
+
+
+def _mypy_available() -> bool:
+    try:
+        import mypy.api  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _run_mypy(paths: Sequence[str]) -> List[Finding]:
+    from mypy import api
+
+    stdout, _, _ = api.run(
+        ["--strict", "--no-error-summary", "--show-error-codes", *paths]
+    )
+    findings: List[Finding] = []
+    for line in stdout.splitlines():
+        parts = line.split(":", 2)
+        if len(parts) < 3 or not parts[1].strip().isdigit():
+            continue
+        findings.append(
+            Finding(
+                path=parts[0].strip(),
+                line=int(parts[1]),
+                rule_id=RULE_MYPY,
+                message=parts[2].strip(),
+                hint="",
+            )
+        )
+    return findings
+
+
+def collect_typing_findings(paths: Sequence[str], engine: str = "auto") -> List[Finding]:
+    """All typing violations in ``paths`` using the best available engine.
+
+    ``engine``: ``"auto"`` (mypy when importable, else fallback),
+    ``"mypy"``, or ``"fallback"``.
+    """
+    if engine == "mypy" or (engine == "auto" and _mypy_available()):
+        return _run_mypy(list(paths))
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            module = SourceFile.parse(path)
+        except SyntaxError:
+            continue  # the lint pass reports syntax errors
+        for finding in _missing_annotations(module):
+            if not module.suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Baseline keys from ``path``; strict-package entries are dropped."""
+    baseline_file = Path(path)
+    if not baseline_file.exists():
+        return set()
+    keys: Set[str] = set()
+    for line in baseline_file.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if in_strict_package(line.split("::", 1)[0]):
+            continue  # strict packages may never hide behind the baseline
+        keys.add(line)
+    return keys
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the baseline file from current findings; returns entry count."""
+    keys = sorted(
+        {f.baseline_key() for f in findings if not in_strict_package(f.path)}
+    )
+    header = (
+        "# repro.analysis typing-gate baseline — known pre-existing violations.\n"
+        "# The gate fails only on findings NOT listed here.  Strict packages\n"
+        "# (repro.core/runtime/obs/faults/analysis) are never baselined.\n"
+        "# Regenerate: python -m repro.analysis --typing --update-baseline src/repro\n"
+    )
+    Path(path).write_text(header + "\n".join(keys) + ("\n" if keys else ""))
+    return len(keys)
+
+
+def gate(
+    paths: Sequence[str],
+    baseline_path: str = DEFAULT_BASELINE,
+    engine: str = "auto",
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run the typing gate.
+
+    Returns ``(new, baselined)``: findings that fail the gate vs. those
+    excused by the baseline file.
+    """
+    findings = collect_typing_findings(paths, engine=engine)
+    baseline = load_baseline(baseline_path)
+    new = [f for f in findings if f.baseline_key() not in baseline]
+    excused = [f for f in findings if f.baseline_key() in baseline]
+    return new, excused

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.csi_model import ChannelSimulator
-from repro.errors import ConfigurationError, LocalizationError
+from repro.errors import ConfigurationError, LocalizationError, ReproError
 from repro.geom.points import Point, PointLike, as_point
 from repro.wifi.arrays import UniformLinearArray
 
@@ -104,7 +104,9 @@ def survey(
             for j, ap in enumerate(aps):
                 try:
                     profile = simulator.profile((float(x), float(y)), ap)
-                except Exception:
+                except ReproError:
+                    # An AP with no propagation path to this grid point
+                    # simply contributes no fingerprint sample.
                     continue
                 if profile.num_paths == 0:
                     continue

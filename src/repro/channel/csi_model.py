@@ -26,6 +26,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.contracts import contract
 from repro.channel.chains import ChainOffsets
 from repro.channel.impairments import ImpairmentModel, ImpairmentState
 from repro.channel.materials import DEFAULT_MATERIALS, MaterialLibrary
@@ -40,6 +41,7 @@ from repro.wifi.csi import CsiFrame, CsiTrace
 from repro.wifi.ofdm import OfdmGrid
 
 
+@contract(returns="(M,N) complex128")
 def synthesize_csi(
     paths: Union[MultipathProfile, Sequence[PropagationPath]],
     array: UniformLinearArray,

@@ -125,7 +125,7 @@ class ImpairmentModel:
         n = np.arange(num_subcarriers)
         sto_ramp = np.exp(-2j * np.pi * subcarrier_spacing_hz * n * state.sto_s)
         out = csi * sto_ramp[None, :]
-        if state.cfo_phase_rad != 0.0:
+        if state.cfo_phase_rad:
             out = out * np.exp(1j * state.cfo_phase_rad)
         if np.isfinite(state.snr_db):
             signal_power = float(np.mean(np.abs(out) ** 2))

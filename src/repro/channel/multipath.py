@@ -67,7 +67,7 @@ class MultipathProfile:
         """RSSI (dBm) of the summed multipath power at transmit power
         ``tx_power_dbm``."""
         power = self.total_power()
-        if power == 0.0:
+        if power <= 0.0:
             return float("-inf")
         return tx_power_dbm + 10.0 * float(np.log10(power))
 
@@ -80,7 +80,7 @@ class MultipathProfile:
     def has_strong_direct(self, margin_db: float = 6.0) -> bool:
         """True if a direct path exists within ``margin_db`` of the strongest."""
         direct = self.direct_path()
-        if direct is None or abs(direct.gain) == 0.0:
+        if direct is None or abs(direct.gain) <= 0.0:
             return False
         strongest = abs(self.strongest_path().gain)
         return 20.0 * math.log10(abs(direct.gain) / strongest) >= -margin_db
@@ -199,7 +199,7 @@ def extract_profile(
     paths: List[PropagationPath] = []
     for t in traced:
         gain = path_gain(t, wavelength_m, floorplan, materials)
-        if abs(gain) == 0.0:
+        if abs(gain) <= 0.0:
             continue
         bearing = t.arrival_bearing_deg()
         relative = angle_diff_deg(bearing, array.normal_deg)

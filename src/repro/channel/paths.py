@@ -54,7 +54,7 @@ class PropagationPath:
     def power_db(self) -> float:
         """Path power 20*log10|gain| (dB relative to unit transmit amplitude)."""
         mag = abs(self.gain)
-        if mag == 0.0:
+        if mag <= 0.0:
             return float("-inf")
         return float(20.0 * np.log10(mag))
 

@@ -28,7 +28,7 @@ and the ablation benchmark compares both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +41,9 @@ from repro.errors import EstimationError
 from repro.wifi.csi import CsiTrace, validate_csi_matrix
 
 
-def _selection_indices(sub_antennas: int, sub_subcarriers: int):
+def _selection_indices(
+    sub_antennas: int, sub_subcarriers: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Row-index selections (J1, J2) for both shift directions.
 
     Rows of the smoothed matrix are antenna-major: index = m * N + n.
@@ -173,7 +175,7 @@ class EspritEstimator:
         angle = np.angle(omega)  # (-pi, pi]
         return float(-angle / (2.0 * np.pi * self._sub_model.subcarrier_spacing_hz))
 
-    def _aoa_from_phi(self, phi: complex):
+    def _aoa_from_phi(self, phi: complex) -> Optional[float]:
         """Invert Phi(theta) = exp(-j 2 pi d sin(theta) f / c)."""
         angle = np.angle(phi)
         from repro.constants import SPEED_OF_LIGHT
@@ -188,7 +190,9 @@ class EspritEstimator:
             return None  # outside the visible region: a spurious mode
         return float(np.degrees(np.arcsin(sin_theta)))
 
-    def _path_powers(self, csi: np.ndarray, estimates) -> np.ndarray:
+    def _path_powers(
+        self, csi: np.ndarray, estimates: Sequence[Tuple[float, float]]
+    ) -> np.ndarray:
         """Least-squares path powers against the full-array steering matrix."""
         aoas = [a for a, _ in estimates]
         tofs = [t for _, t in estimates]

@@ -8,7 +8,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -24,10 +24,14 @@ from repro.core.sanitize import sanitize_csi
 from repro.core.smoothing import SmoothingConfig, smooth_csi, smooth_csi_batch
 from repro.core.steering import SteeringModel
 from repro.errors import EstimationError
+from repro.analysis.contracts import contract
 from repro.runtime.cache import default_steering_cache
 from repro.wifi.arrays import UniformLinearArray
 from repro.wifi.csi import CsiTrace, validate_csi_matrix
 from repro.wifi.ofdm import OfdmGrid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -109,7 +113,9 @@ class JointEstimator:
         spectrum, aoa_grid, tof_grid = self.spectrum(csi)
         return self.stage_peaks(spectrum, aoa_grid, tof_grid, packet_index)
 
-    def spectrum(self, csi: np.ndarray):
+    def spectrum(
+        self, csi: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The (spectrum, aoa_grid, tof_grid) for one packet's CSI.
 
         Exposed separately so diagnostics/benchmarks can inspect the full
@@ -124,6 +130,7 @@ class JointEstimator:
     # (repro.core.pipeline with a real repro.obs tracer) drives them one
     # at a time so each stage gets its own span.
 
+    @contract(csi="(M,N)", returns="(M,N) complex128")
     def stage_sanitize(self, csi: np.ndarray) -> np.ndarray:
         """Validate one packet's CSI and apply Algorithm 1 (if enabled)."""
         csi = validate_csi_matrix(csi)
@@ -136,11 +143,14 @@ class JointEstimator:
             csi = sanitize_csi(csi)
         return csi
 
+    @contract(csi="(M,N)", returns="(S,C) complex128")
     def stage_smooth(self, csi: np.ndarray) -> np.ndarray:
         """Fig. 4 smoothing of sanitized CSI into the subarray matrix."""
         return smooth_csi(csi, self.smoothing)
 
-    def stage_music(self, x: np.ndarray):
+    def stage_music(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """MUSIC over a smoothed matrix -> (spectrum, aoa_grid, tof_grid)."""
         e_signal, e_noise, _ = subspaces(
             covariance(x), self.music, num_snapshots=x.shape[1]
@@ -195,7 +205,9 @@ class JointEstimator:
     # ------------------------------------------------------------------
     # Traces
     # ------------------------------------------------------------------
-    def estimate_trace(self, trace: CsiTrace, executor=None) -> List[PathEstimate]:
+    def estimate_trace(
+        self, trace: CsiTrace, executor: Optional["Executor"] = None
+    ) -> List[PathEstimate]:
         """Estimates pooled over every packet of a trace (Alg. 2 lines 2-8).
 
         ``executor`` (a :class:`repro.runtime.executor.Executor`) fans the
@@ -275,7 +287,7 @@ class JointEstimator:
         grid: OfdmGrid,
         smoothing: Optional[SmoothingConfig] = None,
         music: Optional[MusicConfig] = None,
-        **kwargs,
+        **kwargs: object,
     ) -> "JointEstimator":
         """Estimator for an Intel 5300-style (M x 30) CSI report."""
         model = SteeringModel.for_grid(
@@ -291,7 +303,9 @@ class JointEstimator:
         )
 
 
-def estimate_packet_task(task) -> List[PathEstimate]:
+def estimate_packet_task(
+    task: Tuple["JointEstimator", np.ndarray, int]
+) -> List[PathEstimate]:
     """Executor task: one packet through one estimator.
 
     ``task`` is ``(estimator, csi, packet_index)``.  Module-level so a
@@ -302,7 +316,9 @@ def estimate_packet_task(task) -> List[PathEstimate]:
     return estimator.estimate_packet(csi, packet_index=packet_index)
 
 
-def estimate_packet_safe(task):
+def estimate_packet_safe(
+    task: Tuple["JointEstimator", np.ndarray, int]
+) -> Union[List[PathEstimate], EstimationError]:
     """Executor task that converts per-packet estimation failures to values.
 
     Used by the batched multi-AP fan-out in
@@ -318,6 +334,7 @@ def estimate_packet_safe(task):
         return exc
 
 
+@contract(returns="(K,4) float64")
 def estimates_as_array(estimates: List[PathEstimate]) -> np.ndarray:
     """(K, 4) float array of [aoa_deg, tof_s, power, packet_index] rows."""
     if not estimates:

@@ -27,7 +27,7 @@ from scipy import optimize
 
 from repro.channel.pathloss import LogDistancePathLoss
 from repro.errors import LocalizationError
-from repro.geom.points import Point, angle_diff_deg, as_point
+from repro.geom.points import Point, PointLike, angle_diff_deg, as_point
 from repro.wifi.arrays import UniformLinearArray
 
 #: Physical clamp for the fitted path-loss exponent.
@@ -85,7 +85,7 @@ class LocalizationResult:
     rssi_residuals_db: Tuple[float, ...] = ()
     iterations: int = 0
 
-    def error_to(self, truth) -> float:
+    def error_to(self, truth: PointLike) -> float:
         """Euclidean distance (m) from the estimate to a ground-truth point."""
         return self.position.distance_to(as_point(truth))
 

@@ -24,6 +24,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import contract
 from repro.core.steering import SteeringModel
 from repro.errors import ConfigurationError, EstimationError
 
@@ -88,6 +89,7 @@ class MusicConfig:
         return np.arange(lo, hi + step / 2, step)
 
 
+@contract(cov="(S,S)", returns="(S,S) complex128")
 def forward_backward_average(cov: np.ndarray) -> np.ndarray:
     """Forward-backward average ``(R + J R* J) / 2`` of a covariance.
 
@@ -102,6 +104,7 @@ def forward_backward_average(cov: np.ndarray) -> np.ndarray:
     return (r + flipped) / 2.0
 
 
+@contract(returns="(S,S) complex128")
 def covariance(smoothed: np.ndarray) -> np.ndarray:
     """X X^H for a smoothed measurement matrix (sensors x snapshots)."""
     x = np.asarray(smoothed, dtype=np.complex128)
@@ -110,6 +113,7 @@ def covariance(smoothed: np.ndarray) -> np.ndarray:
     return x @ x.conj().T
 
 
+@contract(eigenvalues="(S)", num_snapshots="int", returns="int")
 def mdl_signal_dimension(eigenvalues: np.ndarray, num_snapshots: int) -> int:
     """Model order via the MDL criterion (Wax-Kailath).
 
@@ -183,6 +187,12 @@ def noise_subspace(
     return e_noise, num_signals
 
 
+@contract(
+    e_noise="(MN,K)",
+    phi="(A,M)",
+    omega="(T,N)",
+    returns="(A,T) float64",
+)
 def music_spectrum(
     e_noise: np.ndarray,
     model: SteeringModel,
@@ -237,6 +247,12 @@ def music_spectrum(
     return 1.0 / denom
 
 
+@contract(
+    e_signal="(MN,K)",
+    phi="(A,M)",
+    omega="(T,N)",
+    returns="(A,T) float64",
+)
 def music_spectrum_from_signal(
     e_signal: np.ndarray,
     model: SteeringModel,
@@ -274,6 +290,7 @@ def music_spectrum_from_signal(
     return 1.0 / denom
 
 
+@contract(e_noise="(MN,K)", aoa_deg="float", tof_s="float", returns="float")
 def spectrum_value(
     e_noise: np.ndarray, model: SteeringModel, aoa_deg: float, tof_s: float
 ) -> float:

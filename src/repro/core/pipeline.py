@@ -32,7 +32,8 @@ from repro.errors import (
     LocalizationError,
     ReproError,
 )
-from repro.obs import NOOP_TRACER, cluster_summary, downsample_spectrum
+from repro.geom.points import Point, PointLike
+from repro.obs import NOOP_TRACER, Tracer, cluster_summary, downsample_spectrum
 from repro.runtime.executor import Executor, SerialExecutor
 from repro.wifi.arrays import UniformLinearArray
 from repro.wifi.csi import CsiTrace
@@ -150,7 +151,7 @@ class SpotFiFix:
     reports: Tuple[ApReport, ...]
 
     @property
-    def position(self):
+    def position(self) -> Point:
         return self.result.position
 
     @property
@@ -163,7 +164,7 @@ class SpotFiFix:
         """Indices (into ``reports``) of the APs that degraded."""
         return tuple(i for i, r in enumerate(self.reports) if not r.usable)
 
-    def error_to(self, truth) -> float:
+    def error_to(self, truth: PointLike) -> float:
         return self.result.error_to(truth)
 
 
@@ -210,7 +211,7 @@ class SpotFi:
         config: Optional[SpotFiConfig] = None,
         rng: Optional[np.random.Generator] = None,
         executor: Optional[Executor] = None,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.grid = grid
         self.config = config or SpotFiConfig()
@@ -223,7 +224,7 @@ class SpotFi:
     # ------------------------------------------------------------------
     # Per-AP processing (Alg. 2 lines 1-11)
     # ------------------------------------------------------------------
-    def estimator_for(self, array: UniformLinearArray):
+    def estimator_for(self, array: UniformLinearArray) -> JointEstimator:
         """The joint estimator for an AP's array geometry (cached)."""
         key = (array.num_antennas, array.spacing_m)
         if key not in self._estimators:
@@ -495,7 +496,7 @@ class SpotFi:
         return tuple(reports)
 
     def _isolated_ap_report(
-        self, array: UniformLinearArray, used: CsiTrace, estimator
+        self, array: UniformLinearArray, used: CsiTrace, estimator: JointEstimator
     ) -> ApReport:
         """Re-run one AP's estimation alone after a batched-map failure.
 

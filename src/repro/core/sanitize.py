@@ -19,9 +19,11 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import contract
 from repro.wifi.csi import CsiFrame, validate_csi_matrix
 
 
+@contract(psi="(M,N)")
 def fit_common_slope(psi: np.ndarray) -> Tuple[float, float]:
     """Least-squares common (slope, intercept) of phase vs subcarrier index.
 
@@ -46,6 +48,7 @@ def fit_common_slope(psi: np.ndarray) -> Tuple[float, float]:
     return float(slope), float(intercept)
 
 
+@contract(csi="(M,N)", subcarrier_spacing_hz="float", returns="float")
 def estimate_sto(csi: np.ndarray, subcarrier_spacing_hz: float) -> float:
     """Estimated STO (s) from a CSI matrix's common phase slope.
 
@@ -59,6 +62,7 @@ def estimate_sto(csi: np.ndarray, subcarrier_spacing_hz: float) -> float:
     return -slope / (2.0 * np.pi * subcarrier_spacing_hz)
 
 
+@contract(psi="(M,N)", returns="(M,N) float64")
 def sanitize_phase(psi: np.ndarray) -> np.ndarray:
     """Algorithm 1 on an unwrapped phase matrix: remove the common slope.
 
@@ -72,6 +76,7 @@ def sanitize_phase(psi: np.ndarray) -> np.ndarray:
     return psi - slope * n[None, :]
 
 
+@contract(csi="(M,N)", returns="(M,N) complex128")
 def sanitize_csi(csi: np.ndarray) -> np.ndarray:
     """Apply Algorithm 1 to a complex CSI matrix.
 
@@ -96,6 +101,7 @@ def sanitize_frame(frame: CsiFrame) -> CsiFrame:
     )
 
 
+@contract(csi_frames="(P,M,N)", returns="float")
 def phase_dispersion_across_packets(csi_frames: np.ndarray) -> float:
     """RMS inter-packet deviation of the subcarrier phase *slope* (radians).
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.contracts import contract
 from repro.errors import ConfigurationError, CsiShapeError
 from repro.wifi.csi import validate_csi_matrix
 
@@ -84,6 +85,7 @@ class SmoothingConfig:
 PAPER_CONFIG = SmoothingConfig(sub_antennas=2, sub_subcarriers=15, max_subcarrier_shifts=15)
 
 
+@contract(csi="(M,N)", returns="(S,C) complex128")
 def smooth_csi(csi: np.ndarray, config: SmoothingConfig = PAPER_CONFIG) -> np.ndarray:
     """Build the smoothed CSI matrix of paper Fig. 4.
 
@@ -120,6 +122,7 @@ def smooth_csi(csi: np.ndarray, config: SmoothingConfig = PAPER_CONFIG) -> np.nd
     return out
 
 
+@contract(csi="(M,N)", returns="(S,S) complex128")
 def smoothed_covariance(
     csi: np.ndarray, config: SmoothingConfig = PAPER_CONFIG
 ) -> np.ndarray:
@@ -128,6 +131,7 @@ def smoothed_covariance(
     return x @ x.conj().T
 
 
+@contract(returns="(S,C) complex128")
 def smooth_csi_batch(
     csi_frames: np.ndarray, config: SmoothingConfig = PAPER_CONFIG
 ) -> np.ndarray:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.constants import SPEED_OF_LIGHT
 from repro.errors import ConfigurationError
@@ -75,7 +76,7 @@ class SteeringModel:
     # ------------------------------------------------------------------
     # Eq. 1 / Eq. 6 scalars
     # ------------------------------------------------------------------
-    def phi(self, aoa_deg) -> np.ndarray:
+    def phi(self, aoa_deg: "ArrayLike") -> np.ndarray:
         """Eq. 1: Phi(theta), vectorized over ``aoa_deg``."""
         theta = np.deg2rad(np.asarray(aoa_deg, dtype=float))
         return np.exp(
@@ -87,7 +88,7 @@ class SteeringModel:
             / SPEED_OF_LIGHT
         )
 
-    def omega(self, tof_s) -> np.ndarray:
+    def omega(self, tof_s: "ArrayLike") -> np.ndarray:
         """Eq. 6: Omega(tau), vectorized over ``tof_s``."""
         tau = np.asarray(tof_s, dtype=float)
         return np.exp(-2j * np.pi * self.subcarrier_spacing_hz * tau)
@@ -95,13 +96,13 @@ class SteeringModel:
     # ------------------------------------------------------------------
     # Eq. 2 / Eq. 7 vectors
     # ------------------------------------------------------------------
-    def antenna_vector(self, aoa_deg) -> np.ndarray:
+    def antenna_vector(self, aoa_deg: "ArrayLike") -> np.ndarray:
         """Eq. 2: ``[1, Phi, ..., Phi^(M-1)]``; (..., M) for array input."""
         phi = self.phi(aoa_deg)
         powers = np.arange(self.num_antennas)
         return np.power(np.asarray(phi)[..., None], powers)
 
-    def subcarrier_vector(self, tof_s) -> np.ndarray:
+    def subcarrier_vector(self, tof_s: "ArrayLike") -> np.ndarray:
         """``[1, Omega, ..., Omega^(N-1)]``; (..., N) for array input."""
         omega = self.omega(tof_s)
         powers = np.arange(self.num_subcarriers)
@@ -114,7 +115,7 @@ class SteeringModel:
             self.subcarrier_vector(float(tof_s)),
         )
 
-    def steering_matrix(self, aoas_deg, tofs_s) -> np.ndarray:
+    def steering_matrix(self, aoas_deg: "ArrayLike", tofs_s: "ArrayLike") -> np.ndarray:
         """Steering matrix A = [a(theta_1, tau_1) ... a(theta_L, tau_L)].
 
         ``aoas_deg`` and ``tofs_s`` are equal-length sequences; the result

@@ -55,6 +55,20 @@ class ValidationError(ReproError):
     """
 
 
+class ContractError(ReproError, ValueError):
+    """A runtime shape/dtype contract was violated.
+
+    Also a :class:`ValueError`: callers that guard numeric APIs with
+    ``except ValueError`` keep working when contracts are switched on.
+
+    Raised by :func:`repro.analysis.contracts.contract`-wrapped
+    functions (only when ``REPRO_CONTRACTS=1``) when an argument or
+    return value does not match its declared ndarray shape/dtype spec.
+    The message names the offending parameter and the expected vs.
+    actual shape.
+    """
+
+
 class CircuitOpenError(ReproError):
     """A per-AP circuit breaker is open and is shedding this call.
 

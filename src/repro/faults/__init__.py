@@ -76,7 +76,7 @@ __all__ = [
 ] + list(_CHAOS_EXPORTS)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _CHAOS_EXPORTS:
         from repro.faults import chaos
 

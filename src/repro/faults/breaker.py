@@ -24,7 +24,7 @@ trace spans).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import CircuitOpenError, ConfigurationError
 
@@ -148,7 +148,7 @@ class CircuitBreaker:
             self._transition("open", now_s)
 
     # ------------------------------------------------------------------
-    def call(self, fn: Callable, now_s: float, *args, **kwargs):
+    def call(self, fn: Callable[..., Any], now_s: float, *args: Any, **kwargs: Any) -> Any:
         """Run ``fn`` through the breaker.
 
         Raises :class:`~repro.errors.CircuitOpenError` when the breaker is

@@ -19,12 +19,13 @@ land in a :class:`~repro.runtime.metrics.RuntimeMetrics` under
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.faults.spec import FaultSpec, raw_trace
 from repro.runtime.metrics import RuntimeMetrics
+from repro.wifi.arrays import UniformLinearArray
 from repro.wifi.csi import CsiFrame, CsiTrace
 
 
@@ -109,7 +110,11 @@ class FaultInjector:
                 break
         return raw_trace(frames)
 
-    def corrupt_pairs(self, ap_traces, ap_ids: Optional[Sequence[str]] = None):
+    def corrupt_pairs(
+        self,
+        ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]],
+        ap_ids: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[UniformLinearArray, CsiTrace]]:
         """Corrupt a ``[(array, trace), ...]`` collection AP by AP."""
         out = []
         for index, (array, trace) in enumerate(ap_traces):

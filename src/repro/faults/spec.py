@@ -137,7 +137,9 @@ class DropFrame(FaultSpec):
 
     kind = "drop_frame"
 
-    def apply_frame(self, frame, rng):
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
         return []
 
 
@@ -154,7 +156,9 @@ class DropAntenna(FaultSpec):
     antenna: Optional[int] = None
     kind = "drop_antenna"
 
-    def apply_frame(self, frame, rng):
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
         csi = np.array(frame.csi, copy=True)
         row = (
             self.antenna
@@ -172,7 +176,9 @@ class NanSubcarriers(FaultSpec):
     count: int = 3
     kind = "nan_subcarriers"
 
-    def apply_frame(self, frame, rng):
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
         csi = np.array(frame.csi, copy=True)
         cols = rng.choice(
             csi.shape[1], size=min(self.count, csi.shape[1]), replace=False
@@ -188,7 +194,9 @@ class ZeroSubcarriers(FaultSpec):
     count: int = 3
     kind = "zero_subcarriers"
 
-    def apply_frame(self, frame, rng):
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
         csi = np.array(frame.csi, copy=True)
         cols = rng.choice(
             csi.shape[1], size=min(self.count, csi.shape[1]), replace=False
@@ -204,7 +212,9 @@ class TruncatePacket(FaultSpec):
     keep_subcarriers: int = 20
     kind = "truncate_packet"
 
-    def apply_frame(self, frame, rng):
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
         keep = max(1, min(self.keep_subcarriers, frame.csi.shape[1]))
         return [_clone(frame, np.array(frame.csi[:, :keep], copy=True))]
 
@@ -222,7 +232,9 @@ class PhaseGlitch(FaultSpec):
     max_jump_rad: float = float(np.pi)
     kind = "phase_glitch"
 
-    def apply_frame(self, frame, rng):
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
         csi = np.array(frame.csi, copy=True)
         row = int(rng.integers(csi.shape[0]))
         jump = rng.uniform(-self.max_jump_rad, self.max_jump_rad)
@@ -236,7 +248,9 @@ class DuplicateFrame(FaultSpec):
 
     kind = "duplicate_frame"
 
-    def apply_frame(self, frame, rng):
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
         return [frame, frame]
 
 
@@ -252,7 +266,9 @@ class ReorderFrames(FaultSpec):
     kind = "reorder_frames"
     stream_only = True
 
-    def apply_stream(self, frames, rng):
+    def apply_stream(
+        self, frames: Sequence[CsiFrame], rng: np.random.Generator
+    ) -> List[CsiFrame]:
         out = list(frames)
         i = 0
         while i + 1 < len(out):
@@ -278,7 +294,9 @@ class ApBlackout(FaultSpec):
     start_s: float = 0.0
     kind = "ap_blackout"
 
-    def apply_frame(self, frame, rng):
+    def apply_frame(
+        self, frame: CsiFrame, rng: np.random.Generator
+    ) -> List[CsiFrame]:
         if frame.timestamp_s >= self.start_s:
             return []
         return [frame]

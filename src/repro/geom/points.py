@@ -65,7 +65,7 @@ class Point:
 
     def normalized(self) -> "Point":
         n = self.norm()
-        if n == 0.0:
+        if n == 0.0:  # repro: noqa REP005 -- exact zero-vector sentinel
             raise ZeroDivisionError("cannot normalize the zero vector")
         return Point(self.x / n, self.y / n)
 

@@ -98,7 +98,7 @@ class BfeeRecord:
         for rssi in (self.rssi_a, self.rssi_b, self.rssi_c):
             if rssi:
                 mag_sum += 10.0 ** (rssi / 10.0)
-        if mag_sum == 0.0:
+        if mag_sum <= 0.0:
             return float("-inf")
         return 10.0 * float(np.log10(mag_sum)) - 44.0 - self.agc
 
@@ -109,7 +109,7 @@ class BfeeRecord:
         """
         csi = self.csi.astype(np.complex128)
         csi_pwr = float(np.sum(np.abs(csi) ** 2))
-        if csi_pwr == 0.0:
+        if csi_pwr <= 0.0:
             return csi if self.ntx > 1 else csi.reshape(self.nrx, -1)
         rssi_pwr = 10.0 ** (self.total_rss_dbm() / 10.0)
         num_subcarriers = csi.shape[-1]

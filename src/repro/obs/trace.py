@@ -22,11 +22,13 @@ replaying a dataset produces byte-comparable traces modulo timing.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import IO, Any, Dict, Iterator, List, Optional, Sequence
+from types import TracebackType
+from typing import IO, Any, Dict, Iterator, List, Optional, Sequence, Type, Union
 
 from repro.errors import ConfigurationError
 from repro.obs.config import ObsConfig
@@ -137,7 +139,7 @@ class JsonlSpanExporter(SpanExporter):
     Lines round-trip through :func:`load_spans`.
     """
 
-    def __init__(self, path_or_stream) -> None:
+    def __init__(self, path_or_stream: Union[str, "os.PathLike[str]", IO[str]]) -> None:
         if hasattr(path_or_stream, "write"):
             self._stream: Optional[IO[str]] = path_or_stream
             self._path = None
@@ -162,7 +164,7 @@ class JsonlSpanExporter(SpanExporter):
             self._stream = None
 
 
-def load_spans(path) -> List[Span]:
+def load_spans(path: Union[str, "os.PathLike[str]"]) -> List[Span]:
     """Read every root span from a :class:`JsonlSpanExporter` file."""
     spans = []
     with open(path, "r", encoding="utf-8") as stream:
@@ -193,7 +195,12 @@ class _ActiveSpan:
     def __enter__(self) -> "_ActiveSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         if exc_type is not None:
             self.span.status = "error"
             self.span.attributes.setdefault("error", exc_type.__name__)
@@ -214,7 +221,12 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         return None
 
 

@@ -90,7 +90,7 @@ class Executor:
     def __enter__(self) -> "Executor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -196,7 +196,7 @@ class ParallelExecutor(Executor):
     def workers(self) -> int:
         return self._workers
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> "ProcessPoolExecutor":
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -234,7 +234,7 @@ class ParallelExecutor(Executor):
         runner: _ChunkRunner,
         chunk: Sequence,
         stage: str,
-    ):
+    ) -> Tuple[List, dict]:
         """One chunk's result, applying the retry/deadline policy.
 
         A transient failure (per ``retry.retry_on``) or a missed deadline

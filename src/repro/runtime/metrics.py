@@ -168,7 +168,7 @@ class RuntimeMetrics:
                 timing.max_s = max(timing.max_s, max_s)
                 timing.item_hist.merge(hist)
 
-    def _export_state(self):
+    def _export_state(self) -> Tuple[Dict[str, int], Dict[str, "StageTiming"]]:
         """Deep-copied (counters, timings) for a lock-safe merge."""
         with self._lock:
             counters = dict(self._counters)

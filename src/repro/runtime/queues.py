@@ -47,7 +47,7 @@ class PacketBuffer:
         self._items: List = []
 
     # ------------------------------------------------------------------
-    def push(self, item) -> Optional[object]:
+    def push(self, item: object) -> Optional[object]:
         """Append ``item``, applying the overflow policy when full.
 
         Returns the item that was *dropped* (the incoming one under

@@ -72,7 +72,7 @@ class UniformLinearArray:
         """World-frame bearing (deg, CCW from +x) from the array to ``point``."""
         dx = point[0] - self.position[0]
         dy = point[1] - self.position[1]
-        if dx == 0.0 and dy == 0.0:
+        if dx == 0.0 and dy == 0.0:  # repro: noqa REP005 -- exact coincidence check
             raise ConfigurationError("cannot compute bearing to the array itself")
         return math.degrees(math.atan2(dy, dx))
 

@@ -64,7 +64,7 @@ class AtherosCsi:
 
     @property
     def num_subcarriers(self) -> int:
-        if self.channel.bandwidth_hz == 20e6:
+        if self.channel.bandwidth_hz == 20e6:  # repro: noqa REP005 -- exact config sentinel
             return ATHEROS_SUBCARRIERS_20MHZ
         return ATHEROS_SUBCARRIERS_40MHZ
 

@@ -15,9 +15,11 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import contract
 from repro.errors import CsiShapeError
 
 
+@contract(returns="(M,N) complex128")
 def validate_csi_matrix(csi: np.ndarray) -> np.ndarray:
     """Validate and canonicalize a CSI matrix.
 

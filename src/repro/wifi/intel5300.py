@@ -46,7 +46,7 @@ class Intel5300:
     quantizer: QuantizationModel = field(default_factory=QuantizationModel)
 
     def __post_init__(self) -> None:
-        if self.channel.bandwidth_hz != 40e6:
+        if self.channel.bandwidth_hz != 40e6:  # repro: noqa REP005 -- exact config sentinel
             raise ConfigurationError(
                 "the Intel 5300 30-subcarrier grouping modeled here is for "
                 f"40 MHz channels; got {self.channel.bandwidth_hz / 1e6:.0f} MHz"

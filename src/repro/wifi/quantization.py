@@ -84,6 +84,6 @@ class QuantizationModel:
         err = self.quantize(arr) - arr
         signal = float(np.mean(np.abs(arr) ** 2))
         noise = float(np.mean(np.abs(err) ** 2))
-        if noise == 0.0:
+        if noise <= 0.0:
             return float("inf")
         return 10.0 * np.log10(signal / noise)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import contract
 from repro.errors import CsiShapeError
 
 
@@ -25,6 +26,7 @@ def power_from_rssi(rssi_dbm: float) -> float:
     return float(10.0 ** (rssi_dbm / 10.0))
 
 
+@contract(reference_power_dbm="float", returns="float")
 def rssi_from_csi(csi: np.ndarray, reference_power_dbm: float = 0.0) -> float:
     """Estimate RSSI (dBm) from a CSI matrix.
 
@@ -37,7 +39,7 @@ def rssi_from_csi(csi: np.ndarray, reference_power_dbm: float = 0.0) -> float:
     if arr.size == 0:
         raise CsiShapeError("cannot compute RSSI of an empty CSI array")
     mean_gain = float(np.mean(np.abs(arr) ** 2))
-    if mean_gain == 0.0:
+    if mean_gain <= 0.0:
         return float("-inf")
     return reference_power_dbm + 10.0 * float(np.log10(mean_gain))
 

@@ -1,0 +1,251 @@
+"""Runtime shape/dtype contract tests: pass, fail, and disabled modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    ENV_FLAG,
+    apply_contract,
+    build_contract,
+    contract,
+    contracts_enabled,
+    parse_spec,
+)
+from repro.errors import ConfigurationError, ContractError
+
+
+def enforced(fn, returns=None, **param_specs):
+    """Force-wrap ``fn`` regardless of the environment flag."""
+    return apply_contract(fn, build_contract(returns, param_specs))
+
+
+class TestSpecParsing:
+    def test_shape_and_dtype(self):
+        spec = parse_spec("(M,N) complex128")
+        assert not spec.is_scalar
+        assert [d.text for d in spec.dims] == ["M", "N"]
+        assert spec.dtype == "complex128"
+
+    def test_literal_wildcard_and_expression_dims(self):
+        spec = parse_spec("(30, *, M*N)")
+        literal, wild, expr = spec.dims
+        assert literal.size == 30
+        assert wild.is_wildcard
+        assert expr.expr is not None
+
+    def test_scalar_spec(self):
+        assert parse_spec("float").is_scalar
+
+    def test_bad_specs_raise_configuration_error(self):
+        for bad in ["", "(M,N) notadtype", "(M,,N)", "(M@2)"]:
+            with pytest.raises(ConfigurationError):
+                parse_spec(bad)
+
+
+class TestEnforcement:
+    def test_matching_call_passes_through(self):
+        @contract(csi="(M,N) complex128", returns="(M,N) complex128", enabled=True)
+        def identity(csi):
+            return csi
+
+        csi = np.zeros((3, 30), dtype=np.complex128)
+        assert identity(csi) is csi
+
+    def test_wrong_shape_names_parameter_and_shapes(self):
+        @contract(csi="(3,30) complex128", enabled=True)
+        def stage(csi):
+            return csi
+
+        with pytest.raises(ContractError) as err:
+            stage(np.zeros((3, 16), dtype=np.complex128))
+        message = str(err.value)
+        assert "'csi'" in message
+        assert "30" in message and "(3, 16)" in message
+
+    def test_wrong_ndim_reports_expected_rank(self):
+        @contract(csi="(M,N)", enabled=True)
+        def stage(csi):
+            return csi
+
+        with pytest.raises(ContractError, match="2-D"):
+            stage(np.zeros(30))
+
+    def test_wrong_dtype_rejected(self):
+        @contract(csi="(M,N) complex128", enabled=True)
+        def stage(csi):
+            return csi
+
+        with pytest.raises(ContractError, match="dtype"):
+            stage(np.zeros((3, 30), dtype=np.float64))
+
+    def test_abstract_dtype_kind_accepts_any_width(self):
+        @contract(x="(N) float", enabled=True)
+        def stage(x):
+            return x
+
+        stage(np.zeros(4, dtype=np.float32))
+        stage(np.zeros(4, dtype=np.float64))
+        with pytest.raises(ContractError):
+            stage(np.zeros(4, dtype=np.int64))
+
+    def test_contract_error_is_value_error(self):
+        @contract(csi="(M,N)", enabled=True)
+        def stage(csi):
+            return csi
+
+        with pytest.raises(ValueError):
+            stage(np.zeros(5))
+
+
+class TestSymbolBinding:
+    def test_symbols_must_agree_across_parameters(self):
+        @contract(a="(M,N)", b="(N,M)", enabled=True)
+        def pair(a, b):
+            return a
+
+        pair(np.zeros((3, 30)), np.zeros((30, 3)))
+        with pytest.raises(ContractError, match="axis"):
+            pair(np.zeros((3, 30)), np.zeros((3, 30)))
+
+    def test_return_spec_shares_call_bindings(self):
+        @contract(x="(M,N)", returns="(N,M)", enabled=True)
+        def transpose(x):
+            return x.T
+
+        assert transpose(np.zeros((3, 5))).shape == (5, 3)
+
+        @contract(x="(M,N)", returns="(N,M)", enabled=True)
+        def broken_transpose(x):
+            return x
+
+        with pytest.raises(ContractError, match="return value"):
+            broken_transpose(np.zeros((3, 5)))
+
+    def test_arithmetic_dims_evaluate_from_bindings(self):
+        @contract(x="(M,N)", returns="(M*N)", enabled=True)
+        def flatten(x):
+            return x.ravel()
+
+        assert flatten(np.zeros((3, 5))).shape == (15,)
+
+        @contract(x="(M,N)", returns="(M*N)", enabled=True)
+        def truncated(x):
+            return x.ravel()[:-1]
+
+        with pytest.raises(ContractError, match=r"M\*N"):
+            truncated(np.zeros((3, 5)))
+
+
+class TestScalarsAndCoercion:
+    def test_scalar_specs(self):
+        @contract(power_db="float", count="int", returns="float", enabled=True)
+        def combine(power_db, count):
+            return power_db * count
+
+        assert combine(3.5, 2) == 7.0
+        with pytest.raises(ContractError, match="'count'"):
+            combine(3.5, 2.5)
+
+    def test_list_arguments_are_coerced_like_asarray(self):
+        @contract(x="(N) float", enabled=True)
+        def total(x):
+            return float(np.sum(x))
+
+        assert total([1.0, 2.0, 3.0]) == 6.0
+
+    def test_none_optional_arguments_are_skipped(self):
+        @contract(weights="(N) float", enabled=True)
+        def mean(values, weights=None):
+            return float(np.mean(values))
+
+        assert mean(np.ones(3)) == 1.0
+
+
+class TestGating:
+    def test_disabled_decorator_returns_original_function(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not contracts_enabled()
+
+        def raw(csi):
+            return csi
+
+        decorated = contract(csi="(M,N) complex128")(raw)
+        assert decorated is raw  # zero wrapper => zero overhead
+        assert decorated.__contract__.params["csi"].dtype == "complex128"
+        # ...and the bad call sails through, because nothing checks it.
+        assert decorated(np.zeros(5)).shape == (5,)
+
+    def test_env_flag_enables_at_decoration_time(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert contracts_enabled()
+
+        @contract(csi="(M,N)")
+        def stage(csi):
+            return csi
+
+        assert getattr(stage, "__wrapped_by_contract__", False)
+        with pytest.raises(ContractError):
+            stage(np.zeros(5))
+
+    def test_enabled_false_forces_off_even_with_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+
+        def raw(csi):
+            return csi
+
+        assert contract(csi="(M,N)", enabled=False)(raw) is raw
+
+    def test_falsy_env_values_stay_disabled(self, monkeypatch):
+        for value in ["0", "false", "off", ""]:
+            monkeypatch.setenv(ENV_FLAG, value)
+            assert not contracts_enabled()
+
+
+class TestApplyContract:
+    def test_unknown_parameter_rejected_eagerly(self):
+        def stage(csi):
+            return csi
+
+        with pytest.raises(ConfigurationError, match="unknown parameters"):
+            enforced(stage, nosuch="(M,N)")
+
+    def test_wrapper_preserves_identity_for_pickling(self):
+        checked = enforced(sorted_copy, x="(N) float")
+        assert checked.__name__ == sorted_copy.__name__
+        assert checked.__qualname__ == sorted_copy.__qualname__
+        assert checked.__module__ == sorted_copy.__module__
+
+    def test_function_without_contract_rejected(self):
+        def stage(csi):
+            return csi
+
+        with pytest.raises(ConfigurationError, match="no contract"):
+            apply_contract(stage)
+
+
+def sorted_copy(x):
+    return np.sort(np.asarray(x))
+
+
+class TestSeededPipelineViolation:
+    """The acceptance scenario: a wrong-shape CSI call fails loudly."""
+
+    def test_wrong_shape_csi_raises_naming_parameter(self):
+        from repro.core.smoothing import smooth_csi
+
+        checked = apply_contract(smooth_csi)
+        with pytest.raises(ContractError) as err:
+            checked(np.zeros(30, dtype=np.complex128))
+        message = str(err.value)
+        assert "'csi'" in message
+        assert "2-D" in message and "(30,)" in message
+
+    def test_correct_shape_csi_passes(self):
+        from repro.core.smoothing import smooth_csi
+
+        checked = apply_contract(smooth_csi)
+        out = checked(np.ones((3, 30), dtype=np.complex128))
+        assert out.ndim == 2
+        assert out.dtype == np.complex128

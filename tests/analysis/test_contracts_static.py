@@ -1,0 +1,194 @@
+"""Static @contract cross-check tests (REP008 / REP009)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.contracts_static import (
+    RULE_BAD_SPEC,
+    RULE_SPEC_MISMATCH,
+    check_contracts,
+    collect_contracts,
+)
+from repro.analysis.rules import SourceFile
+
+
+def check_source(source: str, tmp_path, filename: str = "mod.py"):
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(source))
+    return check_contracts([str(path)])
+
+
+class TestRep008BadSpec:
+    def test_fires_on_unparsable_spec_string(self, tmp_path):
+        findings = check_source(
+            """
+            from repro.analysis.contracts import contract
+
+            @contract(csi="(M,N) notadtype")
+            def stage(csi):
+                return csi
+            """,
+            tmp_path,
+        )
+        assert [f.rule_id for f in findings] == [RULE_BAD_SPEC]
+        assert "stage" in findings[0].message
+
+    def test_fires_on_unknown_parameter_name(self, tmp_path):
+        findings = check_source(
+            """
+            from repro.analysis.contracts import contract
+
+            @contract(nosuch="(M,N)")
+            def stage(csi):
+                return csi
+            """,
+            tmp_path,
+        )
+        assert [f.rule_id for f in findings] == [RULE_BAD_SPEC]
+        assert "nosuch" in findings[0].message
+
+    def test_does_not_fire_on_valid_contract(self, tmp_path):
+        findings = check_source(
+            """
+            from repro.analysis.contracts import contract
+
+            @contract(csi="(M,N) complex128", returns="(N,M) complex128")
+            def stage(csi):
+                return csi.T
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_returns_is_not_a_parameter_name(self, tmp_path):
+        table, findings = collect_contracts(
+            SourceFile(
+                path="inline.py",
+                tree=__import__("ast").parse(
+                    textwrap.dedent(
+                        """
+                        @contract(returns="(M,N)")
+                        def stage(csi):
+                            return csi
+                        """
+                    )
+                ),
+                source="",
+            )
+        )
+        assert findings == []
+        assert table[0].returns is not None
+
+
+class TestRep009SpecMismatch:
+    def test_fires_on_rank_conflict_between_producer_and_consumer(self, tmp_path):
+        findings = check_source(
+            """
+            from repro.analysis.contracts import contract
+
+            @contract(returns="(M,N) complex128")
+            def produce(x):
+                return x
+
+            @contract(v="(K) complex128")
+            def consume(v):
+                return v
+
+            def pipeline(x):
+                return consume(produce(x))
+            """,
+            tmp_path,
+        )
+        assert [f.rule_id for f in findings] == [RULE_SPEC_MISMATCH]
+        assert "rank mismatch" in findings[0].message
+
+    def test_fires_on_literal_dim_conflict(self, tmp_path):
+        findings = check_source(
+            """
+            from repro.analysis.contracts import contract
+
+            @contract(returns="(3,30)")
+            def produce(x):
+                return x
+
+            @contract(v="(3,16)")
+            def consume(v):
+                return v
+
+            def pipeline(x):
+                return consume(produce(x))
+            """,
+            tmp_path,
+        )
+        assert [f.rule_id for f in findings] == [RULE_SPEC_MISMATCH]
+        assert "30" in findings[0].message and "16" in findings[0].message
+
+    def test_fires_on_dtype_conflict(self, tmp_path):
+        findings = check_source(
+            """
+            from repro.analysis.contracts import contract
+
+            @contract(returns="(M,N) complex128")
+            def produce(x):
+                return x
+
+            @contract(v="(M,N) float64")
+            def consume(v):
+                return v
+
+            def pipeline(x):
+                return consume(produce(x))
+            """,
+            tmp_path,
+        )
+        assert [f.rule_id for f in findings] == [RULE_SPEC_MISMATCH]
+        assert "dtype" in findings[0].message
+
+    def test_symbolic_dims_do_not_fire(self, tmp_path):
+        findings = check_source(
+            """
+            from repro.analysis.contracts import contract
+
+            @contract(returns="(M,N) complex128")
+            def produce(x):
+                return x
+
+            @contract(v="(S,C) complex")
+            def consume(v):
+                return v
+
+            def pipeline(x):
+                return consume(produce(x))
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_noqa_suppresses_mismatch(self, tmp_path):
+        findings = check_source(
+            """
+            from repro.analysis.contracts import contract
+
+            @contract(returns="(M,N)")
+            def produce(x):
+                return x
+
+            @contract(v="(K)")
+            def consume(v):
+                return v
+
+            def pipeline(x):
+                return consume(produce(x))  # repro: noqa REP009
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestRepoContracts:
+    def test_checked_tree_is_clean(self):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert check_contracts([str(src)]) == []

@@ -1,0 +1,390 @@
+"""Firing and non-firing fixtures for every AST lint rule (REP001–REP007)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.rules import (
+    DEFAULT_RULES,
+    Linter,
+    SourceFile,
+    parse_noqa,
+)
+
+
+def lint_source(source: str, tmp_path, filename: str = "mod.py"):
+    """Write ``source`` under ``tmp_path`` and lint it with the full rule set."""
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return Linter().lint_file(str(path))
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestRuleCatalogue:
+    def test_at_least_seven_rules_with_stable_unique_ids(self):
+        ids = [rule.rule_id for rule in DEFAULT_RULES]
+        assert len(ids) >= 7
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    def test_every_rule_has_title_hint_and_rationale(self):
+        for rule in DEFAULT_RULES:
+            assert rule.title, rule.rule_id
+            assert rule.hint, rule.rule_id
+            assert rule.__doc__ and rule.rule_id in rule.__doc__
+
+
+class TestRep001GlobalNumpyRandom:
+    def test_fires_on_global_rng_call(self, tmp_path):
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.normal(0.0, 1.0)
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP001"]
+        assert "np.random.normal" in findings[0].message
+
+    def test_does_not_fire_on_seeded_generator(self, tmp_path):
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def draw(rng: np.random.Generator):
+                seeded = np.random.default_rng(np.random.SeedSequence(7))
+                return rng.normal(0.0, 1.0) + seeded.normal()
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestRep002BroadExcept:
+    def test_fires_on_swallowed_broad_except(self, tmp_path):
+        findings = lint_source(
+            """
+            def run(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return None
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP002"]
+
+    def test_fires_on_bare_except(self, tmp_path):
+        findings = lint_source(
+            """
+            def run(fn):
+                try:
+                    return fn()
+                except:
+                    pass
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP002"]
+        assert "bare except" in findings[0].message
+
+    def test_does_not_fire_when_reraised_or_recorded(self, tmp_path):
+        findings = lint_source(
+            """
+            def run(fn, metrics):
+                try:
+                    return fn()
+                except Exception:
+                    metrics.record_error(kind="estimation")
+                    return None
+
+            def reraise(fn):
+                try:
+                    return fn()
+                except Exception as exc:
+                    raise RuntimeError("wrapped") from exc
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_does_not_fire_on_narrow_except(self, tmp_path):
+        findings = lint_source(
+            """
+            def run(fn):
+                try:
+                    return fn()
+                except ValueError:
+                    return None
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestRep003MutableDefault:
+    def test_fires_on_list_literal_and_dict_call(self, tmp_path):
+        findings = lint_source(
+            """
+            def accumulate(x, acc=[]):
+                acc.append(x)
+                return acc
+
+            def options(name, *, extra=dict()):
+                return extra
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP003"]
+        assert len(findings) == 2
+
+    def test_does_not_fire_on_none_or_immutable_defaults(self, tmp_path):
+        findings = lint_source(
+            """
+            def accumulate(x, acc=None, scale=1.0, name="ap0", dims=(3, 30)):
+                acc = [] if acc is None else acc
+                acc.append(x * scale)
+                return acc
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestRep004WallClock:
+    CLOCKY = """
+    import time
+
+    def music_spectrum(csi):
+        started = time.perf_counter()
+        return csi * 0, started
+    """
+
+    def test_fires_inside_core_paths(self, tmp_path):
+        findings = lint_source(self.CLOCKY, tmp_path, filename="repro/core/mod.py")
+        assert rule_ids(findings) == ["REP004"]
+        assert "time.perf_counter" in findings[0].message
+
+    def test_scoped_out_elsewhere(self, tmp_path):
+        findings = lint_source(self.CLOCKY, tmp_path, filename="repro/obs/mod.py")
+        assert findings == []
+
+
+class TestRep005FloatEquality:
+    def test_fires_on_float_literal_equality(self, tmp_path):
+        findings = lint_source(
+            """
+            def check(x, y):
+                return x == 0.0 or y != -1.5
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP005"]
+        assert len(findings) == 2
+
+    def test_does_not_fire_on_tolerant_or_integer_compares(self, tmp_path):
+        findings = lint_source(
+            """
+            import math
+
+            def check(x, n):
+                return math.isclose(x, 0.0) or x <= 0.0 or n == 0
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestRep006UnpicklableTask:
+    def test_fires_on_lambda_and_local_def(self, tmp_path):
+        findings = lint_source(
+            """
+            def run(pool, items):
+                def task(item):
+                    return item * 2
+                a = pool.map_ordered(lambda x: x + 1, items)
+                b = pool.submit(task, items[0])
+                return a, b
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP006"]
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "lambda" in messages and "task" in messages
+
+    def test_does_not_fire_on_module_level_task(self, tmp_path):
+        findings = lint_source(
+            """
+            def estimate_packet_task(item):
+                return item
+
+            def run(pool, items):
+                return pool.map_ordered(estimate_packet_task, items)
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestRep007DunderAll:
+    def test_fires_on_missing_and_stale_names(self, tmp_path):
+        findings = lint_source(
+            """
+            from pkg.mod import exported
+
+            def helper():
+                return exported
+
+            __all__ = ["exported", "no_longer_here"]
+            """,
+            tmp_path,
+            filename="pkg/__init__.py",
+        )
+        assert rule_ids(findings) == ["REP007"]
+        messages = " | ".join(f.message for f in findings)
+        assert "helper" in messages  # missing from __all__
+        assert "no_longer_here" in messages  # stale entry
+
+    def test_fires_when_all_absent(self, tmp_path):
+        findings = lint_source(
+            """
+            from pkg.mod import exported
+            """,
+            tmp_path,
+            filename="pkg/__init__.py",
+        )
+        assert rule_ids(findings) == ["REP007"]
+        assert "no __all__" in findings[0].message
+
+    def test_does_not_fire_when_in_sync(self, tmp_path):
+        findings = lint_source(
+            """
+            from pkg.mod import exported
+
+            __version__ = "1.0"
+
+            __all__ = ["exported", "__version__"]
+            """,
+            tmp_path,
+            filename="pkg/__init__.py",
+        )
+        assert findings == []
+
+    def test_partially_dynamic_all_skips_stale_check(self, tmp_path):
+        findings = lint_source(
+            """
+            from pkg.mod import exported
+
+            _LAZY = {"lazy_thing": "pkg.lazy"}
+
+            __all__ = ["exported"] + list(_LAZY)
+            """,
+            tmp_path,
+            filename="pkg/__init__.py",
+        )
+        assert findings == []
+
+    def test_scoped_to_init_files_only(self, tmp_path):
+        findings = lint_source(
+            """
+            def helper():
+                return 1
+            """,
+            tmp_path,
+            filename="pkg/helpers.py",
+        )
+        assert findings == []
+
+
+class TestRep000SyntaxError:
+    def test_unparsable_file_reports_rep000_with_line(self, tmp_path):
+        findings = lint_source("def broken(:\n", tmp_path)
+        assert rule_ids(findings) == ["REP000"]
+        assert findings[0].line >= 1
+        assert "syntax error" in findings[0].message
+
+
+class TestNoqaSuppression:
+    def test_parse_noqa_ids_and_bare_form(self):
+        source = (
+            "x = 1  # repro: noqa REP001,REP005\n"
+            "y = 2  # repro: noqa\n"
+            "z = 3\n"
+        )
+        noqa = parse_noqa(source)
+        assert noqa[1] == frozenset({"REP001", "REP005"})
+        assert "*" in noqa[2]
+        assert 3 not in noqa
+
+    def test_noqa_silences_listed_rule_only(self, tmp_path):
+        findings = lint_source(
+            """
+            def check(x):
+                return x == 0.0  # repro: noqa REP005
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_noqa_for_other_rule_does_not_silence(self, tmp_path):
+        findings = lint_source(
+            """
+            def check(x):
+                return x == 0.0  # repro: noqa REP001
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP005"]
+
+    def test_bare_noqa_silences_everything(self, tmp_path):
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def draw(x):
+                return np.random.normal() if x == 0.0 else 0.0  # repro: noqa
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestFindingFormat:
+    def test_format_carries_path_line_rule_and_hint(self, tmp_path):
+        findings = lint_source(
+            """
+            def check(x):
+                return x == 0.0
+            """,
+            tmp_path,
+        )
+        rendered = findings[0].format()
+        assert findings[0].path in rendered
+        assert ":3: REP005" in rendered
+        assert "hint:" in rendered
+
+    def test_findings_sort_by_path_then_line(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1 == 1.0\ny = 2 == 2.0\n")
+        (tmp_path / "a.py").write_text("z = 3 == 3.0\n")
+        findings = Linter().lint_paths([str(tmp_path)])
+        assert [f.path.endswith("a.py") for f in findings] == [True, False, False]
+        assert [f.line for f in findings[1:]] == [1, 2]
+
+
+class TestSourceFile:
+    def test_parse_builds_tree_and_noqa_map(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text("x = 1  # repro: noqa REP005\n")
+        module = SourceFile.parse(str(path))
+        assert module.suppressed("REP005", 1)
+        assert not module.suppressed("REP001", 1)
+        assert not module.suppressed("REP005", 2)

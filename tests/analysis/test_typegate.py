@@ -1,0 +1,191 @@
+"""Typing-gate tests: annotation rules, baseline semantics, strict packages."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.typegate import (
+    RULE_PARAM,
+    RULE_RETURN,
+    STRICT_PACKAGES,
+    collect_typing_findings,
+    gate,
+    in_strict_package,
+    load_baseline,
+    write_baseline,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def typing_findings(source: str, tmp_path, filename: str = "mod.py"):
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return collect_typing_findings([str(path)], engine="fallback"), str(path)
+
+
+class TestAnnotationRules:
+    def test_missing_param_and_return_annotations_fire(self, tmp_path):
+        findings, _ = typing_findings(
+            """
+            def spectrum(csi, grid: object) -> object:
+                return csi
+
+            def locate(csi: object):
+                return csi
+            """,
+            tmp_path,
+        )
+        assert sorted(f.rule_id for f in findings) == [RULE_PARAM, RULE_RETURN]
+        assert "csi" in findings[0].message
+        assert "locate" in findings[1].message
+
+    def test_fully_annotated_function_is_clean(self, tmp_path):
+        findings, _ = typing_findings(
+            """
+            import numpy as np
+            import numpy.typing as npt
+
+            def spectrum(csi: npt.NDArray[np.complex128], *args: object, **kw: object) -> float:
+                return 0.0
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_self_and_cls_are_exempt(self, tmp_path):
+        findings, _ = typing_findings(
+            """
+            class Estimator:
+                def run(self) -> None:
+                    pass
+
+                @classmethod
+                def build(cls) -> "Estimator":
+                    return cls()
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_unannotated_vararg_kwarg_fire(self, tmp_path):
+        findings, _ = typing_findings(
+            """
+            def call(fn: object, *args, **kwargs) -> object:
+                return fn
+            """,
+            tmp_path,
+        )
+        assert [f.rule_id for f in findings] == [RULE_PARAM, RULE_PARAM]
+
+    def test_noqa_suppresses_typing_findings(self, tmp_path):
+        findings, _ = typing_findings(
+            """
+            def legacy(x):  # repro: noqa TYP001,TYP002
+                return x
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+
+class TestBaseline:
+    def test_gate_splits_new_vs_baselined(self, tmp_path):
+        findings, path = typing_findings(
+            """
+            def old(x):
+                return x
+            """,
+            tmp_path,
+        )
+        baseline_path = tmp_path / "typing-baseline.txt"
+        write_baseline(str(baseline_path), findings)
+
+        new, baselined = gate([path], str(baseline_path), engine="fallback")
+        assert new == []
+        assert len(baselined) == 2  # TYP001 + TYP002 excused
+
+        # A fresh violation in the same file is NOT excused.
+        Path(path).write_text(
+            Path(path).read_text() + "\n\ndef fresh(y):\n    return y\n"
+        )
+        new, baselined = gate([path], str(baseline_path), engine="fallback")
+        assert sorted(f.message for f in new) == sorted(
+            f.message for f in collect_typing_findings([path], engine="fallback")
+            if "fresh" in f.message
+        )
+        assert len(baselined) == 2
+
+    def test_baseline_keys_are_line_number_free(self, tmp_path):
+        findings, path = typing_findings(
+            """
+            def old(x):
+                return x
+            """,
+            tmp_path,
+        )
+        baseline_path = tmp_path / "typing-baseline.txt"
+        write_baseline(str(baseline_path), findings)
+
+        # Shift the function down: line numbers change, keys don't.
+        Path(path).write_text("# a new leading comment\n" + Path(path).read_text())
+        new, baselined = gate([path], str(baseline_path), engine="fallback")
+        assert new == []
+        assert len(baselined) == 2
+
+    def test_missing_baseline_file_means_empty_baseline(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.txt")) == set()
+
+
+class TestStrictPackages:
+    def test_strict_package_paths_detected(self):
+        assert in_strict_package("src/repro/core/music.py")
+        assert in_strict_package("src/repro/runtime/executor.py")
+        assert not in_strict_package("src/repro/channel/csi_model.py")
+        assert not in_strict_package("examples/run_pipeline.py")
+
+    def test_strict_entries_dropped_from_baseline(self, tmp_path):
+        baseline_path = tmp_path / "typing-baseline.txt"
+        baseline_path.write_text(
+            "src/repro/core/music.py::TYP001::`f()` parameter 'x' lacks a type annotation\n"
+            "src/repro/channel/pathloss.py::TYP001::`g()` parameter 'y' lacks a type annotation\n"
+        )
+        keys = load_baseline(str(baseline_path))
+        assert len(keys) == 1
+        assert all("core" not in key for key in keys)
+
+    def test_write_baseline_never_records_strict_packages(self, tmp_path):
+        findings, _ = typing_findings(
+            """
+            def f(x):
+                return x
+            """,
+            tmp_path,
+            filename="repro/core/mod.py",
+        )
+        baseline_path = tmp_path / "typing-baseline.txt"
+        count = write_baseline(str(baseline_path), findings)
+        assert count == 0
+
+    def test_repo_strict_packages_are_clean(self):
+        findings = collect_typing_findings([str(REPO_SRC)], engine="fallback")
+        strict = [f for f in findings if in_strict_package(f.path)]
+        assert strict == []
+
+    def test_checked_in_baseline_covers_all_non_strict_findings(self, monkeypatch):
+        repo_root = REPO_SRC.parents[1]
+        monkeypatch.chdir(repo_root)  # baseline keys are repo-relative
+        baseline = load_baseline(str(repo_root / "typing-baseline.txt"))
+        findings = collect_typing_findings(["src/repro"], engine="fallback")
+        not_excused = [
+            f
+            for f in findings
+            if not in_strict_package(f.path)
+            and f.baseline_key() not in baseline
+        ]
+        assert not_excused == []
+
+    def test_analysis_package_itself_is_strict(self):
+        assert any("analysis" in pkg for pkg in STRICT_PACKAGES)
