@@ -14,23 +14,30 @@ a plain script so CI can smoke it cheaply):
 Timings are best-of-``--repeats``, so pool start-up is amortized away
 and the numbers reflect steady-state serving throughput.  Speedup
 naturally tops out at the machine's core count.
+
+Results (fixes/s plus per-item stage p50/p99 from the executor's
+metrics histograms) are written to ``BENCH_runtime.json`` at the repo
+root; disable with ``--json ''``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.pipeline import SpotFi, SpotFiConfig
-from repro.runtime import create_executor, default_steering_cache
+from repro.runtime import RuntimeMetrics, create_executor, default_steering_cache
 from repro.testbed.layout import small_testbed
 
 SEED = 20150817  # SIGCOMM'15 presentation date, like the figure benches
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def build_workload(num_aps: int, packets: int, seed: int = SEED):
@@ -74,6 +81,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=2, help="runs per config (best-of)"
     )
+    parser.add_argument(
+        "--json",
+        default=str(REPO_ROOT / "BENCH_runtime.json"),
+        help="where to write machine-readable results ('' disables)",
+    )
     args = parser.parse_args(argv)
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
     if 1 not in worker_counts:
@@ -88,10 +100,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     rows: List[Tuple[int, float, float]] = []
+    stage_quantiles: List[dict] = []
     baseline_time = None
     baseline_fix = None
     for workers in worker_counts:
-        with create_executor(workers) as executor:
+        metrics = RuntimeMetrics()
+        with create_executor(workers, metrics=metrics) as executor:
             elapsed, fix = time_locate(
                 testbed, sim, pairs, args.packets, executor, args.repeats
             )
@@ -105,6 +119,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"ERROR: workers={workers} fix differs from serial by {delta}")
             return 1
         rows.append((workers, elapsed, total_packets / elapsed))
+        stage_quantiles.append(
+            {
+                stage: {
+                    "p50_ms": 1e3 * float(entry["quantiles"].get("p50", 0.0)),
+                    "p99_ms": 1e3 * float(entry["quantiles"].get("p99", 0.0)),
+                }
+                for stage, entry in metrics.snapshot()["timings"].items()
+            }
+        )
 
     print(f"\n{'workers':>8} {'time (s)':>10} {'packets/s':>11} {'speedup':>8}")
     for workers, elapsed, throughput in rows:
@@ -117,6 +140,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "all worker counts identical within 1e-9"
     )
     print(f"steering cache (parent process): {default_steering_cache().stats()}")
+    if args.json:
+        result = {
+            "benchmark": "runtime_throughput",
+            "aps": len(pairs),
+            "packets_per_fix": args.packets,
+            "cpus": os.cpu_count(),
+            "rows": [
+                {
+                    "workers": workers,
+                    "time_s": elapsed,
+                    "packets_per_s": throughput,
+                    "fixes_per_s": 1.0 / elapsed,
+                    "speedup": baseline_time / elapsed,
+                    "stages": stages,
+                }
+                for (workers, elapsed, throughput), stages in zip(
+                    rows, stage_quantiles
+                )
+            ],
+        }
+        Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 

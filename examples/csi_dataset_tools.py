@@ -21,7 +21,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import SpotFi, SpotFiConfig
-from repro.io.csitool import BfeeRecord, read_dat_file, trace_from_records, write_dat_file
+from repro.io.csitool import BfeeRecord, iter_dat_records, trace_from_records, write_dat_file
 from repro.io.traces import LocationDataset, load_dataset, save_dataset
 from repro.testbed import collect_location, small_testbed
 from repro.testbed.collection import as_ap_trace_pairs
@@ -95,7 +95,9 @@ def main() -> None:
                 )
             )
         dat_path = write_dat_file(args.outdir / f"ap{k}.dat", records)
-        reloaded = trace_from_records(read_dat_file(dat_path), scaled=False)
+        # iter_dat_records streams the capture without materializing it,
+        # so arbitrarily large .dat files re-parse in constant memory.
+        reloaded = trace_from_records(iter_dat_records(dat_path), scaled=False)
         dat_traces.append((recording.array, reloaded))
         print(f"wrote {dat_path} and re-parsed {len(reloaded)} bfee records")
 

@@ -46,10 +46,12 @@ from repro.core import (
     smooth_csi,
 )
 from repro.core.esprit import EspritEstimator
+from repro.dist import ShardConfig, ShardRouter
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
     ReproError,
+    ShardUnavailableError,
     ValidationError,
 )
 from repro.faults import (
@@ -120,6 +122,9 @@ __all__ = [
     "RuntimeMetrics",
     "Segment",
     "SerialExecutor",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardUnavailableError",
     "SmoothingConfig",
     "Span",
     "SpotFi",

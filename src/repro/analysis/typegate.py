@@ -36,6 +36,7 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro/obs",
     "repro/faults",
     "repro/analysis",
+    "repro/dist",
 )
 
 DEFAULT_BASELINE = "typing-baseline.txt"

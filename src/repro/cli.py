@@ -11,17 +11,26 @@ Commands:
   :class:`~repro.server.SpotFiServer`, with the runtime's worker,
   backpressure and eviction knobs, printing each fix event and, on
   exit, the full Prometheus-style metrics exposition (server + executor
-  + steering cache).
+  + steering cache).  ``--shards N`` switches to the distributed path:
+  N shard subprocesses behind a consistent-hash
+  :class:`~repro.dist.router.ShardRouter`.  SIGINT/SIGTERM drain
+  buffered bursts through ``flush()`` before exit.
+* ``shard`` — run one :mod:`repro.dist` shard worker in the foreground
+  (the building block ``serve --shards`` spawns automatically).
 * ``trace`` — localize a saved dataset with tracing enabled and print
   the hierarchical span tree (``locate > ap[k] > sanitize|smooth|music|
   cluster > solve``); ``--jsonl`` exports the spans, ``--artifacts``
   captures downsampled pseudospectra and cluster statistics.
 * ``metrics`` — localize a saved dataset and print the Prometheus-style
-  exposition of the runtime metrics it produced.
+  exposition of the runtime metrics it produced; ``--from-shards``
+  instead pulls and merges live shard metrics into one cluster-wide
+  exposition.
 * ``chaos`` — run a seeded fault-injection scenario end to end through
   the streaming server (injector + validator + circuit breakers) and
   report fix success rate, accuracy, quarantine and breaker activity;
   exits non-zero when the success rate falls below ``--min-success``.
+  The ``shard-kill`` scenario drills :mod:`repro.dist` failover: real
+  shard subprocesses, one SIGKILLed mid-stream.
 * ``inspect`` — summarize a saved dataset (APs, packets, RSSI, truth).
 * ``floorplan`` — render a testbed's floorplan, APs and targets as ASCII.
 
@@ -32,8 +41,13 @@ apartment), ``small`` (a single room for quick tests).
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
-from typing import List, Optional
+from types import FrameType
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.dist.protocol import WireFix
 
 import numpy as np
 
@@ -54,9 +68,10 @@ from repro.runtime import (
     create_executor,
     default_steering_cache,
 )
-from repro.server import SpotFiServer
+from repro.server import FixEvent, SpotFiServer
 from repro.testbed.collection import as_ap_trace_pairs, collect_location
 from repro.testbed.layout import Testbed, home_testbed, office_testbed, small_testbed
+from repro.wifi.csi import CsiFrame
 from repro.wifi.intel5300 import Intel5300
 
 _TESTBEDS = {"office": office_testbed, "small": small_testbed, "home": home_testbed}
@@ -151,6 +166,138 @@ def cmd_locate(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # serve
 # ----------------------------------------------------------------------
+class _GracefulStop:
+    """SIGINT/SIGTERM -> a flag the replay loops poll.
+
+    Registered around a serving loop so the first signal requests a
+    *drain* (buffered bursts get a final ``flush()``) instead of killing
+    the process mid-burst; original handlers are restored on exit.
+    """
+
+    def __init__(self) -> None:
+        self.stopped = False
+        self._previous: List[object] = []
+
+    def _handle(self, _signum: int, _frame: Optional[FrameType]) -> None:
+        self.stopped = True
+
+    def __enter__(self) -> "_GracefulStop":
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            self._previous.append(signal.getsignal(signum))
+            signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for signum, previous in zip(
+            (signal.SIGINT, signal.SIGTERM), self._previous
+        ):
+            signal.signal(signum, previous)  # type: ignore[arg-type]
+        self._previous = []
+
+
+def _print_wire_fix(fix: "WireFix", index: int) -> None:
+    """Render one router-delivered fix event line."""
+    if fix.ok:
+        print(
+            f"fix #{index} t={fix.timestamp_s:.2f}s source={fix.source!r}: "
+            f"({fix.x:.2f}, {fix.y:.2f}) m [{fix.num_aps} APs, {fix.shard}]"
+        )
+    else:
+        print(
+            f"fix #{index} t={fix.timestamp_s:.2f}s source={fix.source!r}: "
+            f"FAILED [{fix.num_aps} APs, {fix.shard}]"
+        )
+
+
+def _serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --shards N``: replay through a router over shard workers."""
+    import tempfile
+
+    from repro.dist.rollup import rollup_exposition
+    from repro.dist.router import ShardRouter
+    from repro.dist.shard import ShardConfig, start_shards
+
+    dataset = load_dataset(args.dataset)
+    config = ShardConfig(
+        shard_id="template",
+        testbed=args.testbed,
+        packets_per_fix=args.packets,
+        min_aps=min(args.min_aps, dataset.num_aps),
+        max_buffered_packets=args.max_buffer,
+        overflow_policy=args.overflow_policy,
+        max_burst_age_s=args.max_age,
+        workers=args.workers,
+    )
+    base_port = 0
+    host = "127.0.0.1"
+    if args.bind:
+        from repro.dist.protocol import parse_bind
+
+        bind = parse_bind(args.bind)
+        if bind.kind != "tcp":
+            raise ReproError(
+                "serve --bind takes the tcp:HOST:PORT base address "
+                "(shard i listens on PORT + i); omit it for Unix sockets"
+            )
+        base_port, host = bind.port, bind.host
+    sources = [f"target-{j:02d}" for j in range(max(1, args.sources))]
+    num_fixes = 0
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        shards = start_shards(
+            args.shards, config, tmp, base_port=base_port, host=host
+        )
+        router = ShardRouter(
+            {shard_id: proc.spec for shard_id, proc in shards.items()},
+            batch_max_frames=dataset.num_aps,
+        )
+        print(
+            f"routing {len(sources)} source(s) over {args.shards} shard(s): "
+            + ", ".join(f"{sid}={proc.spec}" for sid, proc in shards.items())
+        )
+        try:
+            with _GracefulStop() as stop:
+                num_packets = min(len(t) for t in dataset.traces)
+                for k in range(num_packets):
+                    if stop.stopped:
+                        print("signal received: draining buffered bursts")
+                        break
+                    for source in sources:
+                        for i, trace in enumerate(dataset.traces):
+                            frame = trace[k]
+                            router.ingest(
+                                f"ap{i}",
+                                CsiFrame(
+                                    csi=frame.csi,
+                                    rssi_dbm=frame.rssi_dbm,
+                                    timestamp_s=frame.timestamp_s,
+                                    source=source,
+                                ),
+                            )
+                    for fix in router.take_fixes():
+                        num_fixes += 1
+                        _print_wire_fix(fix, num_fixes)
+            for fix in router.flush():
+                num_fixes += 1
+                _print_wire_fix(fix, num_fixes)
+            replies = router.pull_metrics()
+            stats = router.stats()
+            for fix in router.shutdown():
+                num_fixes += 1
+                _print_wire_fix(fix, num_fixes)
+            print(f"{num_fixes} fix events; router counters: {stats['counters']}")
+            if stats["dead_shards"]:
+                print(f"dead shards: {stats['dead_shards']}")
+            print("\n--- cluster metrics exposition ---")
+            print(rollup_exposition(replies, router.metrics), end="")
+        finally:
+            router.close()
+            for proc in shards.values():
+                proc.terminate()
+            for proc in shards.values():
+                proc.join()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Replay a dataset through the streaming server, packet by packet.
 
@@ -158,7 +305,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     the server, so the exit dump covers estimation fan-out (``estimate``
     stage) alongside ingest/fix accounting instead of discarding the
     executor's share.
+
+    ``--shards N`` (N > 1) switches to the distributed path: N shard
+    subprocesses behind a :class:`~repro.dist.router.ShardRouter`, with
+    ``--sources`` fanning the dataset out as that many synthetic
+    targets.  Both paths handle SIGINT/SIGTERM gracefully: buffered
+    bursts are drained through ``flush()`` before exit.
     """
+    if args.shards > 1:
+        return _serve_sharded(args)
     dataset = load_dataset(args.dataset)
     testbed = _get_testbed(args.testbed)
     grid = Intel5300().grid()
@@ -187,29 +342,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # them arrive at the central server.
         num_packets = min(len(t) for t in dataset.traces)
         num_events = 0
-        for k in range(num_packets):
-            for i, trace in enumerate(dataset.traces):
-                event = server.ingest(f"ap{i}", trace[k])
-                if event is None:
+        last_stamp = 0.0
+
+        def _print_event(event: FixEvent) -> None:
+            if event.ok:
+                print(
+                    f"fix #{num_events} t={event.timestamp_s:.2f}s "
+                    f"source={event.source!r}: "
+                    f"({event.fix.position.x:.2f}, {event.fix.position.y:.2f}) m "
+                    f"[{event.num_aps} APs]"
+                )
+                if dataset.target is not None:
+                    print(
+                        f"  error vs truth: "
+                        f"{event.fix.error_to(dataset.target):.2f} m"
+                    )
+            else:
+                print(
+                    f"fix #{num_events} t={event.timestamp_s:.2f}s "
+                    f"source={event.source!r}: FAILED [{event.num_aps} APs]"
+                )
+
+        with _GracefulStop() as stop:
+            for k in range(num_packets):
+                if stop.stopped:
+                    break
+                for i, trace in enumerate(dataset.traces):
+                    frame = trace[k]
+                    last_stamp = max(last_stamp, frame.timestamp_s)
+                    event = server.ingest(f"ap{i}", frame)
+                    if event is None:
+                        continue
+                    num_events += 1
+                    _print_event(event)
+        if stop.stopped:
+            # Graceful drain: give every buffered burst a final flush so
+            # in-flight fixes are emitted, not silently dropped.
+            print("signal received: draining buffered bursts")
+            for source in server.sources():
+                if not any(server.pending_packets(source).values()):
                     continue
-                num_events += 1
-                if event.ok:
-                    print(
-                        f"fix #{num_events} t={event.timestamp_s:.2f}s "
-                        f"source={event.source!r}: "
-                        f"({event.fix.position.x:.2f}, {event.fix.position.y:.2f}) m "
-                        f"[{event.num_aps} APs]"
-                    )
-                    if dataset.target is not None:
-                        print(
-                            f"  error vs truth: "
-                            f"{event.fix.error_to(dataset.target):.2f} m"
-                        )
-                else:
-                    print(
-                        f"fix #{num_events} t={event.timestamp_s:.2f}s "
-                        f"source={event.source!r}: FAILED [{event.num_aps} APs]"
-                    )
+                event = server.flush(source, last_stamp)
+                if event is not None:
+                    num_events += 1
+                    _print_event(event)
         snapshot = server.metrics_snapshot()
         print(f"{num_events} fix events from {num_packets} packets per AP")
         print(f"runtime counters: {snapshot['counters']}")
@@ -222,6 +398,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         print("\n--- metrics exposition ---")
         print(server.metrics_exposition(), end="")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# shard
+# ----------------------------------------------------------------------
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Run one shard worker in the foreground until signalled.
+
+    The building block ``serve --shards N`` spawns automatically; run it
+    directly to place shards by hand (one per host, say) and point a
+    router at them.  SIGINT/SIGTERM drains buffered bursts through
+    ``flush()`` before exit.
+    """
+    from repro.dist.shard import ShardConfig, run_shard
+
+    config = ShardConfig(
+        shard_id=args.id,
+        testbed=args.testbed,
+        packets_per_fix=args.packets,
+        min_aps=args.min_aps,
+        max_buffered_packets=args.max_buffer,
+        overflow_policy=args.overflow_policy,
+        max_burst_age_s=args.max_age,
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery_s=args.breaker_recovery,
+        workers=args.workers,
+    )
+    print(f"shard {args.id!r} serving testbed {args.testbed!r} on {args.bind}")
+    run_shard(args.bind, config)
+    print(f"shard {args.id!r} drained and stopped")
     return 0
 
 
@@ -265,7 +472,29 @@ def cmd_trace(args: argparse.Namespace) -> int:
 # metrics
 # ----------------------------------------------------------------------
 def cmd_metrics(args: argparse.Namespace) -> int:
-    """Localize a dataset and print the Prometheus-style exposition."""
+    """Localize a dataset and print the Prometheus-style exposition.
+
+    ``--from-shards spec,spec,...`` skips the local run entirely and
+    instead pulls every listed shard's metrics over the wire, merging
+    them into one cluster-wide exposition
+    (:func:`repro.dist.rollup.rollup_exposition`).
+    """
+    if args.from_shards:
+        from repro.dist.rollup import pull_shard_metrics, rollup_exposition
+
+        specs = [s for s in args.from_shards.split(",") if s]
+        replies = pull_shard_metrics(
+            {f"shard{i}": spec for i, spec in enumerate(specs)}
+        )
+        if not replies:
+            raise ReproError(
+                f"no shard out of {len(specs)} answered the metrics pull"
+            )
+        print(f"# merged from {len(replies)}/{len(specs)} shard(s)")
+        print(rollup_exposition(replies), end="")
+        return 0
+    if not args.dataset:
+        raise ReproError("a dataset is required unless --from-shards is given")
     dataset = load_dataset(args.dataset)
     testbed = _get_testbed(args.testbed)
     grid = Intel5300().grid()
@@ -438,7 +667,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="evict partial bursts idle for this many seconds (0 = never)",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard worker processes behind a consistent-hash router "
+        "(1 = single in-process server)",
+    )
+    p.add_argument(
+        "--bind",
+        default="",
+        help="tcp:HOST:PORT base address for shard workers (shard i "
+        "listens on PORT + i); default: Unix sockets in a temp dir",
+    )
+    p.add_argument(
+        "--sources",
+        type=int,
+        default=1,
+        help="fan the dataset out as this many synthetic targets "
+        "(sharded mode; exercises the hash ring)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "shard", help="run one dist shard worker in the foreground"
+    )
+    p.add_argument(
+        "--bind", required=True, help="unix:/path/to.sock or tcp:HOST:PORT"
+    )
+    p.add_argument("--id", default="shard0", help="shard id for fixes/metrics")
+    p.add_argument("--testbed", default="small", choices=sorted(_TESTBEDS))
+    p.add_argument("--packets", type=int, default=8, help="packets per fix burst")
+    p.add_argument("--min-aps", type=int, default=2)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for per-packet estimation (1 = serial)",
+    )
+    p.add_argument(
+        "--max-buffer",
+        type=int,
+        default=0,
+        help="per-(source, AP) buffer capacity in packets (0 = unbounded)",
+    )
+    p.add_argument(
+        "--overflow-policy", default="drop-oldest", choices=OVERFLOW_POLICIES
+    )
+    p.add_argument(
+        "--max-age",
+        type=float,
+        default=0.0,
+        help="evict partial bursts idle for this many seconds (0 = never)",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        help="consecutive AP failures that open its breaker (0 = off)",
+    )
+    p.add_argument(
+        "--breaker-recovery",
+        type=float,
+        default=10.0,
+        help="seconds an open breaker waits before half-opening",
+    )
+    p.set_defaults(func=cmd_shard)
 
     p = sub.add_parser("trace", help="localize with tracing, print the span tree")
     p.add_argument("dataset", help=".npz dataset path")
@@ -458,7 +752,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "metrics", help="localize and print the Prometheus-style exposition"
     )
-    p.add_argument("dataset", help=".npz dataset path")
+    p.add_argument(
+        "dataset",
+        nargs="?",
+        default="",
+        help=".npz dataset path (not needed with --from-shards)",
+    )
+    p.add_argument(
+        "--from-shards",
+        default="",
+        help="comma-separated shard endpoints (unix:/... or tcp:...) to "
+        "pull and merge metrics from instead of a local run",
+    )
     p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
     p.add_argument("--packets", type=int, default=40)
     p.add_argument(

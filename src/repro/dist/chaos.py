@@ -1,0 +1,188 @@
+"""Kill-one-shard chaos: SIGKILL a live shard mid-stream, measure survival.
+
+The distributed counterpart of :mod:`repro.faults.chaos`: instead of
+corrupting CSI, the fault is an *ungraceful shard death* — no drain, no
+goodbye, the process is simply gone — injected while packet bursts are
+in flight.  What must survive is the contract the router advertises:
+
+* the dead shard's key range re-hashes onto the survivors
+  (``dist.failover.*`` counters say how much was lost vs. re-routed);
+* sources keep streaming and, because live senders oversample, the new
+  owner assembles complete bursts from the post-failover packets;
+* the router itself never crashes, and the surviving shards shut down
+  cleanly at the end.
+
+Success is counted **per source**: a source succeeds when at least one
+successful fix event was delivered for it by the end of the run.  That
+matches what a user of the cluster observes — "did target X get a
+position?" — and is robust to the burst-boundary ambiguity that an
+at-most-once failover necessarily creates.  The resulting
+:class:`~repro.faults.chaos.ChaosReport` plugs into the same CLI gate
+(``repro chaos --scenario shard-kill``) as the fault-injection runs.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dist.protocol import WireFix
+from repro.dist.router import ShardRouter
+from repro.dist.shard import ShardConfig, start_shards
+from repro.errors import ConfigurationError, ShardUnavailableError
+from repro.faults.chaos import PACKET_INTERVAL_S, ChaosReport
+from repro.runtime import RuntimeMetrics
+from repro.testbed.layout import home_testbed, office_testbed, small_testbed
+from repro.wifi.csi import CsiFrame
+
+_TESTBEDS = {"office": office_testbed, "small": small_testbed, "home": home_testbed}
+
+
+def run_shard_kill(
+    testbed: str = "small",
+    seed: int = 7,
+    packets_per_fix: int = 6,
+    bursts: int = 3,
+    min_aps: int = 2,
+    num_shards: int = 3,
+    oversample: float = 2.5,
+    kill_fraction: float = 0.4,
+) -> ChaosReport:
+    """Stream ``bursts`` sources across shards, SIGKILL one mid-stream.
+
+    ``bursts`` sources stream concurrently (packet ``k`` of every source
+    before packet ``k + 1`` of any), each targeting the next testbed
+    location.  After ``kill_fraction`` of the stream, the shard owning
+    the *first* source is killed — ungracefully, so its partial bursts
+    and in-flight replies are lost.  ``oversample`` keeps senders
+    transmitting ``packets_per_fix * oversample`` packets per source, so
+    post-failover traffic alone can complete a burst on the new owner.
+
+    Returns a :class:`~repro.faults.chaos.ChaosReport` with
+    ``scenario="shard-kill"``: ``fixes_attempted`` is the source count,
+    ``fixes_ok`` the sources that got at least one successful fix,
+    ``injected`` the ``dist.failover.*`` counters, and ``breakers`` the
+    surviving shards' breaker states namespaced ``shard/ap``.
+    """
+    if testbed not in _TESTBEDS:
+        raise ConfigurationError(
+            f"unknown testbed {testbed!r}; available: {sorted(_TESTBEDS)}"
+        )
+    if num_shards < 2:
+        raise ConfigurationError("shard-kill needs at least 2 shards")
+    if oversample < 1.0:
+        raise ConfigurationError("oversample must be >= 1.0")
+    if not 0.0 < kill_fraction < 1.0:
+        raise ConfigurationError("kill_fraction must be in (0, 1)")
+    tb = _TESTBEDS[testbed]()
+    sim = tb.simulator()
+    stream_packets = max(packets_per_fix, int(round(packets_per_fix * oversample)))
+    sources = [f"chaos-{burst:02d}" for burst in range(bursts)]
+    targets = {
+        source: tb.targets[burst % len(tb.targets)].position
+        for burst, source in enumerate(sources)
+    }
+    data_rng = np.random.default_rng(seed + 1)
+    traces = {
+        source: [
+            sim.generate_trace(
+                targets[source], ap, stream_packets, rng=data_rng, source=source
+            )
+            for ap in tb.aps
+        ]
+        for source in sources
+    }
+    config = ShardConfig(
+        shard_id="template",
+        testbed=testbed,
+        packets_per_fix=packets_per_fix,
+        min_aps=min_aps,
+        max_burst_age_s=4.0 * stream_packets * PACKET_INTERVAL_S,
+        seed=seed,
+    )
+    kill_at = max(1, int(stream_packets * kill_fraction))
+    metrics = RuntimeMetrics()
+    fixes_by_source: Dict[str, List[WireFix]] = {source: [] for source in sources}
+    breakers: Dict[str, str] = {}
+    killed_shard = ""
+    with tempfile.TemporaryDirectory(prefix="repro-dist-") as tmp:
+        shards = start_shards(num_shards, config, tmp)
+        router = ShardRouter(
+            {shard_id: proc.spec for shard_id, proc in shards.items()},
+            batch_max_frames=len(tb.aps),
+            metrics=metrics,
+        )
+        try:
+            for k in range(stream_packets):
+                if k == kill_at:
+                    killed_shard = router.owner_of(sources[0])
+                    shards[killed_shard].kill()
+                    shards[killed_shard].join()
+                # All sources share one timeline: stale-burst eviction is
+                # age-based, and sources interleaved on one shard must
+                # not age each other's partial bursts out.
+                stamp = k * PACKET_INTERVAL_S
+                for source in sources:
+                    for i, trace in enumerate(traces[source]):
+                        frame = trace[k]
+                        router.ingest(
+                            f"ap{i}",
+                            CsiFrame(
+                                csi=frame.csi,
+                                rssi_dbm=frame.rssi_dbm,
+                                timestamp_s=stamp,
+                                source=source,
+                            ),
+                        )
+                for fix in router.take_fixes():
+                    fixes_by_source[fix.source].append(fix)
+            for fix in router.flush():
+                fixes_by_source[fix.source].append(fix)
+            for reply in router.pull_metrics():
+                shard_id = str(reply.get("shard_id", "?"))
+                for ap_id, state in dict(reply.get("breakers", {})).items():
+                    breakers[f"{shard_id}/{ap_id}"] = str(state)
+            for fix in router.shutdown():
+                fixes_by_source[fix.source].append(fix)
+        except ShardUnavailableError:
+            # Every shard died — the report below shows zero successes;
+            # the router API contract (no crash) still held.
+            pass
+        finally:
+            router.close()
+            for proc in shards.values():
+                proc.kill()
+                proc.join()
+    errors: List[float] = []
+    fixes_ok = 0
+    for source in sources:
+        ok = [fix for fix in fixes_by_source[source] if fix.ok]
+        if not ok:
+            continue
+        fixes_ok += 1
+        last = ok[-1]
+        target = targets[source]
+        errors.append(math.hypot(last.x - target.x, last.y - target.y))
+    counters = metrics.snapshot()["counters"]
+    injected = {
+        name[len("dist.failover.") :]: int(value)
+        for name, value in counters.items()
+        if name.startswith("dist.failover.")
+    }
+    injected["killed_shards"] = 1 if killed_shard else 0
+    return ChaosReport(
+        scenario="shard-kill",
+        testbed=testbed,
+        seed=seed,
+        bursts=bursts,
+        fixes_attempted=len(sources),
+        fixes_ok=fixes_ok,
+        degraded_fixes=0,
+        median_error_m=float(np.median(errors)) if errors else float("nan"),
+        quarantined={},
+        injected=injected,
+        breakers=breakers,
+    )

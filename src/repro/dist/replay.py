@@ -1,0 +1,111 @@
+"""Streaming replay: feed captures and datasets into an ingest sink.
+
+Bridges the offline data formats (:mod:`repro.io`) to anything with an
+``ingest(ap_id, frame)`` method — a local
+:class:`~repro.server.SpotFiServer` or a
+:class:`~repro.dist.router.ShardRouter` fronting many shards; the
+:class:`IngestSink` protocol captures exactly that shared surface.
+
+Two paths:
+
+* :func:`stream_dat_capture` pulls Intel 5300 ``.dat`` records through
+  the lazy :func:`~repro.io.csitool.iter_dat_records` generator — one
+  record is decoded, converted and ingested at a time, so a multi-hour
+  capture replays in O(1) memory.
+* :func:`stream_dataset` replays a simulated
+  :class:`~repro.io.traces.LocationDataset` packet-interleaved across
+  its APs, the arrival order a live central server would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional, Protocol, Union
+
+import numpy as np
+
+from repro.io.csitool import iter_dat_records
+from repro.io.traces import LocationDataset
+from repro.wifi.csi import CsiFrame
+
+
+class IngestSink(Protocol):
+    """Anything that accepts ``(ap_id, frame)`` ingest calls.
+
+    Both :class:`~repro.server.SpotFiServer` and
+    :class:`~repro.dist.router.ShardRouter` satisfy this; return values
+    are deliberately ignored so the two (synchronous fix events vs.
+    pipelined delivery) interchange freely.
+    """
+
+    def ingest(self, ap_id: str, frame: CsiFrame) -> object:
+        """Accept one packet's CSI from one AP."""
+        ...
+
+
+def stream_dat_capture(
+    sink: IngestSink,
+    path: Union[str, Path],
+    ap_id: str,
+    source: str,
+    scaled: bool = True,
+    apply_permutation: bool = False,
+    timestamp_offset_s: float = 0.0,
+) -> int:
+    """Stream one AP's ``.dat`` capture into the sink; returns the count.
+
+    Records stream lazily through
+    :func:`~repro.io.csitool.iter_dat_records` — nothing is
+    materialized.  Non-single-stream (Ntx > 1) records are skipped: the
+    serving path is single-transmitter, matching
+    :func:`~repro.io.csitool.trace_from_records`.
+    """
+    count = 0
+    for record in iter_dat_records(path):
+        if record.ntx != 1:
+            continue
+        if apply_permutation:
+            record = replace(record, csi=record.permuted_csi())
+        csi = record.scaled_csi() if scaled else record.csi.astype(np.complex128)
+        frame = CsiFrame(
+            csi=csi,
+            rssi_dbm=record.total_rss_dbm(),
+            timestamp_s=record.timestamp_low / 1e6 + timestamp_offset_s,
+            source=source,
+        )
+        sink.ingest(ap_id, frame)
+        count += 1
+    return count
+
+
+def stream_dataset(
+    sink: IngestSink,
+    dataset: LocationDataset,
+    source: str = "",
+    max_packets: Optional[int] = None,
+) -> int:
+    """Replay a dataset packet-interleaved across APs; returns the count.
+
+    Packet ``k`` of every AP is ingested before packet ``k + 1`` of any
+    — the arrival order a live deployment sees.  ``source`` overrides
+    the frames' source key (useful to fan one dataset out as several
+    synthetic targets); the default keeps each frame's own.
+    """
+    num_packets = min(len(trace) for trace in dataset.traces)
+    if max_packets is not None:
+        num_packets = min(num_packets, max_packets)
+    count = 0
+    for k in range(num_packets):
+        for i, trace in enumerate(dataset.traces):
+            frame = trace[k]
+            if source:
+                frame = CsiFrame(
+                    csi=frame.csi,
+                    rssi_dbm=frame.rssi_dbm,
+                    timestamp_s=frame.timestamp_s,
+                    source=source,
+                )
+            sink.ingest(f"ap{i}", frame)
+            count += 1
+    return count

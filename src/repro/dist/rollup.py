@@ -1,0 +1,126 @@
+"""Cluster-wide metrics rollup: many shard snapshots, one exposition.
+
+Each shard keeps its own :class:`~repro.runtime.RuntimeMetrics` — the
+same counters, stage timings and histograms a single-process deployment
+would have.  The rollup path pulls every shard's plain-data snapshot
+over the wire (``METRICS`` / ``METRICS_REPLY``), rehydrates each with
+:meth:`~repro.runtime.metrics.RuntimeMetrics.from_snapshot`, folds them
+together with :meth:`~repro.runtime.metrics.RuntimeMetrics.merge` —
+histogram buckets add, so cluster-wide p50/p99 are computed over the
+union of per-item samples, not averaged per shard — and renders one
+Prometheus exposition.
+
+Shard-scoped gauges keep their origin visible: breaker states are
+namespaced ``{shard_id}/{ap_id}`` (one target AP can only trip on the
+shard that serves it), and steering-cache stats are summed with the hit
+rate recomputed from the summed hits/misses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.dist import protocol
+from repro.dist.protocol import MessageType, parse_bind
+from repro.errors import TraceFormatError
+from repro.obs import render_prometheus
+from repro.runtime import RuntimeMetrics
+
+_CACHE_COUNTER_KEYS = ("hits", "misses", "evictions", "entries")
+
+
+def merge_snapshots(snapshots: List[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge per-shard metrics snapshots into one cluster snapshot.
+
+    Counters add; timings add with histograms merged bucket-wise (all
+    shards share :data:`~repro.obs.histogram.DEFAULT_TIMING_BUCKETS`);
+    ``cache`` sections are summed with ``hit_rate`` recomputed from the
+    totals.  Returns the same plain-data shape a single server's
+    :meth:`~repro.server.SpotFiServer.metrics_snapshot` produces.
+    """
+    merged = RuntimeMetrics()
+    cache_totals: Dict[str, float] = {}
+    saw_cache = False
+    for snapshot in snapshots:
+        merged.merge(RuntimeMetrics.from_snapshot(dict(snapshot)))
+        cache = snapshot.get("cache")
+        if isinstance(cache, Mapping):
+            saw_cache = True
+            for key in _CACHE_COUNTER_KEYS:
+                cache_totals[key] = cache_totals.get(key, 0.0) + float(
+                    cache.get(key, 0)
+                )
+    result: Dict[str, Any] = merged.snapshot()
+    if saw_cache:
+        attempts = cache_totals.get("hits", 0.0) + cache_totals.get("misses", 0.0)
+        cache_totals["hit_rate"] = (
+            cache_totals.get("hits", 0.0) / attempts if attempts else 0.0
+        )
+        result["cache"] = cache_totals
+    return result
+
+
+def rollup_exposition(
+    shard_replies: List[Mapping[str, Any]],
+    router_metrics: Optional[RuntimeMetrics] = None,
+) -> str:
+    """Render one Prometheus exposition for the whole cluster.
+
+    ``shard_replies`` are ``METRICS_REPLY`` payloads (as returned by
+    :meth:`~repro.dist.router.ShardRouter.pull_metrics`): each carries
+    ``shard_id``, a metrics ``snapshot``, and per-AP ``breakers``.
+    Breaker gauges are namespaced ``{shard_id}/{ap_id}`` so a tripped
+    breaker is attributable to the shard that owns the target.  When
+    ``router_metrics`` is given, the router's own ``dist.*`` counters
+    (failover, batching, health) are folded into the same exposition.
+    """
+    snapshots: List[Mapping[str, Any]] = []
+    breakers: Dict[str, str] = {}
+    for reply in shard_replies:
+        shard_id = str(reply.get("shard_id", "?"))
+        snapshot = reply.get("snapshot")
+        if isinstance(snapshot, Mapping):
+            snapshots.append(snapshot)
+        shard_breakers = reply.get("breakers")
+        if isinstance(shard_breakers, Mapping):
+            for ap_id, state in shard_breakers.items():
+                breakers[f"{shard_id}/{ap_id}"] = str(state)
+    merged = merge_snapshots(snapshots)
+    if router_metrics is not None:
+        router_side = RuntimeMetrics.from_snapshot(merged)
+        router_side.merge(router_metrics)
+        merged = dict(router_side.snapshot(), cache=merged.get("cache", {}))
+        if not merged["cache"]:
+            del merged["cache"]
+    if breakers:
+        merged["breakers"] = breakers
+    return render_prometheus(merged)
+
+
+def pull_shard_metrics(
+    shards: Mapping[str, str], timeout_s: float = 10.0
+) -> List[Dict[str, Any]]:
+    """Pull metrics directly from shard endpoints (no router needed).
+
+    One short-lived connection per shard: send ``METRICS``, read the
+    reply, disconnect.  Shards that cannot be reached or answer with
+    anything but a well-formed ``METRICS_REPLY`` are skipped — a metrics
+    scrape must not fail because one shard is down.
+    """
+    replies: List[Dict[str, Any]] = []
+    for _shard_id, spec in sorted(shards.items()):
+        try:
+            with parse_bind(spec).connect(timeout_s=timeout_s) as sock:
+                protocol.send_message(sock, MessageType.METRICS)
+                message = protocol.recv_message(sock)
+        except (OSError, TraceFormatError):
+            continue
+        if message is None or message[0] != MessageType.METRICS_REPLY:
+            continue
+        try:
+            reply = protocol.decode_json(message[1])
+        except TraceFormatError:
+            continue
+        if isinstance(reply, dict):
+            replies.append(reply)
+    return replies

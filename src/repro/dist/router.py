@@ -1,0 +1,484 @@
+"""Consistent-hash routing of CSI packet streams onto shard workers.
+
+The :class:`ShardRouter` is the client-facing front of :mod:`repro.dist`.
+It owns one connection per shard and decides, per packet, which shard
+assembles that packet's burst:
+
+* **Placement** is a consistent-hash ring (:class:`HashRing`) keyed on
+  ``frame.source``.  Every burst for one target therefore lands on one
+  shard — burst assembly needs no cross-shard coordination — and adding
+  or removing a shard only remaps the key ranges adjacent to its ring
+  points instead of reshuffling every target.
+* **Batching**: packets destined for the same shard are buffered and
+  shipped as one ``INGEST`` message once :attr:`batch_max_frames`
+  accumulate (or at a flush/sync point), amortizing framing and syscall
+  cost over the batch.
+* **Pipelining**: sends do not wait for the matching ``FIXES`` reply; a
+  per-shard in-flight counter tracks what is owed, and replies are
+  drained opportunistically after each send and exhaustively at sync
+  points.  This is what lets N shards compute concurrently behind one
+  single-threaded router.
+* **Failover**: any send/receive failure (or failed health probe) marks
+  the shard dead, removes it from the ring, and re-routes both the
+  unsent batch and the key range onto survivors, counting
+  ``dist.failover.shard_down`` / ``inflight_lost`` / ``rerouted``.
+  Replies owed by the dead shard are gone — delivery is at-most-once,
+  and the lost-burst gap is closed by the source's next packets hashing
+  onto the new owner (clients that oversample, like the chaos harness,
+  ride this out).  When no shard remains,
+  :class:`~repro.errors.ShardUnavailableError` is raised.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import select
+import socket
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.dist import protocol
+from repro.dist.protocol import BindAddress, MessageType, WireFix, parse_bind
+from repro.errors import ShardUnavailableError, TraceFormatError
+from repro.runtime import RuntimeMetrics
+from repro.wifi.csi import CsiFrame
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each node is hashed onto the ring at ``replicas`` points
+    (``sha1("{node}#{i}")``); a key is owned by the first node point at
+    or after ``sha1(key)``, wrapping around.  More replicas smooth the
+    key-range split across nodes at the cost of a longer sorted array;
+    64 keeps the imbalance under ~30% for small clusters.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+
+    @staticmethod
+    def _hash(text: str) -> int:
+        return int.from_bytes(hashlib.sha1(text.encode("utf-8")).digest()[:8], "big")
+
+    def add_node(self, node: str) -> None:
+        """Place a node's virtual points on the ring."""
+        for i in range(self.replicas):
+            point = self._hash(f"{node}#{i}")
+            if point in self._owners:
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = node
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node's points; its key ranges fall to the successors."""
+        dead = [p for p, owner in self._owners.items() if owner == node]
+        for point in dead:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def nodes(self) -> List[str]:
+        """Distinct nodes currently on the ring, sorted."""
+        return sorted(set(self._owners.values()))
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``; raises when the ring is empty."""
+        if not self._points:
+            raise ShardUnavailableError(
+                f"no live shard to route key {key!r}: the ring is empty"
+            )
+        index = bisect.bisect_right(self._points, self._hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+
+class ShardRouter:
+    """Routes ingest across shard workers with batching and failover.
+
+    Parameters
+    ----------
+    shards:
+        ``{shard_id: bind spec}`` (``unix:/path`` or ``tcp:host:port``).
+        Connections are opened lazily on first use.
+    replicas:
+        Virtual nodes per shard on the hash ring.
+    batch_max_frames:
+        Frames buffered per shard before an ``INGEST`` ships.  1 sends
+        every packet immediately; larger batches amortize framing cost.
+    health_interval_s:
+        Probe period for the passive health check woven into ``ingest``
+        (0 disables; ``check_health()`` can always be called directly).
+    socket_timeout_s:
+        Per-operation socket timeout; a shard that blocks longer is
+        treated as dead.
+    metrics:
+        Counter sink; ``dist.*`` counters land here.  A fresh instance
+        is created when omitted.
+
+    Fix events arrive asynchronously relative to ``ingest`` calls (a
+    reply may carry fixes from packets sent several batches ago); they
+    accumulate internally and are handed out by :meth:`take_fixes`.
+    """
+
+    def __init__(
+        self,
+        shards: Mapping[str, str],
+        replicas: int = 64,
+        batch_max_frames: int = 16,
+        health_interval_s: float = 0.0,
+        socket_timeout_s: float = 60.0,
+        metrics: Optional[RuntimeMetrics] = None,
+    ) -> None:
+        if not shards:
+            raise ShardUnavailableError("a router needs at least one shard")
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.batch_max_frames = max(1, int(batch_max_frames))
+        self.health_interval_s = float(health_interval_s)
+        self.socket_timeout_s = float(socket_timeout_s)
+        self._addresses: Dict[str, BindAddress] = {
+            shard_id: parse_bind(spec) for shard_id, spec in shards.items()
+        }
+        self._ring = HashRing(replicas=replicas)
+        for shard_id in self._addresses:
+            self._ring.add_node(shard_id)
+        self._sockets: Dict[str, socket.socket] = {}
+        self._pending: Dict[str, List[Tuple[str, CsiFrame]]] = {}
+        self._inflight: Dict[str, int] = {}
+        self._dead: Dict[str, str] = {}
+        self._fixes: List[WireFix] = []
+        self._last_health_s = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def _socket_for(self, shard_id: str) -> socket.socket:
+        sock = self._sockets.get(shard_id)
+        if sock is None:
+            sock = self._addresses[shard_id].connect(timeout_s=self.socket_timeout_s)
+            self._sockets[shard_id] = sock
+        return sock
+
+    def live_shards(self) -> List[str]:
+        """Shards still on the ring."""
+        return self._ring.nodes()
+
+    def owner_of(self, key: str) -> str:
+        """The shard currently owning ``key`` (chaos/debug introspection)."""
+        return self._ring.owner(key)
+
+    def dead_shards(self) -> Dict[str, str]:
+        """``{shard_id: reason}`` for every shard marked dead."""
+        return dict(self._dead)
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def _fail_shard(self, shard_id: str, reason: str) -> None:
+        """Mark a shard dead and re-route its unsent batch.
+
+        In-flight requests owed by the shard are lost (at-most-once);
+        the unsent batch is re-hashed onto the survivors, which may
+        recursively fail more shards if they are also down.
+        """
+        if shard_id in self._dead:
+            return
+        self._dead[shard_id] = reason
+        self._ring.remove_node(shard_id)
+        sock = self._sockets.pop(shard_id, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        unsent = self._pending.pop(shard_id, [])
+        lost = self._inflight.pop(shard_id, 0)
+        self.metrics.increment("dist.failover.shard_down")
+        self.metrics.increment("dist.failover.inflight_lost", lost)
+        if unsent:
+            self.metrics.increment("dist.failover.rerouted", len(unsent))
+            for ap_id, frame in unsent:
+                self.ingest(ap_id, frame)
+
+    # ------------------------------------------------------------------
+    # Reply draining (the pipelined half)
+    # ------------------------------------------------------------------
+    def _absorb_reply(
+        self, shard_id: str, msg_type: MessageType, payload: bytes
+    ) -> None:
+        if msg_type in (MessageType.FIXES, MessageType.BYE):
+            fixes = protocol.decode_fixes(payload)
+            self._fixes.extend(fixes)
+            self.metrics.increment("dist.fixes.received", len(fixes))
+        elif msg_type == MessageType.ERROR:
+            error = protocol.decode_json(payload)
+            kind = "unknown"
+            if isinstance(error, dict):
+                kind = str(error.get("kind", "unknown"))
+            self.metrics.record_error("dist.request", kind=kind)
+        else:
+            # A late HEALTH_OK / METRICS_REPLY from a probe whose recv
+            # timed out earlier; counting it keeps the stream in sync.
+            self.metrics.increment("dist.replies.stray")
+
+    def _drain_replies(self, shard_id: str, block: bool) -> None:
+        """Collect replies the shard owes us.
+
+        Non-blocking mode peeks with ``select`` and stops as soon as no
+        reply has started to arrive — called after each send so fixes
+        surface promptly without stalling the pipeline.  Once a reply is
+        readable, the message is read to completion with the normal
+        timeout, so the stream can never be torn mid-message.  Blocking
+        mode waits for every owed reply — the sync point used by flush
+        and metrics.
+        """
+        while self._inflight.get(shard_id, 0) > 0:
+            sock = self._sockets.get(shard_id)
+            if sock is None:
+                return
+            if not block:
+                try:
+                    readable, _, _ = select.select([sock], [], [], 0.0)
+                except (OSError, ValueError):
+                    self._fail_shard(shard_id, "connection unusable")
+                    return
+                if not readable:
+                    return
+            try:
+                message = protocol.recv_message(sock)
+            except socket.timeout:
+                self._fail_shard(shard_id, "reply timeout")
+                return
+            except (OSError, TraceFormatError) as exc:
+                self._fail_shard(shard_id, f"recv failed: {exc}")
+                return
+            if message is None:
+                self._fail_shard(shard_id, "connection closed")
+                return
+            self._inflight[shard_id] -= 1
+            self._absorb_reply(shard_id, *message)
+
+    def _send_request(
+        self, shard_id: str, msg_type: MessageType, payload: bytes
+    ) -> bool:
+        """Ship one request; returns False (after failover) on failure."""
+        try:
+            sock = self._socket_for(shard_id)
+            protocol.send_message(sock, msg_type, payload)
+        except OSError as exc:
+            self._fail_shard(shard_id, f"send failed: {exc}")
+            return False
+        self._inflight[shard_id] = self._inflight.get(shard_id, 0) + 1
+        return True
+
+    def _ship_batch(self, shard_id: str) -> None:
+        batch = self._pending.pop(shard_id, [])
+        if not batch:
+            return
+        payload = protocol.encode_frames(batch)
+        if self._send_request(shard_id, MessageType.INGEST, payload):
+            self.metrics.increment("dist.frames.sent", len(batch))
+            self.metrics.increment("dist.batches.sent")
+            self._drain_replies(shard_id, block=False)
+
+    # ------------------------------------------------------------------
+    # Public ingest / flush
+    # ------------------------------------------------------------------
+    def ingest(self, ap_id: str, frame: CsiFrame) -> None:
+        """Route one packet to its owning shard (batched, pipelined).
+
+        Raises :class:`~repro.errors.ShardUnavailableError` when every
+        shard is dead.  Fix events produced by completed bursts arrive
+        asynchronously — collect them with :meth:`take_fixes`.
+        """
+        self._maybe_health_check()
+        shard_id = self._ring.owner(frame.source)
+        self._pending.setdefault(shard_id, []).append((ap_id, frame))
+        if len(self._pending[shard_id]) >= self.batch_max_frames:
+            self._ship_batch(shard_id)
+
+    def _ship_all_batches(self) -> None:
+        """Ship every pending batch, including failover re-routes.
+
+        A failed ship re-hashes its frames into *other* shards' pending
+        batches, so one pass is not enough; loop until nothing is
+        pending (guaranteed to terminate: each round either empties the
+        map or removes a shard from the ring).
+        """
+        while any(self._pending.values()):
+            for shard_id in list(self._pending):
+                self._ship_batch(shard_id)
+
+    def flush_source(self, source: str, timestamp_s: float) -> List[WireFix]:
+        """Force a fix attempt for one target on its owning shard.
+
+        Ships any buffered batches first (the owner may change if that
+        surfaces a dead shard), then a ``FLUSH`` request, then blocks
+        for every owed reply; returns the fixes that arrived during the
+        sync (for this source and any that were in flight).
+        """
+        self._ship_all_batches()
+        shard_id = self._ring.owner(source)
+        payload = protocol.encode_json(
+            {"sources": [source], "timestamp_s": timestamp_s}
+        )
+        if self._send_request(shard_id, MessageType.FLUSH, payload):
+            self._drain_replies(shard_id, block=True)
+        return self.take_fixes()
+
+    def flush(self) -> List[WireFix]:
+        """Global sync point: ship every batch, flush every shard, drain.
+
+        Returns every fix event collected, including those that were
+        still in flight from earlier batches.
+        """
+        self._ship_all_batches()
+        payload = protocol.encode_json({"sources": None})
+        for shard_id in self.live_shards():
+            if self._send_request(shard_id, MessageType.FLUSH, payload):
+                self._drain_replies(shard_id, block=True)
+        return self.take_fixes()
+
+    def take_fixes(self) -> List[WireFix]:
+        """Hand over (and clear) the fix events collected so far."""
+        fixes = self._fixes
+        self._fixes = []
+        return fixes
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def _maybe_health_check(self) -> None:
+        if self.health_interval_s <= 0.0:
+            return
+        now = time.monotonic()
+        if now - self._last_health_s >= self.health_interval_s:
+            self._last_health_s = now
+            self.check_health()
+
+    def check_health(self) -> Dict[str, bool]:
+        """Probe every live shard; failed probes trigger failover.
+
+        Returns ``{shard_id: alive}`` over the shards that were live
+        when the probe started.
+        """
+        results: Dict[str, bool] = {}
+        for shard_id in self.live_shards():
+            self._drain_replies(shard_id, block=True)
+            if shard_id in self._dead:
+                results[shard_id] = False
+                continue
+            alive = self._send_request(shard_id, MessageType.HEALTH, b"")
+            if alive:
+                sock = self._sockets[shard_id]
+                try:
+                    message = protocol.recv_message(sock)
+                except (OSError, TraceFormatError) as exc:
+                    self._fail_shard(shard_id, f"health probe failed: {exc}")
+                    alive = False
+                else:
+                    self._inflight[shard_id] -= 1
+                    alive = (
+                        message is not None and message[0] == MessageType.HEALTH_OK
+                    )
+                    if not alive:
+                        self._fail_shard(shard_id, "health probe rejected")
+            results[shard_id] = alive
+            self.metrics.increment(
+                "dist.health.ok" if alive else "dist.health.failed"
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def pull_metrics(self) -> List[Dict[str, Any]]:
+        """Fetch every live shard's metrics snapshot + breaker states.
+
+        Each entry is the shard's ``METRICS_REPLY`` payload:
+        ``{"shard_id": ..., "snapshot": ..., "breakers": ...}``.  Shards
+        that fail mid-pull are failed over and skipped.
+        """
+        replies: List[Dict[str, Any]] = []
+        for shard_id in self.live_shards():
+            self._drain_replies(shard_id, block=True)
+            if shard_id in self._dead:
+                continue
+            if not self._send_request(shard_id, MessageType.METRICS, b""):
+                continue
+            sock = self._sockets[shard_id]
+            try:
+                message = protocol.recv_message(sock)
+            except (OSError, TraceFormatError) as exc:
+                self._fail_shard(shard_id, f"metrics pull failed: {exc}")
+                continue
+            self._inflight[shard_id] -= 1
+            if message is None:
+                self._fail_shard(shard_id, "connection closed")
+                continue
+            msg_type, payload = message
+            if msg_type != MessageType.METRICS_REPLY:
+                self._absorb_reply(shard_id, msg_type, payload)
+                continue
+            reply = protocol.decode_json(payload)
+            if isinstance(reply, dict):
+                replies.append(reply)
+        return replies
+
+    def stats(self) -> Dict[str, Any]:
+        """Router-side view: ring membership, failover and flow counters."""
+        snapshot = self.metrics.snapshot()
+        return {
+            "live_shards": self.live_shards(),
+            "dead_shards": self.dead_shards(),
+            "counters": snapshot["counters"],
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> List[WireFix]:
+        """Gracefully stop every live shard, collecting drained fixes.
+
+        Sends ``SHUTDOWN`` to each shard; the shard drains its buffered
+        bursts through ``flush()`` and answers ``BYE`` with the final
+        fixes.  Returns everything collected (in-flight + drained).
+        """
+        self._ship_all_batches()
+        for shard_id in self.live_shards():
+            self._drain_replies(shard_id, block=True)
+            if shard_id in self._dead:
+                continue
+            if not self._send_request(shard_id, MessageType.SHUTDOWN, b""):
+                continue
+            sock = self._sockets[shard_id]
+            try:
+                message = protocol.recv_message(sock)
+            except (OSError, TraceFormatError):
+                message = None
+            self._inflight[shard_id] -= 1
+            if message is not None and message[0] in (
+                MessageType.BYE,
+                MessageType.FIXES,
+            ):
+                self._absorb_reply(shard_id, MessageType.FIXES, message[1])
+        return self.take_fixes()
+
+    def close(self) -> None:
+        """Close every connection without shutting the shards down."""
+        for sock in self._sockets.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._sockets.clear()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

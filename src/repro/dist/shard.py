@@ -1,0 +1,412 @@
+"""Shard workers: one subprocess, one full :class:`~repro.server.SpotFiServer`.
+
+A shard is the unit of horizontal scale in :mod:`repro.dist`.  Each one
+hosts a complete streaming server — bounded ingest buffers,
+:class:`~repro.faults.FrameValidator` admission control, and per-AP
+circuit breakers all intact — behind a blocking socket loop speaking the
+:mod:`repro.dist.protocol` message framing over TCP or a Unix domain
+socket.  The :class:`~repro.dist.router.ShardRouter` consistent-hashes
+``source`` keys across shards, so every packet burst for one target
+lands on exactly one shard and burst assembly needs no cross-process
+coordination.
+
+Lifecycle: :class:`ShardProcess` forks a worker with a picklable
+:class:`ShardConfig`; the worker builds its server, listens, and serves
+until it receives a ``SHUTDOWN`` message or a SIGTERM/SIGINT, at which
+point it *drains* — every source with buffered packets gets a final
+``flush()`` so partial bursts become fix attempts instead of silently
+dropped data — and replies ``BYE`` with the drained fixes.
+"""
+
+from __future__ import annotations
+
+import os
+import multiprocessing
+import selectors
+import signal
+import socket
+import time
+from dataclasses import dataclass
+from types import FrameType
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.dist import protocol
+from repro.dist.protocol import BindAddress, MessageType, WireFix, parse_bind
+from repro.errors import ReproError, TraceFormatError
+from repro.runtime import RuntimeMetrics, create_executor
+from repro.server import FixEvent, SpotFiServer
+from repro.testbed.layout import (
+    Testbed,
+    home_testbed,
+    office_testbed,
+    small_testbed,
+)
+from repro.wifi.intel5300 import Intel5300
+
+_TESTBEDS = {"office": office_testbed, "small": small_testbed, "home": home_testbed}
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Picklable recipe for one shard's :class:`~repro.server.SpotFiServer`.
+
+    Shipped to the worker process at fork time; everything needed to
+    rebuild the server lives here as plain data (the testbed is named,
+    not embedded, so the config stays picklable on every start method).
+    """
+
+    shard_id: str
+    testbed: str = "small"
+    packets_per_fix: int = 8
+    min_aps: int = 2
+    max_buffered_packets: int = 0
+    overflow_policy: str = "drop-oldest"
+    max_burst_age_s: float = 0.0
+    breaker_threshold: int = 0
+    breaker_recovery_s: float = 10.0
+    workers: int = 1
+    seed: int = 0
+
+
+def build_server(config: ShardConfig) -> SpotFiServer:
+    """Construct the shard's in-process server from its config.
+
+    The full serving stack is assembled exactly as ``repro serve`` does:
+    a shared :class:`~repro.runtime.RuntimeMetrics` instance threads
+    through the executor and the server so one snapshot covers both.
+    """
+    try:
+        testbed: Testbed = _TESTBEDS[config.testbed]()
+    except KeyError:
+        raise ReproError(
+            f"unknown testbed {config.testbed!r}; available: {sorted(_TESTBEDS)}"
+        ) from None
+    metrics = RuntimeMetrics()
+    executor = create_executor(config.workers, metrics=metrics)
+    spotfi = SpotFi(
+        Intel5300().grid(),
+        bounds=testbed.bounds,
+        config=SpotFiConfig(packets_per_fix=config.packets_per_fix),
+        rng=np.random.default_rng(config.seed),
+        executor=executor,
+    )
+    return SpotFiServer(
+        spotfi=spotfi,
+        aps={f"ap{i}": ap for i, ap in enumerate(testbed.aps)},
+        packets_per_fix=config.packets_per_fix,
+        min_aps=config.min_aps,
+        max_buffered_packets=config.max_buffered_packets,
+        overflow_policy=config.overflow_policy,
+        max_burst_age_s=config.max_burst_age_s,
+        metrics=metrics,
+        breaker_threshold=config.breaker_threshold,
+        breaker_recovery_s=config.breaker_recovery_s,
+    )
+
+
+class ShardServer:
+    """The socket loop wrapping one :class:`~repro.server.SpotFiServer`.
+
+    Single-threaded and selector-driven: accepts connections, reads one
+    framed request at a time, and answers each with exactly one reply
+    message (``FIXES``, ``HEALTH_OK``, ``METRICS_REPLY``, ``BYE``, or
+    ``ERROR``).  Library errors — malformed frames, validation
+    rejections, backpressure — become ``ERROR`` replies carrying the
+    exception class name, so the router can map them back onto the
+    :class:`~repro.errors.ReproError` hierarchy; they never kill the
+    shard.  A broken connection is dropped and the loop keeps serving.
+    """
+
+    def __init__(self, config: ShardConfig, bind: BindAddress) -> None:
+        self.config = config
+        self.bind = bind
+        self.server = build_server(config)
+        self._stopping = False
+        self._drained: List[WireFix] = []
+        self._last_timestamp_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _wire_fix(self, event: FixEvent) -> WireFix:
+        return protocol.WireFix(
+            source=event.source,
+            timestamp_s=event.timestamp_s,
+            ok=event.ok,
+            x=event.fix.position.x if event.ok else float("nan"),
+            y=event.fix.position.y if event.ok else float("nan"),
+            num_aps=event.num_aps,
+            shard=self.config.shard_id,
+        )
+
+    def _handle_ingest(self, payload: bytes) -> Tuple[MessageType, bytes]:
+        fixes: List[WireFix] = []
+        for ap_id, frame in protocol.decode_frames(payload):
+            self._last_timestamp_s = max(self._last_timestamp_s, frame.timestamp_s)
+            event = self.server.ingest(ap_id, frame)
+            if event is not None:
+                fixes.append(self._wire_fix(event))
+        return MessageType.FIXES, protocol.encode_fixes(fixes)
+
+    def _handle_flush(self, payload: bytes) -> Tuple[MessageType, bytes]:
+        request = protocol.decode_json(payload)
+        if not isinstance(request, dict):
+            raise TraceFormatError("FLUSH payload must be a JSON object")
+        sources = request.get("sources")
+        if sources is None:
+            sources = self.server.sources()
+        timestamp_s = float(request.get("timestamp_s", self._last_timestamp_s))
+        fixes: List[WireFix] = []
+        for source in sources:
+            event = self.server.flush(str(source), timestamp_s)
+            if event is not None:
+                fixes.append(self._wire_fix(event))
+        return MessageType.FIXES, protocol.encode_fixes(fixes)
+
+    def _handle_metrics(self) -> Tuple[MessageType, bytes]:
+        reply = {
+            "shard_id": self.config.shard_id,
+            "snapshot": self.server.metrics_snapshot(),
+            "breakers": self.server.breaker_states(),
+        }
+        return MessageType.METRICS_REPLY, protocol.encode_json(reply)
+
+    def _handle_request(
+        self, msg_type: MessageType, payload: bytes
+    ) -> Tuple[MessageType, bytes]:
+        if msg_type == MessageType.INGEST:
+            return self._handle_ingest(payload)
+        if msg_type == MessageType.FLUSH:
+            return self._handle_flush(payload)
+        if msg_type == MessageType.HEALTH:
+            return MessageType.HEALTH_OK, protocol.encode_json(
+                {"shard_id": self.config.shard_id, "pid": os.getpid()}
+            )
+        if msg_type == MessageType.METRICS:
+            return self._handle_metrics()
+        if msg_type == MessageType.SHUTDOWN:
+            self._stopping = True
+            return MessageType.BYE, protocol.encode_fixes(self.drain())
+        raise TraceFormatError(f"unexpected request type {msg_type.name}")
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown
+    # ------------------------------------------------------------------
+    def drain(self) -> List[WireFix]:
+        """Flush every source with buffered packets; return the fixes.
+
+        Called on ``SHUTDOWN`` and on SIGTERM/SIGINT so partial bursts
+        become final fix attempts instead of dying with the process.
+        Idempotent: sources drained once have empty buffers and produce
+        nothing on a second pass.
+        """
+        fixes: List[WireFix] = []
+        for source in self.server.sources():
+            if not any(self.server.pending_packets(source).values()):
+                continue
+            event = self.server.flush(source, self._last_timestamp_s)
+            if event is not None:
+                fixes.append(self._wire_fix(event))
+        self._drained.extend(fixes)
+        return fixes
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to exit after the current request."""
+        self._stopping = True
+
+    # ------------------------------------------------------------------
+    # Serve loop
+    # ------------------------------------------------------------------
+    def serve_forever(self, poll_interval_s: float = 0.2) -> None:
+        """Accept and serve connections until stopped.
+
+        One selector multiplexes the listening socket and every client
+        connection; requests are handled to completion one at a time
+        (the shard's parallelism lives in its executor, not its socket
+        loop, which keeps `SpotFiServer`'s single-threaded invariants).
+        """
+        listener = self.bind.listen()
+        listener.setblocking(False)
+        selector = selectors.DefaultSelector()
+        selector.register(listener, selectors.EVENT_READ, data=None)
+        try:
+            while not self._stopping:
+                for key, _ in selector.select(timeout=poll_interval_s):
+                    if key.data is None:
+                        conn, _addr = listener.accept()
+                        conn.setblocking(True)
+                        selector.register(conn, selectors.EVENT_READ, data="conn")
+                    else:
+                        self._serve_one(selector, key.fileobj)
+                    if self._stopping:
+                        break
+        finally:
+            for key in list(selector.get_map().values()):
+                selector.unregister(key.fileobj)
+                key.fileobj.close()
+            selector.close()
+            if self.bind.kind == "unix":
+                try:
+                    os.unlink(self.bind.path)
+                except OSError:
+                    pass
+            if self._stopping:
+                self.drain()
+            self.server.spotfi.executor.close()
+
+    def _serve_one(self, selector: selectors.BaseSelector, sock: socket.socket) -> None:
+        try:
+            message = protocol.recv_message(sock)
+        except (TraceFormatError, OSError):
+            selector.unregister(sock)
+            sock.close()
+            return
+        if message is None:
+            selector.unregister(sock)
+            sock.close()
+            return
+        msg_type, payload = message
+        try:
+            reply_type, reply_payload = self._handle_request(msg_type, payload)
+        except ReproError as exc:
+            reply_type = MessageType.ERROR
+            reply_payload = protocol.encode_json(
+                {"kind": type(exc).__name__, "message": str(exc)}
+            )
+        try:
+            protocol.send_message(sock, reply_type, reply_payload)
+        except OSError:
+            selector.unregister(sock)
+            sock.close()
+
+
+def run_shard(spec: str, config: ShardConfig) -> None:
+    """Worker entry point: build a shard, serve until signalled.
+
+    SIGTERM and SIGINT flip the stop flag so the loop exits at the next
+    request boundary, drains buffered bursts through ``flush()``, and
+    returns — the graceful half of failover (the router handles the
+    ungraceful half, SIGKILL, by re-routing the dead shard's key range).
+    """
+    shard = ShardServer(config, parse_bind(spec))
+
+    def _stop(_signum: int, _frame: Optional[FrameType]) -> None:
+        shard.request_stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    shard.serve_forever()
+
+
+class ShardProcess:
+    """Handle on a shard subprocess: spawn, probe, terminate, kill.
+
+    Thin supervisor used by the router-side helpers and the chaos
+    harness.  ``kill()`` is deliberately SIGKILL — the point of the
+    kill-one-shard scenario is an *ungraceful* death with no drain.
+    """
+
+    def __init__(self, spec: str, config: ShardConfig) -> None:
+        self.spec = spec
+        self.config = config
+        self.process = multiprocessing.Process(
+            target=run_shard, args=(spec, config), daemon=True
+        )
+
+    def start(self) -> None:
+        """Fork the worker process (does not wait for readiness)."""
+        self.process.start()
+
+    def wait_ready(self, timeout_s: float = 30.0) -> None:
+        """Block until the shard answers a HEALTH probe.
+
+        Polls with short connect attempts; raises
+        :class:`~repro.errors.ReproError` when the deadline passes or
+        the process dies first.
+        """
+        bind = parse_bind(self.spec)
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if not self.process.is_alive():
+                raise ReproError(
+                    f"shard {self.config.shard_id!r} exited during startup "
+                    f"(exitcode {self.process.exitcode})"
+                )
+            try:
+                with bind.connect(timeout_s=1.0) as sock:
+                    protocol.send_message(sock, MessageType.HEALTH)
+                    reply = protocol.recv_message(sock)
+                if reply is not None and reply[0] == MessageType.HEALTH_OK:
+                    return
+            except (OSError, TraceFormatError):
+                pass
+            time.sleep(0.05)
+        raise ReproError(
+            f"shard {self.config.shard_id!r} not ready after {timeout_s:.0f}s"
+        )
+
+    def terminate(self) -> None:
+        """SIGTERM: graceful stop — the shard drains before exiting."""
+        if self.process.is_alive():
+            self.process.terminate()
+
+    def kill(self) -> None:
+        """SIGKILL: ungraceful death, no drain (chaos scenarios)."""
+        if self.process.is_alive():
+            self.process.kill()
+
+    def join(self, timeout_s: float = 10.0) -> Optional[int]:
+        """Wait for exit; returns the exit code (None if still alive)."""
+        self.process.join(timeout_s)
+        return self.process.exitcode
+
+
+def start_shards(
+    num_shards: int,
+    config: ShardConfig,
+    directory: str,
+    base_port: int = 0,
+    host: str = "127.0.0.1",
+) -> Dict[str, ShardProcess]:
+    """Spawn ``num_shards`` workers and wait until all answer HEALTH.
+
+    With ``base_port == 0`` (default) each shard listens on a Unix
+    socket ``{directory}/shard{i}.sock`` — no port allocation races;
+    otherwise shard ``i`` binds ``tcp:{host}:{base_port + i}``.  Returns
+    ``{shard_id: ShardProcess}``; on any startup failure the shards
+    already running are killed before the error propagates.
+    """
+    shards: Dict[str, ShardProcess] = {}
+    try:
+        for i in range(num_shards):
+            shard_id = f"shard{i}"
+            if base_port:
+                spec = f"tcp:{host}:{base_port + i}"
+            else:
+                spec = f"unix:{os.path.join(directory, shard_id + '.sock')}"
+            shard_config = ShardConfig(
+                shard_id=shard_id,
+                testbed=config.testbed,
+                packets_per_fix=config.packets_per_fix,
+                min_aps=config.min_aps,
+                max_buffered_packets=config.max_buffered_packets,
+                overflow_policy=config.overflow_policy,
+                max_burst_age_s=config.max_burst_age_s,
+                breaker_threshold=config.breaker_threshold,
+                breaker_recovery_s=config.breaker_recovery_s,
+                workers=config.workers,
+                seed=config.seed,
+            )
+            process = ShardProcess(spec, shard_config)
+            process.start()
+            shards[shard_id] = process
+        for process in shards.values():
+            process.wait_ready()
+    except BaseException:
+        for process in shards.values():
+            process.kill()
+        raise
+    return shards

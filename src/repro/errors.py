@@ -78,6 +78,17 @@ class CircuitOpenError(ReproError):
     """
 
 
+class ShardUnavailableError(ReproError):
+    """No live shard remains to route a key to.
+
+    Raised by :class:`~repro.dist.router.ShardRouter` when every shard in
+    the ring has been marked dead (failed health checks or connection
+    errors) and a packet or flush has nowhere to go.  Until then, shard
+    death is absorbed by failover: the dead shard's key range is
+    re-hashed onto the survivors and counted under ``dist.failover.*``.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """A work item missed its per-packet deadline on the executor.
 

@@ -26,6 +26,11 @@ Scenarios
     A moderate blend of all failure modes, including phase glitches that
     *pass* validation and must be absorbed by clustering + likelihood
     weighting.
+``shard-kill``
+    Distributed drill (delegated to
+    :func:`repro.dist.chaos.run_shard_kill`): real shard subprocesses
+    behind a :class:`~repro.dist.router.ShardRouter`, one of which is
+    SIGKILLed mid-stream; failover must keep fixes flowing.
 """
 
 from __future__ import annotations
@@ -72,7 +77,9 @@ def scenario_specs(
     ``blackout`` computes its onset from the run length so the AP dies
     halfway through; the other scenarios are timing-independent.
     """
-    if name == "clean":
+    if name in ("clean", "shard-kill"):
+        # shard-kill injects a process death, not CSI faults; the kill
+        # itself is orchestrated by repro.dist.chaos.run_shard_kill.
         return ()
     if name == "nan":
         return (
@@ -101,7 +108,7 @@ def scenario_specs(
 
 
 #: Scenario names accepted by :func:`run_chaos` and ``repro chaos``.
-SCENARIOS = ("blackout", "clean", "mixed", "nan", "truncate")
+SCENARIOS = ("blackout", "clean", "mixed", "nan", "shard-kill", "truncate")
 
 
 @dataclass(frozen=True)
@@ -212,6 +219,21 @@ def run_chaos(
     same seeds and reports its median error (defaults to True for the
     blackout scenario, which exists to measure degradation cost).
     """
+    if scenario == "shard-kill":
+        # Distributed scenario: the fault is an ungraceful shard death,
+        # drilled end to end through repro.dist (real subprocesses, real
+        # sockets).  Late import keeps faults free of the dist package
+        # for single-process users.
+        from repro.dist.chaos import run_shard_kill
+
+        return run_shard_kill(
+            testbed=testbed,
+            seed=seed,
+            packets_per_fix=packets_per_fix,
+            bursts=bursts,
+            min_aps=min_aps,
+            oversample=max(oversample, 2.5),
+        )
     if testbed not in _TESTBEDS:
         raise ConfigurationError(
             f"unknown testbed {testbed!r}; available: {sorted(_TESTBEDS)}"

@@ -1,12 +1,18 @@
 """Trace I/O: portable ``.npz`` CSI archives and the Intel 5300
 linux-80211n-csitool ``.dat`` binary format."""
 
-from repro.io.csitool import BfeeRecord, read_dat_file, write_dat_file
+from repro.io.csitool import (
+    BfeeRecord,
+    iter_dat_records,
+    read_dat_file,
+    write_dat_file,
+)
 from repro.io.traces import LocationDataset, load_dataset, save_dataset
 
 __all__ = [
     "BfeeRecord",
     "LocationDataset",
+    "iter_dat_records",
     "load_dataset",
     "read_dat_file",
     "save_dataset",

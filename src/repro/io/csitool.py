@@ -26,7 +26,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Iterable, Iterator, List, Union
 
 import numpy as np
 
@@ -185,32 +185,60 @@ def _encode_csi_payload(csi: np.ndarray, nrx: int, ntx: int) -> bytes:
 # ----------------------------------------------------------------------
 # File reader / writer
 # ----------------------------------------------------------------------
+def iter_dat_records(
+    path: Union[str, Path], num_subcarriers: int = 30
+) -> Iterator[BfeeRecord]:
+    """Lazily parse bfee records from a csitool ``.dat`` capture.
+
+    Generator counterpart of :func:`read_dat_file`: records are read and
+    decoded one at a time from the open file, so an arbitrarily long
+    capture streams in O(1) memory — the shape ingest paths need (the
+    :mod:`repro.dist` replay path feeds shards straight from this
+    iterator).  Non-bfee records (other codes the tool logs) are
+    skipped, matching the reference reader.  Raises
+    :class:`TraceFormatError` on truncation, at the point the truncated
+    record is reached.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        offset = 0
+        while True:
+            prefix = handle.read(3)
+            if not prefix:
+                return
+            if len(prefix) < 3:
+                # Trailing stub shorter than a record prefix: ignored,
+                # matching the materializing reader's `offset + 3 <=
+                # len(data)` loop bound.
+                return
+            (field_len,) = struct.unpack(">H", prefix[:2])
+            code = prefix[2]
+            if field_len < 1:
+                raise TraceFormatError(
+                    f"{path}: truncated record at byte {offset} "
+                    f"(field_len={field_len})"
+                )
+            body = handle.read(field_len - 1)
+            if len(body) < field_len - 1:
+                raise TraceFormatError(
+                    f"{path}: truncated record at byte {offset} "
+                    f"(field_len={field_len}, "
+                    f"{len(body)} of {field_len - 1} body bytes)"
+                )
+            if code == _BFEE_CODE:
+                yield _parse_bfee(body, path, num_subcarriers)
+            offset += 2 + field_len
+
+
 def read_dat_file(
     path: Union[str, Path], num_subcarriers: int = 30
 ) -> List[BfeeRecord]:
     """Parse every bfee record of a csitool ``.dat`` capture.
 
-    Non-bfee records (other codes the tool logs) are skipped, matching the
-    reference reader.  Raises :class:`TraceFormatError` on truncation.
+    Materializing wrapper over :func:`iter_dat_records`; prefer the
+    generator when the capture is large or consumed once.
     """
-    path = Path(path)
-    data = path.read_bytes()
-    records: List[BfeeRecord] = []
-    offset = 0
-    while offset + 3 <= len(data):
-        (field_len,) = struct.unpack_from(">H", data, offset)
-        code = data[offset + 2]
-        body_start = offset + 3
-        body_end = offset + 2 + field_len
-        if field_len < 1 or body_end > len(data):
-            raise TraceFormatError(
-                f"{path}: truncated record at byte {offset} "
-                f"(field_len={field_len}, file size={len(data)})"
-            )
-        if code == _BFEE_CODE:
-            records.append(_parse_bfee(data[body_start:body_end], path, num_subcarriers))
-        offset = body_end
-    return records
+    return list(iter_dat_records(path, num_subcarriers=num_subcarriers))
 
 
 def _parse_bfee(body: bytes, path: Path, num_subcarriers: int) -> BfeeRecord:
@@ -303,16 +331,18 @@ def write_dat_file(
 
 
 def trace_from_records(
-    records: List[BfeeRecord],
+    records: Iterable[BfeeRecord],
     scaled: bool = True,
     source: str = "",
     apply_permutation: bool = False,
 ) -> CsiTrace:
     """Convert single-stream (Ntx = 1) bfee records to a :class:`CsiTrace`.
 
-    ``apply_permutation`` reorders CSI rows from RF-chain order to physical
-    antenna order using each record's ``antenna_sel`` — required for AoA
-    work on real captures whose chains are permuted.
+    Accepts any iterable — including the lazy :func:`iter_dat_records`
+    generator — and consumes it exactly once.  ``apply_permutation``
+    reorders CSI rows from RF-chain order to physical antenna order using
+    each record's ``antenna_sel`` — required for AoA work on real
+    captures whose chains are permuted.
     """
     frames = []
     for record in records:

@@ -168,6 +168,39 @@ class RuntimeMetrics:
                 timing.max_s = max(timing.max_s, max_s)
                 timing.item_hist.merge(hist)
 
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, dict]) -> "RuntimeMetrics":
+        """Rebuild an instance from a :meth:`snapshot` plain-data dict.
+
+        The inverse (up to float rounding) of :meth:`snapshot`, used by
+        :mod:`repro.dist.rollup` to merge per-shard snapshots shipped
+        over the wire: each shard's snapshot is rehydrated here and then
+        folded together with :meth:`merge`.  Bucket bounds are taken
+        from the first timing's histogram (all stages share bounds), or
+        :data:`~repro.obs.histogram.DEFAULT_TIMING_BUCKETS` when the
+        snapshot has no timings.
+        """
+        timings = snapshot.get("timings", {})
+        bounds: Sequence[float] = DEFAULT_TIMING_BUCKETS
+        for entry in timings.values():
+            hist_data = entry.get("histogram")
+            if hist_data and hist_data.get("bounds"):
+                bounds = tuple(float(b) for b in hist_data["bounds"])
+                break
+        metrics = cls(bucket_bounds=bounds)
+        for name, value in snapshot.get("counters", {}).items():
+            metrics._counters[str(name)] = int(value)
+        for stage, entry in timings.items():
+            timing = metrics._timing(str(stage))
+            timing.batches = int(entry.get("batches", entry.get("count", 0)))
+            timing.items = int(entry.get("items", timing.batches))
+            timing.total_s = float(entry.get("total_s", 0.0))
+            timing.max_s = float(entry.get("max_s", 0.0))
+            hist_data = entry.get("histogram")
+            if hist_data:
+                timing.item_hist.merge(Histogram.from_dict(hist_data))
+        return metrics
+
     def _export_state(self) -> Tuple[Dict[str, int], Dict[str, "StageTiming"]]:
         """Deep-copied (counters, timings) for a lock-safe merge."""
         with self._lock:

@@ -1,0 +1,202 @@
+"""Unit tests for the repro.dist wire protocol."""
+
+from __future__ import annotations
+
+import math
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dist.protocol import (
+    HEADER,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    MessageType,
+    PROTOCOL_VERSION,
+    WireFix,
+    decode_fixes,
+    decode_frames,
+    decode_header,
+    decode_json,
+    decode_message,
+    encode_fixes,
+    encode_frames,
+    encode_json,
+    encode_message,
+    parse_bind,
+    recv_message,
+    send_message,
+)
+from repro.errors import TraceFormatError, ValidationError
+from repro.wifi.csi import CsiFrame
+
+
+def make_frame(source: str = "t0", seed: int = 0) -> CsiFrame:
+    rng = np.random.default_rng(seed)
+    csi = rng.normal(size=(3, 30)) + 1j * rng.normal(size=(3, 30))
+    return CsiFrame(csi=csi, rssi_dbm=-41.5, timestamp_s=1.25, source=source)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        data = encode_message(MessageType.FLUSH, b"hello")
+        assert decode_message(data) == (MessageType.FLUSH, b"hello")
+
+    def test_empty_payload_round_trip(self):
+        assert decode_message(encode_message(MessageType.HEALTH)) == (
+            MessageType.HEALTH,
+            b"",
+        )
+
+    def test_bad_magic_rejected(self):
+        data = b"XX" + encode_message(MessageType.HEALTH)[2:]
+        with pytest.raises(TraceFormatError, match="magic"):
+            decode_header(data)
+
+    def test_wrong_version_rejected(self):
+        data = HEADER.pack(MAGIC, PROTOCOL_VERSION + 1, int(MessageType.HEALTH), 0)
+        with pytest.raises(TraceFormatError, match="version"):
+            decode_header(data)
+
+    def test_unknown_type_rejected(self):
+        data = HEADER.pack(MAGIC, PROTOCOL_VERSION, 200, 0)
+        with pytest.raises(TraceFormatError, match="message type"):
+            decode_header(data)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(TraceFormatError, match="truncated"):
+            decode_header(b"SD\x01")
+
+    def test_truncated_payload_rejected(self):
+        data = encode_message(MessageType.FLUSH, b"hello")[:-2]
+        with pytest.raises(TraceFormatError, match="truncated"):
+            decode_message(data)
+
+    def test_oversized_declared_payload_rejected(self):
+        data = HEADER.pack(
+            MAGIC, PROTOCOL_VERSION, int(MessageType.INGEST), MAX_PAYLOAD_BYTES + 1
+        )
+        with pytest.raises(TraceFormatError, match="cap"):
+            decode_header(data)
+
+
+class TestSocketIO:
+    def test_send_recv_round_trip(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_message(a, MessageType.METRICS, b"{}")
+            assert recv_message(b) == (MessageType.METRICS, b"{}")
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            assert recv_message(b) is None
+
+    def test_mid_message_eof_raises(self):
+        a, b = socket.socketpair()
+        with b:
+            a.sendall(encode_message(MessageType.FLUSH, b"hello")[:-2])
+            a.close()
+            with pytest.raises(TraceFormatError, match="mid-message"):
+                recv_message(b)
+
+    def test_interleaved_messages_keep_boundaries(self):
+        a, b = socket.socketpair()
+        with a, b:
+            sender = threading.Thread(
+                target=lambda: [
+                    send_message(a, MessageType.HEALTH),
+                    send_message(a, MessageType.FLUSH, b"x" * 1000),
+                ]
+            )
+            sender.start()
+            assert recv_message(b) == (MessageType.HEALTH, b"")
+            assert recv_message(b) == (MessageType.FLUSH, b"x" * 1000)
+            sender.join()
+
+
+class TestFrameBatches:
+    def test_round_trip(self):
+        entries = [("ap0", make_frame("t0", 0)), ("ap1", make_frame("t1", 1))]
+        decoded = decode_frames(encode_frames(entries))
+        assert [(ap, f.source) for ap, f in decoded] == [("ap0", "t0"), ("ap1", "t1")]
+        for (_, sent), (_, got) in zip(entries, decoded):
+            np.testing.assert_allclose(got.csi, sent.csi)
+            assert got.rssi_dbm == sent.rssi_dbm
+            assert got.timestamp_s == sent.timestamp_s
+
+    def test_empty_batch(self):
+        assert decode_frames(encode_frames([])) == []
+
+    def test_truncated_batch_rejected(self):
+        payload = encode_frames([("ap0", make_frame())])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            decode_frames(payload[:-8])
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_frames([("ap0", make_frame())])
+        with pytest.raises(TraceFormatError, match="trailing"):
+            decode_frames(payload + b"\x00")
+
+    def test_single_antenna_is_validation_error(self):
+        # Well-framed, semantically invalid: header says 1 antenna.
+        payload = bytearray(encode_frames([("ap0", make_frame())]))
+        meta = struct.Struct("!ddHH")
+        offset = 4 + 2 + len(b"ap0") + 2 + len(b"t0")
+        rssi, stamp, _, subc = meta.unpack_from(payload, offset)
+        meta.pack_into(payload, offset, rssi, stamp, 1, subc)
+        with pytest.raises(ValidationError, match="antennas"):
+            decode_frames(bytes(payload[: offset + meta.size + 1 * subc * 16]))
+
+    def test_garbage_is_format_error(self):
+        with pytest.raises(TraceFormatError):
+            decode_frames(b"\xff" * 3)
+
+
+class TestFixesAndJson:
+    def test_wire_fix_round_trip(self):
+        fix = WireFix(
+            source="t0", timestamp_s=2.0, ok=True, x=1.5, y=2.5, num_aps=4, shard="s1"
+        )
+        assert decode_fixes(encode_fixes([fix])) == [fix]
+
+    def test_nan_position_becomes_null(self):
+        fix = WireFix(source="t0", timestamp_s=2.0, ok=False)
+        (decoded,) = decode_fixes(encode_fixes([fix]))
+        assert not decoded.ok
+        assert math.isnan(decoded.x) and math.isnan(decoded.y)
+        assert fix.to_dict()["x"] is None
+
+    def test_malformed_fix_rejected(self):
+        with pytest.raises(TraceFormatError, match="FIXES"):
+            decode_fixes(encode_json({"fixes": "nope"}))
+        with pytest.raises(TraceFormatError, match="malformed"):
+            decode_fixes(encode_json({"fixes": [{"source": "t0"}]}))
+
+    def test_bad_json_is_format_error(self):
+        with pytest.raises(TraceFormatError, match="JSON"):
+            decode_json(b"{nope")
+
+
+class TestBindSpecs:
+    def test_unix_round_trip(self):
+        addr = parse_bind("unix:/tmp/shard0.sock")
+        assert (addr.kind, addr.path) == ("unix", "/tmp/shard0.sock")
+        assert addr.spec() == "unix:/tmp/shard0.sock"
+
+    def test_tcp_round_trip(self):
+        addr = parse_bind("tcp:127.0.0.1:9001")
+        assert (addr.kind, addr.host, addr.port) == ("tcp", "127.0.0.1", 9001)
+        assert addr.spec() == "tcp:127.0.0.1:9001"
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["unix:", "tcp:9001", "tcp:host:notaport", "tcp:host:70000", "udp:x:1"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(TraceFormatError):
+            parse_bind(spec)

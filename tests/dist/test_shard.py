@@ -1,0 +1,179 @@
+"""Shard worker tests: in-thread socket loop plus one real subprocess."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist import protocol
+from repro.dist.protocol import MessageType, parse_bind
+from repro.dist.shard import ShardConfig, ShardServer, build_server, start_shards
+from repro.errors import ReproError
+from repro.testbed.layout import small_testbed
+
+
+def shard_config(**overrides) -> ShardConfig:
+    defaults = dict(shard_id="s0", testbed="small", packets_per_fix=4, min_aps=2)
+    defaults.update(overrides)
+    return ShardConfig(**defaults)
+
+
+def ap_traces(packets: int, seed: int = 3, num_aps: int = 2):
+    """(ap_id, trace) pairs for the first ``num_aps`` small-testbed APs."""
+    testbed = small_testbed()
+    sim = testbed.simulator()
+    rng = np.random.default_rng(seed)
+    target = testbed.targets[0].position
+    return [
+        (f"ap{i}", sim.generate_trace(target, ap, packets, rng=rng, source="t0"))
+        for i, ap in enumerate(testbed.aps[:num_aps])
+    ]
+
+
+class ThreadedShard:
+    """Run a ShardServer's socket loop in a thread for protocol tests."""
+
+    def __init__(self, tmp_path, config: ShardConfig) -> None:
+        self.bind = parse_bind(f"unix:{tmp_path}/{config.shard_id}.sock")
+        self.shard = ShardServer(config, self.bind)
+        self.thread = threading.Thread(
+            target=self.shard.serve_forever, kwargs={"poll_interval_s": 0.05}
+        )
+        self.thread.start()
+
+    def connect(self):
+        deadline = 50
+        for _ in range(deadline):
+            try:
+                return self.bind.connect(timeout_s=5.0)
+            except OSError:
+                time.sleep(0.02)
+        raise AssertionError("shard never came up")
+
+    def stop(self) -> None:
+        self.shard.request_stop()
+        self.thread.join(timeout=10.0)
+        assert not self.thread.is_alive()
+
+
+@pytest.fixture()
+def threaded_shard(tmp_path):
+    shard = ThreadedShard(tmp_path, shard_config())
+    yield shard
+    shard.stop()
+
+
+def request(sock, msg_type, payload=b""):
+    protocol.send_message(sock, msg_type, payload)
+    reply = protocol.recv_message(sock)
+    assert reply is not None
+    return reply
+
+
+class TestShardServerLoop:
+    def test_health_reports_identity(self, threaded_shard):
+        with threaded_shard.connect() as sock:
+            msg_type, payload = request(sock, MessageType.HEALTH)
+        assert msg_type == MessageType.HEALTH_OK
+        reply = protocol.decode_json(payload)
+        assert reply["shard_id"] == "s0"
+        assert reply["pid"] == os.getpid()  # in-thread, same process
+
+    def test_ingest_produces_a_fix_event(self, threaded_shard):
+        pairs = ap_traces(packets=4)
+        fixes = []
+        with threaded_shard.connect() as sock:
+            for k in range(4):
+                batch = [(ap_id, trace[k]) for ap_id, trace in pairs]
+                msg_type, payload = request(
+                    sock, MessageType.INGEST, protocol.encode_frames(batch)
+                )
+                assert msg_type == MessageType.FIXES
+                fixes.extend(protocol.decode_fixes(payload))
+        assert len(fixes) == 1
+        assert fixes[0].ok and fixes[0].source == "t0" and fixes[0].shard == "s0"
+        assert fixes[0].num_aps == 2
+
+    def test_malformed_ingest_is_an_error_reply_not_a_crash(self, threaded_shard):
+        with threaded_shard.connect() as sock:
+            msg_type, payload = request(sock, MessageType.INGEST, b"\xff" * 7)
+            assert msg_type == MessageType.ERROR
+            assert protocol.decode_json(payload)["kind"] == "TraceFormatError"
+            # the loop survives and keeps serving
+            msg_type, _ = request(sock, MessageType.HEALTH)
+            assert msg_type == MessageType.HEALTH_OK
+
+    def test_unexpected_request_type_is_an_error_reply(self, threaded_shard):
+        with threaded_shard.connect() as sock:
+            msg_type, payload = request(sock, MessageType.FIXES, b"")
+        assert msg_type == MessageType.ERROR
+        assert protocol.decode_json(payload)["kind"] == "TraceFormatError"
+
+    def test_metrics_reply_carries_snapshot_and_breakers(self, threaded_shard):
+        with threaded_shard.connect() as sock:
+            msg_type, payload = request(sock, MessageType.METRICS)
+        assert msg_type == MessageType.METRICS_REPLY
+        reply = protocol.decode_json(payload)
+        assert reply["shard_id"] == "s0"
+        assert set(reply["snapshot"]) >= {"counters", "timings"}
+        # breakers instantiate lazily on first failure: none yet
+        assert reply["breakers"] == {}
+
+    def test_shutdown_drains_straggler_bursts(self, tmp_path):
+        # ap0/ap1 complete their bursts; ap2 never does.  Inline ingest
+        # waits for the straggler (require_all), so the fix only happens
+        # at SHUTDOWN, when drain() flushes with the complete bursts.
+        shard = ThreadedShard(tmp_path, shard_config(shard_id="s1"))
+        try:
+            pairs = ap_traces(packets=4, num_aps=3)
+            with shard.connect() as sock:
+                for k in range(4):
+                    batch = [
+                        (ap_id, trace[k])
+                        for ap_id, trace in pairs
+                        if ap_id != "ap2" or k < 2
+                    ]
+                    msg_type, payload = request(
+                        sock, MessageType.INGEST, protocol.encode_frames(batch)
+                    )
+                    assert protocol.decode_fixes(payload) == []  # straggler holds it
+                msg_type, payload = request(sock, MessageType.SHUTDOWN)
+                assert msg_type == MessageType.BYE
+                drained = protocol.decode_fixes(payload)
+            assert [fix.source for fix in drained] == ["t0"]
+            assert drained[0].num_aps == 2
+            shard.thread.join(timeout=10.0)
+            assert not shard.thread.is_alive()
+            assert not os.path.exists(shard.bind.path)  # socket unlinked
+        finally:
+            shard.stop()
+
+
+class TestBuildServer:
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(ReproError, match="testbed"):
+            build_server(shard_config(testbed="mars"))
+
+    def test_aps_keyed_by_index(self):
+        server = build_server(shard_config())
+        assert sorted(server.aps) == ["ap0", "ap1", "ap2", "ap3"]
+
+
+class TestShardSubprocess:
+    def test_start_terminate_cleanly(self, tmp_path):
+        shards = start_shards(2, shard_config(), str(tmp_path))
+        try:
+            assert sorted(shards) == ["shard0", "shard1"]
+            for proc in shards.values():
+                assert proc.process.is_alive()
+                assert os.path.exists(parse_bind(proc.spec).path)
+        finally:
+            for proc in shards.values():
+                proc.terminate()
+        for proc in shards.values():
+            assert proc.join() == 0
+            assert not os.path.exists(parse_bind(proc.spec).path)

@@ -400,3 +400,82 @@ class TestServerFaultIntegration:
         assert server.metrics.counter("breaker.closed") == 1
         snapshot = server.metrics_snapshot()
         assert snapshot["breakers"] == {f"ap{i}": "closed" for i in range(4)}
+
+
+class TestServerMetricsUnderLoad:
+    """metrics_exposition()/breaker_states() with interleaved sources
+    and a breaker tripping mid-stream."""
+
+    def run_interleaved(self, scene, trip_at=4):
+        """Two sources stream concurrently; ap1's breaker opens mid-burst."""
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, min_aps=2,
+            breaker_threshold=1, breaker_recovery_s=1000.0,
+        )
+        rng = np.random.default_rng(41)
+        sources = {"phone": tb.targets[0].position, "laptop": tb.targets[1].position}
+        traces = {
+            (src, f"ap{i}"): sim.generate_trace(target, ap, 8, rng=rng, source=src)
+            for src, target in sources.items()
+            for i, ap in enumerate(tb.aps)
+        }
+        events = []
+        for k in range(8):
+            if k == trip_at:
+                server._breaker_for("ap1").record_failure(k * 0.1)
+            for src in sources:
+                for i in range(len(tb.aps)):
+                    frame = traces[(src, f"ap{i}")][k]
+                    event = server.ingest(
+                        f"ap{i}",
+                        CsiFrame(
+                            csi=frame.csi, rssi_dbm=frame.rssi_dbm,
+                            timestamp_s=k * 0.1, source=src,
+                        ),
+                    )
+                    if event is not None:
+                        events.append(event)
+        return server, sources, events
+
+    def test_breaker_trip_sheds_ap1_from_both_fixes(self, scene):
+        server, sources, events = self.run_interleaved(scene)
+        # Ingest keeps buffering ap1 (breakers gate fixes, not admission),
+        # but when each burst completes the open breaker sheds ap1's
+        # packets and the fix proceeds on the other three APs.
+        assert len(events) == 2
+        assert sorted(e.source for e in events) == sorted(sources)
+        assert all(e.ok and e.num_aps == 3 for e in events)
+        # the fix outcome recorded a success on the surviving APs,
+        # instantiating (closed) breakers for them
+        assert server.breaker_states() == {
+            "ap0": "closed", "ap1": "open", "ap2": "closed", "ap3": "closed",
+        }
+        # 2 sources x one 8-packet ap1 burst discarded at shed time
+        assert server.metrics.counter("drop.breaker") == 16
+        for src in sources:
+            assert server.pending_packets(src) == {}
+
+    def test_exposition_reflects_interleaved_load(self, scene):
+        server, sources, _ = self.run_interleaved(scene)
+        exposition = server.metrics_exposition()
+        # 2 sources x 8 packets x 4 APs all pass admission
+        assert "repro_ingest_accepted_total 64" in exposition
+        assert "repro_drop_breaker_total 16" in exposition
+        assert "repro_fix_ok_total 2" in exposition
+        assert "repro_breaker_opened_total 1" in exposition
+        assert 'repro_circuit_breaker_state{ap="ap1"} 1' in exposition
+        assert 'repro_stage_duration_seconds_count{stage="fix"} 2' in exposition
+        assert 'repro_stage_duration_seconds_quantile{stage="fix",quantile="0.5"}' in exposition
+
+    def test_breaker_states_only_reports_instantiated_breakers(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, breaker_threshold=1,
+        )
+        assert server.breaker_states() == {}
+        server._breaker_for("ap0").record_failure(0.0)
+        server._breaker_for("ap2").record_success(0.0)
+        assert server.breaker_states() == {"ap0": "open", "ap2": "closed"}
+        snapshot = server.metrics_snapshot()
+        assert snapshot["breakers"] == {"ap0": "open", "ap2": "closed"}
