@@ -24,7 +24,7 @@ from benchmarks._common import (
     run_once,
     get_testbed,
 )
-from repro.baselines.selection import select_cupid, select_ltye, select_oracle
+from repro.baselines.selection import select_cupid, select_lteye, select_oracle
 from repro.core.pipeline import SpotFi, SpotFiConfig
 from repro.eval.reports import format_cdf_table, format_comparison
 from repro.geom.points import angle_diff_deg
@@ -68,7 +68,7 @@ def test_fig8b_direct_path_selection(benchmark, report):
                 clusters = ap_report.direct.all_clusters
                 picks = {
                     "SpotFi": ap_report.direct.aoa_deg,
-                    "LTEye": select_ltye(clusters).aoa_deg,
+                    "LTEye": select_lteye(clusters).aoa_deg,
                     "CUPID": select_cupid(clusters).aoa_deg,
                     "Oracle": select_oracle(clusters, truth).aoa_deg,
                 }

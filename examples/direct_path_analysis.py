@@ -16,7 +16,7 @@ import argparse
 import numpy as np
 
 from repro import SpotFi, SpotFiConfig
-from repro.baselines.selection import select_cupid, select_ltye, select_oracle
+from repro.baselines.selection import select_cupid, select_lteye, select_oracle
 from repro.eval import render_spectrum_ascii
 from repro.testbed import office_testbed
 
@@ -91,7 +91,7 @@ def main() -> None:
     clusters = report.direct.all_clusters
     picks = {
         "SpotFi (Eq. 8)": report.direct.aoa_deg,
-        "LTEye (min ToF)": select_ltye(clusters).aoa_deg,
+        "LTEye (min ToF)": select_lteye(clusters).aoa_deg,
         "CUPID (max power)": select_cupid(clusters).aoa_deg,
         "Oracle": select_oracle(clusters, truth).aoa_deg,
     }

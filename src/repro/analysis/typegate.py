@@ -37,6 +37,7 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro/faults",
     "repro/analysis",
     "repro/dist",
+    "repro/estimators",
 )
 
 DEFAULT_BASELINE = "typing-baseline.txt"

@@ -19,6 +19,7 @@ from repro.baselines.music_aoa import MusicAoaConfig, MusicAoaEstimator
 from repro.baselines.rssi_loc import RssiLocalizer
 from repro.baselines.selection import (
     select_cupid,
+    select_lteye,
     select_ltye,
     select_oracle,
     select_spotfi,
@@ -33,6 +34,7 @@ __all__ = [
     "RssiLocalizer",
     "survey",
     "select_cupid",
+    "select_lteye",
     "select_ltye",
     "select_oracle",
     "select_spotfi",

@@ -12,6 +12,7 @@ estimates from SpotFi's super-resolution algorithm"):
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -39,7 +40,7 @@ def _estimate_from(cluster: PathCluster, likelihood: float) -> DirectPathEstimat
     )
 
 
-def select_ltye(clusters: Sequence[PathCluster]) -> DirectPathEstimate:
+def select_lteye(clusters: Sequence[PathCluster]) -> DirectPathEstimate:
     """LTEye rule: smallest mean ToF is the direct path.
 
     As the paper notes, the lack of synchronization adds the same delay to
@@ -49,6 +50,16 @@ def select_ltye(clusters: Sequence[PathCluster]) -> DirectPathEstimate:
     cluster_list = _require_clusters(clusters)
     winner = min(cluster_list, key=lambda c: c.mean_tof_s)
     return _estimate_from(winner, likelihood=1.0)
+
+
+def select_ltye(clusters: Sequence[PathCluster]) -> DirectPathEstimate:
+    """Deprecated misspelling of :func:`select_lteye` (kept as an alias)."""
+    warnings.warn(
+        "select_ltye is deprecated (misspelling); use select_lteye",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return select_lteye(clusters)
 
 
 def select_cupid(clusters: Sequence[PathCluster]) -> DirectPathEstimate:
@@ -78,9 +89,11 @@ def select_spotfi(
     return select_direct_path(clusters, weights)
 
 
-#: Selector registry used by the Fig. 8(b) benchmark.
+#: Selector registry used by the Fig. 8(b) benchmark.  ``"ltye"`` is the
+#: deprecated misspelling of ``"lteye"``; both map to the same rule.
 SELECTORS = {
     "spotfi": select_spotfi,
-    "ltye": select_ltye,
+    "lteye": select_lteye,
+    "ltye": select_lteye,
     "cupid": select_cupid,
 }

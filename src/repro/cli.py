@@ -143,7 +143,10 @@ def cmd_locate(args: argparse.Namespace) -> int:
             rng=np.random.default_rng(0),
             executor=executor,
         )
-        fix = spotfi.locate(dataset.ap_trace_pairs())
+        fix = spotfi.locate(
+            dataset.ap_trace_pairs(), estimator=args.estimator or None
+        )
+    print(f"estimator      : {fix.estimator}")
     print(f"SpotFi fix     : ({fix.position.x:.2f}, {fix.position.y:.2f}) m")
     if dataset.target is not None:
         print(f"ground truth   : ({dataset.target.x:.2f}, {dataset.target.y:.2f}) m")
@@ -197,15 +200,17 @@ class _GracefulStop:
 
 def _print_wire_fix(fix: "WireFix", index: int) -> None:
     """Render one router-delivered fix event line."""
+    suffix = " (downgraded)" if fix.downgraded else ""
     if fix.ok:
         print(
             f"fix #{index} t={fix.timestamp_s:.2f}s source={fix.source!r}: "
-            f"({fix.x:.2f}, {fix.y:.2f}) m [{fix.num_aps} APs, {fix.shard}]"
+            f"({fix.x:.2f}, {fix.y:.2f}) m "
+            f"[{fix.num_aps} APs, {fix.shard}]{suffix}"
         )
     else:
         print(
             f"fix #{index} t={fix.timestamp_s:.2f}s source={fix.source!r}: "
-            f"FAILED [{fix.num_aps} APs, {fix.shard}]"
+            f"FAILED [{fix.num_aps} APs, {fix.shard}]{suffix}"
         )
 
 
@@ -227,6 +232,8 @@ def _serve_sharded(args: argparse.Namespace) -> int:
         overflow_policy=args.overflow_policy,
         max_burst_age_s=args.max_age,
         workers=args.workers,
+        estimator=args.estimator,
+        downgrade_tier=args.downgrade_tier,
     )
     base_port = 0
     host = "127.0.0.1"
@@ -337,6 +344,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             overflow_policy=args.overflow_policy,
             max_burst_age_s=args.max_age,
             metrics=metrics,
+            estimator=args.estimator,
+            downgrade_tier=args.downgrade_tier,
         )
         # Interleave packets across APs, as a live deployment would see
         # them arrive at the central server.
@@ -345,12 +354,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         last_stamp = 0.0
 
         def _print_event(event: FixEvent) -> None:
+            suffix = " (downgraded)" if event.downgraded else ""
             if event.ok:
                 print(
                     f"fix #{num_events} t={event.timestamp_s:.2f}s "
                     f"source={event.source!r}: "
                     f"({event.fix.position.x:.2f}, {event.fix.position.y:.2f}) m "
-                    f"[{event.num_aps} APs]"
+                    f"[{event.num_aps} APs, {event.estimator}]{suffix}"
                 )
                 if dataset.target is not None:
                     print(
@@ -425,6 +435,8 @@ def cmd_shard(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_recovery_s=args.breaker_recovery,
         workers=args.workers,
+        estimator=args.estimator,
+        downgrade_tier=args.downgrade_tier,
     )
     print(f"shard {args.id!r} serving testbed {args.testbed!r} on {args.bind}")
     run_shard(args.bind, config)
@@ -545,6 +557,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.scenario == "downgrade" and report.downgraded_fixes < 1:
+        print(
+            "FAIL: breaker trip produced no downgraded fixes — the "
+            "downgrade path shed load instead of switching tiers",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -631,6 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
     p.add_argument("--packets", type=int, default=40)
     p.add_argument("--estimation", default="music", choices=("music", "esprit"))
+    p.add_argument(
+        "--estimator",
+        default="",
+        help="registry estimator or QoS tier (precise/balanced/coarse); "
+        "empty runs the classic pipeline (see docs/ESTIMATORS.md)",
+    )
     p.add_argument("--arraytrack", action="store_true", help="also run the baseline")
     p.add_argument(
         "--workers",
@@ -687,6 +712,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the dataset out as this many synthetic targets "
         "(sharded mode; exercises the hash ring)",
     )
+    p.add_argument(
+        "--estimator",
+        default="",
+        help="default estimator or QoS tier for every fix "
+        "(empty = classic pipeline)",
+    )
+    p.add_argument(
+        "--downgrade-tier",
+        default="",
+        help="serve fixes on this tier instead of shedding when a "
+        "breaker trips (e.g. coarse); empty keeps shedding",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -731,6 +768,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         help="seconds an open breaker waits before half-opening",
+    )
+    p.add_argument(
+        "--estimator",
+        default="",
+        help="default estimator or QoS tier for every fix "
+        "(empty = classic pipeline)",
+    )
+    p.add_argument(
+        "--downgrade-tier",
+        default="",
+        help="serve fixes on this tier instead of shedding when a "
+        "breaker trips (e.g. coarse); empty keeps shedding",
     )
     p.set_defaults(func=cmd_shard)
 

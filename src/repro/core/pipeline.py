@@ -9,7 +9,7 @@ solver (line 12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -145,10 +145,15 @@ def _failure_text(exc: BaseException) -> str:
 
 @dataclass(frozen=True)
 class SpotFiFix:
-    """One localization fix: the result plus per-AP diagnostics."""
+    """One localization fix: the result plus per-AP diagnostics.
+
+    ``estimator`` names the registered estimator that produced the fix
+    (empty only for fixes built outside :meth:`SpotFi.locate`).
+    """
 
     result: LocalizationResult
     reports: Tuple[ApReport, ...]
+    estimator: str = ""
 
     @property
     def position(self) -> Point:
@@ -220,6 +225,7 @@ class SpotFi:
         self.tracer = tracer or NOOP_TRACER
         self._rng = rng or np.random.default_rng(0)
         self._estimators: dict = {}
+        self._registry_estimators: dict = {}
 
     # ------------------------------------------------------------------
     # Per-AP processing (Alg. 2 lines 1-11)
@@ -411,8 +417,14 @@ class SpotFi:
     # ------------------------------------------------------------------
     # Fusion (Alg. 2 line 12)
     # ------------------------------------------------------------------
+    def default_estimator_name(self) -> str:
+        """The registry name of this pipeline's built-in estimation path."""
+        return "esprit" if self.config.estimation == "esprit" else "music2d"
+
     def locate(
-        self, ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]]
+        self,
+        ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]],
+        estimator: Optional[str] = None,
     ) -> SpotFiFix:
         """Run the full Algorithm 2 on traces from several APs.
 
@@ -420,13 +432,97 @@ class SpotFi:
         as one batch, so a parallel executor overlaps packets across APs;
         clustering and fusion then run here in AP order.  With tracing
         enabled the whole run is wrapped in a ``locate`` span.
+
+        ``estimator`` selects a registered estimator (or QoS tier) from
+        :mod:`repro.estimators` for this request.  ``None`` — and any
+        name resolving to this pipeline's own configuration — runs the
+        classic inline path, byte-identical to the historical behaviour;
+        anything else dispatches through the registry (see
+        :meth:`_locate_with_registry`).  Unknown names raise
+        :class:`~repro.errors.UnknownEstimatorError`.
         """
+        name = self.default_estimator_name()
+        if estimator is not None:
+            from repro.estimators import resolve_name
+
+            name = resolve_name(estimator)
+        if name != self.default_estimator_name():
+            return self._locate_with_registry(name, ap_traces)
         with self.tracer.span("locate", num_aps=len(ap_traces)) as span:
             reports = self.process_aps(ap_traces)
-            fix = self.locate_from_reports(reports)
+            fix = replace(self.locate_from_reports(reports), estimator=name)
             if self.tracer.enabled:
                 span.set_many(
                     usable_aps=sum(1 for r in reports if r.usable),
+                    degraded_aps=list(fix.degraded_aps),
+                    position=[
+                        round(float(fix.position.x), 4),
+                        round(float(fix.position.y), 4),
+                    ],
+                )
+            return fix
+
+    def _locate_with_registry(
+        self,
+        name: str,
+        ap_traces: Sequence[Tuple[UniformLinearArray, CsiTrace]],
+    ) -> SpotFiFix:
+        """One fix through a registry estimator (the non-default path).
+
+        Estimator instances are cached per name; each AP is estimated
+        with per-AP failure isolation and an ``estimate.<name>`` stage
+        timing (recorded by :func:`repro.estimators.timed_estimate`,
+        which owns the clock — this module stays clock-free).  Fusion is
+        delegated to the estimator's ``fuse`` after the same quorum
+        check as :meth:`locate_from_reports`.
+        """
+        from repro.estimators import (
+            EstimatorContext,
+            create,
+            timed_estimate,
+            to_report,
+        )
+
+        est = self._registry_estimators.get(name)
+        if est is None:
+            context = EstimatorContext(
+                grid=self.grid, bounds=self.bounds, config=self.config
+            )
+            est = create(name, context)
+            self._registry_estimators[name] = est
+        with self.tracer.span(
+            "locate", num_aps=len(ap_traces), estimator=name
+        ) as span:
+            estimates = [
+                timed_estimate(est, array, trace, self.executor.metrics)
+                for array, trace in ap_traces
+            ]
+            reports = tuple(to_report(e) for e in estimates)
+            usable = [e for e in estimates if e.usable]
+            quorum = max(2, self.config.min_aps)
+            if len(usable) < quorum:
+                degraded = tuple(
+                    (i, r.failure or "unusable")
+                    for i, r in enumerate(reports)
+                    if not r.usable
+                )
+                exc = LocalizationError(
+                    f"estimator {name!r}: only {len(usable)} of "
+                    f"{len(reports)} APs produced usable paths (quorum "
+                    f"{quorum}); degraded: "
+                    + (
+                        "; ".join(f"ap[{i}] {why}" for i, why in degraded)
+                        or "none reported"
+                    )
+                )
+                exc.degraded_aps = degraded
+                raise exc
+            with self.tracer.span("solve", num_observations=len(usable)):
+                result = est.fuse(usable)
+            fix = SpotFiFix(result=result, reports=reports, estimator=name)
+            if self.tracer.enabled:
+                span.set_many(
+                    usable_aps=len(usable),
                     degraded_aps=list(fix.degraded_aps),
                     position=[
                         round(float(fix.position.x), 4),

@@ -316,6 +316,8 @@ class WireFix:
     y: float = float("nan")
     num_aps: int = 0
     shard: str = ""
+    estimator: str = ""
+    downgraded: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data view (JSON-safe; NaN position encoded as null)."""
@@ -327,6 +329,8 @@ class WireFix:
             "y": None if math.isnan(self.y) else self.y,
             "num_aps": self.num_aps,
             "shard": self.shard,
+            "estimator": self.estimator,
+            "downgraded": self.downgraded,
         }
 
     @classmethod
@@ -341,6 +345,8 @@ class WireFix:
                 y=float("nan") if data.get("y") is None else float(data["y"]),
                 num_aps=int(data.get("num_aps", 0)),
                 shard=str(data.get("shard", "")),
+                estimator=str(data.get("estimator", "")),
+                downgraded=bool(data.get("downgraded", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise TraceFormatError(f"malformed wire fix {data!r}: {exc}") from exc

@@ -313,31 +313,43 @@ class ShardRouter:
             for shard_id in list(self._pending):
                 self._ship_batch(shard_id)
 
-    def flush_source(self, source: str, timestamp_s: float) -> List[WireFix]:
+    def flush_source(
+        self, source: str, timestamp_s: float, estimator: str = ""
+    ) -> List[WireFix]:
         """Force a fix attempt for one target on its owning shard.
 
         Ships any buffered batches first (the owner may change if that
         surfaces a dead shard), then a ``FLUSH`` request, then blocks
         for every owed reply; returns the fixes that arrived during the
         sync (for this source and any that were in flight).
+        ``estimator`` (a registry name or QoS tier) rides the control
+        plane and overrides the shard's default for this fix.
         """
         self._ship_all_batches()
         shard_id = self._ring.owner(source)
-        payload = protocol.encode_json(
-            {"sources": [source], "timestamp_s": timestamp_s}
-        )
+        request: Dict[str, object] = {
+            "sources": [source],
+            "timestamp_s": timestamp_s,
+        }
+        if estimator:
+            request["estimator"] = estimator
+        payload = protocol.encode_json(request)
         if self._send_request(shard_id, MessageType.FLUSH, payload):
             self._drain_replies(shard_id, block=True)
         return self.take_fixes()
 
-    def flush(self) -> List[WireFix]:
+    def flush(self, estimator: str = "") -> List[WireFix]:
         """Global sync point: ship every batch, flush every shard, drain.
 
         Returns every fix event collected, including those that were
-        still in flight from earlier batches.
+        still in flight from earlier batches.  ``estimator`` overrides
+        every shard's default for the flushed fixes.
         """
         self._ship_all_batches()
-        payload = protocol.encode_json({"sources": None})
+        request: Dict[str, object] = {"sources": None}
+        if estimator:
+            request["estimator"] = estimator
+        payload = protocol.encode_json(request)
         for shard_id in self.live_shards():
             if self._send_request(shard_id, MessageType.FLUSH, payload):
                 self._drain_replies(shard_id, block=True)

@@ -69,6 +69,8 @@ class ShardConfig:
     breaker_recovery_s: float = 10.0
     workers: int = 1
     seed: int = 0
+    estimator: str = ""
+    downgrade_tier: str = ""
 
 
 def build_server(config: ShardConfig) -> SpotFiServer:
@@ -104,6 +106,8 @@ def build_server(config: ShardConfig) -> SpotFiServer:
         metrics=metrics,
         breaker_threshold=config.breaker_threshold,
         breaker_recovery_s=config.breaker_recovery_s,
+        estimator=config.estimator,
+        downgrade_tier=config.downgrade_tier,
     )
 
 
@@ -140,6 +144,8 @@ class ShardServer:
             y=event.fix.position.y if event.ok else float("nan"),
             num_aps=event.num_aps,
             shard=self.config.shard_id,
+            estimator=event.estimator,
+            downgraded=event.downgraded,
         )
 
     def _handle_ingest(self, payload: bytes) -> Tuple[MessageType, bytes]:
@@ -159,9 +165,12 @@ class ShardServer:
         if sources is None:
             sources = self.server.sources()
         timestamp_s = float(request.get("timestamp_s", self._last_timestamp_s))
+        estimator = request.get("estimator") or None
         fixes: List[WireFix] = []
         for source in sources:
-            event = self.server.flush(str(source), timestamp_s)
+            event = self.server.flush(
+                str(source), timestamp_s, estimator=estimator
+            )
             if event is not None:
                 fixes.append(self._wire_fix(event))
         return MessageType.FIXES, protocol.encode_fixes(fixes)
@@ -399,6 +408,8 @@ def start_shards(
                 breaker_recovery_s=config.breaker_recovery_s,
                 workers=config.workers,
                 seed=config.seed,
+                estimator=config.estimator,
+                downgrade_tier=config.downgrade_tier,
             )
             process = ShardProcess(spec, shard_config)
             process.start()

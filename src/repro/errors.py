@@ -69,6 +69,16 @@ class ContractError(ReproError, ValueError):
     """
 
 
+class UnknownEstimatorError(ConfigurationError):
+    """A requested estimator (or QoS tier) name is not registered.
+
+    Raised by :func:`repro.estimators.resolve_name` when a ``locate``,
+    server, shard, or CLI request names an estimator that neither the
+    built-in registry nor any discovered plugin provides.  The message
+    lists the names that *are* available.
+    """
+
+
 class CircuitOpenError(ReproError):
     """A per-AP circuit breaker is open and is shedding this call.
 

@@ -1,0 +1,47 @@
+"""Precise-tier adapters: SpotFi's full 2-D superresolution estimators.
+
+Wrap the classic :class:`~repro.core.pipeline.SpotFi` per-AP path
+(sanitize -> smooth -> 2-D MUSIC/ESPRIT -> cluster -> Eq. 8 direct-path
+selection) behind the :class:`~repro.estimators.base.Estimator`
+protocol.  These are the accuracy workhorses — and the latency ceiling
+the cheaper tiers are benchmarked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.pipeline import SpotFi
+from repro.estimators.base import ApEstimate, Estimator, EstimatorContext, from_report
+from repro.estimators.registry import register
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+
+
+@register("music2d", tier="precise")
+class Music2dEstimator(Estimator):
+    """Full SpotFi 2-D MUSIC over smoothed CSI — the paper's Algorithm 2."""
+
+    estimation: ClassVar[str] = "music"
+
+    def __init__(self, context: EstimatorContext) -> None:
+        super().__init__(context)
+        self._spotfi = SpotFi(
+            context.grid,
+            bounds=context.bounds,
+            config=replace(context.config, estimation=self.estimation),
+            rng=np.random.default_rng(context.seed),
+        )
+
+    def estimate_ap(self, array: UniformLinearArray, trace: CsiTrace) -> ApEstimate:
+        return from_report(self._spotfi.process_ap(array, trace))
+
+
+@register("esprit", tier="precise")
+class EspritEstimator(Music2dEstimator):
+    """Grid-free 2-D ESPRIT on the same smoothed-CSI front end."""
+
+    estimation: ClassVar[str] = "esprit"

@@ -1,0 +1,131 @@
+"""Coarse tier: ToF-only ranging — the cheapest registered estimator.
+
+One delay spectrum per AP: accumulate ``sum_m |Omega^H csi_m|^2``
+across antennas and packets on a fixed delay grid, then take the
+*earliest* strong local maximum (within a threshold of the global peak)
+as the relative direct-path delay — the first-arrival rule of
+ToF-ranging systems.
+
+Commodity CSI delays are STO-relative, so the absolute range is not
+trustworthy; fusion therefore ignores the AoA/ToF geometry entirely
+and localizes from RSSI path-loss consistency (Eq. 9 with the angle
+term zeroed), which is exactly the honesty a coarse tier owes: a fast,
+rough fix that keeps serving when breakers force a downgrade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.localization import ApObservation, LocalizationResult, Localizer
+from repro.core.sanitize import sanitize_csi
+from repro.core.steering import SteeringModel
+from repro.errors import EstimationError
+from repro.estimators.base import (
+    ApEstimate,
+    EstimatedPath,
+    Estimator,
+    EstimatorContext,
+)
+from repro.estimators.registry import register
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace, validate_csi_matrix
+
+#: Delay grid resolution within one ToF ambiguity period.
+_NUM_TOF_BINS = 256
+
+#: A local maximum within this many dB of the global peak counts as strong.
+_PEAK_WINDOW_DB = 10.0
+
+
+@register("tof", tier="coarse")
+class TofEstimator(Estimator):
+    """Earliest-strong-peak delay estimation with RSSI-only fusion."""
+
+    def __init__(self, context: EstimatorContext) -> None:
+        super().__init__(context)
+        self._models: Dict[Tuple[int, float], Tuple[SteeringModel, np.ndarray, np.ndarray]] = {}
+
+    def _model_for(
+        self, array: UniformLinearArray
+    ) -> Tuple[SteeringModel, np.ndarray, np.ndarray]:
+        key = (array.num_antennas, array.spacing_m)
+        if key not in self._models:
+            model = SteeringModel.for_grid(
+                self.context.grid,
+                num_antennas=array.num_antennas,
+                antenna_spacing_m=array.spacing_m,
+            )
+            tof_grid = np.linspace(
+                0.0, model.tof_ambiguity_s, _NUM_TOF_BINS, endpoint=False
+            )
+            conj_o = model.subcarrier_vector(tof_grid).conj()  # (Gt, N)
+            self._models[key] = (model, tof_grid, conj_o)
+        return self._models[key]
+
+    def estimate_ap(self, array: UniformLinearArray, trace: CsiTrace) -> ApEstimate:
+        config = self.context.config
+        used = trace[: config.packets_per_fix]
+        rssi = used.median_rssi_dbm()
+        model, tof_grid, conj_o = self._model_for(array)
+        spectrum: Optional[np.ndarray] = None
+        for frame in used:
+            csi = validate_csi_matrix(frame.csi)
+            if csi.shape[0] != model.num_antennas:
+                raise EstimationError(
+                    f"CSI has {csi.shape[0]} antennas, model expects "
+                    f"{model.num_antennas}"
+                )
+            if config.sanitize:
+                csi = sanitize_csi(csi)
+            # (M, N) @ (N, Gt) -> per-antenna delay responses, power-summed.
+            responses = csi @ conj_o.T
+            packet_spectrum = np.sum(np.abs(responses) ** 2, axis=0)
+            spectrum = (
+                packet_spectrum if spectrum is None else spectrum + packet_spectrum
+            )
+        if spectrum is None:
+            raise EstimationError("empty CSI trace: no packets to range")
+        peak = float(spectrum.max())
+        if peak <= 0.0:
+            raise EstimationError("degenerate delay spectrum (zero CSI?)")
+        threshold = peak * 10.0 ** (-_PEAK_WINDOW_DB / 10.0)
+        interior = (spectrum[1:-1] >= spectrum[:-2]) & (
+            spectrum[1:-1] >= spectrum[2:]
+        )
+        candidates = np.nonzero(interior & (spectrum[1:-1] >= threshold))[0] + 1
+        best = int(candidates[0]) if candidates.size else int(np.argmax(spectrum))
+        confidence = float(spectrum[best] / peak)
+        path = EstimatedPath(
+            aoa_deg=0.0,  # placeholder: this tier measures no angle
+            tof_s=float(tof_grid[best]),
+            weight=confidence,
+        )
+        return ApEstimate(
+            array=array,
+            paths=(path,),
+            confidence=confidence,
+            rssi_dbm=rssi,
+        )
+
+    def fuse(self, estimates: Sequence[ApEstimate]) -> LocalizationResult:
+        """RSSI-only Eq. 9: the AoA term is zeroed (no angle measured)."""
+        observations = [
+            ApObservation(
+                array=e.array,
+                aoa_deg=0.0,
+                rssi_dbm=e.rssi_dbm,
+                likelihood=e.confidence,
+            )
+            for e in estimates
+        ]
+        localizer = Localizer(
+            bounds=self.context.bounds,
+            grid_step_m=self.context.config.grid_step_m,
+            aoa_weight=0.0,
+            rssi_weight=1.0,
+            use_likelihood_weights=False,
+        )
+        return localizer.locate(observations)

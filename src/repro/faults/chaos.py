@@ -31,6 +31,12 @@ Scenarios
     :func:`repro.dist.chaos.run_shard_kill`): real shard subprocesses
     behind a :class:`~repro.dist.router.ShardRouter`, one of which is
     SIGKILLed mid-stream; failover must keep fixes flowing.
+``downgrade``
+    QoS drill: an AP's circuit breaker is forced open mid-stream on a
+    server configured with ``downgrade_tier="coarse"``.  Instead of
+    shedding the AP, every subsequent fix must keep serving on the
+    coarse estimator tier (counted as ``downgraded_fixes``) until the
+    breaker recovers — degradation in precision, not availability.
 """
 
 from __future__ import annotations
@@ -77,9 +83,10 @@ def scenario_specs(
     ``blackout`` computes its onset from the run length so the AP dies
     halfway through; the other scenarios are timing-independent.
     """
-    if name in ("clean", "shard-kill"):
-        # shard-kill injects a process death, not CSI faults; the kill
-        # itself is orchestrated by repro.dist.chaos.run_shard_kill.
+    if name in ("clean", "shard-kill", "downgrade"):
+        # shard-kill injects a process death and downgrade a forced
+        # breaker trip — neither corrupts CSI; the faults are
+        # orchestrated by run_shard_kill / run_chaos directly.
         return ()
     if name == "nan":
         return (
@@ -108,7 +115,15 @@ def scenario_specs(
 
 
 #: Scenario names accepted by :func:`run_chaos` and ``repro chaos``.
-SCENARIOS = ("blackout", "clean", "mixed", "nan", "shard-kill", "truncate")
+SCENARIOS = (
+    "blackout",
+    "clean",
+    "downgrade",
+    "mixed",
+    "nan",
+    "shard-kill",
+    "truncate",
+)
 
 
 @dataclass(frozen=True)
@@ -126,6 +141,9 @@ class ChaosReport:
         Bursts that produced a successful fix.
     degraded_fixes:
         Successful fixes that lost at least one AP to isolation.
+    downgraded_fixes:
+        Successful fixes served on the breaker downgrade tier instead
+        of the requested estimator (``downgrade`` scenario).
     median_error_m:
         Median localization error over successful fixes (NaN if none).
     quarantined:
@@ -148,6 +166,7 @@ class ChaosReport:
     fixes_ok: int
     degraded_fixes: int
     median_error_m: float
+    downgraded_fixes: int = 0
     quarantined: Dict[str, int] = field(default_factory=dict)
     injected: Dict[str, int] = field(default_factory=dict)
     breakers: Dict[str, str] = field(default_factory=dict)
@@ -176,6 +195,7 @@ class ChaosReport:
             "fixes_ok": self.fixes_ok,
             "success_rate": self.success_rate,
             "degraded_fixes": self.degraded_fixes,
+            "downgraded_fixes": self.downgraded_fixes,
             "median_error_m": self.median_error_m,
             "clean_median_error_m": self.clean_median_error_m,
             "quarantined": dict(self.quarantined),
@@ -266,6 +286,7 @@ def run_chaos(
         metrics=metrics,
     )
     burst_span_s = stream_packets * PACKET_INTERVAL_S
+    downgrading = scenario == "downgrade"
     server = SpotFiServer(
         spotfi=spotfi,
         aps={f"ap{i}": ap for i, ap in enumerate(tb.aps)},
@@ -276,16 +297,24 @@ def run_chaos(
         validator=validator,
         fault_injector=injector,
         breaker_threshold=2,
-        breaker_recovery_s=burst_span_s,
+        # The downgrade drill keeps the breaker open for the rest of the
+        # run so every post-trip fix exercises the coarse tier.
+        breaker_recovery_s=(bursts + 1) * burst_span_s
+        if downgrading
+        else burst_span_s,
+        downgrade_tier="coarse" if downgrading else "",
     )
     data_rng = np.random.default_rng(seed + 1)
     errors: List[float] = []
     fixes_ok = 0
     degraded_fixes = 0
+    downgraded_fixes = 0
     for burst in range(bursts):
         spot = tb.targets[burst % len(tb.targets)]
         source = f"chaos-{burst:02d}"
         t0 = burst * burst_span_s
+        if downgrading and burst == bursts // 2:
+            server.trip_breaker("ap1", t0)
         traces = [
             sim.generate_trace(
                 spot.position, ap, stream_packets, rng=data_rng, source=source
@@ -316,6 +345,8 @@ def run_chaos(
             errors.append(last.fix.error_to(spot.position))
             if last.fix.degraded:
                 degraded_fixes += 1
+            if last.downgraded:
+                downgraded_fixes += 1
     clean_median = float("nan")
     if with_baseline is None:
         with_baseline = scenario == "blackout"
@@ -338,6 +369,7 @@ def run_chaos(
         fixes_attempted=bursts,
         fixes_ok=fixes_ok,
         degraded_fixes=degraded_fixes,
+        downgraded_fixes=downgraded_fixes,
         median_error_m=float(np.median(errors)) if errors else float("nan"),
         quarantined=validator.counts(),
         injected=_counters_with_prefix(metrics, "faults.injected."),
@@ -355,6 +387,11 @@ def format_report(report: ChaosReport) -> str:
         f"({100.0 * report.success_rate:.0f}%), "
         f"{report.degraded_fixes} degraded",
     ]
+    if report.downgraded_fixes:
+        lines.append(
+            f"  downgraded: {report.downgraded_fixes} fixes served on the "
+            f"downgrade tier"
+        )
     if not math.isnan(report.median_error_m):
         lines.append(f"  median error: {report.median_error_m:.3f} m")
     if not math.isnan(report.clean_median_error_m):

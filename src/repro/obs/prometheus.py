@@ -83,10 +83,31 @@ def render_prometheus(
     lines: List[str] = []
 
     counters: Dict[str, int] = dict(snapshot.get("counters", {}))  # type: ignore[arg-type]
+    estimator_prefix = "estimator.requests."
+    estimator_requests = {
+        raw: value
+        for raw, value in counters.items()
+        if raw.startswith(estimator_prefix)
+    }
     for raw in sorted(counters):
+        if raw in estimator_requests:
+            continue  # rendered below with estimator/tier labels
         name = _metric_name(raw, prefix) + "_total"
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name} {int(counters[raw])}")
+
+    if estimator_requests:
+        # "estimator.requests.<name>.<tier>" counters become one
+        # labelled family; estimator names may contain "-" but never
+        # ".", so the last dot splits name from tier.
+        family = f"{prefix}_estimator_requests_total"
+        lines.append(f"# TYPE {family} counter")
+        for raw in sorted(estimator_requests):
+            estimator, _, tier = raw[len(estimator_prefix) :].rpartition(".")
+            lines.append(
+                f'{family}{{estimator="{estimator}",tier="{tier}"}} '
+                f"{int(estimator_requests[raw])}"
+            )
 
     timings: Dict[str, Mapping[str, object]] = dict(snapshot.get("timings", {}))  # type: ignore[arg-type]
     if timings:

@@ -59,6 +59,12 @@ class FixEvent:
         Kalman-filtered position when tracking is enabled.
     num_aps:
         APs contributing to this burst.
+    estimator:
+        Registry name of the estimator that produced (or failed) this
+        fix; empty when the server ran its pipeline default.
+    downgraded:
+        True when the fix was served on the breaker downgrade tier
+        instead of the requested estimator.
     """
 
     source: str
@@ -66,6 +72,8 @@ class FixEvent:
     fix: Optional[SpotFiFix]
     filtered: Optional[Point] = None
     num_aps: int = 0
+    estimator: str = ""
+    downgraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -122,6 +130,17 @@ class SpotFiServer:
     breaker_recovery_s:
         Seconds (of packet-timestamp clock) an open breaker waits before
         admitting a half-open probe.
+    estimator:
+        Default estimator (registry name or QoS tier) for every fix;
+        empty runs the pipeline's configured classic path.  Per-request
+        ``estimator=`` arguments to :meth:`ingest`/:meth:`flush`
+        override it.
+    downgrade_tier:
+        When set (a QoS tier or estimator name) and breakers are
+        enabled, a tripped AP no longer sheds its burst: the whole fix
+        is served on this cheaper tier instead, keeping every vantage
+        point.  A fix that fails with a localization error is also
+        retried once on this tier.  Empty keeps the shedding behaviour.
     """
 
     spotfi: SpotFi
@@ -137,6 +156,8 @@ class SpotFiServer:
     fault_injector: Optional[FaultInjector] = None
     breaker_threshold: int = 0
     breaker_recovery_s: float = 10.0
+    estimator: str = ""
+    downgrade_tier: str = ""
 
     def __post_init__(self) -> None:
         if not self.aps:
@@ -162,6 +183,14 @@ class SpotFiServer:
             raise ConfigurationError("breaker_threshold must be >= 0")
         if self.breaker_recovery_s < 0:
             raise ConfigurationError("breaker_recovery_s must be >= 0")
+        if self.estimator or self.downgrade_tier:
+            # Fail at construction on a typo'd name, not at the first fix.
+            from repro.estimators import resolve_name
+
+            if self.estimator:
+                resolve_name(self.estimator)
+            if self.downgrade_tier:
+                resolve_name(self.downgrade_tier)
         if self.metrics is None:
             self.metrics = RuntimeMetrics()
         # Fold the validator's and injector's counters into the server's
@@ -177,14 +206,18 @@ class SpotFiServer:
         self._breakers: Dict[str, CircuitBreaker] = {}
 
     # ------------------------------------------------------------------
-    def ingest(self, ap_id: str, frame: CsiFrame) -> Optional[FixEvent]:
+    def ingest(
+        self, ap_id: str, frame: CsiFrame, estimator: Optional[str] = None
+    ) -> Optional[FixEvent]:
         """Accept one packet's CSI from one AP.
 
         Returns a :class:`FixEvent` when this packet completed a burst,
         else None.  ``frame.source`` identifies the target.  When the
         (source, AP) buffer is full the ``overflow_policy`` applies — a
         drop returns None and counts ``drop.overflow``; ``reject`` raises
-        :class:`~repro.errors.BackpressureError`.
+        :class:`~repro.errors.BackpressureError`.  ``estimator`` (a
+        registry name or QoS tier) overrides the server default for the
+        fix this packet may trigger.
         """
         if ap_id not in self.aps:
             raise ConfigurationError(
@@ -202,12 +235,14 @@ class SpotFiServer:
                 ap_id, candidate
             ):
                 continue  # quarantined; counted under quarantine.*
-            result = self._buffer_frame(ap_id, candidate)
+            result = self._buffer_frame(ap_id, candidate, estimator)
             if result is not None:
                 event = result
         return event
 
-    def _buffer_frame(self, ap_id: str, frame: CsiFrame) -> Optional[FixEvent]:
+    def _buffer_frame(
+        self, ap_id: str, frame: CsiFrame, estimator: Optional[str] = None
+    ) -> Optional[FixEvent]:
         """Buffer one admitted frame and attempt a fix if a burst closed."""
         source = frame.source or "unknown"
         key = (source, ap_id)
@@ -223,7 +258,7 @@ class SpotFiServer:
         if dropped is frame:
             return None
         self.metrics.increment("ingest.accepted")
-        return self._maybe_fix(source, frame.timestamp_s)
+        return self._maybe_fix(source, frame.timestamp_s, estimator=estimator)
 
     def _evict_stale(self, now_s: float) -> None:
         """Discard buffers whose newest packet is older than the age cap.
@@ -246,7 +281,12 @@ class SpotFiServer:
                 self.metrics.record_drop("stale", len(held))
                 self.metrics.increment("buffers.evicted")
 
-    def flush(self, source: str, timestamp_s: float) -> Optional[FixEvent]:
+    def flush(
+        self,
+        source: str,
+        timestamp_s: float,
+        estimator: Optional[str] = None,
+    ) -> Optional[FixEvent]:
         """Force a fix attempt from whatever bursts are complete.
 
         Use when a straggler AP will never complete (target moved out of
@@ -254,13 +294,20 @@ class SpotFiServer:
         Stale-buffer eviction runs here too — a flush is often the last
         traffic a source ever generates, and without it abandoned bursts
         from *other* sources would outlive the age cap until the next
-        ingest.
+        ingest.  ``estimator`` overrides the server default for this
+        fix only.
         """
         self._evict_stale(timestamp_s)
-        return self._maybe_fix(source, timestamp_s, require_all=False)
+        return self._maybe_fix(
+            source, timestamp_s, require_all=False, estimator=estimator
+        )
 
     def _maybe_fix(
-        self, source: str, timestamp_s: float, require_all: bool = True
+        self,
+        source: str,
+        timestamp_s: float,
+        require_all: bool = True,
+        estimator: Optional[str] = None,
     ) -> Optional[FixEvent]:
         mine = [
             (ap_id, buffer)
@@ -279,32 +326,60 @@ class SpotFiServer:
             # burst, so a fix uses all available vantage points; callers
             # handle stragglers with flush().
             return None
+        requested = estimator if estimator is not None else (self.estimator or None)
+        downgraded = False
         if self.breaker_threshold:
-            ready = self._shed_tripped(source, ready, timestamp_s)
-            if len(ready) < self.min_aps:
-                return None
+            if self.downgrade_tier:
+                # Downgrade-not-shed: a tripped AP costs the fix its
+                # precision, never its vantage points.
+                if self._any_tripped(ready, timestamp_s):
+                    requested = self.downgrade_tier
+                    downgraded = True
+                    self.metrics.increment("breaker.downgrades")
+            else:
+                ready = self._shed_tripped(source, ready, timestamp_s)
+                if len(ready) < self.min_aps:
+                    return None
         pairs = [
             (self.aps[ap_id], CsiTrace(buffer.peek(self.packets_per_fix)))
             for ap_id, buffer in ready
         ]
         fix: Optional[SpotFiFix]
         degraded: Tuple[Tuple[int, str], ...] = ()
+        resolved = self._resolve_estimator(requested)
         start = time.perf_counter()
         with self.spotfi.tracer.span(
-            "fix", source=source, num_aps=len(ready)
+            "fix", source=source, num_aps=len(ready), estimator=resolved
         ) as span:
             try:
-                fix = self.spotfi.locate(pairs)
+                fix = self.spotfi.locate(pairs, estimator=requested)
             except LocalizationError as exc:
                 fix = None
                 degraded = tuple(getattr(exc, "degraded_aps", ()))
+            if fix is None and self.downgrade_tier and not downgraded:
+                # Last resort before reporting a failed fix: retry once
+                # on the cheap tier (e.g. RSSI ranging still works when
+                # every AoA estimate degraded).
+                downgraded = True
+                resolved = self._resolve_estimator(self.downgrade_tier)
+                self.metrics.increment("breaker.downgrades")
+                span.set("retried", True)
+                try:
+                    fix = self.spotfi.locate(pairs, estimator=self.downgrade_tier)
+                    degraded = ()
+                except LocalizationError as exc:
+                    degraded = tuple(getattr(exc, "degraded_aps", ()))
             span.set("ok", fix is not None)
+            span.set("downgraded", downgraded)
             if self.validator is not None:
                 span.set("quarantined", self.validator.total_quarantined)
             if self.breaker_threshold:
                 span.set("breakers", self.breaker_states())
         self.metrics.record_complete("fix", time.perf_counter() - start)
         self.metrics.increment("fix.ok" if fix is not None else "fix.failed")
+        self.metrics.increment(self._estimator_counter(resolved))
+        if downgraded:
+            self.metrics.increment("fix.downgraded")
         if fix is not None and fix.degraded:
             self.metrics.increment("fix.degraded")
         if self.breaker_threshold:
@@ -320,6 +395,8 @@ class SpotFiServer:
             fix=fix,
             filtered=filtered,
             num_aps=len(ready),
+            estimator=resolved,
+            downgraded=downgraded,
         )
         self._events.setdefault(source, []).append(event)
         # Consume the burst: drop the used packets from every buffer.
@@ -330,6 +407,23 @@ class SpotFiServer:
                 del self._buffers[key]
                 self._last_seen.pop(key, None)
         return event
+
+    # ------------------------------------------------------------------
+    # Estimator selection
+    # ------------------------------------------------------------------
+    def _resolve_estimator(self, requested: Optional[str]) -> str:
+        """Registry name a request resolves to (tiers -> tier default)."""
+        if requested is None:
+            return self.spotfi.default_estimator_name()
+        from repro.estimators import resolve_name
+
+        return resolve_name(requested)
+
+    def _estimator_counter(self, name: str) -> str:
+        """Counter key rendered as ``repro_estimator_requests_total``."""
+        from repro.estimators import tier_of
+
+        return f"estimator.requests.{name}.{tier_of(name)}"
 
     # ------------------------------------------------------------------
     # Circuit breakers
@@ -358,6 +452,27 @@ class SpotFiServer:
             "breaker.transition", ap=name, old=old, new=new, at_s=now_s
         ):
             pass
+
+    def _any_tripped(
+        self, ready: List[Tuple[str, PacketBuffer]], now_s: float
+    ) -> bool:
+        """True when any contributing AP's breaker refuses traffic.
+
+        Used by the downgrade path: unlike :meth:`_shed_tripped` no
+        burst is discarded — every AP still feeds the (cheaper) fix, so
+        the breaker keeps observing the AP and can close on recovery.
+        """
+        tripped = False
+        for ap_id, _buffer in ready:
+            if not self._breaker_for(ap_id).allow(now_s):
+                tripped = True
+        return tripped
+
+    def trip_breaker(self, ap_id: str, now_s: float) -> None:
+        """Force an AP's breaker open (chaos/test hook)."""
+        breaker = self._breaker_for(ap_id)
+        while breaker.state != "open":
+            breaker.record_failure(now_s)
 
     def _shed_tripped(
         self,

@@ -5,6 +5,7 @@ import pytest
 from repro.baselines.selection import (
     SELECTORS,
     select_cupid,
+    select_lteye,
     select_ltye,
     select_oracle,
     select_spotfi,
@@ -33,13 +34,18 @@ def clusters():
     ]
 
 
-class TestLtye:
+class TestLteye:
     def test_picks_smallest_tof(self, clusters):
-        assert select_ltye(clusters).aoa_deg == 10.0
+        assert select_lteye(clusters).aoa_deg == 10.0
 
     def test_empty_rejected(self):
         with pytest.raises(ClusteringError):
-            select_ltye([])
+            select_lteye([])
+
+    def test_deprecated_alias_warns_and_matches(self, clusters):
+        with pytest.warns(DeprecationWarning):
+            aliased = select_ltye(clusters)
+        assert aliased.aoa_deg == select_lteye(clusters).aoa_deg
 
 
 class TestCupid:
@@ -67,6 +73,9 @@ class TestSpotFi:
         assert result.likelihood == max(result.all_likelihoods or [result.likelihood])
 
     def test_registry_contains_all(self):
-        assert set(SELECTORS) == {"spotfi", "ltye", "cupid"}
+        assert set(SELECTORS) == {"spotfi", "lteye", "ltye", "cupid"}
         for fn in SELECTORS.values():
             assert callable(fn)
+
+    def test_deprecated_key_maps_to_canonical(self):
+        assert SELECTORS["ltye"] is SELECTORS["lteye"] is select_lteye

@@ -164,6 +164,26 @@ class TestFixesAndJson:
         )
         assert decode_fixes(encode_fixes([fix])) == [fix]
 
+    def test_wire_fix_round_trips_estimator(self):
+        fix = WireFix(
+            source="t0",
+            timestamp_s=2.0,
+            ok=True,
+            x=1.5,
+            y=2.5,
+            num_aps=4,
+            shard="s1",
+            estimator="tof",
+            downgraded=True,
+        )
+        (decoded,) = decode_fixes(encode_fixes([fix]))
+        assert decoded.estimator == "tof" and decoded.downgraded
+        # Fixes from shards predating the field still decode.
+        legacy = dict(fix.to_dict())
+        legacy.pop("estimator")
+        legacy.pop("downgraded")
+        assert WireFix.from_dict(legacy).estimator == ""
+
     def test_nan_position_becomes_null(self):
         fix = WireFix(source="t0", timestamp_s=2.0, ok=False)
         (decoded,) = decode_fixes(encode_fixes([fix]))

@@ -177,3 +177,61 @@ class TestShardSubprocess:
         for proc in shards.values():
             assert proc.join() == 0
             assert not os.path.exists(parse_bind(proc.spec).path)
+
+
+class TestShardEstimators:
+    """Estimator selection rides the wire: config default + FLUSH field."""
+
+    def test_config_default_estimator_tags_wire_fixes(self, tmp_path):
+        shard = ThreadedShard(
+            tmp_path, shard_config(shard_id="s2", estimator="mdtrack")
+        )
+        try:
+            pairs = ap_traces(packets=4)
+            fixes = []
+            with shard.connect() as sock:
+                for k in range(4):
+                    batch = [(ap_id, trace[k]) for ap_id, trace in pairs]
+                    _, payload = request(
+                        sock, MessageType.INGEST, protocol.encode_frames(batch)
+                    )
+                    fixes.extend(protocol.decode_fixes(payload))
+            assert len(fixes) == 1 and fixes[0].ok
+            assert fixes[0].estimator == "mdtrack"
+            assert not fixes[0].downgraded
+        finally:
+            shard.stop()
+
+    def test_flush_request_estimator_overrides(self, tmp_path):
+        # ap2 stays a straggler so the fix only happens at FLUSH, which
+        # carries a per-request estimator on the control plane.
+        shard = ThreadedShard(tmp_path, shard_config(shard_id="s3"))
+        try:
+            pairs = ap_traces(packets=4, num_aps=3)
+            with shard.connect() as sock:
+                for k in range(4):
+                    batch = [
+                        (ap_id, trace[k])
+                        for ap_id, trace in pairs
+                        if ap_id != "ap2" or k < 2
+                    ]
+                    _, payload = request(
+                        sock, MessageType.INGEST, protocol.encode_frames(batch)
+                    )
+                    assert protocol.decode_fixes(payload) == []
+                _, payload = request(
+                    sock,
+                    MessageType.FLUSH,
+                    protocol.encode_json(
+                        {
+                            "sources": ["t0"],
+                            "timestamp_s": 1.0,
+                            "estimator": "coarse",
+                        }
+                    ),
+                )
+            fixes = protocol.decode_fixes(payload)
+            assert len(fixes) == 1 and fixes[0].ok
+            assert fixes[0].estimator == "tof"
+        finally:
+            shard.stop()

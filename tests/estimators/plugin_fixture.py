@@ -1,0 +1,11 @@
+"""Plugin module loaded via REPRO_ESTIMATOR_PLUGINS in registry tests."""
+
+from repro.estimators import ApEstimate, Estimator, register
+
+
+@register("env-plugin", tier="coarse", override=True)
+class EnvPluginEstimator(Estimator):
+    """Registered as a side effect of importing this module."""
+
+    def estimate_ap(self, array, trace):  # pragma: no cover - never run
+        return ApEstimate(array=array)

@@ -1,0 +1,89 @@
+"""End-to-end tests for the built-in estimators on the small testbed."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpotFi, SpotFiConfig
+from repro.estimators import EstimatorContext, available, create, tier_of
+from repro.testbed.layout import small_testbed
+
+#: Accuracy ceiling per tier — coarse trades precision for latency.
+_TIER_ERROR_M = {"precise": 1.5, "balanced": 2.5, "coarse": 3.5}
+
+
+@pytest.fixture(scope="module")
+def scene():
+    tb = small_testbed()
+    sim = tb.simulator()
+    rng = np.random.default_rng(42)
+    target = tb.targets[0].position
+    pairs = [
+        (ap, sim.generate_trace(target, ap, 8, rng=rng)) for ap in tb.aps
+    ]
+    return tb, sim, target, pairs
+
+
+@pytest.mark.parametrize(
+    "name", ["music2d", "mdtrack", "music-aoa", "arraytrack", "tof"]
+)
+def test_estimator_localizes(scene, name):
+    tb, sim, target, pairs = scene
+    context = EstimatorContext(
+        grid=sim.grid,
+        bounds=tb.bounds,
+        config=SpotFiConfig(packets_per_fix=8),
+        seed=0,
+    )
+    estimator = create(name, context)
+    estimates = [estimator.estimate_ap(ap, trace) for ap, trace in pairs]
+    assert all(e.usable for e in estimates)
+    result = estimator.fuse(estimates)
+    error = float(np.hypot(result.position.x - target.x, result.position.y - target.y))
+    assert error < _TIER_ERROR_M[tier_of(name)], (name, error)
+
+
+def test_locate_with_estimator_matches_direct_use(scene):
+    tb, sim, target, pairs = scene
+    spotfi = SpotFi(
+        sim.grid,
+        bounds=tb.bounds,
+        config=SpotFiConfig(packets_per_fix=8),
+        rng=np.random.default_rng(0),
+    )
+    fix = spotfi.locate(pairs, estimator="mdtrack")
+    assert fix.estimator == "mdtrack"
+    assert fix.error_to(target) < 2.5
+    # The default path tags the fix with the classic estimator name.
+    classic = spotfi.locate(pairs)
+    assert classic.estimator == "music2d"
+
+
+def test_locate_by_tier(scene):
+    tb, sim, target, pairs = scene
+    spotfi = SpotFi(
+        sim.grid,
+        bounds=tb.bounds,
+        config=SpotFiConfig(packets_per_fix=8),
+        rng=np.random.default_rng(0),
+    )
+    fix = spotfi.locate(pairs, estimator="coarse")
+    assert fix.estimator == "tof"
+    assert fix.error_to(target) < 3.5
+
+
+def test_per_estimator_timings_recorded(scene):
+    tb, sim, target, pairs = scene
+    spotfi = SpotFi(
+        sim.grid,
+        bounds=tb.bounds,
+        config=SpotFiConfig(packets_per_fix=8),
+        rng=np.random.default_rng(0),
+    )
+    spotfi.locate(pairs, estimator="tof")
+    timings = spotfi.executor.metrics.snapshot()["timings"]
+    assert "estimate.tof" in timings
+
+
+def test_every_registered_estimator_reports_tier():
+    for name in available():
+        assert tier_of(name) in ("precise", "balanced", "coarse")

@@ -99,3 +99,25 @@ def test_chaos_report_success_rate_empty():
         median_error_m=float("nan"),
     )
     assert report.success_rate == 0.0
+
+
+class TestDowngradeScenario:
+    @pytest.fixture(scope="class")
+    def downgrade(self):
+        return run_chaos(scenario="downgrade", seed=7, bursts=4)
+
+    def test_downgrade_meets_ci_gate(self, downgrade):
+        # The CI gate: tripping a breaker mid-stream must not shed load —
+        # fixes keep flowing (>= 90%) on the coarse tier.
+        assert downgrade.fixes_attempted == 4
+        assert downgrade.success_rate >= 0.9
+        assert downgrade.downgraded_fixes >= 1
+
+    def test_downgrade_keeps_breaker_open(self, downgrade):
+        assert downgrade.breakers.get("ap1") == "open"
+
+    def test_downgraded_fixes_in_report(self, downgrade):
+        data = downgrade.to_dict()
+        assert data["downgraded_fixes"] == downgrade.downgraded_fixes
+        text = format_report(downgrade)
+        assert "downgraded" in text

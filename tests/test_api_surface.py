@@ -39,6 +39,7 @@ class TestImports:
             "repro.sensing",
             "repro.calibration",
             "repro.runtime",
+            "repro.estimators",
         ):
             pkg = importlib.import_module(pkg_name)
             for name in getattr(pkg, "__all__", []):

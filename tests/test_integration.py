@@ -16,7 +16,7 @@ from repro import (
     UniformLinearArray,
 )
 from repro.baselines.arraytrack import ArrayTrack
-from repro.baselines.selection import select_cupid, select_ltye, select_oracle
+from repro.baselines.selection import select_cupid, select_lteye, select_oracle
 from repro.core.sanitize import phase_dispersion_across_packets, sanitize_csi
 from repro.geom.floorplan import empty_room
 from repro.io.csitool import BfeeRecord, read_dat_file, trace_from_records, write_dat_file
@@ -66,7 +66,7 @@ class TestFullPipelineAgainstBaseline:
         assert report.usable
         truth = ap.aoa_to(target)
         oracle = select_oracle(report.clusters, truth)
-        ltye = select_ltye(report.clusters)
+        ltye = select_lteye(report.clusters)
         cupid = select_cupid(report.clusters)
         oracle_err = abs(oracle.aoa_deg - truth)
         assert oracle_err <= abs(ltye.aoa_deg - truth) + 1e-9

@@ -26,7 +26,9 @@ def scene():
     return tb, sim, spotfi, ap_ids
 
 
-def stream_target(server, tb, sim, target, source, rng, packets=8, t0=0.0):
+def stream_target(
+    server, tb, sim, target, source, rng, packets=8, t0=0.0, estimator=None
+):
     """Interleave packets across APs, as a real deployment would see them."""
     traces = {
         f"ap{i}": sim.generate_trace(target, ap, packets, rng=rng, source=source)
@@ -42,7 +44,7 @@ def stream_target(server, tb, sim, target, source, rng, packets=8, t0=0.0):
                 timestamp_s=t0 + k * 0.1,
                 source=source,
             )
-            event = server.ingest(ap_id, frame)
+            event = server.ingest(ap_id, frame, estimator=estimator)
             if event is not None:
                 events.append(event)
     return events
@@ -479,3 +481,72 @@ class TestServerMetricsUnderLoad:
         assert server.breaker_states() == {"ap0": "open", "ap2": "closed"}
         snapshot = server.metrics_snapshot()
         assert snapshot["breakers"] == {"ap0": "open", "ap2": "closed"}
+
+
+class TestServerEstimators:
+    """Per-request estimator selection and breaker-downgrade semantics."""
+
+    def test_per_request_estimator_selection(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(spotfi=spotfi, aps=ap_ids, packets_per_fix=8)
+        rng = np.random.default_rng(60)
+        target = tb.targets[0].position
+        events = stream_target(
+            server, tb, sim, target, "aa", rng, estimator="mdtrack"
+        )
+        assert len(events) == 1 and events[0].ok
+        assert events[0].estimator == "mdtrack"
+        assert not events[0].downgraded
+        assert events[0].fix.estimator == "mdtrack"
+        assert events[0].fix.error_to(target) < 2.5
+        assert server.metrics.counter("estimator.requests.mdtrack.balanced") == 1
+        exposition = server.metrics_exposition()
+        assert (
+            'repro_estimator_requests_total{estimator="mdtrack",tier="balanced"} 1'
+            in exposition
+        )
+
+    def test_server_default_estimator_tier(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, estimator="coarse"
+        )
+        rng = np.random.default_rng(61)
+        events = stream_target(server, tb, sim, tb.targets[0].position, "aa", rng)
+        assert len(events) == 1 and events[0].ok
+        assert events[0].estimator == "tof"
+        assert server.metrics.counter("estimator.requests.tof.coarse") == 1
+
+    def test_unknown_estimator_rejected_at_construction(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        with pytest.raises(ConfigurationError):
+            SpotFiServer(spotfi=spotfi, aps=ap_ids, estimator="nope")
+        with pytest.raises(ConfigurationError):
+            SpotFiServer(spotfi=spotfi, aps=ap_ids, downgrade_tier="nope")
+
+    def test_breaker_downgrade_keeps_all_aps(self, scene):
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, min_aps=2,
+            breaker_threshold=1, breaker_recovery_s=1e9,
+            downgrade_tier="coarse",
+        )
+        server.trip_breaker("ap3", 0.0)
+        assert server.breaker_states()["ap3"] == "open"
+        rng = np.random.default_rng(62)
+        target = tb.targets[0].position
+        events = stream_target(server, tb, sim, target, "aa", rng)
+        # Unlike shedding, every AP still contributes to the fix; only
+        # the estimator tier changed.
+        assert len(events) == 1 and events[0].ok
+        assert events[0].num_aps == 4
+        assert events[0].downgraded
+        assert events[0].estimator == "tof"
+        assert server.metrics.counter("drop.breaker") == 0
+        assert server.metrics.counter("breaker.downgrades") == 1
+        assert server.metrics.counter("fix.downgraded") == 1
+        # The breaker stays open (recovery far away): the next burst is
+        # downgraded too, still with full AP participation.
+        events = stream_target(server, tb, sim, target, "aa", rng, t0=2.0)
+        assert len(events) == 1 and events[0].downgraded
+        assert events[0].num_aps == 4
