@@ -1,0 +1,168 @@
+"""Cluster telemetry smoke drill: live scrapes + one stitched trace.
+
+Spins up a real 2-shard cluster (subprocess workers behind the
+consistent-hash router), streams a few simulated bursts through it with
+tracing on, and — while the replay is running — scrapes the cluster
+telemetry endpoint over actual HTTP:
+
+* ``/metrics`` must serve a Prometheus exposition with ``# HELP`` /
+  ``# TYPE`` metadata merged across every shard plus the router;
+* ``/healthz`` must report every shard alive (and carries each worker's
+  own telemetry port);
+* ``/traces`` must return the spans exported so far.
+
+Afterwards the per-process JSONL span exports are merged
+(:func:`repro.obs.collector.collect_trace_dir`) and the drill asserts
+the PR's core observability contract: at least one trace stitches a
+router-side span (``flush``/``batch``, ids prefixed ``router-``) to a
+shard-side ``locate`` subtree across the process boundary, renderable
+as one tree by :func:`repro.obs.format_span_tree`.
+
+Run: ``PYTHONPATH=src python examples/telemetry_smoke.py``
+"""
+
+import argparse
+import os
+import tempfile
+import urllib.request
+
+import numpy as np
+
+from repro.dist.rollup import start_cluster_telemetry
+from repro.dist.router import ShardRouter
+from repro.dist.shard import ShardConfig, start_shards
+from repro.obs import (
+    JsonlSpanExporter,
+    ObsConfig,
+    Span,
+    Tracer,
+    collect_trace_dir,
+    fetch_json,
+    format_span_tree,
+)
+from repro.testbed.layout import small_testbed
+from repro.wifi.csi import CsiFrame
+
+
+def _has_stage(span: Span, name: str) -> bool:
+    if span.name == name:
+        return True
+    return any(_has_stage(child, name) for child in span.children)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--sources", type=int, default=2)
+    parser.add_argument("--packets", type=int, default=6, help="packets per fix")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    tb = small_testbed()
+    sim = tb.simulator()
+    rng = np.random.default_rng(args.seed)
+    sources = [f"target-{j:02d}" for j in range(args.sources)]
+    traces = {
+        source: [
+            sim.generate_trace(
+                tb.targets[j % len(tb.targets)].position,
+                ap,
+                args.packets,
+                rng=rng,
+                source=source,
+            )
+            for ap in tb.aps
+        ]
+        for j, source in enumerate(sources)
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-") as tmp:
+        trace_dir = os.path.join(tmp, "traces")
+        config = ShardConfig(
+            shard_id="template",
+            testbed="small",
+            packets_per_fix=args.packets,
+            min_aps=2,
+            trace_dir=trace_dir,
+            sample_rate=1.0,
+        )
+        shards = start_shards(args.shards, config, tmp)
+        specs = {shard_id: proc.spec for shard_id, proc in shards.items()}
+        router_tracer = Tracer(
+            ObsConfig(sample_rate=1.0),
+            exporters=[JsonlSpanExporter(os.path.join(trace_dir, "router.jsonl"))],
+            service="router",
+        )
+        router = ShardRouter(
+            specs, batch_max_frames=len(tb.aps), tracer=router_tracer
+        )
+        telemetry = start_cluster_telemetry(
+            specs, router_metrics=router.metrics, trace_dir=trace_dir
+        )
+        try:
+            print(f"cluster of {args.shards} shard(s); telemetry {telemetry.url}")
+            for k in range(args.packets):
+                for source in sources:
+                    for i, trace in enumerate(traces[source]):
+                        frame = trace[k]
+                        router.ingest(
+                            f"ap{i}",
+                            CsiFrame(
+                                csi=frame.csi,
+                                rssi_dbm=frame.rssi_dbm,
+                                timestamp_s=frame.timestamp_s,
+                                source=source,
+                            ),
+                        )
+            # Scrape while the cluster is live — this is the actual wire
+            # format a Prometheus server or load balancer would see.
+            with urllib.request.urlopen(
+                f"{telemetry.url}/metrics", timeout=10
+            ) as response:
+                exposition = response.read().decode("utf-8")
+            assert "# HELP " in exposition and "# TYPE " in exposition
+            assert "repro_dist_frames_sent_total" in exposition
+            print(f"/metrics: {len(exposition.splitlines())} lines, HELP/TYPE ok")
+
+            health = fetch_json(f"{telemetry.url}/healthz")
+            assert health["ok"], f"cluster unhealthy: {health}"
+            assert health["alive_shards"] == args.shards, health
+            print(
+                f"/healthz: ok, {health['alive_shards']}/{health['total_shards']} "
+                f"shards alive"
+            )
+
+            fixes = router.flush()
+            print(f"{len(fixes)} fix event(s) after flush")
+
+            spans = fetch_json(f"{telemetry.url}/traces")
+            assert spans, "no spans exported yet"
+            print(f"/traces: {len(spans)} merged root span(s)")
+        finally:
+            telemetry.stop()
+            router.shutdown()
+            router.close()
+            router_tracer.close()
+            for proc in shards.values():
+                proc.terminate()
+            for proc in shards.values():
+                proc.join()
+
+        merged = collect_trace_dir(trace_dir)
+        stitched = [
+            root
+            for root in merged
+            if root.trace_id.startswith("router-") and _has_stage(root, "locate")
+        ]
+        assert stitched, "no trace stitched router spans to a shard locate subtree"
+        print(
+            f"{len(merged)} merged trace(s); {len(stitched)} cross the "
+            f"router->shard process boundary"
+        )
+        print("--- one stitched trace ---")
+        print(format_span_tree(stitched[0]))
+        print("telemetry smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,10 +3,11 @@
 Three layers keep the pipeline's unwritten conventions written down and
 machine-checked:
 
-* :mod:`repro.analysis.rules` — REP001–REP007 AST lint rules encoding
-  this repo's invariants (seeded RNG, typed error accounting, no
-  mutable defaults, tracer-owned clocks, tolerance float compares,
-  picklable pool tasks, honest ``__all__``).
+* :mod:`repro.analysis.rules` — REP001–REP007 and REP010 AST lint
+  rules encoding this repo's invariants (seeded RNG, typed error
+  accounting, no mutable defaults, tracer-owned clocks, tolerance
+  float compares, picklable pool tasks, honest ``__all__``, canonical
+  tracer stage names).
 * :mod:`repro.analysis.contracts` — the :func:`contract` decorator:
   runtime ndarray shape/dtype validation, enabled by
   ``REPRO_CONTRACTS=1`` and compiled to a no-op otherwise; plus

@@ -435,6 +435,49 @@ class DunderAllRule(Rule):
         return names, fully_literal
 
 
+class NonCanonicalStageRule(Rule):
+    """REP010 — tracer span names must come from the stage registry.
+
+    Dashboards, the SLO tracker and the cross-process trace collector
+    key on span names; a typo'd ``tracer.span("sanitise")`` silently
+    creates a stage no alert or rollup will ever see.  Every string
+    literal handed to a ``*.tracer.span(...)`` call must therefore be
+    one of :data:`repro.obs.stages.CANONICAL_STAGES` (or match a
+    registered pattern like ``ap[3]``).  Dynamic names (f-strings,
+    variables) are the caller's responsibility and are not flagged.
+    """
+
+    rule_id = "REP010"
+    title = "tracer span opened with a non-canonical stage name"
+    hint = "use a name from repro.obs.stages.CANONICAL_STAGES or register the new stage there"
+
+    def check(self, module: SourceFile) -> Iterator[Finding]:
+        # Local import: keeps repro.analysis importable without pulling
+        # the obs package in at module-import time for non-lint users.
+        from repro.obs.stages import is_canonical_stage
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr != "span":
+                continue
+            receiver = _dotted_name(func.value).split(".")[-1]
+            if not receiver.lower().endswith("tracer"):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            if not is_canonical_stage(first.value):
+                yield self.finding(
+                    module,
+                    first,
+                    f"span name {first.value!r} is not in the canonical stage registry",
+                )
+
+
 #: Every AST lint rule, in ID order.  The contract cross-check pass adds
 #: REP008/REP009 (see :mod:`repro.analysis.contracts_static`).
 DEFAULT_RULES: Tuple[Rule, ...] = (
@@ -445,6 +488,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     FloatEqualityRule(),
     UnpicklableTaskRule(),
     DunderAllRule(),
+    NonCanonicalStageRule(),
 )
 
 

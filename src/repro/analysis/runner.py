@@ -2,7 +2,8 @@
 
 Passes:
 
-1. **lint** — the REP001–REP007 AST rules (:mod:`repro.analysis.rules`).
+1. **lint** — the REP001–REP007 and REP010 AST rules
+   (:mod:`repro.analysis.rules`).
 2. **contracts** — REP008/REP009 static contract validation
    (:mod:`repro.analysis.contracts_static`).
 3. **typing** — the strict typing gate with its checked-in baseline

@@ -13,14 +13,19 @@ Commands:
   exit, the full Prometheus-style metrics exposition (server + executor
   + steering cache).  ``--shards N`` switches to the distributed path:
   N shard subprocesses behind a consistent-hash
-  :class:`~repro.dist.router.ShardRouter`.  SIGINT/SIGTERM drain
-  buffered bursts through ``flush()`` before exit.
+  :class:`~repro.dist.router.ShardRouter`.  ``--http-port`` serves live
+  ``/metrics``, ``/healthz`` and ``/traces`` endpoints while replaying
+  (cluster-wide rollup in sharded mode), ``--trace-dir`` exports spans
+  as JSONL per process, ``--sample-rate`` head-samples the traces.
+  SIGINT/SIGTERM drain buffered bursts through ``flush()`` before exit.
 * ``shard`` — run one :mod:`repro.dist` shard worker in the foreground
   (the building block ``serve --shards`` spawns automatically).
 * ``trace`` — localize a saved dataset with tracing enabled and print
   the hierarchical span tree (``locate > ap[k] > sanitize|smooth|music|
   cluster > solve``); ``--jsonl`` exports the spans, ``--artifacts``
-  captures downsampled pseudospectra and cluster statistics.
+  captures downsampled pseudospectra and cluster statistics, and
+  ``--merge DIR`` instead stitches the per-process JSONL exports of a
+  ``serve --trace-dir`` run into cross-process trace trees.
 * ``metrics`` — localize a saved dataset and print the Prometheus-style
   exposition of the runtime metrics it produced; ``--from-shards``
   instead pulls and merges live shard metrics into one cluster-wide
@@ -41,6 +46,7 @@ apartment), ``small`` (a single room for quick tests).
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 from types import FrameType
@@ -58,7 +64,10 @@ from repro.io.traces import LocationDataset, load_dataset, save_dataset
 from repro.obs import (
     JsonlSpanExporter,
     ObsConfig,
+    SloTracker,
     Tracer,
+    collect_trace_dir,
+    format_merged_traces,
     format_span_tree,
     render_prometheus,
 )
@@ -218,11 +227,13 @@ def _serve_sharded(args: argparse.Namespace) -> int:
     """``serve --shards N``: replay through a router over shard workers."""
     import tempfile
 
-    from repro.dist.rollup import rollup_exposition
+    from repro.dist.rollup import rollup_exposition, start_cluster_telemetry
     from repro.dist.router import ShardRouter
     from repro.dist.shard import ShardConfig, start_shards
 
     dataset = load_dataset(args.dataset)
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
     config = ShardConfig(
         shard_id="template",
         testbed=args.testbed,
@@ -234,6 +245,8 @@ def _serve_sharded(args: argparse.Namespace) -> int:
         workers=args.workers,
         estimator=args.estimator,
         downgrade_tier=args.downgrade_tier,
+        trace_dir=args.trace_dir,
+        sample_rate=args.sample_rate,
     )
     base_port = 0
     host = "127.0.0.1"
@@ -249,18 +262,46 @@ def _serve_sharded(args: argparse.Namespace) -> int:
         base_port, host = bind.port, bind.host
     sources = [f"target-{j:02d}" for j in range(max(1, args.sources))]
     num_fixes = 0
+    router_tracer: Optional[Tracer] = None
+    if args.trace_dir:
+        router_tracer = Tracer(
+            ObsConfig(sample_rate=args.sample_rate),
+            exporters=[
+                JsonlSpanExporter(os.path.join(args.trace_dir, "router.jsonl"))
+            ],
+            service="router",
+        )
+    telemetry = None
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
         shards = start_shards(
-            args.shards, config, tmp, base_port=base_port, host=host
+            args.shards,
+            config,
+            tmp,
+            base_port=base_port,
+            host=host,
+            http_base_port=args.http_port + 1 if args.http_port else 0,
         )
         router = ShardRouter(
             {shard_id: proc.spec for shard_id, proc in shards.items()},
             batch_max_frames=dataset.num_aps,
+            tracer=router_tracer,
         )
         print(
             f"routing {len(sources)} source(s) over {args.shards} shard(s): "
             + ", ".join(f"{sid}={proc.spec}" for sid, proc in shards.items())
         )
+        if args.http_port:
+            telemetry = start_cluster_telemetry(
+                {shard_id: proc.spec for shard_id, proc in shards.items()},
+                router_metrics=router.metrics,
+                trace_dir=args.trace_dir,
+                port=args.http_port,
+            )
+            print(
+                f"cluster telemetry on {telemetry.url} "
+                f"(/metrics /healthz /traces); shard endpoints on ports "
+                f"{args.http_port + 1}..{args.http_port + args.shards}"
+            )
         try:
             with _GracefulStop() as stop:
                 num_packets = min(len(t) for t in dataset.traces)
@@ -297,11 +338,17 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             print("\n--- cluster metrics exposition ---")
             print(rollup_exposition(replies, router.metrics), end="")
         finally:
+            if telemetry is not None:
+                telemetry.stop()
             router.close()
+            if router_tracer is not None:
+                router_tracer.close()
             for proc in shards.values():
                 proc.terminate()
             for proc in shards.values():
                 proc.join()
+    if args.trace_dir:
+        print(f"trace exports in {args.trace_dir} (merge with `trace --merge`)")
     return 0
 
 
@@ -326,6 +373,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     grid = Intel5300().grid()
     config = SpotFiConfig(packets_per_fix=args.packets)
     metrics = RuntimeMetrics()
+    tracer: Optional[Tracer] = None
+    if args.trace_dir or args.http_port:
+        exporters = []
+        if args.trace_dir:
+            os.makedirs(args.trace_dir, exist_ok=True)
+            exporters.append(
+                JsonlSpanExporter(os.path.join(args.trace_dir, "server.jsonl"))
+            )
+        tracer = Tracer(
+            ObsConfig(sample_rate=args.sample_rate),
+            exporters=exporters,
+            service="server",
+        )
     with create_executor(args.workers, metrics=metrics) as executor:
         spotfi = SpotFi(
             grid,
@@ -333,6 +393,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             config=config,
             rng=np.random.default_rng(0),
             executor=executor,
+            tracer=tracer,
         )
         server = SpotFiServer(
             spotfi=spotfi,
@@ -347,6 +408,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             estimator=args.estimator,
             downgrade_tier=args.downgrade_tier,
         )
+        telemetry = None
+        if args.http_port:
+            server.slo_tracker = SloTracker.default_objectives()
+            telemetry = server.start_telemetry(port=args.http_port)
+            print(
+                f"telemetry on {telemetry.url} (/metrics /healthz /traces)"
+            )
         # Interleave packets across APs, as a live deployment would see
         # them arrive at the central server.
         num_packets = min(len(t) for t in dataset.traces)
@@ -408,6 +476,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         print("\n--- metrics exposition ---")
         print(server.metrics_exposition(), end="")
+        if telemetry is not None:
+            telemetry.stop()
+    if tracer is not None:
+        tracer.close()
+        if args.trace_dir:
+            print(f"trace exports in {args.trace_dir}")
     return 0
 
 
@@ -437,8 +511,13 @@ def cmd_shard(args: argparse.Namespace) -> int:
         workers=args.workers,
         estimator=args.estimator,
         downgrade_tier=args.downgrade_tier,
+        trace_dir=args.trace_dir,
+        sample_rate=args.sample_rate,
+        http_port=args.http_port,
     )
     print(f"shard {args.id!r} serving testbed {args.testbed!r} on {args.bind}")
+    if args.http_port:
+        print(f"shard telemetry on http://127.0.0.1:{args.http_port}")
     run_shard(args.bind, config)
     print(f"shard {args.id!r} drained and stopped")
     return 0
@@ -448,7 +527,24 @@ def cmd_shard(args: argparse.Namespace) -> int:
 # trace
 # ----------------------------------------------------------------------
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Localize a dataset with tracing enabled and print the span tree."""
+    """Localize a dataset with tracing enabled and print the span tree.
+
+    ``--merge DIR`` skips the local run and instead merges the JSONL
+    span exports under ``DIR`` (one file per process, as written by
+    ``serve --trace-dir``) into cross-process trees: a shard's remote
+    root is re-attached under the router span that carried its trace
+    context over the wire, so one ``trace <id>`` block shows the
+    router's ``flush``/``batch`` spans and the shard's ``locate``
+    subtree together.
+    """
+    if args.merge:
+        merged = collect_trace_dir(args.merge)
+        if not merged:
+            raise ReproError(f"no spans found under {args.merge!r}")
+        print(format_merged_traces(merged))
+        return 0
+    if not args.dataset:
+        raise ReproError("a dataset is required unless --merge is given")
     dataset = load_dataset(args.dataset)
     testbed = _get_testbed(args.testbed)
     grid = Intel5300().grid()
@@ -724,6 +820,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve fixes on this tier instead of shedding when a "
         "breaker trips (e.g. coarse); empty keeps shedding",
     )
+    p.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        help="serve /metrics, /healthz and /traces on this port while "
+        "replaying (sharded mode: cluster rollup here, shard i on "
+        "PORT+1+i); 0 = off",
+    )
+    p.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="head-sampling rate for traces in [0, 1]; applies to the "
+        "server tracer (or router + shards with --shards)",
+    )
+    p.add_argument(
+        "--trace-dir",
+        default="",
+        help="export spans as JSONL under this directory (one file per "
+        "process); merge afterwards with `trace --merge DIR`",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -781,10 +898,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve fixes on this tier instead of shedding when a "
         "breaker trips (e.g. coarse); empty keeps shedding",
     )
+    p.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        help="serve this shard's /metrics, /healthz and /traces on "
+        "this port; 0 = off",
+    )
+    p.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="head-sampling rate for shard-local trace roots in [0, 1] "
+        "(router-initiated traces carry their own verdict)",
+    )
+    p.add_argument(
+        "--trace-dir",
+        default="",
+        help="export this shard's spans as JSONL under this directory",
+    )
     p.set_defaults(func=cmd_shard)
 
     p = sub.add_parser("trace", help="localize with tracing, print the span tree")
-    p.add_argument("dataset", help=".npz dataset path")
+    p.add_argument(
+        "dataset",
+        nargs="?",
+        default="",
+        help=".npz dataset path (not needed with --merge)",
+    )
+    p.add_argument(
+        "--merge",
+        default="",
+        help="merge the JSONL span exports under this directory into "
+        "cross-process trace trees instead of running a localization",
+    )
     p.add_argument("--testbed", default="office", choices=sorted(_TESTBEDS))
     p.add_argument("--packets", type=int, default=40)
     p.add_argument("--estimation", default="music", choices=("music", "esprit"))

@@ -203,7 +203,10 @@ class SpotFi:
         :data:`~repro.obs.NOOP_TRACER`.  With a real tracer, per-packet
         estimation runs inline stage by stage (bypassing the executor)
         so each stage's wall-clock is attributable — tracing is a
-        diagnostic mode, not a serving mode.  When the tracer's
+        diagnostic mode, not a serving mode.  Under head sampling
+        (``ObsConfig(sample_rate=)``) the inline path applies only to
+        sampled fixes; sampled-out fixes take the normal executor
+        fan-out at full speed.  When the tracer's
         :class:`~repro.obs.ObsConfig` sets ``capture_artifacts``, spans
         also carry the downsampled mean MUSIC pseudospectrum and
         per-cluster (AoA, ToF) statistics.
@@ -271,7 +274,7 @@ class SpotFi:
         ``direct=None`` with ``failure`` recorded — instead of
         propagating, so callers can proceed on the surviving quorum.
         """
-        if self.tracer.enabled:
+        if self.tracer.enabled and self.tracer.recording:
             return self._traced_ap_report(array, trace, 0)
         used = trace[: self.config.packets_per_fix]
         rssi = used.median_rssi_dbm()
@@ -451,7 +454,7 @@ class SpotFi:
         with self.tracer.span("locate", num_aps=len(ap_traces)) as span:
             reports = self.process_aps(ap_traces)
             fix = replace(self.locate_from_reports(reports), estimator=name)
-            if self.tracer.enabled:
+            if span.recording:
                 span.set_many(
                     usable_aps=sum(1 for r in reports if r.usable),
                     degraded_aps=list(fix.degraded_aps),
@@ -520,7 +523,7 @@ class SpotFi:
             with self.tracer.span("solve", num_observations=len(usable)):
                 result = est.fuse(usable)
             fix = SpotFiFix(result=result, reports=reports, estimator=name)
-            if self.tracer.enabled:
+            if span.recording:
                 span.set_many(
                     usable_aps=len(usable),
                     degraded_aps=list(fix.degraded_aps),
@@ -548,7 +551,7 @@ class SpotFi:
         to one map per AP so the failure degrades only the AP that
         caused it instead of aborting every AP's fix.
         """
-        if self.tracer.enabled:
+        if self.tracer.enabled and self.tracer.recording:
             return tuple(
                 self._traced_ap_report(array, trace, k)
                 for k, (array, trace) in enumerate(ap_traces)
@@ -671,7 +674,7 @@ class SpotFi:
         )
         with self.tracer.span("solve", num_observations=len(observations)) as span:
             result = localizer.locate(observations)
-            if self.tracer.enabled:
+            if span.recording:
                 span.set_many(
                     objective=float(result.objective),
                     iterations=int(result.iterations),

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 import tempfile
-from typing import Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -50,6 +50,7 @@ def run_shard_kill(
     num_shards: int = 3,
     oversample: float = 2.5,
     kill_fraction: float = 0.4,
+    probe: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> ChaosReport:
     """Stream ``bursts`` sources across shards, SIGKILL one mid-stream.
 
@@ -66,6 +67,14 @@ def run_shard_kill(
     ``fixes_ok`` the sources that got at least one successful fix,
     ``injected`` the ``dist.failover.*`` counters, and ``breakers`` the
     surviving shards' breaker states namespaced ``shard/ap``.
+
+    ``probe``, when given, starts the cluster telemetry endpoint
+    (:func:`repro.dist.rollup.start_cluster_telemetry`) on an ephemeral
+    port and invokes the callback with the ``/healthz`` payload twice —
+    once with every shard alive, and once immediately after the kill,
+    while the cluster is degraded.  The payload comes over real HTTP,
+    so the probe asserts exactly what an external health checker would
+    observe mid-scenario.
     """
     if testbed not in _TESTBEDS:
         raise ConfigurationError(
@@ -108,19 +117,29 @@ def run_shard_kill(
     fixes_by_source: Dict[str, List[WireFix]] = {source: [] for source in sources}
     breakers: Dict[str, str] = {}
     killed_shard = ""
+    telemetry = None
     with tempfile.TemporaryDirectory(prefix="repro-dist-") as tmp:
         shards = start_shards(num_shards, config, tmp)
+        specs = {shard_id: proc.spec for shard_id, proc in shards.items()}
         router = ShardRouter(
-            {shard_id: proc.spec for shard_id, proc in shards.items()},
+            specs,
             batch_max_frames=len(tb.aps),
             metrics=metrics,
         )
+        if probe is not None:
+            from repro.dist.rollup import start_cluster_telemetry
+            from repro.obs.http import fetch_json
+
+            telemetry = start_cluster_telemetry(specs, router_metrics=metrics)
+            probe(fetch_json(f"{telemetry.url}/healthz"))
         try:
             for k in range(stream_packets):
                 if k == kill_at:
                     killed_shard = router.owner_of(sources[0])
                     shards[killed_shard].kill()
                     shards[killed_shard].join()
+                    if telemetry is not None and probe is not None:
+                        probe(fetch_json(f"{telemetry.url}/healthz"))
                 # All sources share one timeline: stale-burst eviction is
                 # age-based, and sources interleaved on one shard must
                 # not age each other's partial bursts out.
@@ -152,6 +171,8 @@ def run_shard_kill(
             # the router API contract (no crash) still held.
             pass
         finally:
+            if telemetry is not None:
+                telemetry.stop()
             router.close()
             for proc in shards.values():
                 proc.kill()

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import CsiShapeError, TraceFormatError, ValidationError
+from repro.obs.trace import TraceContext
 from repro.wifi.csi import CsiFrame
 
 #: First two bytes of every message.
@@ -70,10 +71,15 @@ WIRE_CSI_DTYPE = "<c16"
 class MessageType(IntEnum):
     """Message kinds the router and shards exchange.
 
-    Request/reply pairing: ``INGEST``/``FLUSH`` -> ``FIXES``,
-    ``HEALTH`` -> ``HEALTH_OK``, ``METRICS`` -> ``METRICS_REPLY``,
-    ``SHUTDOWN`` -> ``BYE``.  Any request may instead be answered with
-    ``ERROR`` (JSON ``{"kind": ..., "message": ...}``).
+    Request/reply pairing: ``INGEST``/``INGEST_TRACED``/``FLUSH`` ->
+    ``FIXES``, ``HEALTH`` -> ``HEALTH_OK``, ``METRICS`` ->
+    ``METRICS_REPLY``, ``SHUTDOWN`` -> ``BYE``.  Any request may instead
+    be answered with ``ERROR`` (JSON ``{"kind": ..., "message": ...}``).
+
+    ``INGEST_TRACED`` is ``INGEST`` with a trace-context prefix (see
+    :func:`encode_traced_ingest`); a router only emits it when a live,
+    sampled trace needs to follow the batch, so tracing-unaware
+    deployments never see the new type.
     """
 
     INGEST = 1
@@ -86,6 +92,7 @@ class MessageType(IntEnum):
     SHUTDOWN = 8
     BYE = 9
     ERROR = 10
+    INGEST_TRACED = 11
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +288,52 @@ def decode_frames(payload: bytes) -> List[Tuple[str, CsiFrame]]:
             f"frame batch has {len(payload) - cursor.offset} trailing bytes"
         )
     return entries
+
+
+# ----------------------------------------------------------------------
+# Trace-context propagation
+# ----------------------------------------------------------------------
+def encode_trace_context(context: TraceContext) -> bytes:
+    """Encode one trace context as a u16-length-prefixed JSON blob."""
+    raw = json.dumps(context.to_dict(), separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    if len(raw) > 0xFFFF:
+        raise ValidationError(f"trace context of {len(raw)} bytes exceeds 65535")
+    return _U16.pack(len(raw)) + raw
+
+
+def encode_traced_ingest(
+    entries: Sequence[Tuple[str, CsiFrame]], context: TraceContext
+) -> bytes:
+    """Encode an ``INGEST_TRACED`` payload: trace context, then the batch.
+
+    The suffix is byte-identical to a plain :func:`encode_frames`
+    payload, so the shard-side decode path is shared.
+    """
+    return encode_trace_context(context) + encode_frames(entries)
+
+
+def decode_traced_ingest(
+    payload: bytes,
+) -> Tuple[TraceContext, List[Tuple[str, CsiFrame]]]:
+    """Split an ``INGEST_TRACED`` payload into its context and batch."""
+    if len(payload) < _U16.size:
+        raise TraceFormatError("INGEST_TRACED payload shorter than its length prefix")
+    (length,) = _U16.unpack_from(payload)
+    end = _U16.size + length
+    if len(payload) < end:
+        raise TraceFormatError(
+            f"trace context truncated: declared {length} bytes, "
+            f"{len(payload) - _U16.size} available"
+        )
+    try:
+        data = json.loads(payload[_U16.size : end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"undecodable trace context: {exc}") from exc
+    if not isinstance(data, dict):
+        raise TraceFormatError("trace context must be a JSON object")
+    return TraceContext.from_dict(data), decode_frames(payload[end:])
 
 
 # ----------------------------------------------------------------------

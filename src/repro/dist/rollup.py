@@ -24,6 +24,8 @@ from repro.dist import protocol
 from repro.dist.protocol import MessageType, parse_bind
 from repro.errors import TraceFormatError
 from repro.obs import render_prometheus
+from repro.obs.collector import collect_trace_dir
+from repro.obs.http import TelemetryServer
 from repro.runtime import RuntimeMetrics
 
 _CACHE_COUNTER_KEYS = ("hits", "misses", "evictions", "entries")
@@ -124,3 +126,94 @@ def pull_shard_metrics(
         if isinstance(reply, dict):
             replies.append(reply)
     return replies
+
+
+def cluster_health(
+    shards: Mapping[str, str], timeout_s: float = 5.0
+) -> Dict[str, Any]:
+    """Probe every shard endpoint on a fresh connection.
+
+    One short-lived ``HEALTH`` round trip per shard; a shard counts as
+    alive only when it answers ``HEALTH_OK``.  The payload is shaped
+    for ``/healthz``: ``ok`` is true while at least one shard answers
+    (the router can still route), ``degraded`` flags any dead shard,
+    and per-shard entries carry the ``http_port`` each worker reported
+    so scrapers can discover shard-local telemetry endpoints.
+
+    Independent of :class:`~repro.dist.router.ShardRouter` on purpose:
+    the router is single-threaded, so an HTTP exporter thread must
+    never reach into it — probing the bind specs directly gives the
+    exporter its own view at the cost of one extra round trip.
+    """
+    entries: Dict[str, Any] = {}
+    alive = 0
+    for shard_id, spec in sorted(shards.items()):
+        entry: Dict[str, Any] = {"alive": False, "spec": spec}
+        try:
+            with parse_bind(spec).connect(timeout_s=timeout_s) as sock:
+                protocol.send_message(sock, MessageType.HEALTH)
+                message = protocol.recv_message(sock)
+        except (OSError, TraceFormatError):
+            message = None
+        if message is not None and message[0] == MessageType.HEALTH_OK:
+            entry["alive"] = True
+            alive += 1
+            try:
+                reply = protocol.decode_json(message[1])
+            except TraceFormatError:
+                reply = None
+            if isinstance(reply, dict):
+                entry["pid"] = reply.get("pid")
+                entry["http_port"] = reply.get("http_port")
+        entries[shard_id] = entry
+    return {
+        "ok": alive > 0,
+        "degraded": alive < len(entries),
+        "alive_shards": alive,
+        "total_shards": len(entries),
+        "shards": entries,
+    }
+
+
+def start_cluster_telemetry(
+    shards: Mapping[str, str],
+    router_metrics: Optional[RuntimeMetrics] = None,
+    trace_dir: str = "",
+    port: int = 0,
+    host: str = "127.0.0.1",
+    timeout_s: float = 5.0,
+) -> TelemetryServer:
+    """Serve cluster-wide ``/metrics`` + ``/healthz`` + ``/traces``.
+
+    Returns a started :class:`~repro.obs.http.TelemetryServer` whose
+    handlers pull fresh state per request: ``/metrics`` scrapes every
+    shard over the wire (:func:`pull_shard_metrics`) and folds in the
+    router's own counters via :func:`rollup_exposition`; ``/healthz``
+    probes the same bind specs (:func:`cluster_health`); ``/traces``
+    merges the JSONL span exports under ``trace_dir`` (empty list when
+    no directory was configured).  Every handler uses its own sockets,
+    so the exporter thread never touches the single-threaded router.
+    The caller owns the server and must :meth:`~TelemetryServer.stop`
+    it.  Reading ``router_metrics`` concurrently is safe — its counter
+    store is lock-protected.
+    """
+    spec_map = dict(shards)
+
+    def _metrics() -> str:
+        replies = pull_shard_metrics(spec_map, timeout_s=timeout_s)
+        return rollup_exposition(replies, router_metrics)
+
+    def _health() -> Dict[str, Any]:
+        return cluster_health(spec_map, timeout_s=timeout_s)
+
+    def _traces() -> List[Dict[str, Any]]:
+        if not trace_dir:
+            return []
+        return [span.to_dict() for span in collect_trace_dir(trace_dir)]
+
+    server = TelemetryServer(
+        metrics_fn=_metrics, health_fn=_health, traces_fn=_traces,
+        port=port, host=host,
+    )
+    server.start()
+    return server

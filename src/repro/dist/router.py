@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.dist import protocol
 from repro.dist.protocol import BindAddress, MessageType, WireFix, parse_bind
 from repro.errors import ShardUnavailableError, TraceFormatError
+from repro.obs.trace import NOOP_TRACER, Tracer
 from repro.runtime import RuntimeMetrics
 from repro.wifi.csi import CsiFrame
 
@@ -119,6 +120,16 @@ class ShardRouter:
     metrics:
         Counter sink; ``dist.*`` counters land here.  A fresh instance
         is created when omitted.
+    tracer:
+        Span sink for the router-side control plane.  Defaults to
+        :data:`~repro.obs.NOOP_TRACER`.  With a recording tracer, every
+        shipped batch opens a ``batch`` span and every flush opens a
+        ``flush`` span with one ``shard.flush`` child per shard
+        request; the active trace context rides the wire
+        (``INGEST_TRACED`` payloads / the FLUSH JSON ``"trace"`` key)
+        so shard-side spans join the same trace.  Sampling is decided
+        here at the root — unsampled requests ship as plain ``INGEST``
+        and untraced flushes, so shards do no tracing work for them.
 
     Fix events arrive asynchronously relative to ``ingest`` calls (a
     reply may carry fixes from packets sent several batches ago); they
@@ -133,10 +144,12 @@ class ShardRouter:
         health_interval_s: float = 0.0,
         socket_timeout_s: float = 60.0,
         metrics: Optional[RuntimeMetrics] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not shards:
             raise ShardUnavailableError("a router needs at least one shard")
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.tracer = tracer or NOOP_TRACER
         self.batch_max_frames = max(1, int(batch_max_frames))
         self.health_interval_s = float(health_interval_s)
         self.socket_timeout_s = float(socket_timeout_s)
@@ -279,11 +292,18 @@ class ShardRouter:
         batch = self._pending.pop(shard_id, [])
         if not batch:
             return
-        payload = protocol.encode_frames(batch)
-        if self._send_request(shard_id, MessageType.INGEST, payload):
-            self.metrics.increment("dist.frames.sent", len(batch))
-            self.metrics.increment("dist.batches.sent")
-            self._drain_replies(shard_id, block=False)
+        with self.tracer.span("batch", shard=shard_id, frames=len(batch)):
+            context = self.tracer.current_context()
+            if context is not None and context.sampled:
+                msg_type = MessageType.INGEST_TRACED
+                payload = protocol.encode_traced_ingest(batch, context)
+            else:
+                msg_type = MessageType.INGEST
+                payload = protocol.encode_frames(batch)
+            if self._send_request(shard_id, msg_type, payload):
+                self.metrics.increment("dist.frames.sent", len(batch))
+                self.metrics.increment("dist.batches.sent")
+                self._drain_replies(shard_id, block=False)
 
     # ------------------------------------------------------------------
     # Public ingest / flush
@@ -325,17 +345,22 @@ class ShardRouter:
         ``estimator`` (a registry name or QoS tier) rides the control
         plane and overrides the shard's default for this fix.
         """
-        self._ship_all_batches()
-        shard_id = self._ring.owner(source)
-        request: Dict[str, object] = {
-            "sources": [source],
-            "timestamp_s": timestamp_s,
-        }
-        if estimator:
-            request["estimator"] = estimator
-        payload = protocol.encode_json(request)
-        if self._send_request(shard_id, MessageType.FLUSH, payload):
-            self._drain_replies(shard_id, block=True)
+        with self.tracer.span("flush", source=source):
+            self._ship_all_batches()
+            shard_id = self._ring.owner(source)
+            request: Dict[str, object] = {
+                "sources": [source],
+                "timestamp_s": timestamp_s,
+            }
+            if estimator:
+                request["estimator"] = estimator
+            with self.tracer.span("shard.flush", shard=shard_id):
+                context = self.tracer.current_context()
+                if context is not None and context.sampled:
+                    request["trace"] = context.to_dict()
+                payload = protocol.encode_json(request)
+                if self._send_request(shard_id, MessageType.FLUSH, payload):
+                    self._drain_replies(shard_id, block=True)
         return self.take_fixes()
 
     def flush(self, estimator: str = "") -> List[WireFix]:
@@ -345,14 +370,20 @@ class ShardRouter:
         still in flight from earlier batches.  ``estimator`` overrides
         every shard's default for the flushed fixes.
         """
-        self._ship_all_batches()
-        request: Dict[str, object] = {"sources": None}
-        if estimator:
-            request["estimator"] = estimator
-        payload = protocol.encode_json(request)
-        for shard_id in self.live_shards():
-            if self._send_request(shard_id, MessageType.FLUSH, payload):
-                self._drain_replies(shard_id, block=True)
+        with self.tracer.span("flush", scope="all"):
+            self._ship_all_batches()
+            base: Dict[str, object] = {"sources": None}
+            if estimator:
+                base["estimator"] = estimator
+            for shard_id in self.live_shards():
+                with self.tracer.span("shard.flush", shard=shard_id):
+                    request = dict(base)
+                    context = self.tracer.current_context()
+                    if context is not None and context.sampled:
+                        request["trace"] = context.to_dict()
+                    payload = protocol.encode_json(request)
+                    if self._send_request(shard_id, MessageType.FLUSH, payload):
+                        self._drain_replies(shard_id, block=True)
         return self.take_fixes()
 
     def take_fixes(self) -> List[WireFix]:
@@ -448,6 +479,28 @@ class ShardRouter:
             "live_shards": self.live_shards(),
             "dead_shards": self.dead_shards(),
             "counters": snapshot["counters"],
+        }
+
+    def health_view(self) -> Dict[str, Any]:
+        """Liveness payload for ``/healthz``-style checks.
+
+        ``ok`` is true while at least one shard remains on the ring.
+        Must be called from the thread driving the router — the router
+        is single-threaded; HTTP exporters that need an independent
+        view should probe the shard bind specs on fresh sockets instead
+        (see :func:`repro.dist.rollup.cluster_health`).
+        """
+        pending = {
+            shard_id: len(batch)
+            for shard_id, batch in self._pending.items()
+            if batch
+        }
+        return {
+            "ok": bool(self.live_shards()),
+            "live_shards": self.live_shards(),
+            "dead_shards": self.dead_shards(),
+            "pending_frames": pending,
+            "inflight": dict(self._inflight),
         }
 
     # ------------------------------------------------------------------

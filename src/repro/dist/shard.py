@@ -26,7 +26,7 @@ import selectors
 import signal
 import socket
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from types import FrameType
 from typing import Dict, List, Optional, Tuple
 
@@ -35,9 +35,13 @@ import numpy as np
 from repro.core.pipeline import SpotFi, SpotFiConfig
 from repro.dist import protocol
 from repro.dist.protocol import BindAddress, MessageType, WireFix, parse_bind
-from repro.errors import ReproError, TraceFormatError
+from repro.errors import ConfigurationError, ReproError, TraceFormatError
+from repro.obs.config import ObsConfig
+from repro.obs.http import TelemetryServer
+from repro.obs.trace import JsonlSpanExporter, TraceContext, Tracer
 from repro.runtime import RuntimeMetrics, create_executor
 from repro.server import FixEvent, SpotFiServer
+from repro.wifi.csi import CsiFrame
 from repro.testbed.layout import (
     Testbed,
     home_testbed,
@@ -56,6 +60,13 @@ class ShardConfig:
     Shipped to the worker process at fork time; everything needed to
     rebuild the server lives here as plain data (the testbed is named,
     not embedded, so the config stays picklable on every start method).
+
+    Telemetry knobs: ``trace_dir`` switches the shard from the no-op
+    tracer to a real one exporting finished spans to
+    ``{trace_dir}/{shard_id}.jsonl`` (head-sampled at ``sample_rate``,
+    span ids prefixed with the shard id for cluster-unique identity);
+    ``http_port`` > 0 serves live ``/metrics``, ``/healthz`` and
+    ``/traces`` on that port for the shard's lifetime.
     """
 
     shard_id: str
@@ -71,6 +82,20 @@ class ShardConfig:
     seed: int = 0
     estimator: str = ""
     downgrade_tier: str = ""
+    trace_dir: str = ""
+    sample_rate: float = 1.0
+    http_port: int = 0
+    http_host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"sample_rate must be within [0.0, 1.0], got {self.sample_rate}"
+            )
+        if not 0 <= self.http_port <= 65535:
+            raise ConfigurationError(
+                f"http_port must be in [0, 65535], got {self.http_port}"
+            )
 
 
 def build_server(config: ShardConfig) -> SpotFiServer:
@@ -88,12 +113,25 @@ def build_server(config: ShardConfig) -> SpotFiServer:
         ) from None
     metrics = RuntimeMetrics()
     executor = create_executor(config.workers, metrics=metrics)
+    tracer: Optional[Tracer] = None
+    if config.trace_dir:
+        os.makedirs(config.trace_dir, exist_ok=True)
+        tracer = Tracer(
+            config=ObsConfig(sample_rate=config.sample_rate),
+            exporters=[
+                JsonlSpanExporter(
+                    os.path.join(config.trace_dir, f"{config.shard_id}.jsonl")
+                )
+            ],
+            service=config.shard_id,
+        )
     spotfi = SpotFi(
         Intel5300().grid(),
         bounds=testbed.bounds,
         config=SpotFiConfig(packets_per_fix=config.packets_per_fix),
         rng=np.random.default_rng(config.seed),
         executor=executor,
+        tracer=tracer,
     )
     return SpotFiServer(
         spotfi=spotfi,
@@ -128,6 +166,7 @@ class ShardServer:
         self.config = config
         self.bind = bind
         self.server = build_server(config)
+        self.telemetry: Optional[TelemetryServer] = None
         self._stopping = False
         self._drained: List[WireFix] = []
         self._last_timestamp_s = 0.0
@@ -148,28 +187,61 @@ class ShardServer:
             downgraded=event.downgraded,
         )
 
-    def _handle_ingest(self, payload: bytes) -> Tuple[MessageType, bytes]:
+    def _handle_ingest(
+        self, entries: List[Tuple[str, CsiFrame]]
+    ) -> Tuple[MessageType, bytes]:
         fixes: List[WireFix] = []
-        for ap_id, frame in protocol.decode_frames(payload):
+        for ap_id, frame in entries:
             self._last_timestamp_s = max(self._last_timestamp_s, frame.timestamp_s)
             event = self.server.ingest(ap_id, frame)
             if event is not None:
                 fixes.append(self._wire_fix(event))
         return MessageType.FIXES, protocol.encode_fixes(fixes)
 
+    def _handle_traced_ingest(self, payload: bytes) -> Tuple[MessageType, bytes]:
+        """INGEST with a router trace context: adopt it for this batch.
+
+        The ``handle.batch`` root span joins the router's trace, so any
+        ``fix > locate > ap[k]`` subtrees triggered by these frames nest
+        under it and the collector can stitch the whole distributed
+        trace back together by trace_id.
+        """
+        context, entries = protocol.decode_traced_ingest(payload)
+        with self.server.spotfi.tracer.span(
+            "handle.batch",
+            trace_context=context,
+            shard=self.config.shard_id,
+            frames=len(entries),
+        ):
+            return self._handle_ingest(entries)
+
     def _handle_flush(self, payload: bytes) -> Tuple[MessageType, bytes]:
         request = protocol.decode_json(payload)
         if not isinstance(request, dict):
             raise TraceFormatError("FLUSH payload must be a JSON object")
+        raw_context = request.get("trace")
+        if isinstance(raw_context, dict):
+            # Legacy-tolerant propagation: tracing-unaware shards ignore
+            # the extra JSON key; tracing-aware ones adopt the context.
+            context = TraceContext.from_dict(raw_context)
+            with self.server.spotfi.tracer.span(
+                "handle.flush", trace_context=context, shard=self.config.shard_id
+            ):
+                return self._flush_sources(request)
+        return self._flush_sources(request)
+
+    def _flush_sources(self, request: Dict[str, object]) -> Tuple[MessageType, bytes]:
         sources = request.get("sources")
         if sources is None:
             sources = self.server.sources()
-        timestamp_s = float(request.get("timestamp_s", self._last_timestamp_s))
+        if not isinstance(sources, list):
+            raise TraceFormatError("FLUSH 'sources' must be a JSON array")
+        timestamp_s = float(request.get("timestamp_s", self._last_timestamp_s))  # type: ignore[arg-type]
         estimator = request.get("estimator") or None
         fixes: List[WireFix] = []
         for source in sources:
             event = self.server.flush(
-                str(source), timestamp_s, estimator=estimator
+                str(source), timestamp_s, estimator=estimator  # type: ignore[arg-type]
             )
             if event is not None:
                 fixes.append(self._wire_fix(event))
@@ -187,12 +259,18 @@ class ShardServer:
         self, msg_type: MessageType, payload: bytes
     ) -> Tuple[MessageType, bytes]:
         if msg_type == MessageType.INGEST:
-            return self._handle_ingest(payload)
+            return self._handle_ingest(protocol.decode_frames(payload))
+        if msg_type == MessageType.INGEST_TRACED:
+            return self._handle_traced_ingest(payload)
         if msg_type == MessageType.FLUSH:
             return self._handle_flush(payload)
         if msg_type == MessageType.HEALTH:
             return MessageType.HEALTH_OK, protocol.encode_json(
-                {"shard_id": self.config.shard_id, "pid": os.getpid()}
+                {
+                    "shard_id": self.config.shard_id,
+                    "pid": os.getpid(),
+                    "http_port": self.config.http_port,
+                }
             )
         if msg_type == MessageType.METRICS:
             return self._handle_metrics()
@@ -241,6 +319,14 @@ class ShardServer:
         listener.setblocking(False)
         selector = selectors.DefaultSelector()
         selector.register(listener, selectors.EVENT_READ, data=None)
+        if self.config.http_port and self.telemetry is None:
+            self.telemetry = TelemetryServer(
+                metrics_fn=self.server.metrics_exposition,
+                health_fn=self._health_payload,
+                traces_fn=self._trace_payload,
+                host=self.config.http_host,
+                port=self.config.http_port,
+            ).start()
         try:
             while not self._stopping:
                 for key, _ in selector.select(timeout=poll_interval_s):
@@ -264,7 +350,23 @@ class ShardServer:
                     pass
             if self._stopping:
                 self.drain()
+            if self.telemetry is not None:
+                self.telemetry.stop()
+                self.telemetry = None
             self.server.spotfi.executor.close()
+            self.server.spotfi.tracer.close()
+
+    def _health_payload(self) -> Dict[str, object]:
+        """Shard-flavored ``/healthz`` body: server health plus identity."""
+        payload = self.server.health_snapshot()
+        payload["shard_id"] = self.config.shard_id
+        payload["pid"] = os.getpid()
+        payload["stopping"] = self._stopping
+        return payload
+
+    def _trace_payload(self) -> List[Dict[str, object]]:
+        """Recent finished root spans from the shard's tracer ring."""
+        return [span.to_dict() for span in self.server.spotfi.tracer.finished_spans()]
 
     def _serve_one(self, selector: selectors.BaseSelector, sock: socket.socket) -> None:
         try:
@@ -379,12 +481,16 @@ def start_shards(
     directory: str,
     base_port: int = 0,
     host: str = "127.0.0.1",
+    http_base_port: int = 0,
 ) -> Dict[str, ShardProcess]:
     """Spawn ``num_shards`` workers and wait until all answer HEALTH.
 
     With ``base_port == 0`` (default) each shard listens on a Unix
     socket ``{directory}/shard{i}.sock`` — no port allocation races;
-    otherwise shard ``i`` binds ``tcp:{host}:{base_port + i}``.  Returns
+    otherwise shard ``i`` binds ``tcp:{host}:{base_port + i}``.  With
+    ``http_base_port`` set, shard ``i`` additionally serves its HTTP
+    telemetry endpoint on ``http_base_port + i`` (overriding any
+    ``http_port`` in the template config).  Returns
     ``{shard_id: ShardProcess}``; on any startup failure the shards
     already running are killed before the error propagates.
     """
@@ -396,20 +502,10 @@ def start_shards(
                 spec = f"tcp:{host}:{base_port + i}"
             else:
                 spec = f"unix:{os.path.join(directory, shard_id + '.sock')}"
-            shard_config = ShardConfig(
+            shard_config = replace(
+                config,
                 shard_id=shard_id,
-                testbed=config.testbed,
-                packets_per_fix=config.packets_per_fix,
-                min_aps=config.min_aps,
-                max_buffered_packets=config.max_buffered_packets,
-                overflow_policy=config.overflow_policy,
-                max_burst_age_s=config.max_burst_age_s,
-                breaker_threshold=config.breaker_threshold,
-                breaker_recovery_s=config.breaker_recovery_s,
-                workers=config.workers,
-                seed=config.seed,
-                estimator=config.estimator,
-                downgrade_tier=config.downgrade_tier,
+                http_port=http_base_port + i if http_base_port else config.http_port,
             )
             process = ShardProcess(spec, shard_config)
             process.start()

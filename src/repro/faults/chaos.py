@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -222,6 +222,7 @@ def run_chaos(
     min_aps: int = 2,
     oversample: float = 1.75,
     with_baseline: Optional[bool] = None,
+    probe: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> ChaosReport:
     """Stream ``bursts`` simulated bursts through an armed server.
 
@@ -238,6 +239,14 @@ def run_chaos(
     ``with_baseline`` additionally runs the ``clean`` scenario with the
     same seeds and reports its median error (defaults to True for the
     blackout scenario, which exists to measure degradation cost).
+
+    ``probe``, when given, turns the run into a live-telemetry drill:
+    the server's HTTP endpoint is started on an ephemeral port and the
+    callback is invoked after every burst with the ``/healthz`` payload
+    scraped over real HTTP — mid-scenario, while breakers and buffers
+    reflect the injected faults.  For ``shard-kill`` the probe fires
+    against the cluster endpoint instead (see
+    :func:`repro.dist.chaos.run_shard_kill`).
     """
     if scenario == "shard-kill":
         # Distributed scenario: the fault is an ungraceful shard death,
@@ -253,6 +262,7 @@ def run_chaos(
             bursts=bursts,
             min_aps=min_aps,
             oversample=max(oversample, 2.5),
+            probe=probe,
         )
     if testbed not in _TESTBEDS:
         raise ConfigurationError(
@@ -304,49 +314,62 @@ def run_chaos(
         else burst_span_s,
         downgrade_tier="coarse" if downgrading else "",
     )
+    telemetry = None
+    if probe is not None:
+        # Real HTTP on an ephemeral port: the probe sees exactly what a
+        # load balancer polling /healthz would see mid-scenario.
+        from repro.obs.http import fetch_json
+
+        telemetry = server.start_telemetry(port=0)
     data_rng = np.random.default_rng(seed + 1)
     errors: List[float] = []
     fixes_ok = 0
     degraded_fixes = 0
     downgraded_fixes = 0
-    for burst in range(bursts):
-        spot = tb.targets[burst % len(tb.targets)]
-        source = f"chaos-{burst:02d}"
-        t0 = burst * burst_span_s
-        if downgrading and burst == bursts // 2:
-            server.trip_breaker("ap1", t0)
-        traces = [
-            sim.generate_trace(
-                spot.position, ap, stream_packets, rng=data_rng, source=source
-            )
-            for ap in tb.aps
-        ]
-        events = []
-        for k in range(stream_packets):
-            stamp = t0 + k * PACKET_INTERVAL_S
-            for i, trace in enumerate(traces):
-                frame = trace[k]
-                frame = CsiFrame(
-                    csi=frame.csi,
-                    rssi_dbm=frame.rssi_dbm,
-                    timestamp_s=stamp,
-                    source=source,
+    try:
+        for burst in range(bursts):
+            spot = tb.targets[burst % len(tb.targets)]
+            source = f"chaos-{burst:02d}"
+            t0 = burst * burst_span_s
+            if downgrading and burst == bursts // 2:
+                server.trip_breaker("ap1", t0)
+            traces = [
+                sim.generate_trace(
+                    spot.position, ap, stream_packets, rng=data_rng, source=source
                 )
-                event = server.ingest(f"ap{i}", frame)
-                if event is not None:
-                    events.append(event)
-        event = server.flush(source, t0 + burst_span_s)
-        if event is not None:
-            events.append(event)
-        ok = [e for e in events if e.ok]
-        if ok:
-            fixes_ok += 1
-            last = ok[-1]
-            errors.append(last.fix.error_to(spot.position))
-            if last.fix.degraded:
-                degraded_fixes += 1
-            if last.downgraded:
-                downgraded_fixes += 1
+                for ap in tb.aps
+            ]
+            events = []
+            for k in range(stream_packets):
+                stamp = t0 + k * PACKET_INTERVAL_S
+                for i, trace in enumerate(traces):
+                    frame = trace[k]
+                    frame = CsiFrame(
+                        csi=frame.csi,
+                        rssi_dbm=frame.rssi_dbm,
+                        timestamp_s=stamp,
+                        source=source,
+                    )
+                    event = server.ingest(f"ap{i}", frame)
+                    if event is not None:
+                        events.append(event)
+            event = server.flush(source, t0 + burst_span_s)
+            if event is not None:
+                events.append(event)
+            ok = [e for e in events if e.ok]
+            if ok:
+                fixes_ok += 1
+                last = ok[-1]
+                errors.append(last.fix.error_to(spot.position))
+                if last.fix.degraded:
+                    degraded_fixes += 1
+                if last.downgraded:
+                    downgraded_fixes += 1
+            if telemetry is not None and probe is not None:
+                probe(fetch_json(f"{telemetry.url}/healthz"))
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
     clean_median = float("nan")
     if with_baseline is None:
         with_baseline = scenario == "blackout"

@@ -9,30 +9,60 @@ layer:
 * :mod:`repro.obs.trace` — :class:`Tracer` producing hierarchical spans
   (``locate > ap[k] > sanitize|smooth|music|cluster > solve``) with
   wall-clock and stage attributes, a JSONL :class:`JsonlSpanExporter`,
-  and an in-memory ring buffer.  The default :data:`NOOP_TRACER` is
+  an in-memory ring buffer, deterministic head sampling
+  (``ObsConfig(sample_rate=)``), and :class:`TraceContext` propagation
+  across process boundaries.  The default :data:`NOOP_TRACER` is
   zero-cost, so instrumented code paths pay nothing until tracing is
   switched on.
+* :mod:`repro.obs.stages` — the canonical span-name registry (lint
+  rule REP010 flags ``tracer.span`` literals missing from it).
+* :mod:`repro.obs.collector` — merge per-process JSONL span exports
+  into stitched cluster-wide trace trees.
 * :mod:`repro.obs.histogram` — fixed log-scale bucket
   :class:`Histogram` with p50/p90/p99 quantile estimates and exact
   cross-process ``merge``, backing
   :class:`~repro.runtime.metrics.RuntimeMetrics`.
 * :mod:`repro.obs.prometheus` — ``render_prometheus(snapshot)``
   plain-text exposition of a metrics snapshot.
+* :mod:`repro.obs.http` — :class:`TelemetryServer`, a stdlib HTTP
+  endpoint serving live ``/metrics``, ``/healthz``, and ``/traces``.
+* :mod:`repro.obs.slo` — declarative service-level objectives with
+  burn-rate / error-budget accounting over metrics snapshots.
+* :mod:`repro.obs.benchdiff` — the ``spotfi-benchdiff`` regression
+  gate diffing two committed BENCH_*.json files.
 * :mod:`repro.obs.artifacts` — opt-in capture of downsampled MUSIC
   pseudospectra and per-cluster (AoA, ToF) statistics into the trace
   (``ObsConfig(capture_artifacts=True)``).
 """
 
 from repro.obs.artifacts import cluster_summary, downsample_spectrum
+from repro.obs.benchdiff import BenchDiff, MetricDelta, diff_benchmarks, diff_files
+from repro.obs.collector import (
+    collect_trace_dir,
+    format_merged_traces,
+    merge_spans,
+    merge_trace_files,
+)
 from repro.obs.config import ObsConfig
 from repro.obs.histogram import DEFAULT_TIMING_BUCKETS, Histogram, log_buckets
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, TelemetryServer, fetch_json
 from repro.obs.prometheus import render_prometheus
+from repro.obs.slo import (
+    SloObjective,
+    SloTracker,
+    latency_objective,
+    rate_objective,
+    success_rate_objective,
+)
+from repro.obs.stages import CANONICAL_STAGES, STAGE_PATTERNS, is_canonical_stage
 from repro.obs.trace import (
     NOOP_TRACER,
     JsonlSpanExporter,
     NoopTracer,
     Span,
+    TraceContext,
     Tracer,
+    clamp_span_tree,
     format_span_tree,
     load_spans,
 )
@@ -43,13 +73,34 @@ __all__ = [
     "NoopTracer",
     "NOOP_TRACER",
     "Span",
+    "TraceContext",
     "JsonlSpanExporter",
     "load_spans",
+    "clamp_span_tree",
     "format_span_tree",
+    "merge_spans",
+    "merge_trace_files",
+    "collect_trace_dir",
+    "format_merged_traces",
+    "CANONICAL_STAGES",
+    "STAGE_PATTERNS",
+    "is_canonical_stage",
     "Histogram",
     "log_buckets",
     "DEFAULT_TIMING_BUCKETS",
     "render_prometheus",
+    "TelemetryServer",
+    "fetch_json",
+    "PROMETHEUS_CONTENT_TYPE",
+    "SloObjective",
+    "SloTracker",
+    "latency_objective",
+    "success_rate_objective",
+    "rate_objective",
+    "BenchDiff",
+    "MetricDelta",
+    "diff_benchmarks",
+    "diff_files",
     "downsample_spectrum",
     "cluster_summary",
 ]

@@ -1,0 +1,286 @@
+"""Benchmark regression diffing: compare two BENCH_*.json files.
+
+The repo tracks its performance trajectory in committed JSON baselines
+(``BENCH_runtime.json``, ``BENCH_dist.json``, ``BENCH_estimators.json``)
+written by the ``benchmarks/`` scripts.  Until now a regression in
+fixes/s or fix p99 only surfaced if a human read the JSON; this module
+is the automated comparison: ``spotfi-benchdiff BASE NEW`` aligns the
+two files' rows, computes the relative change of every shared metric,
+and — with ``--check`` — exits non-zero when any metric moved more
+than the threshold *in its bad direction*.
+
+Alignment and direction are schema-aware but schema-light:
+
+* rows are matched by their identity keys (``workers``, ``shards``,
+  ``name``, ``tier``), so reordered or partially-overlapping row sets
+  compare correctly; unmatched rows are reported but never fail the
+  check (changed sweep parameters are not a regression);
+* metric direction comes from the metric's last path segment —
+  throughput-like metrics (``fixes_per_s``, ``packets_per_s``,
+  ``speedup``) regress by going *down*, latency/error-like metrics
+  (``time_s``, ``p50_ms``, ``p99_ms``, ``median_error_m``) by going
+  *up*; metrics with unknown direction are listed as informational;
+* nested ``stages`` dicts flatten to ``stages.fix.p99_ms`` paths.
+
+Pure stdlib, deterministic, no clocks: two identical files always diff
+clean, which CI exploits as a plumbing self-test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Row keys that identify a row rather than measure it.
+IDENTITY_KEYS: Tuple[str, ...] = ("workers", "shards", "name", "tier", "estimator")
+
+#: Metric leaf names where larger is better (regression = decrease).
+HIGHER_BETTER: Tuple[str, ...] = (
+    "fixes_per_s",
+    "packets_per_s",
+    "speedup",
+    "fixes",
+    "fixes_ok",
+    "fixes_total",
+)
+
+#: Metric leaf names where smaller is better (regression = increase).
+LOWER_BETTER: Tuple[str, ...] = (
+    "time_s",
+    "p50_ms",
+    "p99_ms",
+    "median_error_m",
+    "median_fix_latency_ms",
+)
+
+#: Baselines below this magnitude make relative change meaningless.
+_MIN_BASELINE = 1e-12
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across the two files."""
+
+    row: str
+    metric: str
+    base: float
+    new: float
+    change_pct: float
+    direction: str  # "higher_better" | "lower_better" | "informational"
+    regression: bool
+
+    def describe(self) -> str:
+        """One text line: ``row metric base -> new (+x.x%) [REGRESSION]``."""
+        flag = "  REGRESSION" if self.regression else ""
+        return (
+            f"{self.row:<24} {self.metric:<28} "
+            f"{self.base:>12.4f} -> {self.new:>12.4f} "
+            f"({self.change_pct:+7.1f}%){flag}"
+        )
+
+
+@dataclass(frozen=True)
+class BenchDiff:
+    """Full comparison of two benchmark files."""
+
+    benchmark: str
+    deltas: Tuple[MetricDelta, ...]
+    unmatched_base: Tuple[str, ...]
+    unmatched_new: Tuple[str, ...]
+    threshold_pct: float
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        """Deltas that moved past the threshold in their bad direction."""
+        return [d for d in self.deltas if d.regression]
+
+    def render(self) -> str:
+        """Human-readable report, one line per compared metric."""
+        lines = [
+            f"benchmark: {self.benchmark}  (threshold {self.threshold_pct:.1f}%, "
+            f"{len(self.deltas)} metrics, {len(self.regressions)} regressions)"
+        ]
+        lines.extend(delta.describe() for delta in self.deltas)
+        for row in self.unmatched_base:
+            lines.append(f"{row:<24} only in baseline (ignored)")
+        for row in self.unmatched_new:
+            lines.append(f"{row:<24} only in candidate (ignored)")
+        return "\n".join(lines)
+
+
+def _rows(data: Mapping[str, object]) -> List[Mapping[str, object]]:
+    """Extract the row list (``rows`` or ``estimators``) from one file."""
+    for key in ("rows", "estimators"):
+        rows = data.get(key)
+        if isinstance(rows, list):
+            return [row for row in rows if isinstance(row, Mapping)]
+    raise ConfigurationError(
+        "benchmark JSON has no 'rows' or 'estimators' list; "
+        f"top-level keys: {sorted(data)}"
+    )
+
+
+def _row_key(row: Mapping[str, object], index: int) -> str:
+    """Stable identity for one row, from its identity keys (else its index)."""
+    parts = [f"{key}={row[key]}" for key in IDENTITY_KEYS if key in row]
+    return " ".join(parts) if parts else f"row[{index}]"
+
+
+def _flatten_metrics(
+    row: Mapping[str, object], prefix: str = ""
+) -> Dict[str, float]:
+    """Numeric leaves of one row, identity keys excluded, dicts dotted."""
+    metrics: Dict[str, float] = {}
+    for key, value in row.items():
+        if not prefix and key in IDENTITY_KEYS:
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            metrics[path] = float(value)
+        elif isinstance(value, Mapping):
+            metrics.update(_flatten_metrics(value, prefix=f"{path}."))
+    return metrics
+
+
+def _direction(metric: str) -> str:
+    leaf = metric.rsplit(".", 1)[-1]
+    if leaf in HIGHER_BETTER:
+        return "higher_better"
+    if leaf in LOWER_BETTER:
+        return "lower_better"
+    return "informational"
+
+
+def diff_benchmarks(
+    base: Mapping[str, object],
+    new: Mapping[str, object],
+    threshold_pct: float = 10.0,
+) -> BenchDiff:
+    """Compare two benchmark dicts (see module docstring for the rules).
+
+    Raises :class:`~repro.errors.ConfigurationError` when the files
+    describe different benchmarks or the threshold is not positive.
+    """
+    if threshold_pct <= 0.0:
+        raise ConfigurationError(f"threshold_pct must be > 0, got {threshold_pct}")
+    base_name = str(base.get("benchmark", "?"))
+    new_name = str(new.get("benchmark", "?"))
+    if base_name != new_name:
+        raise ConfigurationError(
+            f"cannot diff different benchmarks: {base_name!r} vs {new_name!r}"
+        )
+
+    base_rows = {_row_key(row, i): row for i, row in enumerate(_rows(base))}
+    new_rows = {_row_key(row, i): row for i, row in enumerate(_rows(new))}
+
+    deltas: List[MetricDelta] = []
+    for key in base_rows:
+        if key not in new_rows:
+            continue
+        base_metrics = _flatten_metrics(base_rows[key])
+        new_metrics = _flatten_metrics(new_rows[key])
+        for metric in sorted(set(base_metrics) & set(new_metrics)):
+            old_value = base_metrics[metric]
+            new_value = new_metrics[metric]
+            direction = _direction(metric)
+            if abs(old_value) < _MIN_BASELINE:
+                change_pct = 0.0 if abs(new_value) < _MIN_BASELINE else float("inf")
+                gated = False  # relative change vs ~0 baseline is noise
+            else:
+                change_pct = (new_value - old_value) / abs(old_value) * 100.0
+                gated = direction != "informational"
+            if direction == "higher_better":
+                regressed = gated and change_pct < -threshold_pct
+            elif direction == "lower_better":
+                regressed = gated and change_pct > threshold_pct
+            else:
+                regressed = False
+            deltas.append(
+                MetricDelta(
+                    row=key,
+                    metric=metric,
+                    base=old_value,
+                    new=new_value,
+                    change_pct=change_pct,
+                    direction=direction,
+                    regression=regressed,
+                )
+            )
+
+    return BenchDiff(
+        benchmark=base_name,
+        deltas=tuple(deltas),
+        unmatched_base=tuple(k for k in base_rows if k not in new_rows),
+        unmatched_new=tuple(k for k in new_rows if k not in base_rows),
+        threshold_pct=threshold_pct,
+    )
+
+
+def diff_files(
+    base_path: Union[str, Path],
+    new_path: Union[str, Path],
+    threshold_pct: float = 10.0,
+) -> BenchDiff:
+    """Load two benchmark JSON files and diff them."""
+    with open(base_path, "r", encoding="utf-8") as stream:
+        base = json.load(stream)
+    with open(new_path, "r", encoding="utf-8") as stream:
+        new = json.load(stream)
+    return diff_benchmarks(base, new, threshold_pct=threshold_pct)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """CLI argument parser for ``spotfi-benchdiff``."""
+    parser = argparse.ArgumentParser(
+        prog="spotfi-benchdiff",
+        description=(
+            "Diff two BENCH_*.json benchmark files and flag metrics that "
+            "moved past a threshold in their bad direction."
+        ),
+    )
+    parser.add_argument("baseline", help="baseline benchmark JSON (the committed file)")
+    parser.add_argument("candidate", help="candidate benchmark JSON (the fresh run)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="relative change (percent) counted as a regression (default 10)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any regression exceeds the threshold",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        diff = diff_files(args.baseline, args.candidate, threshold_pct=args.threshold)
+    except (ConfigurationError, OSError, json.JSONDecodeError) as exc:
+        print(f"spotfi-benchdiff: {exc}", file=sys.stderr)
+        return 2
+    print(diff.render())
+    if args.check and diff.regressions:
+        print(
+            f"spotfi-benchdiff: {len(diff.regressions)} regression(s) beyond "
+            f"{args.threshold:.1f}% — failing --check",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Cluster trace collection: merge per-process span exports into one tree.
+
+Each process in a sharded deployment exports its *own* finished root
+spans to a JSONL file (``router.jsonl``, ``shard0.jsonl``, ...).  A
+shard-side root opened under a remote :class:`~repro.obs.trace.TraceContext`
+carries the router's trace_id and keeps the router span's id in its
+``parent_id`` — information enough to stitch the pieces back together
+after the fact, which is exactly what this module does:
+
+* group every exported root by ``trace_id``;
+* within a trace, re-attach any root whose ``parent_id`` names a span
+  that lives in another process's tree (the shard ``handle.flush`` root
+  becomes a child of the router ``shard.flush`` span);
+* return the stitched top-level roots, renderable by
+  :func:`~repro.obs.trace.format_span_tree` like any local trace.
+
+Stitching is by-id and order-insensitive, so files may be collected in
+any order and a missing file degrades gracefully: unstitchable roots
+stay top-level instead of disappearing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.obs.trace import Span, format_span_tree, load_spans
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def merge_spans(roots: Iterable[Span]) -> List[Span]:
+    """Stitch exported root spans into per-trace trees.
+
+    ``roots`` are finished root spans from any number of processes.
+    Roots sharing a ``trace_id`` are candidates for stitching: when a
+    root's ``parent_id`` resolves to exactly one span somewhere else in
+    the same trace, it is attached as that span's child (children stay
+    sorted by start time).  Returns the remaining top-level roots,
+    sorted by ``(trace_id, start_time_s)`` for stable rendering.
+    """
+    by_trace: Dict[str, List[Span]] = {}
+    for root in roots:
+        by_trace.setdefault(root.trace_id, []).append(root)
+
+    merged: List[Span] = []
+    for trace_id in sorted(by_trace):
+        trace_roots = sorted(by_trace[trace_id], key=lambda s: s.start_time_s)
+        # Index every span id in this trace; ids colliding across
+        # processes (tracers without a service prefix) are ambiguous
+        # and excluded as attachment points.
+        owner: Dict[str, Span] = {}
+        ambiguous = set()
+        for root in trace_roots:
+            for span in root.iter_spans():
+                if span.span_id in owner:
+                    ambiguous.add(span.span_id)
+                else:
+                    owner[span.span_id] = span
+        for span_id in ambiguous:
+            owner.pop(span_id, None)
+
+        top_level: List[Span] = []
+        for root in trace_roots:
+            parent = owner.get(root.parent_id) if root.parent_id else None
+            if parent is not None and parent is not root and root.span_id not in ambiguous:
+                parent.children.append(root)
+                parent.children.sort(key=lambda s: s.start_time_s)
+            else:
+                top_level.append(root)
+        merged.extend(top_level)
+    return merged
+
+
+def merge_trace_files(paths: Sequence[PathLike]) -> List[Span]:
+    """Load several JSONL span exports and stitch them (see :func:`merge_spans`).
+
+    Missing or empty files are skipped — a shard that never sampled a
+    trace simply contributes nothing.
+    """
+    roots: List[Span] = []
+    for path in paths:
+        if Path(path).exists():
+            roots.extend(load_spans(path))
+    return merge_spans(roots)
+
+
+def collect_trace_dir(directory: PathLike) -> List[Span]:
+    """Stitch every ``*.jsonl`` export found under ``directory``."""
+    paths = sorted(Path(directory).glob("*.jsonl"))
+    return merge_trace_files(paths)
+
+
+def format_merged_traces(roots: Sequence[Span]) -> str:
+    """Render stitched traces, one blank-line-separated tree per trace."""
+    blocks = []
+    for root in roots:
+        blocks.append(f"trace {root.trace_id}\n{format_span_tree(root)}")
+    return "\n\n".join(blocks)

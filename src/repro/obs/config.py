@@ -31,11 +31,20 @@ class ObsConfig:
     max_finished_spans:
         Capacity of the tracer's in-memory ring buffer of finished root
         spans.  Oldest spans are discarded first.
+    sample_rate:
+        Head-based sampling rate in ``[0.0, 1.0]``: the fraction of
+        *root* spans that are recorded.  Sampling is decided once when a
+        trace starts (deterministically, by a stratified counter — no
+        RNG) and the decision propagates to every child span and, via
+        :class:`~repro.obs.trace.TraceContext`, across process
+        boundaries.  ``1.0`` records everything (the default); ``0.0``
+        records nothing while keeping the tracer wired up.
     """
 
     capture_artifacts: bool = False
     artifact_max_bins: int = 32
     max_finished_spans: int = 256
+    sample_rate: float = 1.0
 
     def __post_init__(self) -> None:
         if self.artifact_max_bins < 2:
@@ -45,4 +54,8 @@ class ObsConfig:
         if self.max_finished_spans < 1:
             raise ConfigurationError(
                 f"max_finished_spans must be >= 1, got {self.max_finished_spans}"
+            )
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"sample_rate must be within [0.0, 1.0], got {self.sample_rate}"
             )

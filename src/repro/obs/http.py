@@ -1,0 +1,215 @@
+"""Live telemetry over HTTP: ``/metrics``, ``/healthz``, ``/traces``.
+
+:class:`TelemetryServer` is a stdlib-only (``http.server``) exporter
+that makes a running process scrapable while it works, instead of only
+printing an exposition at exit:
+
+* ``GET /metrics`` — Prometheus plain-text exposition (whatever the
+  ``metrics_fn`` callback renders, normally
+  :func:`repro.obs.prometheus.render_prometheus` over a live snapshot).
+* ``GET /healthz`` — JSON health payload from ``health_fn`` (breaker
+  states, buffer depths, shard liveness...).  Replies 200 when the
+  payload's ``"ok"`` key is truthy (or absent), 503 otherwise, so load
+  balancers and chaos tests can gate on the status code alone.
+* ``GET /traces`` — JSON array of recent finished root spans from
+  ``traces_fn`` (normally the tracer's in-memory ring, serialized with
+  :meth:`repro.obs.trace.Span.to_dict`).
+
+The server runs on a daemon thread (``ThreadingHTTPServer``, one
+thread per request) and is attachable to anything that can supply the
+three callbacks — :class:`repro.server.SpotFiServer` and every
+:mod:`repro.dist` shard use it.  Callbacks therefore MUST be
+thread-safe: hand in snapshot-producing closures
+(:class:`~repro.runtime.metrics.RuntimeMetrics` and the tracer ring
+are lock-protected), never methods of single-threaded objects like
+``ShardRouter``.
+
+``port=0`` binds an ephemeral port (read it back from ``.port`` after
+:meth:`start`), which keeps tests and multi-process deployments free
+of port collisions.  Endpoint callback failures are answered with 500
+and counted in ``errors`` rather than killing the serving thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Content type of the Prometheus plain-text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`TelemetryServer`."""
+
+    server: "_TelemetryHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API name
+        """Dispatch ``/metrics``, ``/healthz``, ``/traces``; 404 otherwise."""
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = owner.metrics_fn().encode("utf-8")
+                self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                payload = owner.health_fn() if owner.health_fn is not None else {"ok": True}
+                status = 200 if payload.get("ok", True) else 503
+                self._reply(status, "application/json", _json_bytes(payload))
+            elif path == "/traces":
+                spans = owner.traces_fn() if owner.traces_fn is not None else []
+                self._reply(200, "application/json", _json_bytes(spans))
+            else:
+                self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+        except BrokenPipeError:
+            owner.record_endpoint_error(path)
+        except Exception as exc:
+            owner.record_endpoint_error(path)
+            try:
+                self._reply(
+                    500,
+                    "text/plain; charset=utf-8",
+                    f"telemetry callback failed: {type(exc).__name__}: {exc}\n".encode("utf-8"),
+                )
+            except OSError:
+                pass  # client already gone; the error is counted above
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return json.dumps(payload, separators=(",", ":"), default=str).encode("utf-8")
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning :class:`TelemetryServer`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    owner: "TelemetryServer"
+
+
+class TelemetryServer:
+    """Background HTTP exporter for metrics, health, and recent traces.
+
+    Parameters
+    ----------
+    metrics_fn:
+        Zero-arg callable returning the Prometheus exposition text.
+    health_fn:
+        Optional zero-arg callable returning a JSON-serializable dict;
+        its ``"ok"`` key (default True) selects the 200/503 status.
+    traces_fn:
+        Optional zero-arg callable returning a JSON-serializable list
+        (normally ``[s.to_dict() for s in tracer.finished_spans()]``).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port.
+
+    Use as a context manager or call :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        metrics_fn: Callable[[], str],
+        health_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        traces_fn: Optional[Callable[[], List[Dict[str, Any]]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if port < 0 or port > 65535:
+            raise ConfigurationError(f"port must be in [0, 65535], got {port}")
+        self.metrics_fn = metrics_fn
+        self.health_fn = health_fn
+        self.traces_fn = traces_fn
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[_TelemetryHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        #: Per-path count of endpoint callback failures.
+        self.errors: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryServer":
+        """Bind the socket and launch the serving daemon thread."""
+        if self._httpd is not None:
+            raise ConfigurationError("telemetry server already started")
+        httpd = _TelemetryHTTPServer((self.host, self._requested_port), _TelemetryHandler)
+        httpd.owner = self
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"telemetry-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the serving thread down and close the socket (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = None
+        self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral ``port=0`` after start)."""
+        if self._httpd is not None:
+            return int(self._httpd.server_address[1])
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def record_endpoint_error(self, path: str) -> None:
+        """Count one failed endpoint callback (typed error accounting)."""
+        with self._lock:
+            self.errors[path] = self.errors.get(path, 0) + 1
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TelemetryServer":
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def fetch_json(url: str, timeout_s: float = 10.0) -> Any:
+    """GET ``url`` and decode the JSON body, accepting non-2xx replies.
+
+    ``/healthz`` deliberately answers 503 when unhealthy while still
+    carrying the diagnostic payload; a plain ``urlopen`` would raise
+    and discard it.  This helper reads the body either way, so chaos
+    probes can assert on the payload of a degraded endpoint.
+    """
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            body = response.read()
+    except urllib.error.HTTPError as error:
+        body = error.read()
+    return json.loads(body.decode("utf-8"))

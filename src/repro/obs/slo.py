@@ -1,0 +1,255 @@
+"""Service-level objectives evaluated against live metrics snapshots.
+
+An :class:`SloObjective` declares one promise about the serving plane —
+"fix p99 latency stays under 1 s", "at least 90% of fixes succeed",
+"no more than half the fixes ride the downgrade tier" — in the
+error-budget form SRE practice uses: every objective reduces to an
+*allowed bad-event fraction*, and the tracker measures the *observed*
+bad fraction against it.
+
+* ``kind="latency"`` objectives read a stage's duration histogram
+  (Prometheus ``le`` buckets from :class:`repro.obs.histogram.Histogram`)
+  and count batches slower than ``threshold_s`` as bad.  A
+  "p99 <= 1 s" promise is exactly "at most 1% of batches exceed 1 s",
+  so ``allowed_fraction = 1 - quantile``.
+* ``kind="ratio"`` objectives read counters: bad events over total
+  events (``fix.failed`` over ``fix.ok + fix.failed`` for success
+  rate, ``fix.downgraded`` over all fixes for downgrade rate).
+
+Each evaluation reports the observed bad fraction, the **burn rate**
+(observed / allowed — 1.0 means the budget is being consumed exactly
+as provisioned, >1 means the objective is being violated), and the
+remaining error budget.  :meth:`SloTracker.evaluate` returns a plain
+``{"objective": {...}}`` dict that drops into a metrics snapshot's
+``slo`` section, which :func:`repro.obs.prometheus.render_prometheus`
+renders as ``repro_slo_*`` gauges — so the HTTP ``/metrics`` endpoint
+exposes live compliance without any extra plumbing.
+
+Everything here is pure snapshot arithmetic: no clocks, no state, no
+background threads, deterministic for a given snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective.
+
+    Attributes
+    ----------
+    name:
+        Objective identity; becomes the ``objective`` label on the
+        ``repro_slo_*`` gauge families.
+    kind:
+        ``"latency"`` (histogram-driven) or ``"ratio"`` (counter-driven).
+    allowed_fraction:
+        The error budget: the bad-event fraction the objective
+        tolerates.  Must be in ``(0, 1]`` — a zero budget makes burn
+        rate undefined; demand perfection with a tiny budget instead.
+    stage:
+        Latency objectives: the stage timing to read (``"fix"``).
+    threshold_s:
+        Latency objectives: batches slower than this are bad events.
+    bad_counters:
+        Ratio objectives: counters summed into the bad-event count.
+    total_counters:
+        Ratio objectives: counters summed into the total-event count
+        (should include the bad counters).
+    """
+
+    name: str
+    kind: str
+    allowed_fraction: float
+    stage: str = ""
+    threshold_s: float = 0.0
+    bad_counters: Tuple[str, ...] = ()
+    total_counters: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "ratio"):
+            raise ConfigurationError(
+                f"SLO kind must be 'latency' or 'ratio', got {self.kind!r}"
+            )
+        if not 0.0 < self.allowed_fraction <= 1.0:
+            raise ConfigurationError(
+                f"allowed_fraction must be in (0, 1], got {self.allowed_fraction}"
+            )
+        if self.kind == "latency" and (not self.stage or self.threshold_s <= 0.0):
+            raise ConfigurationError(
+                "latency objectives need a stage and a positive threshold_s"
+            )
+        if self.kind == "ratio" and (not self.bad_counters or not self.total_counters):
+            raise ConfigurationError(
+                "ratio objectives need bad_counters and total_counters"
+            )
+
+
+def latency_objective(
+    name: str, stage: str, threshold_s: float, quantile: float = 0.99
+) -> SloObjective:
+    """Promise ``stage``'s ``quantile`` duration stays <= ``threshold_s``."""
+    if not 0.0 < quantile < 1.0:
+        raise ConfigurationError(f"quantile must be in (0, 1), got {quantile}")
+    return SloObjective(
+        name=name,
+        kind="latency",
+        stage=stage,
+        threshold_s=threshold_s,
+        allowed_fraction=1.0 - quantile,
+    )
+
+
+def success_rate_objective(
+    name: str,
+    target: float,
+    bad_counters: Sequence[str] = ("fix.failed",),
+    total_counters: Sequence[str] = ("fix.ok", "fix.failed"),
+) -> SloObjective:
+    """Promise at least ``target`` of events succeed (e.g. 0.9 = 90%)."""
+    if not 0.0 < target < 1.0:
+        raise ConfigurationError(f"target must be in (0, 1), got {target}")
+    return SloObjective(
+        name=name,
+        kind="ratio",
+        allowed_fraction=1.0 - target,
+        bad_counters=tuple(bad_counters),
+        total_counters=tuple(total_counters),
+    )
+
+
+def rate_objective(
+    name: str,
+    max_fraction: float,
+    bad_counters: Sequence[str],
+    total_counters: Sequence[str],
+) -> SloObjective:
+    """Promise ``bad_counters`` stay under ``max_fraction`` of the total."""
+    return SloObjective(
+        name=name,
+        kind="ratio",
+        allowed_fraction=max_fraction,
+        bad_counters=tuple(bad_counters),
+        total_counters=tuple(total_counters),
+    )
+
+
+def _latency_bad_fraction(
+    objective: SloObjective, timings: Mapping[str, Mapping[str, object]]
+) -> Tuple[float, int]:
+    """(bad fraction, total batches) for a latency objective.
+
+    Uses the histogram's ``le`` buckets: an observation is provably
+    within threshold when its bucket's upper bound is <= threshold, so
+    the bad count is total minus those — conservative by at most one
+    bucket's width (log-spaced, ~1.6x).
+    """
+    timing = timings.get(objective.stage)
+    if not timing:
+        return 0.0, 0
+    hist = timing.get("histogram")
+    if not isinstance(hist, Mapping):
+        return 0.0, 0
+    bounds = [float(b) for b in hist.get("bounds", [])]  # type: ignore[union-attr]
+    counts = [int(c) for c in hist.get("counts", [])]  # type: ignore[union-attr]
+    total = sum(counts) + int(hist.get("overflow", 0))  # type: ignore[union-attr, call-overload]
+    if total == 0:
+        return 0.0, 0
+    within = sum(
+        count for bound, count in zip(bounds, counts) if bound <= objective.threshold_s
+    )
+    return (total - within) / total, total
+
+
+def _ratio_bad_fraction(
+    objective: SloObjective, counters: Mapping[str, int]
+) -> Tuple[float, int]:
+    """(bad fraction, total events) for a ratio objective."""
+    bad = sum(int(counters.get(name, 0)) for name in objective.bad_counters)
+    total = sum(int(counters.get(name, 0)) for name in objective.total_counters)
+    if total == 0:
+        return 0.0, 0
+    return bad / total, total
+
+
+class SloTracker:
+    """Evaluates a set of objectives against metrics snapshots.
+
+    Stateless between calls: every :meth:`evaluate` reads one snapshot
+    and returns one verdict per objective, so the tracker can be shared
+    by the HTTP endpoint, the CLI, and tests without synchronization.
+    """
+
+    def __init__(self, objectives: Sequence[SloObjective] = ()) -> None:
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate SLO objective names: {names}")
+        self.objectives = tuple(objectives)
+
+    @classmethod
+    def default_objectives(
+        cls,
+        fix_p99_s: float = 2.0,
+        min_success_rate: float = 0.9,
+        max_downgrade_fraction: float = 0.5,
+    ) -> "SloTracker":
+        """The serving plane's stock promises.
+
+        * ``fix-latency-p99`` — 99% of fix computations finish within
+          ``fix_p99_s`` seconds (default 2 s: ~3x the measured 1-shard
+          fix p50 of ~0.33 s, room for the 2-shard ~0.65 s p50).
+        * ``fix-success`` — at least ``min_success_rate`` of attempted
+          fixes produce a location (the chaos gate's 90% contract).
+        * ``fix-downgrade`` — at most ``max_downgrade_fraction`` of
+          fixes are served on a downgraded estimator tier.
+        """
+        return cls(
+            (
+                latency_objective("fix-latency-p99", "fix", fix_p99_s, quantile=0.99),
+                success_rate_objective("fix-success", min_success_rate),
+                rate_objective(
+                    "fix-downgrade",
+                    max_downgrade_fraction,
+                    bad_counters=("fix.downgraded",),
+                    total_counters=("fix.ok", "fix.failed"),
+                ),
+            )
+        )
+
+    def evaluate(self, snapshot: Mapping[str, object]) -> Dict[str, Dict[str, object]]:
+        """Evaluate every objective against one metrics snapshot.
+
+        Returns ``{objective_name: {ok, bad_fraction, allowed_fraction,
+        burn_rate, budget_remaining, events}}`` — the shape
+        :func:`~repro.obs.prometheus.render_prometheus` renders from a
+        snapshot's ``slo`` section.  An objective with zero observed
+        events is vacuously compliant (burn rate 0).
+        """
+        counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+        timings: Mapping[str, Mapping[str, object]] = snapshot.get("timings", {})  # type: ignore[assignment]
+        verdicts: Dict[str, Dict[str, object]] = {}
+        for objective in self.objectives:
+            if objective.kind == "latency":
+                bad_fraction, events = _latency_bad_fraction(objective, timings)
+            else:
+                bad_fraction, events = _ratio_bad_fraction(objective, counters)
+            burn_rate = bad_fraction / objective.allowed_fraction
+            verdicts[objective.name] = {
+                "ok": bad_fraction <= objective.allowed_fraction,
+                "bad_fraction": bad_fraction,
+                "allowed_fraction": objective.allowed_fraction,
+                "burn_rate": burn_rate,
+                "budget_remaining": max(0.0, 1.0 - burn_rate),
+                "events": events,
+            }
+        return verdicts
+
+    def attach(self, snapshot: Dict[str, object]) -> Dict[str, object]:
+        """Return ``snapshot`` with its ``slo`` section filled in."""
+        snapshot["slo"] = self.evaluate(snapshot)
+        return snapshot

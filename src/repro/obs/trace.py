@@ -1,4 +1,4 @@
-"""Hierarchical tracing: spans, exporters, and the no-op fast path.
+"""Hierarchical tracing: spans, exporters, sampling, and propagation.
 
 A :class:`Tracer` produces one :class:`Span` tree per top-level
 operation — for SpotFi, ``locate > ap[k] > sanitize|smooth|music|cluster
@@ -14,6 +14,22 @@ do nothing, so instrumented code paths cost a single attribute lookup
 when tracing is off.  ``benchmarks/bench_obs_overhead.py`` asserts that
 this stays below the regression budget.
 
+Two features make traces usable across a sharded cluster:
+
+* **Head-based sampling** — ``ObsConfig(sample_rate=)`` keeps that
+  fraction of root spans.  The decision is made once, when the root
+  opens, by a stratified counter (root *i* is kept iff
+  ``floor(i * rate)`` advances — no RNG, so replays sample the same
+  roots), and applies to the whole tree: children of an unsampled root
+  are discarded without becoming accidental new roots.
+* **Trace-context propagation** — :meth:`Tracer.current_context`
+  captures the innermost open span as a :class:`TraceContext`
+  (trace_id, parent span_id, sampled flag) that travels over the
+  :mod:`repro.dist` wire protocol; :meth:`Tracer.span` accepts it via
+  ``trace_context=`` so a shard-side root adopts the router's trace_id
+  and parent.  Give each process a distinct ``service`` name
+  (``Tracer(service="shard0")``) and span ids become cluster-unique.
+
 Span identity is deterministic (a per-tracer counter, no RNG, no
 global clock dependency beyond ``time.time`` for the start stamp), so
 replaying a dataset produces byte-comparable traces modulo timing.
@@ -22,6 +38,7 @@ replaying a dataset produces byte-comparable traces modulo timing.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 import time
@@ -43,11 +60,15 @@ class Span:
     name:
         Operation name (``locate``, ``ap[0]``, ``music``...).
     span_id:
-        Identifier unique within the tracer (``s1``, ``s2``...).
+        Identifier unique within the tracer (``s1``, ``s2``..., or
+        ``shard0-s1``... when the tracer has a ``service`` name).
     parent_id:
-        Enclosing span's id, or None for a root span.
+        Enclosing span's id, or None for a root span.  A root opened
+        with a remote :class:`TraceContext` keeps the remote span's id
+        here, so the collector can stitch trees across processes.
     trace_id:
-        Root span's id, shared by the whole tree.
+        Root span's id, shared by the whole tree (and, under
+        propagation, by every tree in the distributed trace).
     start_time_s:
         Wall-clock start (``time.time`` epoch seconds).
     duration_s:
@@ -90,6 +111,11 @@ class Span:
         """Every span in the tree (including self) with the given name."""
         return [s for s in self.iter_spans() if s.name == name]
 
+    @property
+    def end_time_s(self) -> float:
+        """Wall-clock end estimate: start plus the measured duration."""
+        return self.start_time_s + self.duration_s
+
     # -- serialization -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form; inverse of :func:`span_from_dict`."""
@@ -121,6 +147,55 @@ def span_from_dict(data: Dict[str, Any]) -> Span:
     )
 
 
+def clamp_span_tree(span: Span) -> Span:
+    """Clamp every descendant to its parent's ``[start, end]`` window.
+
+    ``start_time_s`` comes from ``time.time`` while ``duration_s`` is
+    ``time.perf_counter``-based, so under wall-clock adjustment (NTP
+    step, VM resume) a child's reconstructed interval can poke outside
+    its parent's.  Consumers that sort or plot by timestamp then see
+    impossible trees, so exporters and the finished-span ring clamp at
+    export time: a child's start is raised to its parent's start and
+    its end lowered to its parent's end (duration floors at zero).
+    Mutates ``span`` in place and returns it.
+    """
+    for child in span.children:
+        start = max(child.start_time_s, span.start_time_s)
+        end = min(child.end_time_s, span.end_time_s)
+        child.start_time_s = start
+        child.duration_s = max(0.0, end - start)
+        clamp_span_tree(child)
+    return span
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Portable trace coordinates: what crosses a process boundary.
+
+    ``sampled=False`` contexts deliberately carry empty ids — the
+    decision *not* to record still has to propagate, otherwise a
+    downstream tracer would start a fresh (sampled) trace for work the
+    head already voted to drop.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form for the wire's JSON control plane."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id, "sampled": self.sampled}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceContext":
+        """Tolerant inverse of :meth:`to_dict` (unknown keys ignored)."""
+        return cls(
+            trace_id=str(data.get("trace_id", "")),
+            span_id=str(data.get("span_id", "")),
+            sampled=bool(data.get("sampled", True)),
+        )
+
+
 class SpanExporter:
     """Interface: receives every finished *root* span."""
 
@@ -141,8 +216,8 @@ class JsonlSpanExporter(SpanExporter):
 
     def __init__(self, path_or_stream: Union[str, "os.PathLike[str]", IO[str]]) -> None:
         if hasattr(path_or_stream, "write"):
-            self._stream: Optional[IO[str]] = path_or_stream
-            self._path = None
+            self._stream: Optional[IO[str]] = path_or_stream  # type: ignore[assignment]
+            self._path: Optional[str] = None
             self._owns_stream = False
         else:
             self._stream = None
@@ -152,6 +227,7 @@ class JsonlSpanExporter(SpanExporter):
     def export(self, span: Span) -> None:
         """Append ``span`` (with its whole subtree) as one JSONL record."""
         if self._stream is None:
+            assert self._path is not None
             self._stream = open(self._path, "a", encoding="utf-8")
         json.dump(span.to_dict(), self._stream, separators=(",", ":"))
         self._stream.write("\n")
@@ -179,6 +255,9 @@ class _ActiveSpan:
     """Context-manager handle for one live span of a real tracer."""
 
     __slots__ = ("_tracer", "span")
+
+    #: This handle records: attributes and children are kept.
+    recording = True
 
     def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
@@ -212,6 +291,9 @@ class _NoopSpan:
 
     __slots__ = ()
 
+    #: Nothing is recorded; call sites may skip attribute building.
+    recording = False
+
     def set(self, key: str, value: Any) -> None:
         """Discard the attribute (tracing is off)."""
 
@@ -233,6 +315,44 @@ class _NoopSpan:
 _NOOP_SPAN = _NoopSpan()
 
 
+class _UnsampledSpan:
+    """Handle for a span inside a sampled-out trace.
+
+    Behaves like :class:`_NoopSpan` (nothing recorded) but keeps the
+    tracer's per-thread unsampled depth balanced, so nested ``span()``
+    calls under an unsampled root are also discarded instead of opening
+    fresh roots, and sampling resumes once the tree unwinds.
+    """
+
+    __slots__ = ("_tracer",)
+
+    recording = False
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def set(self, key: str, value: Any) -> None:
+        """Discard the attribute (this trace was sampled out)."""
+
+    def set_many(self, **attributes: Any) -> None:
+        """Discard the attributes (this trace was sampled out)."""
+
+    def __enter__(self) -> "_UnsampledSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._tracer._exit_unsampled()
+
+
+#: Union of every handle ``Tracer.span`` may return.
+SpanHandle = Union[_ActiveSpan, _UnsampledSpan, _NoopSpan]
+
+
 class Tracer:
     """Produces hierarchical spans with an in-memory ring of finished roots.
 
@@ -243,10 +363,15 @@ class Tracer:
     Parameters
     ----------
     config:
-        :class:`~repro.obs.config.ObsConfig`; controls the ring size and
-        whether the pipeline captures stage artifacts.
+        :class:`~repro.obs.config.ObsConfig`; controls the ring size,
+        the head sampling rate, and whether the pipeline captures stage
+        artifacts.
     exporters:
         :class:`SpanExporter` instances receiving every finished root.
+    service:
+        Optional process identity prefixed onto span ids
+        (``shard0-s1``) so traces merged from several processes never
+        collide.  Empty (the default) keeps the compact ``s1`` ids.
     """
 
     enabled = True
@@ -255,32 +380,64 @@ class Tracer:
         self,
         config: Optional[ObsConfig] = None,
         exporters: Sequence[SpanExporter] = (),
+        service: str = "",
     ) -> None:
         self.config = config or ObsConfig()
         self.exporters = list(exporters)
+        self.service = service
         self._lock = threading.Lock()
         self._local = threading.local()
         self._finished: "deque[Span]" = deque(maxlen=self.config.max_finished_spans)
         self._next_id = 0
+        self._root_count = 0
 
     # ------------------------------------------------------------------
-    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+    def span(
+        self,
+        name: str,
+        trace_context: Optional[TraceContext] = None,
+        **attributes: Any,
+    ) -> SpanHandle:
         """Open a span; use as a context manager.
 
         The span nests under the innermost span currently open on this
         thread; closing it appends it to its parent (or, for a root, to
-        the ring buffer and every exporter).
+        the ring buffer and every exporter).  A root opened while the
+        head sampler votes "drop" returns an inert handle instead —
+        check ``.recording`` to skip expensive attribute capture.
+
+        ``trace_context`` (roots only; ignored when a parent span is
+        open) adopts a remote trace: the new root joins the context's
+        trace_id under its span_id, and inherits its sampling decision.
         """
+        if self._unsampled_depth() > 0:
+            self._enter_unsampled()
+            return _UnsampledSpan(self)
         stack = self._stack()
         parent = stack[-1] if stack else None
+        if parent is None and not self._sample_root(trace_context):
+            self._enter_unsampled()
+            return _UnsampledSpan(self)
+        remote = trace_context if parent is None else None
+        if remote is not None and not remote.trace_id:
+            remote = None
         with self._lock:
             self._next_id += 1
-            span_id = f"s{self._next_id}"
+            span_id = f"{self.service}-s{self._next_id}" if self.service else f"s{self._next_id}"
+        if parent is not None:
+            parent_id: Optional[str] = parent.span_id
+            trace_id = parent.trace_id
+        elif remote is not None:
+            parent_id = remote.span_id or None
+            trace_id = remote.trace_id
+        else:
+            parent_id = None
+            trace_id = span_id
         span = Span(
             name=name,
             span_id=span_id,
-            parent_id=parent.span_id if parent is not None else None,
-            trace_id=parent.trace_id if parent is not None else span_id,
+            parent_id=parent_id,
+            trace_id=trace_id,
             start_time_s=time.time(),
             attributes=dict(attributes),
         )
@@ -288,6 +445,62 @@ class Tracer:
         stack.append(span)
         return _ActiveSpan(self, span)
 
+    @property
+    def recording(self) -> bool:
+        """Would work done now on this thread be captured?
+
+        False only while the thread is inside a sampled-out trace.
+        Instrumented hot paths use this (and the matching attribute on
+        span handles) to skip diagnostic-only work — e.g. the pipeline
+        falls back to the fast executor fan-out for unsampled fixes.
+        """
+        return self._unsampled_depth() == 0
+
+    def current_context(self) -> Optional[TraceContext]:
+        """Trace coordinates of this thread's innermost open span.
+
+        Returns a ``sampled=False`` context (empty ids) when the thread
+        is inside a sampled-out trace — callers should still propagate
+        it so downstream tracers honor the head's decision — and None
+        when no span is open at all.
+        """
+        if self._unsampled_depth() > 0:
+            return TraceContext(trace_id="", span_id="", sampled=False)
+        stack = self._stack()
+        if not stack:
+            return None
+        top = stack[-1]
+        return TraceContext(trace_id=top.trace_id, span_id=top.span_id, sampled=True)
+
+    # -- sampling ------------------------------------------------------
+    def _sample_root(self, trace_context: Optional[TraceContext]) -> bool:
+        """Head decision for a new root: remote verdict, else the counter."""
+        if trace_context is not None:
+            return trace_context.sampled
+        rate = self.config.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            self._root_count += 1
+            count = self._root_count
+        # Stratified counter sampling: keep root i iff floor(i * rate)
+        # advanced past floor((i - 1) * rate).  Deterministic (replays
+        # sample identical roots) and evenly spread — exactly
+        # round(n * rate) of the first n roots are kept.
+        return math.floor(count * rate) > math.floor((count - 1) * rate)
+
+    def _unsampled_depth(self) -> int:
+        return int(getattr(self._local, "unsampled_depth", 0))
+
+    def _enter_unsampled(self) -> None:
+        self._local.unsampled_depth = self._unsampled_depth() + 1
+
+    def _exit_unsampled(self) -> None:
+        self._local.unsampled_depth = max(0, self._unsampled_depth() - 1)
+
+    # ------------------------------------------------------------------
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
@@ -307,6 +520,7 @@ class Tracer:
         if stack:
             stack[-1].children.append(span)
             return
+        clamp_span_tree(span)
         with self._lock:
             self._finished.append(span)
             exporters = list(self.exporters)
@@ -340,10 +554,21 @@ class NoopTracer:
 
     enabled = False
     config = ObsConfig()
+    service = ""
+    recording = False
 
-    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+    def span(
+        self,
+        name: str,
+        trace_context: Optional[TraceContext] = None,
+        **attributes: Any,
+    ) -> _NoopSpan:
         """Return the shared no-op span handle."""
         return _NOOP_SPAN
+
+    def current_context(self) -> Optional[TraceContext]:
+        """No spans, no context."""
+        return None
 
     def finished_spans(self) -> List[Span]:
         """Always empty: nothing is recorded."""

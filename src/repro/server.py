@@ -33,7 +33,9 @@ from repro.faults.breaker import BREAKER_STATES, CircuitBreaker
 from repro.faults.injector import FaultInjector
 from repro.faults.validator import FrameValidator
 from repro.geom.points import Point
+from repro.obs.http import TelemetryServer
 from repro.obs.prometheus import render_prometheus
+from repro.obs.slo import SloTracker
 from repro.runtime.cache import default_steering_cache
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.queues import OVERFLOW_POLICIES, PacketBuffer
@@ -141,6 +143,11 @@ class SpotFiServer:
         is served on this cheaper tier instead, keeping every vantage
         point.  A fix that fails with a localization error is also
         retried once on this tier.  Empty keeps the shedding behaviour.
+    slo_tracker:
+        Optional :class:`~repro.obs.slo.SloTracker`; when set, every
+        :meth:`metrics_snapshot` carries an ``slo`` section with the
+        objectives evaluated against the live counters/histograms,
+        rendered as ``repro_slo_*`` gauges in the exposition.
     """
 
     spotfi: SpotFi
@@ -158,6 +165,7 @@ class SpotFiServer:
     breaker_recovery_s: float = 10.0
     estimator: str = ""
     downgrade_tier: str = ""
+    slo_tracker: Optional[SloTracker] = None
 
     def __post_init__(self) -> None:
         if not self.aps:
@@ -568,13 +576,60 @@ class SpotFiServer:
         snapshot["cache"] = default_steering_cache().stats()
         if self._breakers:
             snapshot["breakers"] = self.breaker_states()
+        if self.slo_tracker is not None:
+            snapshot["slo"] = self.slo_tracker.evaluate(snapshot)
         return snapshot
 
     def metrics_exposition(self) -> str:
         """Prometheus-style plain-text exposition of the full snapshot.
 
-        This is the payload a ``/metrics`` endpoint would serve; the
-        ``repro serve`` CLI prints it on exit and
-        :func:`repro.obs.render_prometheus` documents the format.
+        This is the payload the ``/metrics`` endpoint serves (see
+        :meth:`start_telemetry`); the ``repro serve`` CLI prints it on
+        exit and :func:`repro.obs.render_prometheus` documents the
+        format.
         """
         return render_prometheus(self.metrics_snapshot())
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """Liveness/degradation view for the ``/healthz`` endpoint.
+
+        ``ok`` reports liveness (a responding server is alive, even
+        when degraded); the rest is the degradation detail chaos tests
+        and operators key on: per-AP breaker states and how many are
+        not closed, per-source buffered packet depths, and how many fix
+        events have been emitted.
+        """
+        breakers = self.breaker_states()
+        buffered: Dict[str, int] = {}
+        for (source, _ap_id), buffer in list(self._buffers.items()):
+            buffered[source] = buffered.get(source, 0) + len(buffer)
+        return {
+            "ok": True,
+            "breakers": breakers,
+            "breakers_open": sum(1 for state in breakers.values() if state != "closed"),
+            "buffered_packets": buffered,
+            "sources": self.sources(),
+            "fix_events": sum(len(events) for events in self._events.values()),
+        }
+
+    def start_telemetry(self, port: int = 0, host: str = "127.0.0.1") -> TelemetryServer:
+        """Attach a live HTTP telemetry endpoint to this server.
+
+        Serves ``/metrics`` (the exposition), ``/healthz``
+        (:meth:`health_snapshot`), and ``/traces`` (the tracer's
+        finished-span ring) from a daemon thread; ``port=0`` binds an
+        ephemeral port.  The caller owns the returned
+        :class:`~repro.obs.http.TelemetryServer` and must ``stop()`` it.
+        """
+
+        def _traces() -> List[Dict[str, object]]:
+            return [span.to_dict() for span in self.spotfi.tracer.finished_spans()]
+
+        telemetry = TelemetryServer(
+            metrics_fn=self.metrics_exposition,
+            health_fn=self.health_snapshot,
+            traces_fn=_traces,
+            host=host,
+            port=port,
+        )
+        return telemetry.start()

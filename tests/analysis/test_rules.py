@@ -1,4 +1,4 @@
-"""Firing and non-firing fixtures for every AST lint rule (REP001–REP007)."""
+"""Firing and non-firing fixtures for every AST lint rule (REP001–REP007, REP010)."""
 
 from __future__ import annotations
 
@@ -301,6 +301,103 @@ class TestRep007DunderAll:
             """,
             tmp_path,
             filename="pkg/helpers.py",
+        )
+        assert findings == []
+
+
+class TestRep010NonCanonicalStage:
+    def test_fires_on_typo_span_literal(self, tmp_path):
+        findings = lint_source(
+            """
+            def locate(self):
+                with self.tracer.span("sanitise"):
+                    pass
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP010"]
+        assert "'sanitise'" in findings[0].message
+
+    def test_does_not_fire_on_canonical_names(self, tmp_path):
+        findings = lint_source(
+            """
+            def locate(self, tracer):
+                with tracer.span("locate"):
+                    with tracer.span("music"):
+                        pass
+                with tracer.span("shard.flush"):
+                    pass
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_registered_pattern_names_allowed(self, tmp_path):
+        # ap[k] is an indexed family registered via STAGE_PATTERNS.
+        findings = lint_source(
+            """
+            def fan_out(self):
+                with self.tracer.span("ap[3]"):
+                    pass
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_dynamic_names_are_not_flagged(self, tmp_path):
+        findings = lint_source(
+            """
+            def fan_out(self, tracer, i):
+                name = "whatever"
+                with tracer.span(name):
+                    pass
+                with tracer.span(f"ap[{i}]"):
+                    pass
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_non_tracer_receivers_are_not_flagged(self, tmp_path):
+        # Other libraries' .span() calls are none of our business.
+        findings = lint_source(
+            """
+            def draw(canvas):
+                canvas.span("totally-made-up")
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_tracer_suffixed_receivers_are_checked(self, tmp_path):
+        findings = lint_source(
+            """
+            def flush(router_tracer):
+                with router_tracer.span("definitely-wrong"):
+                    pass
+            """,
+            tmp_path,
+        )
+        assert rule_ids(findings) == ["REP010"]
+
+    def test_keyword_only_call_is_not_flagged(self, tmp_path):
+        findings = lint_source(
+            """
+            def weird(tracer):
+                tracer.span(name="not-checked")
+            """,
+            tmp_path,
+        )
+        assert findings == []
+
+    def test_noqa_suppresses_rep010(self, tmp_path):
+        findings = lint_source(
+            """
+            def experiment(tracer):
+                with tracer.span("scratch-stage"):  # repro: noqa REP010
+                    pass
+            """,
+            tmp_path,
         )
         assert findings == []
 

@@ -22,14 +22,18 @@ from repro.dist.protocol import (
     decode_header,
     decode_json,
     decode_message,
+    decode_traced_ingest,
     encode_fixes,
     encode_frames,
     encode_json,
     encode_message,
+    encode_trace_context,
+    encode_traced_ingest,
     parse_bind,
     recv_message,
     send_message,
 )
+from repro.obs import TraceContext
 from repro.errors import TraceFormatError, ValidationError
 from repro.wifi.csi import CsiFrame
 
@@ -155,6 +159,71 @@ class TestFrameBatches:
     def test_garbage_is_format_error(self):
         with pytest.raises(TraceFormatError):
             decode_frames(b"\xff" * 3)
+
+
+class TestTracedIngest:
+    def test_round_trip_preserves_context_and_batch(self):
+        entries = [("ap0", make_frame("t0", 1)), ("ap1", make_frame("t1", 2))]
+        context = TraceContext(trace_id="router-s3", span_id="router-s4")
+        payload = encode_traced_ingest(entries, context)
+        decoded_context, decoded = decode_traced_ingest(payload)
+        assert decoded_context == context
+        assert [ap for ap, _ in decoded] == ["ap0", "ap1"]
+        for (_, sent), (_, received) in zip(entries, decoded):
+            np.testing.assert_allclose(received.csi, sent.csi)
+            assert received.source == sent.source
+
+    def test_suffix_is_byte_identical_to_plain_ingest(self):
+        # The shard decodes the batch with the same code path either
+        # way; the traced payload is strictly prefix + INGEST bytes.
+        entries = [("ap0", make_frame())]
+        context = TraceContext(trace_id="t", span_id="s")
+        traced = encode_traced_ingest(entries, context)
+        assert traced.endswith(encode_frames(entries))
+        assert traced[len(encode_trace_context(context)) :] == encode_frames(entries)
+
+    def test_unsampled_context_round_trips(self):
+        context = TraceContext(trace_id="", span_id="", sampled=False)
+        decoded_context, decoded = decode_traced_ingest(
+            encode_traced_ingest([("ap0", make_frame())], context)
+        )
+        assert decoded_context.sampled is False
+        assert len(decoded) == 1
+
+    def test_payload_shorter_than_prefix_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_traced_ingest(b"\x01")
+
+    def test_truncated_context_rejected(self):
+        payload = encode_traced_ingest(
+            [("ap0", make_frame())], TraceContext("trace", "span")
+        )
+        with pytest.raises(TraceFormatError):
+            decode_traced_ingest(payload[:10])
+
+    def test_non_json_context_rejected(self):
+        bad = struct.pack(">H", 4) + b"\xff\xfe\xfd\xfc" + encode_frames([])
+        with pytest.raises(TraceFormatError):
+            decode_traced_ingest(bad)
+
+    def test_non_object_context_rejected(self):
+        blob = b"[1,2]"
+        bad = struct.pack(">H", len(blob)) + blob + encode_frames([])
+        with pytest.raises(TraceFormatError):
+            decode_traced_ingest(bad)
+
+    def test_oversized_context_rejected_at_encode(self):
+        huge = TraceContext(trace_id="t" * 70000, span_id="s")
+        with pytest.raises(ValidationError):
+            encode_trace_context(huge)
+
+    def test_unknown_context_keys_tolerated(self):
+        # Forward compatibility: a newer router may add fields.
+        blob = b'{"trace_id":"t","span_id":"s","baggage":"x"}'
+        payload = struct.pack(">H", len(blob)) + blob + encode_frames([])
+        context, batch = decode_traced_ingest(payload)
+        assert context == TraceContext(trace_id="t", span_id="s")
+        assert batch == []
 
 
 class TestFixesAndJson:

@@ -1,0 +1,59 @@
+"""Shard-kill chaos drill observed through the cluster ``/healthz`` endpoint.
+
+Spawns real subprocess shards (the same path as the CI smoke step) and
+asserts what an external health checker scraping the cluster telemetry
+endpoint would see: every shard alive before the kill, a degraded-but-ok
+cluster immediately after.
+"""
+
+import pytest
+
+from repro.dist.chaos import run_shard_kill
+
+
+@pytest.fixture(scope="module")
+def drill():
+    payloads = []
+    report = run_shard_kill(
+        num_shards=2, bursts=2, packets_per_fix=6, seed=7, probe=payloads.append
+    )
+    return report, payloads
+
+
+class TestShardKillProbe:
+    def test_probe_fires_before_and_after_the_kill(self, drill):
+        _, payloads = drill
+        assert len(payloads) == 2
+
+    def test_all_alive_before_kill(self, drill):
+        _, payloads = drill
+        before = payloads[0]
+        assert before["ok"] is True
+        assert before["degraded"] is False
+        assert before["alive_shards"] == before["total_shards"] == 2
+        assert all(entry["alive"] for entry in before["shards"].values())
+
+    def test_degraded_but_ok_right_after_kill(self, drill):
+        report, payloads = drill
+        after = payloads[1]
+        assert after["ok"] is True  # one survivor keeps the cluster up
+        assert after["degraded"] is True
+        assert after["alive_shards"] == 1 and after["total_shards"] == 2
+        dead = [
+            shard_id
+            for shard_id, entry in after["shards"].items()
+            if not entry["alive"]
+        ]
+        assert len(dead) == 1
+        assert report.injected.get("killed_shards") == 1
+
+    def test_shard_entries_carry_reconnect_coordinates(self, drill):
+        _, payloads = drill
+        for entry in payloads[0]["shards"].values():
+            assert entry["spec"]  # bind spec a client could redial
+            assert entry["pid"] > 0
+
+    def test_drill_still_meets_the_availability_gate(self, drill):
+        report, _ = drill
+        assert report.scenario == "shard-kill"
+        assert report.success_rate >= 0.9

@@ -1,0 +1,179 @@
+"""End-to-end cluster telemetry: traces and health across real processes.
+
+One module-scoped drill spins up a 2-shard cluster with tracing on
+(``sample_rate=1.0``), streams enough packets for fixes, scrapes the
+cluster and per-shard HTTP endpoints while everything is live, then
+merges the per-process JSONL exports.  The tests assert the PR's core
+contract: one trace_id stitches router spans to per-shard ``locate``
+subtrees, renderable as a single tree.
+"""
+
+import os
+import socket
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.dist.rollup import cluster_health, start_cluster_telemetry
+from repro.dist.router import ShardRouter
+from repro.dist.shard import ShardConfig, start_shards
+from repro.obs import (
+    JsonlSpanExporter,
+    ObsConfig,
+    Tracer,
+    collect_trace_dir,
+    fetch_json,
+    format_span_tree,
+)
+from repro.testbed.layout import small_testbed
+from repro.wifi.csi import CsiFrame
+
+PACKETS = 6
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture(scope="module")
+def drill(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cluster")
+    trace_dir = str(tmp / "traces")
+    tb = small_testbed()
+    sim = tb.simulator()
+    rng = np.random.default_rng(7)
+    traces = [
+        sim.generate_trace(tb.targets[0].position, ap, PACKETS, rng=rng, source="t0")
+        for ap in tb.aps
+    ]
+
+    config = ShardConfig(
+        shard_id="template",
+        testbed="small",
+        packets_per_fix=PACKETS,
+        min_aps=2,
+        trace_dir=trace_dir,
+        sample_rate=1.0,
+    )
+    http_base = _free_port()
+    shards = start_shards(2, config, str(tmp), http_base_port=http_base)
+    specs = {shard_id: proc.spec for shard_id, proc in shards.items()}
+    router_tracer = Tracer(
+        ObsConfig(sample_rate=1.0),
+        exporters=[JsonlSpanExporter(os.path.join(trace_dir, "router.jsonl"))],
+        service="router",
+    )
+    router = ShardRouter(specs, batch_max_frames=len(tb.aps), tracer=router_tracer)
+    telemetry = start_cluster_telemetry(
+        specs, router_metrics=router.metrics, trace_dir=trace_dir
+    )
+    live = {}
+    try:
+        for k in range(PACKETS):
+            for i, trace in enumerate(traces):
+                frame = trace[k]
+                router.ingest(
+                    f"ap{i}",
+                    CsiFrame(
+                        csi=frame.csi,
+                        rssi_dbm=frame.rssi_dbm,
+                        timestamp_s=frame.timestamp_s,
+                        source="t0",
+                    ),
+                )
+        live["health"] = cluster_health(specs)
+        live["rollup_health"] = fetch_json(f"{telemetry.url}/healthz")
+        shard_port = live["health"]["shards"]["shard0"]["http_port"]
+        live["shard_health"] = fetch_json(f"http://127.0.0.1:{shard_port}/healthz")
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{shard_port}/metrics", timeout=10
+        ) as response:
+            live["shard_metrics"] = response.read().decode("utf-8")
+        live["fixes"] = router.flush()
+        live["router_view"] = router.health_view()
+    finally:
+        telemetry.stop()
+        router.shutdown()
+        router.close()
+        router_tracer.close()
+        for proc in shards.values():
+            proc.terminate()
+        for proc in shards.values():
+            proc.join()
+    live["merged"] = collect_trace_dir(trace_dir)
+    return live
+
+
+class TestClusterHealth:
+    def test_all_shards_alive_with_http_coordinates(self, drill):
+        health = drill["health"]
+        assert health["ok"] is True and health["degraded"] is False
+        assert health["alive_shards"] == health["total_shards"] == 2
+        for entry in health["shards"].values():
+            assert entry["alive"] and entry["pid"] > 0
+            assert entry["http_port"] > 0
+
+    def test_rollup_endpoint_serves_same_view_over_http(self, drill):
+        assert drill["rollup_health"]["alive_shards"] == 2
+        assert drill["rollup_health"]["ok"] is True
+
+    def test_shard_own_endpoint_is_live(self, drill):
+        assert drill["shard_health"]["ok"] is True
+        assert "breakers" in drill["shard_health"]
+        assert "# TYPE " in drill["shard_metrics"]
+        assert "repro_ingest_accepted_total" in drill["shard_metrics"]
+
+    def test_router_health_view(self, drill):
+        view = drill["router_view"]
+        assert view["ok"] is True
+        assert sorted(view["live_shards"]) == ["shard0", "shard1"]
+        assert view["dead_shards"] == {}
+
+
+class TestCrossProcessTraces:
+    def test_fixes_flowed(self, drill):
+        assert len(drill["fixes"]) >= 1
+
+    def test_one_trace_id_spans_router_and_shard(self, drill):
+        stitched = [
+            root
+            for root in drill["merged"]
+            if root.trace_id.startswith("router-") and root.find("locate")
+        ]
+        assert stitched, "no merged trace crossed the process boundary"
+        root = stitched[0]
+        # Every span in the stitched tree shares the router's trace_id.
+        assert {span.trace_id for span in root.iter_spans()} == {root.trace_id}
+        # Router side at the top, shard side underneath.
+        assert root.span_id.startswith("router-")
+        shard_side = [
+            span
+            for span in root.iter_spans()
+            if span.span_id.startswith(("shard0-", "shard1-"))
+        ]
+        assert shard_side
+
+    def test_locate_subtree_carries_pipeline_stages(self, drill):
+        stitched = next(
+            root
+            for root in drill["merged"]
+            if root.trace_id.startswith("router-") and root.find("locate")
+        )
+        locate = stitched.find("locate")[0]
+        names = {span.name for span in locate.iter_spans()}
+        assert "music" in names and "solve" in names
+        assert any(name.startswith("ap[") for name in names)
+
+    def test_stitched_tree_renders_as_one_text_tree(self, drill):
+        stitched = next(
+            root
+            for root in drill["merged"]
+            if root.trace_id.startswith("router-") and root.find("locate")
+        )
+        text = format_span_tree(stitched)
+        assert "locate" in text and "music" in text
+        first_line = text.splitlines()[0]
+        assert first_line.lstrip().startswith(("flush", "batch"))

@@ -101,6 +101,50 @@ def test_chaos_report_success_rate_empty():
     assert report.success_rate == 0.0
 
 
+class TestHealthzProbes:
+    """Chaos scenarios observed through the live ``/healthz`` endpoint.
+
+    ``probe=`` turns a chaos run into a telemetry drill: the payloads
+    below were scraped over real HTTP *mid-scenario*, so they assert
+    what an external health checker would actually see while faults
+    are being injected.
+    """
+
+    def test_blackout_probe_scrapes_live_healthz_each_burst(self):
+        payloads = []
+        report = run_chaos(
+            scenario="blackout", seed=7, bursts=2, probe=payloads.append
+        )
+        assert len(payloads) == report.fixes_attempted == 2
+        for payload in payloads:
+            assert payload["ok"] is True  # degraded, never dead
+            assert "breakers" in payload and "buffered_packets" in payload
+        assert payloads[-1]["fix_events"] >= 1
+
+    def test_downgrade_probe_sees_open_breaker_mid_scenario(self):
+        payloads = []
+        report = run_chaos(
+            scenario="downgrade", seed=7, bursts=4, probe=payloads.append
+        )
+        assert report.downgraded_fixes >= 1
+        # The endpoint reported the tripped AP while the scenario ran,
+        # not just in the post-mortem report.
+        open_seen = [p for p in payloads if p["breakers_open"] >= 1]
+        assert open_seen
+        assert open_seen[-1]["breakers"]["ap1"] == "open"
+        # Server liveness is not conflated with degradation.
+        assert all(p["ok"] is True for p in payloads)
+
+    def test_probe_exceptions_propagate(self):
+        # A failing health assertion inside the probe must fail the
+        # drill, not be swallowed by scenario cleanup.
+        def explode(payload):
+            raise AssertionError("probe rejected payload")
+
+        with pytest.raises(AssertionError, match="probe rejected"):
+            run_chaos(scenario="clean", seed=7, bursts=1, probe=explode)
+
+
 class TestDowngradeScenario:
     @pytest.fixture(scope="class")
     def downgrade(self):

@@ -1,0 +1,150 @@
+"""Tests for the benchmark regression gate (``spotfi-benchdiff``)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.benchdiff import diff_benchmarks, diff_files, main
+
+BASE = {
+    "benchmark": "runtime",
+    "rows": [
+        {
+            "workers": 1,
+            "fixes_per_s": 10.0,
+            "stages": {"fix": {"p50_ms": 100.0, "p99_ms": 200.0}},
+        },
+        {
+            "workers": 2,
+            "fixes_per_s": 18.0,
+            "stages": {"fix": {"p50_ms": 110.0, "p99_ms": 210.0}},
+        },
+    ],
+}
+
+
+def _with_p99(workers, p99):
+    """BASE with one row's fix p99 replaced."""
+    new = json.loads(json.dumps(BASE))
+    for row in new["rows"]:
+        if row["workers"] == workers:
+            row["stages"]["fix"]["p99_ms"] = p99
+    return new
+
+
+class TestDiffBenchmarks:
+    def test_identical_inputs_diff_clean(self):
+        diff = diff_benchmarks(BASE, BASE)
+        assert diff.regressions == []
+        assert len(diff.deltas) == 6
+        assert all(d.change_pct == 0.0 for d in diff.deltas)
+
+    def test_synthetic_p99_regression_is_flagged(self):
+        # 20% p99 inflation on the 1-worker row beats the 10% threshold.
+        diff = diff_benchmarks(BASE, _with_p99(1, 240.0))
+        assert [d.metric for d in diff.regressions] == ["stages.fix.p99_ms"]
+        assert diff.regressions[0].row == "workers=1"
+        assert diff.regressions[0].change_pct == pytest.approx(20.0)
+
+    def test_improvement_is_not_a_regression(self):
+        diff = diff_benchmarks(BASE, _with_p99(1, 120.0))
+        assert diff.regressions == []
+
+    def test_throughput_regresses_downward(self):
+        new = json.loads(json.dumps(BASE))
+        new["rows"][0]["fixes_per_s"] = 7.0  # -30%
+        diff = diff_benchmarks(BASE, new)
+        assert [d.metric for d in diff.regressions] == ["fixes_per_s"]
+        # The same move upward would be an improvement.
+        new["rows"][0]["fixes_per_s"] = 13.0
+        assert diff_benchmarks(BASE, new).regressions == []
+
+    def test_unknown_metrics_are_informational(self):
+        base = {"benchmark": "x", "rows": [{"name": "a", "mystery_units": 1.0}]}
+        new = {"benchmark": "x", "rows": [{"name": "a", "mystery_units": 99.0}]}
+        diff = diff_benchmarks(base, new)
+        assert diff.deltas[0].direction == "informational"
+        assert diff.regressions == []
+
+    def test_rows_match_by_identity_not_order(self):
+        reordered = {"benchmark": "runtime", "rows": list(reversed(BASE["rows"]))}
+        diff = diff_benchmarks(BASE, reordered)
+        assert diff.regressions == []
+        assert diff.unmatched_base == () and diff.unmatched_new == ()
+
+    def test_unmatched_rows_reported_but_never_fail(self):
+        new = json.loads(json.dumps(BASE))
+        new["rows"][1]["workers"] = 4  # sweep changed: 2 -> 4 workers
+        diff = diff_benchmarks(BASE, new)
+        assert diff.unmatched_base == ("workers=2",)
+        assert diff.unmatched_new == ("workers=4",)
+        assert diff.regressions == []
+
+    def test_mismatched_benchmark_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diff_benchmarks(BASE, {"benchmark": "dist", "rows": []})
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diff_benchmarks(BASE, BASE, threshold_pct=0.0)
+
+    def test_missing_rows_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diff_benchmarks({"benchmark": "runtime"}, {"benchmark": "runtime"})
+
+    def test_estimators_key_accepted_as_row_list(self):
+        data = {
+            "benchmark": "estimators",
+            "estimators": [{"name": "spotfi", "median_error_m": 0.4}],
+        }
+        diff = diff_benchmarks(data, data)
+        assert len(diff.deltas) == 1 and diff.regressions == []
+
+
+class TestCli:
+    def _write(self, tmp_path: Path, name: str, data) -> str:
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_check_passes_on_identical_files(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASE)
+        assert main([base, base, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressions" in out
+
+    def test_check_fails_on_p99_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASE)
+        cand = self._write(tmp_path, "cand.json", _with_p99(1, 240.0))
+        assert main([base, cand, "--check"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "failing --check" in captured.err
+
+    def test_regression_without_check_still_exits_zero(self, tmp_path):
+        base = self._write(tmp_path, "base.json", BASE)
+        cand = self._write(tmp_path, "cand.json", _with_p99(1, 240.0))
+        assert main([base, cand]) == 0
+
+    def test_threshold_flag_moves_the_gate(self, tmp_path):
+        base = self._write(tmp_path, "base.json", BASE)
+        cand = self._write(tmp_path, "cand.json", _with_p99(1, 240.0))
+        assert main([base, cand, "--check", "--threshold", "25"]) == 0
+
+    def test_malformed_input_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([str(bad), str(bad), "--check"]) == 2
+        assert "spotfi-benchdiff:" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "none.json"), str(tmp_path / "none.json")]) == 2
+
+    def test_diff_files_loads_committed_baselines(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        baseline = repo_root / "BENCH_runtime.json"
+        diff = diff_files(baseline, baseline)
+        assert diff.regressions == []
+        assert diff.deltas  # the committed file carries real metrics

@@ -1,0 +1,153 @@
+"""Tests for cross-process trace stitching (``repro.obs.collector``)."""
+
+import json
+
+from repro.obs import (
+    JsonlSpanExporter,
+    Span,
+    collect_trace_dir,
+    format_merged_traces,
+    merge_spans,
+    merge_trace_files,
+)
+
+
+def _span(name, span_id, trace_id, parent_id=None, start=0.0, children=()):
+    return Span(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        trace_id=trace_id,
+        start_time_s=start,
+        duration_s=0.5,
+        children=list(children),
+    )
+
+
+def _router_and_shard_roots():
+    """The shapes the dist plane actually exports.
+
+    Router process: ``flush`` root with a ``shard.flush`` child.
+    Shard process: ``handle.flush`` root whose parent_id names the
+    router's ``shard.flush`` span (propagated via TraceContext).
+    """
+    shard_flush = _span("shard.flush", "router-s2", "router-s1", "router-s1", 0.1)
+    router_root = _span(
+        "flush", "router-s1", "router-s1", None, 0.0, children=[shard_flush]
+    )
+    locate = _span("locate", "shard0-s2", "router-s1", "shard0-s1", 0.3)
+    shard_root = _span(
+        "handle.flush", "shard0-s1", "router-s1", "router-s2", 0.2, children=[locate]
+    )
+    return router_root, shard_root
+
+
+class TestMergeSpans:
+    def test_remote_root_attaches_under_its_parent(self):
+        router_root, shard_root = _router_and_shard_roots()
+        merged = merge_spans([shard_root, router_root])  # order-insensitive
+        assert len(merged) == 1
+        top = merged[0]
+        assert top.span_id == "router-s1"
+        shard_flush = top.find("shard.flush")[0]
+        assert [c.name for c in shard_flush.children] == ["handle.flush"]
+        assert top.find("locate")  # full depth survived the stitch
+
+    def test_unrelated_traces_stay_separate(self):
+        a = _span("locate", "s1", "s1")
+        b = _span("locate", "s1", "t-s1")  # different trace, same span id
+        merged = merge_spans([a, b])
+        assert len(merged) == 2
+        assert {root.trace_id for root in merged} == {"s1", "t-s1"}
+
+    def test_unstitchable_root_stays_top_level(self):
+        # parent_id names a span no collected file contains (e.g. the
+        # router export is missing): keep the orphan visible.
+        orphan = _span("handle.flush", "shard0-s1", "router-s1", "router-s99")
+        merged = merge_spans([orphan])
+        assert merged == [orphan]
+
+    def test_ambiguous_span_ids_are_not_attachment_points(self):
+        # Two processes without a service prefix both minted "s1": a
+        # root pointing at "s1" must not be attached to either copy.
+        copy_a = _span("flush", "s1", "trace")
+        copy_b = _span("batch", "s1", "trace", start=0.2)
+        child = _span("handle.flush", "s9", "trace", parent_id="s1", start=0.4)
+        merged = merge_spans([copy_a, copy_b, child])
+        assert len(merged) == 3
+        assert all(not root.children for root in merged)
+
+    def test_children_sorted_by_start_time(self):
+        parent = _span("flush", "r-s1", "r-s1")
+        late = _span("handle.flush", "a-s1", "r-s1", "r-s1", start=5.0)
+        early = _span("handle.flush", "b-s1", "r-s1", "r-s1", start=1.0)
+        merged = merge_spans([parent, late, early])
+        assert [c.span_id for c in merged[0].children] == ["b-s1", "a-s1"]
+
+    def test_output_sorted_by_trace_then_start(self):
+        merged = merge_spans(
+            [
+                _span("x", "b-s1", "b-trace", start=2.0),
+                _span("x", "a-s1", "a-trace", start=9.0),
+                _span("x", "b-s2", "b-trace", start=1.0),
+            ]
+        )
+        assert [s.span_id for s in merged] == ["a-s1", "b-s2", "b-s1"]
+
+
+class TestFileCollection:
+    def _export(self, path, roots):
+        exporter = JsonlSpanExporter(path)
+        for root in roots:
+            exporter.export(root)
+        exporter.close()
+
+    def test_merge_trace_files_stitches_across_files(self, tmp_path):
+        router_root, shard_root = _router_and_shard_roots()
+        self._export(tmp_path / "router.jsonl", [router_root])
+        self._export(tmp_path / "shard0.jsonl", [shard_root])
+        merged = merge_trace_files(
+            [tmp_path / "router.jsonl", tmp_path / "shard0.jsonl"]
+        )
+        assert len(merged) == 1
+        assert merged[0].find("locate")
+
+    def test_missing_files_are_skipped(self, tmp_path):
+        router_root, _ = _router_and_shard_roots()
+        self._export(tmp_path / "router.jsonl", [router_root])
+        merged = merge_trace_files(
+            [tmp_path / "router.jsonl", tmp_path / "shard9.jsonl"]
+        )
+        assert len(merged) == 1
+
+    def test_collect_trace_dir_globs_all_exports(self, tmp_path):
+        router_root, shard_root = _router_and_shard_roots()
+        self._export(tmp_path / "router.jsonl", [router_root])
+        self._export(tmp_path / "shard0.jsonl", [shard_root])
+        (tmp_path / "notes.txt").write_text("not a span export")
+        merged = collect_trace_dir(tmp_path)
+        assert len(merged) == 1
+        assert merged[0].span_id == "router-s1"
+
+    def test_collect_empty_dir_returns_nothing(self, tmp_path):
+        assert collect_trace_dir(tmp_path) == []
+
+    def test_exported_lines_are_one_json_root_each(self, tmp_path):
+        router_root, _ = _router_and_shard_roots()
+        self._export(tmp_path / "router.jsonl", [router_root])
+        lines = (tmp_path / "router.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["span_id"] == "router-s1"
+
+
+class TestFormatMergedTraces:
+    def test_renders_one_block_per_trace(self):
+        router_root, shard_root = _router_and_shard_roots()
+        merged = merge_spans([router_root, shard_root])
+        merged.append(_span("locate", "other-s1", "other-s1"))
+        text = format_merged_traces(merged)
+        blocks = text.split("\n\n")
+        assert len(blocks) == 2
+        assert blocks[0].startswith("trace router-s1")
+        assert "handle.flush" in blocks[0] and "locate" in blocks[0]
+        assert blocks[1].startswith("trace other-s1")

@@ -1,0 +1,108 @@
+"""Tests for the HTTP telemetry endpoint (``/metrics /healthz /traces``)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import PROMETHEUS_CONTENT_TYPE, TelemetryServer, fetch_json
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+class TestTelemetryServer:
+    def test_metrics_endpoint_serves_exposition(self):
+        with TelemetryServer(metrics_fn=lambda: "repro_up 1\n") as server:
+            status, ctype, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert body == b"repro_up 1\n"
+
+    def test_healthz_ok_is_200(self):
+        payload = {"ok": True, "breakers": {}}
+        with TelemetryServer(
+            metrics_fn=lambda: "", health_fn=lambda: payload
+        ) as server:
+            status, ctype, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert ctype == "application/json"
+        assert json.loads(body) == payload
+
+    def test_healthz_not_ok_is_503_with_payload(self):
+        payload = {"ok": False, "reason": "all shards dead"}
+        with TelemetryServer(
+            metrics_fn=lambda: "", health_fn=lambda: payload
+        ) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/healthz")
+            assert excinfo.value.code == 503
+            # fetch_json reads the diagnostic body despite the 503.
+            assert fetch_json(f"{server.url}/healthz") == payload
+
+    def test_traces_endpoint_serves_span_list(self):
+        spans = [{"name": "locate", "span_id": "s1", "children": []}]
+        with TelemetryServer(
+            metrics_fn=lambda: "", traces_fn=lambda: spans
+        ) as server:
+            status, _, body = _get(f"{server.url}/traces")
+        assert status == 200
+        assert json.loads(body) == spans
+
+    def test_unknown_path_is_404(self):
+        with TelemetryServer(metrics_fn=lambda: "") as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_trailing_slash_and_query_are_normalized(self):
+        with TelemetryServer(metrics_fn=lambda: "x 1\n") as server:
+            status, _, body = _get(f"{server.url}/metrics/?x=1")
+        assert status == 200 and body == b"x 1\n"
+
+    def test_callback_failure_is_500_and_counted(self):
+        def boom():
+            raise RuntimeError("snapshot failed")
+
+        with TelemetryServer(metrics_fn=boom) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/metrics")
+            assert excinfo.value.code == 500
+            # The serving thread survives the failure...
+            _get(f"{server.url}/traces")
+            # ...and the error was accounted per path.
+            assert server.errors == {"/metrics": 1}
+
+    def test_ephemeral_port_resolves_after_start(self):
+        server = TelemetryServer(metrics_fn=lambda: "")
+        assert server.port == 0
+        server.start()
+        try:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_releases_port(self):
+        server = TelemetryServer(metrics_fn=lambda: "").start()
+        url = server.url
+        server.stop()
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            _get(f"{url}/metrics", timeout=0.5)
+
+    def test_double_start_rejected(self):
+        server = TelemetryServer(metrics_fn=lambda: "").start()
+        try:
+            with pytest.raises(ConfigurationError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryServer(metrics_fn=lambda: "", port=99999)

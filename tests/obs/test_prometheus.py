@@ -93,7 +93,7 @@ class TestRenderPrometheus:
         for line in lines:
             if line.startswith("# TYPE "):
                 seen_types.add(line.split()[2])
-            elif line:
+            elif line and not line.startswith("#"):
                 base = line.split("{", 1)[0].split(" ", 1)[0]
                 matches = [
                     t
@@ -112,6 +112,61 @@ class TestRenderPrometheus:
 
     def test_ends_with_newline(self):
         assert render_prometheus(_snapshot_with_traffic()).endswith("\n")
+
+    def test_exposition_conformance_every_family_has_help_and_type(self):
+        """Exposition-format conformance over a maximal snapshot.
+
+        Parses the rendered text the way a Prometheus scraper would and
+        holds the metadata contract for *every* family: exactly one
+        ``# HELP`` and one ``# TYPE`` line, HELP before TYPE, both
+        before the family's first sample, and a spec-valid type.
+        """
+        from repro.obs import SloTracker
+
+        snapshot = _snapshot_with_traffic()
+        snapshot["breakers"] = {"ap0": "closed", "ap1": "open"}
+        SloTracker.default_objectives().attach(snapshot)
+        text = render_prometheus(snapshot)
+
+        help_at, type_at, first_sample_at, types = {}, {}, {}, {}
+        for lineno, line in enumerate(text.splitlines()):
+            if line.startswith("# HELP "):
+                family = line.split()[2]
+                assert family not in help_at, f"duplicate HELP for {family}"
+                help_at[family] = lineno
+                assert line[len(f"# HELP {family} ") :].strip(), (
+                    f"HELP for {family} has no text"
+                )
+            elif line.startswith("# TYPE "):
+                _, _, family, kind = line.split()
+                assert family not in type_at, f"duplicate TYPE for {family}"
+                type_at[family] = lineno
+                types[family] = kind
+            elif line and not line.startswith("#"):
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                family = name
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if name.endswith(suffix) and name[: -len(suffix)] in type_at:
+                        family = name[: -len(suffix)]
+                first_sample_at.setdefault(family, lineno)
+
+        assert first_sample_at, "snapshot rendered no samples"
+        for family, sample_line in first_sample_at.items():
+            assert family in help_at, f"family {family} has no # HELP"
+            assert family in type_at, f"family {family} has no # TYPE"
+            assert help_at[family] < type_at[family] < sample_line
+            assert types[family] in ("counter", "gauge", "histogram", "untyped")
+        # Metadata never appears without samples.
+        assert set(help_at) == set(first_sample_at)
+        # The maximal snapshot exercised every renderer section.
+        for family in (
+            "repro_ingest_accepted_total",
+            "repro_stage_duration_seconds",
+            "repro_steering_cache_hits_total",
+            "repro_circuit_breaker_state",
+            "repro_slo_burn_rate",
+        ):
+            assert family in first_sample_at, f"section missing: {family}"
 
     def test_histogram_dict_rendering_matches_cumulative(self):
         hist = Histogram(bounds=(0.001, 0.01, 0.1))

@@ -1,0 +1,168 @@
+"""Tests for declarative SLOs evaluated against metrics snapshots."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    SloObjective,
+    SloTracker,
+    latency_objective,
+    rate_objective,
+    render_prometheus,
+    success_rate_objective,
+)
+
+
+def _latency_snapshot(bounds, counts, overflow=0, stage="fix"):
+    return {
+        "counters": {},
+        "timings": {
+            stage: {"histogram": {"bounds": bounds, "counts": counts, "overflow": overflow}}
+        },
+    }
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SloObjective(name="x", kind="gauge", allowed_fraction=0.1)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SloObjective(
+                name="x",
+                kind="ratio",
+                allowed_fraction=0.0,
+                bad_counters=("a",),
+                total_counters=("a", "b"),
+            )
+
+    def test_latency_needs_stage_and_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SloObjective(name="x", kind="latency", allowed_fraction=0.01)
+        with pytest.raises(ConfigurationError):
+            SloObjective(
+                name="x", kind="latency", allowed_fraction=0.01, stage="fix"
+            )
+
+    def test_ratio_needs_counters(self):
+        with pytest.raises(ConfigurationError):
+            SloObjective(name="x", kind="ratio", allowed_fraction=0.1)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ConfigurationError):
+            latency_objective("x", "fix", 1.0, quantile=1.0)
+
+    def test_success_target_bounds(self):
+        with pytest.raises(ConfigurationError):
+            success_rate_objective("x", target=1.0)
+
+    def test_duplicate_names_rejected(self):
+        objective = success_rate_objective("same", 0.9)
+        with pytest.raises(ConfigurationError):
+            SloTracker((objective, objective))
+
+
+class TestLatencyObjectives:
+    def test_compliant_when_tail_within_threshold(self):
+        # 100 observations, all provably <= 1.0 s: bad fraction 0.
+        tracker = SloTracker([latency_objective("p99", "fix", 1.0)])
+        verdict = tracker.evaluate(_latency_snapshot([0.5, 1.0], [60, 40]))["p99"]
+        assert verdict["ok"] is True
+        assert verdict["bad_fraction"] == 0.0
+        assert verdict["burn_rate"] == 0.0
+        assert verdict["budget_remaining"] == 1.0
+        assert verdict["events"] == 100
+
+    def test_violated_by_synthetic_tail_regression(self):
+        # 20% of the batches land beyond the 1 s threshold — a p99
+        # promise (1% budget) burns at 20x and fails.
+        tracker = SloTracker([latency_objective("p99", "fix", 1.0)])
+        verdict = tracker.evaluate(
+            _latency_snapshot([0.5, 1.0, 2.0], [50, 30, 20])
+        )["p99"]
+        assert verdict["ok"] is False
+        assert verdict["bad_fraction"] == pytest.approx(0.2)
+        assert verdict["burn_rate"] == pytest.approx(20.0)
+        assert verdict["budget_remaining"] == 0.0
+
+    def test_overflow_counts_as_bad(self):
+        tracker = SloTracker([latency_objective("p99", "fix", 1.0)])
+        verdict = tracker.evaluate(
+            _latency_snapshot([0.5, 1.0], [95, 0], overflow=5)
+        )["p99"]
+        assert verdict["bad_fraction"] == pytest.approx(0.05)
+        assert verdict["events"] == 100
+
+    def test_missing_stage_is_vacuously_ok(self):
+        tracker = SloTracker([latency_objective("p99", "fix", 1.0)])
+        verdict = tracker.evaluate({"counters": {}, "timings": {}})["p99"]
+        assert verdict["ok"] is True
+        assert verdict["events"] == 0
+
+
+class TestRatioObjectives:
+    def test_success_rate_within_budget(self):
+        tracker = SloTracker([success_rate_objective("success", 0.9)])
+        verdict = tracker.evaluate(
+            {"counters": {"fix.ok": 95, "fix.failed": 5}, "timings": {}}
+        )["success"]
+        assert verdict["ok"] is True
+        assert verdict["bad_fraction"] == pytest.approx(0.05)
+        assert verdict["burn_rate"] == pytest.approx(0.5)
+        assert verdict["budget_remaining"] == pytest.approx(0.5)
+
+    def test_success_rate_violated(self):
+        tracker = SloTracker([success_rate_objective("success", 0.9)])
+        verdict = tracker.evaluate(
+            {"counters": {"fix.ok": 70, "fix.failed": 30}, "timings": {}}
+        )["success"]
+        assert verdict["ok"] is False
+        assert verdict["burn_rate"] == pytest.approx(3.0)
+
+    def test_rate_objective_on_downgrades(self):
+        tracker = SloTracker(
+            [
+                rate_objective(
+                    "downgrade",
+                    0.5,
+                    bad_counters=("fix.downgraded",),
+                    total_counters=("fix.ok", "fix.failed"),
+                )
+            ]
+        )
+        counters = {"fix.ok": 8, "fix.failed": 2, "fix.downgraded": 4}
+        verdict = tracker.evaluate({"counters": counters, "timings": {}})["downgrade"]
+        assert verdict["ok"] is True
+        assert verdict["bad_fraction"] == pytest.approx(0.4)
+
+    def test_zero_events_is_vacuously_ok(self):
+        tracker = SloTracker([success_rate_objective("success", 0.9)])
+        verdict = tracker.evaluate({"counters": {}, "timings": {}})["success"]
+        assert verdict["ok"] is True
+        assert verdict["events"] == 0
+
+
+class TestTrackerIntegration:
+    def test_default_objectives_cover_latency_success_downgrade(self):
+        tracker = SloTracker.default_objectives()
+        names = {o.name for o in tracker.objectives}
+        assert names == {"fix-latency-p99", "fix-success", "fix-downgrade"}
+
+    def test_attach_fills_slo_section(self):
+        tracker = SloTracker([success_rate_objective("success", 0.9)])
+        snapshot = {"counters": {"fix.ok": 10, "fix.failed": 0}, "timings": {}}
+        attached = tracker.attach(snapshot)
+        assert attached is snapshot
+        assert attached["slo"]["success"]["ok"] is True
+
+    def test_renders_as_prometheus_gauges(self):
+        tracker = SloTracker.default_objectives()
+        snapshot = tracker.attach(
+            {"counters": {"fix.ok": 19, "fix.failed": 1}, "timings": {}}
+        )
+        text = render_prometheus(snapshot)
+        assert "# TYPE repro_slo_ok gauge" in text
+        assert 'repro_slo_ok{objective="fix-success"} 1' in text
+        assert 'repro_slo_burn_rate{objective="fix-success"}' in text
+        assert "# HELP repro_slo_error_budget_remaining" in text

@@ -1,0 +1,203 @@
+"""Sampling, trace-context propagation, and export-time clamping tests."""
+
+import json
+import math
+
+from repro.obs import (
+    ObsConfig,
+    Span,
+    TraceContext,
+    Tracer,
+    clamp_span_tree,
+)
+
+
+class TestHeadSampling:
+    def test_rate_one_keeps_everything(self):
+        tracer = Tracer(ObsConfig(sample_rate=1.0))
+        for _ in range(10):
+            with tracer.span("locate"):
+                pass
+        assert len(tracer.finished_spans()) == 10
+
+    def test_rate_zero_drops_everything(self):
+        tracer = Tracer(ObsConfig(sample_rate=0.0))
+        for _ in range(10):
+            with tracer.span("locate"):
+                pass
+        assert tracer.finished_spans() == []
+
+    def test_fractional_rate_keeps_round_n_rate_roots(self):
+        tracer = Tracer(ObsConfig(sample_rate=0.3))
+        for _ in range(100):
+            with tracer.span("locate"):
+                pass
+        assert len(tracer.finished_spans()) == round(100 * 0.3)
+
+    def test_sampling_is_deterministic_across_replays(self):
+        def kept(n, rate):
+            tracer = Tracer(ObsConfig(sample_rate=rate))
+            result = []
+            for i in range(n):
+                with tracer.span("locate", index=i):
+                    pass
+            for root in tracer.finished_spans():
+                result.append(root.attributes["index"])
+            return result
+
+        assert kept(50, 0.25) == kept(50, 0.25)
+        # Stratified counter: floor(i * rate) must advance.
+        expected = [
+            i
+            for i in range(50)
+            if math.floor((i + 1) * 0.25) > math.floor(i * 0.25)
+        ]
+        assert kept(50, 0.25) == expected
+
+    def test_children_of_unsampled_root_are_discarded(self):
+        tracer = Tracer(ObsConfig(sample_rate=0.0))
+        with tracer.span("locate") as root:
+            assert not root.recording
+            assert not tracer.recording
+            with tracer.span("music") as child:
+                assert not child.recording
+            root.set("ap", 1)  # silently discarded, never raises
+        assert tracer.finished_spans() == []
+        assert tracer.recording  # depth unwound after the root closes
+
+
+class TestTraceContextPropagation:
+    def test_current_context_reflects_innermost_span(self):
+        tracer = Tracer(service="router")
+        assert tracer.current_context() is None
+        with tracer.span("flush"):
+            with tracer.span("shard.flush"):
+                context = tracer.current_context()
+                assert context.sampled
+                assert context.trace_id == "router-s1"
+                assert context.span_id == "router-s2"
+
+    def test_unsampled_context_propagates_the_drop(self):
+        tracer = Tracer(ObsConfig(sample_rate=0.0))
+        with tracer.span("flush"):
+            context = tracer.current_context()
+        assert context == TraceContext(trace_id="", span_id="", sampled=False)
+        # A downstream tracer adopting it must not record either.
+        downstream = Tracer(ObsConfig(sample_rate=1.0))
+        with downstream.span("handle.flush", trace_context=context):
+            pass
+        assert downstream.finished_spans() == []
+
+    def test_remote_root_adopts_trace_and_parent(self):
+        downstream = Tracer(service="shard0")
+        remote = TraceContext(trace_id="router-s1", span_id="router-s2")
+        with downstream.span("handle.flush", trace_context=remote):
+            with downstream.span("locate"):
+                pass
+        root = downstream.finished_spans()[0]
+        assert root.trace_id == "router-s1"
+        assert root.parent_id == "router-s2"
+        assert root.span_id == "shard0-s1"
+        assert root.children[0].trace_id == "router-s1"
+
+    def test_context_survives_json_round_trip(self):
+        context = TraceContext(trace_id="router-s7", span_id="router-s9")
+        wire = json.dumps(context.to_dict())
+        assert TraceContext.from_dict(json.loads(wire)) == context
+
+    def test_from_dict_tolerates_unknown_and_missing_keys(self):
+        context = TraceContext.from_dict({"trace_id": "t", "extra": "ignored"})
+        assert context == TraceContext(trace_id="t", span_id="", sampled=True)
+
+    def test_empty_context_does_not_adopt(self):
+        # A sampled=True context with no ids (malformed upstream) must
+        # not produce a root parented to nothing.
+        tracer = Tracer()
+        with tracer.span("handle.flush", trace_context=TraceContext("", "")):
+            pass
+        root = tracer.finished_spans()[0]
+        assert root.parent_id is None
+        assert root.trace_id == root.span_id
+
+    def test_service_prefix_makes_cluster_unique_ids(self):
+        a, b = Tracer(service="shard0"), Tracer(service="shard1")
+        with a.span("locate"):
+            pass
+        with b.span("locate"):
+            pass
+        assert a.finished_spans()[0].span_id == "shard0-s1"
+        assert b.finished_spans()[0].span_id == "shard1-s1"
+
+
+class TestClampSpanTree:
+    def _tree(self, child_start, child_duration):
+        child = Span(
+            name="music",
+            span_id="s2",
+            parent_id="s1",
+            trace_id="s1",
+            start_time_s=child_start,
+            duration_s=child_duration,
+        )
+        return Span(
+            name="locate",
+            span_id="s1",
+            parent_id=None,
+            trace_id="s1",
+            start_time_s=100.0,
+            duration_s=10.0,
+            children=[child],
+        )
+
+    def test_child_poking_before_parent_start_is_raised(self):
+        root = clamp_span_tree(self._tree(child_start=95.0, child_duration=8.0))
+        child = root.children[0]
+        assert child.start_time_s == 100.0
+        assert child.end_time_s == 103.0  # original end preserved
+
+    def test_child_poking_past_parent_end_is_lowered(self):
+        root = clamp_span_tree(self._tree(child_start=105.0, child_duration=50.0))
+        child = root.children[0]
+        assert child.start_time_s == 105.0
+        assert child.end_time_s == 110.0
+
+    def test_disjoint_child_floors_at_zero_duration(self):
+        root = clamp_span_tree(self._tree(child_start=500.0, child_duration=1.0))
+        child = root.children[0]
+        assert child.start_time_s == 500.0
+        assert child.duration_s == 0.0
+
+    def test_clamp_recurses_to_grandchildren(self):
+        root = self._tree(child_start=95.0, child_duration=100.0)
+        root.children[0].children.append(
+            Span(
+                name="solve",
+                span_id="s3",
+                parent_id="s2",
+                trace_id="s1",
+                start_time_s=0.0,
+                duration_s=999.0,
+            )
+        )
+        clamp_span_tree(root)
+        grandchild = root.children[0].children[0]
+        assert grandchild.start_time_s >= root.start_time_s
+        assert grandchild.end_time_s <= root.end_time_s
+
+    def test_well_formed_tree_is_untouched(self):
+        root = clamp_span_tree(self._tree(child_start=102.0, child_duration=3.0))
+        child = root.children[0]
+        assert child.start_time_s == 102.0
+        assert child.duration_s == 3.0
+
+    def test_exported_roots_are_clamped(self):
+        # The tracer clamps at export: fake a wall-clock step by
+        # rewriting the child's start before the root closes.
+        tracer = Tracer()
+        with tracer.span("locate"):
+            with tracer.span("music") as child:
+                child.span.start_time_s -= 3600.0
+        root = tracer.finished_spans()[0]
+        child_span = root.children[0]
+        assert child_span.start_time_s >= root.start_time_s
+        assert child_span.end_time_s <= root.end_time_s

@@ -81,3 +81,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "MOTION" in out
         assert "motion bursts detected" in out
+
+    def test_telemetry_smoke(self, monkeypatch, capsys):
+        run_example(
+            "telemetry_smoke.py", ["--packets", "6", "--sources", "1"], monkeypatch
+        )
+        out = capsys.readouterr().out
+        assert "HELP/TYPE ok" in out
+        assert "/healthz: ok" in out
+        assert "router->shard process boundary" in out
+        assert "telemetry smoke OK" in out

@@ -550,3 +550,62 @@ class TestServerEstimators:
         events = stream_target(server, tb, sim, target, "aa", rng, t0=2.0)
         assert len(events) == 1 and events[0].downgraded
         assert events[0].num_aps == 4
+
+
+class TestServerTelemetry:
+    """start_telemetry() + SloTracker: the single-process serving plane
+    observed over real HTTP, exactly as `serve --http-port` wires it."""
+
+    def test_endpoints_reflect_server_state(self, scene):
+        from repro.obs import SloTracker, fetch_json
+
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8, min_aps=2,
+            slo_tracker=SloTracker.default_objectives(),
+        )
+        rng = np.random.default_rng(77)
+        events = stream_target(server, tb, sim, tb.targets[0].position, "aa", rng)
+        assert len(events) == 1 and events[0].ok
+
+        telemetry = server.start_telemetry(port=0)
+        try:
+            import urllib.request
+
+            with urllib.request.urlopen(
+                f"{telemetry.url}/metrics", timeout=10
+            ) as response:
+                exposition = response.read().decode("utf-8")
+            assert "repro_fix_ok_total 1" in exposition
+            # The SLO tracker rides along in the same exposition.
+            assert 'repro_slo_ok{objective="fix-success"} 1' in exposition
+            assert 'repro_slo_ok{objective="fix-latency-p99"} 1' in exposition
+
+            health = fetch_json(f"{telemetry.url}/healthz")
+            assert health["ok"] is True
+            assert health["fix_events"] == 1
+            # Breakers are created lazily; a fault-free run has none open.
+            assert health["breakers_open"] == 0
+
+            spans = fetch_json(f"{telemetry.url}/traces")
+            assert isinstance(spans, list)  # NOOP tracer: present, empty
+        finally:
+            telemetry.stop()
+
+    def test_healthz_counts_open_breakers(self, scene):
+        from repro.obs import fetch_json
+
+        tb, sim, spotfi, ap_ids = scene
+        server = SpotFiServer(
+            spotfi=spotfi, aps=ap_ids, packets_per_fix=8,
+            breaker_threshold=1, breaker_recovery_s=60.0,
+        )
+        server.trip_breaker("ap1", 0.0)
+        telemetry = server.start_telemetry(port=0)
+        try:
+            health = fetch_json(f"{telemetry.url}/healthz")
+            assert health["ok"] is True  # alive even while degraded
+            assert health["breakers_open"] == 1
+            assert health["breakers"]["ap1"] == "open"
+        finally:
+            telemetry.stop()
