@@ -63,7 +63,14 @@ def build_workload(sources: int, packets: int, seed: int = SEED):
     return testbed, names, traces
 
 
-def run_cluster(num_shards: int, packets: int, names, traces, testbed) -> dict:
+def run_cluster(
+    num_shards: int,
+    packets: int,
+    names,
+    traces,
+    testbed,
+    journal_max_frames: int = 512,
+) -> dict:
     """Stream the whole workload through ``num_shards`` shards; time it."""
     config = ShardConfig(
         shard_id="bench",
@@ -79,6 +86,7 @@ def run_cluster(num_shards: int, packets: int, names, traces, testbed) -> dict:
         router = ShardRouter(
             {shard_id: proc.spec for shard_id, proc in shards.items()},
             batch_max_frames=len(testbed.aps),
+            journal_max_frames=journal_max_frames,
         )
         try:
             start = time.perf_counter()
@@ -134,6 +142,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeats", type=int, default=1, help="runs per cluster size (best-of)"
     )
     parser.add_argument(
+        "--journal",
+        type=int,
+        default=512,
+        help="router at-least-once journal depth per source in frames "
+        "(the clean-path overhead knob; see --no-journal)",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the replay journal (journal depth 0) — A/B this "
+        "against the default to measure at-least-once overhead",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=0.0,
@@ -150,17 +171,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     if 1 not in shard_counts:
         shard_counts.insert(0, 1)
 
+    journal = 0 if args.no_journal else max(0, args.journal)
     testbed, names, traces = build_workload(args.sources, args.packets)
     print(
         f"workload: {args.sources} sources x {len(testbed.aps)} APs x "
-        f"{args.packets} packets, {os.cpu_count()} CPUs, best of {args.repeats}"
+        f"{args.packets} packets, {os.cpu_count()} CPUs, best of "
+        f"{args.repeats}, journal depth {journal}"
     )
 
     rows: List[dict] = []
     for num_shards in shard_counts:
         best: Optional[dict] = None
         for _ in range(max(1, args.repeats)):
-            row = run_cluster(num_shards, args.packets, names, traces, testbed)
+            row = run_cluster(
+                num_shards,
+                args.packets,
+                names,
+                traces,
+                testbed,
+                journal_max_frames=journal,
+            )
             if best is None or row["time_s"] < best["time_s"]:
                 best = row
         rows.append(best)
@@ -177,6 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "benchmark": "dist_throughput",
         "sources": args.sources,
         "packets_per_fix": args.packets,
+        "journal_max_frames": journal,
         "cpus": os.cpu_count(),
         "rows": rows,
     }

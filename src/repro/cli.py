@@ -280,10 +280,12 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             base_port=base_port,
             host=host,
             http_base_port=args.http_port + 1 if args.http_port else 0,
+            ready_timeout_s=args.ready_timeout,
         )
         router = ShardRouter(
             {shard_id: proc.spec for shard_id, proc in shards.items()},
             batch_max_frames=dataset.num_aps,
+            connect_timeout_s=args.connect_timeout or None,
             tracer=router_tracer,
         )
         print(
@@ -629,7 +631,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run a fault-injection scenario and gate on the fix success rate."""
-    from repro.faults.chaos import format_report, run_chaos
+    from repro.faults.chaos import NETWORK_SCENARIOS, format_report, run_chaos
 
     report = run_chaos(
         scenario=args.scenario,
@@ -660,6 +662,35 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.scenario in NETWORK_SCENARIOS:
+        # Transport matrix verdicts beyond raw success: at-least-once
+        # delivery must have engaged, nobody may end the run stranded,
+        # and dedup must have absorbed every redelivery.
+        failed = False
+        if int(report.injected.get("replayed", 0)) < 1:
+            print(
+                "FAIL: no journaled frames were replayed — the scenario "
+                "never exercised at-least-once failover",
+                file=sys.stderr,
+            )
+            failed = True
+        if int(report.injected.get("unrouted_sources", 0)) != 0:
+            print(
+                f"FAIL: {report.injected['unrouted_sources']} source(s) "
+                "ended the run routed to a dead shard",
+                file=sys.stderr,
+            )
+            failed = True
+        if int(report.injected.get("excess_fixes", 0)) != 0:
+            print(
+                f"FAIL: {report.injected['excess_fixes']} fix(es) beyond "
+                "the delivered packet budget — redelivered frames were "
+                "double-counted instead of deduplicated",
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
+            return 1
     return 0
 
 
@@ -840,6 +871,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="export spans as JSONL under this directory (one file per "
         "process); merge afterwards with `trace --merge DIR`",
+    )
+    p.add_argument(
+        "--ready-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for each shard worker's ready handshake "
+        "before failing startup (sharded mode)",
+    )
+    p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=0.0,
+        help="router connect timeout per shard in seconds; failures "
+        "report 'connect timeout' instead of a generic send error "
+        "(0 = use the I/O timeout; sharded mode)",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -6,8 +6,11 @@ length-prefixed binary wire protocol (:mod:`~repro.dist.protocol`), a
 :class:`ShardRouter` consistent-hashes ``source`` keys onto them with
 batching, pipelining and failover (:mod:`~repro.dist.router`), and the
 rollup path merges every shard's metrics into one Prometheus exposition
-(:mod:`~repro.dist.rollup`).  See ``docs/DIST.md`` for the protocol
-layout, shard lifecycle and failover semantics.
+(:mod:`~repro.dist.rollup`).  A :class:`ShardSupervisor`
+(:mod:`~repro.dist.supervisor`) restarts crashed shards and re-admits
+them to the ring after a passing health probe, closing the failover
+loop.  See ``docs/DIST.md`` for the protocol layout, shard lifecycle,
+and the at-least-once delivery / supervision model.
 """
 
 from repro.dist.protocol import (
@@ -18,15 +21,18 @@ from repro.dist.protocol import (
     MessageType,
     WireFix,
     decode_frames,
+    decode_frames_seq,
     decode_message,
     encode_frames,
     encode_message,
     parse_bind,
+    split_traced_ingest,
 )
 from repro.dist.replay import IngestSink, stream_dat_capture, stream_dataset
 from repro.dist.rollup import merge_snapshots, pull_shard_metrics, rollup_exposition
 from repro.dist.router import HashRing, ShardRouter
 from repro.dist.shard import (
+    SeqDeduper,
     ShardConfig,
     ShardProcess,
     ShardServer,
@@ -34,6 +40,7 @@ from repro.dist.shard import (
     run_shard,
     start_shards,
 )
+from repro.dist.supervisor import ShardSupervisor
 
 __all__ = [
     "MAGIC",
@@ -43,13 +50,16 @@ __all__ = [
     "HashRing",
     "IngestSink",
     "MessageType",
+    "SeqDeduper",
     "ShardConfig",
     "ShardProcess",
     "ShardRouter",
     "ShardServer",
+    "ShardSupervisor",
     "WireFix",
     "build_server",
     "decode_frames",
+    "decode_frames_seq",
     "decode_message",
     "encode_frames",
     "encode_message",
@@ -58,6 +68,7 @@ __all__ = [
     "pull_shard_metrics",
     "rollup_exposition",
     "run_shard",
+    "split_traced_ingest",
     "start_shards",
     "stream_dat_capture",
     "stream_dataset",

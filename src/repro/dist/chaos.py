@@ -1,44 +1,88 @@
-"""Kill-one-shard chaos: SIGKILL a live shard mid-stream, measure survival.
+"""Distributed chaos: shard death and transport faults under live load.
 
 The distributed counterpart of :mod:`repro.faults.chaos`: instead of
-corrupting CSI, the fault is an *ungraceful shard death* — no drain, no
-goodbye, the process is simply gone — injected while packet bursts are
-in flight.  What must survive is the contract the router advertises:
+corrupting CSI, the faults live below the application — an *ungraceful
+shard death* (:func:`run_shard_kill`), or transport misbehaviour on the
+router↔shard sockets (:func:`run_network_chaos`: connection resets,
+slow/black-holed links, corrupted bytes, crash-and-restart under a
+supervisor) — injected while packet bursts are in flight.  What must
+survive is the contract the router advertises:
 
-* the dead shard's key range re-hashes onto the survivors
-  (``dist.failover.*`` counters say how much was lost vs. re-routed);
-* sources keep streaming and, because live senders oversample, the new
-  owner assembles complete bursts from the post-failover packets;
-* the router itself never crashes, and the surviving shards shut down
-  cleanly at the end.
+* the dead shard's key range re-hashes onto the survivors, its journaled
+  in-flight frames are replayed to the new owner
+  (``dist.failover.replayed``) and shard-side ``(source, seq)`` dedup
+  keeps redelivery idempotent;
+* sources keep streaming and the new owner assembles complete bursts;
+* the supervisor restarts crashed shards and re-admits them after a
+  passing health probe, so no source ends the run unroutable;
+* the router itself never crashes, and the shards shut down cleanly.
 
 Success is counted **per source**: a source succeeds when at least one
 successful fix event was delivered for it by the end of the run.  That
 matches what a user of the cluster observes — "did target X get a
-position?" — and is robust to the burst-boundary ambiguity that an
-at-most-once failover necessarily creates.  The resulting
-:class:`~repro.faults.chaos.ChaosReport` plugs into the same CLI gate
-(``repro chaos --scenario shard-kill``) as the fault-injection runs.
+position?".  The resulting :class:`~repro.faults.chaos.ChaosReport`
+plugs into the same CLI gate (``repro chaos --scenario <name>``) as the
+fault-injection runs; network scenarios additionally report
+``replayed`` / ``unrouted_sources`` / ``excess_fixes`` so the gate can
+assert at-least-once delivery with exact fix-count accounting.
 """
 
 from __future__ import annotations
 
 import math
 import tempfile
-from typing import Any, Callable, Dict, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.dist.protocol import WireFix
 from repro.dist.router import ShardRouter
 from repro.dist.shard import ShardConfig, start_shards
+from repro.dist.supervisor import ShardSupervisor
 from repro.errors import ConfigurationError, ShardUnavailableError
 from repro.faults.chaos import PACKET_INTERVAL_S, ChaosReport
+from repro.faults.network import (
+    BlackHole,
+    ConnectionReset,
+    CorruptBytes,
+    NetworkFaultInjector,
+    NetworkFaultSpec,
+    SlowLink,
+)
 from repro.runtime import RuntimeMetrics
 from repro.testbed.layout import home_testbed, office_testbed, small_testbed
 from repro.wifi.csi import CsiFrame
 
 _TESTBEDS = {"office": office_testbed, "small": small_testbed, "home": home_testbed}
+
+#: The transport chaos matrix (``repro chaos --scenario <name>``).
+NETWORK_SCENARIOS = ("corrupt-bytes", "crash-restart", "reset-storm", "slow-link")
+
+
+def network_scenario_specs(scenario: str) -> Tuple[NetworkFaultSpec, ...]:
+    """Transport fault mix for one matrix scenario.
+
+    ``crash-restart`` returns no wire faults — its fault is a SIGKILL
+    mid-stream with the supervisor responsible for the comeback.  The
+    ``slow-link`` mix pairs latency with a low-probability black hole so
+    the scenario also exercises timeout-triggered failover + replay.
+    """
+    if scenario == "reset-storm":
+        return (ConnectionReset(probability=0.02),)
+    if scenario == "slow-link":
+        return (
+            SlowLink(probability=0.25, delay_s=0.01),
+            BlackHole(probability=0.03),
+        )
+    if scenario == "corrupt-bytes":
+        return (CorruptBytes(probability=0.05, flips=4),)
+    if scenario == "crash-restart":
+        return ()
+    raise ConfigurationError(
+        f"unknown network scenario {scenario!r}; "
+        f"available: {sorted(NETWORK_SCENARIOS)}"
+    )
 
 
 def run_shard_kill(
@@ -207,3 +251,282 @@ def run_shard_kill(
         injected=injected,
         breakers=breakers,
     )
+
+
+def run_network_chaos(
+    scenario: str,
+    testbed: str = "small",
+    seed: int = 7,
+    packets_per_fix: int = 6,
+    bursts: int = 3,
+    min_aps: int = 2,
+    num_shards: int = 3,
+    oversample: float = 4.0,
+    restart_budget: int = 2,
+    probe: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> ChaosReport:
+    """Stream sources through a faulty transport with a supervisor on duty.
+
+    One scenario of the chaos matrix (:data:`NETWORK_SCENARIOS`): the
+    router's shard sockets are wrapped by a seeded
+    :class:`~repro.faults.network.NetworkFaultInjector` carrying the
+    scenario's fault mix, and a :class:`~repro.dist.supervisor.ShardSupervisor`
+    polls every round, restarting crashed shards (``crash-restart``
+    SIGKILLs the first source's owner mid-stream) and re-admitting
+    recovered ones after a health probe.  After the stream, the run
+    *settles*: the supervisor is polled until no shard is left dead, so
+    the final flush/shutdown sees a whole ring.
+
+    The report's ``injected`` dict carries the scenario verdicts the CLI
+    gate asserts beyond fix success:
+
+    * ``replayed`` — journaled frames replayed after failovers (>= 1
+      proves at-least-once delivery actually engaged);
+    * ``unrouted_sources`` — sources whose ring owner is not a live
+      process at the end (must be 0: nobody is stranded);
+    * ``excess_fixes`` — successful fixes beyond what the delivered
+      packet budget can explain (must be 0: shard-side dedup absorbed
+      every redelivery instead of double-counting).
+
+    ``probe`` mirrors :func:`run_shard_kill`: called with the cluster
+    ``/healthz`` payload once while healthy and once mid-degradation
+    (after the kill; network-only scenarios probe after the stream).
+    """
+    if scenario not in NETWORK_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown network scenario {scenario!r}; "
+            f"available: {sorted(NETWORK_SCENARIOS)}"
+        )
+    if testbed not in _TESTBEDS:
+        raise ConfigurationError(
+            f"unknown testbed {testbed!r}; available: {sorted(_TESTBEDS)}"
+        )
+    if num_shards < 2:
+        raise ConfigurationError("network chaos needs at least 2 shards")
+    if oversample < 1.0:
+        raise ConfigurationError("oversample must be >= 1.0")
+    tb = _TESTBEDS[testbed]()
+    sim = tb.simulator()
+    stream_packets = max(packets_per_fix, int(round(packets_per_fix * oversample)))
+    sources = [f"chaos-{burst:02d}" for burst in range(bursts)]
+    targets = {
+        source: tb.targets[burst % len(tb.targets)].position
+        for burst, source in enumerate(sources)
+    }
+    data_rng = np.random.default_rng(seed + 1)
+    traces = {
+        source: [
+            sim.generate_trace(
+                targets[source], ap, stream_packets, rng=data_rng, source=source
+            )
+            for ap in tb.aps
+        ]
+        for source in sources
+    }
+    config = ShardConfig(
+        shard_id="template",
+        testbed=testbed,
+        packets_per_fix=packets_per_fix,
+        min_aps=min_aps,
+        max_burst_age_s=4.0 * stream_packets * PACKET_INTERVAL_S,
+        seed=seed,
+    )
+    specs_mix = network_scenario_specs(scenario)
+    injector: Optional[NetworkFaultInjector] = None
+    metrics = RuntimeMetrics()
+    if specs_mix:
+        injector = NetworkFaultInjector(
+            list(specs_mix), rng=np.random.default_rng(seed + 2), metrics=metrics
+        )
+    kill_at = max(1, int(stream_packets * 0.4)) if scenario == "crash-restart" else -1
+    fixes_by_source: Dict[str, List[WireFix]] = {source: [] for source in sources}
+    breakers: Dict[str, str] = {}
+    killed_shard = ""
+    unrouted = 0
+    flush_rounds = 1
+    telemetry = None
+    with tempfile.TemporaryDirectory(prefix="repro-dist-") as tmp:
+        shards = start_shards(num_shards, config, tmp)
+        specs = {shard_id: proc.spec for shard_id, proc in shards.items()}
+        router = ShardRouter(
+            specs,
+            batch_max_frames=len(tb.aps),
+            metrics=metrics,
+            socket_timeout_s=10.0,
+            connect_timeout_s=2.0,
+            socket_wrapper=injector.wrap if injector is not None else None,
+        )
+        supervisor = ShardSupervisor(
+            shards,
+            router=router,
+            restart_budget=restart_budget,
+            backoff_base_s=0.05,
+            backoff_max_s=0.5,
+            metrics=metrics,
+        )
+        if probe is not None:
+            from repro.dist.rollup import start_cluster_telemetry
+            from repro.obs.http import fetch_json
+
+            telemetry = start_cluster_telemetry(specs, router_metrics=metrics)
+            probe(fetch_json(f"{telemetry.url}/healthz"))
+        try:
+            for k in range(stream_packets):
+                if k == kill_at:
+                    killed_shard = router.owner_of(sources[0])
+                    shards[killed_shard].kill()
+                    shards[killed_shard].join()
+                    if telemetry is not None and probe is not None:
+                        probe(fetch_json(f"{telemetry.url}/healthz"))
+                stamp = k * PACKET_INTERVAL_S
+                for source in sources:
+                    for i, trace in enumerate(traces[source]):
+                        frame = trace[k]
+                        _ingest_with_recovery(
+                            router,
+                            supervisor,
+                            f"ap{i}",
+                            CsiFrame(
+                                csi=frame.csi,
+                                rssi_dbm=frame.rssi_dbm,
+                                timestamp_s=stamp,
+                                source=source,
+                            ),
+                        )
+                supervisor.poll()
+                for fix in router.take_fixes():
+                    fixes_by_source[fix.source].append(fix)
+            if telemetry is not None and probe is not None and kill_at < 0:
+                probe(fetch_json(f"{telemetry.url}/healthz"))
+            flushed, flush_rounds = _flush_with_recovery(router, supervisor)
+            for fix in flushed:
+                fixes_by_source[fix.source].append(fix)
+            for reply in router.pull_metrics():
+                shard_id = str(reply.get("shard_id", "?"))
+                for ap_id, state in dict(reply.get("breakers", {})).items():
+                    breakers[f"{shard_id}/{ap_id}"] = str(state)
+            for source in sources:
+                owner = router.owner_of(source)
+                proc = shards.get(owner)
+                if proc is None or not proc.process.is_alive():
+                    unrouted += 1
+            for fix in router.shutdown():
+                fixes_by_source[fix.source].append(fix)
+        except ShardUnavailableError:
+            # Budget exhausted with everything dead — the report shows
+            # zero successes; the router/supervisor contract still held.
+            unrouted = len(sources)
+        finally:
+            if telemetry is not None:
+                telemetry.stop()
+            router.close()
+            for proc in shards.values():
+                proc.kill()
+                proc.join()
+    errors: List[float] = []
+    fixes_ok = 0
+    excess_fixes = 0
+    # Every (source, ap) stream carries stream_packets unique seqs, so
+    # at most stream_packets // packets_per_fix ingest-triggered fixes
+    # can exist per source, plus one forced partial-burst fix per flush
+    # round (a re-flush only sees frames replayed after the previous
+    # one, so each unique frame still feeds at most one fix) and one for
+    # a second shard holding frames at shutdown.
+    fix_cap = stream_packets // packets_per_fix + flush_rounds + 1
+    for source in sources:
+        ok = [fix for fix in fixes_by_source[source] if fix.ok]
+        excess_fixes += max(0, len(ok) - fix_cap)
+        if not ok:
+            continue
+        fixes_ok += 1
+        last = ok[-1]
+        target = targets[source]
+        errors.append(math.hypot(last.x - target.x, last.y - target.y))
+    counters = metrics.snapshot()["counters"]
+    injected = {
+        name[len("dist.failover.") :]: int(value)
+        for name, value in counters.items()
+        if name.startswith("dist.failover.")
+    }
+    for name, value in counters.items():
+        if name.startswith("dist.supervisor."):
+            injected[name[len("dist.") :]] = int(value)
+        elif name.startswith("faults.network."):
+            injected[name[len("faults.") :]] = int(value)
+    injected.setdefault("replayed", 0)
+    injected["killed_shards"] = 1 if killed_shard else 0
+    injected["unrouted_sources"] = unrouted
+    injected["excess_fixes"] = excess_fixes
+    return ChaosReport(
+        scenario=scenario,
+        testbed=testbed,
+        seed=seed,
+        bursts=bursts,
+        fixes_attempted=len(sources),
+        fixes_ok=fixes_ok,
+        degraded_fixes=0,
+        median_error_m=float(np.median(errors)) if errors else float("nan"),
+        quarantined={},
+        injected=injected,
+        breakers=breakers,
+    )
+
+
+def _settle(
+    router: ShardRouter, supervisor: ShardSupervisor, timeout_s: float = 10.0
+) -> None:
+    """Poll the supervisor until no shard is dead (or the deadline hits)."""
+    deadline = time.monotonic() + timeout_s
+    while router.dead_shards() and time.monotonic() < deadline:
+        supervisor.poll(force=True)
+        if router.dead_shards():
+            time.sleep(0.02)
+
+
+def _flush_with_recovery(
+    router: ShardRouter, supervisor: ShardSupervisor, max_rounds: int = 5
+) -> Tuple[List[WireFix], int]:
+    """Flush every shard, re-settling and re-flushing after mid-flush faults.
+
+    A fault striking *during* the final flush fails the shard mid-drain:
+    its journaled frames are replayed (or stranded until a readmit), so
+    one flush pass is not enough — the replayed frames sit buffered on
+    their new owner.  Settle and flush again until a pass completes with
+    the ring whole.  Returns the collected fixes and the number of flush
+    rounds actually run (the caller's fix-count accounting needs it:
+    each round may force one partial-burst fix per source).
+    """
+    fixes: List[WireFix] = []
+    rounds = 0
+    for _ in range(max_rounds):
+        _settle(router, supervisor)
+        rounds += 1
+        fixes.extend(router.flush())
+        if not router.dead_shards():
+            break
+    return fixes, rounds
+
+
+def _ingest_with_recovery(
+    router: ShardRouter,
+    supervisor: ShardSupervisor,
+    ap_id: str,
+    frame: CsiFrame,
+) -> None:
+    """Ingest one frame, riding out transient total-ring outages.
+
+    A fault storm can briefly fail every shard between supervisor
+    polls; a real client would back off and retry, so the harness does
+    the same: force a recovery poll and retry until the supervisor
+    itself gives up (budget exhaustion propagates).
+    """
+    for _ in range(10):
+        try:
+            router.ingest(ap_id, frame)
+            return
+        except ShardUnavailableError:
+            # Raises once every shard is dead with its budget spent.
+            readmitted = supervisor.poll(force=True)
+            if not readmitted:
+                time.sleep(0.05)
+    router.ingest(ap_id, frame)

@@ -51,8 +51,10 @@ from repro.wifi.csi import CsiFrame
 #: First two bytes of every message.
 MAGIC = b"SD"
 
-#: Wire protocol version; bumped on any layout change.
-PROTOCOL_VERSION = 1
+#: Wire protocol version; bumped on any layout change.  Version 2 added
+#: the per-frame delivery sequence number to INGEST batches (the
+#: at-least-once failover dedup key).
+PROTOCOL_VERSION = 2
 
 #: Upper bound on a single message payload (guards allocation).
 MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
@@ -60,7 +62,8 @@ MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
 #: Message header: magic, version, msg type, payload length.
 HEADER = struct.Struct("!2sBBI")
 
-_FRAME_META = struct.Struct("!ddHH")  # rssi_dbm, timestamp_s, antennas, subcarriers
+# rssi_dbm, timestamp_s, antennas, subcarriers, seq
+_FRAME_META = struct.Struct("!ddHHI")
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 
@@ -230,10 +233,20 @@ class _Cursor:
             raise TraceFormatError(f"undecodable string field: {exc}") from exc
 
 
-def encode_frames(entries: Sequence[Tuple[str, CsiFrame]]) -> bytes:
-    """Encode a batch of ``(ap_id, frame)`` entries into an INGEST payload."""
+def encode_frames(entries: Sequence[Tuple[Any, ...]]) -> bytes:
+    """Encode a batch of entries into an INGEST payload.
+
+    Each entry is ``(ap_id, frame)`` or ``(ap_id, frame, seq)``; ``seq``
+    is the router-assigned per-source delivery sequence number used for
+    at-least-once redelivery dedup on the shard side.  Omitted (or 0) it
+    means "unsequenced" — such frames bypass dedup entirely.
+    """
     chunks: List[bytes] = [_U32.pack(len(entries))]
-    for ap_id, frame in entries:
+    for entry in entries:
+        ap_id, frame = entry[0], entry[1]
+        seq = int(entry[2]) if len(entry) > 2 else 0
+        if not 0 <= seq <= 0xFFFFFFFF:
+            raise ValidationError(f"frame seq {seq} outside the u32 range")
         csi = np.ascontiguousarray(frame.csi, dtype=np.complex128)
         chunks.append(_encode_str(ap_id))
         chunks.append(_encode_str(frame.source))
@@ -243,14 +256,15 @@ def encode_frames(entries: Sequence[Tuple[str, CsiFrame]]) -> bytes:
                 float(frame.timestamp_s),
                 csi.shape[0],
                 csi.shape[1],
+                seq,
             )
         )
         chunks.append(csi.astype(WIRE_CSI_DTYPE).tobytes())
     return b"".join(chunks)
 
 
-def decode_frames(payload: bytes) -> List[Tuple[str, CsiFrame]]:
-    """Decode an INGEST payload back into ``(ap_id, CsiFrame)`` entries.
+def decode_frames_seq(payload: bytes) -> List[Tuple[str, CsiFrame, int]]:
+    """Decode an INGEST payload into ``(ap_id, CsiFrame, seq)`` entries.
 
     Framing damage raises :class:`TraceFormatError`; a well-framed entry
     whose CSI is semantically invalid (too few antennas/subcarriers,
@@ -258,11 +272,11 @@ def decode_frames(payload: bytes) -> List[Tuple[str, CsiFrame]]:
     """
     cursor = _Cursor(payload)
     (count,) = _U32.unpack(cursor.take(_U32.size))
-    entries: List[Tuple[str, CsiFrame]] = []
+    entries: List[Tuple[str, CsiFrame, int]] = []
     for index in range(count):
         ap_id = cursor.take_str()
         source = cursor.take_str()
-        rssi_dbm, timestamp_s, antennas, subcarriers = _FRAME_META.unpack(
+        rssi_dbm, timestamp_s, antennas, subcarriers, seq = _FRAME_META.unpack(
             cursor.take(_FRAME_META.size)
         )
         if antennas < 2 or subcarriers < 2:
@@ -282,12 +296,21 @@ def decode_frames(payload: bytes) -> List[Tuple[str, CsiFrame]]:
             )
         except CsiShapeError as exc:
             raise ValidationError(f"frame {index}: {exc}") from exc
-        entries.append((ap_id, frame))
+        entries.append((ap_id, frame, seq))
     if cursor.offset != len(payload):
         raise TraceFormatError(
             f"frame batch has {len(payload) - cursor.offset} trailing bytes"
         )
     return entries
+
+
+def decode_frames(payload: bytes) -> List[Tuple[str, CsiFrame]]:
+    """Decode an INGEST payload back into ``(ap_id, CsiFrame)`` entries.
+
+    The sequence-number-free view of :func:`decode_frames_seq`, for
+    callers that predate at-least-once delivery.
+    """
+    return [(ap_id, frame) for ap_id, frame, _seq in decode_frames_seq(payload)]
 
 
 # ----------------------------------------------------------------------
@@ -304,7 +327,7 @@ def encode_trace_context(context: TraceContext) -> bytes:
 
 
 def encode_traced_ingest(
-    entries: Sequence[Tuple[str, CsiFrame]], context: TraceContext
+    entries: Sequence[Tuple[Any, ...]], context: TraceContext
 ) -> bytes:
     """Encode an ``INGEST_TRACED`` payload: trace context, then the batch.
 
@@ -314,10 +337,12 @@ def encode_traced_ingest(
     return encode_trace_context(context) + encode_frames(entries)
 
 
-def decode_traced_ingest(
-    payload: bytes,
-) -> Tuple[TraceContext, List[Tuple[str, CsiFrame]]]:
-    """Split an ``INGEST_TRACED`` payload into its context and batch."""
+def split_traced_ingest(payload: bytes) -> Tuple[TraceContext, bytes]:
+    """Split an ``INGEST_TRACED`` payload into context + raw batch suffix.
+
+    The suffix is a plain INGEST payload; decode it with
+    :func:`decode_frames` or :func:`decode_frames_seq` as needed.
+    """
     if len(payload) < _U16.size:
         raise TraceFormatError("INGEST_TRACED payload shorter than its length prefix")
     (length,) = _U16.unpack_from(payload)
@@ -333,7 +358,15 @@ def decode_traced_ingest(
         raise TraceFormatError(f"undecodable trace context: {exc}") from exc
     if not isinstance(data, dict):
         raise TraceFormatError("trace context must be a JSON object")
-    return TraceContext.from_dict(data), decode_frames(payload[end:])
+    return TraceContext.from_dict(data), payload[end:]
+
+
+def decode_traced_ingest(
+    payload: bytes,
+) -> Tuple[TraceContext, List[Tuple[str, CsiFrame]]]:
+    """Split an ``INGEST_TRACED`` payload into its context and batch."""
+    context, suffix = split_traced_ingest(payload)
+    return context, decode_frames(suffix)
 
 
 # ----------------------------------------------------------------------

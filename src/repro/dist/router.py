@@ -21,11 +21,16 @@ assembles that packet's burst:
 * **Failover**: any send/receive failure (or failed health probe) marks
   the shard dead, removes it from the ring, and re-routes both the
   unsent batch and the key range onto survivors, counting
-  ``dist.failover.shard_down`` / ``inflight_lost`` / ``rerouted``.
-  Replies owed by the dead shard are gone — delivery is at-most-once,
-  and the lost-burst gap is closed by the source's next packets hashing
-  onto the new owner (clients that oversample, like the chaos harness,
-  ride this out).  When no shard remains,
+  ``dist.failover.shard_down`` / ``rerouted``.  Delivery is
+  **at-least-once**: every frame carries a per-source sequence number,
+  sent-but-unacked batches are journaled (bounded per source by
+  ``journal_max_frames``), and when a shard dies its journaled frames
+  are replayed to the new ring owner (``dist.failover.replayed``) —
+  shard-side ``(source, seq)`` dedup makes the redelivery idempotent.
+  Frames beyond the journal bound are the remaining at-most-once
+  residue, counted ``dist.failover.inflight_lost``.  A supervisor that
+  has health-probed a recovered shard can return it to the ring with
+  :meth:`ShardRouter.readmit_shard`.  When no shard remains,
   :class:`~repro.errors.ShardUnavailableError` is raised.
 """
 
@@ -36,7 +41,18 @@ import hashlib
 import select
 import socket
 import time
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    cast,
+)
 
 from repro.dist import protocol
 from repro.dist.protocol import BindAddress, MessageType, WireFix, parse_bind
@@ -44,6 +60,11 @@ from repro.errors import ShardUnavailableError, TraceFormatError
 from repro.obs.trace import NOOP_TRACER, Tracer
 from repro.runtime import RuntimeMetrics
 from repro.wifi.csi import CsiFrame
+
+#: Journal record for one sent-but-unacked ingest batch: the entries
+#: retained for replay, plus the count that overflowed the journal cap
+#: (those stay at-most-once).
+_BatchRecord = Tuple[List[Tuple[str, CsiFrame, int]], int]
 
 
 class HashRing:
@@ -117,6 +138,21 @@ class ShardRouter:
     socket_timeout_s:
         Per-operation socket timeout; a shard that blocks longer is
         treated as dead.
+    connect_timeout_s:
+        Timeout for the initial connect only; defaults to
+        ``socket_timeout_s``.  Keeping it short lets the router fail a
+        black-holed shard fast without also shrinking the reply budget
+        of busy-but-healthy shards.
+    journal_max_frames:
+        Per-source cap on sent-but-unacked frames retained for replay
+        (the at-least-once journal).  Frames shipped beyond the cap are
+        counted ``dist.journal.overflow`` at ship time and fall back to
+        at-most-once (``inflight_lost`` if their shard dies).  0
+        disables journaling entirely.
+    socket_wrapper:
+        Optional ``(sock, shard_id) -> sock`` hook applied to every
+        freshly-connected shard socket — the injection point for
+        :meth:`repro.faults.network.NetworkFaultInjector.wrap`.
     metrics:
         Counter sink; ``dist.*`` counters land here.  A fresh instance
         is created when omitted.
@@ -143,6 +179,11 @@ class ShardRouter:
         batch_max_frames: int = 16,
         health_interval_s: float = 0.0,
         socket_timeout_s: float = 60.0,
+        connect_timeout_s: Optional[float] = None,
+        journal_max_frames: int = 512,
+        socket_wrapper: Optional[
+            Callable[[socket.socket, str], socket.socket]
+        ] = None,
         metrics: Optional[RuntimeMetrics] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -153,6 +194,13 @@ class ShardRouter:
         self.batch_max_frames = max(1, int(batch_max_frames))
         self.health_interval_s = float(health_interval_s)
         self.socket_timeout_s = float(socket_timeout_s)
+        self.connect_timeout_s = (
+            float(connect_timeout_s)
+            if connect_timeout_s is not None
+            else self.socket_timeout_s
+        )
+        self.journal_max_frames = max(0, int(journal_max_frames))
+        self.socket_wrapper = socket_wrapper
         self._addresses: Dict[str, BindAddress] = {
             shard_id: parse_bind(spec) for shard_id, spec in shards.items()
         }
@@ -160,9 +208,17 @@ class ShardRouter:
         for shard_id in self._addresses:
             self._ring.add_node(shard_id)
         self._sockets: Dict[str, socket.socket] = {}
-        self._pending: Dict[str, List[Tuple[str, CsiFrame]]] = {}
-        self._inflight: Dict[str, int] = {}
+        self._pending: Dict[str, List[Tuple[str, CsiFrame, int]]] = {}
+        # Per shard, one FIFO record per outstanding request, aligned
+        # with its reply stream: ``(journaled_entries, unjournaled)``
+        # for ingest batches, ``None`` for control requests.
+        self._unacked: Dict[str, Deque[Optional[_BatchRecord]]] = {}
+        self._journal_depth: Dict[str, int] = {}
+        self._seqs: Dict[str, int] = {}
         self._dead: Dict[str, str] = {}
+        # Frames that had nowhere to go because the ring emptied while a
+        # failover was re-routing them; parked until a readmit.
+        self._stranded: List[Tuple[str, CsiFrame, int]] = []
         self._fixes: List[WireFix] = []
         self._last_health_s = time.monotonic()
 
@@ -172,7 +228,12 @@ class ShardRouter:
     def _socket_for(self, shard_id: str) -> socket.socket:
         sock = self._sockets.get(shard_id)
         if sock is None:
-            sock = self._addresses[shard_id].connect(timeout_s=self.socket_timeout_s)
+            sock = self._addresses[shard_id].connect(
+                timeout_s=self.connect_timeout_s
+            )
+            sock.settimeout(self.socket_timeout_s)
+            if self.socket_wrapper is not None:
+                sock = cast(socket.socket, self.socket_wrapper(sock, shard_id))
             self._sockets[shard_id] = sock
         return sock
 
@@ -191,12 +252,47 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # Failover
     # ------------------------------------------------------------------
-    def _fail_shard(self, shard_id: str, reason: str) -> None:
-        """Mark a shard dead and re-route its unsent batch.
+    def _journal_release(self, entries: List[Tuple[str, CsiFrame, int]]) -> None:
+        """Drop journal-depth accounting for acked or replayed entries."""
+        for _ap_id, frame, _seq in entries:
+            depth = self._journal_depth.get(frame.source, 0) - 1
+            if depth > 0:
+                self._journal_depth[frame.source] = depth
+            else:
+                self._journal_depth.pop(frame.source, None)
 
-        In-flight requests owed by the shard are lost (at-most-once);
-        the unsent batch is re-hashed onto the survivors, which may
-        recursively fail more shards if they are also down.
+    def _journal_record(self, batch: List[Tuple[str, CsiFrame, int]]) -> _BatchRecord:
+        """Reserve journal space for a batch about to ship.
+
+        Entries beyond the per-source cap are not retained; they are
+        counted ``dist.journal.overflow`` and ride at-most-once.
+        """
+        if self.journal_max_frames <= 0:
+            return ([], len(batch))
+        journaled: List[Tuple[str, CsiFrame, int]] = []
+        overflowed = 0
+        for entry in batch:
+            source = entry[1].source
+            depth = self._journal_depth.get(source, 0)
+            if depth >= self.journal_max_frames:
+                overflowed += 1
+                continue
+            self._journal_depth[source] = depth + 1
+            journaled.append(entry)
+        if overflowed:
+            self.metrics.increment("dist.journal.overflow", overflowed)
+        return (journaled, overflowed)
+
+    def _fail_shard(self, shard_id: str, reason: str) -> None:
+        """Mark a shard dead, replay its journal, re-route its batch.
+
+        Sent-but-unacked frames retained in the journal are re-hashed
+        onto the survivors with their sequence numbers intact
+        (``dist.failover.replayed`` — shard-side dedup absorbs any that
+        were actually processed before the crash); frames that
+        overflowed the journal are lost (``inflight_lost``).  The
+        unsent pending batch is re-routed too, which may recursively
+        fail more shards if they are also down.
         """
         if shard_id in self._dead:
             return
@@ -209,13 +305,64 @@ class ShardRouter:
             except OSError:
                 pass
         unsent = self._pending.pop(shard_id, [])
-        lost = self._inflight.pop(shard_id, 0)
+        owed = self._unacked.pop(shard_id, None) or deque()
         self.metrics.increment("dist.failover.shard_down")
-        self.metrics.increment("dist.failover.inflight_lost", lost)
+        replay: List[Tuple[str, CsiFrame, int]] = []
+        lost = 0
+        for record in owed:
+            if record is None:
+                continue
+            journaled, overflowed = record
+            lost += overflowed
+            self._journal_release(journaled)
+            replay.extend(journaled)
+        if lost:
+            self.metrics.increment("dist.failover.inflight_lost", lost)
+        if replay:
+            self.metrics.increment("dist.failover.replayed", len(replay))
+            for ap_id, frame, seq in replay:
+                self._route_or_strand(ap_id, frame, seq)
         if unsent:
             self.metrics.increment("dist.failover.rerouted", len(unsent))
-            for ap_id, frame in unsent:
-                self.ingest(ap_id, frame)
+            for ap_id, frame, seq in unsent:
+                self._route_or_strand(ap_id, frame, seq)
+
+    def _route_or_strand(self, ap_id: str, frame: CsiFrame, seq: int) -> None:
+        """Re-route a failover frame, parking it if the ring is empty.
+
+        A fault storm can fail every shard while one failover is still
+        re-routing; raising from that depth would silently drop the
+        frames not yet re-routed.  Parking them keeps at-least-once
+        intact: :meth:`readmit_shard` re-routes the stash as soon as
+        any shard comes back.
+        """
+        try:
+            self._route(ap_id, frame, seq)
+        except ShardUnavailableError:
+            self._stranded.append((ap_id, frame, seq))
+            self.metrics.increment("dist.failover.stranded")
+
+    def readmit_shard(self, shard_id: str) -> None:
+        """Return a previously-failed shard to the ring.
+
+        Meant for a supervisor that has already health-probed the
+        recovered shard on a fresh socket — the router itself never
+        un-fails a shard.  The dead connection was closed at failover,
+        so the next request opens a new one.  Frames stranded while the
+        ring was empty are re-routed now, sequence numbers intact.
+        """
+        if shard_id not in self._addresses:
+            raise ShardUnavailableError(
+                f"unknown shard {shard_id!r} cannot be readmitted"
+            )
+        self._dead.pop(shard_id, None)
+        if shard_id not in self._ring.nodes():
+            self._ring.add_node(shard_id)
+        self.metrics.increment("dist.failover.readmitted")
+        if self._stranded:
+            stranded, self._stranded = self._stranded, []
+            for ap_id, frame, seq in stranded:
+                self._route_or_strand(ap_id, frame, seq)
 
     # ------------------------------------------------------------------
     # Reply draining (the pipelined half)
@@ -223,20 +370,36 @@ class ShardRouter:
     def _absorb_reply(
         self, shard_id: str, msg_type: MessageType, payload: bytes
     ) -> None:
-        if msg_type in (MessageType.FIXES, MessageType.BYE):
-            fixes = protocol.decode_fixes(payload)
-            self._fixes.extend(fixes)
-            self.metrics.increment("dist.fixes.received", len(fixes))
-        elif msg_type == MessageType.ERROR:
-            error = protocol.decode_json(payload)
-            kind = "unknown"
-            if isinstance(error, dict):
-                kind = str(error.get("kind", "unknown"))
-            self.metrics.record_error("dist.request", kind=kind)
-        else:
-            # A late HEALTH_OK / METRICS_REPLY from a probe whose recv
-            # timed out earlier; counting it keeps the stream in sync.
-            self.metrics.increment("dist.replies.stray")
+        try:
+            if msg_type in (MessageType.FIXES, MessageType.BYE):
+                fixes = protocol.decode_fixes(payload)
+                self._fixes.extend(fixes)
+                self.metrics.increment("dist.fixes.received", len(fixes))
+            elif msg_type == MessageType.ERROR:
+                error = protocol.decode_json(payload)
+                kind = "unknown"
+                if isinstance(error, dict):
+                    kind = str(error.get("kind", "unknown"))
+                self.metrics.record_error("dist.request", kind=kind)
+            else:
+                # A late HEALTH_OK / METRICS_REPLY from a probe whose recv
+                # timed out earlier; counting it keeps the stream in sync.
+                self.metrics.increment("dist.replies.stray")
+        except TraceFormatError as exc:
+            # Well-framed but undecodable (e.g. bytes corrupted on the
+            # wire): the reply was already acked — its frames were
+            # delivered, only their fixes are unrecoverable — but the
+            # stream can no longer be trusted.
+            self._fail_shard(shard_id, f"malformed reply: {exc}")
+
+    def _note_reply(self, shard_id: str) -> None:
+        """Ack the oldest outstanding request (replies arrive in order)."""
+        owed = self._unacked.get(shard_id)
+        if not owed:
+            return
+        record = owed.popleft()
+        if record is not None:
+            self._journal_release(record[0])
 
     def _drain_replies(self, shard_id: str, block: bool) -> None:
         """Collect replies the shard owes us.
@@ -249,7 +412,7 @@ class ShardRouter:
         mode waits for every owed reply — the sync point used by flush
         and metrics.
         """
-        while self._inflight.get(shard_id, 0) > 0:
+        while self._unacked.get(shard_id):
             sock = self._sockets.get(shard_id)
             if sock is None:
                 return
@@ -272,20 +435,43 @@ class ShardRouter:
             if message is None:
                 self._fail_shard(shard_id, "connection closed")
                 return
-            self._inflight[shard_id] -= 1
+            self._note_reply(shard_id)
             self._absorb_reply(shard_id, *message)
 
     def _send_request(
-        self, shard_id: str, msg_type: MessageType, payload: bytes
+        self,
+        shard_id: str,
+        msg_type: MessageType,
+        payload: bytes,
+        record: Optional[_BatchRecord] = None,
     ) -> bool:
-        """Ship one request; returns False (after failover) on failure."""
+        """Ship one request; returns False (after failover) on failure.
+
+        ``record`` is the journal record for ingest batches (``None``
+        for control requests); it is enqueued as owed only once the
+        send succeeds, so a failed send never strands journal state.
+        """
         try:
             sock = self._socket_for(shard_id)
+        except socket.timeout:
+            self._fail_shard(
+                shard_id, f"connect timeout after {self.connect_timeout_s}s"
+            )
+            return False
+        except OSError as exc:
+            self._fail_shard(shard_id, f"connect failed: {exc}")
+            return False
+        try:
             protocol.send_message(sock, msg_type, payload)
+        except socket.timeout:
+            self._fail_shard(
+                shard_id, f"send timeout after {self.socket_timeout_s}s"
+            )
+            return False
         except OSError as exc:
             self._fail_shard(shard_id, f"send failed: {exc}")
             return False
-        self._inflight[shard_id] = self._inflight.get(shard_id, 0) + 1
+        self._unacked.setdefault(shard_id, deque()).append(record)
         return True
 
     def _ship_batch(self, shard_id: str) -> None:
@@ -300,26 +486,43 @@ class ShardRouter:
             else:
                 msg_type = MessageType.INGEST
                 payload = protocol.encode_frames(batch)
-            if self._send_request(shard_id, msg_type, payload):
+            record = self._journal_record(batch)
+            if self._send_request(shard_id, msg_type, payload, record=record):
                 self.metrics.increment("dist.frames.sent", len(batch))
                 self.metrics.increment("dist.batches.sent")
                 self._drain_replies(shard_id, block=False)
+            else:
+                # The shard never accepted the batch; undo its journal
+                # reservation and re-route every frame (the failover in
+                # _send_request only saw the already-owed requests).
+                self._journal_release(record[0])
+                self.metrics.increment("dist.failover.rerouted", len(batch))
+                for ap_id, frame, seq in batch:
+                    self._route_or_strand(ap_id, frame, seq)
 
     # ------------------------------------------------------------------
     # Public ingest / flush
     # ------------------------------------------------------------------
+    def _route(self, ap_id: str, frame: CsiFrame, seq: int) -> None:
+        """Buffer one sequenced frame on its ring owner; ship when full."""
+        shard_id = self._ring.owner(frame.source)
+        self._pending.setdefault(shard_id, []).append((ap_id, frame, seq))
+        if len(self._pending[shard_id]) >= self.batch_max_frames:
+            self._ship_batch(shard_id)
+
     def ingest(self, ap_id: str, frame: CsiFrame) -> None:
         """Route one packet to its owning shard (batched, pipelined).
 
-        Raises :class:`~repro.errors.ShardUnavailableError` when every
-        shard is dead.  Fix events produced by completed bursts arrive
+        Assigns the frame its per-source delivery sequence number (the
+        at-least-once dedup key).  Raises
+        :class:`~repro.errors.ShardUnavailableError` when every shard
+        is dead.  Fix events produced by completed bursts arrive
         asynchronously — collect them with :meth:`take_fixes`.
         """
         self._maybe_health_check()
-        shard_id = self._ring.owner(frame.source)
-        self._pending.setdefault(shard_id, []).append((ap_id, frame))
-        if len(self._pending[shard_id]) >= self.batch_max_frames:
-            self._ship_batch(shard_id)
+        seq = (self._seqs.get(frame.source, 0) % 0xFFFFFFFF) + 1
+        self._seqs[frame.source] = seq
+        self._route(ap_id, frame, seq)
 
     def _ship_all_batches(self) -> None:
         """Ship every pending batch, including failover re-routes.
@@ -424,7 +627,7 @@ class ShardRouter:
                     self._fail_shard(shard_id, f"health probe failed: {exc}")
                     alive = False
                 else:
-                    self._inflight[shard_id] -= 1
+                    self._note_reply(shard_id)
                     alive = (
                         message is not None and message[0] == MessageType.HEALTH_OK
                     )
@@ -459,7 +662,7 @@ class ShardRouter:
             except (OSError, TraceFormatError) as exc:
                 self._fail_shard(shard_id, f"metrics pull failed: {exc}")
                 continue
-            self._inflight[shard_id] -= 1
+            self._note_reply(shard_id)
             if message is None:
                 self._fail_shard(shard_id, "connection closed")
                 continue
@@ -467,7 +670,11 @@ class ShardRouter:
             if msg_type != MessageType.METRICS_REPLY:
                 self._absorb_reply(shard_id, msg_type, payload)
                 continue
-            reply = protocol.decode_json(payload)
+            try:
+                reply = protocol.decode_json(payload)
+            except TraceFormatError as exc:
+                self._fail_shard(shard_id, f"malformed reply: {exc}")
+                continue
             if isinstance(reply, dict):
                 replies.append(reply)
         return replies
@@ -500,7 +707,12 @@ class ShardRouter:
             "live_shards": self.live_shards(),
             "dead_shards": self.dead_shards(),
             "pending_frames": pending,
-            "inflight": dict(self._inflight),
+            "inflight": {
+                shard_id: len(owed)
+                for shard_id, owed in self._unacked.items()
+                if owed
+            },
+            "journal_frames": sum(self._journal_depth.values()),
         }
 
     # ------------------------------------------------------------------
@@ -525,7 +737,7 @@ class ShardRouter:
                 message = protocol.recv_message(sock)
             except (OSError, TraceFormatError):
                 message = None
-            self._inflight[shard_id] -= 1
+            self._note_reply(shard_id)
             if message is not None and message[0] in (
                 MessageType.BYE,
                 MessageType.FIXES,

@@ -26,9 +26,9 @@ import selectors
 import signal
 import socket
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from types import FrameType
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple, cast
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.core.pipeline import SpotFi, SpotFiConfig
 from repro.dist import protocol
 from repro.dist.protocol import BindAddress, MessageType, WireFix, parse_bind
 from repro.errors import ConfigurationError, ReproError, TraceFormatError
+from repro.faults.network import NetworkFaultInjector, NetworkFaultSpec
 from repro.obs.config import ObsConfig
 from repro.obs.http import TelemetryServer
 from repro.obs.trace import JsonlSpanExporter, TraceContext, Tracer
@@ -86,6 +87,10 @@ class ShardConfig:
     sample_rate: float = 1.0
     http_port: int = 0
     http_host: str = "127.0.0.1"
+    #: Transport fault specs applied to every accepted connection (the
+    #: server half of network chaos; the router half is its
+    #: ``socket_wrapper``).  Frozen specs keep the config picklable.
+    network_faults: Tuple[NetworkFaultSpec, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.sample_rate <= 1.0:
@@ -149,6 +154,42 @@ def build_server(config: ShardConfig) -> SpotFiServer:
     )
 
 
+class SeqDeduper:
+    """Sliding-window ``(source, seq)`` dedup for at-least-once ingest.
+
+    The router journals sent-but-unacked batches and replays them to
+    the new ring owner after a failover; frames the dead shard already
+    processed (and whose fixes died with it) can thus arrive a second
+    time at *this* shard.  Admission is keyed on the router-assigned
+    per-source sequence number: a seq already seen, or at or below
+    ``high_water - window``, is a duplicate.  ``seq <= 0`` marks
+    unsequenced legacy traffic and is always admitted.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        self.window = max(1, int(window))
+        self._seen: Dict[str, Set[int]] = {}
+        self._high: Dict[str, int] = {}
+
+    def admit(self, source: str, seq: int) -> bool:
+        """True when ``(source, seq)`` is first seen (process the frame)."""
+        if seq <= 0:
+            return True
+        high = self._high.get(source, 0)
+        if seq <= high - self.window:
+            return False
+        seen = self._seen.setdefault(source, set())
+        if seq in seen:
+            return False
+        seen.add(seq)
+        if seq > high:
+            self._high[source] = seq
+        if len(seen) > 2 * self.window:
+            floor = self._high[source] - self.window
+            self._seen[source] = {s for s in seen if s > floor}
+        return True
+
+
 class ShardServer:
     """The socket loop wrapping one :class:`~repro.server.SpotFiServer`.
 
@@ -170,6 +211,14 @@ class ShardServer:
         self._stopping = False
         self._drained: List[WireFix] = []
         self._last_timestamp_s = 0.0
+        self._deduper = SeqDeduper()
+        self._fault_injector: Optional[NetworkFaultInjector] = None
+        if config.network_faults:
+            self._fault_injector = NetworkFaultInjector(
+                config.network_faults,
+                rng=np.random.default_rng(config.seed + 1),
+                metrics=self.server.metrics,
+            )
 
     # ------------------------------------------------------------------
     # Request handling
@@ -188,10 +237,16 @@ class ShardServer:
         )
 
     def _handle_ingest(
-        self, entries: List[Tuple[str, CsiFrame]]
+        self, entries: List[Tuple[str, CsiFrame, int]]
     ) -> Tuple[MessageType, bytes]:
         fixes: List[WireFix] = []
-        for ap_id, frame in entries:
+        for ap_id, frame, seq in entries:
+            if not self._deduper.admit(frame.source, seq):
+                # Replayed after a failover but already processed here
+                # before the ack was lost; dropping it keeps delivery
+                # effectively-once and fix counts exact.
+                self.server.metrics.increment("dist.dedup.duplicates")
+                continue
             self._last_timestamp_s = max(self._last_timestamp_s, frame.timestamp_s)
             event = self.server.ingest(ap_id, frame)
             if event is not None:
@@ -206,7 +261,8 @@ class ShardServer:
         under it and the collector can stitch the whole distributed
         trace back together by trace_id.
         """
-        context, entries = protocol.decode_traced_ingest(payload)
+        context, suffix = protocol.split_traced_ingest(payload)
+        entries = protocol.decode_frames_seq(suffix)
         with self.server.spotfi.tracer.span(
             "handle.batch",
             trace_context=context,
@@ -259,7 +315,7 @@ class ShardServer:
         self, msg_type: MessageType, payload: bytes
     ) -> Tuple[MessageType, bytes]:
         if msg_type == MessageType.INGEST:
-            return self._handle_ingest(protocol.decode_frames(payload))
+            return self._handle_ingest(protocol.decode_frames_seq(payload))
         if msg_type == MessageType.INGEST_TRACED:
             return self._handle_traced_ingest(payload)
         if msg_type == MessageType.FLUSH:
@@ -333,6 +389,13 @@ class ShardServer:
                     if key.data is None:
                         conn, _addr = listener.accept()
                         conn.setblocking(True)
+                        if self._fault_injector is not None:
+                            conn = cast(
+                                socket.socket,
+                                self._fault_injector.wrap(
+                                    conn, peer=self.config.shard_id
+                                ),
+                            )
                         selector.register(conn, selectors.EVENT_READ, data="conn")
                     else:
                         self._serve_one(selector, key.fileobj)
@@ -482,6 +545,7 @@ def start_shards(
     base_port: int = 0,
     host: str = "127.0.0.1",
     http_base_port: int = 0,
+    ready_timeout_s: float = 30.0,
 ) -> Dict[str, ShardProcess]:
     """Spawn ``num_shards`` workers and wait until all answer HEALTH.
 
@@ -490,9 +554,10 @@ def start_shards(
     otherwise shard ``i`` binds ``tcp:{host}:{base_port + i}``.  With
     ``http_base_port`` set, shard ``i`` additionally serves its HTTP
     telemetry endpoint on ``http_base_port + i`` (overriding any
-    ``http_port`` in the template config).  Returns
-    ``{shard_id: ShardProcess}``; on any startup failure the shards
-    already running are killed before the error propagates.
+    ``http_port`` in the template config).  ``ready_timeout_s`` bounds
+    each shard's HEALTH wait.  Returns ``{shard_id: ShardProcess}``; on
+    any startup failure the shards already running are killed before
+    the error propagates.
     """
     shards: Dict[str, ShardProcess] = {}
     try:
@@ -511,7 +576,7 @@ def start_shards(
             process.start()
             shards[shard_id] = process
         for process in shards.values():
-            process.wait_ready()
+            process.wait_ready(timeout_s=ready_timeout_s)
     except BaseException:
         for process in shards.values():
             process.kill()

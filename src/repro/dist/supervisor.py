@@ -1,0 +1,260 @@
+"""Shard supervision: restart crashed workers, probe, re-admit to the ring.
+
+The router's failover (:meth:`~repro.dist.router.ShardRouter._fail_shard`)
+is one-way — a dead shard stays off the ring forever, so a long-running
+cluster shrinks monotonically under faults.  :class:`ShardSupervisor`
+closes the loop:
+
+* **Detection** — a shard is *down* when the router has marked it dead
+  (connection-level failure) or its :class:`~repro.dist.shard.ShardProcess`
+  is no longer alive (crash/SIGKILL).
+* **Restart** — dead processes are relaunched from their original
+  ``(spec, config)`` with exponential backoff between attempts, bounded
+  by a per-shard ``restart_budget``.  Shards whose process survived
+  (e.g. the router lost the connection to a healthy worker) are probed
+  without spending budget.
+* **Half-open re-admission** — recovery reuses the
+  :class:`~repro.faults.CircuitBreaker` state machine: each down shard
+  gets a breaker that opens on detection and only lets one probe
+  through at a time; a shard returns to the
+  :class:`~repro.dist.router.HashRing` (via
+  :meth:`~repro.dist.router.ShardRouter.readmit_shard`) only after a
+  fresh-socket ``HEALTH`` probe passes.
+* **Give-up** — when every shard is process-dead with its budget
+  exhausted, :meth:`poll` raises
+  :class:`~repro.errors.ShardUnavailableError` naming the budget, so
+  drivers stop retrying a cluster that cannot come back.
+
+Everything is driven by explicit :meth:`poll` calls from the thread that
+owns the router (the router is single-threaded); ``dist.supervisor.*``
+counters and ``supervisor.restart`` / ``supervisor.probe`` spans expose
+what it did.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Set
+
+from repro.dist import protocol
+from repro.dist.protocol import MessageType, parse_bind
+from repro.dist.router import ShardRouter
+from repro.dist.shard import ShardProcess
+from repro.errors import ReproError, ShardUnavailableError, TraceFormatError
+from repro.faults.breaker import CircuitBreaker
+from repro.obs.trace import NOOP_TRACER, Tracer
+from repro.runtime import RuntimeMetrics
+
+
+class ShardSupervisor:
+    """Monitors shard liveness and returns recovered shards to service.
+
+    Parameters
+    ----------
+    shards:
+        ``{shard_id: ShardProcess}`` as returned by
+        :func:`~repro.dist.shard.start_shards`.  The mapping is mutated
+        in place: a restarted shard's fresh :class:`ShardProcess`
+        replaces the dead handle under the same id.
+    router:
+        The router to re-admit recovered shards into (optional — a
+        supervisor can babysit processes without one).
+    restart_budget:
+        Process restarts allowed per shard.  Probing a live-but-cut
+        shard is free; only actual relaunches spend budget.
+    backoff_base_s / backoff_max_s:
+        Exponential backoff between recovery attempts for one shard:
+        ``min(backoff_max_s, backoff_base_s * 2**attempts)``.
+    ready_timeout_s:
+        Deadline for a restarted worker to answer its startup HEALTH.
+    probe_timeout_s:
+        Socket timeout for the fresh-connection re-admission probe.
+    metrics / tracer:
+        ``dist.supervisor.*`` counter sink and span sink.
+    """
+
+    def __init__(
+        self,
+        shards: Dict[str, ShardProcess],
+        router: Optional[ShardRouter] = None,
+        restart_budget: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        ready_timeout_s: float = 15.0,
+        probe_timeout_s: float = 2.0,
+        metrics: Optional[RuntimeMetrics] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not shards:
+            raise ShardUnavailableError("a supervisor needs at least one shard")
+        self.shards = shards
+        self.router = router
+        self.restart_budget = max(0, int(restart_budget))
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.ready_timeout_s = float(ready_timeout_s)
+        self.probe_timeout_s = float(probe_timeout_s)
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.tracer = tracer or NOOP_TRACER
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._attempts: Dict[str, int] = {}
+        self._next_attempt_s: Dict[str, float] = {}
+        self._restarts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def _breaker(self, shard_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(shard_id)
+        if breaker is None:
+            # threshold 1 / zero recovery delay: the supervisor's own
+            # backoff schedule decides *when* to try; the breaker only
+            # enforces the half-open one-probe-at-a-time shape.
+            breaker = CircuitBreaker(
+                failure_threshold=1,
+                recovery_time_s=0.0,
+                name=shard_id,
+            )
+            self._breakers[shard_id] = breaker
+        return breaker
+
+    def down_shards(self) -> List[str]:
+        """Shards currently down: router-dead or process-dead."""
+        down: Set[str] = set()
+        if self.router is not None:
+            down.update(self.router.dead_shards())
+        for shard_id, process in self.shards.items():
+            if not process.process.is_alive():
+                down.add(shard_id)
+        return sorted(down & set(self.shards))
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _schedule_retry(self, shard_id: str, now_s: float) -> None:
+        attempts = self._attempts.get(shard_id, 0)
+        delay = min(self.backoff_max_s, self.backoff_base_s * (2.0**attempts))
+        self._attempts[shard_id] = attempts + 1
+        self._next_attempt_s[shard_id] = now_s + delay
+
+    def _probe(self, process: ShardProcess) -> bool:
+        """Fresh-socket HEALTH round-trip (never the router's sockets)."""
+        bind = parse_bind(process.spec)
+        try:
+            with bind.connect(timeout_s=self.probe_timeout_s) as sock:
+                sock.settimeout(self.probe_timeout_s)
+                protocol.send_message(sock, MessageType.HEALTH)
+                reply = protocol.recv_message(sock)
+        except (OSError, TraceFormatError):
+            return False
+        return reply is not None and reply[0] == MessageType.HEALTH_OK
+
+    def _restart(self, shard_id: str) -> bool:
+        """Relaunch a dead worker; True once it answers startup HEALTH."""
+        process = self.shards[shard_id]
+        if self._restarts.get(shard_id, 0) >= self.restart_budget:
+            self.metrics.increment("dist.supervisor.budget_exhausted")
+            return False
+        with self.tracer.span("supervisor.restart", shard=shard_id):
+            self._restarts[shard_id] = self._restarts.get(shard_id, 0) + 1
+            process.join(timeout_s=0.1)
+            bind = parse_bind(process.spec)
+            if bind.kind == "unix":
+                # The killed worker never unlinked its socket; a stale
+                # path would make the fresh bind fail.
+                try:
+                    os.unlink(bind.path)
+                except OSError:
+                    pass
+            fresh = ShardProcess(process.spec, process.config)
+            self.shards[shard_id] = fresh
+            try:
+                fresh.start()
+                fresh.wait_ready(timeout_s=self.ready_timeout_s)
+            except ReproError:
+                self.metrics.increment("dist.supervisor.restart_failed")
+                fresh.kill()
+                return False
+        self.metrics.increment("dist.supervisor.restarts")
+        return True
+
+    def _attempt_recovery(self, shard_id: str) -> bool:
+        process = self.shards[shard_id]
+        if not process.process.is_alive():
+            if not self._restart(shard_id):
+                return False
+            process = self.shards[shard_id]
+        with self.tracer.span("supervisor.probe", shard=shard_id):
+            ok = self._probe(process)
+        self.metrics.increment(
+            "dist.supervisor.probe_ok" if ok else "dist.supervisor.probe_failed"
+        )
+        return ok
+
+    def poll(self, now_s: Optional[float] = None, force: bool = False) -> List[str]:
+        """One supervision pass; returns the shard ids re-admitted.
+
+        Detects down shards, attempts recovery for those whose backoff
+        window has elapsed (``force`` skips the wait — used by drivers
+        that just caught :class:`~repro.errors.ShardUnavailableError`
+        and have nothing better to do than wait for a shard), and
+        re-admits the survivors of a passing probe to the router ring.
+
+        Raises :class:`~repro.errors.ShardUnavailableError` when every
+        shard is process-dead with its restart budget exhausted.
+        """
+        now = time.monotonic() if now_s is None else float(now_s)
+        readmitted: List[str] = []
+        for shard_id in self.down_shards():
+            breaker = self._breaker(shard_id)
+            if breaker.state == "closed":
+                # Freshly detected: open the breaker and start backoff.
+                breaker.record_failure(now)
+                self._schedule_retry(shard_id, now)
+                self.metrics.increment("dist.supervisor.down_detected")
+                if not force:
+                    continue
+            if not force and now < self._next_attempt_s.get(shard_id, 0.0):
+                continue
+            if not breaker.allow(now):
+                continue
+            if self._attempt_recovery(shard_id):
+                breaker.record_success(now)
+                self._attempts[shard_id] = 0
+                self._next_attempt_s.pop(shard_id, None)
+                if self.router is not None:
+                    self.router.readmit_shard(shard_id)
+                self.metrics.increment("dist.supervisor.readmitted")
+                readmitted.append(shard_id)
+            else:
+                breaker.record_failure(now)
+                self._schedule_retry(shard_id, now)
+        self._raise_if_hopeless()
+        return readmitted
+
+    def _raise_if_hopeless(self) -> None:
+        exhausted = [
+            shard_id
+            for shard_id, process in self.shards.items()
+            if not process.process.is_alive()
+            and self._restarts.get(shard_id, 0) >= self.restart_budget
+        ]
+        if exhausted and len(exhausted) == len(self.shards):
+            raise ShardUnavailableError(
+                f"all {len(self.shards)} shards are dead with the restart "
+                f"budget of {self.restart_budget} exhausted"
+            )
+
+    def stats(self) -> Dict[str, object]:
+        """Supervisor-side view: budgets, attempts, breaker states."""
+        return {
+            "restart_budget": self.restart_budget,
+            "restarts": dict(self._restarts),
+            "attempts": dict(self._attempts),
+            "breakers": {
+                shard_id: breaker.state
+                for shard_id, breaker in self._breakers.items()
+            },
+            "down": self.down_shards(),
+        }

@@ -16,6 +16,9 @@ The robustness layer around the SpotFi pipeline:
   APs.
 * :mod:`~repro.faults.retry` — :class:`RetryPolicy`, bounded retries with
   jittered exponential backoff (used by the runtime executors).
+* :mod:`~repro.faults.network` — transport fault specs
+  (:class:`NetworkFaultSpec` and friends) and the :class:`FaultySocket`
+  wrapper that applies them to live router/shard sockets.
 * :mod:`~repro.faults.chaos` — seeded end-to-end chaos scenarios
   (:func:`run_chaos`, the ``repro chaos`` command).
 
@@ -28,6 +31,19 @@ would be circular.
 
 from repro.faults.breaker import BREAKER_STATES, CircuitBreaker
 from repro.faults.injector import FaultInjector
+from repro.faults.network import (
+    BlackHole,
+    ConnectionReset,
+    CorruptBytes,
+    FaultySocket,
+    NetworkFaultInjector,
+    NetworkFaultSpec,
+    PartialWrite,
+    ShortRead,
+    SlowLink,
+    WireEffect,
+    flip_bytes,
+)
 from repro.faults.retry import NO_RETRY, RetryPolicy
 from repro.faults.spec import (
     ApBlackout,
@@ -56,21 +72,32 @@ _CHAOS_EXPORTS = (
 __all__ = [
     "ApBlackout",
     "BREAKER_STATES",
+    "BlackHole",
     "CircuitBreaker",
+    "ConnectionReset",
+    "CorruptBytes",
     "DropAntenna",
     "DropFrame",
     "DuplicateFrame",
     "FaultInjector",
     "FaultSpec",
+    "FaultySocket",
     "FrameValidator",
     "NO_RETRY",
     "NanSubcarriers",
+    "NetworkFaultInjector",
+    "NetworkFaultSpec",
+    "PartialWrite",
     "PhaseGlitch",
     "ReorderFrames",
     "RetryPolicy",
+    "ShortRead",
+    "SlowLink",
     "TruncatePacket",
     "ValidationPolicy",
+    "WireEffect",
     "ZeroSubcarriers",
+    "flip_bytes",
     "raw_frame",
     "raw_trace",
 ] + list(_CHAOS_EXPORTS)

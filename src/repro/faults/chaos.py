@@ -37,6 +37,14 @@ Scenarios
     shedding the AP, every subsequent fix must keep serving on the
     coarse estimator tier (counted as ``downgraded_fixes``) until the
     breaker recovers — degradation in precision, not availability.
+``reset-storm`` / ``slow-link`` / ``corrupt-bytes`` / ``crash-restart``
+    The transport chaos matrix (delegated to
+    :func:`repro.dist.chaos.run_network_chaos`): seeded wire faults from
+    :mod:`repro.faults.network` on the router↔shard sockets — or a
+    SIGKILL for ``crash-restart`` — with a
+    :class:`~repro.dist.supervisor.ShardSupervisor` restarting and
+    re-admitting casualties; at-least-once replay plus shard-side dedup
+    must keep fix counts exact and every source routable.
 """
 
 from __future__ import annotations
@@ -83,10 +91,11 @@ def scenario_specs(
     ``blackout`` computes its onset from the run length so the AP dies
     halfway through; the other scenarios are timing-independent.
     """
-    if name in ("clean", "shard-kill", "downgrade"):
-        # shard-kill injects a process death and downgrade a forced
-        # breaker trip — neither corrupts CSI; the faults are
-        # orchestrated by run_shard_kill / run_chaos directly.
+    if name in ("clean", "shard-kill", "downgrade") or name in NETWORK_SCENARIOS:
+        # shard-kill injects a process death, downgrade a forced breaker
+        # trip, and the network matrix transport faults — none corrupts
+        # CSI; those faults are orchestrated by run_shard_kill /
+        # run_network_chaos / run_chaos directly.
         return ()
     if name == "nan":
         return (
@@ -114,6 +123,16 @@ def scenario_specs(
     )
 
 
+#: Transport chaos matrix names (delegated to
+#: :func:`repro.dist.chaos.run_network_chaos`); kept as a literal so
+#: this module needs no eager dist import.
+NETWORK_SCENARIOS = (
+    "corrupt-bytes",
+    "crash-restart",
+    "reset-storm",
+    "slow-link",
+)
+
 #: Scenario names accepted by :func:`run_chaos` and ``repro chaos``.
 SCENARIOS = (
     "blackout",
@@ -123,7 +142,7 @@ SCENARIOS = (
     "nan",
     "shard-kill",
     "truncate",
-)
+) + NETWORK_SCENARIOS
 
 
 @dataclass(frozen=True)
@@ -262,6 +281,22 @@ def run_chaos(
             bursts=bursts,
             min_aps=min_aps,
             oversample=max(oversample, 2.5),
+            probe=probe,
+        )
+    if scenario in NETWORK_SCENARIOS:
+        # Transport chaos matrix: wire faults between router and real
+        # shard subprocesses, with a supervisor restarting casualties.
+        # Same late-import rationale as shard-kill.
+        from repro.dist.chaos import run_network_chaos
+
+        return run_network_chaos(
+            scenario,
+            testbed=testbed,
+            seed=seed,
+            packets_per_fix=packets_per_fix,
+            bursts=bursts,
+            min_aps=min_aps,
+            oversample=max(oversample, 4.0),
             probe=probe,
         )
     if testbed not in _TESTBEDS:

@@ -1,0 +1,404 @@
+"""Transport fault specifications: the catalog of network corruptions.
+
+The CSI-level catalog (:mod:`repro.faults.spec`) corrupts what the
+pipeline *computes on*; this module corrupts what the dist layer
+*ships over* — the byte streams between the
+:class:`~repro.dist.router.ShardRouter` and its shard workers.  Real
+deployments see all of it: load balancers reset idle connections,
+congested links stretch round trips past timeouts, middleboxes truncate
+writes, and flaky NICs flip bits that the protocol framing must catch.
+
+===========================  ===========================================
+spec                         transport failure
+===========================  ===========================================
+:class:`ConnectionReset`     the peer resets: ``ECONNRESET`` mid-operation
+:class:`ShortRead`           a read returns a prefix, then the stream dies
+:class:`PartialWrite`        a write lands partially, then the stream dies
+:class:`CorruptBytes`        random byte flips in transit (framing damage)
+:class:`SlowLink`            injected latency on every struck operation
+:class:`BlackHole`           the connection hangs; ops time out silently
+===========================  ===========================================
+
+Specs are frozen dataclasses — pure, picklable descriptions, mirroring
+the :class:`~repro.faults.spec.FaultSpec` API (``probability``,
+``targets``, a ``kind`` for counters).  Randomness comes from the
+:class:`NetworkFaultInjector`'s seeded generator, so a given
+``(seed, spec list, traffic)`` triple replays the identical fault
+sequence.  Faults are applied by wrapping a connected socket in a
+:class:`FaultySocket`; both the router (``socket_wrapper=``) and the
+shard server (``ShardConfig(network_faults=)``) accept the wrapper, so
+chaos can strike either side of the wire.  Injection counts land under
+``faults.network.<kind>``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import RuntimeMetrics
+
+
+@dataclass(frozen=True)
+class WireEffect:
+    """What one injected fault does to one socket operation.
+
+    Attributes
+    ----------
+    delay_s:
+        Sleep this long before the operation proceeds.
+    truncate_to:
+        When >= 0, deliver only this many bytes (send: a partial write;
+        recv: a short read).
+    corrupt_flips:
+        XOR this many randomly chosen bytes before delivery.
+    drop:
+        Send only: silently discard the bytes (they never hit the wire).
+    raise_kind:
+        ``"reset"`` or ``"timeout"``: raise after whatever was delivered.
+    poison:
+        Mark the socket so every *subsequent* operation raises this kind
+        — a struck connection stays broken, as a real one would.
+    """
+
+    delay_s: float = 0.0
+    truncate_to: int = -1
+    corrupt_flips: int = 0
+    drop: bool = False
+    raise_kind: str = ""
+    poison: str = ""
+
+
+@dataclass(frozen=True)
+class NetworkFaultSpec:
+    """Base transport fault: when and where it strikes.
+
+    Attributes
+    ----------
+    probability:
+        Per-operation chance the fault fires (each ``sendall`` and each
+        ``recv`` on a wrapped socket is one opportunity).
+    shard_id:
+        Restrict the fault to connections whose peer label matches;
+        None strikes every connection.
+    """
+
+    probability: float = 1.0
+    shard_id: Optional[str] = None
+
+    #: Which socket operations this spec can strike.
+    direction = "both"  # "send", "recv" or "both"
+    kind = "noop"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def targets(self, peer: str) -> bool:
+        """Whether this spec applies to a connection labelled ``peer``."""
+        return self.shard_id is None or self.shard_id == peer
+
+    def fires_on(self, op: str) -> bool:
+        """Whether this spec can strike the given operation."""
+        return self.direction in (op, "both")
+
+    def effect(self, op: str, rng: np.random.Generator) -> WireEffect:
+        """The concrete effect of one strike on one operation."""
+        return WireEffect()
+
+
+@dataclass(frozen=True)
+class ConnectionReset(NetworkFaultSpec):
+    """The peer resets the connection: the operation dies with ECONNRESET."""
+
+    kind = "reset"
+    direction = "both"
+
+    def effect(self, op: str, rng: np.random.Generator) -> WireEffect:
+        return WireEffect(raise_kind="reset", poison="reset", drop=True)
+
+
+@dataclass(frozen=True)
+class ShortRead(NetworkFaultSpec):
+    """A read returns only a prefix, then the stream is dead.
+
+    The peer's message is cut mid-frame: the reader gets ``keep_bytes``
+    of it and every later read raises ECONNRESET — exactly what a
+    connection torn between TCP segments looks like.
+    """
+
+    keep_bytes: int = 8
+
+    kind = "short_read"
+    direction = "recv"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.keep_bytes < 1:
+            raise ConfigurationError(
+                f"keep_bytes must be >= 1, got {self.keep_bytes}"
+            )
+
+    def effect(self, op: str, rng: np.random.Generator) -> WireEffect:
+        return WireEffect(truncate_to=self.keep_bytes, poison="reset")
+
+
+@dataclass(frozen=True)
+class PartialWrite(NetworkFaultSpec):
+    """A write lands partially on the wire, then the stream is dead.
+
+    The peer receives ``keep_bytes`` of the message and then sees the
+    connection die mid-frame (its ``recv_exact`` raises
+    :class:`~repro.errors.TraceFormatError`); the writer gets
+    ECONNRESET immediately after the partial delivery.
+    """
+
+    keep_bytes: int = 32
+
+    kind = "partial_write"
+    direction = "send"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.keep_bytes < 1:
+            raise ConfigurationError(
+                f"keep_bytes must be >= 1, got {self.keep_bytes}"
+            )
+
+    def effect(self, op: str, rng: np.random.Generator) -> WireEffect:
+        return WireEffect(
+            truncate_to=self.keep_bytes, raise_kind="reset", poison="reset"
+        )
+
+
+@dataclass(frozen=True)
+class CorruptBytes(NetworkFaultSpec):
+    """Random byte flips in transit: framing damage the protocol must catch."""
+
+    flips: int = 4
+
+    kind = "corrupt"
+    direction = "both"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.flips < 1:
+            raise ConfigurationError(f"flips must be >= 1, got {self.flips}")
+
+    def effect(self, op: str, rng: np.random.Generator) -> WireEffect:
+        return WireEffect(corrupt_flips=self.flips)
+
+
+@dataclass(frozen=True)
+class SlowLink(NetworkFaultSpec):
+    """Injected latency: every struck operation waits before proceeding."""
+
+    delay_s: float = 0.02
+    jitter_s: float = 0.0
+
+    kind = "slow"
+    direction = "both"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay_s < 0.0 or self.jitter_s < 0.0:
+            raise ConfigurationError(
+                f"delay_s/jitter_s must be >= 0, got "
+                f"({self.delay_s}, {self.jitter_s})"
+            )
+
+    def effect(self, op: str, rng: np.random.Generator) -> WireEffect:
+        jitter = float(rng.random()) * self.jitter_s if self.jitter_s else 0.0
+        return WireEffect(delay_s=self.delay_s + jitter)
+
+
+@dataclass(frozen=True)
+class BlackHole(NetworkFaultSpec):
+    """The connection hangs: bytes vanish, reads block until timeout.
+
+    Modeled without real waiting — a struck send silently drops its
+    bytes and a struck recv raises ``socket.timeout`` immediately, which
+    is what the caller of a genuinely hung socket observes once its
+    configured timeout elapses.
+    """
+
+    kind = "blackhole"
+    direction = "both"
+
+    def effect(self, op: str, rng: np.random.Generator) -> WireEffect:
+        if op == "send":
+            return WireEffect(drop=True, poison="timeout")
+        return WireEffect(raise_kind="timeout", poison="timeout")
+
+
+def flip_bytes(data: bytes, flips: int, rng: np.random.Generator) -> bytes:
+    """XOR ``flips`` randomly chosen bytes with random non-zero masks."""
+    if not data or flips <= 0:
+        return data
+    buf = bytearray(data)
+    for _ in range(flips):
+        index = int(rng.integers(0, len(buf)))
+        buf[index] ^= int(rng.integers(1, 256))
+    return bytes(buf)
+
+
+class FaultySocket:
+    """A socket proxy that injects transport faults into sendall/recv.
+
+    Wraps a connected socket and runs every ``sendall``/``recv`` through
+    the injector's fault mix; everything the dist protocol needs
+    (``settimeout``, ``setblocking``, ``fileno`` for ``select``,
+    ``close``, context management) delegates to the real socket.  Once a
+    fault poisons the connection, every later operation raises the
+    poisoned kind — a struck stream never heals.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        injector: "NetworkFaultInjector",
+        peer: str = "",
+    ) -> None:
+        self.sock = sock
+        self.injector = injector
+        self.peer = peer
+        self._poison = ""
+
+    # ------------------------------------------------------------------
+    def _raise_kind(self, kind: str) -> None:
+        if kind == "reset":
+            raise ConnectionResetError(
+                f"injected fault: connection to {self.peer or 'peer'} reset"
+            )
+        if kind == "timeout":
+            raise socket.timeout(
+                f"injected fault: connection to {self.peer or 'peer'} "
+                f"black-holed"
+            )
+
+    def _check_poison(self) -> None:
+        if self._poison:
+            self._raise_kind(self._poison)
+
+    # ------------------------------------------------------------------
+    def sendall(self, data: bytes) -> None:
+        """Send, subject to the fault mix (may truncate, drop, or raise)."""
+        self._check_poison()
+        effect = self.injector.strike("send", self.peer)
+        if effect is None:
+            self.sock.sendall(data)
+            return
+        if effect.delay_s > 0.0:
+            time.sleep(effect.delay_s)
+        if effect.poison:
+            self._poison = effect.poison
+        if effect.drop:
+            self._raise_kind(effect.raise_kind)
+            return
+        out = bytes(data)
+        if effect.truncate_to >= 0:
+            out = out[: effect.truncate_to]
+        if effect.corrupt_flips:
+            out = flip_bytes(out, effect.corrupt_flips, self.injector.rng)
+        if out:
+            self.sock.sendall(out)
+        self._raise_kind(effect.raise_kind)
+
+    def recv(self, bufsize: int) -> bytes:
+        """Receive, subject to the fault mix (may truncate, corrupt, raise)."""
+        self._check_poison()
+        effect = self.injector.strike("recv", self.peer)
+        if effect is None:
+            return self.sock.recv(bufsize)
+        if effect.delay_s > 0.0:
+            time.sleep(effect.delay_s)
+        if effect.poison:
+            self._poison = effect.poison
+        if effect.raise_kind:
+            self._raise_kind(effect.raise_kind)
+        chunk = self.sock.recv(bufsize)
+        if effect.truncate_to >= 0:
+            chunk = chunk[: effect.truncate_to]
+        if effect.corrupt_flips:
+            chunk = flip_bytes(chunk, effect.corrupt_flips, self.injector.rng)
+        return chunk
+
+    # ------------------------------------------------------------------
+    # Plain delegation: what the dist protocol + selector loops touch.
+    # ------------------------------------------------------------------
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Delegate to the wrapped socket."""
+        self.sock.settimeout(timeout)
+
+    def setblocking(self, flag: bool) -> None:
+        """Delegate to the wrapped socket."""
+        self.sock.setblocking(flag)
+
+    def fileno(self) -> int:
+        """Delegate to the wrapped socket (``select``/selector support)."""
+        return self.sock.fileno()
+
+    def close(self) -> None:
+        """Delegate to the wrapped socket."""
+        self.sock.close()
+
+    def __enter__(self) -> "FaultySocket":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NetworkFaultInjector:
+    """Applies a composable transport fault mix to socket traffic.
+
+    The network counterpart of :class:`~repro.faults.injector.
+    FaultInjector`: owns the seeded generator (reproducible strike
+    sequences) and the ``faults.network.<kind>`` counters.  ``wrap``
+    matches the :class:`~repro.dist.router.ShardRouter`
+    ``socket_wrapper`` hook signature, so arming a router is::
+
+        injector = NetworkFaultInjector(specs, rng=..., metrics=...)
+        router = ShardRouter(shards, socket_wrapper=injector.wrap)
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[NetworkFaultSpec],
+        rng: Optional[np.random.Generator] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+    ) -> None:
+        self.specs: List[NetworkFaultSpec] = list(specs)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.metrics = metrics
+
+    def _count(self, kind: str) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(f"faults.network.{kind}")
+            self.metrics.increment("faults.network.total")
+
+    def strike(self, op: str, peer: str) -> Optional[WireEffect]:
+        """Roll the fault mix for one socket operation.
+
+        Returns the first firing spec's effect (specs are evaluated in
+        order, one strike per operation), or None when nothing fires —
+        the wrapped socket then behaves exactly like the real one.
+        """
+        for spec in self.specs:
+            if not spec.fires_on(op) or not spec.targets(peer):
+                continue
+            if float(self.rng.random()) < spec.probability:
+                self._count(spec.kind)
+                return spec.effect(op, self.rng)
+        return None
+
+    def wrap(self, sock: Any, peer: str = "") -> FaultySocket:
+        """Wrap a connected socket (the router ``socket_wrapper`` hook)."""
+        return FaultySocket(sock, self, peer=peer)

@@ -39,6 +39,9 @@ CANONICAL_STAGES: FrozenSet[str] = frozenset(
         # dist shard (repro.dist.shard)
         "handle.flush",  # shard-side FLUSH handling under a remote context
         "handle.batch",  # shard-side INGEST handling under a remote context
+        # dist supervisor (repro.dist.supervisor)
+        "supervisor.restart",  # relaunch of a dead shard process
+        "supervisor.probe",  # half-open HEALTH probe before re-admission
     }
 )
 

@@ -149,10 +149,10 @@ class TestFrameBatches:
     def test_single_antenna_is_validation_error(self):
         # Well-framed, semantically invalid: header says 1 antenna.
         payload = bytearray(encode_frames([("ap0", make_frame())]))
-        meta = struct.Struct("!ddHH")
+        meta = struct.Struct("!ddHHI")
         offset = 4 + 2 + len(b"ap0") + 2 + len(b"t0")
-        rssi, stamp, _, subc = meta.unpack_from(payload, offset)
-        meta.pack_into(payload, offset, rssi, stamp, 1, subc)
+        rssi, stamp, _, subc, seq = meta.unpack_from(payload, offset)
+        meta.pack_into(payload, offset, rssi, stamp, 1, subc, seq)
         with pytest.raises(ValidationError, match="antennas"):
             decode_frames(bytes(payload[: offset + meta.size + 1 * subc * 16]))
 

@@ -1,0 +1,264 @@
+"""At-least-once failover accounting: journal, replay, dedup seqs, stranding.
+
+Runs the router against in-process protocol shards, one of which can be
+*mute* — it accepts connections and reads requests but never replies, so
+the router's blocking drain hits its socket timeout and the failover
+path runs with a fully-known set of in-flight batches.  That makes the
+``dist.failover.*`` counters exactly predictable.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dist import protocol
+from repro.dist.protocol import MessageType, WireFix, parse_bind
+from repro.dist.router import ShardRouter
+from repro.wifi.csi import CsiFrame
+
+
+def make_frame(source: str, k: int = 0) -> CsiFrame:
+    rng = np.random.default_rng(k)
+    csi = rng.normal(size=(3, 30)) + 1j * rng.normal(size=(3, 30))
+    return CsiFrame(csi=csi, rssi_dbm=-40.0, timestamp_s=float(k), source=source)
+
+
+class SeqShard:
+    """Protocol shard recording ``(source, seq)`` for every frame.
+
+    ``mute=True`` keeps reading requests without ever answering — the
+    shape of a worker wedged mid-GC or behind a black-holed link.
+    """
+
+    def __init__(self, shard_id: str, directory: str, mute: bool = False) -> None:
+        self.shard_id = shard_id
+        self.mute = mute
+        self.spec = f"unix:{os.path.join(directory, shard_id + '.sock')}"
+        self.seqs_seen = []
+        self._listener = parse_bind(self.spec).listen()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        self._listener.settimeout(0.2)
+        conns = []
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                conns.append(conn)
+                conn.settimeout(0.2)
+                while not self._stop.is_set():
+                    try:
+                        message = protocol.recv_message(conn)
+                    except socket.timeout:
+                        continue
+                    except OSError:
+                        break
+                    if message is None or not self._answer(conn, *message):
+                        break
+        finally:
+            for conn in conns:
+                conn.close()
+            self._listener.close()
+
+    def _answer(self, conn, msg_type, payload) -> bool:
+        if msg_type == MessageType.INGEST:
+            batch = protocol.decode_frames_seq(payload)
+            self.seqs_seen.extend(
+                (frame.source, seq) for _ap, frame, seq in batch
+            )
+            if self.mute:
+                return True
+            fix = WireFix(
+                source=batch[0][1].source if batch else "?",
+                timestamp_s=0.0,
+                ok=True,
+                x=1.0,
+                y=2.0,
+                num_aps=3,
+                shard=self.shard_id,
+            )
+            protocol.send_message(
+                conn, MessageType.FIXES, protocol.encode_fixes([fix])
+            )
+        elif self.mute:
+            return True
+        elif msg_type == MessageType.FLUSH:
+            protocol.send_message(conn, MessageType.FIXES, protocol.encode_fixes([]))
+        elif msg_type == MessageType.HEALTH:
+            protocol.send_message(conn, MessageType.HEALTH_OK)
+        elif msg_type == MessageType.SHUTDOWN:
+            protocol.send_message(conn, MessageType.BYE, protocol.encode_fixes([]))
+            return False
+        else:
+            protocol.send_message(
+                conn,
+                MessageType.ERROR,
+                protocol.encode_json({"kind": "Unsupported", "message": "?"}),
+            )
+        return True
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def cluster(tmp_path, mute_id="s0", n=3):
+    return {
+        f"s{i}": SeqShard(f"s{i}", str(tmp_path), mute=(f"s{i}" == mute_id))
+        for i in range(n)
+    }
+
+
+def source_owned_by(router: ShardRouter, shard_id: str) -> str:
+    for j in range(200):
+        name = f"target-{j:02d}"
+        if router.owner_of(name) == shard_id:
+            return name
+    raise AssertionError(f"no probe key hashed onto {shard_id}")
+
+
+class TestReplayAccounting:
+    def test_mute_shard_frames_replay_exactly_once(self, tmp_path):
+        shards = cluster(tmp_path)
+        router = ShardRouter(
+            {sid: s.spec for sid, s in shards.items()},
+            batch_max_frames=1,
+            socket_timeout_s=0.5,
+        )
+        try:
+            source = source_owned_by(router, "s0")
+            for k in range(5):
+                router.ingest("ap0", make_frame(source, k))
+            fixes = router.flush()  # blocking drain -> timeout -> failover
+            assert "s0" in router.dead_shards()
+            assert "timeout" in router.dead_shards()["s0"]
+            assert router.metrics.counter("dist.failover.shard_down") == 1
+            assert router.metrics.counter("dist.failover.replayed") == 5
+            assert router.metrics.counter("dist.failover.inflight_lost") == 0
+            # the new owner got every frame, original seqs intact
+            new_owner = router.owner_of(source)
+            assert new_owner != "s0"
+            assert shards[new_owner].seqs_seen == [
+                (source, seq) for seq in range(1, 6)
+            ]
+            # the mute shard read them first: same seqs, now duplicates
+            # that shard-side dedup would absorb
+            assert shards["s0"].seqs_seen == shards[new_owner].seqs_seen
+            assert sum(1 for fix in fixes if fix.ok) >= 1
+        finally:
+            router.close()
+            for shard in shards.values():
+                shard.stop()
+
+    def test_journal_bound_upgrades_only_whats_retained(self, tmp_path):
+        shards = cluster(tmp_path)
+        router = ShardRouter(
+            {sid: s.spec for sid, s in shards.items()},
+            batch_max_frames=1,
+            socket_timeout_s=0.5,
+            journal_max_frames=2,
+        )
+        try:
+            source = source_owned_by(router, "s0")
+            for k in range(5):
+                router.ingest("ap0", make_frame(source, k))
+            router.flush()
+            assert router.metrics.counter("dist.journal.overflow") == 3
+            assert router.metrics.counter("dist.failover.replayed") == 2
+            assert router.metrics.counter("dist.failover.inflight_lost") == 3
+            new_owner = router.owner_of(source)
+            assert [seq for _, seq in shards[new_owner].seqs_seen] == [1, 2]
+        finally:
+            router.close()
+            for shard in shards.values():
+                shard.stop()
+
+    def test_journal_disabled_loses_everything_in_flight(self, tmp_path):
+        shards = cluster(tmp_path)
+        router = ShardRouter(
+            {sid: s.spec for sid, s in shards.items()},
+            batch_max_frames=1,
+            socket_timeout_s=0.5,
+            journal_max_frames=0,
+        )
+        try:
+            source = source_owned_by(router, "s0")
+            for k in range(4):
+                router.ingest("ap0", make_frame(source, k))
+            router.flush()
+            assert router.metrics.counter("dist.failover.replayed") == 0
+            assert router.metrics.counter("dist.failover.inflight_lost") == 4
+        finally:
+            router.close()
+            for shard in shards.values():
+                shard.stop()
+
+
+class TestStrandingAndReadmit:
+    def test_empty_ring_strands_then_readmit_delivers(self, tmp_path):
+        shards = cluster(tmp_path, mute_id=None, n=2)
+        router = ShardRouter(
+            {sid: s.spec for sid, s in shards.items()},
+            batch_max_frames=4,
+            socket_timeout_s=0.5,
+        )
+        try:
+            src0 = source_owned_by(router, "s0")
+            src1 = source_owned_by(router, "s1")
+            # buffer one frame per shard, then kill everything before
+            # the batches ship: the flush-time cascade empties the ring
+            # while frames are still being re-routed
+            router.ingest("ap0", make_frame(src0, 0))
+            router.ingest("ap0", make_frame(src1, 0))
+            for shard in shards.values():
+                shard.stop()
+            fixes = router.flush()  # both shards fail; ring empties
+            assert fixes == [] or all(not f.ok for f in fixes)
+            assert set(router.dead_shards()) == {"s0", "s1"}
+            assert router.metrics.counter("dist.failover.stranded") >= 1
+            assert router.health_view()["journal_frames"] == 0
+
+            # bring fresh shards up on the same specs and re-admit
+            for sid in ("s0", "s1"):
+                os.unlink(parse_bind(shards[sid].spec).path)
+                shards[sid] = SeqShard(sid, str(tmp_path))
+                router.readmit_shard(sid)
+            assert router.dead_shards() == {}
+            router.flush()
+            delivered = {
+                source
+                for shard in shards.values()
+                for source, _seq in shard.seqs_seen
+            }
+            assert {src0, src1} <= delivered
+        finally:
+            router.close()
+            for shard in shards.values():
+                shard.stop()
+
+    def test_health_view_reports_journal_depth(self, tmp_path):
+        shards = cluster(tmp_path, mute_id=None)
+        router = ShardRouter(
+            {sid: s.spec for sid, s in shards.items()}, batch_max_frames=4
+        )
+        try:
+            for k in range(3):
+                router.ingest("ap0", make_frame("target-00", k))
+            view = router.health_view()
+            assert view["journal_frames"] == 0  # nothing shipped yet
+            router.flush()
+            assert router.health_view()["journal_frames"] == 0  # all acked
+        finally:
+            router.close()
+            for shard in shards.values():
+                shard.stop()

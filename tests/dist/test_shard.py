@@ -11,7 +11,13 @@ import pytest
 
 from repro.dist import protocol
 from repro.dist.protocol import MessageType, parse_bind
-from repro.dist.shard import ShardConfig, ShardServer, build_server, start_shards
+from repro.dist.shard import (
+    SeqDeduper,
+    ShardConfig,
+    ShardServer,
+    build_server,
+    start_shards,
+)
 from repro.errors import ReproError
 from repro.testbed.layout import small_testbed
 
@@ -149,6 +155,89 @@ class TestShardServerLoop:
             shard.thread.join(timeout=10.0)
             assert not shard.thread.is_alive()
             assert not os.path.exists(shard.bind.path)  # socket unlinked
+        finally:
+            shard.stop()
+
+
+class TestSeqDeduper:
+    def test_duplicate_seqs_rejected_per_source(self):
+        deduper = SeqDeduper()
+        assert deduper.admit("t0", 1)
+        assert not deduper.admit("t0", 1)
+        assert deduper.admit("t0", 2)
+        assert deduper.admit("t1", 1)  # sources are independent
+
+    def test_unsequenced_frames_always_admitted(self):
+        deduper = SeqDeduper()
+        assert deduper.admit("t0", 0)
+        assert deduper.admit("t0", 0)
+
+    def test_out_of_order_within_window_admitted_once(self):
+        deduper = SeqDeduper(window=16)
+        assert deduper.admit("t0", 5)
+        assert deduper.admit("t0", 3)  # late but fresh
+        assert not deduper.admit("t0", 3)
+
+    def test_far_below_window_rejected(self):
+        deduper = SeqDeduper(window=4)
+        assert deduper.admit("t0", 100)
+        assert not deduper.admit("t0", 90)  # fell out of the window
+
+    def test_window_compaction_keeps_recent_seqs_exact(self):
+        deduper = SeqDeduper(window=8)
+        for seq in range(1, 40):
+            assert deduper.admit("t0", seq)
+        assert not deduper.admit("t0", 39)
+        assert not deduper.admit("t0", 38)
+
+
+class TestShardDedupOnTheWire:
+    def test_redelivered_batch_produces_no_second_fix(self, tmp_path):
+        # The at-least-once router may replay an already-processed batch
+        # after a failover; the shard must absorb it silently.
+        shard = ThreadedShard(tmp_path, shard_config(shard_id="s4"))
+        try:
+            pairs = ap_traces(packets=4)
+            batches = [
+                protocol.encode_frames(
+                    [
+                        (ap_id, trace[k], k * len(pairs) + i + 1)
+                        for i, (ap_id, trace) in enumerate(pairs)
+                    ]
+                )
+                for k in range(4)
+            ]
+            fixes = []
+            with shard.connect() as sock:
+                for payload in batches:
+                    _, reply = request(sock, MessageType.INGEST, payload)
+                    fixes.extend(protocol.decode_fixes(reply))
+                assert len(fixes) == 1  # burst complete: one fix
+                for payload in batches:  # full redelivery
+                    msg_type, reply = request(sock, MessageType.INGEST, payload)
+                    assert msg_type == MessageType.FIXES
+                    assert protocol.decode_fixes(reply) == []
+                _, payload = request(sock, MessageType.METRICS)
+            counters = protocol.decode_json(payload)["snapshot"]["counters"]
+            assert counters["dist.dedup.duplicates"] == 8
+        finally:
+            shard.stop()
+
+    def test_unsequenced_redelivery_is_processed_again(self, tmp_path):
+        # v2 payloads without seqs (seq=0) keep the pre-journal behavior.
+        shard = ThreadedShard(tmp_path, shard_config(shard_id="s5"))
+        try:
+            pairs = ap_traces(packets=4)
+            fixes = []
+            with shard.connect() as sock:
+                for _round in range(2):
+                    for k in range(4):
+                        batch = [(ap_id, trace[k]) for ap_id, trace in pairs]
+                        _, reply = request(
+                            sock, MessageType.INGEST, protocol.encode_frames(batch)
+                        )
+                        fixes.extend(protocol.decode_fixes(reply))
+            assert len(fixes) == 2
         finally:
             shard.stop()
 

@@ -1,0 +1,124 @@
+"""ShardSupervisor: restart a SIGKILLed worker, probe, re-admit to the ring."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.dist.router import ShardRouter
+from repro.dist.shard import ShardConfig, start_shards
+from repro.dist.supervisor import ShardSupervisor
+from repro.errors import ShardUnavailableError
+from repro.runtime import RuntimeMetrics
+
+
+def shard_config(**overrides) -> ShardConfig:
+    defaults = dict(
+        shard_id="template", testbed="small", packets_per_fix=4, min_aps=2
+    )
+    defaults.update(overrides)
+    return ShardConfig(**defaults)
+
+
+def settle(supervisor: ShardSupervisor, deadline_s: float = 20.0):
+    """Force-poll until every shard is back (or the deadline hits)."""
+    readmitted = []
+    deadline = time.monotonic() + deadline_s
+    while supervisor.down_shards() and time.monotonic() < deadline:
+        readmitted.extend(supervisor.poll(force=True))
+        if supervisor.down_shards():
+            time.sleep(0.05)
+    return readmitted
+
+
+class TestRestartAndReadmit:
+    def test_sigkilled_shard_comes_back_through_the_full_loop(self, tmp_path):
+        metrics = RuntimeMetrics()
+        shards = start_shards(2, shard_config(), str(tmp_path))
+        router = ShardRouter(
+            {sid: proc.spec for sid, proc in shards.items()}, metrics=metrics
+        )
+        supervisor = ShardSupervisor(
+            shards,
+            router=router,
+            restart_budget=2,
+            backoff_base_s=0.01,
+            backoff_max_s=0.1,
+            metrics=metrics,
+        )
+        try:
+            victim = "shard0"
+            old_pid = shards[victim].process.pid
+            shards[victim].kill()
+            shards[victim].join()
+            # Surface the death on the router side too: the health pass
+            # marks the shard dead, so readmission must touch the ring.
+            router.check_health()
+            assert victim in router.dead_shards()
+            assert victim in supervisor.down_shards()
+
+            readmitted = settle(supervisor)
+
+            assert victim in readmitted
+            fresh = shards[victim]
+            assert fresh.process.is_alive()
+            assert fresh.process.pid != old_pid
+            assert fresh.spec == router._addresses[victim].spec()
+            assert victim not in router.dead_shards()
+            assert victim in router.live_shards()
+            assert router.check_health()[victim] is True
+            assert metrics.counter("dist.supervisor.down_detected") >= 1
+            assert metrics.counter("dist.supervisor.restarts") == 1
+            assert metrics.counter("dist.supervisor.probe_ok") >= 1
+            assert metrics.counter("dist.supervisor.readmitted") == 1
+            assert metrics.counter("dist.failover.readmitted") == 1
+            assert supervisor.stats()["breakers"][victim] == "closed"
+        finally:
+            router.close()
+            for proc in shards.values():
+                proc.kill()
+                proc.join()
+
+    def test_live_but_cut_shard_is_probed_without_spending_budget(
+        self, tmp_path
+    ):
+        shards = start_shards(2, shard_config(), str(tmp_path))
+        router = ShardRouter({sid: proc.spec for sid, proc in shards.items()})
+        supervisor = ShardSupervisor(
+            shards, router=router, restart_budget=1, backoff_base_s=0.01
+        )
+        try:
+            # The router thinks shard1 is gone; the process never died.
+            router._fail_shard("shard1", "simulated connection loss")
+            assert supervisor.down_shards() == ["shard1"]
+            readmitted = settle(supervisor)
+            assert readmitted == ["shard1"]
+            assert supervisor.stats()["restarts"] == {}  # probe only
+        finally:
+            router.close()
+            for proc in shards.values():
+                proc.kill()
+                proc.join()
+
+
+class TestBudgetExhaustion:
+    def test_zero_budget_raises_naming_the_budget(self, tmp_path):
+        shards = start_shards(2, shard_config(), str(tmp_path))
+        supervisor = ShardSupervisor(
+            shards, restart_budget=0, backoff_base_s=0.01
+        )
+        try:
+            for proc in shards.values():
+                proc.kill()
+                proc.join()
+            with pytest.raises(ShardUnavailableError, match="budget"):
+                supervisor.poll(force=True)
+        finally:
+            for proc in shards.values():
+                proc.kill()
+                proc.join()
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ShardUnavailableError):
+            ShardSupervisor({})

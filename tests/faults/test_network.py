@@ -1,0 +1,203 @@
+"""Transport fault specs and the FaultySocket wrapper over socketpairs."""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.network import (
+    BlackHole,
+    ConnectionReset,
+    CorruptBytes,
+    FaultySocket,
+    NetworkFaultInjector,
+    NetworkFaultSpec,
+    PartialWrite,
+    ShortRead,
+    SlowLink,
+    flip_bytes,
+)
+from repro.runtime import RuntimeMetrics
+
+
+def wrapped_pair(*specs, seed: int = 0, metrics=None):
+    """A socketpair with side ``a`` wrapped by an armed injector."""
+    a, b = socket.socketpair()
+    a.settimeout(2.0)
+    b.settimeout(2.0)
+    injector = NetworkFaultInjector(
+        list(specs), rng=np.random.default_rng(seed), metrics=metrics
+    )
+    return injector.wrap(a, peer="s0"), b
+
+
+class TestSpecValidation:
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            NetworkFaultSpec(probability=1.5)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: ShortRead(keep_bytes=0),
+            lambda: PartialWrite(keep_bytes=0),
+            lambda: CorruptBytes(flips=0),
+            lambda: SlowLink(delay_s=-0.1),
+        ],
+    )
+    def test_bad_parameters_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            bad()
+
+    def test_targets_filters_by_shard_id(self):
+        spec = ConnectionReset(shard_id="s1")
+        assert spec.targets("s1")
+        assert not spec.targets("s0")
+        assert NetworkFaultSpec().targets("anything")
+
+    def test_directions(self):
+        assert ShortRead().fires_on("recv") and not ShortRead().fires_on("send")
+        assert PartialWrite().fires_on("send") and not PartialWrite().fires_on(
+            "recv"
+        )
+        assert ConnectionReset().fires_on("send")
+        assert ConnectionReset().fires_on("recv")
+
+
+class TestFlipBytes:
+    def test_flips_exactly_change_the_payload(self):
+        rng = np.random.default_rng(1)
+        data = bytes(range(64))
+        flipped = flip_bytes(data, 4, rng)
+        assert flipped != data and len(flipped) == len(data)
+
+    def test_empty_and_zero_flips_are_identity(self):
+        rng = np.random.default_rng(1)
+        assert flip_bytes(b"", 3, rng) == b""
+        assert flip_bytes(b"abc", 0, rng) == b"abc"
+
+
+class TestFaultySocket:
+    def test_clean_passthrough_without_strikes(self):
+        faulty, b = wrapped_pair()  # no specs: never strikes
+        with faulty, b:
+            faulty.sendall(b"hello")
+            assert b.recv(16) == b"hello"
+            b.sendall(b"world")
+            assert faulty.recv(16) == b"world"
+
+    def test_connection_reset_raises_and_drops(self):
+        faulty, b = wrapped_pair(ConnectionReset())
+        with faulty, b:
+            with pytest.raises(ConnectionResetError, match="injected"):
+                faulty.sendall(b"doomed")
+            # dropped before the wire: the peer never saw a byte
+            b.setblocking(False)
+            with pytest.raises(BlockingIOError):
+                b.recv(16)
+
+    def test_poison_persists_after_the_strike(self):
+        faulty, b = wrapped_pair(ConnectionReset())
+        with faulty, b:
+            with pytest.raises(ConnectionResetError):
+                faulty.sendall(b"x")
+            with pytest.raises(ConnectionResetError):
+                faulty.recv(1)
+
+    def test_short_read_truncates_then_kills(self):
+        faulty, b = wrapped_pair(ShortRead(keep_bytes=3))
+        with faulty, b:
+            b.sendall(b"0123456789")
+            assert faulty.recv(10) == b"012"
+            with pytest.raises(ConnectionResetError):
+                faulty.recv(10)
+
+    def test_partial_write_delivers_a_prefix(self):
+        faulty, b = wrapped_pair(PartialWrite(keep_bytes=4))
+        with faulty, b:
+            with pytest.raises(ConnectionResetError):
+                faulty.sendall(b"0123456789")
+            assert b.recv(16) == b"0123"
+
+    def test_corrupt_bytes_damages_in_transit(self):
+        faulty, b = wrapped_pair(CorruptBytes(flips=2))
+        with faulty, b:
+            faulty.sendall(bytes(64))
+            got = b.recv(64)
+            assert len(got) == 64 and got != bytes(64)
+
+    def test_blackhole_send_vanishes_recv_times_out(self):
+        faulty, b = wrapped_pair(BlackHole())
+        with faulty, b:
+            faulty.sendall(b"into the void")
+            b.setblocking(False)
+            with pytest.raises(BlockingIOError):
+                b.recv(16)
+            with pytest.raises(socket.timeout):
+                faulty.recv(16)
+
+    def test_slow_link_delivers_after_delay(self):
+        faulty, b = wrapped_pair(SlowLink(delay_s=0.01))
+        with faulty, b:
+            faulty.sendall(b"late")
+            assert b.recv(16) == b"late"
+
+    def test_delegation_surface(self):
+        faulty, b = wrapped_pair()
+        with faulty, b:
+            assert faulty.fileno() == faulty.sock.fileno()
+            faulty.settimeout(1.0)
+            assert faulty.sock.gettimeout() == pytest.approx(1.0)
+
+
+class TestInjector:
+    def test_seeded_strikes_are_deterministic(self):
+        spec = CorruptBytes(probability=0.3, flips=1)
+
+        def strike_pattern(seed):
+            injector = NetworkFaultInjector(
+                [spec], rng=np.random.default_rng(seed)
+            )
+            return [
+                injector.strike("send", "s0") is not None for _ in range(100)
+            ]
+
+        assert strike_pattern(42) == strike_pattern(42)
+        assert any(strike_pattern(42))
+        assert not all(strike_pattern(42))
+
+    def test_counters_land_under_faults_network(self):
+        metrics = RuntimeMetrics()
+        faulty, b = wrapped_pair(ConnectionReset(), metrics=metrics)
+        with faulty, b:
+            with pytest.raises(ConnectionResetError):
+                faulty.sendall(b"x")
+        assert metrics.counter("faults.network.reset") == 1
+        assert metrics.counter("faults.network.total") == 1
+
+    def test_shard_targeting_spares_other_peers(self):
+        injector = NetworkFaultInjector(
+            [ConnectionReset(shard_id="s1")], rng=np.random.default_rng(0)
+        )
+        assert injector.strike("send", "s0") is None
+        assert injector.strike("send", "s1") is not None
+
+    def test_first_firing_spec_wins(self):
+        injector = NetworkFaultInjector(
+            [SlowLink(delay_s=0.5), ConnectionReset()],
+            rng=np.random.default_rng(0),
+        )
+        effect = injector.strike("send", "s0")
+        assert effect is not None and not effect.drop
+        assert effect.delay_s == pytest.approx(0.5)
+
+    def test_wrap_returns_faulty_socket(self):
+        a, b = socket.socketpair()
+        with a, b:
+            injector = NetworkFaultInjector([])
+            wrapped = injector.wrap(a, peer="s7")
+            assert isinstance(wrapped, FaultySocket)
+            assert wrapped.peer == "s7"
