@@ -3,7 +3,9 @@
 Examples::
 
     python -m repro.analysis src/repro              # lint + contract checks
-    python -m repro.analysis --strict src/repro     # + typing gate; the CI gate
+    python -m repro.analysis --strict src/repro     # all passes; the CI gate
+    python -m repro.analysis --flow src/repro       # whole-program pass only
+    python -m repro.analysis --flow --graph dot src/repro > callgraph.dot
     python -m repro.analysis --list-rules           # rule catalogue
     python -m repro.analysis --typing --update-baseline src/repro
 
@@ -26,8 +28,16 @@ from repro.analysis.typegate import (
     write_baseline,
 )
 
+#: Rule IDs owned by the whole-program flow pass; selecting one of them
+#: implies ``--flow``.
+_FLOW_RULE_IDS = frozenset(
+    {"REP011", "REP012", "REP013", "REP014", "REP015", "REP016", "REP017", "REP018"}
+)
+
 
 def _list_rules() -> str:
+    from repro.analysis.flow import FLOW_RULES
+
     lines = ["Rule catalogue (suppress with `# repro: noqa REP00x`):", ""]
     for rule in DEFAULT_RULES:
         doc = (rule.__doc__ or "").strip().splitlines()
@@ -38,6 +48,13 @@ def _list_rules() -> str:
             lines.append(f"         fix: {rule.hint}")
     lines.append(f"  {RULE_BAD_SPEC}  invalid @contract spec string or unknown parameter")
     lines.append(f"  {RULE_SPEC_MISMATCH}  literal shape/dtype conflict between contracted caller/callee")
+    for rule in FLOW_RULES:
+        doc = (rule.__doc__ or "").strip().splitlines()
+        rationale = doc[0] if doc else ""
+        lines.append(f"  {rule.rule_id}  {rule.title}")
+        lines.append(f"         {rationale}")
+        if rule.hint:
+            lines.append(f"         fix: {rule.hint}")
     lines.append("  TYP001/TYP002  missing parameter/return annotations (typing gate)")
     lines.append("  TYP100  mypy --strict diagnostics (when mypy is installed)")
     return "\n".join(lines)
@@ -55,6 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run all passes including the typing gate; any finding fails",
     )
     parser.add_argument("--typing", action="store_true", help="include the typing gate")
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="include the whole-program flow pass (REP011-REP018)",
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("dot",),
+        help="export the flow call graph (implies --flow); 'dot' prints Graphviz",
+    )
+    parser.add_argument(
+        "--graph-out",
+        metavar="PATH",
+        help="write the --graph export to a file instead of stdout",
+    )
     parser.add_argument("--no-lint", action="store_true", help="skip the AST lint pass")
     parser.add_argument(
         "--no-contracts", action="store_true", help="skip the static contract pass"
@@ -98,11 +130,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {args.baseline}")
         return 0
     rule_ids = args.select.split(",") if args.select else None
+    selected_flow = bool(rule_ids) and bool(
+        _FLOW_RULE_IDS & {r.strip().upper() for r in rule_ids or ()}
+    )
+    flow = args.strict or args.flow or bool(args.graph) or selected_flow
+    if args.graph:
+        from repro.analysis.flow import analyze_flow, graph_to_dot
+
+        flow_report = analyze_flow(args.paths, rule_ids=rule_ids)
+        dot = graph_to_dot(flow_report.graph, flow_report.taints)
+        if args.graph_out:
+            with open(args.graph_out, "w") as handle:
+                handle.write(dot + "\n")
+            print(f"wrote call graph ({flow_report.stats()['functions']} nodes) to {args.graph_out}")
+        else:
+            print(dot)
+        return 0
     report = run_analysis(
         args.paths,
         lint=not args.no_lint,
         contracts=not args.no_contracts,
         typing=args.strict or args.typing,
+        flow=flow,
         rule_ids=rule_ids,
         baseline_path=args.baseline,
         typing_engine=args.typing_engine,

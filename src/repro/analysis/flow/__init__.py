@@ -1,0 +1,47 @@
+"""Whole-program flow analysis over ``src/repro`` (REP011–REP018).
+
+Layers:
+
+* :mod:`repro.analysis.flow.graph` — module import graph + conservative
+  AST call graph (imports, ``self.method``, bare-attribute matching,
+  seam-declared indirections).
+* :mod:`repro.analysis.flow.seams` — the seam manifest declaring hot /
+  worker / dist roots, cache boundaries, and pickling seams.
+* :mod:`repro.analysis.flow.dataflow` — taint propagation and the
+  interprocedural ``@contract`` extension of REP009.
+* :mod:`repro.analysis.flow.rules_perf` / ``rules_con`` /
+  ``rules_proto`` — the PERF (REP011–REP013), CON (REP014–REP016), and
+  PROTO (REP017–REP018) rule families.
+* :mod:`repro.analysis.flow.engine` — orchestration, suppression, DOT
+  export; the ``spotfi-analysis --flow`` entry point.
+"""
+
+from repro.analysis.flow.dataflow import Taints, propagate_taints
+from repro.analysis.flow.engine import (
+    FLOW_RULES,
+    FlowReport,
+    analyze_flow,
+    graph_to_dot,
+    select_flow_rules,
+)
+from repro.analysis.flow.engine_types import FlowContext, FlowRule
+from repro.analysis.flow.graph import CodeGraph, FunctionInfo, ModuleInfo, build_graph
+from repro.analysis.flow.seams import DEFAULT_MANIFEST, SeamManifest
+
+__all__ = [
+    "CodeGraph",
+    "FunctionInfo",
+    "ModuleInfo",
+    "build_graph",
+    "SeamManifest",
+    "DEFAULT_MANIFEST",
+    "Taints",
+    "propagate_taints",
+    "FlowContext",
+    "FlowRule",
+    "FLOW_RULES",
+    "FlowReport",
+    "analyze_flow",
+    "graph_to_dot",
+    "select_flow_rules",
+]

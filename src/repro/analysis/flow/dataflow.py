@@ -1,0 +1,303 @@
+"""Forward dataflow over the call graph: taints and contract facts.
+
+Three whole-program taints are propagated breadth-first along call
+edges from the roots declared in the seam manifest:
+
+* **hot** — runs once per packet/per fix (seeded by ``SpotFi.locate``,
+  ``estimate_ap`` implementations, pool task functions, shard
+  handlers).  Propagation stops at declared cache boundaries.
+* **worker** — executes inside a pool worker process (seeded by the
+  manifest plus every task function discovered at a fan-out seam).
+* **dist** — reachable from router/shard code (seeded by the dist
+  package), where blocking calls need deadlines.
+
+On top of that, a per-function *local* analysis tracks which names are
+bound to complex-valued arrays (``@contract`` dtype facts, the
+manifest's ``csi`` attributes) and which names hold the result of a
+contracted call — the latter extends REP009 from literal ``g(f(x))``
+nesting to the ubiquitous ``y = f(x); g(y)`` form.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.contracts_static import (
+    RULE_SPEC_MISMATCH,
+    ContractedFunction,
+    _specs_conflict,
+    collect_contracts,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import CodeGraph, FunctionInfo
+from repro.analysis.flow.seams import SeamManifest
+from repro.analysis.rules import _dotted_name
+
+
+@dataclass
+class Taints:
+    """Qualname sets produced by the whole-program propagation."""
+
+    hot: Set[str] = field(default_factory=set)
+    worker: Set[str] = field(default_factory=set)
+    dist: Set[str] = field(default_factory=set)
+
+    def labels_for(self, qualname: str) -> List[str]:
+        labels = []
+        if qualname in self.hot:
+            labels.append("hot")
+        if qualname in self.worker:
+            labels.append("worker")
+        if qualname in self.dist:
+            labels.append("dist")
+        return labels
+
+
+def _reachable(
+    graph: CodeGraph, seeds: Set[str], blocked: Optional[Set[str]] = None
+) -> Set[str]:
+    """BFS closure over call edges; ``blocked`` nodes keep their taint
+    but do not propagate it onward (cache boundaries)."""
+    seen = set(seeds)
+    queue = deque(seeds)
+    while queue:
+        current = queue.popleft()
+        if blocked and current in blocked:
+            continue
+        for callee in graph.edges.get(current, ()):
+            if callee not in seen:
+                seen.add(callee)
+                queue.append(callee)
+    return seen
+
+
+def propagate_taints(graph: CodeGraph, manifest: SeamManifest) -> Taints:
+    """Seed taints from the manifest and close them over call edges."""
+    hot_seeds = {q for q in graph.functions if manifest.is_hot_root(q)}
+    hot_seeds |= graph.worker_entries  # task fns run once per item
+    worker_seeds = {q for q in graph.functions if manifest.is_worker_root(q)}
+    worker_seeds |= graph.worker_entries
+    dist_seeds = {q for q in graph.functions if manifest.is_dist_root(q)}
+    blocked = {q for q in graph.functions if manifest.is_cache_boundary(q)}
+    return Taints(
+        hot=_reachable(graph, hot_seeds, blocked=blocked),
+        worker=_reachable(graph, worker_seeds),
+        dist=_reachable(graph, dist_seeds),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Contract facts
+# ---------------------------------------------------------------------------
+
+def collect_contract_table(graph: CodeGraph) -> Dict[str, ContractedFunction]:
+    """``qualname -> ContractedFunction`` for every ``@contract`` def.
+
+    :func:`collect_contracts` discovers contracts per module keyed by
+    simple name; matching on (path, line) attaches each one to its graph
+    node, which disambiguates same-named methods across classes.
+    """
+    by_location: Dict[Tuple[str, int], str] = {
+        (fn.path, fn.lineno): qualname for qualname, fn in graph.functions.items()
+    }
+    table: Dict[str, ContractedFunction] = {}
+    for info in graph.modules.values():
+        contracted, _bad = collect_contracts(info.source)
+        for fn in contracted:
+            qualname = by_location.get((fn.path, fn.line))
+            if qualname is not None:
+                table[qualname] = fn
+    return table
+
+
+def _is_complex_dtype(dtype: Optional[str]) -> bool:
+    return dtype is not None and "complex" in dtype
+
+
+class LocalFacts:
+    """Per-function name facts: complex-valued and contract-valued locals."""
+
+    def __init__(self) -> None:
+        #: names known to hold complex arrays -> line of first binding.
+        self.complex_names: Dict[str, int] = {}
+        #: names holding the result of exactly one contracted call.
+        self.contract_values: Dict[str, ContractedFunction] = {}
+        #: names assigned more than once (dropped from tracking).
+        self.ambiguous: Set[str] = set()
+
+
+def _resolve_called_contract(
+    call: ast.Call,
+    fn: FunctionInfo,
+    graph: CodeGraph,
+    contracts: Dict[str, ContractedFunction],
+) -> Optional[ContractedFunction]:
+    from repro.analysis.flow.graph import _CallResolver
+
+    info = graph.modules.get(fn.module)
+    if info is None:
+        return None
+    manifest = SeamManifest()  # resolution only; seams irrelevant here
+    resolver = _CallResolver(graph, info, fn, manifest)
+    resolved = {q for q in resolver.resolve(call) if q in contracts}
+    if len(resolved) == 1:
+        return contracts[next(iter(resolved))]
+    return None
+
+
+def compute_local_facts(
+    fn: FunctionInfo,
+    graph: CodeGraph,
+    manifest: SeamManifest,
+    contracts: Dict[str, ContractedFunction],
+) -> LocalFacts:
+    """Single forward sweep binding names to complex/contract facts."""
+    facts = LocalFacts()
+    contract = contracts.get(fn.qualname)
+    if contract is not None:
+        for param, spec in contract.param_specs.items():
+            if _is_complex_dtype(spec.dtype):
+                facts.complex_names[param] = fn.lineno
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                _bind_name(
+                    facts, target.id, node.value, fn, graph, manifest, contracts,
+                    lineno=node.lineno,
+                )
+            elif isinstance(target, ast.Tuple):
+                # csi, index = task  — over-approximate: if the value is
+                # complex-tainted, every unpacked name is.
+                if _expr_is_complex(facts, node.value, manifest):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            facts.complex_names.setdefault(elt.id, node.lineno)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.value is not None:
+                _bind_name(
+                    facts, node.target.id, node.value, fn, graph, manifest, contracts,
+                    lineno=node.lineno,
+                )
+        elif isinstance(node, ast.Call):
+            # tasks.append((estimator, frame.csi, i)) taints `tasks`
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in {"append", "extend", "insert"}
+                and isinstance(func.value, ast.Name)
+                and any(_expr_is_complex(facts, arg, manifest) for arg in node.args)
+            ):
+                facts.complex_names.setdefault(func.value.id, node.lineno)
+    return facts
+
+
+def _bind_name(
+    facts: LocalFacts,
+    name: str,
+    value: ast.expr,
+    fn: FunctionInfo,
+    graph: CodeGraph,
+    manifest: SeamManifest,
+    contracts: Dict[str, ContractedFunction],
+    lineno: int,
+) -> None:
+    rebound = name in facts.contract_values or name in facts.complex_names
+    if rebound:
+        facts.ambiguous.add(name)
+        facts.contract_values.pop(name, None)
+    if isinstance(value, ast.Call):
+        produced = _resolve_called_contract(value, fn, graph, contracts)
+        if produced is not None and name not in facts.ambiguous:
+            facts.contract_values[name] = produced
+            if produced.returns is not None and _is_complex_dtype(produced.returns.dtype):
+                facts.complex_names[name] = lineno
+            return
+    if _expr_is_complex(facts, value, manifest):
+        facts.complex_names[name] = lineno
+
+
+def _expr_is_complex(facts: LocalFacts, expr: ast.expr, manifest: SeamManifest) -> bool:
+    """Conservative: does this expression carry a complex array?"""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr in manifest.complex_attrs:
+            return True
+        if isinstance(node, ast.Name) and node.id in facts.complex_names:
+            return True
+        if isinstance(node, ast.Name) and node.id in manifest.complex_attrs:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural REP009: y = f(x); g(y)
+# ---------------------------------------------------------------------------
+
+_HINT_MISMATCH = "align the producer's returns spec with the consumer's parameter spec"
+
+
+def check_contract_flow(
+    graph: CodeGraph,
+    manifest: SeamManifest,
+    contracts: Dict[str, ContractedFunction],
+) -> Iterator[Finding]:
+    """Extend REP009 to variable-mediated call chains.
+
+    The per-file pass (:mod:`repro.analysis.contracts_static`) only sees
+    literal nesting ``g(f(x))``.  Here, a name bound to a contracted
+    call's result and later passed to another contracted function is
+    checked the same way — across the whole program, using the call
+    graph's resolution (imports, methods) instead of bare names.
+    """
+    for qualname, fn in sorted(graph.functions.items()):
+        facts = compute_local_facts(fn, graph, manifest, contracts)
+        if not facts.contract_values:
+            continue
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            consumed_by = _resolve_called_contract(node, fn, graph, contracts)
+            if consumed_by is None:
+                continue
+            for position, arg in enumerate(node.args):
+                if not isinstance(arg, ast.Name):
+                    continue
+                producer = facts.contract_values.get(arg.id)
+                if producer is None or producer.returns is None:
+                    continue
+                if arg.id in facts.ambiguous:
+                    continue
+                offset = 1 if _is_method_call(node, consumed_by) else 0
+                index = position + offset
+                if index >= len(consumed_by.param_order):
+                    continue
+                param = consumed_by.param_order[index]
+                consumed = consumed_by.param_specs.get(param)
+                if consumed is None:
+                    continue
+                conflict = _specs_conflict(producer.returns, consumed)
+                if conflict:
+                    yield Finding(
+                        path=fn.path,
+                        line=node.lineno,
+                        rule_id=RULE_SPEC_MISMATCH,
+                        message=(
+                            f"`{arg.id} = {producer.name}(...)` flows into "
+                            f"`{consumed_by.name}({param}=...)`: {conflict}"
+                        ),
+                        hint=_HINT_MISMATCH,
+                    )
+
+
+def _is_method_call(call: ast.Call, consumed_by: ContractedFunction) -> bool:
+    """True when the callee is invoked as ``obj.meth(...)`` and its
+    contract's first parameter is ``self`` (bound, so positions shift)."""
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    receiver = _dotted_name(call.func.value).split(".")[0]
+    if receiver and receiver[0].isupper():
+        return False  # Class.method(...) — unbound, no shift
+    return bool(consumed_by.param_order) and consumed_by.param_order[0] == "self"

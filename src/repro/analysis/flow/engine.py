@@ -1,0 +1,139 @@
+"""Flow engine: build graph, propagate taints, run REP011–REP018.
+
+Entry point is :func:`analyze_flow`; the runner and the CLI call it
+with the repo paths and (optionally) a rule-ID filter.  Suppression is
+uniform: a ``# repro: noqa REP01x`` comment on the finding's line wins,
+exactly as for the per-file lint rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.flow.dataflow import (
+    Taints,
+    check_contract_flow,
+    collect_contract_table,
+    propagate_taints,
+)
+from repro.analysis.flow.engine_types import FlowContext, FlowRule
+from repro.analysis.flow.graph import CodeGraph, build_graph
+from repro.analysis.flow.rules_con import (
+    NoDeadlineRule,
+    OrphanProcessRule,
+    WorkerGlobalMutationRule,
+)
+from repro.analysis.flow.rules_perf import (
+    ComplexDowncastRule,
+    PerPacketAllocationRule,
+    PickledComplexRule,
+)
+from repro.analysis.flow.rules_proto import CounterDriftRule, MessageExhaustivenessRule
+from repro.analysis.flow.seams import DEFAULT_MANIFEST, SeamManifest
+
+#: Every flow rule, in ID order.
+FLOW_RULES: Tuple[FlowRule, ...] = (
+    PerPacketAllocationRule(),
+    ComplexDowncastRule(),
+    PickledComplexRule(),
+    NoDeadlineRule(),
+    OrphanProcessRule(),
+    WorkerGlobalMutationRule(),
+    MessageExhaustivenessRule(),
+    CounterDriftRule(),
+)
+
+#: ID of the interprocedural contract extension (shares REP009).
+CONTRACT_FLOW_RULE = "REP009"
+
+
+@dataclass
+class FlowReport:
+    """Result of one whole-program analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    graph: Optional[CodeGraph] = None
+    taints: Taints = field(default_factory=Taints)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def stats(self) -> Dict[str, int]:
+        graph = self.graph
+        return {
+            "modules": len(graph.modules) if graph else 0,
+            "functions": len(graph.functions) if graph else 0,
+            "edges": sum(len(v) for v in graph.edges.values()) if graph else 0,
+            "hot": len(self.taints.hot),
+            "worker": len(self.taints.worker),
+            "dist": len(self.taints.dist),
+            "findings": len(self.findings),
+        }
+
+
+def select_flow_rules(rule_ids: Optional[Sequence[str]]) -> List[FlowRule]:
+    """The flow rule set, optionally filtered to specific rule IDs."""
+    if not rule_ids:
+        return list(FLOW_RULES)
+    wanted = {rule_id.strip().upper() for rule_id in rule_ids}
+    return [rule for rule in FLOW_RULES if rule.rule_id in wanted]
+
+
+def analyze_flow(
+    paths: Sequence[str],
+    manifest: Optional[SeamManifest] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> FlowReport:
+    """Run the whole-program pass over ``paths``."""
+    manifest = manifest if manifest is not None else DEFAULT_MANIFEST
+    graph = build_graph(paths, manifest)
+    taints = propagate_taints(graph, manifest)
+    contracts = collect_contract_table(graph)
+    ctx = FlowContext(graph=graph, manifest=manifest, taints=taints, contracts=contracts)
+    findings: List[Finding] = []
+    for rule in select_flow_rules(rule_ids):
+        findings.extend(rule.check(ctx))
+    if rule_ids is None or CONTRACT_FLOW_RULE in {
+        rule_id.strip().upper() for rule_id in rule_ids
+    }:
+        findings.extend(check_contract_flow(graph, manifest, contracts))
+    findings = [f for f in findings if not _suppressed(graph, f)]
+    return FlowReport(findings=sort_findings(set(findings)), graph=graph, taints=taints)
+
+
+def _suppressed(graph: CodeGraph, finding: Finding) -> bool:
+    source = graph.source_for_path(finding.path)
+    return source is not None and source.suppressed(finding.rule_id, finding.line)
+
+
+def graph_to_dot(graph: CodeGraph, taints: Optional[Taints] = None) -> str:
+    """Graphviz DOT rendering of the call graph with taint coloring.
+
+    Hot nodes are red, worker nodes dashed, dist nodes blue; a node that
+    is both hot and dist keeps the hot fill and gains the dist border.
+    """
+    taints = taints or Taints()
+    lines = [
+        "digraph callgraph {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=9, fontname="monospace"];',
+    ]
+    for qualname in sorted(graph.functions):
+        attrs = []
+        if qualname in taints.hot:
+            attrs.append('fillcolor="#ffdddd", style=filled')
+        if qualname in taints.worker:
+            attrs.append("style=dashed" if qualname not in taints.hot else "peripheries=2")
+        if qualname in taints.dist:
+            attrs.append('color="#3355bb"')
+        label = qualname.replace('"', "'")
+        attr_text = (", " + ", ".join(attrs)) if attrs else ""
+        lines.append(f'  "{label}" [label="{label}"{attr_text}];')
+    for caller in sorted(graph.edges):
+        for callee in sorted(graph.edges[caller]):
+            lines.append(f'  "{caller}" -> "{callee}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Shared types for flow rules: the context handed to every rule and
+the rule base class.  Kept separate from :mod:`engine` so rule modules
+and the engine can import them without a cycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from repro.analysis.contracts_static import ContractedFunction
+from repro.analysis.findings import Finding
+from repro.analysis.flow.dataflow import Taints
+from repro.analysis.flow.graph import CodeGraph
+from repro.analysis.flow.seams import SeamManifest
+
+
+@dataclass
+class FlowContext:
+    """Everything a flow rule may consult: graph, taints, seams, facts."""
+
+    graph: CodeGraph
+    manifest: SeamManifest
+    taints: Taints
+    contracts: Dict[str, ContractedFunction] = field(default_factory=dict)
+
+
+class FlowRule:
+    """Base class for whole-program rules (REP011–REP018).
+
+    Unlike per-file :class:`repro.analysis.rules.Rule`, a flow rule
+    checks the :class:`FlowContext` once; findings may land in any file
+    the graph covers.  ``check`` should *not* apply noqa suppression —
+    the engine does that uniformly from the parsed sources.
+    """
+
+    rule_id: str = "REP000"
+    title: str = ""
+    hint: str = ""
+
+    def check(self, ctx: FlowContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(
+            path=path, line=line, rule_id=self.rule_id, message=message, hint=self.hint
+        )

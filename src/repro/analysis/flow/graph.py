@@ -1,0 +1,438 @@
+"""Module import graph and conservative AST call graph.
+
+The graph is built purely from source text — nothing is imported.  Call
+resolution is deliberately conservative:
+
+* ``f(x)`` resolves through the module's ``from m import f`` symbol
+  table or to a function defined in the same module.
+* ``m.f(x)`` resolves through ``import m`` / ``import pkg.m as m``
+  aliases.
+* ``self.meth(...)`` resolves to the enclosing class's method.
+* ``obj.meth(...)`` with an unknown receiver resolves to *every* known
+  method named ``meth`` — capped at
+  :attr:`SeamManifest.max_attr_candidates` candidates, beyond which the
+  name is considered too ambiguous and no edge is added.
+* Registry / pool indirection is handled by the seam manifest: the
+  first argument of ``executor.map_ordered(task_fn, items)`` and the
+  ``target=`` of ``Process(...)`` become worker entry points, and the
+  call site is recorded as a pickling boundary for REP013.
+
+Over-approximation (extra edges) costs a suppression comment;
+under-approximation (missed edges) silently hides real findings — so
+every heuristic here errs toward adding the edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.flow.seams import SeamManifest
+from repro.analysis.rules import SourceFile, _dotted_name, iter_python_files
+
+#: Receivers that are obviously third-party / stdlib: attribute calls on
+#: these never resolve to repo methods by bare-name matching.
+_FOREIGN_RECEIVERS = frozenset(
+    {"np", "numpy", "scipy", "os", "sys", "time", "math", "json", "re",
+     "ast", "socket", "struct", "logging", "itertools", "collections"}
+)
+
+#: Method names shared with builtin containers/strings/files: an
+#: unqualified ``x.update()`` is overwhelmingly a dict update, so
+#: bare-name matching to same-named repo methods would flood the graph
+#: with spurious edges (e.g. every dict.update pulling in a Kalman
+#: filter's ``update``).  Explicit resolution (``self.meth``, imported
+#: symbols) still reaches these names.
+_COLLECTION_METHODS = frozenset(
+    {"update", "get", "pop", "clear", "copy", "keys", "values", "items",
+     "add", "append", "extend", "insert", "remove", "discard", "sort",
+     "reverse", "count", "index", "join", "split", "strip", "read",
+     "write", "close", "flush", "send", "recv", "put", "setdefault"}
+)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name, walking up while ``__init__.py`` exists.
+
+    ``src/repro/core/music.py`` -> ``repro.core.music``;  a loose file in
+    a directory without ``__init__.py`` is just its stem.
+    """
+    p = Path(path).resolve()
+    parts: List[str] = []
+    stem = p.stem
+    if stem != "__init__":
+        parts.append(stem)
+    current = p.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One graph node: a module-level function or a class method."""
+
+    qualname: str
+    module: str
+    simple_name: str
+    class_name: Optional[str]
+    path: str
+    lineno: int
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus its import/symbol tables."""
+
+    name: str
+    path: str
+    source: SourceFile
+    #: local alias -> imported module dotted path (``np`` -> ``numpy``).
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> ``module.symbol`` for ``from m import symbol``.
+    symbol_imports: Dict[str, str] = field(default_factory=dict)
+    #: class name -> method simple names defined in this module.
+    classes: Dict[str, Set[str]] = field(default_factory=dict)
+    #: module-level names bound to mutable containers (REP016).
+    module_mutables: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class PicklingBoundary:
+    """A call site that ships its arguments to another process."""
+
+    caller: str  # qualname of the enclosing function
+    path: str
+    lineno: int
+    call: ast.Call
+    kind: str  # "task" (map_ordered/submit) or "process" (target=)
+    task: Optional[str] = None  # resolved worker qualname, if known
+
+
+@dataclass
+class CodeGraph:
+    """The whole-program view every flow rule consumes."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    by_simple_name: Dict[str, List[str]] = field(default_factory=dict)
+    #: caller qualname -> callee qualnames.
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    #: (caller, callee) -> call-site line numbers.
+    callsites: Dict[Tuple[str, str], List[int]] = field(default_factory=dict)
+    #: import graph: module name -> imported repo module names.
+    imports: Dict[str, Set[str]] = field(default_factory=dict)
+    #: worker entry points discovered at fan-out seams.
+    worker_entries: Set[str] = field(default_factory=set)
+    pickling_boundaries: List[PicklingBoundary] = field(default_factory=list)
+    #: modules that failed to parse: path -> SyntaxError message.
+    broken: Dict[str, str] = field(default_factory=dict)
+
+    def module_of(self, qualname: str) -> Optional[ModuleInfo]:
+        info = self.functions.get(qualname)
+        return self.modules.get(info.module) if info else None
+
+    def source_for_path(self, path: str) -> Optional[SourceFile]:
+        for module in self.modules.values():
+            if module.path == path:
+                return module.source
+        return None
+
+
+_MUTABLE_FACTORY_NAMES = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _collect_module_tables(info: ModuleInfo) -> None:
+    """Fill import aliases, class method maps, and module mutables."""
+    tree = info.source.tree
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.module_aliases[local] = target
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module is None and stmt.level == 0:
+                continue
+            base = _resolve_import_base(info.name, stmt)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.symbol_imports[local] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            if value is None or not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    info.module_mutables.add(target.id)
+        elif isinstance(stmt, ast.ClassDef):
+            methods = {
+                child.name
+                for child in stmt.body
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            info.classes[stmt.name] = methods
+
+
+def _resolve_import_base(module_name: str, stmt: ast.ImportFrom) -> str:
+    """Absolute dotted base for a (possibly relative) ``from X import``."""
+    if stmt.level == 0:
+        return stmt.module or ""
+    package_parts = module_name.split(".")
+    # level 1 = current package: strip the module's own leaf name.
+    parts = package_parts[: len(package_parts) - stmt.level]
+    if stmt.module:
+        parts.append(stmt.module)
+    return ".".join(parts)
+
+
+def _is_mutable_literal(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return _dotted_name(value.func).split(".")[-1] in _MUTABLE_FACTORY_NAMES
+    return False
+
+
+def _collect_functions(graph: CodeGraph, info: ModuleInfo) -> None:
+    for stmt in info.source.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _register_function(graph, info, stmt, class_name=None)
+        elif isinstance(stmt, ast.ClassDef):
+            for child in stmt.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _register_function(graph, info, child, class_name=stmt.name)
+
+
+def _register_function(
+    graph: CodeGraph,
+    info: ModuleInfo,
+    node: ast.AST,
+    class_name: Optional[str],
+) -> None:
+    name = node.name  # type: ignore[attr-defined]
+    qualname = (
+        f"{info.name}.{class_name}.{name}" if class_name else f"{info.name}.{name}"
+    )
+    graph.functions[qualname] = FunctionInfo(
+        qualname=qualname,
+        module=info.name,
+        simple_name=name,
+        class_name=class_name,
+        path=info.path,
+        lineno=node.lineno,  # type: ignore[attr-defined]
+        node=node,
+    )
+    graph.by_simple_name.setdefault(name, []).append(qualname)
+
+
+class _CallResolver:
+    """Resolves call expressions in one function to callee qualnames."""
+
+    def __init__(
+        self, graph: CodeGraph, info: ModuleInfo, fn: FunctionInfo, manifest: SeamManifest
+    ) -> None:
+        self.graph = graph
+        self.info = info
+        self.fn = fn
+        self.manifest = manifest
+
+    def resolve(self, call: ast.Call) -> Set[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_symbol(func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func)
+        return set()
+
+    def resolve_reference(self, node: ast.expr) -> Set[str]:
+        """Resolve a *function reference* (not a call): task args, target=."""
+        if isinstance(node, ast.Name):
+            return self._resolve_symbol(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._resolve_attribute(node)
+        return set()
+
+    # -- helpers -------------------------------------------------------
+    def _resolve_symbol(self, name: str) -> Set[str]:
+        imported = self.info.symbol_imports.get(name)
+        if imported is not None:
+            return self._as_functions(imported)
+        local = f"{self.info.name}.{name}"
+        if local in self.graph.functions:
+            return {local}
+        if name in self.info.classes:
+            init = f"{self.info.name}.{name}.__init__"
+            return {init} if init in self.graph.functions else set()
+        return set()
+
+    def _as_functions(self, dotted: str) -> Set[str]:
+        """A dotted target that may be a function or a class."""
+        if dotted in self.graph.functions:
+            return {dotted}
+        init = f"{dotted}.__init__"
+        if init in self.graph.functions:
+            return {init}
+        return set()
+
+    def _resolve_attribute(self, func: ast.Attribute) -> Set[str]:
+        dotted = _dotted_name(func)
+        if dotted:
+            head, rest = dotted.split(".", 1) if "." in dotted else (dotted, "")
+            if head == "self" and self.fn.class_name is not None:
+                if "." not in rest and rest:
+                    own = f"{self.info.name}.{self.fn.class_name}.{rest}"
+                    if own in self.graph.functions:
+                        return {own}
+                # ``self.executor.map_ordered`` falls through to
+                # bare-name matching below.
+            elif head in self.info.module_aliases:
+                target = self.info.module_aliases[head]
+                if target.split(".")[0] in _FOREIGN_RECEIVERS or not any(
+                    m.startswith(target.split(".")[0]) for m in self.graph.modules
+                ):
+                    return set()
+                return self._as_functions(f"{target}.{rest}") if rest else set()
+            elif head in self.info.symbol_imports:
+                # ``from repro.dist import protocol; protocol.recv_message``
+                target = self.info.symbol_imports[head]
+                if rest:
+                    return self._as_functions(f"{target}.{rest}")
+                return set()
+            elif head in _FOREIGN_RECEIVERS:
+                return set()
+        # Unknown receiver: match every known method with this name.
+        attr = func.attr
+        if attr in _COLLECTION_METHODS:
+            return set()
+        candidates = [
+            q
+            for q in self.graph.by_simple_name.get(attr, ())
+            if self.graph.functions[q].is_method
+        ]
+        # Import-visibility refinement: if any candidate lives in the
+        # caller's module or a module the caller imports, the receiver
+        # almost certainly is one of those; candidates from unrelated
+        # modules (same method name by coincidence) are dropped.
+        visible = {self.info.name} | self.graph.imports.get(self.info.name, set())
+        visible_candidates = [
+            q for q in candidates if self.graph.functions[q].module in visible
+        ]
+        if visible_candidates:
+            candidates = visible_candidates
+        if 0 < len(candidates) <= self.manifest.max_attr_candidates:
+            return set(candidates)
+        return set()
+
+
+def _iter_calls(node: ast.AST) -> Iterable[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def _build_edges(graph: CodeGraph, manifest: SeamManifest) -> None:
+    for fn in graph.functions.values():
+        info = graph.modules[fn.module]
+        resolver = _CallResolver(graph, info, fn, manifest)
+        edges = graph.edges.setdefault(fn.qualname, set())
+        for call in _iter_calls(fn.node):
+            for callee in resolver.resolve(call):
+                edges.add(callee)
+                graph.callsites.setdefault((fn.qualname, callee), []).append(call.lineno)
+            _record_seams(graph, resolver, fn, call, manifest)
+
+
+def _record_seams(
+    graph: CodeGraph,
+    resolver: _CallResolver,
+    fn: FunctionInfo,
+    call: ast.Call,
+    manifest: SeamManifest,
+) -> None:
+    func = call.func
+    # executor fan-out: map_ordered(task_fn, items, ...) / submit(...)
+    if isinstance(func, ast.Attribute) and func.attr in manifest.task_methods and call.args:
+        boundary = PicklingBoundary(
+            caller=fn.qualname, path=fn.path, lineno=call.lineno, call=call, kind="task"
+        )
+        for task in resolver.resolve_reference(call.args[0]):
+            boundary.task = task
+            graph.worker_entries.add(task)
+            graph.edges.setdefault(fn.qualname, set()).add(task)
+            graph.callsites.setdefault((fn.qualname, task), []).append(call.lineno)
+        graph.pickling_boundaries.append(boundary)
+        return
+    # Process(target=worker, ...) / Thread(target=...)
+    callee_name = _dotted_name(func).split(".")[-1] if not isinstance(func, ast.Name) else func.id
+    if callee_name in manifest.process_classes:
+        for kw in call.keywords:
+            if kw.arg == "target":
+                boundary = PicklingBoundary(
+                    caller=fn.qualname,
+                    path=fn.path,
+                    lineno=call.lineno,
+                    call=call,
+                    kind="process",
+                )
+                for task in resolver.resolve_reference(kw.value):
+                    boundary.task = task
+                    graph.worker_entries.add(task)
+                    graph.edges.setdefault(fn.qualname, set()).add(task)
+                    graph.callsites.setdefault((fn.qualname, task), []).append(
+                        call.lineno
+                    )
+                graph.pickling_boundaries.append(boundary)
+
+
+def _build_import_graph(graph: CodeGraph) -> None:
+    known = set(graph.modules)
+    for name, info in graph.modules.items():
+        targets: Set[str] = set()
+        for dotted in info.module_aliases.values():
+            if dotted in known:
+                targets.add(dotted)
+        for dotted in info.symbol_imports.values():
+            base = dotted.rsplit(".", 1)[0]
+            if dotted in known:
+                targets.add(dotted)
+            elif base in known:
+                targets.add(base)
+        graph.imports[name] = targets
+
+
+def build_graph(paths: Iterable[str], manifest: SeamManifest) -> CodeGraph:
+    """Parse every ``.py`` under ``paths`` into a :class:`CodeGraph`."""
+    graph = CodeGraph()
+    for path in iter_python_files(paths):
+        try:
+            source = SourceFile.parse(path)
+        except SyntaxError as exc:
+            graph.broken[path] = str(exc.msg)
+            continue
+        name = module_name_for_path(path)
+        info = ModuleInfo(name=name, path=path, source=source)
+        _collect_module_tables(info)
+        graph.modules[name] = info
+    for info in graph.modules.values():
+        _collect_functions(graph, info)
+    # Imports first: edge resolution uses them for visibility filtering.
+    _build_import_graph(graph)
+    _build_edges(graph, manifest)
+    return graph

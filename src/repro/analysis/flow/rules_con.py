@@ -1,0 +1,283 @@
+"""CON rule family: concurrency discipline in router/shard code.
+
+The dist layer streams CSI through real sockets and child processes;
+the chaos suite (PR 8) proved the failure modes are reachable.  These
+rules make the defensive idioms mandatory:
+
+* **REP014** — blocking calls (``recv``/``accept``/``connect``/
+  ``join``) reachable from router/shard code with no visible deadline:
+  no timeout argument, no ``settimeout`` in the enclosing function, no
+  timeout-carrying parameter, no selector gate.
+* **REP015** — a ``Process``/``Thread``/``Popen`` created, started,
+  and neither owned by anything that outlives the function nor cleaned
+  up on an exception path: a crash between ``start()`` and ``join()``
+  leaks a live child.
+* **REP016** — worker-context-tainted functions mutating module-level
+  state: the mutation happens in the worker's copy and silently
+  diverges from the parent (and from every other worker).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.engine_types import FlowContext, FlowRule
+from repro.analysis.flow.graph import FunctionInfo
+from repro.analysis.rules import _dotted_name
+
+_BLOCKING_ATTRS = {"recv", "recv_into", "recvfrom", "accept", "connect", "join"}
+_CLEANUP_ATTRS = {"terminate", "kill", "join", "close", "shutdown", "stop"}
+_MUTATING_ATTRS = {
+    "append", "extend", "add", "update", "insert", "clear", "pop", "popitem",
+    "setdefault", "remove", "discard",
+}
+
+
+def _has_deadline_escape(fn_node: ast.AST, call: ast.Call) -> bool:
+    """Any statically visible deadline covering this blocking call?"""
+    # 1. an explicit timeout-ish keyword on the call itself
+    for kw in call.keywords:
+        if kw.arg and ("timeout" in kw.arg or "deadline" in kw.arg):
+            return True
+    # 2. join(5.0) — a positional arg on join IS the timeout
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "join" and call.args:
+        return True
+    # 3. the enclosing function receives a timeout/deadline parameter
+    args = getattr(fn_node, "args", None)
+    if args is not None:
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if "timeout" in a.arg or "deadline" in a.arg:
+                return True
+    # 4. the function arms a timeout or polls a selector itself
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in {"settimeout", "setdefaulttimeout"}:
+                return True
+            if node.func.attr == "select" and (node.args or node.keywords):
+                return True
+    return False
+
+
+class NoDeadlineRule(FlowRule):
+    """REP014 — blocking call without a deadline in dist-reachable code.
+
+    A shard that stops answering must degrade into a timeout the router
+    can count (``dist.request.timeouts``) — never into a hung thread.
+    Every ``recv``/``accept``/``connect``/``join`` reachable from the
+    dist layer needs a statically visible deadline: a timeout argument,
+    a ``settimeout`` in the same function, a timeout parameter it
+    forwards, or a selector gate.
+    """
+
+    rule_id = "REP014"
+    title = "blocking socket/process call with no deadline in dist-reachable code"
+    hint = "pass a timeout, call settimeout, or gate the call behind a selector with a timeout"
+
+    def check(self, ctx: FlowContext) -> Iterator[Finding]:
+        for qualname in sorted(ctx.taints.dist):
+            fn = ctx.graph.functions[qualname]
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in _BLOCKING_ATTRS:
+                    continue
+                # str.join / path.join are not blocking calls
+                receiver = _dotted_name(func.value).split(".")[-1]
+                if func.attr == "join" and receiver in {"os", "path", "sep", ""}:
+                    continue
+                if _has_deadline_escape(fn.node, node):
+                    continue
+                yield self.finding(
+                    fn.path,
+                    node.lineno,
+                    f"`.{func.attr}()` can block forever in dist-reachable "
+                    f"`{fn.simple_name}`",
+                )
+
+
+class OrphanProcessRule(FlowRule):
+    """REP015 — process/thread started without exception-path cleanup.
+
+    If the function that starts a child neither hands it to an owner
+    that outlives the call nor terminates/joins it in an ``except`` /
+    ``finally`` path, any exception after ``start()`` leaks a live
+    child process — the exact leak the chaos crash-restart scenario
+    exists to catch at runtime.
+    """
+
+    rule_id = "REP015"
+    title = "process/thread creation without terminate/join on an exception path"
+    hint = "wrap start/use in try/finally (or except) that terminates or joins the child"
+
+    def check(self, ctx: FlowContext) -> Iterator[Finding]:
+        for qualname, fn in sorted(ctx.graph.functions.items()):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx: FlowContext, fn: FunctionInfo) -> Iterator[Finding]:
+        created: List[ast.Assign] = []
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                cls = _dotted_name(node.value.func).split(".")[-1]
+                if cls in ctx.manifest.process_classes:
+                    created.append(node)
+        for assign in created:
+            name = assign.targets[0].id  # type: ignore[union-attr]
+            if not self._is_started(fn.node, name):
+                continue
+            if self._escapes(fn.node, name, assign):
+                continue
+            if self._cleaned_up(fn.node, name):
+                continue
+            cls = _dotted_name(assign.value.func).split(".")[-1]  # type: ignore[union-attr]
+            yield self.finding(
+                fn.path,
+                assign.lineno,
+                f"`{name} = {cls}(...)` is started in `{fn.simple_name}` "
+                f"but never terminated/joined on an exception path",
+            )
+
+    @staticmethod
+    def _is_started(fn_node: ast.AST, name: str) -> bool:
+        for node in ast.walk(fn_node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "start"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _escapes(fn_node: ast.AST, name: str, assign: ast.Assign) -> bool:
+        """Returned, yielded, stored on an object, or handed to a call."""
+        for node in ast.walk(fn_node):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(node, "value", None)
+                if value is not None and _references(value, name):
+                    return True
+            elif isinstance(node, ast.Assign) and node is not assign:
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        if _references(node.value, name):
+                            return True
+            elif isinstance(node, ast.Call):
+                func = node.func
+                # method calls *on* the object itself are not escapes
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name
+                ):
+                    continue
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    if _references(arg, name):
+                        return True
+        return False
+
+    @staticmethod
+    def _cleaned_up(fn_node: ast.AST, name: str) -> bool:
+        """terminate/kill/join/close on the object inside except/finally."""
+        for node in ast.walk(fn_node):
+            if not isinstance(node, ast.Try):
+                continue
+            cleanup_bodies = list(node.finalbody)
+            for handler in node.handlers:
+                cleanup_bodies.extend(handler.body)
+            for stmt in cleanup_bodies:
+                for child in ast.walk(stmt):
+                    if (
+                        isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Attribute)
+                        and child.func.attr in _CLEANUP_ATTRS
+                        and isinstance(child.func.value, ast.Name)
+                        and child.func.value.id == name
+                    ):
+                        return True
+        return False
+
+
+def _references(expr: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name for node in ast.walk(expr)
+    )
+
+
+class WorkerGlobalMutationRule(FlowRule):
+    """REP016 — module-level state mutated from worker-context code.
+
+    Pool workers run in forked/spawned processes: a mutation of a
+    module-level dict/list from a task function changes the *worker's*
+    copy only.  The parent never sees it, each worker diverges
+    independently, and the bug reproduces only under multiprocessing.
+    Process-local caches are legitimate — suppress with a comment
+    saying so.
+    """
+
+    rule_id = "REP016"
+    title = "module-level state mutated from a worker-context function"
+    hint = "return results instead of mutating globals, or document the cache as process-local"
+
+    def check(self, ctx: FlowContext) -> Iterator[Finding]:
+        for qualname in sorted(ctx.taints.worker):
+            fn = ctx.graph.functions[qualname]
+            info = ctx.graph.modules.get(fn.module)
+            if info is None:
+                continue
+            globals_declared: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Global):
+                    globals_declared.update(node.names)
+            mutables = info.module_mutables | globals_declared
+            for node in ast.walk(fn.node):
+                # rebinding a `global NAME` is a mutation of module state
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and target.id in globals_declared:
+                            yield self.finding(
+                                fn.path,
+                                node.lineno,
+                                f"worker-context `{fn.simple_name}` rebinds "
+                                f"module-level `{target.id}`",
+                            )
+                name = self._mutated_name(node)
+                if name is not None and name in mutables:
+                    yield self.finding(
+                        fn.path,
+                        node.lineno,
+                        f"worker-context `{fn.simple_name}` mutates "
+                        f"module-level `{name}`",
+                    )
+
+    @staticmethod
+    def _mutated_name(node: ast.AST) -> Optional[str]:
+        # NAME[...] = ... / NAME[...] += ...
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    return target.value.id
+                if isinstance(target, ast.Name) and isinstance(node, ast.AugAssign):
+                    return target.id
+        # NAME.append(...) etc.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_ATTRS
+            and isinstance(node.func.value, ast.Name)
+        ):
+            return node.func.value.id
+        return None

@@ -1,4 +1,4 @@
-"""Orchestrates the three analysis passes and the CLI exit code.
+"""Orchestrates the analysis passes and the CLI exit code.
 
 Passes:
 
@@ -9,6 +9,9 @@ Passes:
 3. **typing** — the strict typing gate with its checked-in baseline
    (:mod:`repro.analysis.typegate`); runs only with ``--strict`` or
    ``--typing``.
+4. **flow** — the whole-program pass: call graph, taint propagation,
+   and the REP011–REP018 rule families
+   (:mod:`repro.analysis.flow`); runs with ``--flow`` or ``--strict``.
 
 Any non-baselined finding makes :func:`run_analysis` report failure
 (exit code 1 from the CLI); a clean tree exits 0.
@@ -33,11 +36,12 @@ class AnalysisReport:
     contracts: List[Finding] = field(default_factory=list)
     typing_new: List[Finding] = field(default_factory=list)
     typing_baselined: List[Finding] = field(default_factory=list)
+    flow: List[Finding] = field(default_factory=list)
 
     @property
     def failures(self) -> List[Finding]:
         """Findings that fail the run (baselined typing findings don't)."""
-        return sort_findings([*self.lint, *self.contracts, *self.typing_new])
+        return sort_findings([*self.lint, *self.contracts, *self.typing_new, *self.flow])
 
     @property
     def ok(self) -> bool:
@@ -52,6 +56,7 @@ class AnalysisReport:
         summary = (
             f"repro.analysis: {len(self.lint)} lint, "
             f"{len(self.contracts)} contract, "
+            f"{len(self.flow)} flow, "
             f"{len(self.typing_new)} typing finding(s)"
         )
         if self.typing_baselined:
@@ -73,6 +78,7 @@ def run_analysis(
     lint: bool = True,
     contracts: bool = True,
     typing: bool = False,
+    flow: bool = False,
     rule_ids: Optional[Sequence[str]] = None,
     baseline_path: str = DEFAULT_BASELINE,
     typing_engine: str = "auto",
@@ -87,4 +93,11 @@ def run_analysis(
         report.typing_new, report.typing_baselined = gate(
             paths, baseline_path=baseline_path, engine=typing_engine
         )
+    if flow:
+        # Local import: the flow engine is optional machinery that only
+        # ``--flow``/``--strict`` runs pay for.
+        from repro.analysis.flow import analyze_flow
+
+        flow_report = analyze_flow(paths, rule_ids=rule_ids)
+        report.flow = flow_report.findings
     return report

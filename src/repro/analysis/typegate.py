@@ -38,6 +38,8 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro/analysis",
     "repro/dist",
     "repro/estimators",
+    "repro/channel",
+    "repro/io",
 )
 
 DEFAULT_BASELINE = "typing-baseline.txt"

@@ -20,7 +20,6 @@ from repro.baselines.rssi_loc import RssiLocalizer
 from repro.baselines.selection import (
     select_cupid,
     select_lteye,
-    select_ltye,
     select_oracle,
     select_spotfi,
 )
@@ -35,7 +34,6 @@ __all__ = [
     "survey",
     "select_cupid",
     "select_lteye",
-    "select_ltye",
     "select_oracle",
     "select_spotfi",
 ]

@@ -20,6 +20,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.core.indexcache import grid_range, identity
 from repro.core.music import MusicConfig, mdl_signal_dimension
 from repro.core.peaks import SpectrumPeak
 from repro.core.sanitize import sanitize_csi
@@ -56,7 +57,7 @@ class MusicAoaConfig:
 
     def aoa_grid(self) -> np.ndarray:
         lo, hi, step = self.aoa_grid_deg
-        return np.arange(lo, hi + step / 2, step)
+        return grid_range(lo, hi + step / 2, step)
 
 
 @dataclass
@@ -130,7 +131,7 @@ class MusicAoaEstimator:
             x = csi
         cov = x @ x.conj().T
         if self.config.forward_backward:
-            exchange = np.eye(m)[::-1]
+            exchange = identity(m)[::-1]
             cov = (cov + exchange @ cov.conj() @ exchange) / 2.0
         return cov, m
 

@@ -12,7 +12,6 @@ estimates from SpotFi's super-resolution algorithm"):
 
 from __future__ import annotations
 
-import warnings
 from typing import Sequence
 
 import numpy as np
@@ -52,16 +51,6 @@ def select_lteye(clusters: Sequence[PathCluster]) -> DirectPathEstimate:
     return _estimate_from(winner, likelihood=1.0)
 
 
-def select_ltye(clusters: Sequence[PathCluster]) -> DirectPathEstimate:
-    """Deprecated misspelling of :func:`select_lteye` (kept as an alias)."""
-    warnings.warn(
-        "select_ltye is deprecated (misspelling); use select_lteye",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return select_lteye(clusters)
-
-
 def select_cupid(clusters: Sequence[PathCluster]) -> DirectPathEstimate:
     """CUPID rule: largest MUSIC spectrum value is the direct path."""
     cluster_list = _require_clusters(clusters)
@@ -89,11 +78,9 @@ def select_spotfi(
     return select_direct_path(clusters, weights)
 
 
-#: Selector registry used by the Fig. 8(b) benchmark.  ``"ltye"`` is the
-#: deprecated misspelling of ``"lteye"``; both map to the same rule.
+#: Selector registry used by the Fig. 8(b) benchmark.
 SELECTORS = {
     "spotfi": select_spotfi,
     "lteye": select_lteye,
-    "ltye": select_lteye,
     "cupid": select_cupid,
 }

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class MultipathProfile:
     def __len__(self) -> int:
         return len(self.paths)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PropagationPath]:
         return iter(self.paths)
 
     def __getitem__(self, index: int) -> PropagationPath:

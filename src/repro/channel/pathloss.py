@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import ConfigurationError
 
@@ -46,12 +47,12 @@ class LogDistancePathLoss:
         if self.exponent <= 0:
             raise ConfigurationError(f"path-loss exponent must be > 0, got {self.exponent}")
 
-    def rssi_dbm(self, distance_m) -> np.ndarray:
+    def rssi_dbm(self, distance_m: "ArrayLike") -> np.ndarray:
         """Predicted RSSI at ``distance_m`` (scalar or array)."""
         d = np.maximum(np.asarray(distance_m, dtype=float), 1e-3)
         return self.p0_dbm - 10.0 * self.exponent * np.log10(d / self.d0_m)
 
-    def distance_m(self, rssi_dbm) -> np.ndarray:
+    def distance_m(self, rssi_dbm: "ArrayLike") -> np.ndarray:
         """Invert the model: distance that predicts ``rssi_dbm``."""
         r = np.asarray(rssi_dbm, dtype=float)
         return self.d0_m * 10.0 ** ((self.p0_dbm - r) / (10.0 * self.exponent))

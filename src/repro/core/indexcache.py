@@ -1,0 +1,49 @@
+"""Cached, read-only index/grid arrays for the per-packet hot path.
+
+``np.arange``/``np.eye`` calls in sanitize, steering, and grid-search
+code rebuild the same small arrays on every packet — flagged by flow
+rule REP011 because the shapes depend only on the (fixed) array
+geometry and grid config, never on the data.  These helpers memoize
+them once per distinct argument tuple.
+
+Returned arrays are the cached instances with ``writeable=False``: a
+caller that tries to mutate one raises immediately instead of silently
+poisoning every later packet.  Callers needing a scratch copy must
+``.copy()`` explicitly.
+
+The functions here are declared cache boundaries in the flow seam
+manifest (:data:`repro.analysis.flow.seams.DEFAULT_MANIFEST`): the
+allocation inside them happens only on cache miss, so REP011 does not
+flag it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+
+@lru_cache(maxsize=128)
+def index_vector(n: int, dtype: Optional[str] = None) -> np.ndarray:
+    """``np.arange(n)`` (optionally typed), cached and read-only."""
+    out = np.arange(n) if dtype is None else np.arange(n, dtype=dtype)
+    out.setflags(write=False)
+    return out
+
+
+@lru_cache(maxsize=64)
+def identity(n: int) -> np.ndarray:
+    """``np.eye(n)``, cached and read-only."""
+    out = np.eye(n)
+    out.setflags(write=False)
+    return out
+
+
+@lru_cache(maxsize=128)
+def grid_range(start: float, stop: float, step: float) -> np.ndarray:
+    """``np.arange(start, stop, step)``, cached and read-only."""
+    out = np.arange(start, stop, step)
+    out.setflags(write=False)
+    return out

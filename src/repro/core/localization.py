@@ -26,6 +26,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.channel.pathloss import LogDistancePathLoss
+from repro.core.indexcache import grid_range
 from repro.errors import LocalizationError
 from repro.geom.points import Point, PointLike, angle_diff_deg, as_point
 from repro.wifi.arrays import UniformLinearArray
@@ -207,8 +208,8 @@ class Localizer:
 
     def _grid_points(self) -> np.ndarray:
         x0, y0, x1, y1 = self.bounds
-        xs = np.arange(x0 + self.grid_step_m / 2, x1, self.grid_step_m)
-        ys = np.arange(y0 + self.grid_step_m / 2, y1, self.grid_step_m)
+        xs = grid_range(x0 + self.grid_step_m / 2, x1, self.grid_step_m)
+        ys = grid_range(y0 + self.grid_step_m / 2, y1, self.grid_step_m)
         gx, gy = np.meshgrid(xs, ys, indexing="ij")
         return np.stack([gx.ravel(), gy.ravel()], axis=1)
 

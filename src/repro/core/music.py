@@ -25,6 +25,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.analysis.contracts import contract
+from repro.core.indexcache import grid_range
 from repro.core.steering import SteeringModel
 from repro.errors import ConfigurationError, EstimationError
 
@@ -82,11 +83,11 @@ class MusicConfig:
 
     def aoa_grid(self) -> np.ndarray:
         lo, hi, step = self.aoa_grid_deg
-        return np.arange(lo, hi + step / 2, step)
+        return grid_range(lo, hi + step / 2, step)
 
     def tof_grid(self) -> np.ndarray:
         lo, hi, step = self.tof_grid_s
-        return np.arange(lo, hi + step / 2, step)
+        return grid_range(lo, hi + step / 2, step)
 
 
 @contract(cov="(S,S)", returns="(S,S) complex128")
@@ -101,7 +102,9 @@ def forward_backward_average(cov: np.ndarray) -> np.ndarray:
     """
     r = np.asarray(cov, dtype=np.complex128)
     flipped = r[::-1, ::-1].conj()
-    return (r + flipped) / 2.0
+    avg = r + flipped  # fresh array: halving in place cannot alias `cov`
+    avg /= 2.0
+    return avg
 
 
 @contract(returns="(S,S) complex128")
@@ -157,7 +160,9 @@ def subspaces(
     if config.forward_backward:
         r = forward_backward_average(r)
     # eigh returns ascending eigenvalues for Hermitian input.
-    eigenvalues, eigenvectors = np.linalg.eigh((r + r.conj().T) / 2.0)
+    sym = r + r.conj().T  # fresh array: halving in place cannot alias `cov`
+    sym /= 2.0
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
     eigenvalues = eigenvalues[::-1]
     eigenvectors = eigenvectors[:, ::-1]
     lam_max = float(eigenvalues[0])
@@ -242,9 +247,13 @@ def music_spectrum(
     proj = np.einsum("ank,tn->atk", partial, omega)  # (A, T, K)
     denom = np.sum(np.abs(proj) ** 2, axis=2)  # (A, T)
     # The steering vector has norm sqrt(M*N); normalizing makes spectra
-    # comparable across configurations.
-    denom = np.maximum(denom / (m * n), 1e-18)
-    return 1.0 / denom
+    # comparable across configurations.  The chain runs in place on the
+    # freshly reduced (A, T) array — identical values, no grid-sized
+    # temporaries on the per-packet path.
+    denom /= m * n
+    np.maximum(denom, 1e-18, out=denom)
+    np.divide(1.0, denom, out=denom)
+    return denom
 
 
 @contract(
@@ -285,9 +294,13 @@ def music_spectrum_from_signal(
     partial = np.einsum("am,mnk->ank", phi, e_grid)
     proj = np.einsum("ank,tn->atk", partial, omega)
     signal_energy = np.sum(np.abs(proj) ** 2, axis=2)  # |E_S^H a|^2
-    # |a|^2 = m*n for unit-modulus steering entries.
-    denom = np.maximum(1.0 - signal_energy / (m * n), 1e-18)
-    return 1.0 / denom
+    # |a|^2 = m*n for unit-modulus steering entries.  In place on the
+    # fresh (A, T) reduction, as in :func:`music_spectrum`.
+    signal_energy /= m * n
+    np.subtract(1.0, signal_energy, out=signal_energy)
+    np.maximum(signal_energy, 1e-18, out=signal_energy)
+    np.divide(1.0, signal_energy, out=signal_energy)
+    return signal_energy
 
 
 @contract(e_noise="(MN,K)", aoa_deg="float", tof_s="float", returns="float")

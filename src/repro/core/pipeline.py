@@ -565,7 +565,9 @@ class SpotFi:
             for index, frame in enumerate(used):
                 tasks.append((estimator, frame.csi, index))
         try:
-            results = self.executor.map_ordered(
+            # Per-task CSI pickling: accepted until the shared-memory path
+            # lands (ROADMAP item 2); cost tracked by BENCH_dist.json.
+            results = self.executor.map_ordered(  # repro: noqa REP013
                 estimate_packet_safe, tasks, stage="estimate"
             )
         except ReproError:
@@ -606,7 +608,9 @@ class SpotFi:
         rssi = used.median_rssi_dbm()
         tasks = [(estimator, frame.csi, index) for index, frame in enumerate(used)]
         try:
-            packet_results = self.executor.map_ordered(
+            # Per-task CSI pickling: accepted until the shared-memory path
+            # (ROADMAP item 2); this is the isolation/failure path anyway.
+            packet_results = self.executor.map_ordered(  # repro: noqa REP013
                 estimate_packet_safe, tasks, stage="estimate"
             )
         except ReproError as exc:

@@ -20,6 +20,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.analysis.contracts import contract
+from repro.core.indexcache import index_vector
 from repro.wifi.csi import CsiFrame, validate_csi_matrix
 
 
@@ -37,7 +38,7 @@ def fit_common_slope(psi: np.ndarray) -> Tuple[float, float]:
     if psi.ndim != 2:
         raise ValueError(f"phase must be 2-D (antennas, subcarriers), got {psi.shape}")
     num_antennas, num_subcarriers = psi.shape
-    n = np.arange(num_subcarriers, dtype=float)
+    n = index_vector(num_subcarriers, dtype="float64")
     # Closed-form OLS pooled over antennas: identical n-design for each row.
     n_mean = n.mean()
     psi_mean = psi.mean()
@@ -72,7 +73,7 @@ def sanitize_phase(psi: np.ndarray) -> np.ndarray:
     """
     psi = np.asarray(psi, dtype=float)
     slope, _ = fit_common_slope(psi)
-    n = np.arange(psi.shape[1], dtype=float)
+    n = index_vector(psi.shape[1], dtype="float64")
     return psi - slope * n[None, :]
 
 

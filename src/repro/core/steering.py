@@ -24,6 +24,7 @@ import numpy as np
 from numpy.typing import ArrayLike
 
 from repro.constants import SPEED_OF_LIGHT
+from repro.core.indexcache import index_vector
 from repro.errors import ConfigurationError
 from repro.wifi.ofdm import OfdmGrid
 
@@ -99,13 +100,13 @@ class SteeringModel:
     def antenna_vector(self, aoa_deg: "ArrayLike") -> np.ndarray:
         """Eq. 2: ``[1, Phi, ..., Phi^(M-1)]``; (..., M) for array input."""
         phi = self.phi(aoa_deg)
-        powers = np.arange(self.num_antennas)
+        powers = index_vector(self.num_antennas)
         return np.power(np.asarray(phi)[..., None], powers)
 
     def subcarrier_vector(self, tof_s: "ArrayLike") -> np.ndarray:
         """``[1, Omega, ..., Omega^(N-1)]``; (..., N) for array input."""
         omega = self.omega(tof_s)
-        powers = np.arange(self.num_subcarriers)
+        powers = index_vector(self.num_subcarriers)
         return np.power(np.asarray(omega)[..., None], powers)
 
     def steering_vector(self, aoa_deg: float, tof_s: float) -> np.ndarray:

@@ -220,7 +220,7 @@ def run_shard_kill(
             router.close()
             for proc in shards.values():
                 proc.kill()
-                proc.join()
+                proc.join(timeout_s=10.0)
     errors: List[float] = []
     fixes_ok = 0
     for source in sources:
@@ -422,7 +422,7 @@ def run_network_chaos(
             router.close()
             for proc in shards.values():
                 proc.kill()
-                proc.join()
+                proc.join(timeout_s=10.0)
     errors: List[float] = []
     fixes_ok = 0
     excess_fixes = 0

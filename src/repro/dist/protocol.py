@@ -98,6 +98,24 @@ class MessageType(IntEnum):
     INGEST_TRACED = 11
 
 
+#: Declared request -> reply pairing, checked by analysis rule REP017:
+#: every message type must either appear here or be listed in
+#: :data:`UNPAIRED_MESSAGES`, so adding an enum member without deciding
+#: its conversation role fails the static-analysis gate.
+REQUEST_REPLY: Dict[MessageType, MessageType] = {
+    MessageType.INGEST: MessageType.FIXES,
+    MessageType.INGEST_TRACED: MessageType.FIXES,
+    MessageType.FLUSH: MessageType.FIXES,
+    MessageType.HEALTH: MessageType.HEALTH_OK,
+    MessageType.METRICS: MessageType.METRICS_REPLY,
+    MessageType.SHUTDOWN: MessageType.BYE,
+}
+
+#: Message types that are deliberately not part of a request/reply pair.
+#: ERROR may answer *any* request (see the MessageType docstring).
+UNPAIRED_MESSAGES = frozenset({MessageType.ERROR})
+
+
 # ----------------------------------------------------------------------
 # Message framing
 # ----------------------------------------------------------------------
@@ -168,7 +186,9 @@ def recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     chunks: List[bytes] = []
     remaining = count
     while remaining > 0:
-        chunk = sock.recv(remaining)
+        # Deadline is armed by the caller via sock.settimeout (router and
+        # shard both do); recv then raises socket.timeout, not hangs.
+        chunk = sock.recv(remaining)  # repro: noqa REP014
         if not chunk:
             if remaining == count:
                 return None

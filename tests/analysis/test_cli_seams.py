@@ -1,0 +1,166 @@
+"""CLI seams: noqa parsing, syntax-error path, JSON schema, baseline I/O."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.rules import Linter, parse_noqa
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+class TestMultiRuleNoqa:
+    def test_comma_separated_ids_suppress_each_listed_rule(self):
+        noqa = parse_noqa("x = 1 == 1.0  # repro: noqa REP005, REP003\n")
+        assert noqa[1] == frozenset({"REP005", "REP003"})
+
+    def test_listed_rules_suppressed_others_still_fire(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                def draw(x, acc=[]):  # repro: noqa REP003
+                    if x == 0.0:  # repro: noqa REP005
+                        return np.random.normal()
+                    return acc
+                """
+            )
+        )
+        findings = Linter().lint_paths([str(bad)])
+        rule_ids = {f.rule_id for f in findings}
+        assert "REP003" not in rule_ids  # mutable default suppressed
+        assert "REP005" not in rule_ids  # float equality suppressed
+        assert "REP001" in rule_ids  # unseeded RNG still fires
+
+    def test_bare_noqa_suppresses_every_rule_on_the_line(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1 == 1.0  # repro: noqa\n")
+        assert Linter().lint_paths([str(bad)]) == []
+
+
+class TestSyntaxErrorPath:
+    def test_rep000_fires_with_file_and_line(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n    pass\n")
+        proc = run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "REP000" in proc.stdout
+        assert "broken.py" in proc.stdout
+
+    def test_rep000_does_not_abort_other_files(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        (tmp_path / "alsobad.py").write_text("x = 1 == 1.0\n")
+        proc = run_cli(str(tmp_path))
+        assert proc.returncode == 1
+        assert "REP000" in proc.stdout
+        assert "REP005" in proc.stdout  # the parseable file was still linted
+
+
+class TestJsonSchema:
+    EXPECTED_KEYS = {"path", "line", "rule_id", "message", "hint"}
+
+    def test_every_finding_has_the_stable_key_set(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.normal()\n")
+        proc = run_cli("--format", "json", str(bad))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload, "expected at least one finding"
+        for entry in payload:
+            assert set(entry) == self.EXPECTED_KEYS
+            assert isinstance(entry["line"], int)
+
+    def test_clean_tree_renders_empty_array(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text('"""Clean module."""\n\nX = 1\n')
+        proc = run_cli("--format", "json", str(good))
+        assert proc.returncode == 0
+        assert json.loads(proc.stdout) == []
+
+    def test_json_is_sorted_by_path_line_rule(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1 == 1.0\n")
+        (tmp_path / "a.py").write_text("x = 1 == 1.0\ny = 2 == 2.0\n")
+        proc = run_cli("--format", "json", str(tmp_path))
+        payload = json.loads(proc.stdout)
+        keys = [(e["path"], e["line"], e["rule_id"]) for e in payload]
+        assert keys == sorted(keys)
+
+
+class TestBaselineRoundTrip:
+    def test_update_baseline_then_typing_gate_is_clean(self, tmp_path):
+        src = tmp_path / "legacy.py"
+        src.write_text(
+            textwrap.dedent(
+                '''
+                """Legacy module with missing annotations."""
+
+                def helper(value):
+                    """No annotations on purpose."""
+                    return value
+                '''
+            )
+        )
+        baseline = tmp_path / "baseline.txt"
+        proc = run_cli(
+            "--typing", "--update-baseline", "--baseline", str(baseline), str(src)
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert baseline.exists()
+        content = baseline.read_text()
+        assert "TYP001" in content or "TYP002" in content
+
+        gated = run_cli(
+            "--typing", "--no-lint", "--no-contracts", "--baseline", str(baseline), str(src)
+        )
+        assert gated.returncode == 0, gated.stdout + gated.stderr
+        assert "baselined" in gated.stdout
+
+    def test_new_violation_fails_despite_baseline(self, tmp_path):
+        src = tmp_path / "legacy.py"
+        src.write_text(
+            textwrap.dedent(
+                '''
+                """Legacy module."""
+
+                def helper(value):
+                    """Baselined."""
+                    return value
+                '''
+            )
+        )
+        baseline = tmp_path / "baseline.txt"
+        run_cli("--typing", "--update-baseline", "--baseline", str(baseline), str(src))
+        src.write_text(
+            src.read_text()
+            + textwrap.dedent(
+                '''
+
+                def fresh(value):
+                    """New unannotated function: not in the baseline."""
+                    return value
+                '''
+            )
+        )
+        proc = run_cli(
+            "--typing", "--no-lint", "--no-contracts", "--baseline", str(baseline), str(src)
+        )
+        assert proc.returncode == 1
+        assert "fresh" in proc.stdout

@@ -1,0 +1,222 @@
+"""Call-graph construction, taint propagation, and the flow CLI surface."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis.flow import (
+    DEFAULT_MANIFEST,
+    SeamManifest,
+    analyze_flow,
+    build_graph,
+    graph_to_dot,
+    propagate_taints,
+    select_flow_rules,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_pkg(tmp_path: Path, files: Dict[str, str]) -> Path:
+    pkg = tmp_path / "app"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, body in files.items():
+        (pkg / name).write_text(textwrap.dedent(body))
+    return pkg
+
+
+FIXTURE = {
+    "core.py": """
+    from app.helper import inner
+
+    class Engine:
+        def run(self, x):
+            return self.step(x)
+
+        def step(self, x):
+            return inner(x)
+    """,
+    "helper.py": """
+    def inner(x):
+        return grid(x)
+
+    def grid(x):
+        return x
+    """,
+    "work.py": """
+    def task(x):
+        return x
+
+    def fan_out(pool, items):
+        return pool.map_ordered(task, items)
+    """,
+}
+
+
+class TestCodeGraph:
+    def test_module_and_function_discovery(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        graph = build_graph([str(pkg)], SeamManifest())
+        assert "app.core" in graph.modules
+        assert "app.core.Engine.run" in graph.functions
+        assert "app.helper.inner" in graph.functions
+
+    def test_self_method_and_import_edges(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        graph = build_graph([str(pkg)], SeamManifest())
+        assert "app.core.Engine.step" in graph.edges["app.core.Engine.run"]
+        assert "app.helper.inner" in graph.edges["app.core.Engine.step"]
+        assert "app.helper.grid" in graph.edges["app.helper.inner"]
+
+    def test_task_seam_discovers_worker_entry(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        graph = build_graph([str(pkg)], SeamManifest())
+        assert "app.work.task" in graph.worker_entries
+        assert len(graph.pickling_boundaries) == 1
+        assert graph.pickling_boundaries[0].kind == "task"
+
+    def test_syntax_error_is_recorded_not_fatal(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"bad.py": "def broken(:\n"})
+        graph = build_graph([str(pkg)], SeamManifest())
+        assert any(path.endswith("bad.py") for path in graph.broken)
+
+
+class TestTaints:
+    def test_hot_taint_closes_over_edges(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        manifest = SeamManifest(hot_roots=("app.core.Engine.run",))
+        graph = build_graph([str(pkg)], manifest)
+        taints = propagate_taints(graph, manifest)
+        assert "app.core.Engine.run" in taints.hot
+        assert "app.core.Engine.step" in taints.hot
+        assert "app.helper.inner" in taints.hot
+        assert "app.helper.grid" in taints.hot
+        assert "app.work.fan_out" not in taints.hot
+
+    def test_cache_boundary_keeps_taint_but_stops_propagation(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        manifest = SeamManifest(
+            hot_roots=("app.core.Engine.run",),
+            cache_boundaries=("app.helper.inner",),
+        )
+        graph = build_graph([str(pkg)], manifest)
+        taints = propagate_taints(graph, manifest)
+        assert "app.helper.inner" in taints.hot  # boundary itself is hot
+        assert "app.helper.grid" not in taints.hot  # but its callees are not
+
+    def test_worker_entries_seed_worker_and_hot(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        manifest = SeamManifest()
+        graph = build_graph([str(pkg)], manifest)
+        taints = propagate_taints(graph, manifest)
+        assert "app.work.task" in taints.worker
+        assert "app.work.task" in taints.hot  # runs once per item
+
+    def test_labels_for(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        manifest = SeamManifest(hot_roots=("app.core.Engine.run",))
+        graph = build_graph([str(pkg)], manifest)
+        taints = propagate_taints(graph, manifest)
+        assert taints.labels_for("app.core.Engine.run") == ["hot"]
+        assert taints.labels_for("app.work.task") == ["hot", "worker"]
+
+
+class TestDotExport:
+    def test_dot_contains_nodes_edges_and_taint_styling(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        manifest = SeamManifest(hot_roots=("app.core.Engine.run",))
+        graph = build_graph([str(pkg)], manifest)
+        taints = propagate_taints(graph, manifest)
+        dot = graph_to_dot(graph, taints)
+        assert dot.startswith("digraph callgraph {")
+        assert dot.rstrip().endswith("}")
+        assert '"app.core.Engine.run" -> "app.core.Engine.step";' in dot
+        assert 'fillcolor="#ffdddd"' in dot  # hot styling present
+
+
+class TestSelectFlowRules:
+    def test_default_is_all_rules_in_id_order(self):
+        ids = [rule.rule_id for rule in select_flow_rules(None)]
+        assert ids == sorted(ids)
+        assert ids[0] == "REP011" and ids[-1] == "REP018"
+
+    def test_filter_is_case_insensitive(self):
+        ids = [rule.rule_id for rule in select_flow_rules(["rep014", " REP011 "])]
+        assert ids == ["REP011", "REP014"]
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+class TestFlowCli:
+    def test_flow_flag_runs_flow_rules(self, tmp_path):
+        pkg = make_pkg(
+            tmp_path,
+            {
+                "core.py": """
+                import numpy as np
+
+                def hot_entry(x):
+                    return x * np.arange(30)
+                """
+            },
+        )
+        # the default manifest has no app.* hot roots, so use --select to
+        # prove the flow machinery runs; the repo manifest governs src/repro
+        proc = run_cli("--flow", "--no-lint", "--no-contracts", str(pkg))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "flow" in proc.stdout
+
+    def test_selecting_flow_rule_implies_flow_pass(self):
+        proc = run_cli("--select", "REP011", "--no-lint", "--no-contracts", "src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 flow" in proc.stdout
+
+    def test_graph_dot_export(self, tmp_path):
+        out = tmp_path / "graph.dot"
+        proc = run_cli("--graph", "dot", "--graph-out", str(out), "src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        dot = out.read_text()
+        assert dot.startswith("digraph callgraph {")
+        assert "repro.core.pipeline.SpotFi.locate" in dot
+
+    def test_repo_is_flow_clean(self):
+        proc = run_cli("--flow", "--no-lint", "--no-contracts", "src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 flow" in proc.stdout
+
+    def test_list_rules_includes_flow_family(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("REP011", "REP014", "REP017", "REP018"):
+            assert rule_id in proc.stdout
+
+
+class TestAnalyzeFlowApi:
+    def test_report_stats_shape(self, tmp_path):
+        pkg = make_pkg(tmp_path, FIXTURE)
+        report = analyze_flow([str(pkg)], manifest=SeamManifest())
+        stats = report.stats()
+        for key in ("modules", "functions", "edges", "hot", "worker", "dist", "findings"):
+            assert key in stats
+        assert stats["modules"] == 4  # __init__ + three fixture modules
+
+    def test_default_manifest_is_used_when_omitted(self):
+        assert DEFAULT_MANIFEST.is_hot_root("repro.core.pipeline.SpotFi.locate")
+        assert DEFAULT_MANIFEST.is_dist_root("repro.dist.router.anything")
+        assert not DEFAULT_MANIFEST.is_hot_root("repro.eval.metrics.median")

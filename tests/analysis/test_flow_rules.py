@@ -1,0 +1,713 @@
+"""Positive and negative fixtures for every flow rule (REP011–REP018).
+
+Each test builds a tiny package under ``tmp_path``, points a custom
+:class:`SeamManifest` at its roots, and asserts the rule fires on the
+offending construct and stays silent on the clean variant.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow import SeamManifest, analyze_flow
+
+
+def make_pkg(tmp_path: Path, files: Dict[str, str]) -> Path:
+    pkg = tmp_path / "app"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, body in files.items():
+        (pkg / name).write_text(textwrap.dedent(body))
+    return pkg
+
+
+def run_flow(
+    tmp_path: Path,
+    files: Dict[str, str],
+    manifest: SeamManifest,
+    rule_id: Optional[str] = None,
+) -> List[Finding]:
+    pkg = make_pkg(tmp_path, files)
+    report = analyze_flow([str(pkg)], manifest=manifest)
+    if rule_id is None:
+        return report.findings
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+HOT = SeamManifest(hot_roots=("app.core.hot_entry",))
+
+
+class TestRep011PerPacketAllocation:
+    def test_allocation_in_hot_loop_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                import numpy as np
+
+                def hot_entry(items):
+                    out = []
+                    for item in items:
+                        buf = np.zeros(8)
+                        out.append(buf + item)
+                    return out
+                """
+            },
+            HOT,
+            "REP011",
+        )
+        assert len(findings) == 1
+        assert "inside a loop" in findings[0].message
+
+    def test_arange_rebuilt_every_call_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                import numpy as np
+
+                def hot_entry(x):
+                    n = np.arange(30)
+                    return x * n
+                """
+            },
+            HOT,
+            "REP011",
+        )
+        assert len(findings) == 1
+        assert "loop-invariant" in findings[0].message
+
+    def test_reaches_transitive_callee(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                from app.helper import inner
+
+                def hot_entry(x):
+                    return inner(x)
+                """,
+                "helper.py": """
+                import numpy as np
+
+                def inner(x):
+                    return x + np.eye(3)
+                """,
+            },
+            HOT,
+            "REP011",
+        )
+        assert len(findings) == 1
+        assert findings[0].path.endswith("helper.py")
+
+    def test_cold_function_is_not_flagged(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                import numpy as np
+
+                def offline_report(x):
+                    return x * np.arange(30)
+                """
+            },
+            HOT,
+            "REP011",
+        )
+        assert findings == []
+
+    def test_cache_boundary_is_not_flagged(self, tmp_path):
+        manifest = SeamManifest(
+            hot_roots=("app.core.hot_entry",),
+            cache_boundaries=("app.core.cached_grid",),
+        )
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                import numpy as np
+
+                def cached_grid(n):
+                    return np.arange(n)
+
+                def hot_entry(x):
+                    return x * cached_grid(30)
+                """
+            },
+            manifest,
+            "REP011",
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                import numpy as np
+
+                def hot_entry(x):
+                    n = np.arange(30)  # repro: noqa REP011
+                    return x * n
+                """
+            },
+            HOT,
+            "REP011",
+        )
+        assert findings == []
+
+
+class TestRep012ComplexDowncast:
+    def test_real_on_csi_attribute_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                def summarize(frame):
+                    x = frame.csi
+                    return x.real
+                """
+            },
+            HOT,
+            "REP012",
+        )
+        assert len(findings) == 1
+        assert "imaginary" in findings[0].message
+
+    def test_astype_float_on_tainted_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                import numpy as np
+
+                def summarize(frame):
+                    return frame.csi.astype(np.float64)
+                """
+            },
+            HOT,
+            "REP012",
+        )
+        assert len(findings) == 1
+        assert "astype" in findings[0].message
+
+    def test_copy_of_complex_in_hot_function_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                def hot_entry(frame):
+                    x = frame.csi
+                    return x.copy()
+                """
+            },
+            HOT,
+            "REP012",
+        )
+        assert len(findings) == 1
+        assert "copy" in findings[0].message
+
+    def test_copy_outside_hot_path_is_fine(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                def offline(frame):
+                    x = frame.csi
+                    return x.copy()
+                """
+            },
+            HOT,
+            "REP012",
+        )
+        assert findings == []
+
+    def test_real_on_untainted_value_is_fine(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                def summarize(weights):
+                    w = normalize(weights)
+                    return w.real
+
+                def normalize(weights):
+                    return weights
+                """
+            },
+            HOT,
+            "REP012",
+        )
+        assert findings == []
+
+
+class TestRep013PickledComplex:
+    def test_complex_payload_through_map_ordered_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                def work(x):
+                    return x
+
+                def fan_out(pool, frames):
+                    tasks = [f.csi for f in frames]
+                    return pool.map_ordered(work, tasks)
+                """
+            },
+            HOT,
+            "REP013",
+        )
+        assert len(findings) == 1
+        assert "map_ordered" in findings[0].message
+
+    def test_raw_bytes_allowlist_suppresses(self, tmp_path):
+        manifest = SeamManifest(
+            hot_roots=("app.core.hot_entry",),
+            raw_bytes_ok=("app.core.fan_out",),
+        )
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                def work(x):
+                    return x
+
+                def fan_out(pool, frames):
+                    tasks = [f.csi for f in frames]
+                    return pool.map_ordered(work, tasks)
+                """
+            },
+            manifest,
+            "REP013",
+        )
+        assert findings == []
+
+    def test_non_complex_payload_is_fine(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "core.py": """
+                def work(x):
+                    return x
+
+                def fan_out(pool, frames):
+                    tasks = [f.index for f in frames]
+                    return pool.map_ordered(work, tasks)
+                """
+            },
+            HOT,
+            "REP013",
+        )
+        assert findings == []
+
+
+DIST = SeamManifest(dist_roots=("app.net.*",))
+
+
+class TestRep014NoDeadline:
+    def test_recv_without_timeout_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "net.py": """
+                def serve(sock):
+                    return sock.recv(4)
+                """
+            },
+            DIST,
+            "REP014",
+        )
+        assert len(findings) == 1
+        assert "recv" in findings[0].message
+
+    def test_settimeout_in_same_function_escapes(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "net.py": """
+                def serve(sock):
+                    sock.settimeout(1.0)
+                    return sock.recv(4)
+                """
+            },
+            DIST,
+            "REP014",
+        )
+        assert findings == []
+
+    def test_timeout_kwarg_escapes(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "net.py": """
+                def wait(proc):
+                    proc.join(timeout_s=5.0)
+                """
+            },
+            DIST,
+            "REP014",
+        )
+        assert findings == []
+
+    def test_str_join_is_not_blocking(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "net.py": """
+                import os
+
+                def label(parts):
+                    return os.path.join(*parts)
+                """
+            },
+            DIST,
+            "REP014",
+        )
+        assert findings == []
+
+    def test_non_dist_code_is_not_flagged(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "local.py": """
+                def serve(sock):
+                    return sock.recv(4)
+                """
+            },
+            DIST,
+            "REP014",
+        )
+        assert findings == []
+
+
+class TestRep015OrphanProcess:
+    def test_started_process_without_cleanup_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "spawn.py": """
+                def work():
+                    return 1
+
+                def launch():
+                    p = Process(target=work)
+                    p.start()
+                    p.join(5.0)
+                """
+            },
+            HOT,
+            "REP015",
+        )
+        assert len(findings) == 1
+        assert "never terminated" in findings[0].message
+
+    def test_finally_cleanup_is_fine(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "spawn.py": """
+                def work():
+                    return 1
+
+                def launch():
+                    p = Process(target=work)
+                    p.start()
+                    try:
+                        p.join(5.0)
+                    finally:
+                        p.terminate()
+                """
+            },
+            HOT,
+            "REP015",
+        )
+        assert findings == []
+
+    def test_escaping_process_is_callers_problem(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "spawn.py": """
+                def work():
+                    return 1
+
+                def launch():
+                    p = Process(target=work)
+                    p.start()
+                    return p
+                """
+            },
+            HOT,
+            "REP015",
+        )
+        assert findings == []
+
+
+WORKER = SeamManifest(worker_roots=("app.work.task_fn",))
+
+
+class TestRep016WorkerGlobalMutation:
+    def test_subscript_store_into_module_dict_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "work.py": """
+                CACHE = {}
+
+                def task_fn(item):
+                    CACHE[item] = 1
+                    return item
+                """
+            },
+            WORKER,
+            "REP016",
+        )
+        assert len(findings) == 1
+        assert "CACHE" in findings[0].message
+
+    def test_global_rebinding_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "work.py": """
+                TOTAL = 0
+
+                def task_fn(item):
+                    global TOTAL
+                    TOTAL = TOTAL + item
+                    return item
+                """
+            },
+            WORKER,
+            "REP016",
+        )
+        assert len(findings) == 1
+        assert "rebinds" in findings[0].message
+
+    def test_local_mutation_is_fine(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "work.py": """
+                def task_fn(item):
+                    cache = {}
+                    cache[item] = 1
+                    return cache
+                """
+            },
+            WORKER,
+            "REP016",
+        )
+        assert findings == []
+
+    def test_non_worker_function_is_not_flagged(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "work.py": """
+                CACHE = {}
+
+                def offline_fill(item):
+                    CACHE[item] = 1
+                """
+            },
+            WORKER,
+            "REP016",
+        )
+        assert findings == []
+
+
+PROTO_OK = """
+from app.protocol import MessageType
+
+def send(sock, payload):
+    sock.send((MessageType.PING, payload))
+    sock.send((MessageType.PONG, payload))
+
+def dispatch(msg_type):
+    if msg_type == MessageType.PING:
+        return "ping"
+    if msg_type == MessageType.PONG:
+        return "pong"
+    return None
+"""
+
+# Appended to PROTO_OK at zero indent so textwrap.dedent stays a no-op.
+PROTO_EVENT_EXTRA = """
+def emit(sock):
+    sock.send(MessageType.EVENT)
+
+def route(msg_type):
+    if msg_type == MessageType.EVENT:
+        return "event"
+    return None
+"""
+
+
+class TestRep017MessageExhaustiveness:
+    def test_unproduced_and_undispatched_members_fire(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "protocol.py": """
+                class MessageType:
+                    PING = 1
+                    PONG = 2
+                """,
+                "peer.py": """
+                from app.protocol import MessageType
+
+                def send(sock):
+                    sock.send(MessageType.PING)
+
+                def dispatch(msg_type):
+                    if msg_type == MessageType.PING:
+                        return "ping"
+                    return None
+                """,
+            },
+            HOT,
+            "REP017",
+        )
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 2
+        assert "PONG" in messages[0] and "never dispatched" in messages[0]
+        assert "PONG" in messages[1] and "never produced" in messages[1]
+
+    def test_fully_handled_enum_is_clean(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "protocol.py": """
+                class MessageType:
+                    PING = 1
+                    PONG = 2
+                """,
+                "peer.py": PROTO_OK,
+            },
+            HOT,
+            "REP017",
+        )
+        assert findings == []
+
+    def test_pairing_map_must_account_for_every_member(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "protocol.py": """
+                class MessageType:
+                    PING = 1
+                    PONG = 2
+                    EVENT = 3
+
+                REQUEST_REPLY = {MessageType.PING: MessageType.PONG}
+                """,
+                "peer.py": PROTO_OK + PROTO_EVENT_EXTRA,
+            },
+            HOT,
+            "REP017",
+        )
+        assert len(findings) == 1
+        assert "EVENT" in findings[0].message
+        assert "REQUEST_REPLY" in findings[0].message
+
+    def test_unpaired_declaration_accounts_a_member(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "protocol.py": """
+                class MessageType:
+                    PING = 1
+                    PONG = 2
+                    EVENT = 3
+
+                REQUEST_REPLY = {MessageType.PING: MessageType.PONG}
+                UNPAIRED_MESSAGES = frozenset({MessageType.EVENT})
+                """,
+                "peer.py": PROTO_OK + PROTO_EVENT_EXTRA,
+            },
+            HOT,
+            "REP017",
+        )
+        assert findings == []
+
+
+class TestRep018CounterDrift:
+    def test_unknown_counter_literal_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "obs.py": """
+                def record(metrics):
+                    metrics.increment("bogus.counter")
+                """
+            },
+            HOT,
+            "REP018",
+        )
+        assert len(findings) == 1
+        assert "bogus.counter" in findings[0].message
+
+    def test_canonical_counter_is_fine(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "obs.py": """
+                def record(metrics):
+                    metrics.increment("fix.ok")
+                    metrics.increment("dist.batches.sent")
+                """
+            },
+            HOT,
+            "REP018",
+        )
+        assert findings == []
+
+    def test_fstring_prefix_in_canonical_family_is_fine(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "obs.py": """
+                def record(metrics, kind):
+                    metrics.increment(f"faults.injected.{kind}")
+                """
+            },
+            HOT,
+            "REP018",
+        )
+        assert findings == []
+
+    def test_fstring_prefix_outside_any_family_fires(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "obs.py": """
+                def record(metrics, kind):
+                    metrics.increment(f"bogus.{kind}")
+                """
+            },
+            HOT,
+            "REP018",
+        )
+        assert len(findings) == 1
+        assert "bogus." in findings[0].message
+
+    def test_non_metrics_receiver_is_ignored(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "obs.py": """
+                def record(registry):
+                    registry.increment("whatever.name")
+                """
+            },
+            HOT,
+            "REP018",
+        )
+        assert findings == []

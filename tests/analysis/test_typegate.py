@@ -143,14 +143,16 @@ class TestStrictPackages:
     def test_strict_package_paths_detected(self):
         assert in_strict_package("src/repro/core/music.py")
         assert in_strict_package("src/repro/runtime/executor.py")
-        assert not in_strict_package("src/repro/channel/csi_model.py")
+        assert in_strict_package("src/repro/channel/csi_model.py")
+        assert in_strict_package("src/repro/io/csitool.py")
+        assert not in_strict_package("src/repro/wifi/csi.py")
         assert not in_strict_package("examples/run_pipeline.py")
 
     def test_strict_entries_dropped_from_baseline(self, tmp_path):
         baseline_path = tmp_path / "typing-baseline.txt"
         baseline_path.write_text(
             "src/repro/core/music.py::TYP001::`f()` parameter 'x' lacks a type annotation\n"
-            "src/repro/channel/pathloss.py::TYP001::`g()` parameter 'y' lacks a type annotation\n"
+            "src/repro/wifi/csi.py::TYP001::`g()` parameter 'y' lacks a type annotation\n"
         )
         keys = load_baseline(str(baseline_path))
         assert len(keys) == 1

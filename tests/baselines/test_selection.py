@@ -6,7 +6,6 @@ from repro.baselines.selection import (
     SELECTORS,
     select_cupid,
     select_lteye,
-    select_ltye,
     select_oracle,
     select_spotfi,
 )
@@ -42,12 +41,6 @@ class TestLteye:
         with pytest.raises(ClusteringError):
             select_lteye([])
 
-    def test_deprecated_alias_warns_and_matches(self, clusters):
-        with pytest.warns(DeprecationWarning):
-            aliased = select_ltye(clusters)
-        assert aliased.aoa_deg == select_lteye(clusters).aoa_deg
-
-
 class TestCupid:
     def test_picks_largest_power(self, clusters):
         assert select_cupid(clusters).aoa_deg == -40.0
@@ -73,9 +66,6 @@ class TestSpotFi:
         assert result.likelihood == max(result.all_likelihoods or [result.likelihood])
 
     def test_registry_contains_all(self):
-        assert set(SELECTORS) == {"spotfi", "lteye", "ltye", "cupid"}
+        assert set(SELECTORS) == {"spotfi", "lteye", "cupid"}
         for fn in SELECTORS.values():
             assert callable(fn)
-
-    def test_deprecated_key_maps_to_canonical(self):
-        assert SELECTORS["ltye"] is SELECTORS["lteye"] is select_lteye
