@@ -1,0 +1,124 @@
+"""Track-error benchmark: speed profiles x estimator QoS tiers.
+
+Runs :func:`repro.mobility.evaluation.run_track_eval` over a grid of
+speed profiles (a stationary anchor plus moving targets up to vehicular
+speed) and estimator tiers, reporting the per-burst track-error CDF
+quantiles (p50/p90) for each cell.
+
+Run standalone (plain script, like ``bench_dist_throughput.py``):
+
+    PYTHONPATH=src python benchmarks/bench_mobility.py
+    PYTHONPATH=src python benchmarks/bench_mobility.py --bursts 16 --check
+
+Results are written to ``BENCH_mobility.json`` at the repo root
+(disable with ``--json ''``); ``spotfi-benchdiff --check`` gates CI on
+them.  ``--check`` additionally enforces the mobility acceptance bar:
+the pedestrian p50 *track* error must stay within ``--max-ratio`` (1.5)
+of the static p50 *fix* error per tier — tracking a walking target may
+cost at most half again the stationary accuracy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.mobility.evaluation import STATIC, run_track_eval
+
+SEED = 20150817  # SIGCOMM'15 presentation date, like the figure benches
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SPEEDS = (STATIC, "pedestrian", "jog", "vehicular")
+TIERS = ("balanced", "coarse")
+
+
+def check_ratio(rows, max_ratio: float) -> int:
+    """Enforce pedestrian p50 <= static p50 * max_ratio, per tier."""
+    failures = 0
+    by_cell = {(row.name, row.tier): row for row in rows}
+    for tier in sorted({row.tier for row in rows}):
+        static = by_cell.get((STATIC, tier))
+        pedestrian = by_cell.get(("pedestrian", tier))
+        if static is None or pedestrian is None:
+            continue
+        bar = max_ratio * static.median_error_m
+        verdict = "ok" if pedestrian.median_error_m <= bar else "FAIL"
+        print(
+            f"check[{tier}]: pedestrian p50 {pedestrian.median_error_m:.3f} m "
+            f"vs static p50 {static.median_error_m:.3f} m * {max_ratio:.1f} "
+            f"= {bar:.3f} m ... {verdict}"
+        )
+        if verdict == "FAIL":
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bursts", type=int, default=12)
+    parser.add_argument("--packets", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--testbed", default="small")
+    parser.add_argument(
+        "--speeds", default=",".join(SPEEDS), help="comma-separated profiles"
+    )
+    parser.add_argument(
+        "--tiers", default=",".join(TIERS), help="comma-separated QoS tiers"
+    )
+    parser.add_argument(
+        "--json",
+        default=str(REPO_ROOT / "BENCH_mobility.json"),
+        help="output path ('' disables)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when pedestrian p50 exceeds static p50 * --max-ratio",
+    )
+    parser.add_argument("--max-ratio", type=float, default=1.5)
+    args = parser.parse_args(argv)
+
+    rows = run_track_eval(
+        testbed_name=args.testbed,
+        speeds=tuple(s for s in args.speeds.split(",") if s),
+        tiers=tuple(t for t in args.tiers.split(",") if t),
+        bursts=args.bursts,
+        packets_per_burst=args.packets,
+        seed=args.seed,
+    )
+    header = (
+        f"{'speed':<12} {'tier':<10} {'m/s':>6} {'bursts':>6} {'fixes':>6} "
+        f"{'p50 (m)':>8} {'p90 (m)':>8}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row.name:<12} {row.tier:<10} {row.speed_mps:>6.1f} "
+            f"{row.samples:>6d} {row.fixes:>6d} "
+            f"{row.median_error_m:>8.3f} {row.p90_error_m:>8.3f}"
+        )
+
+    if args.json:
+        payload = {
+            "benchmark": "mobility",
+            "testbed": args.testbed,
+            "bursts": args.bursts,
+            "packets_per_fix": args.packets,
+            "seed": args.seed,
+            "rows": [row.to_dict() for row in rows],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        failures = check_ratio(rows, args.max_ratio)
+        if failures:
+            print(f"{failures} tier(s) failed the mobility bar", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro/estimators",
     "repro/channel",
     "repro/io",
+    "repro/mobility",
 )
 
 DEFAULT_BASELINE = "typing-baseline.txt"

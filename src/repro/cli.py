@@ -662,6 +662,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.scenario == "moving-target":
+        # Track-continuity verdicts: the killed shard's tracks must have
+        # resumed on the ring successors (same track id across the
+        # kill), never restarted cold, and no source may ever have been
+        # tracked under two ids at once.
+        failed = False
+        if int(report.injected.get("resumed_tracks", 0)) < 1:
+            print(
+                "FAIL: no track resumed across the shard kill — the "
+                "failover never exercised checkpoint handoff",
+                file=sys.stderr,
+            )
+            failed = True
+        if int(report.injected.get("cold_restarts", 0)) != 0:
+            print(
+                f"FAIL: {report.injected['cold_restarts']} track(s) "
+                "restarted cold on the successor instead of resuming "
+                "from the checkpoint",
+                file=sys.stderr,
+            )
+            failed = True
+        if int(report.injected.get("duplicate_track_ids", 0)) != 0:
+            print(
+                f"FAIL: {report.injected['duplicate_track_ids']} "
+                "duplicate track id(s) — a source was tracked under "
+                "more than one identity",
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
+            return 1
     if args.scenario in NETWORK_SCENARIOS:
         # Transport matrix verdicts beyond raw success: at-least-once
         # delivery must have engaged, nobody may end the run stranded,

@@ -530,3 +530,238 @@ def _ingest_with_recovery(
             if not readmitted:
                 time.sleep(0.05)
     router.ingest(ap_id, frame)
+
+
+def run_moving_target(
+    testbed: str = "small",
+    seed: int = 7,
+    packets_per_fix: int = 6,
+    bursts: int = 8,
+    min_aps: int = 2,
+    num_shards: int = 3,
+    num_sources: int = 3,
+    speed: str = "pedestrian",
+    kill_fraction: float = 0.4,
+    probe: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> ChaosReport:
+    """Kill a shard mid-track; its tracks must *resume*, not restart.
+
+    ``num_sources`` moving targets walk the testbed route at ``speed``
+    (see :data:`~repro.testbed.mobility.SPEED_PROFILES`), their CSI
+    re-raytraced per burst by :func:`repro.mobility.motion.motion_bursts`
+    under a shared :class:`~repro.mobility.handoff.HandoffPolicy`, while
+    tracking shards (``ShardConfig(track=True)``) assemble fixes and
+    maintain per-source Kalman tracks.  After ``kill_fraction`` of the
+    ``bursts``, the shard owning the first source is SIGKILLed; the
+    router hands its cached track checkpoints to the ring successors
+    (``RESUME``) before replaying journaled traffic.
+
+    The report's ``injected`` section carries the failover counters plus
+    the track-continuity verdicts the CLI gate asserts:
+
+    * ``resumed_tracks`` — rerouted sources whose post-kill fixes kept
+      the pre-kill track id (the id embeds the minting shard, so a
+      resumed track is provably the dead shard's state, adopted);
+    * ``cold_restarts`` — rerouted sources that instead minted a fresh
+      track on the successor (must be 0);
+    * ``duplicate_track_ids`` — sources whose fixes carry more than one
+      track id (must be 0: one target, one track).
+    """
+    if testbed not in _TESTBEDS:
+        raise ConfigurationError(
+            f"unknown testbed {testbed!r}; available: {sorted(_TESTBEDS)}"
+        )
+    if num_shards < 2:
+        raise ConfigurationError("moving-target needs at least 2 shards")
+    if num_sources < 1:
+        raise ConfigurationError("moving-target needs at least 1 source")
+    if not 0.0 < kill_fraction < 1.0:
+        raise ConfigurationError("kill_fraction must be in (0, 1)")
+    if bursts < 3:
+        raise ConfigurationError(
+            "moving-target needs >= 3 bursts (pre-kill, kill, post-kill)"
+        )
+    from repro.mobility.evaluation import sample_speed_trajectory
+    from repro.mobility.handoff import HandoffPolicy
+    from repro.mobility.motion import motion_bursts
+
+    tb = _TESTBEDS[testbed]()
+    sim = tb.simulator()
+    aps = {f"ap{i}": ap for i, ap in enumerate(tb.aps)}
+    burst_period_s = packets_per_fix * PACKET_INTERVAL_S
+    trajectory = sample_speed_trajectory(tb, speed, bursts, burst_period_s)
+    sources = [f"chaos-{idx:02d}" for idx in range(num_sources)]
+    metrics = RuntimeMetrics()
+    # One shared roaming policy: every source hands off between APs as
+    # it moves, and the handoff.* counters land in this run's report.
+    # The cap keeps the serving set to the strongest three APs, so a
+    # target crossing the floor actually changes cells mid-track.
+    policy = HandoffPolicy(
+        min_serving=min_aps, max_serving=max(min_aps, 3), metrics=metrics
+    )
+    bursts_by_source = {
+        source: motion_bursts(
+            sim,
+            aps,
+            trajectory,
+            packets_per_fix,
+            rng=np.random.default_rng(seed + 1 + idx),
+            source=source,
+            packet_interval_s=PACKET_INTERVAL_S,
+            policy=policy,
+            metrics=metrics,
+        )
+        for idx, source in enumerate(sources)
+    }
+    config = ShardConfig(
+        shard_id="template",
+        testbed=testbed,
+        packets_per_fix=packets_per_fix,
+        min_aps=min_aps,
+        max_burst_age_s=4.0 * bursts * burst_period_s,
+        seed=seed,
+        track=True,
+    )
+    kill_at = max(1, int(len(trajectory) * kill_fraction))
+    kill_stamp = trajectory[kill_at][0]
+    fixes_by_source: Dict[str, List[WireFix]] = {source: [] for source in sources}
+    breakers: Dict[str, str] = {}
+    killed_shard = ""
+    owners_before_kill: Dict[str, str] = {}
+    telemetry = None
+    with tempfile.TemporaryDirectory(prefix="repro-dist-") as tmp:
+        shards = start_shards(num_shards, config, tmp)
+        specs = {shard_id: proc.spec for shard_id, proc in shards.items()}
+        router = ShardRouter(
+            specs,
+            batch_max_frames=len(tb.aps),
+            metrics=metrics,
+        )
+        if probe is not None:
+            from repro.dist.rollup import start_cluster_telemetry
+            from repro.obs.http import fetch_json
+
+            telemetry = start_cluster_telemetry(specs, router_metrics=metrics)
+            probe(fetch_json(f"{telemetry.url}/healthz"))
+        try:
+            for b in range(len(trajectory)):
+                if b == kill_at:
+                    owners_before_kill = {
+                        source: router.owner_of(source) for source in sources
+                    }
+                    killed_shard = owners_before_kill[sources[0]]
+                    shards[killed_shard].kill()
+                    shards[killed_shard].join()
+                    if telemetry is not None and probe is not None:
+                        probe(fetch_json(f"{telemetry.url}/healthz"))
+                # Interleave packet-by-packet across sources (packet k of
+                # every source before packet k + 1 of any), as a live
+                # collection plane would deliver them.
+                for k in range(packets_per_fix):
+                    for source in sources:
+                        burst = bursts_by_source[source][b]
+                        for rec in burst.recordings:
+                            frame = rec.trace[k]
+                            router.ingest(
+                                rec.ap_id,
+                                CsiFrame(
+                                    csi=frame.csi,
+                                    rssi_dbm=frame.rssi_dbm,
+                                    timestamp_s=frame.timestamp_s,
+                                    source=source,
+                                ),
+                            )
+                for fix in router.take_fixes():
+                    fixes_by_source[fix.source].append(fix)
+            for fix in router.flush():
+                fixes_by_source[fix.source].append(fix)
+            for reply in router.pull_metrics():
+                shard_id = str(reply.get("shard_id", "?"))
+                for ap_id, state in dict(reply.get("breakers", {})).items():
+                    breakers[f"{shard_id}/{ap_id}"] = str(state)
+            for fix in router.shutdown():
+                fixes_by_source[fix.source].append(fix)
+        except ShardUnavailableError:
+            pass
+        finally:
+            if telemetry is not None:
+                telemetry.stop()
+            router.close()
+            for proc in shards.values():
+                proc.kill()
+                proc.join(timeout_s=10.0)
+    # ------------------------------------------------------------------
+    # Per-fix track error against the moving ground truth.
+    errors: List[float] = []
+    fixes_ok = 0
+    for source in sources:
+        ok = [fix for fix in fixes_by_source[source] if fix.ok]
+        if not ok:
+            continue
+        fixes_ok += 1
+        for fix in ok:
+            # The fix timestamp is the newest packet of burst b, so it
+            # maps back to the waypoint by integer division.
+            b = min(int(fix.timestamp_s / burst_period_s), len(trajectory) - 1)
+            truth = trajectory[b][1]
+            errors.append(math.hypot(fix.x - truth.x, fix.y - truth.y))
+    # ------------------------------------------------------------------
+    # Track-continuity verdicts (see docstring).
+    rerouted = [
+        source
+        for source in sources
+        if owners_before_kill.get(source) == killed_shard
+    ]
+    resumed_tracks = 0
+    cold_restarts = 0
+    duplicate_track_ids = 0
+    for source in sources:
+        ids = {
+            fix.track_id for fix in fixes_by_source[source] if fix.track_id
+        }
+        duplicate_track_ids += max(0, len(ids) - 1)
+    for source in rerouted:
+        pre = {
+            fix.track_id
+            for fix in fixes_by_source[source]
+            if fix.track_id and fix.timestamp_s < kill_stamp
+        }
+        post = {
+            fix.track_id
+            for fix in fixes_by_source[source]
+            if fix.track_id and fix.timestamp_s >= kill_stamp
+        }
+        if pre and post <= pre and post:
+            resumed_tracks += 1
+        for track_id in post - pre:
+            # A track id minted after the kill under any *other* origin
+            # means the successor restarted the track cold.
+            if f"@{killed_shard}#" not in track_id:
+                cold_restarts += 1
+    counters = metrics.snapshot()["counters"]
+    injected = {
+        name[len("dist.failover.") :]: int(value)
+        for name, value in counters.items()
+        if name.startswith("dist.failover.")
+    }
+    injected["tracks_handed_off"] = int(counters.get("dist.tracks.resumed", 0))
+    injected["tracks_restored"] = int(counters.get("dist.tracks.restored", 0))
+    injected["killed_shards"] = 1 if killed_shard else 0
+    injected["rerouted_sources"] = len(rerouted)
+    injected["resumed_tracks"] = resumed_tracks
+    injected["cold_restarts"] = cold_restarts
+    injected["duplicate_track_ids"] = duplicate_track_ids
+    injected["handoff_events"] = int(counters.get("handoff.events", 0))
+    return ChaosReport(
+        scenario="moving-target",
+        testbed=testbed,
+        seed=seed,
+        bursts=len(trajectory),
+        fixes_attempted=len(sources),
+        fixes_ok=fixes_ok,
+        degraded_fixes=0,
+        median_error_m=float(np.median(errors)) if errors else float("nan"),
+        quarantined={},
+        injected=injected,
+        breakers=breakers,
+    )

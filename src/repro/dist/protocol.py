@@ -83,6 +83,13 @@ class MessageType(IntEnum):
     :func:`encode_traced_ingest`); a router only emits it when a live,
     sampled trace needs to follow the batch, so tracing-unaware
     deployments never see the new type.
+
+    ``RESUME`` hands a failed shard's track checkpoints to its ring
+    successor during failover (JSON ``{"tracks": {source: checkpoint}}``,
+    see :mod:`repro.mobility.tracks`); the successor adopts the tracks
+    and answers ``RESUME_OK`` (``{"resumed": n}``).  The router sends it
+    *before* replaying journaled traffic, so the restored state is in
+    place when the replayed packets trigger fixes.
     """
 
     INGEST = 1
@@ -96,6 +103,8 @@ class MessageType(IntEnum):
     BYE = 9
     ERROR = 10
     INGEST_TRACED = 11
+    RESUME = 12
+    RESUME_OK = 13
 
 
 #: Declared request -> reply pairing, checked by analysis rule REP017:
@@ -109,6 +118,7 @@ REQUEST_REPLY: Dict[MessageType, MessageType] = {
     MessageType.HEALTH: MessageType.HEALTH_OK,
     MessageType.METRICS: MessageType.METRICS_REPLY,
     MessageType.SHUTDOWN: MessageType.BYE,
+    MessageType.RESUME: MessageType.RESUME_OK,
 }
 
 #: Message types that are deliberately not part of a request/reply pair.
@@ -413,6 +423,13 @@ class WireFix:
     the shard that produced it — not the full
     :class:`~repro.core.pipeline.SpotFiFix`, whose per-AP reports and
     spectra stay shard-local (pull them via tracing on the shard).
+
+    When the shard tracks, fixes also carry the ``track_id`` and a
+    compact ``track`` checkpoint (see
+    :meth:`repro.mobility.tracks.ManagedTrack.checkpoint`) so the
+    router always holds a fresh copy it can hand to the ring successor
+    on failover.  Both fields are optional on the wire — pre-tracking
+    peers simply never set them.
     """
 
     source: str
@@ -424,10 +441,12 @@ class WireFix:
     shard: str = ""
     estimator: str = ""
     downgraded: bool = False
+    track_id: str = ""
+    track: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data view (JSON-safe; NaN position encoded as null)."""
-        return {
+        data: Dict[str, Any] = {
             "source": self.source,
             "timestamp_s": self.timestamp_s,
             "ok": self.ok,
@@ -438,6 +457,13 @@ class WireFix:
             "estimator": self.estimator,
             "downgraded": self.downgraded,
         }
+        # Tracking fields ride only when set, keeping non-tracking
+        # payloads byte-identical to the historical encoding.
+        if self.track_id:
+            data["track_id"] = self.track_id
+        if self.track is not None:
+            data["track"] = self.track
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "WireFix":
@@ -453,6 +479,10 @@ class WireFix:
                 shard=str(data.get("shard", "")),
                 estimator=str(data.get("estimator", "")),
                 downgraded=bool(data.get("downgraded", False)),
+                track_id=str(data.get("track_id", "")),
+                track=dict(data["track"])
+                if isinstance(data.get("track"), dict)
+                else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise TraceFormatError(f"malformed wire fix {data!r}: {exc}") from exc
@@ -469,6 +499,26 @@ def decode_fixes(payload: bytes) -> List[WireFix]:
     if not isinstance(data, dict) or not isinstance(data.get("fixes"), list):
         raise TraceFormatError("FIXES payload must be a JSON object with 'fixes'")
     return [WireFix.from_dict(entry) for entry in data["fixes"]]
+
+
+def encode_resume(tracks: Dict[str, Dict[str, Any]]) -> bytes:
+    """Encode a RESUME payload: track checkpoints keyed by source."""
+    return encode_json({"tracks": tracks})
+
+
+def decode_resume(payload: bytes) -> Dict[str, Dict[str, Any]]:
+    """Decode a RESUME payload."""
+    data = decode_json(payload)
+    if not isinstance(data, dict) or not isinstance(data.get("tracks"), dict):
+        raise TraceFormatError("RESUME payload must be a JSON object with 'tracks'")
+    tracks: Dict[str, Dict[str, Any]] = {}
+    for source, checkpoint in data["tracks"].items():
+        if not isinstance(checkpoint, dict):
+            raise TraceFormatError(
+                f"RESUME checkpoint for {source!r} must be an object"
+            )
+        tracks[str(source)] = checkpoint
+    return tracks
 
 
 # ----------------------------------------------------------------------

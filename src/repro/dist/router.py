@@ -219,6 +219,10 @@ class ShardRouter:
         # Frames that had nowhere to go because the ring emptied while a
         # failover was re-routing them; parked until a readmit.
         self._stranded: List[Tuple[str, CsiFrame, int]] = []
+        # Freshest track checkpoint per source, as piggybacked on FIXES
+        # replies: source -> (owning shard, checkpoint).  Handed to the
+        # ring successor (RESUME) when the owner dies.
+        self._track_checkpoints: Dict[str, Tuple[str, Dict[str, Any]]] = {}
         self._fixes: List[WireFix] = []
         self._last_health_s = time.monotonic()
 
@@ -307,6 +311,11 @@ class ShardRouter:
         unsent = self._pending.pop(shard_id, [])
         owed = self._unacked.pop(shard_id, None) or deque()
         self.metrics.increment("dist.failover.shard_down")
+        # Hand the dead shard's track state to its ring successors
+        # *before* replaying journaled traffic: the replies stream in
+        # order per socket, so the restore is in place by the time the
+        # replayed packets trigger fixes — tracks resume, never restart.
+        self._resume_tracks(shard_id)
         replay: List[Tuple[str, CsiFrame, int]] = []
         lost = 0
         for record in owed:
@@ -326,6 +335,38 @@ class ShardRouter:
             self.metrics.increment("dist.failover.rerouted", len(unsent))
             for ap_id, frame, seq in unsent:
                 self._route_or_strand(ap_id, frame, seq)
+
+    def _resume_tracks(self, failed_shard: str) -> None:
+        """Ship the failed shard's cached track checkpoints to successors.
+
+        Checkpoints are grouped by the source's *new* ring owner and
+        sent as one ``RESUME`` per successor.  Successors skip sources
+        they already track, so a stale cache entry is harmless.  When
+        the ring is empty the checkpoints stay cached — a readmitted
+        shard's traffic will rebuild them from scratch.
+        """
+        owned = [
+            (source, checkpoint)
+            for source, (owner, checkpoint) in self._track_checkpoints.items()
+            if owner == failed_shard
+        ]
+        if not owned:
+            return
+        by_successor: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        for source, checkpoint in owned:
+            try:
+                successor = self._ring.owner(source)
+            except ShardUnavailableError:
+                continue
+            by_successor.setdefault(successor, {})[source] = checkpoint
+        for successor, tracks in by_successor.items():
+            sent = self._send_request(
+                successor, MessageType.RESUME, protocol.encode_resume(tracks)
+            )
+            if sent:
+                self.metrics.increment("dist.tracks.resumed", len(tracks))
+                for source in tracks:
+                    self._track_checkpoints[source] = (successor, tracks[source])
 
     def _route_or_strand(self, ap_id: str, frame: CsiFrame, seq: int) -> None:
         """Re-route a failover frame, parking it if the ring is empty.
@@ -375,6 +416,21 @@ class ShardRouter:
                 fixes = protocol.decode_fixes(payload)
                 self._fixes.extend(fixes)
                 self.metrics.increment("dist.fixes.received", len(fixes))
+                for fix in fixes:
+                    if fix.track is not None:
+                        self._track_checkpoints[fix.source] = (
+                            fix.shard or shard_id,
+                            fix.track,
+                        )
+            elif msg_type == MessageType.RESUME_OK:
+                reply = protocol.decode_json(payload)
+                resumed = (
+                    int(reply.get("resumed", 0))
+                    if isinstance(reply, dict)
+                    else 0
+                )
+                if resumed:
+                    self.metrics.increment("dist.tracks.restored", resumed)
             elif msg_type == MessageType.ERROR:
                 error = protocol.decode_json(payload)
                 kind = "unknown"

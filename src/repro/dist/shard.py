@@ -37,6 +37,7 @@ from repro.dist import protocol
 from repro.dist.protocol import BindAddress, MessageType, WireFix, parse_bind
 from repro.errors import ConfigurationError, ReproError, TraceFormatError
 from repro.faults.network import NetworkFaultInjector, NetworkFaultSpec
+from repro.mobility.tracks import TrackManager
 from repro.obs.config import ObsConfig
 from repro.obs.http import TelemetryServer
 from repro.obs.trace import JsonlSpanExporter, TraceContext, Tracer
@@ -81,6 +82,10 @@ class ShardConfig:
     breaker_recovery_s: float = 10.0
     workers: int = 1
     seed: int = 0
+    #: Enable per-source track lifecycle management
+    #: (:class:`~repro.mobility.tracks.TrackManager`, origin = the shard
+    #: id); fixes then carry track ids and failover checkpoints.
+    track: bool = False
     estimator: str = ""
     downgrade_tier: str = ""
     trace_dir: str = ""
@@ -143,6 +148,12 @@ def build_server(config: ShardConfig) -> SpotFiServer:
         aps={f"ap{i}": ap for i, ap in enumerate(testbed.aps)},
         packets_per_fix=config.packets_per_fix,
         min_aps=config.min_aps,
+        track=config.track,
+        track_manager=(
+            TrackManager(origin=config.shard_id, metrics=metrics)
+            if config.track
+            else None
+        ),
         max_buffered_packets=config.max_buffered_packets,
         overflow_policy=config.overflow_policy,
         max_burst_age_s=config.max_burst_age_s,
@@ -234,6 +245,10 @@ class ShardServer:
             shard=self.config.shard_id,
             estimator=event.estimator,
             downgraded=event.downgraded,
+            track_id=event.track_id,
+            # Piggyback the track checkpoint so the router always holds
+            # a copy fresh as of this fix — failover needs no extra RTT.
+            track=self.server.export_track(event.source),
         )
 
     def _handle_ingest(
@@ -330,6 +345,9 @@ class ShardServer:
             )
         if msg_type == MessageType.METRICS:
             return self._handle_metrics()
+        if msg_type == MessageType.RESUME:
+            resumed = self.server.restore_tracks(protocol.decode_resume(payload))
+            return MessageType.RESUME_OK, protocol.encode_json({"resumed": resumed})
         if msg_type == MessageType.SHUTDOWN:
             self._stopping = True
             return MessageType.BYE, protocol.encode_fixes(self.drain())

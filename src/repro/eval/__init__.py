@@ -7,6 +7,12 @@ from repro.eval.metrics import (
     percentile,
     summarize_errors,
 )
+from repro.eval.tracks import (
+    TrackErrorSummary,
+    format_track_table,
+    summarize_track,
+    track_errors,
+)
 from repro.eval.reports import (
     format_cdf_table,
     format_comparison,
@@ -16,12 +22,16 @@ from repro.eval.reports import (
 
 __all__ = [
     "Cdf",
+    "TrackErrorSummary",
     "bootstrap_median_ci",
     "format_cdf_table",
     "format_comparison",
+    "format_track_table",
     "median",
     "percentile",
     "render_ascii_cdf",
     "render_spectrum_ascii",
     "summarize_errors",
+    "summarize_track",
+    "track_errors",
 ]

@@ -1,0 +1,106 @@
+"""Track-error summarization for moving-target evaluation.
+
+Static evaluation scores each fix independently; tracking evaluation
+scores a *trajectory*: at every burst the filtered track position is
+compared against where the target actually was at that instant.  This
+module is the pure-math half — pairing ground truth with (possibly
+missing) estimates and reducing the distances to CDF quantiles — so
+both the mobility evaluation driver and the benchmark can share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.eval.metrics import Cdf
+
+Position = Tuple[float, float]
+
+
+def track_errors(
+    truths: Sequence[Position],
+    estimates: Sequence[Optional[Position]],
+) -> np.ndarray:
+    """Per-burst Euclidean errors where an estimate exists.
+
+    ``truths[i]`` is the target's true position at burst ``i``;
+    ``estimates[i]`` is the track's filtered position there, or None
+    when the burst produced no usable estimate (those bursts are
+    excluded from the error sample but still count against
+    :func:`coverage`).
+    """
+    if len(truths) != len(estimates):
+        raise ConfigurationError(
+            f"truths ({len(truths)}) and estimates ({len(estimates)}) "
+            "must align burst-for-burst"
+        )
+    errors = [
+        float(np.hypot(tx - ex, ty - ey))
+        for (tx, ty), est in zip(truths, estimates)
+        if est is not None
+        for ex, ey in (est,)
+    ]
+    return np.asarray(errors, dtype=float)
+
+
+@dataclass(frozen=True)
+class TrackErrorSummary:
+    """CDF quantiles of one trajectory's track errors.
+
+    Attributes
+    ----------
+    label:
+        What was tracked (a speed profile name in the benchmark).
+    samples:
+        Bursts along the trajectory.
+    estimates:
+        Bursts that produced a filtered position.
+    median_error_m, p90_error_m:
+        Track-error CDF quantiles over those estimates (NaN when none).
+    """
+
+    label: str
+    samples: int
+    estimates: int
+    median_error_m: float
+    p90_error_m: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of bursts with a usable estimate."""
+        return self.estimates / self.samples if self.samples else 0.0
+
+
+def summarize_track(
+    label: str,
+    truths: Sequence[Position],
+    estimates: Sequence[Optional[Position]],
+) -> TrackErrorSummary:
+    """Reduce one trajectory to its track-error CDF quantiles."""
+    errors = track_errors(truths, estimates)
+    cdf = Cdf.of(errors)
+    return TrackErrorSummary(
+        label=label,
+        samples=len(truths),
+        estimates=int(errors.size),
+        median_error_m=cdf.median,
+        p90_error_m=cdf.quantile(0.9),
+    )
+
+
+def format_track_table(summaries: Sequence[TrackErrorSummary]) -> str:
+    """Fixed-width text table of track-error summaries."""
+    lines = [
+        f"{'track':<16} {'bursts':>6} {'est':>5} {'cover':>6} "
+        f"{'p50 (m)':>8} {'p90 (m)':>8}"
+    ]
+    for s in summaries:
+        lines.append(
+            f"{s.label:<16} {s.samples:>6d} {s.estimates:>5d} "
+            f"{s.coverage:>6.0%} {s.median_error_m:>8.2f} {s.p90_error_m:>8.2f}"
+        )
+    return "\n".join(lines)

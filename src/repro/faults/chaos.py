@@ -91,11 +91,15 @@ def scenario_specs(
     ``blackout`` computes its onset from the run length so the AP dies
     halfway through; the other scenarios are timing-independent.
     """
-    if name in ("clean", "shard-kill", "downgrade") or name in NETWORK_SCENARIOS:
-        # shard-kill injects a process death, downgrade a forced breaker
-        # trip, and the network matrix transport faults — none corrupts
-        # CSI; those faults are orchestrated by run_shard_kill /
-        # run_network_chaos / run_chaos directly.
+    if (
+        name in ("clean", "shard-kill", "moving-target", "downgrade")
+        or name in NETWORK_SCENARIOS
+    ):
+        # shard-kill and moving-target inject a process death, downgrade
+        # a forced breaker trip, and the network matrix transport faults
+        # — none corrupts CSI; those faults are orchestrated by
+        # run_shard_kill / run_moving_target / run_network_chaos /
+        # run_chaos directly.
         return ()
     if name == "nan":
         return (
@@ -139,6 +143,7 @@ SCENARIOS = (
     "clean",
     "downgrade",
     "mixed",
+    "moving-target",
     "nan",
     "shard-kill",
     "truncate",
@@ -281,6 +286,21 @@ def run_chaos(
             bursts=bursts,
             min_aps=min_aps,
             oversample=max(oversample, 2.5),
+            probe=probe,
+        )
+    if scenario == "moving-target":
+        # Distributed mobility scenario: targets in motion, tracking
+        # shards, and a SIGKILL mid-track — the gate asserts the dead
+        # shard's tracks resume on the ring successors instead of
+        # restarting cold.  Same late-import rationale as shard-kill.
+        from repro.dist.chaos import run_moving_target
+
+        return run_moving_target(
+            testbed=testbed,
+            seed=seed,
+            packets_per_fix=packets_per_fix,
+            bursts=max(bursts, 6),
+            min_aps=min_aps,
             probe=probe,
         )
     if scenario in NETWORK_SCENARIOS:

@@ -1,0 +1,54 @@
+"""Mobility serving plane: moving targets, AP roaming, multi-target tracks.
+
+The static pipeline localizes a stationary emitter; this package makes
+the serving system *track*:
+
+* :mod:`repro.mobility.motion` — motion-driven channel synthesis: CSI
+  re-raytraced per burst along a planned route at named speed profiles;
+* :mod:`repro.mobility.handoff` — power-threshold AP roaming with
+  hysteresis, changing the serving set mid-track;
+* :mod:`repro.mobility.tracks` — explicit track lifecycle (M-of-N birth
+  confirmation, miss-budget death, idle eviction) with failover-safe
+  checkpoints that ride the v2 wire protocol;
+* :mod:`repro.mobility.evaluation` — track-error CDFs over the
+  (speed profile, estimator tier) grid.
+"""
+
+from repro.mobility.evaluation import (
+    STATIC,
+    TrackEvalRow,
+    run_track_eval,
+    sample_speed_trajectory,
+)
+from repro.mobility.handoff import HandoffDecision, HandoffPolicy
+from repro.mobility.motion import (
+    ApRecording,
+    MotionBurst,
+    motion_bursts,
+    sample_trajectory,
+)
+from repro.mobility.tracks import (
+    TRACK_CONFIRMED,
+    TRACK_TENTATIVE,
+    ManagedTrack,
+    TrackManager,
+    TrackObservation,
+)
+
+__all__ = [
+    "ApRecording",
+    "HandoffDecision",
+    "HandoffPolicy",
+    "ManagedTrack",
+    "MotionBurst",
+    "STATIC",
+    "TRACK_CONFIRMED",
+    "TRACK_TENTATIVE",
+    "TrackEvalRow",
+    "TrackManager",
+    "TrackObservation",
+    "motion_bursts",
+    "run_track_eval",
+    "sample_speed_trajectory",
+    "sample_trajectory",
+]

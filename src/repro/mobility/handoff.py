@@ -1,0 +1,154 @@
+"""AP roaming: power-threshold handoff with hysteresis.
+
+A moving target walks out of one AP's cell and into another's.  Real
+clients roam on received power with *hysteresis* — an AP must be heard
+above ``entry_dbm`` to join the serving set but is only dropped once it
+fades below ``exit_dbm`` — so a target skirting a cell edge doesn't
+flap between serving sets on every burst.  :class:`HandoffPolicy`
+implements that rule per source, keeps the set topped up to
+``min_serving`` with the strongest audible APs (``SpotFi.locate``'s
+quorum still needs vantage points even in a coverage hole), and
+optionally caps it at ``max_serving`` (cheap fixes want the best K
+APs, not all of them).
+
+Every serving-set change emits ``handoff.*`` counters and a ``handoff``
+trace span, so roaming shows up in the same observability plane as
+fixes and failovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import NOOP_TRACER, Tracer
+from repro.runtime.metrics import RuntimeMetrics
+
+
+@dataclass(frozen=True)
+class HandoffDecision:
+    """One policy update: the serving set after it, and what changed."""
+
+    serving: Tuple[str, ...]
+    added: Tuple[str, ...]
+    dropped: Tuple[str, ...]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.dropped)
+
+
+@dataclass
+class HandoffPolicy:
+    """Per-source serving-AP set under power-threshold hysteresis.
+
+    Attributes
+    ----------
+    entry_dbm:
+        An AP outside the serving set joins when heard at or above this
+        power.
+    exit_dbm:
+        A serving AP is dropped once it fades below this power (or is
+        no longer audible at all).  Must be <= ``entry_dbm``; the gap is
+        the hysteresis band that suppresses flapping.
+    min_serving:
+        The set is topped up to this size with the strongest audible
+        APs even when they are below ``entry_dbm`` (quorum insurance in
+        coverage holes).
+    max_serving:
+        Cap on the serving set (strongest APs win); 0 means uncapped.
+    metrics:
+        Optional counter sink for ``handoff.events`` /
+        ``handoff.ap_added`` / ``handoff.ap_dropped``.
+    tracer:
+        Span sink; every serving-set *change* opens a ``handoff`` span.
+    """
+
+    entry_dbm: float = -78.0
+    exit_dbm: float = -82.0
+    min_serving: int = 2
+    max_serving: int = 0
+    metrics: Optional[RuntimeMetrics] = None
+    tracer: Tracer = NOOP_TRACER
+    _serving: Dict[str, Tuple[str, ...]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.exit_dbm > self.entry_dbm:
+            raise ConfigurationError(
+                f"exit_dbm ({self.exit_dbm}) must be <= entry_dbm "
+                f"({self.entry_dbm}) — the gap is the hysteresis band"
+            )
+        if self.min_serving < 1:
+            raise ConfigurationError("min_serving must be >= 1")
+        if self.max_serving and self.max_serving < self.min_serving:
+            raise ConfigurationError(
+                "max_serving must be 0 (uncapped) or >= min_serving"
+            )
+
+    def serving(self, source: str) -> Tuple[str, ...]:
+        """The current serving set for a source (empty before the first update)."""
+        return self._serving.get(source, ())
+
+    def update(
+        self, source: str, rssi_dbm: Mapping[str, float]
+    ) -> HandoffDecision:
+        """Re-evaluate one source's serving set against fresh powers.
+
+        ``rssi_dbm`` maps every *audible* AP to its received power; APs
+        absent from the map are treated as unheard and dropped from the
+        set.  Returns the decision; counters/spans fire only on a
+        change after the initial association (the first update is a
+        join, not a handoff).
+        """
+        known = source in self._serving
+        current = set(self._serving.get(source, ()))
+        keep = {
+            ap for ap in current if rssi_dbm.get(ap, float("-inf")) >= self.exit_dbm
+        }
+        join = {
+            ap
+            for ap, power in rssi_dbm.items()
+            if ap not in current and power >= self.entry_dbm
+        }
+        serving = keep | join
+        if len(serving) < self.min_serving:
+            # Quorum insurance: admit the strongest below-threshold APs.
+            fallback = sorted(
+                (ap for ap in rssi_dbm if ap not in serving),
+                key=lambda ap: rssi_dbm[ap],
+                reverse=True,
+            )
+            serving.update(fallback[: self.min_serving - len(serving)])
+        if self.max_serving and len(serving) > self.max_serving:
+            strongest = sorted(
+                serving,
+                key=lambda ap: rssi_dbm.get(ap, float("-inf")),
+                reverse=True,
+            )
+            serving = set(strongest[: self.max_serving])
+        ordered = tuple(sorted(serving))
+        decision = HandoffDecision(
+            serving=ordered,
+            added=tuple(sorted(serving - current)),
+            dropped=tuple(sorted(current - serving)),
+        )
+        self._serving[source] = ordered
+        if known and decision.changed:
+            if self.metrics is not None:
+                self.metrics.increment("handoff.events")
+                if decision.added:
+                    self.metrics.increment("handoff.ap_added", len(decision.added))
+                if decision.dropped:
+                    self.metrics.increment(
+                        "handoff.ap_dropped", len(decision.dropped)
+                    )
+            with self.tracer.span(
+                "handoff",
+                source=source,
+                added=list(decision.added),
+                dropped=list(decision.dropped),
+                serving=len(ordered),
+            ):
+                pass
+        return decision

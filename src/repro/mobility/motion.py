@@ -1,0 +1,193 @@
+"""Motion-driven channel synthesis: CSI that evolves along a trajectory.
+
+The static pipeline snapshots one multipath profile per (target, AP)
+pair and replays it for a whole burst.  A *moving* target invalidates
+that: every few packets the geometry has changed — path lengths, AoAs,
+and through-wall attenuation all shift as the target walks.  This module
+closes the loop between the A* route planner
+(:mod:`repro.testbed.mobility`) and the ray tracer
+(:class:`~repro.channel.csi_model.ChannelSimulator`):
+
+1. :func:`sample_trajectory` plans a collision-free route and samples it
+   into per-burst waypoints at a named speed profile
+   (:data:`~repro.testbed.mobility.SPEED_PROFILES`);
+2. :func:`motion_bursts` re-raytraces the multipath at *every* waypoint
+   and synthesizes one packet burst per AP there, re-stamping frame
+   timestamps onto the shared trajectory clock (the simulator always
+   stamps from zero) so downstream burst assembly, stale eviction, and
+   Kalman dynamics all see a consistent timeline.
+
+An optional :class:`~repro.mobility.handoff.HandoffPolicy` decides which
+audible APs actually record each burst — the serving set then shrinks
+and grows mid-track exactly as it would under real AP roaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.channel.csi_model import ChannelSimulator
+from repro.errors import GeometryError
+from repro.geom.floorplan import Floorplan
+from repro.geom.points import Point, PointLike, as_point
+from repro.mobility.handoff import HandoffPolicy
+from repro.runtime.metrics import RuntimeMetrics
+from repro.testbed.collection import DEFAULT_SENSITIVITY_DBM
+from repro.testbed.mobility import OccupancyGrid, plan_route, resolve_speed, walk_route
+from repro.wifi.arrays import UniformLinearArray
+from repro.wifi.csi import CsiTrace
+
+
+@dataclass(frozen=True)
+class ApRecording:
+    """One serving AP's synthesized burst at one trajectory waypoint."""
+
+    ap_id: str
+    array: UniformLinearArray
+    trace: CsiTrace
+    rssi_dbm: float
+
+
+@dataclass(frozen=True)
+class MotionBurst:
+    """One waypoint's worth of synthesized traffic.
+
+    Attributes
+    ----------
+    index:
+        Waypoint index along the trajectory.
+    timestamp_s:
+        Trajectory time of the burst start (frames are stamped from
+        here at the packet interval).
+    position:
+        Ground-truth target position for this burst.
+    recordings:
+        One entry per serving AP that heard the target here.
+    """
+
+    index: int
+    timestamp_s: float
+    position: Point
+    recordings: Tuple[ApRecording, ...]
+
+    def pairs(self) -> List[Tuple[UniformLinearArray, CsiTrace]]:
+        """The ``(array, trace)`` pairs ``SpotFi.locate`` consumes."""
+        return [(rec.array, rec.trace) for rec in self.recordings]
+
+
+def sample_trajectory(
+    floorplan: Floorplan,
+    start: PointLike,
+    goal: PointLike,
+    speed: Union[str, float] = "pedestrian",
+    interval_s: float = 1.0,
+    cell_m: float = 0.5,
+    clearance_m: float = 0.3,
+    grid: Optional[OccupancyGrid] = None,
+) -> List[Tuple[float, Point]]:
+    """Plan a route and sample it into timed per-burst waypoints.
+
+    ``speed`` is a named profile (:data:`SPEED_PROFILES`) or a literal
+    m/s value; ``interval_s`` is the burst cadence.  Raises
+    :class:`~repro.errors.GeometryError` when no route exists.
+    """
+    route = plan_route(
+        floorplan,
+        as_point(start),
+        as_point(goal),
+        cell_m=cell_m,
+        clearance_m=clearance_m,
+        grid=grid,
+    )
+    return walk_route(route, speed_mps=resolve_speed(speed), interval_s=interval_s)
+
+
+def motion_bursts(
+    simulator: ChannelSimulator,
+    aps: Mapping[str, UniformLinearArray],
+    samples: List[Tuple[float, Point]],
+    packets_per_burst: int,
+    rng: Optional[np.random.Generator] = None,
+    source: str = "target",
+    sensitivity_dbm: float = DEFAULT_SENSITIVITY_DBM,
+    packet_interval_s: float = 0.1,
+    policy: Optional[HandoffPolicy] = None,
+    metrics: Optional[RuntimeMetrics] = None,
+) -> List[MotionBurst]:
+    """Synthesize one CSI burst per trajectory waypoint per serving AP.
+
+    At every waypoint the multipath profile is re-raytraced for every
+    AP, audible powers are fed to the handoff ``policy`` (when given)
+    to pick the serving set, and each serving AP records a
+    ``packets_per_burst``-packet trace whose frame timestamps are
+    shifted onto the trajectory clock.  Without a policy every audible
+    AP serves (the static :func:`~repro.testbed.collection.collect_location`
+    behaviour, in motion).
+    """
+    if packets_per_burst < 1:
+        raise GeometryError(
+            f"packets_per_burst must be >= 1, got {packets_per_burst}"
+        )
+    rng = np.random.default_rng() if rng is None else rng
+    bursts: List[MotionBurst] = []
+    for index, (stamp, position) in enumerate(samples):
+        audible: Dict[str, float] = {}
+        profiles = {}
+        for ap_id, array in aps.items():
+            profile = simulator.profile(position, array)
+            if profile.num_paths == 0:
+                continue  # fully shielded from this AP here
+            rssi = profile.rssi_dbm(simulator.tx_power_dbm)
+            if rssi < sensitivity_dbm:
+                continue
+            audible[ap_id] = rssi
+            profiles[ap_id] = profile
+        if policy is not None:
+            serving = policy.update(source, audible).serving
+        else:
+            serving = tuple(sorted(audible))
+        recordings: List[ApRecording] = []
+        for ap_id in serving:
+            if ap_id not in profiles:
+                continue  # policy kept an AP that faded out entirely
+            trace = simulator.generate_trace(
+                position,
+                aps[ap_id],
+                packets_per_burst,
+                rng=rng,
+                packet_interval_s=packet_interval_s,
+                source=source,
+                profile=profiles[ap_id],
+            )
+            recordings.append(
+                ApRecording(
+                    ap_id=ap_id,
+                    array=aps[ap_id],
+                    trace=_shift_trace(trace, stamp),
+                    rssi_dbm=audible[ap_id],
+                )
+            )
+        if metrics is not None:
+            metrics.increment("mobility.bursts")
+        bursts.append(
+            MotionBurst(
+                index=index,
+                timestamp_s=stamp,
+                position=position,
+                recordings=tuple(recordings),
+            )
+        )
+    return bursts
+
+
+def _shift_trace(trace: CsiTrace, offset_s: float) -> CsiTrace:
+    """Re-stamp a simulator trace (always starts at t=0) onto the trajectory clock."""
+    return CsiTrace(
+        [
+            replace(frame, timestamp_s=frame.timestamp_s + offset_s)
+            for frame in trace
+        ]
+    )

@@ -56,6 +56,7 @@ LOWER_BETTER: Tuple[str, ...] = (
     "p50_ms",
     "p99_ms",
     "median_error_m",
+    "p90_error_m",
     "median_fix_latency_ms",
 )
 

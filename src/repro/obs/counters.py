@@ -44,6 +44,19 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "breaker.closed",
         "breaker.transitions",
         "breaker.downgrades",
+        # track lifecycle (repro.mobility.tracks)
+        "track.created",
+        "track.confirmed",
+        "track.closed",
+        "track.evicted",
+        "track.resumed",
+        "track.gated",
+        # AP roaming (repro.mobility.handoff)
+        "handoff.events",
+        "handoff.ap_added",
+        "handoff.ap_dropped",
+        # motion synthesis (repro.mobility.motion)
+        "mobility.bursts",
         # fault injection (repro.faults)
         "faults.injected.total",
         "faults.network.total",
@@ -61,6 +74,8 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "dist.failover.inflight_lost",
         "dist.journal.overflow",
         "dist.dedup.duplicates",
+        "dist.tracks.resumed",
+        "dist.tracks.restored",
         "dist.health.ok",
         "dist.health.failed",
         # dist supervisor (repro.dist.supervisor)

@@ -32,6 +32,9 @@ CANONICAL_STAGES: FrozenSet[str] = frozenset(
         # server (repro.server)
         "fix",  # one flush-triggered fix computation, incl. retries
         "breaker.transition",  # circuit breaker state change
+        "track.resume",  # adoption of a failed peer's track checkpoints
+        # mobility (repro.mobility.handoff)
+        "handoff",  # one serving-set change under the roaming policy
         # dist router (repro.dist.router)
         "flush",  # router-side flush fan-out; root of a distributed trace
         "shard.flush",  # one shard's FLUSH request within a router flush

@@ -24,7 +24,7 @@ accepted/dropped/evicted packets and fix timings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import time
 from repro.core.pipeline import SpotFi, SpotFiFix
@@ -39,7 +39,7 @@ from repro.obs.slo import SloTracker
 from repro.runtime.cache import default_steering_cache
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.queues import OVERFLOW_POLICIES, PacketBuffer
-from repro.tracking.kalman import KalmanTrack2D
+from repro.mobility.tracks import TrackManager
 from repro.wifi.arrays import UniformLinearArray
 from repro.wifi.csi import CsiFrame, CsiTrace
 
@@ -59,6 +59,10 @@ class FixEvent:
         usable APs) — failures are reported, not swallowed.
     filtered:
         Kalman-filtered position when tracking is enabled.
+    track_id:
+        Id of the track this fix landed on (see
+        :class:`~repro.mobility.tracks.TrackManager`); empty when
+        tracking is disabled or no track exists.
     num_aps:
         APs contributing to this burst.
     estimator:
@@ -73,6 +77,7 @@ class FixEvent:
     timestamp_s: float
     fix: Optional[SpotFiFix]
     filtered: Optional[Point] = None
+    track_id: str = ""
     num_aps: int = 0
     estimator: str = ""
     downgraded: bool = False
@@ -99,6 +104,10 @@ class SpotFiServer:
         Minimum APs with a complete burst before attempting a fix.
     track:
         Enable Kalman smoothing of each target's fixes.
+    track_manager:
+        Lifecycle manager for per-source tracks (birth confirmation,
+        miss-budget death, idle eviction, failover checkpoints); built
+        automatically when ``track`` is set and none is supplied.
     max_buffered_packets:
         Capacity of each (source, AP) ingest buffer; 0 keeps the
         historical unbounded behaviour.  A flood from one source then
@@ -155,6 +164,7 @@ class SpotFiServer:
     packets_per_fix: int = 10
     min_aps: int = 3
     track: bool = False
+    track_manager: Optional[TrackManager] = None
     max_buffered_packets: int = 0
     overflow_policy: str = "drop-oldest"
     max_burst_age_s: float = 0.0
@@ -207,9 +217,12 @@ class SpotFiServer:
             self.validator.metrics = self.metrics
         if self.fault_injector is not None and self.fault_injector.metrics is None:
             self.fault_injector.metrics = self.metrics
+        if self.track and self.track_manager is None:
+            self.track_manager = TrackManager(metrics=self.metrics)
+        elif self.track_manager is not None and self.track_manager.metrics is None:
+            self.track_manager.metrics = self.metrics
         self._buffers: Dict[Tuple[str, str], PacketBuffer] = {}
         self._last_seen: Dict[Tuple[str, str], float] = {}
-        self._tracks: Dict[str, KalmanTrack2D] = {}
         self._events: Dict[str, List[FixEvent]] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
 
@@ -393,15 +406,24 @@ class SpotFiServer:
         if self.breaker_threshold:
             self._record_ap_outcomes(ready, fix, degraded, timestamp_s)
         filtered = None
-        if fix is not None and self.track:
-            track = self._tracks.setdefault(source, KalmanTrack2D())
-            track.update((fix.position.x, fix.position.y), timestamp_s)
-            filtered = Point(*track.position)
+        track_id = ""
+        if self.track and self.track_manager is not None:
+            # Misses feed the lifecycle too: a failed fix spends the
+            # track's miss budget instead of freezing it in place.
+            observed = self.track_manager.observe(
+                source,
+                None if fix is None else (fix.position.x, fix.position.y),
+                timestamp_s,
+            )
+            track_id = observed.track_id
+            if observed.filtered is not None:
+                filtered = Point(*observed.filtered)
         event = FixEvent(
             source=source,
             timestamp_s=timestamp_s,
             fix=fix,
             filtered=filtered,
+            track_id=track_id,
             num_aps=len(ready),
             estimator=resolved,
             downgraded=downgraded,
@@ -541,6 +563,38 @@ class SpotFiServer:
         """All fix events emitted for a target so far."""
         return list(self._events.get(source, []))
 
+    # ------------------------------------------------------------------
+    # Track checkpoints (failover)
+    # ------------------------------------------------------------------
+    def export_track(self, source: str) -> Optional[Dict[str, Any]]:
+        """Checkpoint for one source's live track (None when absent)."""
+        if self.track_manager is None:
+            return None
+        return self.track_manager.export_checkpoint(source)
+
+    def export_tracks(self) -> Dict[str, Dict[str, Any]]:
+        """Checkpoints for every initialized live track."""
+        if self.track_manager is None:
+            return {}
+        return self.track_manager.export_checkpoints()
+
+    def restore_tracks(self, checkpoints: Mapping[str, Mapping[str, Any]]) -> int:
+        """Adopt track checkpoints from a failed peer; returns count resumed.
+
+        Sources that already have a live local track are skipped — the
+        local state is newer than anything that crossed the wire — so a
+        blanket restore after failover is always safe.  No-op when
+        tracking is disabled.
+        """
+        if not self.track or self.track_manager is None:
+            return 0
+        with self.spotfi.tracer.span(
+            "track.resume", sources=len(checkpoints)
+        ) as span:
+            resumed = self.track_manager.restore(checkpoints)
+            span.set("resumed", resumed)
+        return resumed
+
     def sources(self) -> List[str]:
         """Targets the server has seen packets from."""
         seen = {src for src, _ in self._buffers}
@@ -610,6 +664,11 @@ class SpotFiServer:
             "buffered_packets": buffered,
             "sources": self.sources(),
             "fix_events": sum(len(events) for events in self._events.values()),
+            "tracks": (
+                len(self.track_manager.active())
+                if self.track_manager is not None
+                else 0
+            ),
         }
 
     def start_telemetry(self, port: int = 0, host: str = "127.0.0.1") -> TelemetryServer:

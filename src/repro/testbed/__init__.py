@@ -4,7 +4,14 @@ and wall-mounted 3-antenna APs, plus the experiment runner that drives the
 evaluation benchmarks."""
 
 from repro.testbed.collection import collect_location
-from repro.testbed.mobility import OccupancyGrid, plan_route, route_length, walk_route
+from repro.testbed.mobility import (
+    SPEED_PROFILES,
+    OccupancyGrid,
+    plan_route,
+    resolve_speed,
+    route_length,
+    walk_route,
+)
 from repro.testbed.layout import (
     Testbed,
     TargetSpot,
@@ -23,7 +30,9 @@ __all__ = [
     "ExperimentRunner",
     "LocationOutcome",
     "OccupancyGrid",
+    "SPEED_PROFILES",
     "plan_route",
+    "resolve_speed",
     "route_length",
     "walk_route",
     "TargetSpot",

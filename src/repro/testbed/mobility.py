@@ -12,13 +12,46 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import GeometryError
 from repro.geom.floorplan import Floorplan
 from repro.geom.points import Point, PointLike, as_point
+
+#: Named speed profiles (m/s) for motion synthesis: a strolling
+#: pedestrian (~1.4 m/s, the paper's walking-speed regime) up through
+#: vehicular speeds for parking-garage / drive-through deployments.
+SPEED_PROFILES: Dict[str, float] = {
+    "pedestrian": 1.4,
+    "brisk": 2.5,
+    "jog": 3.5,
+    "bike": 6.0,
+    "vehicular": 12.0,
+    "vehicular-fast": 25.0,
+}
+
+
+def resolve_speed(profile: Union[str, float]) -> float:
+    """Resolve a named speed profile (or a literal m/s value) to m/s.
+
+    Raises :class:`~repro.errors.GeometryError` for unknown names or
+    non-positive speeds, mirroring :func:`walk_route`'s validation.
+    """
+    if isinstance(profile, str):
+        try:
+            speed = SPEED_PROFILES[profile]
+        except KeyError:
+            raise GeometryError(
+                f"unknown speed profile {profile!r}; "
+                f"available: {sorted(SPEED_PROFILES)}"
+            ) from None
+    else:
+        speed = float(profile)
+    if speed <= 0:
+        raise GeometryError(f"speed must be positive, got {speed}")
+    return speed
 
 
 @dataclass

@@ -10,11 +10,15 @@ tens of meters off) instead of letting them yank the track.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: Shared 4x4 identity, copied per transition instead of rebuilt — the
+#: transition runs once per tracked burst on the serving hot path.
+_IDENTITY4 = np.eye(4)
 
 
 @dataclass
@@ -118,8 +122,44 @@ class KalmanTrack2D:
         return True
 
     # ------------------------------------------------------------------
+    # Checkpointing (failover-safe track state)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Optional[Dict[str, Any]]:
+        """Compact JSON-safe snapshot of the filter (None when empty).
+
+        Carries the state vector, flattened covariance, filter clock and
+        rejection count — everything a ring successor needs to *resume*
+        this track after a shard death instead of restarting cold.
+        Restore with :meth:`restore_state`.
+        """
+        if self._state is None or self._cov is None:
+            return None
+        return {
+            "x": [float(v) for v in self._state],
+            "p": [float(v) for v in self._cov.reshape(-1)],
+            "t": float(self._last_time),
+            "rejected": int(self.num_rejected),
+        }
+
+    def restore_state(self, data: Mapping[str, Any]) -> None:
+        """Adopt a checkpoint produced by :meth:`export_state`."""
+        x = np.asarray(data.get("x", ()), dtype=float)
+        p = np.asarray(data.get("p", ()), dtype=float)
+        if x.shape != (4,) or p.shape != (16,):
+            raise ConfigurationError(
+                f"malformed track checkpoint: state shape {x.shape}, "
+                f"covariance shape {p.shape}"
+            )
+        if not bool(np.all(np.isfinite(x))) or not bool(np.all(np.isfinite(p))):
+            raise ConfigurationError("track checkpoint contains non-finite values")
+        self._state = x
+        self._cov = p.reshape(4, 4)
+        self._last_time = float(data.get("t", 0.0))
+        self.num_rejected = int(data.get("rejected", 0))
+
+    # ------------------------------------------------------------------
     def _transition(self, dt: float):
-        f = np.eye(4)
+        f = _IDENTITY4.copy()
         f[0, 2] = f[1, 3] = dt
         q_std = self.process_accel_std
         dt2, dt3, dt4 = dt**2, dt**3, dt**4

@@ -8,8 +8,9 @@ so a server can track several devices concurrently.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,14 +54,25 @@ class SpotFiTracker:
         The configured localization pipeline.
     process_accel_std, measurement_std_m, gate_sigmas:
         Kalman parameters, passed through to each target's track.
+    history_limit:
+        Track points retained per target (oldest dropped first); 0 keeps
+        the historical unbounded behaviour.  Without a bound a
+        long-running tracker grows memory forever.
+    idle_timeout_s:
+        Evict a target's track and history when no burst has been
+        observed for this long (by the observation timestamp clock); 0
+        disables eviction.
     """
 
     spotfi: SpotFi
     process_accel_std: float = 0.8
     measurement_std_m: float = 0.7
     gate_sigmas: float = 4.0
+    history_limit: int = 256
+    idle_timeout_s: float = 0.0
     _tracks: Dict[str, KalmanTrack2D] = field(default_factory=dict, repr=False)
-    _history: Dict[str, List[TrackPoint]] = field(default_factory=dict, repr=False)
+    _history: Dict[str, Deque[TrackPoint]] = field(default_factory=dict, repr=False)
+    _last_observed: Dict[str, float] = field(default_factory=dict, repr=False)
 
     def observe(
         self,
@@ -73,6 +85,7 @@ class SpotFiTracker:
         A failed fix (too few usable APs) still advances the track's clock
         and yields a predicted-only point.
         """
+        self._evict_idle(timestamp_s, keep=target_id)
         track = self._tracks.setdefault(
             target_id,
             KalmanTrack2D(
@@ -96,8 +109,33 @@ class SpotFiTracker:
         point = TrackPoint(
             timestamp_s=timestamp_s, raw=raw, filtered=filtered, accepted=accepted
         )
-        self._history.setdefault(target_id, []).append(point)
+        history = self._history.get(target_id)
+        if history is None:
+            history = self._history[target_id] = deque(
+                maxlen=self.history_limit if self.history_limit > 0 else None
+            )
+        history.append(point)
+        self._last_observed[target_id] = timestamp_s
         return point
+
+    def _evict_idle(self, now_s: float, keep: str = "") -> None:
+        """Drop tracks nobody has observed within the idle timeout.
+
+        The observation timestamp stream is the clock (like the server's
+        stale-buffer eviction), so replayed traces behave like live
+        traffic.  ``keep`` shields the target being observed right now.
+        """
+        if self.idle_timeout_s <= 0:
+            return
+        idle = [
+            target_id
+            for target_id, last in self._last_observed.items()
+            if target_id != keep and now_s - last > self.idle_timeout_s
+        ]
+        for target_id in idle:
+            self._tracks.pop(target_id, None)
+            self._history.pop(target_id, None)
+            self._last_observed.pop(target_id, None)
 
     def history(self, target_id: str = "target") -> List[TrackPoint]:
         """All track points recorded for a target."""

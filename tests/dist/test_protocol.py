@@ -22,11 +22,13 @@ from repro.dist.protocol import (
     decode_header,
     decode_json,
     decode_message,
+    decode_resume,
     decode_traced_ingest,
     encode_fixes,
     encode_frames,
     encode_json,
     encode_message,
+    encode_resume,
     encode_trace_context,
     encode_traced_ingest,
     parse_bind,
@@ -269,6 +271,57 @@ class TestFixesAndJson:
     def test_bad_json_is_format_error(self):
         with pytest.raises(TraceFormatError, match="JSON"):
             decode_json(b"{nope")
+
+    def test_wire_fix_round_trips_track_checkpoint(self):
+        ckpt = {"track_id": "t0@s1#1", "filter": {"state": [1.0, 2.0, 0.1, 0.0]}}
+        fix = WireFix(
+            source="t0",
+            timestamp_s=2.0,
+            ok=True,
+            x=1.5,
+            y=2.5,
+            num_aps=4,
+            shard="s1",
+            track_id="t0@s1#1",
+            track=ckpt,
+        )
+        (decoded,) = decode_fixes(encode_fixes([fix]))
+        assert decoded.track_id == "t0@s1#1"
+        assert decoded.track == ckpt
+        # Fixes from shards predating tracking still decode.
+        legacy = dict(fix.to_dict())
+        legacy.pop("track_id")
+        legacy.pop("track")
+        older = WireFix.from_dict(legacy)
+        assert older.track_id == "" and older.track is None
+
+    def test_non_tracking_fix_omits_track_fields(self):
+        fix = WireFix(source="t0", timestamp_s=2.0, ok=True, x=1.0, y=2.0)
+        data = fix.to_dict()
+        assert "track_id" not in data and "track" not in data
+
+
+class TestResume:
+    def test_round_trip(self):
+        tracks = {
+            "t0": {"track_id": "t0@s1#1", "filter": {"state": [0.0] * 4}},
+            "t1": {"track_id": "t1@s1#2", "filter": {"state": [1.0] * 4}},
+        }
+        assert decode_resume(encode_resume(tracks)) == tracks
+
+    def test_empty_resume(self):
+        assert decode_resume(encode_resume({})) == {}
+
+    def test_malformed_resume_rejected(self):
+        with pytest.raises(TraceFormatError, match="RESUME"):
+            decode_resume(encode_json({"tracks": "nope"}))
+        with pytest.raises(TraceFormatError, match="RESUME"):
+            decode_resume(encode_json({"tracks": {"t0": "nope"}}))
+
+    def test_resume_reply_pairing(self):
+        from repro.dist.protocol import REQUEST_REPLY
+
+        assert REQUEST_REPLY[MessageType.RESUME] == MessageType.RESUME_OK
 
 
 class TestBindSpecs:

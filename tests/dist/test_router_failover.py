@@ -35,9 +35,22 @@ class SeqShard:
     shape of a worker wedged mid-GC or behind a black-holed link.
     """
 
-    def __init__(self, shard_id: str, directory: str, mute: bool = False) -> None:
+    def __init__(
+        self,
+        shard_id: str,
+        directory: str,
+        mute: bool = False,
+        mute_after: int = 0,
+        track_checkpoint: dict = None,
+    ) -> None:
         self.shard_id = shard_id
         self.mute = mute
+        # After this many answered INGESTs the shard wedges (0 = never);
+        # fixes answered before that carry ``track_checkpoint`` when set.
+        self.mute_after = mute_after
+        self.track_checkpoint = track_checkpoint
+        self.answered = 0
+        self.resumes_received = []
         self.spec = f"unix:{os.path.join(directory, shard_id + '.sock')}"
         self.seqs_seen = []
         self._listener = parse_bind(self.spec).listen()
@@ -78,20 +91,38 @@ class SeqShard:
             )
             if self.mute:
                 return True
+            if self.mute_after and self.answered >= self.mute_after:
+                return True  # wedged mid-run: reads but never answers again
+            self.answered += 1
+            source = batch[0][1].source if batch else "?"
             fix = WireFix(
-                source=batch[0][1].source if batch else "?",
+                source=source,
                 timestamp_s=0.0,
                 ok=True,
                 x=1.0,
                 y=2.0,
                 num_aps=3,
                 shard=self.shard_id,
+                track_id=(
+                    self.track_checkpoint["track_id"]
+                    if self.track_checkpoint
+                    else ""
+                ),
+                track=self.track_checkpoint,
             )
             protocol.send_message(
                 conn, MessageType.FIXES, protocol.encode_fixes([fix])
             )
         elif self.mute:
             return True
+        elif msg_type == MessageType.RESUME:
+            tracks = protocol.decode_resume(payload)
+            self.resumes_received.append(tracks)
+            protocol.send_message(
+                conn,
+                MessageType.RESUME_OK,
+                protocol.encode_json({"resumed": len(tracks)}),
+            )
         elif msg_type == MessageType.FLUSH:
             protocol.send_message(conn, MessageType.FIXES, protocol.encode_fixes([]))
         elif msg_type == MessageType.HEALTH:
@@ -258,6 +289,79 @@ class TestStrandingAndReadmit:
             assert view["journal_frames"] == 0  # nothing shipped yet
             router.flush()
             assert router.health_view()["journal_frames"] == 0  # all acked
+        finally:
+            router.close()
+            for shard in shards.values():
+                shard.stop()
+
+
+class TestTrackFailover:
+    """Checkpointed tracks move to the ring successor when a shard dies."""
+
+    def test_cached_checkpoint_resumes_on_successor(self, tmp_path):
+        ckpt = {
+            "track_id": "",  # patched once the probe source is known
+            "source": "",
+            "state": "confirmed",
+            "hits": 2,
+            "misses": 0,
+            "born_s": 0.0,
+            "updated_s": 1.0,
+            "filter": {"state": [1.0, 2.0, 0.3, 0.0]},
+        }
+        shards = {}
+        router = None
+        try:
+            # s0 answers two fixes (each carrying the checkpoint), then
+            # wedges; s1/s2 stay healthy and accept RESUME.
+            for i in range(3):
+                shards[f"s{i}"] = SeqShard(
+                    f"s{i}",
+                    str(tmp_path),
+                    mute_after=2 if i == 0 else 0,
+                    track_checkpoint=ckpt if i == 0 else None,
+                )
+            router = ShardRouter(
+                {sid: s.spec for sid, s in shards.items()},
+                batch_max_frames=1,
+                socket_timeout_s=0.5,
+            )
+            source = source_owned_by(router, "s0")
+            ckpt["track_id"] = f"{source}@s0#1"
+            ckpt["source"] = source
+            for k in range(4):
+                router.ingest("ap0", make_frame(source, k))
+            fixes = router.flush()  # 2 answered, then timeout -> failover
+            assert "s0" in router.dead_shards()
+            # The pre-failure fixes surfaced the track id to the caller.
+            assert any(fix.track_id == ckpt["track_id"] for fix in fixes)
+            # The cached checkpoint went to the new ring owner as RESUME.
+            new_owner = router.owner_of(source)
+            assert new_owner != "s0"
+            (resume,) = shards[new_owner].resumes_received
+            assert resume == {source: ckpt}
+            assert router.metrics.counter("dist.tracks.resumed") == 1
+            assert router.metrics.counter("dist.tracks.restored") == 1
+        finally:
+            if router is not None:
+                router.close()
+            for shard in shards.values():
+                shard.stop()
+
+    def test_no_checkpoints_means_no_resume_traffic(self, tmp_path):
+        shards = cluster(tmp_path)  # s0 mute, never produced a fix
+        router = ShardRouter(
+            {sid: s.spec for sid, s in shards.items()},
+            batch_max_frames=1,
+            socket_timeout_s=0.5,
+        )
+        try:
+            source = source_owned_by(router, "s0")
+            router.ingest("ap0", make_frame(source, 0))
+            router.flush()
+            assert "s0" in router.dead_shards()
+            assert all(not s.resumes_received for s in shards.values())
+            assert router.metrics.counter("dist.tracks.resumed") == 0
         finally:
             router.close()
             for shard in shards.values():

@@ -1,0 +1,78 @@
+"""Tests for power-threshold AP roaming with hysteresis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.handoff import HandoffPolicy
+from repro.runtime.metrics import RuntimeMetrics
+
+
+class TestHandoffPolicy:
+    def test_first_association_is_not_a_handoff(self):
+        metrics = RuntimeMetrics()
+        policy = HandoffPolicy(metrics=metrics)
+        decision = policy.update("t", {"ap0": -60.0, "ap1": -65.0})
+        assert decision.serving == ("ap0", "ap1")
+        assert decision.changed
+        assert metrics.counter("handoff.events") == 0
+
+    def test_hysteresis_band_suppresses_flapping(self):
+        policy = HandoffPolicy(entry_dbm=-78.0, exit_dbm=-82.0, min_serving=1)
+        policy.update("t", {"ap0": -60.0, "ap1": -70.0})
+        # ap1 fades into the band: below entry, above exit — it stays.
+        decision = policy.update("t", {"ap0": -60.0, "ap1": -80.0})
+        assert decision.serving == ("ap0", "ap1")
+        assert not decision.changed
+        # A never-served AP at the same band power does NOT join.
+        decision = policy.update("t", {"ap0": -60.0, "ap1": -80.0, "ap2": -80.0})
+        assert "ap2" not in decision.serving
+        # Below exit: ap1 is finally dropped.
+        decision = policy.update("t", {"ap0": -60.0, "ap1": -85.0})
+        assert decision.serving == ("ap0",)
+        assert decision.dropped == ("ap1",)
+
+    def test_min_serving_top_up_in_coverage_hole(self):
+        policy = HandoffPolicy(min_serving=2)
+        # Both APs are below the entry threshold; quorum insurance
+        # admits the strongest two anyway.
+        decision = policy.update("t", {"ap0": -90.0, "ap1": -88.0, "ap2": -95.0})
+        assert decision.serving == ("ap0", "ap1")
+
+    def test_max_serving_caps_to_strongest(self):
+        policy = HandoffPolicy(min_serving=1, max_serving=2)
+        decision = policy.update(
+            "t", {"ap0": -60.0, "ap1": -62.0, "ap2": -64.0, "ap3": -66.0}
+        )
+        assert decision.serving == ("ap0", "ap1")
+
+    def test_handoff_counters_fire_on_change(self):
+        metrics = RuntimeMetrics()
+        policy = HandoffPolicy(min_serving=1, metrics=metrics)
+        policy.update("t", {"ap0": -60.0})
+        policy.update("t", {"ap0": -90.0, "ap1": -60.0})
+        assert metrics.counter("handoff.events") == 1
+        assert metrics.counter("handoff.ap_added") == 1
+        assert metrics.counter("handoff.ap_dropped") == 1
+
+    def test_serving_sets_are_per_source(self):
+        policy = HandoffPolicy(min_serving=1)
+        policy.update("a", {"ap0": -60.0})
+        policy.update("b", {"ap1": -60.0})
+        assert policy.serving("a") == ("ap0",)
+        assert policy.serving("b") == ("ap1",)
+        assert policy.serving("unknown") == ()
+
+    def test_unheard_serving_ap_is_dropped(self):
+        policy = HandoffPolicy(min_serving=1)
+        policy.update("t", {"ap0": -60.0, "ap1": -60.0})
+        decision = policy.update("t", {"ap0": -60.0})
+        assert decision.serving == ("ap0",)
+        assert decision.dropped == ("ap1",)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HandoffPolicy(entry_dbm=-85.0, exit_dbm=-80.0)
+        with pytest.raises(ConfigurationError):
+            HandoffPolicy(min_serving=0)
+        with pytest.raises(ConfigurationError):
+            HandoffPolicy(min_serving=3, max_serving=2)

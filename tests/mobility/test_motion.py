@@ -1,0 +1,109 @@
+"""Tests for motion-driven channel synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.mobility.handoff import HandoffPolicy
+from repro.mobility.motion import motion_bursts, sample_trajectory
+from repro.runtime.metrics import RuntimeMetrics
+from repro.testbed.layout import small_testbed
+
+
+@pytest.fixture(scope="module")
+def scene():
+    tb = small_testbed()
+    aps = {f"ap{i}": ap for i, ap in enumerate(tb.aps)}
+    return tb, tb.simulator(), aps
+
+
+@pytest.fixture(scope="module")
+def samples(scene):
+    tb, _, _ = scene
+    return sample_trajectory(
+        tb.floorplan,
+        tb.targets[0].position,
+        tb.targets[1].position,
+        speed="pedestrian",
+        interval_s=1.0,
+    )
+
+
+class TestSampleTrajectory:
+    def test_pedestrian_cadence(self, scene, samples):
+        tb, _, _ = scene
+        assert samples[0] == (0.0, tb.targets[0].position)
+        assert samples[-1][1] == tb.targets[1].position
+        # ~1.4 m between consecutive waypoints at 1 Hz.
+        for (_, p0), (_, p1) in zip(samples[:-2], samples[1:-1]):
+            assert p0.distance_to(p1) == pytest.approx(1.4, abs=1e-6)
+
+    def test_literal_speed(self, scene):
+        tb, _, _ = scene
+        fast = sample_trajectory(
+            tb.floorplan,
+            tb.targets[0].position,
+            tb.targets[1].position,
+            speed=5.0,
+            interval_s=1.0,
+        )
+        assert fast[1][1].distance_to(fast[0][1]) == pytest.approx(5.0, abs=1e-6)
+
+
+class TestMotionBursts:
+    def test_restamped_onto_trajectory_clock(self, scene, samples):
+        _, sim, aps = scene
+        bursts = motion_bursts(
+            sim, aps, samples, packets_per_burst=4, rng=np.random.default_rng(1)
+        )
+        assert len(bursts) == len(samples)
+        for burst, (stamp, position) in zip(bursts, samples):
+            assert burst.timestamp_s == stamp
+            assert burst.position == position
+            for rec in burst.recordings:
+                # Frames start at the burst stamp, 100 ms apart.
+                stamps = [f.timestamp_s for f in rec.trace]
+                assert stamps[0] == pytest.approx(stamp)
+                assert stamps[-1] == pytest.approx(stamp + 0.3)
+
+    def test_pairs_feed_locate(self, scene, samples):
+        _, sim, aps = scene
+        bursts = motion_bursts(
+            sim, aps, samples[:1], packets_per_burst=4, rng=np.random.default_rng(1)
+        )
+        pairs = bursts[0].pairs()
+        assert len(pairs) == len(bursts[0].recordings)
+        assert all(len(trace) == 4 for _, trace in pairs)
+
+    def test_policy_caps_serving_set(self, scene, samples):
+        _, sim, aps = scene
+        metrics = RuntimeMetrics()
+        policy = HandoffPolicy(min_serving=2, max_serving=2, metrics=metrics)
+        bursts = motion_bursts(
+            sim,
+            aps,
+            samples,
+            packets_per_burst=2,
+            rng=np.random.default_rng(2),
+            policy=policy,
+            metrics=metrics,
+        )
+        assert all(len(b.recordings) <= 2 for b in bursts)
+        assert metrics.counter("mobility.bursts") == len(samples)
+
+    def test_deaf_sensitivity_yields_empty_bursts(self, scene, samples):
+        _, sim, aps = scene
+        bursts = motion_bursts(
+            sim,
+            aps,
+            samples[:2],
+            packets_per_burst=2,
+            rng=np.random.default_rng(3),
+            sensitivity_dbm=0.0,  # nothing is ever this loud
+        )
+        assert all(b.recordings == () for b in bursts)
+
+    def test_packets_validation(self, scene, samples):
+        _, sim, aps = scene
+        with pytest.raises(GeometryError):
+            motion_bursts(sim, aps, samples, packets_per_burst=0)

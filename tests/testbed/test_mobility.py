@@ -105,6 +105,32 @@ class TestPlanRoute:
         r2 = plan_route(office.floorplan, (10.0, 6.0), (4.0, 13.0), grid=grid)
         assert abs(route_length(r1) - route_length(r2)) < 2.0
 
+    def test_start_and_goal_inside_wall_recover(self):
+        # Both endpoints hug the boundary wall inside the clearance
+        # band; the planner snaps them to the nearest walkable cell
+        # instead of failing.
+        room = empty_room(10.0, 6.0)
+        grid = OccupancyGrid(room, cell_m=0.5, clearance_m=0.3)
+        assert not grid.is_walkable(grid.cell_of((0.1, 3.0)))
+        route = plan_route(room, (0.1, 3.0), (9.9, 3.0), grid=grid)
+        assert route[0] == Point(0.1, 3.0)
+        assert route[-1] == Point(9.9, 3.0)
+        for p in route[1:-1]:
+            assert grid.is_walkable(grid.cell_of(p))
+
+    def test_zero_length_route(self):
+        room = empty_room(10.0, 6.0)
+        route = plan_route(room, (5.0, 3.0), (5.0, 3.0))
+        assert route[0] == Point(5.0, 3.0)
+        assert route[-1] == Point(5.0, 3.0)
+        assert route_length(route) == pytest.approx(0.0)
+
+    def test_clearance_wider_than_corridor(self):
+        # A 1 m corridor with 2 m clearance leaves no walkable cell.
+        room = empty_room(10.0, 1.0)
+        with pytest.raises(GeometryError, match="walkable"):
+            plan_route(room, (1.0, 0.5), (9.0, 0.5), cell_m=0.25, clearance_m=2.0)
+
 
 class TestWalkRoute:
     def test_constant_speed_sampling(self):
